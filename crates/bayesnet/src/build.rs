@@ -1,0 +1,699 @@
+//! Compiling circuits into complex-valued Bayesian networks (paper §3.1).
+//!
+//! Gate semantics become conditional amplitude tables; noise mixtures and
+//! channels become *noise-selector random variables* whose values index the
+//! Kraus branch taken (§3.1.2 — the paper's extension of quantum PGMs);
+//! measurements become outcome random variables.
+//!
+//! ## Structure discovery by probing
+//!
+//! Whether a CAT cell is exactly 0, exactly 1, or a weight must not depend
+//! on the *current* parameter values, or the compiled structure could not be
+//! reused across variational iterations. Cells of parameterized operations
+//! are therefore classified by evaluating the operation at two fixed
+//! *generic probe* bindings ([`ParamMap::probe`]): a cell is structurally
+//! zero/one only if it is zero/one at both probes. Probe values are chosen
+//! away from special angles, so a parameter-dependent entry that vanishes
+//! only at isolated angles is (correctly) kept as a weight.
+
+use crate::net::BayesNet;
+use crate::node::{CatEntry, Node, NodeId, NodeRole, WeightValue};
+use qkc_circuit::{Circuit, Gate, GateLayout, Operation, ParamMap};
+use qkc_math::{CMatrix, Complex, C_ONE};
+
+const TOL: f64 = 1e-12;
+
+impl BayesNet {
+    /// Compiles a circuit into its Bayesian-network representation.
+    ///
+    /// Every operation the circuit IR can express is supported; gates whose
+    /// layout is [`GateLayout::Permutation`] (SWAP, CSWAP) are encoded as
+    /// deterministic permutation nodes rather than decomposed.
+    pub fn from_circuit(circuit: &Circuit) -> BayesNet {
+        Builder::new(circuit).build()
+    }
+}
+
+struct Builder<'c> {
+    circuit: &'c Circuit,
+    probe_a: ParamMap,
+    probe_b: ParamMap,
+    nodes: Vec<Node>,
+    /// Current state node of each qubit.
+    cur: Vec<NodeId>,
+    random_events: Vec<NodeId>,
+}
+
+impl<'c> Builder<'c> {
+    fn new(circuit: &'c Circuit) -> Self {
+        let symbols: Vec<String> = circuit.symbols().into_iter().collect();
+        let probe_a = ParamMap::probe(symbols.iter().map(String::as_str), 0);
+        let probe_b = ParamMap::probe(symbols.iter().map(String::as_str), 1);
+        Self {
+            circuit,
+            probe_a,
+            probe_b,
+            nodes: Vec::new(),
+            cur: Vec::new(),
+            random_events: Vec::new(),
+        }
+    }
+
+    fn build(mut self) -> BayesNet {
+        let n = self.circuit.num_qubits();
+        for q in 0..n {
+            // Initial |0⟩: deterministic prior, one row.
+            let id = self.push(Node {
+                label: format!("q{q}m0"),
+                domain: 2,
+                parents: Vec::new(),
+                cat: vec![CatEntry::One, CatEntry::Zero],
+                weights: Vec::new(),
+                role: NodeRole::Initial { qubit: q },
+            });
+            self.cur.push(id);
+        }
+        for (op_index, op) in self.circuit.operations().iter().enumerate() {
+            match op {
+                Operation::Gate { gate, qubits } => match gate.layout() {
+                    GateLayout::Single => self.add_single(op_index, gate, qubits[0]),
+                    GateLayout::ControlledSingle { controls } => {
+                        self.add_controlled(op_index, gate, qubits, controls)
+                    }
+                    GateLayout::Diagonal => self.add_diagonal(op_index, gate, qubits),
+                    GateLayout::Permutation => {
+                        self.add_permutation(op_index, &gate.permutation(), qubits)
+                    }
+                },
+                Operation::Permutation { perm, qubits } => {
+                    self.add_permutation(op_index, perm.table(), qubits)
+                }
+                Operation::Diagonal { diag, qubits } => {
+                    self.add_diagonal_op(op_index, diag, qubits)
+                }
+                Operation::Noise { channel, qubit } => {
+                    self.add_noise(op_index, channel, *qubit)
+                }
+                Operation::Measure { qubit } => self.add_measure(op_index, *qubit),
+            }
+        }
+        BayesNet {
+            outputs: self.cur.clone(),
+            nodes: self.nodes,
+            random_events: self.random_events,
+            circuit: self.circuit.clone(),
+        }
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Labels follow the paper's global-moment convention (Figure 2(c)):
+    /// the node produced by operation `op_index` on qubit `q` is
+    /// `q{q}m{op_index + 1}`.
+    fn state_label(&self, q: usize, op_index: usize) -> String {
+        format!("q{q}m{}", op_index + 1)
+    }
+
+    /// Classifies a matrix entry at both probes into a CAT cell, appending a
+    /// weight slot when it is not structurally 0 or 1.
+    #[allow(clippy::too_many_arguments)]
+    fn classify(
+        &self,
+        weights: &mut Vec<WeightValue>,
+        a: Complex,
+        b: Complex,
+        symbolic: bool,
+        op_index: usize,
+        matrix_index: usize,
+        row: usize,
+        col: usize,
+    ) -> CatEntry {
+        let zero = a.approx_zero(TOL) && b.approx_zero(TOL);
+        let one = a.approx_eq(C_ONE, TOL) && b.approx_eq(C_ONE, TOL);
+        if zero {
+            CatEntry::Zero
+        } else if one {
+            CatEntry::One
+        } else {
+            let value = if symbolic {
+                WeightValue::OpEntry {
+                    op_index,
+                    matrix_index,
+                    row,
+                    col,
+                }
+            } else {
+                WeightValue::Const(a)
+            };
+            weights.push(value);
+            CatEntry::Weight(weights.len() - 1)
+        }
+    }
+
+    /// Dense single-qubit gate: one new node whose CAT is the transpose of
+    /// the unitary (paper Table 2(a)).
+    fn add_single(&mut self, op_index: usize, gate: &Gate, q: usize) {
+        let ua = self.gate_unitary(gate, &self.probe_a);
+        let ub = self.gate_unitary(gate, &self.probe_b);
+        let symbolic = gate.is_parameterized();
+        let mut cat = Vec::with_capacity(4);
+        let mut weights = Vec::new();
+        for x in 0..2 {
+            for y in 0..2 {
+                cat.push(self.classify(
+                    &mut weights,
+                    ua[(y, x)],
+                    ub[(y, x)],
+                    symbolic,
+                    op_index,
+                    0,
+                    y,
+                    x,
+                ));
+            }
+        }
+        let label = self.state_label(q, op_index);
+        let id = self.push(Node {
+            label,
+            domain: 2,
+            parents: vec![self.cur[q]],
+            cat,
+            weights,
+            role: NodeRole::QubitState { qubit: q, op_index },
+        });
+        self.cur[q] = id;
+    }
+
+    /// Controlled single-target gate: only the target gets a new node, with
+    /// the controls' current states as extra parents (paper Table 2(c)).
+    fn add_controlled(&mut self, op_index: usize, gate: &Gate, qubits: &[usize], controls: usize) {
+        let ua = self.gate_unitary(gate, &self.probe_a);
+        let ub = self.gate_unitary(gate, &self.probe_b);
+        let symbolic = gate.is_parameterized();
+        let target = qubits[controls];
+        let all_ones = (1usize << controls) - 1;
+        let mut cat = Vec::new();
+        let mut weights = Vec::new();
+        for row in 0..1usize << (controls + 1) {
+            let cbits = row >> 1;
+            let x = row & 1;
+            for y in 0..2 {
+                let entry = if cbits != all_ones {
+                    if y == x {
+                        CatEntry::One
+                    } else {
+                        CatEntry::Zero
+                    }
+                } else {
+                    let full_row = (cbits << 1) | y;
+                    let full_col = (cbits << 1) | x;
+                    self.classify(
+                        &mut weights,
+                        ua[(full_row, full_col)],
+                        ub[(full_row, full_col)],
+                        symbolic,
+                        op_index,
+                        0,
+                        full_row,
+                        full_col,
+                    )
+                };
+                cat.push(entry);
+            }
+        }
+        let mut parents: Vec<NodeId> = qubits[..controls].iter().map(|&c| self.cur[c]).collect();
+        parents.push(self.cur[target]);
+        let label = self.state_label(target, op_index);
+        let id = self.push(Node {
+            label,
+            domain: 2,
+            parents,
+            cat,
+            weights,
+            role: NodeRole::QubitState {
+                qubit: target,
+                op_index,
+            },
+        });
+        self.cur[target] = id;
+    }
+
+    /// Diagonal gate on k qubits: one new node for the last listed qubit,
+    /// with every involved qubit's current state as parent; the designated
+    /// qubit's value must follow its parent, picking up the diagonal phase.
+    fn add_diagonal(&mut self, op_index: usize, gate: &Gate, qubits: &[usize]) {
+        let ua = self.gate_unitary(gate, &self.probe_a);
+        let ub = self.gate_unitary(gate, &self.probe_b);
+        let symbolic = gate.is_parameterized();
+        let k = qubits.len();
+        let target = qubits[k - 1];
+        let mut cat = Vec::new();
+        let mut weights = Vec::new();
+        for x in 0..1usize << k {
+            let xt = x & 1; // last listed qubit is least significant in rows
+            for y in 0..2 {
+                let entry = if y != xt {
+                    CatEntry::Zero
+                } else {
+                    self.classify(&mut weights, ua[(x, x)], ub[(x, x)], symbolic, op_index, 0, x, x)
+                };
+                cat.push(entry);
+            }
+        }
+        let parents: Vec<NodeId> = qubits.iter().map(|&q| self.cur[q]).collect();
+        let label = self.state_label(target, op_index);
+        let id = self.push(Node {
+            label,
+            domain: 2,
+            parents,
+            cat,
+            weights,
+            role: NodeRole::QubitState {
+                qubit: target,
+                op_index,
+            },
+        });
+        self.cur[target] = id;
+    }
+
+    /// Diagonal phase operation: like a diagonal gate, one new node for the
+    /// last listed qubit with every involved qubit's state as parent; the
+    /// phases are constants, so deterministic ±1-free entries get weights.
+    fn add_diagonal_op(
+        &mut self,
+        op_index: usize,
+        diag: &qkc_circuit::DiagonalOp,
+        qubits: &[usize],
+    ) {
+        let k = qubits.len();
+        let target = qubits[k - 1];
+        let mut cat = Vec::new();
+        let mut weights = Vec::new();
+        for x in 0..1usize << k {
+            let xt = x & 1;
+            for y in 0..2 {
+                let entry = if y != xt {
+                    CatEntry::Zero
+                } else {
+                    let v = diag.phase(x);
+                    self.classify(&mut weights, v, v, false, op_index, 0, x, x)
+                };
+                cat.push(entry);
+            }
+        }
+        let parents: Vec<NodeId> = qubits.iter().map(|&q| self.cur[q]).collect();
+        let label = self.state_label(target, op_index);
+        let id = self.push(Node {
+            label,
+            domain: 2,
+            parents,
+            cat,
+            weights,
+            role: NodeRole::QubitState {
+                qubit: target,
+                op_index,
+            },
+        });
+        self.cur[target] = id;
+    }
+
+    /// Classical permutation: one deterministic node per involved qubit,
+    /// each depending on all involved qubits' previous states.
+    fn add_permutation(&mut self, op_index: usize, table: &[usize], qubits: &[usize]) {
+        let k = qubits.len();
+        assert_eq!(table.len(), 1 << k);
+        let old: Vec<NodeId> = qubits.iter().map(|&q| self.cur[q]).collect();
+        for (i, &q) in qubits.iter().enumerate() {
+            let mut cat = Vec::with_capacity(2 << k);
+            for x in 0..1usize << k {
+                let out_bit = (table[x] >> (k - 1 - i)) & 1;
+                for y in 0..2 {
+                    cat.push(if y == out_bit {
+                        CatEntry::One
+                    } else {
+                        CatEntry::Zero
+                    });
+                }
+            }
+            let label = self.state_label(q, op_index);
+            let id = self.push(Node {
+                label,
+                domain: 2,
+                parents: old.clone(),
+                cat,
+                weights: Vec::new(),
+                role: NodeRole::QubitState { qubit: q, op_index },
+            });
+            self.cur[q] = id;
+        }
+    }
+
+    /// Noise: a selector RV indexing the Kraus branch. Diagonal noise folds
+    /// into the selector alone (exactly the paper's Table 2(b)); general
+    /// noise additionally creates a new state node for the qubit.
+    fn add_noise(&mut self, op_index: usize, channel: &qkc_circuit::NoiseChannel, q: usize) {
+        let ka = channel
+            .kraus(&self.probe_a)
+            .expect("probe binds all symbols");
+        let kb = channel
+            .kraus(&self.probe_b)
+            .expect("probe binds all symbols");
+        let symbolic = !channel.symbols().is_empty();
+        let branches = ka.len();
+        let all_diagonal = ka.iter().chain(kb.iter()).all(|m| m.is_diagonal(TOL));
+        let rv_label = format!("q{q}m{}rv", op_index + 1);
+        if all_diagonal {
+            // Selector with the qubit as parent; A(rv=k | x) = E_k[x,x].
+            let mut cat = Vec::new();
+            let mut weights = Vec::new();
+            for x in 0..2 {
+                for (k, _) in ka.iter().enumerate() {
+                    cat.push(self.classify(
+                        &mut weights,
+                        ka[k][(x, x)],
+                        kb[k][(x, x)],
+                        symbolic,
+                        op_index,
+                        k,
+                        x,
+                        x,
+                    ));
+                }
+            }
+            let id = self.push(Node {
+                label: rv_label,
+                domain: branches,
+                parents: vec![self.cur[q]],
+                cat,
+                weights,
+                role: NodeRole::NoiseSelector { op_index, qubit: q },
+            });
+            self.random_events.push(id);
+        } else {
+            // Parentless selector with unit prior; the new state node picks
+            // up the full Kraus entries E_k[y, x].
+            let sel = self.push(Node {
+                label: rv_label,
+                domain: branches,
+                parents: Vec::new(),
+                cat: vec![CatEntry::One; branches],
+                weights: Vec::new(),
+                role: NodeRole::NoiseSelector { op_index, qubit: q },
+            });
+            self.random_events.push(sel);
+            let mut cat = Vec::new();
+            let mut weights = Vec::new();
+            for k in 0..branches {
+                for x in 0..2 {
+                    for y in 0..2 {
+                        cat.push(self.classify(
+                            &mut weights,
+                            ka[k][(y, x)],
+                            kb[k][(y, x)],
+                            symbolic,
+                            op_index,
+                            k,
+                            y,
+                            x,
+                        ));
+                    }
+                }
+            }
+            let label = self.state_label(q, op_index);
+            let id = self.push(Node {
+                label,
+                domain: 2,
+                parents: vec![sel, self.cur[q]],
+                cat,
+                weights,
+                role: NodeRole::QubitState { qubit: q, op_index },
+            });
+            self.cur[q] = id;
+        }
+    }
+
+    /// Measurement: an outcome RV copying the qubit's current value.
+    /// Branches with different outcomes never interfere, which implements
+    /// deferred-measurement dephasing in the path-sum semantics.
+    fn add_measure(&mut self, op_index: usize, q: usize) {
+        let label = format!("q{q}m{}rv", op_index + 1);
+        let id = self.push(Node {
+            label,
+            domain: 2,
+            parents: vec![self.cur[q]],
+            cat: vec![CatEntry::One, CatEntry::Zero, CatEntry::Zero, CatEntry::One],
+            weights: Vec::new(),
+            role: NodeRole::MeasureOutcome { op_index, qubit: q },
+        });
+        self.random_events.push(id);
+    }
+
+    fn gate_unitary(&self, gate: &Gate, probe: &ParamMap) -> CMatrix {
+        gate.unitary(probe).expect("probe binds all symbols")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::Param;
+    use qkc_math::FRAC_1_SQRT_2;
+
+    fn bell_noisy() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+        c
+    }
+
+    #[test]
+    fn bell_structure_matches_figure_2c() {
+        let bn = BayesNet::from_circuit(&bell_noisy());
+        let labels: Vec<&str> = bn.nodes().iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(labels, vec!["q0m0", "q1m0", "q0m1", "q0m2rv", "q1m3"]);
+        // H node: parent q0m0, dense CAT of 4 weights.
+        let h = &bn.nodes()[2];
+        assert_eq!(h.parents, vec![0]);
+        assert_eq!(h.weights.len(), 4);
+        // Noise RV: diagonal phase damping folds into the selector.
+        let rv = &bn.nodes()[3];
+        assert_eq!(rv.parents, vec![2]);
+        assert_eq!(rv.domain, 2);
+        assert!(rv.role.is_random_event());
+        // CNOT node: parents (q0m1, q1m0), fully deterministic.
+        let cnot = &bn.nodes()[4];
+        assert_eq!(cnot.parents, vec![2, 1]);
+        assert!(cnot.weights.is_empty());
+        // Outputs are q0m1 (control unchanged) and q1m3.
+        assert_eq!(bn.outputs(), &[2, 4]);
+    }
+
+    #[test]
+    fn hadamard_cat_matches_table_2a() {
+        let bn = BayesNet::from_circuit(&bell_noisy());
+        let h = &bn.nodes()[2];
+        let table = bn.evaluate_weights(&ParamMap::new()).unwrap();
+        let expect = [
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            -FRAC_1_SQRT_2,
+        ];
+        for (i, &want) in expect.iter().enumerate() {
+            match h.cat[i] {
+                CatEntry::Weight(w) => {
+                    assert!(table.value(2, w).approx_eq(Complex::real(want), 1e-12))
+                }
+                other => panic!("H entry {i} should be a weight, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn phase_damping_cat_matches_table_2b() {
+        // A(rv=0|0)=1, A(rv=1|0)=0, A(rv=0|1)=0.8, A(rv=1|1)=±0.6.
+        let bn = BayesNet::from_circuit(&bell_noisy());
+        let rv = &bn.nodes()[3];
+        let table = bn.evaluate_weights(&ParamMap::new()).unwrap();
+        assert_eq!(rv.entry(0, 0), CatEntry::One);
+        assert_eq!(rv.entry(0, 1), CatEntry::Zero);
+        match rv.entry(1, 0) {
+            CatEntry::Weight(w) => {
+                assert!(table.value(3, w).approx_eq(Complex::real(0.8), 1e-12))
+            }
+            other => panic!("expected weight, got {other:?}"),
+        }
+        match rv.entry(1, 1) {
+            // Kraus gauge: +0.6 here, −0.6 in the paper's Ry decomposition;
+            // the branch phase is unobservable.
+            CatEntry::Weight(w) => {
+                assert!((table.value(3, w).norm() - 0.6).abs() < 1e-12)
+            }
+            other => panic!("expected weight, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_5_amplitudes_reproduced() {
+        // Upward-pass values of paper Table 5 (up to per-branch phase).
+        let bn = BayesNet::from_circuit(&bell_noisy());
+        let table = bn.evaluate_weights(&ParamMap::new()).unwrap();
+        // Query order: outputs (q0m1, q1m3), then rv.
+        let amp = |q0: usize, q1: usize, rv: usize| {
+            bn.amplitude_brute_force(&[q0, q1, rv], &table)
+        };
+        assert!(amp(0, 0, 0).approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(amp(0, 1, 0).approx_zero(1e-12));
+        assert!(amp(1, 0, 0).approx_zero(1e-12));
+        assert!(amp(1, 1, 0).approx_eq(Complex::real(0.8 * FRAC_1_SQRT_2), 1e-12));
+        assert!(amp(0, 0, 1).approx_zero(1e-12));
+        assert!((amp(1, 1, 1).norm() - 0.6 * FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_free_amplitudes_match_reference() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .t(0)
+            .cnot(0, 1)
+            .zz(1, 2, 0.73)
+            .rx(2, 0.41)
+            .cz(0, 2)
+            .swap(1, 2)
+            .ccx(0, 1, 2);
+        let bn = BayesNet::from_circuit(&c);
+        let params = ParamMap::new();
+        let table = bn.evaluate_weights(&params).unwrap();
+        let want = qkc_circuit::reference::run_pure(&c, &params).unwrap();
+        for out in 0..8usize {
+            let qv: Vec<usize> = (0..3).map(|i| (out >> (2 - i)) & 1).collect();
+            let got = bn.amplitude_brute_force(&qv, &table);
+            assert!(
+                got.approx_eq(want[out], 1e-10),
+                "amplitude {out}: {got} vs {}",
+                want[out]
+            );
+        }
+    }
+
+    #[test]
+    fn parameterized_rebinding_changes_only_weights() {
+        let mut c = Circuit::new(2);
+        c.rx(0, Param::symbol("a")).zz(0, 1, Param::symbol("b"));
+        let bn = BayesNet::from_circuit(&c);
+        let t1 = bn
+            .evaluate_weights(&ParamMap::from_pairs([("a", 0.3), ("b", 0.9)]))
+            .unwrap();
+        let t2 = bn
+            .evaluate_weights(&ParamMap::from_pairs([("a", 1.3), ("b", 0.1)]))
+            .unwrap();
+        assert_ne!(t1, t2);
+        for (theta_a, table) in [(0.3, &t1), (1.3, &t2)] {
+            let amp = bn.amplitude_brute_force(&[1, 0], table);
+            assert!(
+                (amp.norm() - (theta_a as f64 / 2.0).sin().abs()) < 1e-10,
+                "Rx amplitude magnitude"
+            );
+        }
+    }
+
+    #[test]
+    fn depolarizing_probabilities_match_density_matrix() {
+        let mut c = Circuit::new(2);
+        c.h(0).depolarize(0, 0.1).cnot(0, 1).depolarize(1, 0.05);
+        let bn = BayesNet::from_circuit(&c);
+        let params = ParamMap::new();
+        let table = bn.evaluate_weights(&params).unwrap();
+        let got = bn.output_probabilities_brute_force(&table);
+        let rho = qkc_circuit::reference::run_density(&c, &params).unwrap();
+        let want = qkc_circuit::reference::density_probabilities(&rho);
+        for i in 0..4 {
+            assert!(
+                (got[i] - want[i]).abs() < 1e-10,
+                "P({i}): {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_full_density_matrix_matches() {
+        // Channels (not just mixtures) must reproduce the full density
+        // matrix: ρ[x,x'] = Σ_K amp(x,K)·conj(amp(x',K)).
+        let mut c = Circuit::new(2);
+        c.h(0).amplitude_damp(0, 0.4).cnot(0, 1).phase_damp(1, 0.2);
+        let bn = BayesNet::from_circuit(&c);
+        let params = ParamMap::new();
+        let table = bn.evaluate_weights(&params).unwrap();
+        let amps = bn.all_amplitudes_brute_force(&table);
+        let rv_count = amps.iter().map(|&(_, k, _)| k).max().unwrap() + 1;
+        let mut amp_of = vec![vec![qkc_math::C_ZERO; rv_count]; 4];
+        for (x, k, a) in amps {
+            amp_of[x][k] = a;
+        }
+        let rho = qkc_circuit::reference::run_density(&c, &params).unwrap();
+        for x in 0..4 {
+            for xp in 0..4 {
+                let mut acc = qkc_math::C_ZERO;
+                for k in 0..rv_count {
+                    acc += amp_of[x][k] * amp_of[xp][k].conj();
+                }
+                assert!(
+                    acc.approx_eq(rho[(x, xp)], 1e-10),
+                    "rho[{x},{xp}]: {acc} vs {}",
+                    rho[(x, xp)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_rv_copies_state() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        let bn = BayesNet::from_circuit(&c);
+        assert_eq!(bn.random_events().len(), 1);
+        let table = bn.evaluate_weights(&ParamMap::new()).unwrap();
+        // amp(q=x, M=m) nonzero only when m == x.
+        for x in 0..2 {
+            for m in 0..2 {
+                let a = bn.amplitude_brute_force(&[x, m], &table);
+                if x == m {
+                    assert!((a.norm() - FRAC_1_SQRT_2).abs() < 1e-12);
+                } else {
+                    assert!(a.approx_zero(1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grover_style_permutation_oracle() {
+        use qkc_circuit::PermutationOp;
+        // Mark |11> by a phase-free permutation is impossible; instead use a
+        // bit-flip oracle on an ancilla: |x, b> -> |x, b ^ [x == 3]>.
+        let oracle = PermutationOp::from_fn("mark3", 3, |idx| {
+            let x = idx >> 1;
+            let b = idx & 1;
+            if x == 3 {
+                (x << 1) | (b ^ 1)
+            } else {
+                idx
+            }
+        })
+        .unwrap();
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).x(2).permutation(oracle, [0, 1, 2]);
+        let bn = BayesNet::from_circuit(&c);
+        let params = ParamMap::new();
+        let table = bn.evaluate_weights(&params).unwrap();
+        let want = qkc_circuit::reference::run_pure(&c, &params).unwrap();
+        for out in 0..8usize {
+            let qv: Vec<usize> = (0..3).map(|i| (out >> (2 - i)) & 1).collect();
+            assert!(bn.amplitude_brute_force(&qv, &table).approx_eq(want[out], 1e-10));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Complex-valued Bayesian networks encoding noisy quantum circuits —
+//! stage 1 of the paper's toolchain (Figure 4, §3.1).
+//!
+//! A circuit becomes a directed graphical model whose nodes are qubit-state
+//! instances and noise/measurement random variables, and whose conditional
+//! *amplitude* tables unify complex gate amplitudes with real noise
+//! probabilities in a single representation. Parameter-dependent table
+//! cells reference circuit operations symbolically, so the same network
+//! structure serves every variational iteration.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_circuit::{Circuit, ParamMap};
+//! use qkc_bayesnet::BayesNet;
+//!
+//! // The paper's noisy Bell-state example (Figure 2).
+//! let mut c = Circuit::new(2);
+//! c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+//! let bn = BayesNet::from_circuit(&c);
+//! let w = bn.evaluate_weights(&ParamMap::new()).unwrap();
+//! // amp(|11>, noise branch 0) = 0.8/sqrt(2)  (Table 5).
+//! let amp = bn.amplitude_brute_force(&[1, 1, 0], &w);
+//! assert!((amp.norm() - 0.8 / 2.0_f64.sqrt()).abs() < 1e-12);
+//! ```
+
+mod build;
+mod net;
+mod node;
+
+pub use net::{BayesNet, WeightTable};
+pub use node::{CatEntry, Node, NodeId, NodeRole, WeightValue};

@@ -1,0 +1,247 @@
+//! The complex-valued Bayesian network and its evaluation semantics.
+
+use crate::node::{CatEntry, Node, NodeId, WeightValue};
+use qkc_circuit::{Circuit, Operation, ParamMap, UnboundParam};
+use qkc_math::{Complex, C_ONE, C_ZERO};
+use std::collections::HashMap;
+
+/// A complex-valued Bayesian network encoding a noisy quantum circuit
+/// (paper §3.1).
+///
+/// Nodes are qubit-state instances and noise/measurement random variables;
+/// directed edges express how each state depends on preceding states; each
+/// node carries a conditional amplitude table. The joint amplitude of a full
+/// assignment is the product of selected CAT entries, and quantum circuit
+/// simulation is inference: the amplitude of an (outputs, noise RVs)
+/// assignment is the sum of joint amplitudes over all internal-state
+/// assignments — a Feynman path sum.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::Circuit;
+/// use qkc_bayesnet::BayesNet;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+/// let bn = BayesNet::from_circuit(&c);
+/// // q0m0, q1m0, q0m1 (H), q0m2rv (PD), q1m3 (CNOT) — as in Figure 2(c).
+/// assert_eq!(bn.num_nodes(), 5);
+/// assert_eq!(bn.random_events().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BayesNet {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) random_events: Vec<NodeId>,
+    pub(crate) circuit: Circuit,
+}
+
+/// Numeric weight values for every node's weight slots under one parameter
+/// binding. Rebuilt cheaply on every re-bind; the network structure (and
+/// everything compiled from it) is reused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightTable {
+    per_node: Vec<Vec<Complex>>,
+}
+
+impl WeightTable {
+    /// The value of weight slot `w` of node `node`.
+    pub fn value(&self, node: NodeId, w: usize) -> Complex {
+        self.per_node[node][w]
+    }
+
+    /// All weights of one node.
+    pub fn node_weights(&self, node: NodeId) -> &[Complex] {
+        &self.per_node[node]
+    }
+}
+
+impl BayesNet {
+    /// All nodes, in creation (topological) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The final qubit-state node of each qubit.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Noise-selector and measurement-outcome nodes, in circuit order.
+    pub fn random_events(&self) -> &[NodeId] {
+        &self.random_events
+    }
+
+    /// Query nodes: outputs followed by random events. Evidence in
+    /// simulation queries is always over these.
+    pub fn query_nodes(&self) -> Vec<NodeId> {
+        let mut q = self.outputs.clone();
+        q.extend(&self.random_events);
+        q
+    }
+
+    /// The source circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Evaluates every weight slot under `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit mentions a symbol absent from
+    /// `params`.
+    pub fn evaluate_weights(&self, params: &ParamMap) -> Result<WeightTable, UnboundParam> {
+        let mut matrix_cache: HashMap<(usize, usize), qkc_math::CMatrix> = HashMap::new();
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut ws = Vec::with_capacity(node.weights.len());
+            for w in &node.weights {
+                ws.push(match w {
+                    WeightValue::Const(c) => *c,
+                    WeightValue::OpEntry {
+                        op_index,
+                        matrix_index,
+                        row,
+                        col,
+                    } => {
+                        let key = (*op_index, *matrix_index);
+                        if let std::collections::hash_map::Entry::Vacant(e) = matrix_cache.entry(key) {
+                            let m = match &self.circuit.operations()[*op_index] {
+                                Operation::Gate { gate, .. } => gate.unitary(params)?,
+                                Operation::Noise { channel, .. } => {
+                                    let kraus = channel.kraus(params)?;
+                                    kraus[*matrix_index].clone()
+                                }
+                                other => unreachable!(
+                                    "weights only reference gates and noise, got {other}"
+                                ),
+                            };
+                            e.insert(m);
+                        }
+                        matrix_cache[&key][(*row, *col)]
+                    }
+                });
+            }
+            per_node.push(ws);
+        }
+        Ok(WeightTable { per_node })
+    }
+
+    /// The amplitude contribution of one *full* assignment (a value for
+    /// every node): the product of selected CAT entries.
+    pub fn joint_amplitude(&self, assignment: &[usize], table: &WeightTable) -> Complex {
+        debug_assert_eq!(assignment.len(), self.nodes.len());
+        let mut amp = C_ONE;
+        for (id, node) in self.nodes.iter().enumerate() {
+            let mut row = 0usize;
+            for &p in &node.parents {
+                row = row * self.nodes[p].domain + assignment[p];
+            }
+            match node.entry(row, assignment[id]) {
+                CatEntry::Zero => return C_ZERO,
+                CatEntry::One => {}
+                CatEntry::Weight(w) => amp *= table.value(id, w),
+            }
+        }
+        amp
+    }
+
+    /// Exhaustive-enumeration amplitude of a query assignment: sums joint
+    /// amplitudes over every assignment of non-query nodes. Exponential —
+    /// a test oracle for small networks, and the semantics the compiled
+    /// arithmetic circuits must reproduce.
+    ///
+    /// `query_values` pairs with [`Self::query_nodes`] order.
+    pub fn amplitude_brute_force(
+        &self,
+        query_values: &[usize],
+        table: &WeightTable,
+    ) -> Complex {
+        let query = self.query_nodes();
+        assert_eq!(query.len(), query_values.len(), "query arity mismatch");
+        let mut assignment = vec![0usize; self.nodes.len()];
+        let mut is_query = vec![false; self.nodes.len()];
+        for (&id, &v) in query.iter().zip(query_values) {
+            assignment[id] = v;
+            is_query[id] = true;
+        }
+        let hidden: Vec<NodeId> = (0..self.nodes.len()).filter(|&i| !is_query[i]).collect();
+        let mut total = C_ZERO;
+        let mut counter = vec![0usize; hidden.len()];
+        loop {
+            for (i, &h) in hidden.iter().enumerate() {
+                assignment[h] = counter[i];
+            }
+            total += self.joint_amplitude(&assignment, table);
+            // Mixed-radix increment over hidden nodes.
+            let mut i = 0;
+            loop {
+                if i == hidden.len() {
+                    return total;
+                }
+                counter[i] += 1;
+                if counter[i] < self.nodes[hidden[i]].domain {
+                    break;
+                }
+                counter[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Enumerates the amplitude of every (outputs, random-events)
+    /// combination via brute force; returns `(output_index, rv_index,
+    /// amplitude)` triples. A test oracle for small circuits.
+    pub fn all_amplitudes_brute_force(&self, table: &WeightTable) -> Vec<(usize, usize, Complex)> {
+        let n_out = self.outputs.len();
+        let rv_domains: Vec<usize> = self
+            .random_events
+            .iter()
+            .map(|&id| self.nodes[id].domain)
+            .collect();
+        let rv_count: usize = rv_domains.iter().product::<usize>().max(1);
+        let mut result = Vec::new();
+        for out in 0..1usize << n_out {
+            for rv_idx in 0..rv_count {
+                let mut qv = Vec::with_capacity(n_out + rv_domains.len());
+                for (i, _) in self.outputs.iter().enumerate() {
+                    qv.push((out >> (n_out - 1 - i)) & 1);
+                }
+                let mut rem = rv_idx;
+                for &d in rv_domains.iter().rev() {
+                    qv.push(rem % d);
+                    rem /= d;
+                }
+                // The rv values were pushed least-significant-first; restore
+                // circuit order.
+                qv[n_out..].reverse();
+                let amp = self.amplitude_brute_force(&qv, table);
+                result.push((out, rv_idx, amp));
+            }
+        }
+        result
+    }
+
+    /// The measurement probability of each output bitstring: `Σ_K |amp(x,
+    /// K)|²` over random-event assignments `K`. Brute force; test oracle.
+    pub fn output_probabilities_brute_force(&self, table: &WeightTable) -> Vec<f64> {
+        let n_out = self.outputs.len();
+        let mut probs = vec![0.0; 1usize << n_out];
+        for (out, _, amp) in self.all_amplitudes_brute_force(table) {
+            probs[out] += amp.norm_sqr();
+        }
+        probs
+    }
+}

@@ -1,0 +1,187 @@
+//! Bayesian-network nodes with conditional *amplitude* tables.
+
+use qkc_math::Complex;
+use std::fmt;
+
+/// Identifier of a node inside a [`BayesNet`](crate::BayesNet).
+pub type NodeId = usize;
+
+/// A symbolic weight: either a fixed complex constant or a reference to an
+/// entry of a circuit operation's matrix, re-evaluated whenever variational
+/// parameters are re-bound.
+///
+/// This indirection is the paper's key structural move (§3.2.1,
+/// optimization 3): "numerical parameters … are replaced with variables
+/// whose values are resolved later; such a substitution allows the simulator
+/// to efficiently repeat simulations with different sets of parameters".
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightValue {
+    /// A fixed complex constant (e.g. `-1/√2` in a Hadamard table).
+    Const(Complex),
+    /// Entry `(row, col)` of matrix `matrix_index` of operation `op_index`:
+    /// the unitary for gate ops (index 0) or the `k`-th Kraus operator for
+    /// noise ops.
+    OpEntry {
+        /// Index of the operation in the source circuit.
+        op_index: usize,
+        /// Which matrix of the operation (Kraus branch; 0 for gates).
+        matrix_index: usize,
+        /// Matrix row.
+        row: usize,
+        /// Matrix column.
+        col: usize,
+    },
+}
+
+/// One cell of a conditional amplitude table.
+///
+/// Deterministic `Zero`/`One` cells are factored directly into logic during
+/// CNF encoding (paper Table 3, right column); every other cell references a
+/// weight slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatEntry {
+    /// Amplitude exactly 0: this (parents, value) combination is impossible.
+    Zero,
+    /// Amplitude exactly 1: allowed with no weight.
+    One,
+    /// Amplitude given by the node's weight slot with this index.
+    Weight(usize),
+}
+
+/// What a node represents in the source circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// An initial qubit state (`q{i}m0`), deterministically `|0⟩`.
+    Initial {
+        /// The qubit.
+        qubit: usize,
+    },
+    /// A qubit state after some operation (`q{i}m{t}`).
+    QubitState {
+        /// The qubit.
+        qubit: usize,
+        /// Which operation produced it.
+        op_index: usize,
+    },
+    /// A noise-branch selector random variable (`q{i}m{t}rv`): which Kraus /
+    /// mixture branch the noise event took (§3.1.2).
+    NoiseSelector {
+        /// The noise operation.
+        op_index: usize,
+        /// The affected qubit.
+        qubit: usize,
+    },
+    /// A measurement-outcome random variable.
+    MeasureOutcome {
+        /// The measurement operation.
+        op_index: usize,
+        /// The measured qubit.
+        qubit: usize,
+    },
+}
+
+impl NodeRole {
+    /// Returns `true` for noise-selector and measurement-outcome RVs — the
+    /// variables that, together with final qubit states, form the *query*
+    /// variables of simulation.
+    pub fn is_random_event(&self) -> bool {
+        matches!(
+            self,
+            NodeRole::NoiseSelector { .. } | NodeRole::MeasureOutcome { .. }
+        )
+    }
+}
+
+/// One Bayesian-network node: a discrete variable with parents and a
+/// conditional amplitude table (CAT).
+///
+/// The CAT is row-major: rows enumerate joint parent assignments in
+/// mixed-radix order (first parent most significant), columns enumerate this
+/// node's values. Compare paper Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Human-readable label following the paper's `q{i}m{t}` convention.
+    pub label: String,
+    /// Domain size (2 for qubit states; up to 4 for noise selectors).
+    pub domain: usize,
+    /// Parent nodes, in CAT row order.
+    pub parents: Vec<NodeId>,
+    /// The conditional amplitude table, `rows × domain` row-major.
+    pub cat: Vec<CatEntry>,
+    /// Weight slots referenced by [`CatEntry::Weight`].
+    pub weights: Vec<WeightValue>,
+    /// What the node represents.
+    pub role: NodeRole,
+}
+
+impl Node {
+    /// Number of CAT rows (product of parent domains).
+    pub fn num_rows(&self) -> usize {
+        self.cat.len() / self.domain
+    }
+
+    /// The CAT entry for a given row (parent assignment index) and value.
+    pub fn entry(&self, row: usize, value: usize) -> CatEntry {
+        self.cat[row * self.domain + value]
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (domain {}, {} parents, {} weights)",
+            self.label,
+            self.domain,
+            self.parents.len(),
+            self.weights.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_shape_accessors() {
+        let n = Node {
+            label: "q0m1".into(),
+            domain: 2,
+            parents: vec![0],
+            cat: vec![
+                CatEntry::Weight(0),
+                CatEntry::Weight(1),
+                CatEntry::Weight(2),
+                CatEntry::Weight(3),
+            ],
+            weights: vec![WeightValue::Const(qkc_math::C_ONE); 4],
+            role: NodeRole::QubitState {
+                qubit: 0,
+                op_index: 0,
+            },
+        };
+        assert_eq!(n.num_rows(), 2);
+        assert_eq!(n.entry(1, 0), CatEntry::Weight(2));
+    }
+
+    #[test]
+    fn role_classification() {
+        assert!(NodeRole::NoiseSelector {
+            op_index: 0,
+            qubit: 0
+        }
+        .is_random_event());
+        assert!(NodeRole::MeasureOutcome {
+            op_index: 0,
+            qubit: 0
+        }
+        .is_random_event());
+        assert!(!NodeRole::Initial { qubit: 0 }.is_random_event());
+        assert!(!NodeRole::QubitState {
+            qubit: 0,
+            op_index: 3
+        }
+        .is_random_event());
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! paper's figures: state-vector gate application, pipeline compilation,
+//! arithmetic-circuit evaluation (upward/downward), parameter re-binding,
+//! Gibbs steps, and tensor-network contraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qkc_circuit::ParamMap;
+use qkc_core::{KcOptions, KcSimulator};
+use qkc_knowledge::{evaluate, evaluate_with_differentials, GibbsOptions, VarOrder};
+use qkc_statevector::StateVectorSimulator;
+use qkc_tensornet::TensorNetwork;
+use qkc_workloads::{Graph, QaoaMaxCut};
+
+fn qaoa(n: usize) -> (QaoaMaxCut, ParamMap) {
+    let q = QaoaMaxCut::new(Graph::random_regular(n, 3, 3), 1);
+    let p = q.default_params();
+    (q, p)
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_run");
+    for n in [8usize, 12, 16] {
+        let (q, p) = qaoa(n);
+        let circuit = q.circuit();
+        group.bench_with_input(BenchmarkId::new("1thread", n), &n, |b, _| {
+            let sim = StateVectorSimulator::new();
+            b.iter(|| sim.run_pure(&circuit, &p).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("8threads", n), &n, |b, _| {
+            let sim = StateVectorSimulator::new().with_threads(8);
+            b.iter(|| sim.run_pure(&circuit, &p).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kc_compile");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let (q, _) = qaoa(n);
+        let circuit = q.circuit();
+        for (name, order) in [
+            ("lexicographic", VarOrder::Lexicographic),
+            ("mincut", VarOrder::MinCutSeparator),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let options = KcOptions {
+                    order,
+                    ..Default::default()
+                };
+                b.iter(|| KcSimulator::compile(&circuit, &options));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ac_evaluation(c: &mut Criterion) {
+    let (q, p) = qaoa(10);
+    let sim = KcSimulator::compile(&q.circuit(), &KcOptions::default());
+    let bound = sim.bind(&p).unwrap();
+    let mut group = c.benchmark_group("ac_queries");
+    group.bench_function("amplitude_upward", |b| {
+        b.iter(|| bound.amplitude(0b1010101010, &[]))
+    });
+    group.bench_function("rebind_params", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let params = q.params(&[0.001 * k as f64], &[0.3]);
+            sim.bind(&params).unwrap()
+        })
+    });
+    // Raw upward / upward+downward passes on the compiled circuit.
+    let weights = qkc_knowledge::AcWeights::uniform(sim.encoding().cnf.num_vars());
+    group.bench_function("upward_pass", |b| b.iter(|| evaluate(sim.nnf(), &weights)));
+    group.bench_function("upward_downward_pass", |b| {
+        b.iter(|| evaluate_with_differentials(sim.nnf(), &weights))
+    });
+    group.finish();
+}
+
+fn bench_gibbs(c: &mut Criterion) {
+    let (q, p) = qaoa(10);
+    let sim = KcSimulator::compile(&q.circuit(), &KcOptions::default());
+    let bound = sim.bind(&p).unwrap();
+    c.bench_function("gibbs_step", |b| {
+        let mut sampler = bound.sampler(&GibbsOptions {
+            warmup: 50,
+            seed: 1,
+            ..Default::default()
+        });
+        b.iter(|| sampler.sample_outputs(1, 1));
+    });
+}
+
+fn bench_tensornet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensornet_amplitude");
+    group.sample_size(20);
+    for n in [6usize, 8, 10] {
+        let (q, p) = qaoa(n);
+        let tn = TensorNetwork::from_circuit(&q.circuit(), &p).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tn.amplitude(0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_compile,
+    bench_ac_evaluation,
+    bench_gibbs,
+    bench_tensornet
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Figure 1: the effect of the compilation optimizations on arithmetic
+//! circuit size for a 4-qubit noisy QAOA circuit — "direct compilation"
+//! (before) vs the optimized pipeline (after), plus an ablation over each
+//! individual optimization (§3.2.1–3.2.2 optimization lists).
+
+use qkc_bench::{fmt_bytes, fmt_secs, time, ResultTable};
+use qkc_circuit::NoiseChannel;
+use qkc_core::{KcOptions, KcSimulator};
+use qkc_knowledge::VarOrder;
+use qkc_workloads::{Graph, QaoaMaxCut};
+
+fn main() {
+    let qaoa = QaoaMaxCut::new(Graph::cycle(4), 1);
+    let noisy = qaoa
+        .circuit()
+        .with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005));
+    println!(
+        "4-qubit noisy QAOA: {} gates, {} noise events",
+        noisy.num_gates(),
+        noisy.num_noise_ops()
+    );
+
+    let configs: Vec<(&str, KcOptions)> = vec![
+        // "Before" keeps component caching on: Figure 1 is about compiled
+        // *size*, and uncached exhaustive search on this CNF does not
+        // terminate in reasonable time (that, too, is the point of the
+        // optimization list).
+        (
+            "before (direct compilation)",
+            KcOptions {
+                order: VarOrder::Lexicographic,
+                cache: true,
+                simplify_cnf: false,
+                elide_internal: false,
+            },
+        ),
+        (
+            "+ unit resolution",
+            KcOptions {
+                order: VarOrder::Lexicographic,
+                cache: true,
+                simplify_cnf: true,
+                elide_internal: false,
+            },
+        ),
+        (
+            "+ state elision",
+            KcOptions {
+                order: VarOrder::Lexicographic,
+                cache: true,
+                simplify_cnf: true,
+                elide_internal: true,
+            },
+        ),
+        (
+            "after (+ min-cut order)",
+            KcOptions {
+                order: VarOrder::MinCutSeparator,
+                cache: true,
+                simplify_cnf: true,
+                elide_internal: true,
+            },
+        ),
+        (
+            "ablation: no component cache",
+            KcOptions {
+                order: VarOrder::MinCutSeparator,
+                cache: false,
+                simplify_cnf: true,
+                elide_internal: true,
+            },
+        ),
+    ];
+
+    let mut table = ResultTable::new(
+        "Figure 1: AC size before/after compilation optimizations",
+        &[
+            "configuration",
+            "cnf_clauses",
+            "ac_nodes",
+            "ac_edges",
+            "ac_size",
+            "compile",
+        ],
+    );
+    let mut first_nodes = None;
+    let mut last_nodes = 0usize;
+    for (name, options) in &configs {
+        let (sim, secs) = time(|| KcSimulator::compile(&noisy, options));
+        let m = sim.metrics();
+        if first_nodes.is_none() {
+            first_nodes = Some(m.ac_nodes);
+        }
+        if name.starts_with("after") {
+            last_nodes = m.ac_nodes;
+        }
+        table.row(vec![
+            name.to_string(),
+            m.cnf_clauses_simplified.to_string(),
+            m.ac_nodes.to_string(),
+            m.ac_edges.to_string(),
+            fmt_bytes(m.ac_size_bytes),
+            fmt_secs(secs),
+        ]);
+    }
+    table.print();
+    let reduction = first_nodes.unwrap_or(1) as f64 / last_nodes.max(1) as f64;
+    println!(
+        "\nShape check: the optimized pipeline shrinks the AC by {reduction:.1}× \
+         versus direct compilation (paper Figure 1: 'reduced but equivalent')."
+    );
+}

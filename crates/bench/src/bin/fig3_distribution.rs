@@ -1,0 +1,91 @@
+//! Figure 3: the output measurement distribution of a QAOA circuit is
+//! sharply peaked — a few bitstrings dominate — which is why *sampling*
+//! beats computing the full wavefunction for variational workloads. Prints
+//! the rank-ordered exact distribution alongside empirical ideal-sampling
+//! and Gibbs-sampling distributions (panels (a)–(d) of the figure).
+
+use qkc_bench::{ResultTable, Scale};
+use qkc_core::KcSimulator;
+use qkc_knowledge::GibbsOptions;
+use qkc_math::{AliasTable, EmpiricalDistribution};
+use qkc_statevector::StateVectorSimulator;
+use qkc_workloads::{Graph, QaoaMaxCut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(8, 10);
+    let shots = scale.pick(20_000, 100_000);
+    let qaoa = QaoaMaxCut::new(Graph::random_regular(n, 3, 4), 1);
+    let params = qaoa.default_params();
+
+    let exact = StateVectorSimulator::new()
+        .probabilities(&qaoa.circuit(), &params)
+        .expect("sv");
+
+    // Ideal sampling from the known distribution.
+    let mut rng = StdRng::seed_from_u64(12);
+    let table = AliasTable::new(&exact).expect("distribution");
+    let mut ideal = EmpiricalDistribution::new(exact.len());
+    for _ in 0..shots {
+        ideal.record(table.sample(&mut rng));
+    }
+
+    // Gibbs sampling from the compiled arithmetic circuit.
+    let sim = KcSimulator::compile(&qaoa.circuit(), &Default::default());
+    let bound = sim.bind(&params).expect("bind");
+    let mut sampler = bound.sampler(&GibbsOptions {
+        warmup: 500,
+        seed: 13,
+        ..Default::default()
+    });
+    let mut gibbs = EmpiricalDistribution::new(exact.len());
+    for x in sampler.sample_outputs(shots, 2) {
+        gibbs.record(x);
+    }
+
+    // Rank outcomes by exact probability.
+    let mut ranked: Vec<usize> = (0..exact.len()).collect();
+    ranked.sort_by(|&a, &b| exact[b].total_cmp(&exact[a]));
+
+    let mut out = ResultTable::new(
+        format!("Figure 3: rank-ordered measurement probabilities ({n}-qubit QAOA)"),
+        &["rank", "bitstring", "exact", "ideal_sampled", "gibbs_sampled"],
+    );
+    let print_ranks: Vec<usize> = [0usize, 1, 2, 3, 4, 7, 15, 31, 63, 127, 255]
+        .iter()
+        .copied()
+        .filter(|&r| r < ranked.len())
+        .collect();
+    for r in print_ranks {
+        let x = ranked[r];
+        out.row(vec![
+            (r + 1).to_string(),
+            format!("{x:0width$b}", width = n),
+            format!("{:.5}", exact[x]),
+            format!("{:.5}", ideal.probability(x)),
+            format!("{:.5}", gibbs.probability(x)),
+        ]);
+    }
+    out.print();
+
+    // Peakedness summary: mass captured by the top k outcomes.
+    let mut summary = ResultTable::new(
+        "Peakedness: cumulative exact mass of top-k outcomes",
+        &["top_k", "mass"],
+    );
+    let mut acc = 0.0;
+    let mut next_k = 1;
+    for (i, &x) in ranked.iter().enumerate() {
+        acc += exact[x];
+        if i + 1 == next_k {
+            summary.row(vec![next_k.to_string(), format!("{acc:.4}")]);
+            next_k *= 4;
+        }
+    }
+    summary.print();
+    println!("\nShape check: the distribution is sharply peaked — a handful of");
+    println!("bitstrings carry most of the mass, so sampling (panel d) is far");
+    println!("cheaper than tabulating all 2^n probabilities (panel a).");
+}

@@ -1,0 +1,99 @@
+//! Figure 7: sampling error (KL divergence against the exact measurement
+//! distribution) vs number of samples, for Gibbs sampling from the compiled
+//! arithmetic circuit and for ideal (direct) sampling from the fully known
+//! distribution — on (a) a noise-free QAOA circuit and (b) a noisy QAOA
+//! circuit with 0.5% depolarizing after each gate.
+//!
+//! Expected shape (paper §3.3.3): both curves fall with sample count and
+//! converge to the same distribution; Gibbs tracks slightly above ideal
+//! because of MCMC warm-up and mixing.
+
+use qkc_bench::{ResultTable, Scale};
+use qkc_circuit::NoiseChannel;
+use qkc_core::KcSimulator;
+use qkc_densitymatrix::DensityMatrixSimulator;
+use qkc_knowledge::GibbsOptions;
+use qkc_math::{empirical_kl, AliasTable, EmpiricalDistribution};
+use qkc_statevector::StateVectorSimulator;
+use qkc_workloads::{Graph, QaoaMaxCut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sweep(title: &str, exact: &[f64], mut next_gibbs: impl FnMut() -> usize, checkpoints: &[usize]) {
+    let mut table = ResultTable::new(title, &["samples", "kl_gibbs", "kl_ideal"]);
+    let n_outcomes = exact.len();
+    let ideal_table = AliasTable::new(exact).expect("valid distribution");
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut gibbs_emp = EmpiricalDistribution::new(n_outcomes);
+    let mut ideal_emp = EmpiricalDistribution::new(n_outcomes);
+    let mut drawn = 0usize;
+    for &target in checkpoints {
+        while drawn < target {
+            gibbs_emp.record(next_gibbs());
+            ideal_emp.record(ideal_table.sample(&mut rng));
+            drawn += 1;
+        }
+        table.row(vec![
+            target.to_string(),
+            format!("{:.4}", empirical_kl(&gibbs_emp, exact)),
+            format!("{:.4}", empirical_kl(&ideal_emp, exact)),
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let checkpoints: Vec<usize> = scale.pick(
+        vec![1, 10, 100, 1000, 10_000],
+        vec![1, 10, 100, 1000, 10_000, 100_000],
+    );
+
+    // (a) Noise-free QAOA (paper: 16 qubits; quick: 8).
+    let n_ideal = scale.pick(8, 16);
+    let qaoa = QaoaMaxCut::new(Graph::random_regular(n_ideal, 3, 5), 1);
+    let params = qaoa.default_params();
+    let exact = StateVectorSimulator::new()
+        .probabilities(&qaoa.circuit(), &params)
+        .expect("sv");
+    let sim = KcSimulator::compile(&qaoa.circuit(), &Default::default());
+    let bound = sim.bind(&params).expect("bind");
+    let mut sampler = bound.sampler(&GibbsOptions {
+        warmup: 500,
+        seed: 7,
+        ..Default::default()
+    });
+    sweep(
+        &format!("Figure 7(a): {n_ideal}-qubit noise-free QAOA"),
+        &exact,
+        || sampler.sample_outputs(1, 2)[0],
+        &checkpoints,
+    );
+
+    // (b) Noisy QAOA (paper: 8 qubits; quick: 4).
+    let n_noisy = scale.pick(4, 8);
+    let qaoa_n = QaoaMaxCut::new(Graph::random_regular(n_noisy, 3, 6), 1);
+    let noisy = qaoa_n
+        .circuit()
+        .with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005));
+    let params_n = qaoa_n.default_params();
+    let exact_n = DensityMatrixSimulator::new()
+        .probabilities(&noisy, &params_n)
+        .expect("dm");
+    let sim_n = KcSimulator::compile(&noisy, &Default::default());
+    let bound_n = sim_n.bind(&params_n).expect("bind");
+    let mut sampler_n = bound_n.sampler(&GibbsOptions {
+        warmup: 800,
+        seed: 8,
+        ..Default::default()
+    });
+    sweep(
+        &format!("Figure 7(b): {n_noisy}-qubit noisy QAOA (0.5% depolarizing)"),
+        &exact_n,
+        || sampler_n.sample_outputs(1, 2)[0],
+        &checkpoints,
+    );
+
+    println!("\nShape check: both KL curves decrease toward 0 with more samples;");
+    println!("Gibbs sits slightly above ideal sampling (warm-up and mixing cost).");
+}

@@ -1,0 +1,147 @@
+//! Shared harness utilities for the benchmark binaries that regenerate
+//! every table and figure of the paper's evaluation (see DESIGN.md §4 for
+//! the experiment index).
+//!
+//! Each binary prints both a human-readable table and machine-readable CSV
+//! rows. Problem sizes default to laptop scale, like the paper's artifact
+//! appendix; set `QKC_SCALE=paper` (or pass explicit sizes) for the full
+//! sweeps.
+
+use std::time::Instant;
+
+/// How large the benchmark sweeps should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Artifact-appendix scale: minutes on a laptop.
+    Quick,
+    /// Paper scale: may need many cores / much memory.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from `QKC_SCALE` (`paper` or anything else = quick).
+    pub fn from_env() -> Self {
+        match std::env::var("QKC_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks `quick` or `paper` depending on the scale.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats byte counts compactly.
+pub fn fmt_bytes(b: usize) -> String {
+    if b < 1024 {
+        format!("{b} B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1} MB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// A simple aligned-column table writer that doubles as a CSV emitter.
+#[derive(Debug)]
+pub struct ResultTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table followed by CSV lines.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            out
+        };
+        println!("{}", line(&self.header));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        println!("\ncsv,{}", self.header.join(","));
+        for row in &self.rows {
+            println!("csv,{}", row.join(","));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert!(fmt_bytes(2048).contains("KB"));
+        assert!(fmt_secs(0.5).contains("ms"));
+        assert!(fmt_secs(2.0).contains('s'));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_checks_arity() {
+        let mut t = ResultTable::new("t", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,506 @@
+//! The circuit container and its builder interface.
+
+use crate::gate::Gate;
+use crate::noise::NoiseChannel;
+use crate::op::{Operation, PermutationOp};
+use crate::param::{Param, ParamMap};
+use crate::reference;
+use qkc_math::CMatrix;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An ordered sequence of operations on `num_qubits` qubits.
+///
+/// Qubits are indexed `0..num_qubits`; basis-state indices are big-endian
+/// (qubit 0 is the most significant bit), matching Cirq's convention.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::Circuit;
+///
+/// // The noisy Bell-state circuit from Figure 2 of the paper.
+/// let mut c = Circuit::new(2);
+/// c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.num_operations(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "a circuit needs at least one qubit");
+        Self {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// All operations in order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Total number of operations (gates + noise + permutations + measures).
+    pub fn num_operations(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of unitary operations (gates and permutations).
+    pub fn num_gates(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_unitary()).count()
+    }
+
+    /// Number of noise operations.
+    pub fn num_noise_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_noise()).count()
+    }
+
+    /// Number of measurement operations.
+    pub fn num_measurements(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Measure { .. }))
+            .count()
+    }
+
+    /// Circuit depth under greedy moment packing: the length of the longest
+    /// chain of operations sharing qubits.
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            let qs = op.qubits();
+            let d = 1 + qs.iter().map(|&q| frontier[q]).max().unwrap_or(0);
+            for q in qs {
+                frontier[q] = d;
+            }
+            depth = depth.max(d);
+        }
+        depth
+    }
+
+    /// Number of operations touching each qubit — the paper's
+    /// "operations per qubit" metric for wide-shallow circuits.
+    pub fn ops_per_qubit(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_qubits];
+        for op in &self.ops {
+            for q in op.qubits() {
+                counts[q] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Every symbolic parameter name mentioned in the circuit, sorted.
+    pub fn symbols(&self) -> BTreeSet<String> {
+        self.ops
+            .iter()
+            .flat_map(|o| o.symbols())
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Appends an arbitrary operation after validating its qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range, qubits repeat, or the
+    /// operand count does not match the gate arity.
+    pub fn push(&mut self, op: Operation) -> &mut Self {
+        let qs = op.qubits();
+        let expected = match &op {
+            Operation::Gate { gate, .. } => Some(gate.num_qubits()),
+            Operation::Permutation { perm, .. } => Some(perm.num_qubits()),
+            Operation::Diagonal { diag, .. } => Some(diag.num_qubits()),
+            _ => None,
+        };
+        if let Some(e) = expected {
+            assert_eq!(
+                qs.len(),
+                e,
+                "operation {op} expects {e} qubits, got {}",
+                qs.len()
+            );
+        }
+        let mut seen = BTreeSet::new();
+        for &q in &qs {
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range for {}-qubit circuit",
+                self.num_qubits
+            );
+            assert!(seen.insert(q), "operation {op} repeats qubit {q}");
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends a gate.
+    pub fn gate(&mut self, gate: Gate, qubits: impl Into<Vec<usize>>) -> &mut Self {
+        self.push(Operation::Gate {
+            gate,
+            qubits: qubits.into(),
+        })
+    }
+
+    /// Appends a classical permutation.
+    pub fn permutation(
+        &mut self,
+        perm: PermutationOp,
+        qubits: impl Into<Vec<usize>>,
+    ) -> &mut Self {
+        self.push(Operation::Permutation {
+            perm,
+            qubits: qubits.into(),
+        })
+    }
+
+    /// Appends a diagonal phase operation.
+    pub fn diagonal(&mut self, diag: crate::DiagonalOp, qubits: impl Into<Vec<usize>>) -> &mut Self {
+        self.push(Operation::Diagonal {
+            diag,
+            qubits: qubits.into(),
+        })
+    }
+
+    /// Appends a noise operation.
+    pub fn noise(&mut self, channel: NoiseChannel, qubit: usize) -> &mut Self {
+        self.push(Operation::Noise { channel, qubit })
+    }
+
+    /// Appends a computational-basis measurement.
+    pub fn measure(&mut self, qubit: usize) -> &mut Self {
+        self.push(Operation::Measure { qubit })
+    }
+
+    // ---- single-qubit gate shorthands ----
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, [q])
+    }
+
+    /// Appends a Pauli-Y gate.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Y, [q])
+    }
+
+    /// Appends a Pauli-Z gate.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Z, [q])
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, [q])
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::S, [q])
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::T, [q])
+    }
+
+    /// Appends an X-rotation.
+    pub fn rx(&mut self, q: usize, theta: impl Into<Param>) -> &mut Self {
+        self.gate(Gate::Rx(theta.into()), [q])
+    }
+
+    /// Appends a Y-rotation.
+    pub fn ry(&mut self, q: usize, theta: impl Into<Param>) -> &mut Self {
+        self.gate(Gate::Ry(theta.into()), [q])
+    }
+
+    /// Appends a Z-rotation.
+    pub fn rz(&mut self, q: usize, theta: impl Into<Param>) -> &mut Self {
+        self.gate(Gate::Rz(theta.into()), [q])
+    }
+
+    /// Appends a phase gate `diag(1, e^{iθ})`.
+    pub fn phase(&mut self, q: usize, theta: impl Into<Param>) -> &mut Self {
+        self.gate(Gate::Phase(theta.into()), [q])
+    }
+
+    // ---- multi-qubit gate shorthands ----
+
+    /// Appends a CNOT with the given control and target.
+    pub fn cnot(&mut self, control: usize, target: usize) -> &mut Self {
+        self.gate(Gate::Cnot, [control, target])
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Cz, [a, b])
+    }
+
+    /// Appends a controlled phase.
+    pub fn cphase(&mut self, control: usize, target: usize, theta: impl Into<Param>) -> &mut Self {
+        self.gate(Gate::CPhase(theta.into()), [control, target])
+    }
+
+    /// Appends a controlled Rz.
+    pub fn crz(&mut self, control: usize, target: usize, theta: impl Into<Param>) -> &mut Self {
+        self.gate(Gate::CRz(theta.into()), [control, target])
+    }
+
+    /// Appends an Ising `ZZ(θ)` interaction.
+    pub fn zz(&mut self, a: usize, b: usize, theta: impl Into<Param>) -> &mut Self {
+        self.gate(Gate::Zz(theta.into()), [a, b])
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Swap, [a, b])
+    }
+
+    /// Appends a Toffoli gate.
+    pub fn ccx(&mut self, c1: usize, c2: usize, target: usize) -> &mut Self {
+        self.gate(Gate::Ccx, [c1, c2, target])
+    }
+
+    /// Appends a doubly-controlled Z.
+    pub fn ccz(&mut self, a: usize, b: usize, c: usize) -> &mut Self {
+        self.gate(Gate::Ccz, [a, b, c])
+    }
+
+    // ---- noise shorthands ----
+
+    /// Appends bit-flip noise.
+    pub fn bit_flip(&mut self, q: usize, p: f64) -> &mut Self {
+        self.noise(NoiseChannel::bit_flip(p), q)
+    }
+
+    /// Appends phase-flip noise.
+    pub fn phase_flip(&mut self, q: usize, p: f64) -> &mut Self {
+        self.noise(NoiseChannel::phase_flip(p), q)
+    }
+
+    /// Appends symmetric depolarizing noise.
+    pub fn depolarize(&mut self, q: usize, p: f64) -> &mut Self {
+        self.noise(NoiseChannel::depolarizing(p), q)
+    }
+
+    /// Appends amplitude-damping noise.
+    pub fn amplitude_damp(&mut self, q: usize, gamma: f64) -> &mut Self {
+        self.noise(NoiseChannel::amplitude_damping(gamma), q)
+    }
+
+    /// Appends phase-damping noise.
+    pub fn phase_damp(&mut self, q: usize, gamma: f64) -> &mut Self {
+        self.noise(NoiseChannel::phase_damping(gamma), q)
+    }
+
+    /// Returns a copy with `channel` inserted on every qubit touched by each
+    /// unitary operation, immediately after it — the paper's benchmark noise
+    /// model ("0.5% depolarizing after each gate", §4.2).
+    pub fn with_noise_after_each_gate(&self, channel: &NoiseChannel) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for op in &self.ops {
+            out.ops.push(op.clone());
+            if op.is_unitary() {
+                for q in op.qubits() {
+                    out.ops.push(Operation::Noise {
+                        channel: channel.clone(),
+                        qubit: q,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the circuit contains noise or measurement
+    /// operations (and therefore has no single overall unitary).
+    pub fn is_noisy(&self) -> bool {
+        self.ops.iter().any(|o| !o.is_unitary())
+    }
+
+    /// The full `2^n × 2^n` unitary of a noise-free circuit, built by the
+    /// reference simulator. Intended for validation on small `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotUnitary`] if the circuit contains noise or
+    /// measurements, or [`CircuitError::Unbound`] if a symbol is missing
+    /// from `params`.
+    pub fn unitary(&self, params: &ParamMap) -> Result<CMatrix, CircuitError> {
+        if self.is_noisy() {
+            return Err(CircuitError::NotUnitary);
+        }
+        let dim = 1usize << self.num_qubits;
+        let mut u = CMatrix::identity(dim);
+        for op in &self.ops {
+            let full = match op {
+                Operation::Gate { gate, qubits } => reference::embed_unitary(
+                    &gate.unitary(params).map_err(CircuitError::Unbound)?,
+                    qubits,
+                    self.num_qubits,
+                ),
+                Operation::Permutation { perm, qubits } => reference::embed_unitary(
+                    &reference::permutation_unitary(perm),
+                    qubits,
+                    self.num_qubits,
+                ),
+                Operation::Diagonal { diag, qubits } => reference::embed_unitary(
+                    &reference::diagonal_unitary(diag),
+                    qubits,
+                    self.num_qubits,
+                ),
+                _ => unreachable!("noisy ops rejected above"),
+            };
+            u = &full * &u;
+        }
+        Ok(u)
+    }
+}
+
+/// Errors from whole-circuit queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The circuit contains noise or measurement and has no unitary.
+    NotUnitary,
+    /// A symbolic parameter was unbound.
+    Unbound(crate::param::UnboundParam),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::NotUnitary => {
+                write!(f, "circuit contains noise or measurement operations")
+            }
+            CircuitError::Unbound(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Circuit({} qubits, {} ops)", self.num_qubits, self.ops.len())?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_math::{Complex, C_ONE};
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).depolarize(1, 0.01).measure(2);
+        assert_eq!(c.num_operations(), 4);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_noise_ops(), 1);
+        assert_eq!(c.num_measurements(), 1);
+        assert!(c.is_noisy());
+    }
+
+    #[test]
+    fn depth_packs_parallel_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3); // all parallel: depth 1
+        assert_eq!(c.depth(), 1);
+        c.cnot(0, 1).cnot(2, 3); // parallel pair: depth 2
+        assert_eq!(c.depth(), 2);
+        c.cnot(1, 2); // chains across both pairs: depth 3
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn ops_per_qubit_counts_touches() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).z(1);
+        assert_eq!(c.ops_per_qubit(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_qubit_panics() {
+        Circuit::new(2).h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats qubit")]
+    fn repeated_qubit_panics() {
+        Circuit::new(2).cnot(1, 1);
+    }
+
+    #[test]
+    fn bell_circuit_unitary() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let u = c.unitary(&ParamMap::new()).unwrap();
+        // Column 0 is the Bell state (|00> + |11>)/√2.
+        let s = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        assert!(u[(0, 0)].approx_eq(s, 1e-12));
+        assert!(u[(3, 0)].approx_eq(s, 1e-12));
+        assert!(u[(1, 0)].approx_eq(qkc_math::C_ZERO, 1e-12));
+    }
+
+    #[test]
+    fn unitary_rejects_noisy_circuit() {
+        let mut c = Circuit::new(1);
+        c.h(0).bit_flip(0, 0.1);
+        assert_eq!(c.unitary(&ParamMap::new()), Err(CircuitError::NotUnitary));
+    }
+
+    #[test]
+    fn noise_insertion_after_each_gate() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let noisy = c.with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005));
+        // H -> 1 noise op; CNOT -> 2 noise ops.
+        assert_eq!(noisy.num_noise_ops(), 3);
+        assert_eq!(noisy.num_gates(), 2);
+        // Noise directly follows its gate.
+        assert!(noisy.operations()[1].is_noise());
+    }
+
+    #[test]
+    fn symbols_are_collected_sorted() {
+        let mut c = Circuit::new(2);
+        c.rz(0, Param::symbol("gamma"))
+            .rx(1, Param::symbol("beta"))
+            .rz(1, Param::symbol("gamma"));
+        let syms: Vec<String> = c.symbols().into_iter().collect();
+        assert_eq!(syms, vec!["beta".to_string(), "gamma".to_string()]);
+    }
+
+    #[test]
+    fn swap_unitary_via_permutation_matches_gate() {
+        let mut a = Circuit::new(2);
+        a.swap(0, 1);
+        let mut b = Circuit::new(2);
+        b.cnot(0, 1).cnot(1, 0).cnot(0, 1);
+        let ua = a.unitary(&ParamMap::new()).unwrap();
+        let ub = b.unitary(&ParamMap::new()).unwrap();
+        assert!(ua.approx_eq(&ub, 1e-12));
+        assert_eq!(ua[(0, 0)], C_ONE);
+    }
+}

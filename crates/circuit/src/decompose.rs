@@ -1,0 +1,269 @@
+//! Gate decompositions into elementary gate sets.
+//!
+//! The paper counts circuit size in elementary operations (Table 4's
+//! `# gates`, §2.3's "operations per qubit"); oracle-level constructs must
+//! decompose before such accounting. This module provides the standard
+//! textbook decompositions — SWAP into three CNOTs, Toffoli into the
+//! {H, T, CNOT} network, controlled rotations into two-gate conjugations —
+//! and a whole-circuit rewriting pass.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::op::Operation;
+use crate::param::Param;
+
+/// Elementary gate sets to decompose into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateSet {
+    /// One- and two-qubit gates only (three-qubit gates are expanded).
+    TwoQubit,
+    /// Clifford+T plus arbitrary one-qubit rotations: CNOT is the only
+    /// multi-qubit gate left.
+    CnotPlusSingle,
+}
+
+impl Circuit {
+    /// Rewrites every gate outside `set` into gates inside it. Noise,
+    /// measurement, permutation, and diagonal oracle operations pass
+    /// through unchanged (decompose oracles at construction time if
+    /// elementary counting is needed).
+    ///
+    /// The rewritten circuit computes the same unitary (up to global
+    /// phase; exactly, for the decompositions used here).
+    pub fn decomposed(&self, set: GateSet) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits());
+        for op in self.operations() {
+            match op {
+                Operation::Gate { gate, qubits } => decompose_gate(&mut out, gate, qubits, set),
+                other => {
+                    out.push(other.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn decompose_gate(out: &mut Circuit, gate: &Gate, qubits: &[usize], set: GateSet) {
+    match (gate, set) {
+        // Already elementary in every target set.
+        (g, _) if g.num_qubits() == 1 => {
+            out.gate(g.clone(), qubits.to_vec());
+        }
+        (Gate::Cnot, _) => {
+            out.cnot(qubits[0], qubits[1]);
+        }
+        // Two-qubit gates allowed unless we are in CNOT+single.
+        (Gate::Cz, GateSet::TwoQubit)
+        | (Gate::CPhase(_), GateSet::TwoQubit)
+        | (Gate::Zz(_), GateSet::TwoQubit)
+        | (Gate::CRz(_), GateSet::TwoQubit) => {
+            out.gate(gate.clone(), qubits.to_vec());
+        }
+        (Gate::Swap, GateSet::TwoQubit) => {
+            out.gate(Gate::Swap, qubits.to_vec());
+        }
+        // CZ = H(t) CNOT H(t).
+        (Gate::Cz, GateSet::CnotPlusSingle) => {
+            let (c, t) = (qubits[0], qubits[1]);
+            out.h(t).cnot(c, t).h(t);
+        }
+        // SWAP = 3 CNOTs.
+        (Gate::Swap, GateSet::CnotPlusSingle) => {
+            let (a, b) = (qubits[0], qubits[1]);
+            out.cnot(a, b).cnot(b, a).cnot(a, b);
+        }
+        // Controlled-phase via two CNOTs and three Rz-like phases:
+        // CP(θ) = P(θ/2)⊗I · CNOT · I⊗P(-θ/2) · CNOT · I⊗P(θ/2).
+        (Gate::CPhase(p), GateSet::CnotPlusSingle) => {
+            let (c, t) = (qubits[0], qubits[1]);
+            let half = halve(p);
+            let neg_half = negate(&half);
+            out.phase(c, half.clone());
+            out.cnot(c, t);
+            out.phase(t, neg_half);
+            out.cnot(c, t);
+            out.phase(t, half);
+        }
+        // CRz(θ) = Rz(θ/2)(t) · CNOT · Rz(-θ/2)(t) · CNOT.
+        (Gate::CRz(p), GateSet::CnotPlusSingle) => {
+            let (c, t) = (qubits[0], qubits[1]);
+            let half = halve(p);
+            let neg_half = negate(&half);
+            out.rz(t, half);
+            out.cnot(c, t);
+            out.rz(t, neg_half);
+            out.cnot(c, t);
+        }
+        // ZZ(θ) = CNOT · Rz(θ)(t) · CNOT.
+        (Gate::Zz(p), GateSet::CnotPlusSingle) => {
+            let (a, b) = (qubits[0], qubits[1]);
+            out.cnot(a, b);
+            out.rz(b, p.clone());
+            out.cnot(a, b);
+        }
+        // Toffoli: the standard 6-CNOT, 7-T network.
+        (Gate::Ccx, _) => {
+            let (a, b, c) = (qubits[0], qubits[1], qubits[2]);
+            out.h(c);
+            out.cnot(b, c);
+            out.gate(Gate::Tdg, [c]);
+            out.cnot(a, c);
+            out.t(c);
+            out.cnot(b, c);
+            out.gate(Gate::Tdg, [c]);
+            out.cnot(a, c);
+            out.t(b);
+            out.t(c);
+            out.h(c);
+            out.cnot(a, b);
+            out.t(a);
+            out.gate(Gate::Tdg, [b]);
+            out.cnot(a, b);
+        }
+        // CCZ = H(t) · CCX · H(t).
+        (Gate::Ccz, set) => {
+            let t = qubits[2];
+            out.h(t);
+            decompose_gate(out, &Gate::Ccx, qubits, set);
+            out.h(t);
+        }
+        // CSWAP = CNOT(b→a') sandwich around a Toffoli.
+        (Gate::Cswap, set) => {
+            let (c, a, b) = (qubits[0], qubits[1], qubits[2]);
+            out.cnot(b, a);
+            decompose_gate(out, &Gate::Ccx, &[c, a, b], set);
+            out.cnot(b, a);
+        }
+        (g, _) => {
+            // Remaining two-qubit gates are elementary for TwoQubit.
+            out.gate(g.clone(), qubits.to_vec());
+        }
+    }
+}
+
+fn halve(p: &Param) -> Param {
+    match p {
+        Param::Const(v) => Param::Const(v / 2.0),
+        Param::Sym(_) => panic!(
+            "cannot decompose a symbolically parameterized controlled phase; \
+             bind parameters first or keep the gate elementary"
+        ),
+    }
+}
+
+fn negate(p: &Param) -> Param {
+    match p {
+        Param::Const(v) => Param::Const(-v),
+        Param::Sym(_) => unreachable!("halve already rejected symbols"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamMap;
+
+    /// The decomposed circuit must compute the same unitary, up to a global
+    /// phase.
+    fn assert_equivalent(original: &Circuit, set: GateSet) {
+        let params = ParamMap::new();
+        let u = original.unitary(&params).unwrap();
+        let d = original.decomposed(set);
+        let v = d.unitary(&params).unwrap();
+        // Find the global phase from the first nonzero entry.
+        let dim = u.rows();
+        let mut phase = None;
+        'outer: for r in 0..dim {
+            for c in 0..dim {
+                if u[(r, c)].norm() > 1e-9 {
+                    phase = Some(v[(r, c)] / u[(r, c)]);
+                    break 'outer;
+                }
+            }
+        }
+        let phase = phase.expect("nonzero unitary");
+        assert!(
+            (phase.norm() - 1.0).abs() < 1e-9,
+            "global factor must be a phase"
+        );
+        for r in 0..dim {
+            for c in 0..dim {
+                assert!(
+                    (u[(r, c)] * phase).approx_eq(v[(r, c)], 1e-9),
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_network_is_exact() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        assert_equivalent(&c, GateSet::TwoQubit);
+        assert_equivalent(&c, GateSet::CnotPlusSingle);
+    }
+
+    #[test]
+    fn swap_and_cz_decompose() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).cz(0, 1);
+        assert_equivalent(&c, GateSet::CnotPlusSingle);
+        let d = c.decomposed(GateSet::CnotPlusSingle);
+        // 3 CNOTs + (H, CNOT, H).
+        assert_eq!(d.num_gates(), 6);
+    }
+
+    #[test]
+    fn controlled_phases_decompose() {
+        let mut c = Circuit::new(2);
+        c.cphase(0, 1, 0.9).crz(0, 1, -1.3).zz(0, 1, 0.4);
+        assert_equivalent(&c, GateSet::CnotPlusSingle);
+    }
+
+    #[test]
+    fn ccz_and_cswap_decompose() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        c.gate(Gate::Cswap, [0, 1, 2]);
+        assert_equivalent(&c, GateSet::TwoQubit);
+        assert_equivalent(&c, GateSet::CnotPlusSingle);
+    }
+
+    #[test]
+    fn mixed_circuit_preserves_semantics_and_counts_grow() {
+        let mut c = Circuit::new(3);
+        c.h(0).ccx(0, 1, 2).swap(1, 2).cz(0, 2).t(1);
+        assert_equivalent(&c, GateSet::CnotPlusSingle);
+        let d = c.decomposed(GateSet::CnotPlusSingle);
+        assert!(d.num_gates() > c.num_gates());
+        // Everything is now 1- or 2-qubit CNOT.
+        for op in d.operations() {
+            if let Operation::Gate { gate, .. } = op {
+                assert!(
+                    gate.num_qubits() == 1 || matches!(gate, Gate::Cnot),
+                    "unexpected gate {gate}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_and_measurement_pass_through() {
+        let mut c = Circuit::new(3);
+        c.h(0).depolarize(0, 0.01).ccx(0, 1, 2).measure(1);
+        let d = c.decomposed(GateSet::TwoQubit);
+        assert_eq!(d.num_noise_ops(), 1);
+        assert_eq!(d.num_measurements(), 1);
+        assert!(d.num_gates() > c.num_gates());
+    }
+
+    #[test]
+    #[should_panic(expected = "symbolically parameterized")]
+    fn symbolic_controlled_phase_is_rejected() {
+        let mut c = Circuit::new(2);
+        c.cphase(0, 1, Param::symbol("x"));
+        c.decomposed(GateSet::CnotPlusSingle);
+    }
+}

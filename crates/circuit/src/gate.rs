@@ -1,0 +1,518 @@
+//! Quantum gates and their unitary matrices.
+//!
+//! The gate set covers everything the paper's workloads use: the standard
+//! one-qubit Cliffords and rotations, controlled gates, diagonal interaction
+//! gates for QAOA/VQE, and three-qubit controlled gates for oracle circuits.
+//!
+//! Each gate reports a [`GateLayout`] describing its algebraic shape. The
+//! Bayesian-network front-end (crate `qkc-bayesnet`) uses the layout to pick
+//! the node-creation rule from §3.1.1 of the paper: dense single-qubit gates
+//! become one dense conditional amplitude table; controlled gates create a
+//! node only for the target; diagonal gates create a node for one designated
+//! qubit; classical permutations create deterministic nodes.
+
+use crate::param::{Param, ParamMap, UnboundParam};
+use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO, FRAC_1_SQRT_2};
+use std::fmt;
+
+/// A quantum gate (without target qubits; see
+/// [`Operation`](crate::Operation) for a gate applied to qubits).
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::{Gate, ParamMap};
+///
+/// let u = Gate::H.unitary(&ParamMap::new()).unwrap();
+/// assert!(u.is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg,
+    /// `T = diag(1, e^{iπ/4})`.
+    T,
+    /// `T† = diag(1, e^{-iπ/4})`.
+    Tdg,
+    /// Square root of X.
+    SqrtX,
+    /// Square root of Y.
+    SqrtY,
+    /// Rotation about X: `Rx(θ) = e^{-iθX/2}`.
+    Rx(Param),
+    /// Rotation about Y: `Ry(θ) = e^{-iθY/2}`.
+    Ry(Param),
+    /// Rotation about Z: `Rz(θ) = e^{-iθZ/2}`.
+    Rz(Param),
+    /// Phase rotation `diag(1, e^{iθ})`.
+    Phase(Param),
+    /// Controlled-NOT; qubit order is `(control, target)`.
+    Cnot,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Controlled phase `diag(1, 1, 1, e^{iθ})`.
+    CPhase(Param),
+    /// Ising interaction `ZZ(θ) = e^{-i(θ/2)·Z⊗Z}`
+    /// `= diag(e^{-iθ/2}, e^{iθ/2}, e^{iθ/2}, e^{-iθ/2})`.
+    Zz(Param),
+    /// Swap two qubits.
+    Swap,
+    /// Toffoli; qubit order is `(control, control, target)`.
+    Ccx,
+    /// Doubly-controlled Z (symmetric).
+    Ccz,
+    /// Controlled swap (Fredkin); qubit order is `(control, a, b)`.
+    Cswap,
+    /// Controlled `Rz`; qubit order is `(control, target)`. Used by the
+    /// quantum Fourier transform.
+    CRz(Param),
+}
+
+/// The algebraic shape of a gate, driving the Bayesian-network translation
+/// rule (§3.1.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateLayout {
+    /// Dense 2×2 unitary on one qubit: one new BN node with one parent.
+    Single,
+    /// Diagonal in the computational basis on any number of qubits: one new
+    /// BN node for the *last* qubit with every involved qubit as parent.
+    Diagonal,
+    /// `controls` control qubits followed by one target carrying a 2×2
+    /// block: one new BN node for the target.
+    ControlledSingle {
+        /// Number of leading control qubits.
+        controls: usize,
+    },
+    /// A classical permutation of basis states (0/1 entries): one new
+    /// deterministic BN node per involved qubit.
+    Permutation,
+}
+
+impl Gate {
+    /// Number of qubits this gate acts on.
+    pub fn num_qubits(&self) -> usize {
+        use Gate::*;
+        match self {
+            I | X | Y | Z | H | S | Sdg | T | Tdg | SqrtX | SqrtY | Rx(_) | Ry(_) | Rz(_)
+            | Phase(_) => 1,
+            Cnot | Cz | CPhase(_) | Zz(_) | Swap | CRz(_) => 2,
+            Ccx | Ccz | Cswap => 3,
+        }
+    }
+
+    /// The structural layout used by the BN front-end.
+    pub fn layout(&self) -> GateLayout {
+        use Gate::*;
+        match self {
+            I | X | Y | Z | H | S | Sdg | T | Tdg | SqrtX | SqrtY | Rx(_) | Ry(_) | Rz(_)
+            | Phase(_) => GateLayout::Single,
+            Cnot | CRz(_) => GateLayout::ControlledSingle { controls: 1 },
+            Ccx => GateLayout::ControlledSingle { controls: 2 },
+            Cz | CPhase(_) | Zz(_) | Ccz => GateLayout::Diagonal,
+            Swap | Cswap => GateLayout::Permutation,
+        }
+    }
+
+    /// The symbolic parameters mentioned by this gate, if any.
+    pub fn symbols(&self) -> Vec<&str> {
+        use Gate::*;
+        match self {
+            Rx(p) | Ry(p) | Rz(p) | Phase(p) | CPhase(p) | Zz(p) | CRz(p) => {
+                p.symbol_name().into_iter().collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Returns `true` if this gate depends on at least one symbol.
+    pub fn is_parameterized(&self) -> bool {
+        !self.symbols().is_empty()
+    }
+
+    /// The 2×2 block applied to the target when all controls are set, for
+    /// [`GateLayout::ControlledSingle`] gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a symbolic parameter is unbound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not `ControlledSingle`.
+    pub fn controlled_block(&self, params: &ParamMap) -> Result<CMatrix, UnboundParam> {
+        match self {
+            Gate::Cnot | Gate::Ccx => Ok(Gate::X.unitary(params)?),
+            Gate::CRz(p) => Gate::Rz(p.clone()).unitary(params),
+            other => panic!("{other} has no controlled-single block"),
+        }
+    }
+
+    /// The full `2^k × 2^k` unitary matrix of this gate.
+    ///
+    /// Qubit order follows the gate's argument order, first qubit most
+    /// significant (Cirq's big-endian convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a symbolic parameter is unbound in `params`.
+    pub fn unitary(&self, params: &ParamMap) -> Result<CMatrix, UnboundParam> {
+        use Gate::*;
+        let c = Complex::real;
+        let m2 = |a, b, cc, d| CMatrix::from_rows(2, 2, vec![a, b, cc, d]);
+        Ok(match self {
+            I => CMatrix::identity(2),
+            X => m2(C_ZERO, C_ONE, C_ONE, C_ZERO),
+            Y => m2(C_ZERO, Complex::imag(-1.0), Complex::imag(1.0), C_ZERO),
+            Z => m2(C_ONE, C_ZERO, C_ZERO, -C_ONE),
+            H => m2(
+                c(FRAC_1_SQRT_2),
+                c(FRAC_1_SQRT_2),
+                c(FRAC_1_SQRT_2),
+                c(-FRAC_1_SQRT_2),
+            ),
+            S => m2(C_ONE, C_ZERO, C_ZERO, Complex::imag(1.0)),
+            Sdg => m2(C_ONE, C_ZERO, C_ZERO, Complex::imag(-1.0)),
+            T => m2(
+                C_ONE,
+                C_ZERO,
+                C_ZERO,
+                Complex::cis(std::f64::consts::FRAC_PI_4),
+            ),
+            Tdg => m2(
+                C_ONE,
+                C_ZERO,
+                C_ZERO,
+                Complex::cis(-std::f64::consts::FRAC_PI_4),
+            ),
+            SqrtX => {
+                let a = Complex::new(0.5, 0.5);
+                let b = Complex::new(0.5, -0.5);
+                m2(a, b, b, a)
+            }
+            SqrtY => {
+                let a = Complex::new(0.5, 0.5);
+                m2(a, -a, a, a)
+            }
+            Rx(p) => {
+                let t = p.resolve(params)? / 2.0;
+                m2(
+                    c(t.cos()),
+                    Complex::imag(-t.sin()),
+                    Complex::imag(-t.sin()),
+                    c(t.cos()),
+                )
+            }
+            Ry(p) => {
+                let t = p.resolve(params)? / 2.0;
+                m2(c(t.cos()), c(-t.sin()), c(t.sin()), c(t.cos()))
+            }
+            Rz(p) => {
+                let t = p.resolve(params)? / 2.0;
+                m2(Complex::cis(-t), C_ZERO, C_ZERO, Complex::cis(t))
+            }
+            Phase(p) => {
+                let t = p.resolve(params)?;
+                m2(C_ONE, C_ZERO, C_ZERO, Complex::cis(t))
+            }
+            Cnot => permutation_matrix(&[0, 1, 3, 2]),
+            Cz => diagonal_matrix(&[C_ONE, C_ONE, C_ONE, -C_ONE]),
+            CPhase(p) => {
+                let t = p.resolve(params)?;
+                diagonal_matrix(&[C_ONE, C_ONE, C_ONE, Complex::cis(t)])
+            }
+            Zz(p) => {
+                let t = p.resolve(params)? / 2.0;
+                let lo = Complex::cis(-t);
+                let hi = Complex::cis(t);
+                diagonal_matrix(&[lo, hi, hi, lo])
+            }
+            Swap => permutation_matrix(&[0, 2, 1, 3]),
+            Ccx => permutation_matrix(&[0, 1, 2, 3, 4, 5, 7, 6]),
+            Ccz => {
+                let mut d = vec![C_ONE; 8];
+                d[7] = -C_ONE;
+                diagonal_matrix(&d)
+            }
+            Cswap => permutation_matrix(&[0, 1, 2, 3, 4, 6, 5, 7]),
+            CRz(p) => {
+                let t = p.resolve(params)? / 2.0;
+                diagonal_matrix(&[C_ONE, C_ONE, Complex::cis(-t), Complex::cis(t)])
+            }
+        })
+    }
+
+    /// The diagonal of the gate's unitary, for [`GateLayout::Diagonal`]
+    /// gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a symbolic parameter is unbound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not diagonal.
+    pub fn diagonal(&self, params: &ParamMap) -> Result<Vec<Complex>, UnboundParam> {
+        assert_eq!(
+            self.layout(),
+            GateLayout::Diagonal,
+            "{self} is not a diagonal gate"
+        );
+        let u = self.unitary(params)?;
+        Ok((0..u.rows()).map(|i| u[(i, i)]).collect())
+    }
+
+    /// The basis-state permutation computed by this gate, for
+    /// [`GateLayout::Permutation`] gates: `result[input] = output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not a classical permutation.
+    pub fn permutation(&self) -> Vec<usize> {
+        match self {
+            Gate::Swap => vec![0, 2, 1, 3],
+            Gate::Cswap => vec![0, 1, 2, 3, 4, 6, 5, 7],
+            other => panic!("{other} is not a classical permutation gate"),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Gate::*;
+        match self {
+            I => write!(f, "I"),
+            X => write!(f, "X"),
+            Y => write!(f, "Y"),
+            Z => write!(f, "Z"),
+            H => write!(f, "H"),
+            S => write!(f, "S"),
+            Sdg => write!(f, "S†"),
+            T => write!(f, "T"),
+            Tdg => write!(f, "T†"),
+            SqrtX => write!(f, "X^½"),
+            SqrtY => write!(f, "Y^½"),
+            Rx(p) => write!(f, "Rx({p})"),
+            Ry(p) => write!(f, "Ry({p})"),
+            Rz(p) => write!(f, "Rz({p})"),
+            Phase(p) => write!(f, "P({p})"),
+            Cnot => write!(f, "CNOT"),
+            Cz => write!(f, "CZ"),
+            CPhase(p) => write!(f, "CP({p})"),
+            Zz(p) => write!(f, "ZZ({p})"),
+            Swap => write!(f, "SWAP"),
+            Ccx => write!(f, "CCX"),
+            Ccz => write!(f, "CCZ"),
+            Cswap => write!(f, "CSWAP"),
+            CRz(p) => write!(f, "CRz({p})"),
+        }
+    }
+}
+
+/// Builds the unitary of a basis-state permutation: column `i` has a single
+/// one in row `perm[i]`.
+fn permutation_matrix(perm: &[usize]) -> CMatrix {
+    let n = perm.len();
+    let mut m = CMatrix::zeros(n, n);
+    for (input, &output) in perm.iter().enumerate() {
+        m[(output, input)] = C_ONE;
+    }
+    m
+}
+
+/// Builds a diagonal matrix from its diagonal entries.
+fn diagonal_matrix(diag: &[Complex]) -> CMatrix {
+    let n = diag.len();
+    let mut m = CMatrix::zeros(n, n);
+    for (i, &d) in diag.iter().enumerate() {
+        m[(i, i)] = d;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_fixed_gates() -> Vec<Gate> {
+        use Gate::*;
+        vec![
+            I, X, Y, Z, H, S, Sdg, T, Tdg, SqrtX, SqrtY, Cnot, Cz, Swap, Ccx, Ccz, Cswap,
+        ]
+    }
+
+    fn all_param_gates(theta: f64) -> Vec<Gate> {
+        use Gate::*;
+        let p = Param::from(theta);
+        vec![
+            Rx(p.clone()),
+            Ry(p.clone()),
+            Rz(p.clone()),
+            Phase(p.clone()),
+            CPhase(p.clone()),
+            Zz(p.clone()),
+            CRz(p),
+        ]
+    }
+
+    #[test]
+    fn every_gate_is_unitary() {
+        let empty = ParamMap::new();
+        for g in all_fixed_gates()
+            .into_iter()
+            .chain(all_param_gates(0.37))
+        {
+            let u = g.unitary(&empty).unwrap();
+            assert!(u.is_unitary(1e-12), "{g} is not unitary");
+            assert_eq!(u.rows(), 1 << g.num_qubits(), "{g} has wrong dimension");
+        }
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_paulis() {
+        let empty = ParamMap::new();
+        let sx = Gate::SqrtX.unitary(&empty).unwrap();
+        let x = Gate::X.unitary(&empty).unwrap();
+        assert!((&sx * &sx).approx_eq(&x, 1e-12));
+        let sy = Gate::SqrtY.unitary(&empty).unwrap();
+        let y = Gate::Y.unitary(&empty).unwrap();
+        assert!((&sy * &sy).approx_eq(&y, 1e-12));
+    }
+
+    #[test]
+    fn s_and_t_relate_to_phase() {
+        let empty = ParamMap::new();
+        let s = Gate::S.unitary(&empty).unwrap();
+        let p = Gate::Phase(Param::from(std::f64::consts::FRAC_PI_2))
+            .unitary(&empty)
+            .unwrap();
+        assert!(s.approx_eq(&p, 1e-12));
+        let t = Gate::T.unitary(&empty).unwrap();
+        assert!((&t * &t).approx_eq(&s, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_conjugates_z_to_x() {
+        let empty = ParamMap::new();
+        let h = Gate::H.unitary(&empty).unwrap();
+        let z = Gate::Z.unitary(&empty).unwrap();
+        let x = Gate::X.unitary(&empty).unwrap();
+        assert!((&(&h * &z) * &h).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        let u = Gate::Cnot.unitary(&ParamMap::new()).unwrap();
+        // |10> -> |11>, |11> -> |10>, others fixed.
+        assert_eq!(u[(3, 2)], C_ONE);
+        assert_eq!(u[(2, 3)], C_ONE);
+        assert_eq!(u[(0, 0)], C_ONE);
+        assert_eq!(u[(1, 1)], C_ONE);
+    }
+
+    #[test]
+    fn zz_is_diagonal_ising_coupling() {
+        let theta = 0.81;
+        let u = Gate::Zz(Param::from(theta))
+            .unitary(&ParamMap::new())
+            .unwrap();
+        assert!(u.is_diagonal(1e-15));
+        assert!(u[(0, 0)].approx_eq(Complex::cis(-theta / 2.0), 1e-12));
+        assert!(u[(1, 1)].approx_eq(Complex::cis(theta / 2.0), 1e-12));
+        assert!(u[(3, 3)].approx_eq(Complex::cis(-theta / 2.0), 1e-12));
+    }
+
+    #[test]
+    fn layouts_match_matrix_structure() {
+        let empty = ParamMap::new();
+        for g in all_fixed_gates().into_iter().chain(all_param_gates(0.53)) {
+            let u = g.unitary(&empty).unwrap();
+            match g.layout() {
+                GateLayout::Single => assert_eq!(u.rows(), 2, "{g}"),
+                GateLayout::Diagonal => assert!(u.is_diagonal(1e-12), "{g}"),
+                GateLayout::Permutation => {
+                    assert!(u.is_monomial(1e-12), "{g}");
+                    let perm = g.permutation();
+                    for (i, &p) in perm.iter().enumerate() {
+                        assert_eq!(u[(p, i)], C_ONE, "{g} perm mismatch at {i}");
+                    }
+                }
+                GateLayout::ControlledSingle { controls } => {
+                    // Identity on every block where a control is 0.
+                    let dim = u.rows();
+                    let block = dim >> controls;
+                    assert_eq!(block, 2, "{g}");
+                    for r in 0..dim - 2 {
+                        for c in 0..dim - 2 {
+                            let expect = if r == c { C_ONE } else { C_ZERO };
+                            assert!(u[(r, c)].approx_eq(expect, 1e-12), "{g} at ({r},{c})");
+                        }
+                    }
+                    let blk = g.controlled_block(&empty).unwrap();
+                    for r in 0..2 {
+                        for c in 0..2 {
+                            assert!(
+                                u[(dim - 2 + r, dim - 2 + c)].approx_eq(blk[(r, c)], 1e-12),
+                                "{g} block mismatch"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_gate_reports_symbols_and_errors() {
+        let g = Gate::Rz(Param::symbol("beta"));
+        assert_eq!(g.symbols(), vec!["beta"]);
+        assert!(g.is_parameterized());
+        assert!(g.unitary(&ParamMap::new()).is_err());
+        let mut m = ParamMap::new();
+        m.bind("beta", 1.0);
+        assert!(g.unitary(&m).is_ok());
+    }
+
+    #[test]
+    fn rotation_composition_adds_angles() {
+        let empty = ParamMap::new();
+        let a = Gate::Rz(Param::from(0.3)).unitary(&empty).unwrap();
+        let b = Gate::Rz(Param::from(0.4)).unitary(&empty).unwrap();
+        let ab = Gate::Rz(Param::from(0.7)).unitary(&empty).unwrap();
+        assert!((&a * &b).approx_eq(&ab, 1e-12));
+    }
+
+    proptest! {
+        #[test]
+        fn parameterized_gates_stay_unitary(theta in -10.0..10.0f64) {
+            let empty = ParamMap::new();
+            for g in all_param_gates(theta) {
+                prop_assert!(g.unitary(&empty).unwrap().is_unitary(1e-10));
+            }
+        }
+
+        #[test]
+        fn rx_matches_exponential_form(theta in -6.0..6.0f64) {
+            // Rx(θ) = cos(θ/2) I - i sin(θ/2) X
+            let empty = ParamMap::new();
+            let rx = Gate::Rx(Param::from(theta)).unitary(&empty).unwrap();
+            let x = Gate::X.unitary(&empty).unwrap();
+            let id = CMatrix::identity(2);
+            let want = &id.scale(Complex::real((theta / 2.0).cos()))
+                + &x.scale(Complex::imag(-(theta / 2.0).sin()));
+            prop_assert!(rx.approx_eq(&want, 1e-10));
+        }
+    }
+}

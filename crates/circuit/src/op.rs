@@ -1,0 +1,367 @@
+//! Circuit operations: gates, noise, classical permutations, measurements.
+
+use crate::gate::Gate;
+use crate::noise::NoiseChannel;
+use std::fmt;
+use std::sync::Arc;
+
+/// A classical reversible function on `k` qubits, given as a bijective
+/// lookup table over basis states.
+///
+/// Oracle-style subroutines — Deutsch–Jozsa/Bernstein–Vazirani oracles,
+/// Simon functions, Grover marking, modular arithmetic in Shor's algorithm —
+/// are permutations of computational basis states. Encoding them directly
+/// (instead of decomposing to Toffoli networks) keeps circuits small and maps
+/// to fully deterministic Bayesian-network nodes.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::PermutationOp;
+///
+/// // A 2-qubit increment mod 4.
+/// let inc = PermutationOp::new("inc", vec![1, 2, 3, 0]).unwrap();
+/// assert_eq!(inc.apply(3), 0);
+/// assert_eq!(inc.num_qubits(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutationOp {
+    name: Arc<str>,
+    table: Arc<[usize]>,
+    num_qubits: usize,
+}
+
+impl PermutationOp {
+    /// Creates a permutation from its lookup table `table[input] = output`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table length is not a power of two or the
+    /// table is not a bijection.
+    pub fn new(name: impl AsRef<str>, table: Vec<usize>) -> Result<Self, InvalidPermutation> {
+        let len = table.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(InvalidPermutation {
+                reason: format!("table length {len} is not a power of two"),
+            });
+        }
+        let mut seen = vec![false; len];
+        for &out in &table {
+            if out >= len || seen[out] {
+                return Err(InvalidPermutation {
+                    reason: format!("table is not a bijection (output {out})"),
+                });
+            }
+            seen[out] = true;
+        }
+        Ok(Self {
+            name: Arc::from(name.as_ref()),
+            num_qubits: len.trailing_zeros() as usize,
+            table: table.into(),
+        })
+    }
+
+    /// Builds a permutation from a bijective function over `0..2^k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `f` is not a bijection.
+    pub fn from_fn(
+        name: impl AsRef<str>,
+        num_qubits: usize,
+        f: impl Fn(usize) -> usize,
+    ) -> Result<Self, InvalidPermutation> {
+        Self::new(name, (0..1usize << num_qubits).map(f).collect())
+    }
+
+    /// The permutation's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits this permutation acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Applies the permutation to a basis-state index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn apply(&self, input: usize) -> usize {
+        self.table[input]
+    }
+
+    /// The raw lookup table.
+    pub fn table(&self) -> &[usize] {
+        &self.table
+    }
+}
+
+impl fmt::Display for PermutationOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perm[{}]", self.name)
+    }
+}
+
+/// Error for malformed permutation tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPermutation {
+    reason: String,
+}
+
+impl fmt::Display for InvalidPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid permutation: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidPermutation {}
+
+/// A diagonal phase operation on `k` qubits: basis state `|x⟩` picks up
+/// the phase `e^{i·phases[x]}`.
+///
+/// Grover-style phase oracles and diffusion reflections are diagonal; like
+/// [`PermutationOp`] they map to a single Bayesian-network node instead of a
+/// deep gate decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::DiagonalOp;
+///
+/// // Reflection about |00>: diag(+1, -1, -1, -1).
+/// let refl = DiagonalOp::reflection_about_zero(2);
+/// assert_eq!(refl.num_qubits(), 2);
+/// assert!((refl.phase(0).re - 1.0).abs() < 1e-15);
+/// assert!((refl.phase(3).re + 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagonalOp {
+    name: Arc<str>,
+    phases: Arc<[f64]>,
+    num_qubits: usize,
+}
+
+impl DiagonalOp {
+    /// Creates a diagonal operation from per-basis-state phase angles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the length is not a power of two.
+    pub fn new(name: impl AsRef<str>, phases: Vec<f64>) -> Result<Self, InvalidPermutation> {
+        let len = phases.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(InvalidPermutation {
+                reason: format!("diagonal length {len} is not a power of two"),
+            });
+        }
+        Ok(Self {
+            name: Arc::from(name.as_ref()),
+            num_qubits: len.trailing_zeros() as usize,
+            phases: phases.into(),
+        })
+    }
+
+    /// A phase oracle flipping the sign of every basis state in `marked`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a marked state is out of range.
+    pub fn phase_oracle(
+        name: impl AsRef<str>,
+        num_qubits: usize,
+        marked: &[usize],
+    ) -> Result<Self, InvalidPermutation> {
+        let dim = 1usize << num_qubits;
+        let mut phases = vec![0.0; dim];
+        for &m in marked {
+            if m >= dim {
+                return Err(InvalidPermutation {
+                    reason: format!("marked state {m} out of range"),
+                });
+            }
+            phases[m] = std::f64::consts::PI;
+        }
+        Self::new(name, phases)
+    }
+
+    /// The reflection `2|0…0⟩⟨0…0| − I` used by Grover diffusion.
+    pub fn reflection_about_zero(num_qubits: usize) -> Self {
+        let dim = 1usize << num_qubits;
+        let mut phases = vec![std::f64::consts::PI; dim];
+        phases[0] = 0.0;
+        Self::new("refl0", phases).expect("power-of-two by construction")
+    }
+
+    /// The operation's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The complex phase `e^{i·phases[x]}` of basis state `x`.
+    pub fn phase(&self, x: usize) -> qkc_math::Complex {
+        // Exact values at the common angles so 0 and π stay 1 and −1.
+        let t = self.phases[x];
+        if t == 0.0 {
+            qkc_math::C_ONE
+        } else if t == std::f64::consts::PI {
+            -qkc_math::C_ONE
+        } else {
+            qkc_math::Complex::cis(t)
+        }
+    }
+
+    /// The raw phase angles.
+    pub fn phase_angles(&self) -> &[f64] {
+        &self.phases
+    }
+}
+
+impl fmt::Display for DiagonalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Diag[{}]", self.name)
+    }
+}
+
+/// One operation in a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// A unitary gate applied to `qubits` (order matters; see [`Gate`]).
+    Gate {
+        /// The gate.
+        gate: Gate,
+        /// Target qubits, most-significant first.
+        qubits: Vec<usize>,
+    },
+    /// A noise model applied to one qubit.
+    Noise {
+        /// The noise model.
+        channel: NoiseChannel,
+        /// The affected qubit.
+        qubit: usize,
+    },
+    /// A classical permutation of basis states on `qubits`.
+    Permutation {
+        /// The permutation.
+        perm: PermutationOp,
+        /// Involved qubits, most-significant first.
+        qubits: Vec<usize>,
+    },
+    /// A diagonal phase operation on `qubits`.
+    Diagonal {
+        /// The diagonal.
+        diag: DiagonalOp,
+        /// Involved qubits, most-significant first.
+        qubits: Vec<usize>,
+    },
+    /// A computational-basis measurement of one qubit.
+    ///
+    /// By the principle of deferred measurement this dephases the qubit; the
+    /// recorded outcome appears as a random variable in the
+    /// Bayesian-network encoding (one per measurement).
+    Measure {
+        /// The measured qubit.
+        qubit: usize,
+    },
+}
+
+impl Operation {
+    /// The qubits this operation touches, in argument order.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Operation::Gate { qubits, .. }
+            | Operation::Permutation { qubits, .. }
+            | Operation::Diagonal { qubits, .. } => qubits.clone(),
+            Operation::Noise { qubit, .. } | Operation::Measure { qubit } => vec![*qubit],
+        }
+    }
+
+    /// Returns `true` for unitary operations (gates and permutations).
+    pub fn is_unitary(&self) -> bool {
+        matches!(
+            self,
+            Operation::Gate { .. }
+                | Operation::Permutation { .. }
+                | Operation::Diagonal { .. }
+        )
+    }
+
+    /// Returns `true` for noise operations.
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Operation::Noise { .. })
+    }
+
+    /// The symbolic parameters this operation mentions.
+    pub fn symbols(&self) -> Vec<&str> {
+        match self {
+            Operation::Gate { gate, .. } => gate.symbols(),
+            Operation::Noise { channel, .. } => channel.symbols(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Gate { gate, qubits } => write!(f, "{gate} {qubits:?}"),
+            Operation::Noise { channel, qubit } => write!(f, "{channel} [{qubit}]"),
+            Operation::Permutation { perm, qubits } => write!(f, "{perm} {qubits:?}"),
+            Operation::Diagonal { diag, qubits } => write!(f, "{diag} {qubits:?}"),
+            Operation::Measure { qubit } => write!(f, "M [{qubit}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_validation() {
+        assert!(PermutationOp::new("bad", vec![0, 1, 2]).is_err()); // not power of 2
+        assert!(PermutationOp::new("bad", vec![0, 0]).is_err()); // not bijective
+        assert!(PermutationOp::new("bad", vec![0, 5]).is_err()); // out of range
+        assert!(PermutationOp::new("ok", vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn permutation_from_fn_xor() {
+        // CNOT as a permutation: (c, t) -> (c, t ^ c).
+        let p = PermutationOp::from_fn("cnot", 2, |x| {
+            let c = x >> 1;
+            let t = x & 1;
+            (c << 1) | (t ^ c)
+        })
+        .unwrap();
+        assert_eq!(p.apply(0b10), 0b11);
+        assert_eq!(p.apply(0b11), 0b10);
+        assert_eq!(p.apply(0b01), 0b01);
+    }
+
+    #[test]
+    fn operation_qubits_and_kinds() {
+        let g = Operation::Gate {
+            gate: Gate::Cnot,
+            qubits: vec![0, 2],
+        };
+        assert_eq!(g.qubits(), vec![0, 2]);
+        assert!(g.is_unitary());
+        let n = Operation::Noise {
+            channel: NoiseChannel::depolarizing(0.01),
+            qubit: 1,
+        };
+        assert!(n.is_noise());
+        assert_eq!(n.qubits(), vec![1]);
+        let m = Operation::Measure { qubit: 3 };
+        assert!(!m.is_unitary());
+        assert!(!m.is_noise());
+    }
+}

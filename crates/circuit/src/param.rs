@@ -1,0 +1,244 @@
+//! Symbolic gate parameters.
+//!
+//! Variational algorithms re-run the *same* circuit with different rotation
+//! angles and noise strengths on every optimizer iteration (§2.3 trait 2).
+//! Gates therefore carry a [`Param`] — either a constant or a named symbol —
+//! and numeric values are supplied at simulation time through a [`ParamMap`].
+//! The knowledge-compilation pipeline exploits this split: circuit structure
+//! is compiled once, and only parameter values are re-bound across runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A gate parameter: a fixed constant or a named symbol resolved later.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::{Param, ParamMap};
+///
+/// let theta = Param::symbol("theta");
+/// let mut params = ParamMap::new();
+/// params.bind("theta", 0.25);
+/// assert_eq!(theta.resolve(&params).unwrap(), 0.25);
+/// assert_eq!(Param::from(1.5).resolve(&params).unwrap(), 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Param {
+    /// A fixed numeric value.
+    Const(f64),
+    /// A named symbol whose value is provided by a [`ParamMap`].
+    Sym(Arc<str>),
+}
+
+impl Param {
+    /// Creates a symbolic parameter with the given name.
+    pub fn symbol(name: impl AsRef<str>) -> Self {
+        Param::Sym(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the symbol name, if symbolic.
+    pub fn symbol_name(&self) -> Option<&str> {
+        match self {
+            Param::Sym(s) => Some(s),
+            Param::Const(_) => None,
+        }
+    }
+
+    /// Returns `true` if this parameter is symbolic.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, Param::Sym(_))
+    }
+
+    /// Resolves the parameter against `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnboundParam`] if the parameter is a symbol missing from
+    /// `params`.
+    pub fn resolve(&self, params: &ParamMap) -> Result<f64, UnboundParam> {
+        match self {
+            Param::Const(v) => Ok(*v),
+            Param::Sym(name) => params
+                .get(name)
+                .ok_or_else(|| UnboundParam { name: name.clone() }),
+        }
+    }
+}
+
+impl From<f64> for Param {
+    fn from(v: f64) -> Self {
+        Param::Const(v)
+    }
+}
+
+impl From<&str> for Param {
+    fn from(name: &str) -> Self {
+        Param::symbol(name)
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Param::Const(v) => write!(f, "{v}"),
+            Param::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Error returned when resolving a symbol that has no bound value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundParam {
+    name: Arc<str>,
+}
+
+impl UnboundParam {
+    /// The name of the unbound symbol.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for UnboundParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parameter `{}` has no bound value", self.name)
+    }
+}
+
+impl std::error::Error for UnboundParam {}
+
+/// A binding of symbol names to numeric values.
+///
+/// Ordered (BTreeMap) so iteration — and therefore everything derived from a
+/// binding, such as probe evaluations — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamMap {
+    values: BTreeMap<Arc<str>, f64>,
+}
+
+impl ParamMap {
+    /// Creates an empty binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a binding from `(name, value)` pairs.
+    ///
+    /// ```
+    /// use qkc_circuit::ParamMap;
+    /// let p = ParamMap::from_pairs([("gamma", 0.3), ("beta", 0.7)]);
+    /// assert_eq!(p.get("beta"), Some(0.7));
+    /// ```
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, f64)>) -> Self {
+        let mut m = Self::new();
+        for (k, v) in pairs {
+            m.bind(k, v);
+        }
+        m
+    }
+
+    /// Binds `name` to `value`, replacing any previous binding.
+    pub fn bind(&mut self, name: impl AsRef<str>, value: f64) -> &mut Self {
+        self.values.insert(Arc::from(name.as_ref()), value);
+        self
+    }
+
+    /// Looks up a symbol's value.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Number of bound symbols.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no symbols are bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_ref(), v))
+    }
+
+    /// Builds a binding that maps every name in `symbols` to a fixed
+    /// "generic" probe value derived from `seed`. Probe bindings are used to
+    /// discover the zero/one/equality *structure* of parameter-dependent
+    /// amplitude tables without committing to concrete parameter values.
+    ///
+    /// Probe values land in `(0.05, 0.30)` so they are simultaneously valid
+    /// noise probabilities (even three summed stay below 1) and generic
+    /// rotation angles (far from the multiples of π/2 where entries vanish).
+    pub fn probe<'a>(symbols: impl IntoIterator<Item = &'a str>, seed: u64) -> Self {
+        let mut m = Self::new();
+        for (i, s) in symbols.into_iter().enumerate() {
+            let raw = 0.577_215_664_901_532_9 * (i as f64 + 1.0)
+                + 0.319_218_606_183_790_7 * (seed as f64 + 1.0) * 1.391;
+            let v = 0.05 + 0.25 * raw.fract();
+            m.bind(s, v);
+        }
+        m
+    }
+}
+
+impl<'a> FromIterator<(&'a str, f64)> for ParamMap {
+    fn from_iter<T: IntoIterator<Item = (&'a str, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_param_resolves_to_itself() {
+        let p = Param::from(2.5);
+        assert_eq!(p.resolve(&ParamMap::new()).unwrap(), 2.5);
+        assert!(!p.is_symbolic());
+    }
+
+    #[test]
+    fn symbol_resolution_and_error() {
+        let p = Param::symbol("gamma");
+        assert!(p.is_symbolic());
+        assert_eq!(p.symbol_name(), Some("gamma"));
+        let err = p.resolve(&ParamMap::new()).unwrap_err();
+        assert_eq!(err.name(), "gamma");
+        assert!(err.to_string().contains("gamma"));
+
+        let mut m = ParamMap::new();
+        m.bind("gamma", -0.5);
+        assert_eq!(p.resolve(&m).unwrap(), -0.5);
+    }
+
+    #[test]
+    fn param_map_rebinding_overwrites() {
+        let mut m = ParamMap::new();
+        m.bind("x", 1.0).bind("x", 2.0);
+        assert_eq!(m.get("x"), Some(2.0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn probe_values_are_deterministic_and_distinct() {
+        let a = ParamMap::probe(["t0", "t1", "t2"], 0);
+        let b = ParamMap::probe(["t0", "t1", "t2"], 0);
+        assert_eq!(a, b);
+        let c = ParamMap::probe(["t0", "t1", "t2"], 1);
+        assert_ne!(a, c);
+        let vals: Vec<f64> = a.iter().map(|(_, v)| v).collect();
+        assert!(vals.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn from_pairs_and_iter_round_trip() {
+        let m = ParamMap::from_pairs([("b", 2.0), ("a", 1.0)]);
+        let pairs: Vec<(&str, f64)> = m.iter().collect();
+        assert_eq!(pairs, vec![("a", 1.0), ("b", 2.0)]);
+    }
+}

@@ -1,0 +1,258 @@
+//! A deliberately simple reference simulator used as the correctness oracle.
+//!
+//! Everything here favors obviousness over speed: operators are embedded
+//! into the full `2^n`-dimensional space as dense matrices and applied by
+//! matrix multiplication. The optimized simulators (`qkc-statevector`,
+//! `qkc-densitymatrix`, `qkc-tensornet`, and the knowledge-compilation
+//! pipeline) are all differentially tested against this module.
+
+use crate::circuit::{Circuit, CircuitError};
+use crate::op::{DiagonalOp, Operation, PermutationOp};
+use crate::param::ParamMap;
+use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO};
+
+/// Returns the bit of `index` corresponding to `qubit` in an `n`-qubit
+/// big-endian basis state (qubit 0 is the most significant bit).
+#[inline]
+pub fn basis_bit(index: usize, qubit: usize, n: usize) -> usize {
+    (index >> (n - 1 - qubit)) & 1
+}
+
+/// Extracts the sub-index of `qubits` (in order, first most significant)
+/// from the full basis index.
+#[inline]
+pub fn sub_index(index: usize, qubits: &[usize], n: usize) -> usize {
+    qubits
+        .iter()
+        .fold(0, |acc, &q| (acc << 1) | basis_bit(index, q, n))
+}
+
+/// Replaces the bits of `qubits` inside `index` with the bits of `sub`.
+#[inline]
+pub fn with_sub_index(index: usize, qubits: &[usize], n: usize, sub: usize) -> usize {
+    let mut out = index;
+    for (i, &q) in qubits.iter().enumerate() {
+        let bit = (sub >> (qubits.len() - 1 - i)) & 1;
+        let pos = n - 1 - q;
+        out = (out & !(1 << pos)) | (bit << pos);
+    }
+    out
+}
+
+/// Embeds a `2^k × 2^k` operator acting on `qubits` into the full
+/// `2^n × 2^n` space.
+///
+/// # Panics
+///
+/// Panics if the operator dimension does not match `qubits.len()`.
+pub fn embed_unitary(u: &CMatrix, qubits: &[usize], n: usize) -> CMatrix {
+    let k = qubits.len();
+    assert_eq!(u.rows(), 1 << k, "operator dimension mismatch");
+    let dim = 1usize << n;
+    let mut full = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        let x = sub_index(col, qubits, n);
+        for y in 0..(1 << k) {
+            let row = with_sub_index(col, qubits, n, y);
+            full[(row, col)] = u[(y, x)];
+        }
+    }
+    full
+}
+
+/// The unitary matrix of a diagonal phase operation.
+pub fn diagonal_unitary(diag: &DiagonalOp) -> CMatrix {
+    let dim = 1usize << diag.num_qubits();
+    let mut m = CMatrix::zeros(dim, dim);
+    for x in 0..dim {
+        m[(x, x)] = diag.phase(x);
+    }
+    m
+}
+
+/// The unitary matrix of a classical permutation.
+pub fn permutation_unitary(perm: &PermutationOp) -> CMatrix {
+    let dim = 1usize << perm.num_qubits();
+    let mut m = CMatrix::zeros(dim, dim);
+    for input in 0..dim {
+        m[(perm.apply(input), input)] = C_ONE;
+    }
+    m
+}
+
+/// Runs a noise-free circuit on `|0...0⟩` and returns the final state
+/// vector.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is noisy or a parameter is unbound.
+pub fn run_pure(circuit: &Circuit, params: &ParamMap) -> Result<Vec<Complex>, CircuitError> {
+    let u = circuit.unitary(params)?;
+    let mut state = vec![C_ZERO; u.rows()];
+    state[0] = C_ONE;
+    Ok(u.mul_vec(&state))
+}
+
+/// Runs any circuit (noisy or not) on `|0...0⟩⟨0...0|` and returns the final
+/// density matrix. Measurements dephase the measured qubit (deferred
+/// measurement).
+///
+/// # Errors
+///
+/// Returns an error if a parameter is unbound.
+pub fn run_density(circuit: &Circuit, params: &ParamMap) -> Result<CMatrix, CircuitError> {
+    let n = circuit.num_qubits();
+    let dim = 1usize << n;
+    let mut rho = CMatrix::zeros(dim, dim);
+    rho[(0, 0)] = C_ONE;
+    for op in circuit.operations() {
+        rho = match op {
+            Operation::Gate { gate, qubits } => {
+                let u = embed_unitary(
+                    &gate.unitary(params).map_err(CircuitError::Unbound)?,
+                    qubits,
+                    n,
+                );
+                &(&u * &rho) * &u.adjoint()
+            }
+            Operation::Permutation { perm, qubits } => {
+                let u = embed_unitary(&permutation_unitary(perm), qubits, n);
+                &(&u * &rho) * &u.adjoint()
+            }
+            Operation::Diagonal { diag, qubits } => {
+                let u = embed_unitary(&diagonal_unitary(diag), qubits, n);
+                &(&u * &rho) * &u.adjoint()
+            }
+            Operation::Noise { channel, qubit } => {
+                let mut next = CMatrix::zeros(dim, dim);
+                for e in channel.kraus(params).map_err(CircuitError::Unbound)? {
+                    let full = embed_unitary(&e, &[*qubit], n);
+                    next = &next + &(&(&full * &rho) * &full.adjoint());
+                }
+                next
+            }
+            Operation::Measure { qubit } => {
+                // Complete dephasing: project onto |0><0| and |1><1|.
+                let p0 = CMatrix::from_rows(2, 2, vec![C_ONE, C_ZERO, C_ZERO, C_ZERO]);
+                let p1 = CMatrix::from_rows(2, 2, vec![C_ZERO, C_ZERO, C_ZERO, C_ONE]);
+                let mut next = CMatrix::zeros(dim, dim);
+                for p in [p0, p1] {
+                    let full = embed_unitary(&p, &[*qubit], n);
+                    next = &next + &(&(&full * &rho) * &full.adjoint());
+                }
+                next
+            }
+        };
+    }
+    Ok(rho)
+}
+
+/// Born-rule probabilities of each basis state for a pure state.
+pub fn pure_probabilities(state: &[Complex]) -> Vec<f64> {
+    state.iter().map(|a| a.norm_sqr()).collect()
+}
+
+/// Measurement probabilities (the diagonal) of a density matrix.
+pub fn density_probabilities(rho: &CMatrix) -> Vec<f64> {
+    (0..rho.rows()).map(|i| rho[(i, i)].re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn bit_helpers_round_trip() {
+        let n = 4;
+        // index 0b1010: qubit0=1, qubit1=0, qubit2=1, qubit3=0.
+        assert_eq!(basis_bit(0b1010, 0, n), 1);
+        assert_eq!(basis_bit(0b1010, 1, n), 0);
+        assert_eq!(basis_bit(0b1010, 2, n), 1);
+        assert_eq!(sub_index(0b1010, &[0, 2], n), 0b11);
+        assert_eq!(sub_index(0b1010, &[2, 0], n), 0b11);
+        assert_eq!(sub_index(0b1010, &[1, 3], n), 0b00);
+        assert_eq!(with_sub_index(0b0000, &[0, 2], n, 0b11), 0b1010);
+        assert_eq!(with_sub_index(0b1111, &[0, 2], n, 0b00), 0b0101);
+    }
+
+    #[test]
+    fn embed_on_non_adjacent_qubits() {
+        // CNOT with control qubit 0 and target qubit 2 in a 3-qubit circuit.
+        let u = Gate::Cnot.unitary(&ParamMap::new()).unwrap();
+        let full = embed_unitary(&u, &[0, 2], 3);
+        // |100> (=4) -> |101> (=5); |110> (=6) -> |111> (=7); |010> fixed.
+        assert_eq!(full[(5, 4)], C_ONE);
+        assert_eq!(full[(7, 6)], C_ONE);
+        assert_eq!(full[(2, 2)], C_ONE);
+        assert!(full.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn embed_reversed_qubit_order() {
+        // CNOT with control qubit 1 and target qubit 0.
+        let u = Gate::Cnot.unitary(&ParamMap::new()).unwrap();
+        let full = embed_unitary(&u, &[1, 0], 2);
+        // |01> (=1) -> |11> (=3).
+        assert_eq!(full[(3, 1)], C_ONE);
+        assert_eq!(full[(1, 3)], C_ONE);
+        assert_eq!(full[(0, 0)], C_ONE);
+    }
+
+    #[test]
+    fn ghz_state_from_reference_run() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        let state = run_pure(&c, &ParamMap::new()).unwrap();
+        let p = pure_probabilities(&state);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+        assert!(p[1..7].iter().all(|&x| x < 1e-12));
+    }
+
+    #[test]
+    fn density_matches_paper_equation_3() {
+        // Noisy Bell circuit of Figure 2: H, PD(0.36), CNOT.
+        let mut c = Circuit::new(2);
+        c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+        let rho = run_density(&c, &ParamMap::new()).unwrap();
+        assert!(rho[(0, 0)].approx_eq(Complex::real(0.5), 1e-12));
+        assert!(rho[(0, 3)].approx_eq(Complex::real(0.4), 1e-12));
+        assert!(rho[(3, 0)].approx_eq(Complex::real(0.4), 1e-12));
+        assert!(rho[(3, 3)].approx_eq(Complex::real(0.5), 1e-12));
+        assert!(rho[(1, 1)].approx_eq(C_ZERO, 1e-12));
+        assert!(rho.trace().approx_eq(C_ONE, 1e-12));
+    }
+
+    #[test]
+    fn density_of_pure_circuit_is_projector() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let rho = run_density(&c, &ParamMap::new()).unwrap();
+        let state = run_pure(&c, &ParamMap::new()).unwrap();
+        for r in 0..4 {
+            for cc in 0..4 {
+                assert!(rho[(r, cc)].approx_eq(state[r] * state[cc].conj(), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_dephases() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        let rho = run_density(&c, &ParamMap::new()).unwrap();
+        assert!(rho[(0, 0)].approx_eq(Complex::real(0.5), 1e-12));
+        assert!(rho[(0, 1)].approx_eq(C_ZERO, 1e-12));
+    }
+
+    #[test]
+    fn depolarizing_contracts_bloch_vector() {
+        let mut c = Circuit::new(1);
+        c.h(0).depolarize(0, 0.5);
+        let rho = run_density(&c, &ParamMap::new()).unwrap();
+        // Off-diagonal shrinks by (1 - 4p/3) = 1/3.
+        assert!(rho[(0, 1)].approx_eq(Complex::real(0.5 / 3.0), 1e-12));
+        assert!(rho.trace().approx_eq(C_ONE, 1e-12));
+    }
+}

@@ -1,0 +1,372 @@
+//! Encoding Bayesian networks as CNF with weighted-model-counting semantics
+//! (paper §3.2.1, Table 3).
+//!
+//! * Binary nodes use one Boolean variable; `d`-valued nodes use `d`
+//!   indicator variables plus exactly-one constraints.
+//! * Deterministic CAT cells are factored directly into logic: amplitude-0
+//!   cells become blocking clauses, amplitude-1 cells need nothing.
+//! * Every other cell gets a *parameter variable* `P` with the biconditional
+//!   `P ⟺ (parents-assignment ∧ child-value)`. Parameter variables stand in
+//!   for numerical amplitudes that the simulator resolves at evaluation time
+//!   — the separation of structure from parameters that makes repeated
+//!   variational simulation cheap.
+//!
+//! Correctness contract: summing, over all satisfying assignments consistent
+//! with evidence, the product of weights of the *true* parameter variables
+//! equals the Bayesian network's evidence amplitude. The paper's caveat
+//! (§3.2.1) applies here too: simplifications that assume weights sum to 1
+//! are unsound for amplitudes, so none are used.
+
+use crate::formula::{Cnf, Lit};
+use qkc_bayesnet::{BayesNet, CatEntry, NodeId};
+
+/// Where each CNF variable came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarKind {
+    /// The single Boolean of a binary node (true ⇔ value 1).
+    NodeBinary {
+        /// The BN node.
+        node: NodeId,
+    },
+    /// Indicator `λ_{node=value}` of a multi-valued node.
+    NodeIndicator {
+        /// The BN node.
+        node: NodeId,
+        /// The indicated value.
+        value: usize,
+    },
+    /// A parameter (weight) variable for one CAT cell.
+    Param {
+        /// The BN node owning the CAT.
+        node: NodeId,
+        /// The node's weight-slot index.
+        slot: usize,
+    },
+}
+
+/// Variable layout of an encoded network.
+#[derive(Debug, Clone)]
+pub struct VarMap {
+    /// For each node: its variable ids (length 1 for binary, `d` for
+    /// multi-valued).
+    node_vars: Vec<Vec<u32>>,
+    /// Whether each node is binary-encoded.
+    binary: Vec<bool>,
+    /// For each node: param variable of each weight slot (0 = none).
+    param_vars: Vec<Vec<u32>>,
+    /// Kind of every variable (index `v - 1`).
+    kinds: Vec<VarKind>,
+}
+
+impl VarMap {
+    /// Total number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The kind of variable `v` (1-based).
+    pub fn kind(&self, v: u32) -> &VarKind {
+        &self.kinds[(v - 1) as usize]
+    }
+
+    /// The literal asserting `node = value`.
+    pub fn value_lit(&self, node: NodeId, value: usize) -> Lit {
+        if self.binary[node] {
+            let v = self.node_vars[node][0] as Lit;
+            if value == 1 {
+                v
+            } else {
+                -v
+            }
+        } else {
+            self.node_vars[node][value] as Lit
+        }
+    }
+
+    /// The literal asserting `node ≠ value` (sound under exactly-one for
+    /// indicator groups).
+    pub fn not_value_lit(&self, node: NodeId, value: usize) -> Lit {
+        -self.value_lit(node, value)
+    }
+
+    /// The variables carrying a node's value (1 for binary, `d` otherwise).
+    pub fn node_vars(&self, node: NodeId) -> &[u32] {
+        &self.node_vars[node]
+    }
+
+    /// Whether `node` uses the single-Boolean encoding.
+    pub fn is_binary(&self, node: NodeId) -> bool {
+        self.binary[node]
+    }
+
+    /// The parameter variable of `(node, slot)`, if that slot is used.
+    pub fn param_var(&self, node: NodeId, slot: usize) -> Option<u32> {
+        match self.param_vars[node].get(slot) {
+            Some(&0) | None => None,
+            Some(&v) => Some(v),
+        }
+    }
+
+    /// Iterates all `(var, node, slot)` parameter variables.
+    pub fn params(&self) -> impl Iterator<Item = (u32, NodeId, usize)> + '_ {
+        self.kinds.iter().enumerate().filter_map(|(i, k)| match k {
+            VarKind::Param { node, slot } => Some((i as u32 + 1, *node, *slot)),
+            _ => None,
+        })
+    }
+}
+
+/// The result of encoding: the formula plus the variable layout.
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    /// The CNF formula.
+    pub cnf: Cnf,
+    /// Variable provenance.
+    pub vars: VarMap,
+}
+
+/// Encodes a Bayesian network into CNF.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::Circuit;
+/// use qkc_bayesnet::BayesNet;
+/// use qkc_cnf::encode;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let enc = encode(&BayesNet::from_circuit(&c));
+/// assert!(enc.cnf.num_clauses() > 0);
+/// ```
+pub fn encode(bn: &BayesNet) -> Encoding {
+    let mut kinds: Vec<VarKind> = Vec::new();
+    let mut fresh = |kind: VarKind| -> u32 {
+        kinds.push(kind);
+        kinds.len() as u32
+    };
+    let mut node_vars: Vec<Vec<u32>> = Vec::with_capacity(bn.num_nodes());
+    let mut binary: Vec<bool> = Vec::with_capacity(bn.num_nodes());
+    for (id, node) in bn.nodes().iter().enumerate() {
+        if node.domain == 2 {
+            node_vars.push(vec![fresh(VarKind::NodeBinary { node: id })]);
+            binary.push(true);
+        } else {
+            node_vars.push(
+                (0..node.domain)
+                    .map(|value| fresh(VarKind::NodeIndicator { node: id, value }))
+                    .collect(),
+            );
+            binary.push(false);
+        }
+    }
+    let mut param_vars: Vec<Vec<u32>> = Vec::with_capacity(bn.num_nodes());
+    for (id, node) in bn.nodes().iter().enumerate() {
+        param_vars.push(
+            (0..node.weights.len())
+                .map(|slot| fresh(VarKind::Param { node: id, slot }))
+                .collect(),
+        );
+    }
+    let vars = VarMap {
+        node_vars,
+        binary,
+        param_vars,
+        kinds,
+    };
+
+    let mut cnf = Cnf::new(vars.num_vars());
+    // Exactly-one constraints for indicator groups.
+    for (id, node) in bn.nodes().iter().enumerate() {
+        if !vars.is_binary(id) {
+            let group: Vec<Lit> = vars.node_vars(id).iter().map(|&v| v as Lit).collect();
+            cnf.add_clause(group.clone()); // at least one
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    cnf.add_clause(vec![-group[i], -group[j]]); // at most one
+                }
+            }
+        }
+        // CAT clauses.
+        let parent_domains: Vec<usize> =
+            node.parents.iter().map(|&p| bn.node(p).domain).collect();
+        let rows: usize = parent_domains.iter().product::<usize>().max(1);
+        for row in 0..rows {
+            // Decode mixed-radix row into parent values (first parent most
+            // significant).
+            let mut parent_values = vec![0usize; node.parents.len()];
+            let mut rem = row;
+            for i in (0..node.parents.len()).rev() {
+                parent_values[i] = rem % parent_domains[i];
+                rem /= parent_domains[i];
+            }
+            for value in 0..node.domain {
+                let mut cond: Vec<Lit> = node
+                    .parents
+                    .iter()
+                    .zip(&parent_values)
+                    .map(|(&p, &pv)| vars.value_lit(p, pv))
+                    .collect();
+                cond.push(vars.value_lit(id, value));
+                match node.entry(row, value) {
+                    CatEntry::One => {}
+                    CatEntry::Zero => {
+                        cnf.add_clause(cond.iter().map(|&l| -l).collect());
+                    }
+                    CatEntry::Weight(slot) => {
+                        let p = vars
+                            .param_var(id, slot)
+                            .expect("weight slot has a parameter variable")
+                            as Lit;
+                        // cond ⟹ P
+                        let mut fwd: Vec<Lit> = cond.iter().map(|&l| -l).collect();
+                        fwd.push(p);
+                        cnf.add_clause(fwd);
+                        // P ⟹ each literal of cond
+                        for &l in &cond {
+                            cnf.add_clause(vec![-p, l]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Encoding { cnf, vars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::{Circuit, ParamMap};
+    use qkc_math::{Complex, C_ONE, C_ZERO};
+
+    /// Brute-force weighted model count over all CNF assignments: the
+    /// ground-truth semantics the knowledge compiler must preserve.
+    pub fn wmc_enumerate(
+        enc: &Encoding,
+        bn: &BayesNet,
+        weights: &qkc_bayesnet::WeightTable,
+        evidence: &[(NodeId, usize)],
+    ) -> Complex {
+        let n = enc.cnf.num_vars();
+        assert!(n <= 22, "enumeration oracle limited to small formulas");
+        let mut total = C_ZERO;
+        for mask in 0..1u64 << n {
+            let assignment: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+            if !enc.cnf.is_satisfied_by(&assignment) {
+                continue;
+            }
+            // Evidence filter.
+            let ok = evidence.iter().all(|&(node, value)| {
+                let l = enc.vars.value_lit(node, value);
+                assignment[(l.unsigned_abs() - 1) as usize] == (l > 0)
+            });
+            if !ok {
+                continue;
+            }
+            let mut w = C_ONE;
+            for (v, node, slot) in enc.vars.params() {
+                if assignment[(v - 1) as usize] {
+                    w *= weights.value(node, slot);
+                }
+            }
+            total += w;
+        }
+        let _ = bn;
+        total
+    }
+
+    fn check_against_brute_force(c: &Circuit, params: &ParamMap) {
+        let bn = BayesNet::from_circuit(c);
+        let enc = encode(&bn);
+        let table = bn.evaluate_weights(params).unwrap();
+        let query = bn.query_nodes();
+        // Iterate a few query assignments (all, if small).
+        let domains: Vec<usize> = query.iter().map(|&q| bn.node(q).domain).collect();
+        let combos: usize = domains.iter().product();
+        for idx in 0..combos {
+            let mut rem = idx;
+            let mut values = Vec::with_capacity(query.len());
+            for &d in domains.iter().rev() {
+                values.push(rem % d);
+                rem /= d;
+            }
+            values.reverse();
+            let evidence: Vec<(NodeId, usize)> =
+                query.iter().copied().zip(values.iter().copied()).collect();
+            let want = bn.amplitude_brute_force(&values, &table);
+            let got = wmc_enumerate(&enc, &bn, &table, &evidence);
+            assert!(
+                got.approx_eq(want, 1e-9),
+                "query {values:?}: WMC {got} vs BN {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn wmc_matches_bn_for_noisy_bell() {
+        let mut c = Circuit::new(2);
+        c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+        check_against_brute_force(&c, &ParamMap::new());
+    }
+
+    #[test]
+    fn wmc_matches_bn_for_parameterized_circuit() {
+        let mut c = Circuit::new(2);
+        c.rx(0, qkc_circuit::Param::symbol("a"))
+            .zz(0, 1, qkc_circuit::Param::symbol("b"))
+            .h(1);
+        check_against_brute_force(&c, &ParamMap::from_pairs([("a", 0.7), ("b", 1.9)]));
+    }
+
+    #[test]
+    fn wmc_matches_bn_with_amplitude_damping() {
+        let mut c = Circuit::new(1);
+        c.h(0).amplitude_damp(0, 0.4).t(0);
+        check_against_brute_force(&c, &ParamMap::new());
+    }
+
+    #[test]
+    fn wmc_matches_bn_with_depolarizing_indicators() {
+        // Exercises multi-valued (4-branch) selector indicators.
+        let mut c = Circuit::new(1);
+        c.h(0).depolarize(0, 0.3);
+        check_against_brute_force(&c, &ParamMap::new());
+    }
+
+    #[test]
+    fn clause_counts_for_bell_are_small() {
+        let mut c = Circuit::new(2);
+        c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+        let bn = BayesNet::from_circuit(&c);
+        let enc = encode(&bn);
+        // 5 binary nodes + 6 params (4 H + 2 PD) = 11 vars.
+        assert_eq!(enc.cnf.num_vars(), 11);
+        assert!(enc.cnf.num_clauses() < 40);
+    }
+
+    #[test]
+    fn var_kinds_are_consistent() {
+        let mut c = Circuit::new(1);
+        c.h(0).depolarize(0, 0.1);
+        let bn = BayesNet::from_circuit(&c);
+        let enc = encode(&bn);
+        let mut saw_indicator = false;
+        for v in 1..=enc.cnf.num_vars() as u32 {
+            match enc.vars.kind(v) {
+                VarKind::NodeIndicator { node, value } => {
+                    saw_indicator = true;
+                    assert_eq!(enc.vars.value_lit(*node, *value), v as Lit);
+                }
+                VarKind::NodeBinary { node } => {
+                    assert_eq!(enc.vars.value_lit(*node, 1), v as Lit);
+                    assert_eq!(enc.vars.value_lit(*node, 0), -(v as Lit));
+                }
+                VarKind::Param { node, slot } => {
+                    assert_eq!(enc.vars.param_var(*node, *slot), Some(v));
+                }
+            }
+        }
+        assert!(saw_indicator, "depolarizing selector should use indicators");
+    }
+}

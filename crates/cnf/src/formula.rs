@@ -1,0 +1,197 @@
+//! CNF formulas with DIMACS-compatible literals.
+
+use std::fmt;
+
+/// A literal: DIMACS convention, `±v` with 1-based variable `v`.
+pub type Lit = i32;
+
+/// The variable of a literal.
+#[inline]
+pub fn lit_var(l: Lit) -> u32 {
+    l.unsigned_abs()
+}
+
+/// `true` if the literal is positive.
+#[inline]
+pub fn lit_sign(l: Lit) -> bool {
+    l > 0
+}
+
+/// A formula in conjunctive normal form.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_cnf::Cnf;
+///
+/// let mut f = Cnf::new(2);
+/// f.add_clause(vec![1, 2]);
+/// f.add_clause(vec![-1, 2]);
+/// assert_eq!(f.num_clauses(), 2);
+/// assert!(f.to_dimacs().starts_with("p cnf 2 2"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Appends a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause is empty or mentions an out-of-range variable.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        assert!(!clause.is_empty(), "empty clause makes the formula UNSAT");
+        for &l in &clause {
+            let v = lit_var(l) as usize;
+            assert!(
+                l != 0 && v >= 1 && v <= self.num_vars,
+                "literal {l} out of range for {} variables",
+                self.num_vars
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Serializes in DIMACS CNF format (the interchange format the paper's
+    /// toolchain feeds to the c2d knowledge compiler).
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for &l in c {
+                out.push_str(&l.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line.
+    pub fn from_dimacs(text: &str) -> Result<Self, String> {
+        let mut cnf: Option<Cnf> = None;
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p cnf") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 2 {
+                    return Err(format!("malformed problem line: {line}"));
+                }
+                let nv: usize = parts[0].parse().map_err(|e| format!("{e}"))?;
+                cnf = Some(Cnf::new(nv));
+                continue;
+            }
+            let cnf_ref = cnf.as_mut().ok_or("clause before problem line")?;
+            for tok in line.split_whitespace() {
+                let l: Lit = tok.parse().map_err(|e| format!("{e}"))?;
+                if l == 0 {
+                    if !current.is_empty() {
+                        cnf_ref.add_clause(std::mem::take(&mut current));
+                    }
+                } else {
+                    current.push(l);
+                }
+            }
+        }
+        cnf.ok_or_else(|| "missing problem line".to_string())
+    }
+
+    /// Evaluates the formula under a total assignment (`assignment[v-1]` for
+    /// variable `v`). Test oracle.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|&l| assignment[(lit_var(l) - 1) as usize] == lit_sign(l))
+        })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cnf({} vars, {} clauses)",
+            self.num_vars,
+            self.clauses.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_round_trip() {
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![1, -2]);
+        f.add_clause(vec![2, 3]);
+        f.add_clause(vec![-1, -3]);
+        let text = f.to_dimacs();
+        let g = Cnf::from_dimacs(&text).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn satisfaction_oracle() {
+        let mut f = Cnf::new(2);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-1, 2]);
+        assert!(f.is_satisfied_by(&[true, true]));
+        assert!(f.is_satisfied_by(&[false, true]));
+        assert!(!f.is_satisfied_by(&[true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_literal() {
+        Cnf::new(1).add_clause(vec![2]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Cnf::from_dimacs("p cnf x y").is_err());
+        assert!(Cnf::from_dimacs("1 2 0").is_err());
+    }
+
+    #[test]
+    fn lit_helpers() {
+        assert_eq!(lit_var(-7), 7);
+        assert!(lit_sign(3));
+        assert!(!lit_sign(-3));
+    }
+}

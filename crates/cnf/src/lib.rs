@@ -1,0 +1,33 @@
+//! Bayesian-network-to-CNF encoding — stage 2 of the paper's toolchain
+//! (Figure 4, §3.2.1).
+//!
+//! The encoder separates a quantum circuit's *structure* (which qubit-state
+//! combinations are consistent with its semantics — the satisfying
+//! assignments) from its *numerical parameters* (amplitudes and noise
+//! probabilities — weights on parameter variables, resolved at evaluation
+//! time). Unit-resolution simplification then folds known initial values
+//! through deterministic tables, shrinking everything downstream.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_circuit::Circuit;
+//! use qkc_bayesnet::BayesNet;
+//! use qkc_cnf::{encode, simplify};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+//! let enc = encode(&BayesNet::from_circuit(&c));
+//! let simplified = simplify(&enc.cnf).unwrap();
+//! assert!(simplified.cnf.num_clauses() < enc.cnf.num_clauses());
+//! // Initial qubit states are unit-resolved away.
+//! assert_eq!(simplified.fixed.get(&1), Some(&false));
+//! ```
+
+mod encode;
+mod formula;
+mod simplify;
+
+pub use encode::{encode, Encoding, VarKind, VarMap};
+pub use formula::{lit_sign, lit_var, Cnf, Lit};
+pub use simplify::{simplify, Simplified, SimplifyError};

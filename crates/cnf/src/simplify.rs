@@ -1,0 +1,197 @@
+//! CNF simplification by unit resolution (paper §3.2.1, optimization list).
+//!
+//! Known values — initial qubit states, and anything deterministic CATs
+//! propagate from them — appear as unit clauses. Propagating them to fixpoint
+//! "combines initial value sentences into binary constraint sentences" and
+//! shrinks every downstream compilation stage linearly, exactly the effect
+//! the paper reports.
+//!
+//! Fixed variables are *removed* from the formula but reported to the
+//! caller: fixed parameter variables still contribute their weight as a
+//! global factor, and fixed query variables constrain admissible evidence.
+
+use crate::formula::{lit_sign, lit_var, Cnf, Lit};
+use std::collections::HashMap;
+
+/// The result of unit-propagation simplification.
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    /// The simplified formula (same variable numbering; fixed variables no
+    /// longer appear in any clause).
+    pub cnf: Cnf,
+    /// Variables forced by unit resolution, with their forced polarity.
+    pub fixed: HashMap<u32, bool>,
+}
+
+/// Errors from simplification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimplifyError {
+    /// Unit propagation derived a contradiction: the formula is
+    /// unsatisfiable (a malformed encoding — cannot arise from a valid
+    /// circuit).
+    Unsatisfiable,
+}
+
+impl std::fmt::Display for SimplifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplifyError::Unsatisfiable => write!(f, "formula is unsatisfiable"),
+        }
+    }
+}
+
+impl std::error::Error for SimplifyError {}
+
+/// Runs unit propagation to fixpoint and rewrites the formula.
+///
+/// # Errors
+///
+/// Returns [`SimplifyError::Unsatisfiable`] if propagation derives an empty
+/// clause.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_cnf::{Cnf, simplify};
+///
+/// let mut f = Cnf::new(3);
+/// f.add_clause(vec![1]);          // unit: v1
+/// f.add_clause(vec![-1, 2]);      // ⇒ v2
+/// f.add_clause(vec![-2, 3, -1]);  // ⇒ v3
+/// let s = simplify(&f).unwrap();
+/// assert_eq!(s.cnf.num_clauses(), 0);
+/// assert_eq!(s.fixed.get(&3), Some(&true));
+/// ```
+pub fn simplify(cnf: &Cnf) -> Result<Simplified, SimplifyError> {
+    let n = cnf.num_vars();
+    let mut assign: Vec<Option<bool>> = vec![None; n + 1]; // 1-based
+    let mut queue: Vec<Lit> = Vec::new();
+    let mut clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
+    let mut alive: Vec<bool> = vec![true; clauses.len()];
+
+    // Index clauses by variable for efficient propagation.
+    let mut occurs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (ci, c) in clauses.iter().enumerate() {
+        for &l in c {
+            occurs[lit_var(l) as usize].push(ci);
+        }
+    }
+
+    // Seed with existing unit clauses.
+    for (ci, c) in clauses.iter().enumerate() {
+        if c.len() == 1 {
+            queue.push(c[0]);
+            alive[ci] = false;
+        }
+    }
+
+    while let Some(unit) = queue.pop() {
+        let v = lit_var(unit) as usize;
+        let want = lit_sign(unit);
+        match assign[v] {
+            Some(prev) if prev != want => return Err(SimplifyError::Unsatisfiable),
+            Some(_) => continue,
+            None => assign[v] = Some(want),
+        }
+        for &ci in &occurs[v] {
+            if !alive[ci] {
+                continue;
+            }
+            let clause = &mut clauses[ci];
+            if clause
+                .iter()
+                .any(|&l| assign[lit_var(l) as usize] == Some(lit_sign(l)))
+            {
+                alive[ci] = false;
+                continue;
+            }
+            clause.retain(|&l| assign[lit_var(l) as usize].is_none());
+            match clause.len() {
+                0 => return Err(SimplifyError::Unsatisfiable),
+                1 => {
+                    queue.push(clause[0]);
+                    alive[ci] = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = Cnf::new(n);
+    for (ci, c) in clauses.into_iter().enumerate() {
+        if !alive[ci] {
+            continue;
+        }
+        // Drop clauses satisfied by the final assignment and falsified
+        // literals (a clause may have been edited before its satisfying
+        // variable was assigned).
+        if c.iter()
+            .any(|&l| assign[lit_var(l) as usize] == Some(lit_sign(l)))
+        {
+            continue;
+        }
+        let filtered: Vec<Lit> = c
+            .into_iter()
+            .filter(|&l| assign[lit_var(l) as usize].is_none())
+            .collect();
+        if filtered.is_empty() {
+            return Err(SimplifyError::Unsatisfiable);
+        }
+        out.add_clause(filtered);
+    }
+    let fixed = assign
+        .iter()
+        .enumerate()
+        .filter_map(|(v, a)| a.map(|b| (v as u32, b)))
+        .collect();
+    Ok(Simplified { cnf: out, fixed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagates_chains() {
+        let mut f = Cnf::new(4);
+        f.add_clause(vec![-1]);
+        f.add_clause(vec![1, 2]); // ⇒ v2
+        f.add_clause(vec![-2, -3]); // ⇒ ¬v3
+        f.add_clause(vec![3, 4]); // ⇒ v4
+        let s = simplify(&f).unwrap();
+        assert_eq!(s.cnf.num_clauses(), 0);
+        assert!(!s.fixed[&1]);
+        assert!(s.fixed[&2]);
+        assert!(!s.fixed[&3]);
+        assert!(s.fixed[&4]);
+    }
+
+    #[test]
+    fn leaves_unforced_structure() {
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![1]);
+        f.add_clause(vec![-1, 2, 3]); // shrinks to (2 ∨ 3)
+        let s = simplify(&f).unwrap();
+        assert_eq!(s.cnf.num_clauses(), 1);
+        assert_eq!(s.cnf.clauses()[0], vec![2, 3]);
+        assert!(!s.fixed.contains_key(&2));
+    }
+
+    #[test]
+    fn detects_conflict() {
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![1]);
+        f.add_clause(vec![-1]);
+        assert!(matches!(simplify(&f), Err(SimplifyError::Unsatisfiable)));
+    }
+
+    #[test]
+    fn no_units_is_identity() {
+        let mut f = Cnf::new(2);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-1, -2]);
+        let s = simplify(&f).unwrap();
+        assert_eq!(s.cnf.num_clauses(), 2);
+        assert!(s.fixed.is_empty());
+    }
+}

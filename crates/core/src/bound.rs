@@ -1,0 +1,297 @@
+//! Parameter binding and simulation queries on a compiled circuit.
+//!
+//! Binding is the cheap per-iteration step of variational simulation: the
+//! arithmetic circuit is fixed; only literal weights (and the global factor
+//! contributed by unit-resolved parameter variables) are recomputed.
+
+use crate::pipeline::{KcSimulator, ValueState};
+use qkc_circuit::{ParamMap, UnboundParam};
+use qkc_knowledge::{
+    evaluate, AcWeights, GibbsOptions, GibbsSampler, QueryVar,
+};
+use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO};
+
+impl KcSimulator {
+    /// Binds parameter values, producing a query handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit mentions a symbol absent from
+    /// `params`.
+    pub fn bind(&self, params: &ParamMap) -> Result<BoundKc<'_>, UnboundParam> {
+        let table = self.bayes_net().evaluate_weights(params)?;
+        let mut weights = AcWeights::uniform(self.encoding().cnf.num_vars());
+        let mut global = C_ONE;
+        for (var, node, slot) in self.encoding().vars.params() {
+            let value = table.value(node, slot);
+            match self.fixed().get(&var) {
+                // Unit resolution removed the variable: a forced-true
+                // parameter multiplies every model, so it becomes a global
+                // factor; forced-false contributes w(¬P) = 1.
+                Some(&true) => global *= value,
+                Some(&false) => {}
+                None => weights.set(var, value, C_ONE),
+            }
+        }
+        Ok(BoundKc {
+            sim: self,
+            weights,
+            global,
+        })
+    }
+}
+
+/// A compiled simulator bound to concrete parameter values.
+#[derive(Debug)]
+pub struct BoundKc<'a> {
+    sim: &'a KcSimulator,
+    weights: AcWeights,
+    global: Complex,
+}
+
+impl<'a> BoundKc<'a> {
+    /// The underlying compiled simulator.
+    pub fn simulator(&self) -> &KcSimulator {
+        self.sim
+    }
+
+    /// The amplitude of a full query assignment: `values` pairs with
+    /// [`KcSimulator::query`] order (outputs first, then random events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong arity or an out-of-domain value.
+    pub fn amplitude_assignment(&self, values: &[usize]) -> Complex {
+        let query = self.sim.query();
+        assert_eq!(values.len(), query.len(), "query arity mismatch");
+        let mut w = self.weights.clone();
+        for (spec, &value) in query.iter().zip(values) {
+            assert!(value < spec.domain, "value {value} out of domain");
+            if !set_evidence(&mut w, spec, value) {
+                return C_ZERO;
+            }
+        }
+        self.global * evaluate(self.sim.nnf(), &w)
+    }
+
+    /// The amplitude of output bitstring `outputs` (qubit 0 = most
+    /// significant bit) with random events assigned `rvs` (circuit order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rvs` has the wrong arity.
+    pub fn amplitude(&self, outputs: usize, rvs: &[usize]) -> Complex {
+        let n = self.sim.num_outputs();
+        let mut values: Vec<usize> = (0..n).map(|i| (outputs >> (n - 1 - i)) & 1).collect();
+        assert_eq!(
+            rvs.len(),
+            self.sim.num_random_events(),
+            "random-event arity mismatch"
+        );
+        values.extend_from_slice(rvs);
+        self.amplitude_assignment(&values)
+    }
+
+    /// The full output wavefunction of a noise-free circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has noise or measurement events.
+    pub fn wavefunction(&self) -> Vec<Complex> {
+        assert_eq!(
+            self.sim.num_random_events(),
+            0,
+            "wavefunction is only defined for noise-free circuits"
+        );
+        let n = self.sim.num_outputs();
+        (0..1usize << n).map(|x| self.amplitude(x, &[])).collect()
+    }
+
+    /// Measurement probabilities of every output bitstring:
+    /// `P(x) = Σ_K |amp(x, K)|²`. Enumerates random events — intended for
+    /// validation on small circuits.
+    pub fn output_probabilities(&self) -> Vec<f64> {
+        let n = self.sim.num_outputs();
+        let mut probs = vec![0.0; 1usize << n];
+        self.for_each_rv(|this, rvs| {
+            for (x, p) in probs.iter_mut().enumerate() {
+                *p += this.amplitude(x, rvs).norm_sqr();
+            }
+        });
+        probs
+    }
+
+    /// The full density matrix `ρ[x, x'] = Σ_K amp(x,K)·conj(amp(x',K))`.
+    /// Enumerates random events — validation-scale only.
+    pub fn density_matrix(&self) -> CMatrix {
+        let n = self.sim.num_outputs();
+        let dim = 1usize << n;
+        let mut rho = CMatrix::zeros(dim, dim);
+        self.for_each_rv(|this, rvs| {
+            let amps: Vec<Complex> = (0..dim).map(|x| this.amplitude(x, rvs)).collect();
+            for r in 0..dim {
+                for c in 0..dim {
+                    rho[(r, c)] += amps[r] * amps[c].conj();
+                }
+            }
+        });
+        rho
+    }
+
+    fn for_each_rv(&self, mut f: impl FnMut(&Self, &[usize])) {
+        let rv_specs = &self.sim.query()[self.sim.num_outputs()..];
+        let domains: Vec<usize> = rv_specs.iter().map(|s| s.domain).collect();
+        let mut rvs = vec![0usize; domains.len()];
+        loop {
+            f(self, &rvs);
+            let mut i = 0;
+            loop {
+                if i == domains.len() {
+                    return;
+                }
+                rvs[i] += 1;
+                if rvs[i] < domains[i] {
+                    break;
+                }
+                rvs[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Runs one upward+downward pass with evidence set to `(outputs, rvs)`
+    /// and returns the differentials (used by sensitivity queries).
+    pub(crate) fn differentials_for(
+        &self,
+        outputs: usize,
+        rvs: &[usize],
+    ) -> qkc_knowledge::Differentials {
+        let n = self.sim.num_outputs();
+        let mut values: Vec<usize> = (0..n).map(|i| (outputs >> (n - 1 - i)) & 1).collect();
+        values.extend_from_slice(rvs);
+        let query = self.sim.query();
+        let mut w = self.weights.clone();
+        for (spec, &value) in query.iter().zip(&values) {
+            set_evidence(&mut w, spec, value);
+        }
+        qkc_knowledge::evaluate_with_differentials(self.sim.nnf(), &w)
+    }
+
+    /// The global factor from unit-resolved parameters.
+    pub(crate) fn global(&self) -> Complex {
+        self.global
+    }
+
+    /// The current weight bound to a CNF variable's positive literal.
+    pub(crate) fn weight_of(&self, var: u32) -> Complex {
+        self.weights.get(var as i32)
+    }
+
+    /// Creates a Gibbs sampler over outputs and random events
+    /// (paper §3.3.2).
+    pub fn sampler(&self, options: &GibbsOptions) -> KcSampler<'_> {
+        let mut vars = Vec::new();
+        let mut value_maps = Vec::new();
+        for spec in self.sim.query() {
+            let free = spec.free_values();
+            if let Some(v) = spec.forced_value() {
+                // Unit resolution removed this variable from the circuit:
+                // it is pinned with no evidence to apply.
+                vars.push(QueryVar {
+                    label: spec.label.clone(),
+                    value_lits: Vec::new(),
+                    fixed: Some(0),
+                });
+                value_maps.push(vec![v]);
+            } else {
+                vars.push(QueryVar {
+                    label: spec.label.clone(),
+                    value_lits: free.iter().map(|&(_, l)| l).collect(),
+                    fixed: None,
+                });
+                value_maps.push(free.iter().map(|&(v, _)| v).collect());
+            }
+        }
+        let sampler = GibbsSampler::new(self.sim.nnf(), self.weights.clone(), vars, options);
+        KcSampler {
+            sampler,
+            value_maps,
+            num_outputs: self.sim.num_outputs(),
+        }
+    }
+}
+
+/// Writes evidence `spec = value` into the weight vector. Returns `false`
+/// if the value is impossible (forced false by unit resolution).
+fn set_evidence(w: &mut AcWeights, spec: &crate::pipeline::QuerySpec, value: usize) -> bool {
+    if matches!(spec.values[value], ValueState::ForcedFalse) {
+        return false;
+    }
+    // Binary nodes: one CNF variable carries both values.
+    if spec.domain == 2 {
+        if let (ValueState::Lit(l0), ValueState::Lit(l1)) = (spec.values[0], spec.values[1]) {
+            debug_assert_eq!(l0, -l1, "binary node literals must be complementary");
+            let var = l1.unsigned_abs();
+            let (pos, neg) = if value == 1 {
+                (C_ONE, C_ZERO)
+            } else {
+                (C_ZERO, C_ONE)
+            };
+            w.set(var, pos, neg);
+        }
+        // Fully forced binary node: nothing to set; consistency was checked.
+        return true;
+    }
+    // Indicator-encoded nodes: chosen free indicator 1, other free
+    // indicators 0, negative polarities 1.
+    for (v, state) in spec.values.iter().enumerate() {
+        if let ValueState::Lit(lit) = state {
+            let var = lit.unsigned_abs();
+            let chosen = if v == value { C_ONE } else { C_ZERO };
+            w.set(var, chosen, C_ONE);
+        }
+    }
+    true
+}
+
+/// A Gibbs sampler with query-variable value mapping back to circuit
+/// semantics.
+#[derive(Debug)]
+pub struct KcSampler<'a> {
+    sampler: GibbsSampler<'a>,
+    /// For each query var: chain-state index → actual domain value.
+    value_maps: Vec<Vec<usize>>,
+    num_outputs: usize,
+}
+
+impl<'a> KcSampler<'a> {
+    /// Draws `count` output bitstrings, taking `thin` coordinate updates
+    /// between records.
+    pub fn sample_outputs(&mut self, count: usize, thin: usize) -> Vec<usize> {
+        let maps = self.value_maps.clone();
+        let n = self.num_outputs;
+        self.sampler.sample_with(count, thin, move |state| {
+            let mut x = 0usize;
+            for (i, map) in maps.iter().take(n).enumerate() {
+                x |= map[state[i]] << (n - 1 - i);
+            }
+            x
+        })
+    }
+
+    /// The chain's current full assignment in domain values
+    /// (outputs then random events).
+    pub fn current_assignment(&self) -> Vec<usize> {
+        self.sampler
+            .state()
+            .iter()
+            .zip(&self.value_maps)
+            .map(|(&s, map)| map[s])
+            .collect()
+    }
+
+    /// Fraction of coordinate updates that moved.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.sampler.acceptance_rate()
+    }
+}

@@ -1,0 +1,316 @@
+//! The end-to-end knowledge-compilation pipeline (paper Figure 4):
+//! circuit → Bayesian network → CNF → (simplify) → d-DNNF → (elide,
+//! smooth) → reusable arithmetic circuit.
+
+use qkc_bayesnet::{BayesNet, NodeId};
+use qkc_circuit::Circuit;
+use qkc_cnf::{encode, simplify, Encoding, Lit, SimplifyError};
+use qkc_knowledge::{
+    compile, project_out, smooth, CompileOptions, CompileStats, Nnf, VarOrder,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct KcOptions {
+    /// Decision order for the knowledge compiler.
+    pub order: VarOrder,
+    /// Component caching in the knowledge compiler.
+    pub cache: bool,
+    /// Unit-resolution CNF simplification (paper §3.2.1 optimizations).
+    pub simplify_cnf: bool,
+    /// Elide internal qubit-state variables from the compiled circuit
+    /// (paper §3.2.2 optimization 1).
+    pub elide_internal: bool,
+}
+
+impl Default for KcOptions {
+    fn default() -> Self {
+        Self {
+            order: VarOrder::MinCutSeparator,
+            cache: true,
+            simplify_cnf: true,
+            elide_internal: true,
+        }
+    }
+}
+
+/// Sizes and timings of every pipeline stage — the quantities reported in
+/// the paper's Tables 4 and 6 and Figures 1 and 6.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineMetrics {
+    /// Bayesian-network node count.
+    pub bn_nodes: usize,
+    /// CNF variable count (before simplification).
+    pub cnf_vars: usize,
+    /// CNF clause count before simplification.
+    pub cnf_clauses: usize,
+    /// CNF clause count after unit resolution.
+    pub cnf_clauses_simplified: usize,
+    /// Variables fixed by unit resolution.
+    pub fixed_vars: usize,
+    /// d-DNNF nodes straight out of the compiler.
+    pub nnf_nodes_raw: usize,
+    /// d-DNNF nodes after elision + smoothing (the evaluated AC).
+    pub ac_nodes: usize,
+    /// AC edges.
+    pub ac_edges: usize,
+    /// AC serialized size in bytes (paper's "AC file size").
+    pub ac_size_bytes: usize,
+    /// Knowledge-compiler search statistics.
+    pub compile_stats: CompileStats,
+    /// Wall-clock seconds spent compiling (all stages).
+    pub compile_seconds: f64,
+}
+
+/// How one value of a query variable is realized in the compiled circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueState {
+    /// Evidence is set through this literal's weights.
+    Lit(Lit),
+    /// Unit resolution proved this value always holds.
+    ForcedTrue,
+    /// Unit resolution proved this value never holds.
+    ForcedFalse,
+}
+
+/// A query variable (final qubit state or noise/measurement RV) as seen by
+/// the evaluator.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The BN node.
+    pub node: NodeId,
+    /// The node's label (`q{i}m{t}` / `…rv`).
+    pub label: String,
+    /// Domain size.
+    pub domain: usize,
+    /// Per-value realization.
+    pub values: Vec<ValueState>,
+}
+
+impl QuerySpec {
+    /// The value forced by simplification, if the variable is fully
+    /// determined.
+    pub fn forced_value(&self) -> Option<usize> {
+        let mut candidates = self
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !matches!(v, ValueState::ForcedFalse));
+        match (candidates.next(), candidates.next()) {
+            (Some((v, _)), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Values that remain free (with their literals).
+    pub fn free_values(&self) -> Vec<(usize, Lit)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(v, s)| match s {
+                ValueState::Lit(l) => Some((v, *l)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A compiled, reusable simulator for one circuit: the paper's headline
+/// artifact. Compile once; re-bind parameters every variational iteration
+/// with [`KcSimulator::bind`].
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::{Circuit, ParamMap};
+/// use qkc_core::KcSimulator;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let sim = KcSimulator::compile(&c, &Default::default());
+/// let bound = sim.bind(&ParamMap::new()).unwrap();
+/// let amp = bound.amplitude(0b11, &[]);
+/// assert!((amp.norm_sqr() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct KcSimulator {
+    bn: BayesNet,
+    encoding: Encoding,
+    fixed: HashMap<u32, bool>,
+    nnf: Nnf,
+    query: Vec<QuerySpec>,
+    metrics: PipelineMetrics,
+}
+
+impl KcSimulator {
+    /// Runs the full compilation pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding is unsatisfiable, which cannot happen for a
+    /// well-formed circuit (see [`SimplifyError`]).
+    pub fn compile(circuit: &Circuit, options: &KcOptions) -> Self {
+        Self::try_compile(circuit, options).expect("valid circuits encode satisfiable CNFs")
+    }
+
+    /// Fallible variant of [`Self::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the CNF is unsatisfiable (malformed circuit).
+    pub fn try_compile(circuit: &Circuit, options: &KcOptions) -> Result<Self, SimplifyError> {
+        let start = Instant::now();
+        let bn = BayesNet::from_circuit(circuit);
+        let encoding = encode(&bn);
+        let mut metrics = PipelineMetrics {
+            bn_nodes: bn.num_nodes(),
+            cnf_vars: encoding.cnf.num_vars(),
+            cnf_clauses: encoding.cnf.num_clauses(),
+            ..Default::default()
+        };
+
+        let (work_cnf, fixed) = if options.simplify_cnf {
+            let s = simplify(&encoding.cnf)?;
+            (s.cnf, s.fixed)
+        } else {
+            (encoding.cnf.clone(), HashMap::new())
+        };
+        metrics.cnf_clauses_simplified = work_cnf.num_clauses();
+        metrics.fixed_vars = fixed.len();
+
+        let compiled = compile(
+            &work_cnf,
+            &CompileOptions {
+                order: options.order,
+                cache: options.cache,
+            },
+        );
+        metrics.nnf_nodes_raw = compiled.nnf.num_nodes();
+        metrics.compile_stats = compiled.stats;
+
+        // Build the query specification before transforming the circuit.
+        let query = Self::build_query(&bn, &encoding, &fixed);
+
+        // Elision: keep only query-variable literals and parameter
+        // variables; internal qubit states are summed out structurally.
+        let nnf = if options.elide_internal {
+            let mut keep: Vec<bool> = vec![false; encoding.cnf.num_vars() + 1];
+            for (v, _, _) in encoding.vars.params() {
+                keep[v as usize] = true;
+            }
+            for spec in &query {
+                for (_, lit) in spec.free_values() {
+                    keep[lit.unsigned_abs() as usize] = true;
+                }
+            }
+            project_out(&compiled.nnf, |v| keep[v as usize])
+        } else {
+            compiled.nnf
+        };
+
+        // Smooth over the free values of every query variable.
+        let groups: Vec<Vec<Lit>> = query
+            .iter()
+            .filter_map(|spec| {
+                let lits: Vec<Lit> = spec.free_values().iter().map(|&(_, l)| l).collect();
+                if lits.is_empty() {
+                    None
+                } else {
+                    Some(lits)
+                }
+            })
+            .collect();
+        let nnf = smooth(&nnf, &groups);
+
+        metrics.ac_nodes = nnf.num_nodes();
+        metrics.ac_edges = nnf.num_edges();
+        metrics.ac_size_bytes = nnf.size_bytes();
+        metrics.compile_seconds = start.elapsed().as_secs_f64();
+
+        Ok(Self {
+            bn,
+            encoding,
+            fixed,
+            nnf,
+            query,
+            metrics,
+        })
+    }
+
+    fn build_query(
+        bn: &BayesNet,
+        encoding: &Encoding,
+        fixed: &HashMap<u32, bool>,
+    ) -> Vec<QuerySpec> {
+        bn.query_nodes()
+            .into_iter()
+            .map(|node| {
+                let domain = bn.node(node).domain;
+                let values = (0..domain)
+                    .map(|value| {
+                        let lit = encoding.vars.value_lit(node, value);
+                        let var = lit.unsigned_abs();
+                        match fixed.get(&var) {
+                            None => ValueState::Lit(lit),
+                            Some(&polarity) => {
+                                if polarity == (lit > 0) {
+                                    ValueState::ForcedTrue
+                                } else {
+                                    ValueState::ForcedFalse
+                                }
+                            }
+                        }
+                    })
+                    .collect();
+                QuerySpec {
+                    node,
+                    label: bn.node(node).label.clone(),
+                    domain,
+                    values,
+                }
+            })
+            .collect()
+    }
+
+    /// The Bayesian network this simulator was compiled from.
+    pub fn bayes_net(&self) -> &BayesNet {
+        &self.bn
+    }
+
+    /// The CNF encoding (pre-simplification).
+    pub fn encoding(&self) -> &Encoding {
+        &self.encoding
+    }
+
+    /// The compiled, smoothed arithmetic circuit.
+    pub fn nnf(&self) -> &Nnf {
+        &self.nnf
+    }
+
+    /// Query-variable layout: outputs first (one per qubit), then
+    /// noise/measurement RVs in circuit order.
+    pub fn query(&self) -> &[QuerySpec] {
+        &self.query
+    }
+
+    /// Number of output qubits.
+    pub fn num_outputs(&self) -> usize {
+        self.bn.outputs().len()
+    }
+
+    /// Number of noise/measurement random events.
+    pub fn num_random_events(&self) -> usize {
+        self.bn.random_events().len()
+    }
+
+    /// Pipeline size/timing metrics.
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    pub(crate) fn fixed(&self) -> &HashMap<u32, bool> {
+        &self.fixed
+    }
+}

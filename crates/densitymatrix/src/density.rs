@@ -1,0 +1,377 @@
+//! The density-matrix representation and its update kernels.
+
+use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO};
+
+/// A mixed `n`-qubit quantum state: a `2^n × 2^n` complex density matrix,
+/// big-endian (qubit 0 is the most significant index bit).
+///
+/// Density matrices represent noisy states as probabilistic ensembles of
+/// pure states (`ρ = Σ_j p_j |ψ_j⟩⟨ψ_j|`, §2.2.1 of the paper) and are the
+/// classical way to simulate noise *channels* that cannot be expressed as
+/// unitary mixtures.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_densitymatrix::DensityMatrix;
+/// use qkc_math::CMatrix;
+///
+/// let mut rho = DensityMatrix::zero_state(1);
+/// rho.apply_unitary(&CMatrix::hadamard(), &[0]);
+/// assert!((rho.probabilities()[1] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    dim: usize,
+    /// Row-major `dim × dim` entries.
+    data: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0...0⟩⟨0...0|`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let dim = 1usize << num_qubits;
+        let mut data = vec![C_ZERO; dim * dim];
+        data[0] = C_ONE;
+        Self {
+            num_qubits,
+            dim,
+            data,
+        }
+    }
+
+    /// The projector `|ψ⟩⟨ψ|` of a pure state given by its amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude count is not a power of two.
+    pub fn from_pure(amps: &[Complex]) -> Self {
+        assert!(
+            amps.len().is_power_of_two() && !amps.is_empty(),
+            "amplitude count must be a nonzero power of two"
+        );
+        let dim = amps.len();
+        let mut data = vec![C_ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                data[r * dim + c] = amps[r] * amps[c].conj();
+            }
+        }
+        Self {
+            num_qubits: dim.trailing_zeros() as usize,
+            dim,
+            data,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Matrix dimension (`2^n`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The entry `ρ[r, c]`.
+    pub fn entry(&self, r: usize, c: usize) -> Complex {
+        self.data[r * self.dim + c]
+    }
+
+    /// Measurement probabilities: the real diagonal.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.data[i * self.dim + i].re).collect()
+    }
+
+    /// The trace (1 for a valid state).
+    pub fn trace(&self) -> Complex {
+        (0..self.dim).map(|i| self.data[i * self.dim + i]).sum()
+    }
+
+    /// The purity `Tr(ρ²)`; 1 for pure states, `1/2^n` for the maximally
+    /// mixed state.
+    pub fn purity(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                // Tr(ρ²) = Σ_{r,c} ρ[r,c]·ρ[c,r] = Σ |ρ[r,c]|² for Hermitian ρ.
+                acc += (self.entry(r, c) * self.entry(c, r)).re;
+            }
+        }
+        acc
+    }
+
+    /// Converts to a dense [`CMatrix`] (for small-system comparisons).
+    pub fn to_matrix(&self) -> CMatrix {
+        CMatrix::from_rows(self.dim, self.dim, self.data.clone())
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &DensityMatrix, tol: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    #[inline]
+    fn bit_pos(&self, qubit: usize) -> usize {
+        self.num_qubits - 1 - qubit
+    }
+
+    /// Offsets of the `2^k` sub-basis states of `qubits` inside a full index.
+    fn offsets(&self, qubits: &[usize]) -> Vec<usize> {
+        let k = qubits.len();
+        (0..1usize << k)
+            .map(|y| {
+                let mut off = 0usize;
+                for (i, &q) in qubits.iter().enumerate() {
+                    if (y >> (k - 1 - i)) & 1 == 1 {
+                        off |= 1 << self.bit_pos(q);
+                    }
+                }
+                off
+            })
+            .collect()
+    }
+
+    /// Iterates base indices whose `qubits` bits are all zero.
+    fn bases(&self, qubits: &[usize]) -> Vec<usize> {
+        let mut positions: Vec<usize> = qubits.iter().map(|&q| self.bit_pos(q)).collect();
+        positions.sort_unstable();
+        let outer = self.dim >> qubits.len();
+        (0..outer)
+            .map(|c| {
+                let mut idx = c;
+                for &p in &positions {
+                    idx = ((idx >> p) << (p + 1)) | (idx & ((1 << p) - 1));
+                }
+                idx
+            })
+            .collect()
+    }
+
+    /// In-place `ρ ← (M ⊗ I) · ρ` where `M` acts on `qubits`' row indices.
+    fn apply_matrix_rows(&mut self, m: &CMatrix, qubits: &[usize]) {
+        let offsets = self.offsets(qubits);
+        let bases = self.bases(qubits);
+        let sub = offsets.len();
+        let mut gathered = vec![C_ZERO; sub];
+        for col in 0..self.dim {
+            for &base in &bases {
+                for (y, &off) in offsets.iter().enumerate() {
+                    gathered[y] = self.data[(base | off) * self.dim + col];
+                }
+                for (row, &off) in offsets.iter().enumerate() {
+                    let mut acc = C_ZERO;
+                    for (k, &g) in gathered.iter().enumerate() {
+                        acc += m[(row, k)] * g;
+                    }
+                    self.data[(base | off) * self.dim + col] = acc;
+                }
+            }
+        }
+    }
+
+    /// In-place `ρ ← ρ · (M ⊗ I)†` where `M` acts on `qubits`' column
+    /// indices.
+    fn apply_matrix_cols_adjoint(&mut self, m: &CMatrix, qubits: &[usize]) {
+        let offsets = self.offsets(qubits);
+        let bases = self.bases(qubits);
+        let sub = offsets.len();
+        let mut gathered = vec![C_ZERO; sub];
+        for row in 0..self.dim {
+            let row_base = row * self.dim;
+            for &base in &bases {
+                for (y, &off) in offsets.iter().enumerate() {
+                    gathered[y] = self.data[row_base + (base | off)];
+                }
+                // ρ'[r, c] = Σ_k ρ[r, k]·conj(M[c, k])
+                for (colv, &off) in offsets.iter().enumerate() {
+                    let mut acc = C_ZERO;
+                    for (k, &g) in gathered.iter().enumerate() {
+                        acc += g * m[(colv, k)].conj();
+                    }
+                    self.data[row_base + (base | off)] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies a unitary: `ρ ← U ρ U†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension does not match `qubits.len()`.
+    pub fn apply_unitary(&mut self, u: &CMatrix, qubits: &[usize]) {
+        assert_eq!(u.rows(), 1 << qubits.len(), "gate dimension mismatch");
+        self.apply_matrix_rows(u, qubits);
+        self.apply_matrix_cols_adjoint(u, qubits);
+    }
+
+    /// Applies a channel given by Kraus operators:
+    /// `ρ ← Σ_k E_k ρ E_k†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator dimension does not match `qubits.len()`.
+    pub fn apply_kraus(&mut self, kraus: &[CMatrix], qubits: &[usize]) {
+        let mut acc: Option<DensityMatrix> = None;
+        for e in kraus {
+            assert_eq!(e.rows(), 1 << qubits.len(), "Kraus dimension mismatch");
+            let mut branch = self.clone();
+            branch.apply_matrix_rows(e, qubits);
+            branch.apply_matrix_cols_adjoint(e, qubits);
+            acc = Some(match acc {
+                None => branch,
+                Some(mut a) => {
+                    for (x, y) in a.data.iter_mut().zip(&branch.data) {
+                        *x += *y;
+                    }
+                    a
+                }
+            });
+        }
+        *self = acc.expect("at least one Kraus operator");
+    }
+
+    /// Applies a classical permutation of sub-basis states on `qubits` to
+    /// both indices.
+    pub fn apply_permutation(&mut self, table: &[usize], qubits: &[usize]) {
+        let k = qubits.len();
+        assert_eq!(table.len(), 1 << k, "permutation length mismatch");
+        let mut u = CMatrix::zeros(table.len(), table.len());
+        for (x, &y) in table.iter().enumerate() {
+            u[(y, x)] = C_ONE;
+        }
+        self.apply_unitary(&u, qubits);
+    }
+
+    /// Dephases `qubit` (projects onto the computational basis): the density
+    /// matrix semantics of a deferred measurement.
+    pub fn dephase(&mut self, qubit: usize) {
+        let p = self.bit_pos(qubit);
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if (r >> p) & 1 != (c >> p) & 1 {
+                    self.data[r * self.dim + c] = C_ZERO;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::{Gate, NoiseChannel, ParamMap};
+
+    fn gate(g: Gate) -> CMatrix {
+        g.unitary(&ParamMap::new()).unwrap()
+    }
+
+    #[test]
+    fn zero_state_is_valid() {
+        let rho = DensityMatrix::zero_state(2);
+        assert!(rho.trace().approx_eq(C_ONE, 1e-15));
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert_eq!(rho.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn unitary_preserves_trace_and_purity() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_unitary(&gate(Gate::H), &[0]);
+        rho.apply_unitary(&gate(Gate::Cnot), &[0, 1]);
+        assert!(rho.trace().approx_eq(C_ONE, 1e-12));
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+        let p = rho.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12 && (p[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_paper_equation_3() {
+        // Figure 2: H, PD(0.36), CNOT on |00>.
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_unitary(&gate(Gate::H), &[0]);
+        let kraus = NoiseChannel::phase_damping(0.36)
+            .kraus(&ParamMap::new())
+            .unwrap();
+        rho.apply_kraus(&kraus, &[0]);
+        rho.apply_unitary(&gate(Gate::Cnot), &[0, 1]);
+        assert!(rho.entry(0, 0).approx_eq(Complex::real(0.5), 1e-12));
+        assert!(rho.entry(0, 3).approx_eq(Complex::real(0.4), 1e-12));
+        assert!(rho.entry(3, 0).approx_eq(Complex::real(0.4), 1e-12));
+        assert!(rho.entry(3, 3).approx_eq(Complex::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_unitary(&gate(Gate::H), &[0]);
+        let before = rho.purity();
+        let kraus = NoiseChannel::depolarizing(0.2)
+            .kraus(&ParamMap::new())
+            .unwrap();
+        rho.apply_kraus(&kraus, &[0]);
+        assert!(rho.purity() < before);
+        assert!(rho.trace().approx_eq(C_ONE, 1e-12));
+    }
+
+    #[test]
+    fn kraus_on_embedded_qubit_matches_reference() {
+        use qkc_circuit::reference;
+        let mut c = qkc_circuit::Circuit::new(3);
+        c.h(0).cnot(0, 2).amplitude_damp(2, 0.4).t(1);
+        let want = reference::run_density(&c, &ParamMap::new()).unwrap();
+
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_unitary(&gate(Gate::H), &[0]);
+        rho.apply_unitary(&gate(Gate::Cnot), &[0, 2]);
+        let kraus = NoiseChannel::amplitude_damping(0.4)
+            .kraus(&ParamMap::new())
+            .unwrap();
+        rho.apply_kraus(&kraus, &[2]);
+        rho.apply_unitary(&gate(Gate::T), &[1]);
+
+        for r in 0..8 {
+            for cc in 0..8 {
+                assert!(
+                    rho.entry(r, cc).approx_eq(want[(r, cc)], 1e-10),
+                    "entry ({r},{cc})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dephase_kills_coherences() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_unitary(&gate(Gate::H), &[0]);
+        rho.dephase(0);
+        assert!(rho.entry(0, 1).approx_eq(C_ZERO, 1e-15));
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pure_is_projector() {
+        let s = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        let rho = DensityMatrix::from_pure(&[s, C_ZERO, C_ZERO, s]);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(rho.entry(0, 3).approx_eq(Complex::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn permutation_acts_on_both_sides() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_unitary(&gate(Gate::H), &[0]);
+        rho.apply_permutation(&[0, 2, 1, 3], &[0, 1]); // SWAP
+        // H was on qubit 0; after SWAP superposition lives on qubit 1.
+        let p = rho.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12);
+    }
+}

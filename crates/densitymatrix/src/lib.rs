@@ -1,0 +1,26 @@
+//! Density-matrix quantum circuit simulator — the workspace's analogue of
+//! Cirq's `DensityMatrixSimulator`, the noisy-circuit baseline in the
+//! paper's Figure 9.
+//!
+//! Mixed states are stored as dense `2^n × 2^n` matrices; gates conjugate
+//! the matrix (`UρU†`) and noise applies Kraus sums (`Σ E_k ρ E_k†`).
+//! Sampling draws from the final diagonal.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_circuit::{Circuit, ParamMap};
+//! use qkc_densitymatrix::DensityMatrixSimulator;
+//!
+//! // Noisy Bell pair: the paper's running example (Figure 2).
+//! let mut c = Circuit::new(2);
+//! c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+//! let rho = DensityMatrixSimulator::new().run(&c, &ParamMap::new()).unwrap();
+//! assert!((rho.entry(0, 3).re - 0.4).abs() < 1e-12); // Equation 3
+//! ```
+
+mod density;
+mod simulator;
+
+pub use density::DensityMatrix;
+pub use simulator::DensityMatrixSimulator;

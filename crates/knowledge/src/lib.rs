@@ -1,0 +1,44 @@
+//! Knowledge compilation for quantum circuit simulation — stage 3 of the
+//! paper's toolchain (Figure 4, §3.2.2–3.3).
+//!
+//! A CNF encoding of a noisy quantum circuit is compiled once into a
+//! deterministic decomposable circuit ([`Nnf`]) by an exhaustive-DPLL
+//! compiler with unit propagation, component decomposition, and component
+//! caching ([`compile`]); post-processed by internal-state elision
+//! ([`project_out`]) and query-variable smoothing ([`smooth`]); and then
+//! evaluated repeatedly as an *arithmetic circuit*: upward for amplitudes
+//! ([`evaluate`]), upward+downward for all single-flip amplitudes at once
+//! ([`evaluate_with_differentials`]), which drives the [`GibbsSampler`].
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_cnf::Cnf;
+//! use qkc_knowledge::{compile, evaluate, smooth, AcWeights, CompileOptions};
+//! use qkc_math::Complex;
+//!
+//! // WMC of (v1 ∨ v2) with w(+v1) = 0.25, w(+v2) = 0.5:
+//! let mut f = Cnf::new(2);
+//! f.add_clause(vec![1, 2]);
+//! let compiled = compile(&f, &CompileOptions::default());
+//! let nnf = smooth(&compiled.nnf, &[vec![1, -1], vec![2, -2]]);
+//! let mut w = AcWeights::uniform(2);
+//! w.set(1, Complex::real(0.25), Complex::real(1.0));
+//! w.set(2, Complex::real(0.5), Complex::real(1.0));
+//! // models: (T,T) .125 + (T,F) .25 + (F,T) .5 = 0.875
+//! assert!((evaluate(&nnf, &w).re - 0.875).abs() < 1e-12);
+//! ```
+
+mod compiler;
+mod evaluate;
+mod gibbs;
+mod nnf;
+mod order;
+mod transform;
+
+pub use compiler::{compile, Compiled, CompileOptions, CompileStats};
+pub use evaluate::{evaluate, evaluate_with_differentials, AcWeights, Differentials};
+pub use gibbs::{GibbsOptions, GibbsSampler, QueryVar};
+pub use nnf::{Nnf, NnfBuilder, NnfId, NnfNode};
+pub use order::{compute_ranks, VarOrder};
+pub use transform::{project_out, smooth};

@@ -1,0 +1,249 @@
+//! Decision-variable orders for the knowledge compiler (paper §3.2.2,
+//! optimization 2: "qubit state elimination order").
+//!
+//! * [`VarOrder::Lexicographic`] follows variable creation order, which for
+//!   circuit encodings is time order — the paper's lexicographic option.
+//! * [`VarOrder::MinCutSeparator`] recursively bisects the variable
+//!   interaction graph and ranks each separator ahead of the halves it
+//!   splits, so decisions disconnect the formula early. This plays the role
+//!   of c2d's hypergraph-partitioning dtree (our stand-in: BFS-grown
+//!   balanced bisection, documented in DESIGN.md).
+
+use qkc_cnf::{lit_var, Cnf};
+use std::collections::HashSet;
+
+/// The available decision orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarOrder {
+    /// Variable-index order (circuit time order).
+    Lexicographic,
+    /// Separator-first order from recursive min-cut bisection.
+    #[default]
+    MinCutSeparator,
+}
+
+/// Computes `rank[var]` (1-based vars; index 0 unused): the compiler always
+/// branches on the unassigned variable of minimum rank within a component.
+pub fn compute_ranks(cnf: &Cnf, order: VarOrder) -> Vec<u32> {
+    let n = cnf.num_vars();
+    match order {
+        VarOrder::Lexicographic => (0..=n as u32).collect(),
+        VarOrder::MinCutSeparator => separator_ranks(cnf),
+    }
+}
+
+fn separator_ranks(cnf: &Cnf) -> Vec<u32> {
+    let n = cnf.num_vars();
+    // Variable interaction graph: adjacency via shared clauses.
+    let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); n + 1];
+    for clause in cnf.clauses() {
+        for (i, &a) in clause.iter().enumerate() {
+            for &b in &clause[i + 1..] {
+                let (va, vb) = (lit_var(a), lit_var(b));
+                if va != vb {
+                    adj[va as usize].insert(vb);
+                    adj[vb as usize].insert(va);
+                }
+            }
+        }
+    }
+    let mut rank = vec![u32::MAX; n + 1];
+    let mut next_rank = 0u32;
+    let mut assign = |v: u32, rank: &mut Vec<u32>, next: &mut u32| {
+        if rank[v as usize] == u32::MAX {
+            rank[v as usize] = *next;
+            *next += 1;
+        }
+    };
+
+    // Process each connected component of the interaction graph.
+    let mut seen = vec![false; n + 1];
+    for start in 1..=n as u32 {
+        if seen[start as usize] {
+            continue;
+        }
+        // Gather the component.
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen[start as usize] = true;
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for &w in &adj[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        bisect(&comp, &adj, &mut rank, &mut next_rank, &mut assign);
+    }
+    // Isolated / never-mentioned variables get trailing ranks.
+    for v in 1..=n as u32 {
+        assign(v, &mut rank, &mut next_rank);
+    }
+    rank
+}
+
+/// Recursively ranks `vars`: find a balanced bisection by BFS layering, rank
+/// the boundary (separator) first, then recurse into both halves.
+fn bisect(
+    vars: &[u32],
+    adj: &[HashSet<u32>],
+    rank: &mut Vec<u32>,
+    next_rank: &mut u32,
+    assign: &mut impl FnMut(u32, &mut Vec<u32>, &mut u32),
+) {
+    if vars.len() <= 3 {
+        let mut sorted = vars.to_vec();
+        sorted.sort_unstable();
+        for v in sorted {
+            assign(v, rank, next_rank);
+        }
+        return;
+    }
+    let in_vars: HashSet<u32> = vars.iter().copied().collect();
+    // BFS from the minimum-degree vertex gives a rough diameter ordering.
+    let start = *vars
+        .iter()
+        .min_by_key(|&&v| adj[v as usize].iter().filter(|w| in_vars.contains(w)).count())
+        .expect("non-empty");
+    let mut order = Vec::with_capacity(vars.len());
+    let mut visited: HashSet<u32> = HashSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    visited.insert(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        let mut nbrs: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|w| in_vars.contains(w) && !visited.contains(w))
+            .collect();
+        nbrs.sort_unstable();
+        for w in nbrs {
+            visited.insert(w);
+            queue.push_back(w);
+        }
+    }
+    // Vertices unreachable inside the component slice (can happen after the
+    // separator is removed) are appended.
+    for &v in vars {
+        if !visited.contains(&v) {
+            order.push(v);
+        }
+    }
+    let half = order.len() / 2;
+    let a: HashSet<u32> = order[..half].iter().copied().collect();
+    let b: HashSet<u32> = order[half..].iter().copied().collect();
+    // Separator: vertices of A adjacent to B (take the smaller boundary
+    // side for a tighter cut).
+    let boundary_a: Vec<u32> = a
+        .iter()
+        .copied()
+        .filter(|&v| adj[v as usize].iter().any(|w| b.contains(w)))
+        .collect();
+    let boundary_b: Vec<u32> = b
+        .iter()
+        .copied()
+        .filter(|&v| adj[v as usize].iter().any(|w| a.contains(w)))
+        .collect();
+    let mut sep = if boundary_a.len() <= boundary_b.len() {
+        boundary_a
+    } else {
+        boundary_b
+    };
+    if sep.is_empty() || sep.len() >= vars.len() {
+        // Degenerate cut: fall back to BFS order.
+        for v in order {
+            assign(v, rank, next_rank);
+        }
+        return;
+    }
+    sep.sort_unstable();
+    for &v in &sep {
+        assign(v, rank, next_rank);
+    }
+    let sep_set: HashSet<u32> = sep.into_iter().collect();
+    let rest_a: Vec<u32> = order[..half]
+        .iter()
+        .copied()
+        .filter(|v| !sep_set.contains(v))
+        .collect();
+    let rest_b: Vec<u32> = order[half..]
+        .iter()
+        .copied()
+        .filter(|v| !sep_set.contains(v))
+        .collect();
+    if !rest_a.is_empty() {
+        bisect(&rest_a, adj, rank, next_rank, assign);
+    }
+    if !rest_b.is_empty() {
+        bisect(&rest_b, adj, rank, next_rank, assign);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_cnf(n: usize) -> Cnf {
+        // v1 - v2 - ... - vn, a path graph.
+        let mut f = Cnf::new(n);
+        for v in 1..n {
+            f.add_clause(vec![v as i32, (v + 1) as i32]);
+        }
+        f
+    }
+
+    #[test]
+    fn lexicographic_is_identity() {
+        let f = chain_cnf(5);
+        let r = compute_ranks(&f, VarOrder::Lexicographic);
+        assert_eq!(r[1..], [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn separator_ranks_are_a_permutation() {
+        let f = chain_cnf(12);
+        let r = compute_ranks(&f, VarOrder::MinCutSeparator);
+        let mut seen: Vec<u32> = r[1..].to_vec();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..12).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn separator_of_chain_is_ranked_first() {
+        // For a path, the bisection separator is a middle vertex; it must
+        // get the smallest rank in its component.
+        let f = chain_cnf(9);
+        let r = compute_ranks(&f, VarOrder::MinCutSeparator);
+        let min_var = (1..=9).min_by_key(|&v| r[v]).unwrap();
+        assert!(
+            (3..=7).contains(&min_var),
+            "first decision {min_var} should be near the middle"
+        );
+    }
+
+    #[test]
+    fn isolated_vars_get_ranks() {
+        let mut f = Cnf::new(4);
+        f.add_clause(vec![1, 2]);
+        // vars 3, 4 never mentioned.
+        let r = compute_ranks(&f, VarOrder::MinCutSeparator);
+        assert!(r[3] != u32::MAX && r[4] != u32::MAX);
+    }
+
+    #[test]
+    fn disconnected_components_each_ranked() {
+        let mut f = Cnf::new(6);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![2, 3]);
+        f.add_clause(vec![4, 5]);
+        f.add_clause(vec![5, 6]);
+        let r = compute_ranks(&f, VarOrder::MinCutSeparator);
+        let mut all: Vec<u32> = r[1..].to_vec();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<u32>>());
+    }
+}

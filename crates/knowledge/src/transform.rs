@@ -1,0 +1,279 @@
+//! d-DNNF post-processing: internal-state elision and smoothing.
+//!
+//! * [`project_out`] removes literals of summed-out variables (intermediate
+//!   qubit states) by replacing them with ⊤ and re-simplifying bottom-up
+//!   through the hash-consing builder — the paper's "qubit state elision"
+//!   (§3.2.2, optimization 1), which lets the circuit compute output
+//!   amplitudes without materializing intermediate-state structure.
+//! * [`smooth`] makes the circuit smooth over the *query* variable groups
+//!   (final qubit states, noise RVs, measurement RVs) so that evidence and
+//!   differential queries are exact.
+
+use crate::nnf::{Nnf, NnfBuilder, NnfId, NnfNode};
+use qkc_cnf::{lit_var, Lit};
+use std::collections::HashMap;
+
+/// Rebuilds the circuit with every literal of a variable failing `keep`
+/// replaced by ⊤. Sound for evaluation whenever the dropped variables carry
+/// weight 1 on both polarities and never receive evidence.
+pub fn project_out(nnf: &Nnf, keep: impl Fn(u32) -> bool) -> Nnf {
+    let mut b = NnfBuilder::new();
+    let mut map: Vec<NnfId> = Vec::with_capacity(nnf.num_nodes());
+    for node in nnf.nodes() {
+        let new_id = match node {
+            NnfNode::True => b.true_id(),
+            NnfNode::False => b.false_id(),
+            NnfNode::Lit(l) => {
+                if keep(lit_var(*l)) {
+                    b.lit(*l)
+                } else {
+                    b.true_id()
+                }
+            }
+            NnfNode::And(cs) => {
+                let children: Vec<NnfId> = cs.iter().map(|&c| map[c as usize]).collect();
+                b.and(children)
+            }
+            NnfNode::Or(a, c) => b.or(map[*a as usize], map[*c as usize]),
+        };
+        map.push(new_id);
+    }
+    b.extract(map[nnf.root() as usize])
+}
+
+/// Makes the circuit smooth over the given variable groups.
+///
+/// Each group lists the literals covering one query variable's domain:
+/// `[+v, -v]` for a binary-encoded node, or the positive indicator literals
+/// for a multi-valued node. After smoothing, every model of the circuit
+/// mentions exactly one literal from every group, which is the precondition
+/// for evidence setting and differential queries to be exact.
+pub fn smooth(nnf: &Nnf, groups: &[Vec<Lit>]) -> Nnf {
+    let num_groups = groups.len();
+    if num_groups == 0 {
+        return project_out(nnf, |_| true); // copy
+    }
+    // var -> group index
+    let mut group_of: HashMap<u32, usize> = HashMap::new();
+    for (gi, lits) in groups.iter().enumerate() {
+        for &l in lits {
+            group_of.insert(lit_var(l), gi);
+        }
+    }
+    let blocks = num_groups.div_ceil(64);
+    // Group bitsets per original node, flat storage.
+    let mut sets = vec![0u64; nnf.num_nodes() * blocks];
+    let set_bit = |sets: &mut [u64], node: usize, g: usize| {
+        sets[node * blocks + g / 64] |= 1 << (g % 64);
+    };
+    for (i, node) in nnf.nodes().iter().enumerate() {
+        match node {
+            NnfNode::Lit(l) => {
+                if let Some(&g) = group_of.get(&lit_var(*l)) {
+                    set_bit(&mut sets, i, g);
+                }
+            }
+            NnfNode::And(cs) => {
+                for &c in cs.iter() {
+                    for blk in 0..blocks {
+                        sets[i * blocks + blk] |= sets[c as usize * blocks + blk];
+                    }
+                }
+            }
+            NnfNode::Or(a, c) => {
+                for &child in [*a, *c].iter() {
+                    for blk in 0..blocks {
+                        sets[i * blocks + blk] |= sets[child as usize * blocks + blk];
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut b = NnfBuilder::new();
+    // Sum-out gadget per group: an OR-chain over the group's literals.
+    let gadgets: Vec<NnfId> = groups
+        .iter()
+        .map(|lits| {
+            let mut acc: Option<NnfId> = None;
+            for &l in lits {
+                let ln = b.lit(l);
+                acc = Some(match acc {
+                    None => ln,
+                    Some(prev) => b.or(prev, ln),
+                });
+            }
+            acc.expect("non-empty group")
+        })
+        .collect();
+
+    // Pad a child up to the group set `want`.
+    let missing_groups = |sets: &[u64], node: usize, want: &[u64]| -> Vec<usize> {
+        let mut out = Vec::new();
+        for g in 0..num_groups {
+            let has = sets[node * blocks + g / 64] >> (g % 64) & 1 == 1;
+            let wanted = want[g / 64] >> (g % 64) & 1 == 1;
+            if wanted && !has {
+                out.push(g);
+            }
+        }
+        out
+    };
+
+    let mut map: Vec<NnfId> = Vec::with_capacity(nnf.num_nodes());
+    for (i, node) in nnf.nodes().iter().enumerate() {
+        let new_id = match node {
+            NnfNode::True => b.true_id(),
+            NnfNode::False => b.false_id(),
+            NnfNode::Lit(l) => b.lit(*l),
+            NnfNode::And(cs) => {
+                let children: Vec<NnfId> = cs.iter().map(|&c| map[c as usize]).collect();
+                b.and(children)
+            }
+            NnfNode::Or(a, c) => {
+                let want: Vec<u64> = sets[i * blocks..(i + 1) * blocks].to_vec();
+                let mut padded = [map[*a as usize], map[*c as usize]];
+                for (slot, &child) in [*a, *c].iter().enumerate() {
+                    let miss = missing_groups(&sets, child as usize, &want);
+                    if !miss.is_empty() {
+                        let mut parts = vec![padded[slot]];
+                        parts.extend(miss.iter().map(|&g| gadgets[g]));
+                        padded[slot] = b.and(parts);
+                    }
+                }
+                b.or(padded[0], padded[1])
+            }
+        };
+        map.push(new_id);
+    }
+    // Pad the root to cover every group.
+    let full: Vec<u64> = (0..blocks)
+        .map(|blk| {
+            let hi = (num_groups - blk * 64).min(64);
+            if hi >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << hi) - 1
+            }
+        })
+        .collect();
+    let root_missing = missing_groups(&sets, nnf.root() as usize, &full);
+    let mut root = map[nnf.root() as usize];
+    if !root_missing.is_empty() {
+        let mut parts = vec![root];
+        parts.extend(root_missing.iter().map(|&g| gadgets[g]));
+        root = b.and(parts);
+    }
+    b.extract(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompileOptions};
+    use crate::evaluate::{evaluate, AcWeights};
+    use qkc_cnf::Cnf;
+    use qkc_math::{Complex, C_ONE, C_ZERO};
+
+    #[test]
+    fn project_out_sums_over_dropped_vars() {
+        // f = XOR(v1, v2): models (1,0) and (0,1); every model mentions v2
+        // (the soundness condition for projection, which circuit encodings
+        // guarantee for internal states). Projecting v2 sums it out:
+        // Σ_{v2} f(v1=b, ·) = 1 for both b.
+        let mut f = Cnf::new(2);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-1, -2]);
+        let c = compile(&f, &CompileOptions::default());
+        let p = project_out(&c.nnf, |v| v == 1);
+        let mut w = AcWeights::uniform(2);
+        w.set(1, C_ONE, C_ZERO); // evidence v1 = 1
+        assert!(evaluate(&p, &w).approx_eq(C_ONE, 1e-12));
+        w.set(1, C_ZERO, C_ONE); // evidence v1 = 0
+        assert!(evaluate(&p, &w).approx_eq(C_ONE, 1e-12));
+        // With v2 weighted 2.0 on both polarities before projection the sum
+        // doubles — check against the unprojected circuit.
+        let mut w2 = AcWeights::uniform(2);
+        w2.set(1, C_ONE, C_ZERO);
+        w2.set(2, Complex::real(2.0), Complex::real(2.0));
+        assert!(evaluate(&c.nnf, &w2).approx_eq(Complex::real(2.0), 1e-12));
+    }
+
+    #[test]
+    fn project_out_shrinks_circuit() {
+        let mut f = Cnf::new(4);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-2, 3]);
+        f.add_clause(vec![3, 4]);
+        let c = compile(&f, &CompileOptions::default());
+        let p = project_out(&c.nnf, |v| v == 1);
+        assert!(p.num_nodes() <= c.nnf.num_nodes());
+        assert_eq!(p.mentioned_vars(), vec![1]);
+    }
+
+    #[test]
+    fn smoothing_preserves_full_evidence_values() {
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-1, 3]);
+        let c = compile(&f, &CompileOptions::default());
+        let groups: Vec<Vec<i32>> = (1..=3).map(|v| vec![v, -v]).collect();
+        let s = smooth(&c.nnf, &groups);
+        // Under any full evidence, smoothed and raw circuits agree.
+        for mask in 0..8u32 {
+            let mut w = AcWeights::uniform(3);
+            for v in 1..=3u32 {
+                if (mask >> (v - 1)) & 1 == 1 {
+                    w.set(v, C_ONE, C_ZERO);
+                } else {
+                    w.set(v, C_ZERO, C_ONE);
+                }
+            }
+            let raw = evaluate(&c.nnf, &w);
+            let smoothed = evaluate(&s, &w);
+            assert!(
+                smoothed.approx_eq(raw, 1e-12),
+                "mask {mask}: {smoothed} vs {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_fixes_partial_mention() {
+        // f = (v1): v2 never mentioned. Unsmoothed circuit ignores v2's
+        // evidence; smoothed circuit respects it.
+        let mut f = Cnf::new(2);
+        f.add_clause(vec![1]);
+        let c = compile(&f, &CompileOptions::default());
+        let groups = vec![vec![1, -1], vec![2, -2]];
+        let s = smooth(&c.nnf, &groups);
+        let mut w = AcWeights::uniform(2);
+        w.set(1, C_ONE, C_ZERO);
+        w.set(2, C_ZERO, C_ZERO); // impossible evidence for v2
+        assert!(evaluate(&s, &w).approx_eq(C_ZERO, 1e-12));
+        w.set(2, C_ONE, C_ZERO);
+        assert!(evaluate(&s, &w).approx_eq(C_ONE, 1e-12));
+    }
+
+    #[test]
+    fn smoothing_multivalued_group() {
+        // One "3-valued" group of indicator vars 1..3 with an exactly-one
+        // constraint, plus an unconstrained binary var group.
+        let mut f = Cnf::new(4);
+        f.add_clause(vec![1, 2, 3]);
+        f.add_clause(vec![-1, -2]);
+        f.add_clause(vec![-1, -3]);
+        f.add_clause(vec![-2, -3]);
+        let c = compile(&f, &CompileOptions::default());
+        let groups = vec![vec![1, 2, 3], vec![4, -4]];
+        let s = smooth(&c.nnf, &groups);
+        // Evidence: indicator value 1 (var 2 true, others false), v4 free.
+        let mut w = AcWeights::uniform(4);
+        w.set(1, C_ZERO, C_ONE);
+        w.set(2, C_ONE, C_ONE);
+        w.set(3, C_ZERO, C_ONE);
+        // v4 both polarities weight 1 → sums to 2 over v4.
+        assert!(evaluate(&s, &w).approx_eq(Complex::real(2.0), 1e-12));
+    }
+}

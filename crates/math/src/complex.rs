@@ -1,0 +1,387 @@
+//! Complex numbers over `f64`.
+//!
+//! The toolchain manipulates quantum amplitudes, which are complex-valued, and
+//! noise probabilities, which are real-valued; both are carried uniformly as
+//! [`Complex`]. The type is deliberately minimal — exactly the operations the
+//! simulators need — and is `Copy` so amplitude kernels stay allocation-free.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i` with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_math::Complex;
+///
+/// let h = Complex::new(1.0, 0.0) / Complex::new(2.0_f64.sqrt(), 0.0);
+/// assert!((h.norm_sqr() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+/// The additive identity, `0 + 0i`.
+pub const C_ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+/// The multiplicative identity, `1 + 0i`.
+pub const C_ONE: Complex = Complex { re: 1.0, im: 0.0 };
+/// The imaginary unit, `0 + 1i`.
+pub const C_I: Complex = Complex { re: 0.0, im: 1.0 };
+/// `1/sqrt(2)`, the Hadamard amplitude.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Creates `r·e^{iθ}` from polar coordinates.
+    ///
+    /// ```
+    /// use qkc_math::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - Complex::new(0.0, 2.0)).norm() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit phase.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate `re - im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// The squared magnitude `re² + im²`.
+    ///
+    /// For an amplitude this is the Born-rule measurement probability.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `sqrt(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; inverting zero yields non-finite components, matching
+    /// `f64` division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality with absolute tolerance `tol` on both components.
+    ///
+    /// ```
+    /// use qkc_math::Complex;
+    /// assert!(Complex::new(1.0, 0.0).approx_eq(Complex::new(1.0 + 1e-13, 0.0), 1e-9));
+    /// ```
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` if the value is within `tol` of zero.
+    #[inline]
+    pub fn approx_zero(self, tol: f64) -> bool {
+        self.norm() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(C_ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(C_ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{:+.6}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{:+.6}i", self.im)
+        } else {
+            write!(f, "{:+.6}{:+.6}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        a.approx_eq(b, 1e-10)
+    }
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex::new(1.5, -2.0).re, 1.5);
+        assert_eq!(Complex::real(3.0), Complex::new(3.0, 0.0));
+        assert_eq!(Complex::imag(3.0), Complex::new(0.0, 3.0));
+        assert_eq!(C_ZERO + C_ONE, C_ONE);
+        assert_eq!(C_I * C_I, -C_ONE);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_phase() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            assert!((Complex::cis(theta).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_hand_calculation() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!(close(a + b, Complex::new(4.0, 1.0)));
+        assert!(close(a - b, Complex::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex::new(5.0, 5.0)));
+        assert!(close((a / b) * b, a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex::new(0.3, -0.4);
+        assert!(close(a * a.conj(), Complex::real(a.norm_sqr())));
+        assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn exponential_euler_identity() {
+        let z = Complex::imag(std::f64::consts::PI);
+        assert!(close(z.exp(), -C_ONE));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-0.36, 0.0);
+        let r = z.sqrt();
+        assert!(close(r * r, z));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complex::real(1.0).to_string(), "+1.000000");
+        assert_eq!(Complex::imag(-1.0).to_string(), "-1.000000i");
+        assert_eq!(Complex::new(1.0, 1.0).to_string(), "+1.000000+1.000000i");
+    }
+
+    fn arb_complex() -> impl Strategy<Value = Complex> {
+        (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(re, im)| Complex::new(re, im))
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in arb_complex(), b in arb_complex()) {
+            prop_assert!(close(a + b, b + a));
+        }
+
+        #[test]
+        fn multiplication_commutes(a in arb_complex(), b in arb_complex()) {
+            prop_assert!(close(a * b, b * a));
+        }
+
+        #[test]
+        fn multiplication_distributes(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
+            prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-8));
+        }
+
+        #[test]
+        fn norm_is_multiplicative(a in arb_complex(), b in arb_complex()) {
+            prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-8);
+        }
+
+        #[test]
+        fn recip_is_inverse(a in arb_complex()) {
+            prop_assume!(a.norm() > 1e-3);
+            prop_assert!((a * a.recip()).approx_eq(C_ONE, 1e-9));
+        }
+
+        #[test]
+        fn conj_is_ring_homomorphism(a in arb_complex(), b in arb_complex()) {
+            prop_assert!(close((a * b).conj(), a.conj() * b.conj()));
+            prop_assert!(close((a + b).conj(), a.conj() + b.conj()));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Numeric foundations for the QKC toolchain: complex arithmetic, dense
+//! complex matrices, discrete-distribution statistics, and fast discrete
+//! sampling.
+//!
+//! Every simulator in the workspace — state vector, density matrix, tensor
+//! network, and the knowledge-compilation pipeline itself — builds on these
+//! primitives, so they are implemented once here with no external numeric
+//! dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_math::{CMatrix, Complex};
+//!
+//! // Amplitude after a Hadamard on |0>.
+//! let psi = CMatrix::hadamard().mul_vec(&[Complex::real(1.0), Complex::real(0.0)]);
+//! assert!((psi[0].norm_sqr() - 0.5).abs() < 1e-12);
+//! ```
+
+mod complex;
+mod matrix;
+mod sampling;
+mod stats;
+
+pub use complex::{Complex, C_I, C_ONE, C_ZERO, FRAC_1_SQRT_2};
+pub use matrix::CMatrix;
+pub use sampling::{sample_cdf, AliasTable};
+pub use stats::{
+    empirical_kl, kl_divergence, normalize, total_variation, EmpiricalDistribution,
+};

@@ -1,0 +1,473 @@
+//! Dense complex matrices sized for quantum operators.
+//!
+//! Gate unitaries and Kraus operators in this toolchain are small (up to a few
+//! qubits), so a simple row-major `Vec<Complex>` representation is both fast
+//! enough and easy to audit. Larger objects (state vectors, density matrices)
+//! live in their dedicated simulator crates.
+
+use crate::complex::{Complex, C_ONE, C_ZERO};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_math::{CMatrix, Complex};
+///
+/// let h = CMatrix::hadamard();
+/// assert!(h.is_unitary(1e-12));
+/// assert!((&h * &h).approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C_ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from real row-major data.
+    pub fn from_real(rows: usize, cols: usize, data: &[f64]) -> Self {
+        Self::from_rows(rows, cols, data.iter().map(|&x| Complex::real(x)).collect())
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C_ONE;
+        }
+        m
+    }
+
+    /// The 2×2 Hadamard unitary.
+    pub fn hadamard() -> Self {
+        let s = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        Self::from_rows(2, 2, vec![s, s, s, -s])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose (adjoint, `†`).
+    pub fn adjoint(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)].conj();
+            }
+        }
+        out
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    ///
+    /// ```
+    /// use qkc_math::CMatrix;
+    /// let i4 = CMatrix::identity(2).kron(&CMatrix::identity(2));
+    /// assert!(i4.approx_eq(&CMatrix::identity(4), 1e-15));
+    /// ```
+    pub fn kron(&self, other: &CMatrix) -> Self {
+        let mut out = Self::zeros(self.rows * other.rows, self.cols * other.cols);
+        for r1 in 0..self.rows {
+            for c1 in 0..self.cols {
+                let a = self[(r1, c1)];
+                for r2 in 0..other.rows {
+                    for c2 in 0..other.cols {
+                        out[(r1 * other.rows + r2, c1 * other.cols + c2)] = a * other[(r2, c2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        let mut out = vec![C_ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = C_ZERO;
+            for c in 0..self.cols {
+                acc += self[(r, c)] * v[c];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if `self† · self ≈ I` within `tol` (entry-wise).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        (&self.adjoint() * self).approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// Returns `true` if the matrix is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.rows == self.cols && self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Entry-wise approximate equality with absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` if every row and every column holds at most one entry
+    /// with magnitude above `tol` (a *monomial* / generalized permutation
+    /// matrix). Gates with this property translate to Bayesian-network
+    /// conditional amplitude tables without qubit duplication (§3.1.1).
+    pub fn is_monomial(&self, tol: f64) -> bool {
+        for r in 0..self.rows {
+            if (0..self.cols).filter(|&c| self[(r, c)].norm() > tol).count() > 1 {
+                return false;
+            }
+        }
+        for c in 0..self.cols {
+            if (0..self.rows).filter(|&r| self[(r, c)].norm() > tol).count() > 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if all off-diagonal entries are below `tol`.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c && self[(r, c)].norm() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: Complex) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == crate::complex::C_ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C_I;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let h = CMatrix::hadamard();
+        assert!((&h * &CMatrix::identity(2)).approx_eq(&h, 1e-15));
+        assert!((&CMatrix::identity(2) * &h).approx_eq(&h, 1e-15));
+    }
+
+    #[test]
+    fn hadamard_is_unitary_and_self_inverse() {
+        let h = CMatrix::hadamard();
+        assert!(h.is_unitary(1e-12));
+        assert!((&h * &h).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn kron_shapes_and_values() {
+        let x = CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let xx = x.kron(&x);
+        assert_eq!(xx.rows(), 4);
+        // X⊗X maps |00> -> |11>.
+        assert_eq!(xx[(3, 0)], C_ONE);
+        assert_eq!(xx[(0, 0)], C_ZERO);
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let h = CMatrix::hadamard();
+        let s = CMatrix::from_rows(2, 2, vec![C_ONE, C_ZERO, C_ZERO, C_I]);
+        let lhs = (&h * &s).adjoint();
+        let rhs = &s.adjoint() * &h.adjoint();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_mul() {
+        let h = CMatrix::hadamard();
+        let v = vec![C_ONE, C_ZERO];
+        let got = h.mul_vec(&v);
+        assert!(got[0].approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+        assert!(got[1].approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+    }
+
+    #[test]
+    fn trace_of_identity_is_dimension() {
+        assert!(CMatrix::identity(5)
+            .trace()
+            .approx_eq(Complex::real(5.0), 1e-15));
+    }
+
+    #[test]
+    fn monomial_detection() {
+        let cnot = CMatrix::from_real(
+            4,
+            4,
+            &[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0, //
+                0.0, 0.0, 1.0, 0.0,
+            ],
+        );
+        assert!(cnot.is_monomial(1e-12));
+        assert!(!CMatrix::hadamard().is_monomial(1e-12));
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        let cz = CMatrix::from_real(
+            4,
+            4,
+            &[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, 0.0, 0.0, -1.0,
+            ],
+        );
+        assert!(cz.is_diagonal(1e-12));
+        assert!(cz.is_monomial(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_product_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    fn arb_unitary2() -> impl Strategy<Value = CMatrix> {
+        // Random U(2) element via three Euler angles and a phase.
+        (
+            0.0..std::f64::consts::TAU,
+            0.0..std::f64::consts::TAU,
+            0.0..std::f64::consts::TAU,
+            0.0..std::f64::consts::TAU,
+        )
+            .prop_map(|(a, b, t, p)| {
+                let (ca, sa) = ((t / 2.0).cos(), (t / 2.0).sin());
+                let e = Complex::cis(p);
+                CMatrix::from_rows(
+                    2,
+                    2,
+                    vec![
+                        e * Complex::cis(a) * Complex::real(ca),
+                        e * Complex::cis(b) * Complex::real(sa),
+                        e * Complex::cis(-b) * Complex::real(-sa),
+                        e * Complex::cis(-a) * Complex::real(ca),
+                    ],
+                )
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn random_unitaries_are_unitary(u in arb_unitary2()) {
+            prop_assert!(u.is_unitary(1e-9));
+        }
+
+        #[test]
+        fn kron_of_unitaries_is_unitary(u in arb_unitary2(), v in arb_unitary2()) {
+            prop_assert!(u.kron(&v).is_unitary(1e-8));
+        }
+
+        #[test]
+        fn product_of_unitaries_is_unitary(u in arb_unitary2(), v in arb_unitary2()) {
+            prop_assert!((&u * &v).is_unitary(1e-8));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Discrete sampling helpers.
+//!
+//! The "ideal sampling" baselines draw thousands of outcomes from a fixed
+//! measurement distribution; [`AliasTable`] gives O(1) draws after O(n)
+//! setup (Walker/Vose alias method). [`sample_cdf`] covers the one-shot case.
+
+use rand::Rng;
+
+/// Walker–Vose alias table for O(1) sampling from a fixed discrete
+/// distribution.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_math::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[0.5, 0.25, 0.25]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = table.sample(&mut rng);
+/// assert!(x < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from (unnormalized) non-negative weights.
+    ///
+    /// Returns `None` if the weights are empty, contain negative or
+    /// non-finite entries, or sum to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let sum: f64 = weights.iter().sum();
+        if !sum.is_finite() || sum <= 0.0 || weights.iter().any(|&w| !(w.is_finite() && w >= 0.0))
+        {
+            return None;
+        }
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / sum).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &i in large.iter().chain(small.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no outcomes (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Draws one outcome from unnormalized non-negative weights by inverse-CDF.
+///
+/// Useful for one-shot conditional draws (e.g. a Gibbs transition) where
+/// building an alias table would cost more than the draw.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn sample_cdf<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must sum to a positive finite value, got {total}"
+    );
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_rejects_invalid() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[-1.0, 1.0]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn alias_matches_distribution() {
+        let weights = [0.5, 0.3, 0.15, 0.05];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for i in 0..4 {
+            let freq = counts[i] as f64 / n as f64;
+            assert!(
+                (freq - weights[i]).abs() < 0.01,
+                "outcome {i}: freq {freq} vs weight {}",
+                weights[i]
+            );
+        }
+    }
+
+    #[test]
+    fn alias_handles_degenerate_point_mass() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn cdf_sampling_matches_distribution() {
+        let weights = [2.0, 1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[sample_cdf(&weights, &mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn cdf_sampling_rejects_zero_mass() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_cdf(&[0.0, 0.0], &mut rng);
+    }
+}

@@ -1,0 +1,232 @@
+//! Distribution utilities: empirical distributions, Kullback–Leibler
+//! divergence, and total-variation distance.
+//!
+//! The paper quantifies Gibbs-sampling accuracy with the KL divergence
+//! between the empirical sample distribution and the exact measurement
+//! distribution (Figure 7), chosen because KL "discounts any error due to
+//! zero samples being drawn from low-probability outcomes" (§3.3.3).
+
+/// An empirical distribution over `0..n` outcomes accumulated from counts.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_math::EmpiricalDistribution;
+///
+/// let mut e = EmpiricalDistribution::new(4);
+/// e.record(0);
+/// e.record(0);
+/// e.record(3);
+/// assert_eq!(e.total(), 3);
+/// assert!((e.probability(0) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmpiricalDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl EmpiricalDistribution {
+    /// Creates an empty distribution over `n` outcomes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome` is out of range.
+    pub fn record(&mut self, outcome: usize) {
+        self.counts[outcome] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of possible outcomes.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count for `outcome`.
+    pub fn count(&self, outcome: usize) -> u64 {
+        self.counts[outcome]
+    }
+
+    /// Empirical probability of `outcome` (0 when nothing recorded).
+    pub fn probability(&self, outcome: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[outcome] as f64 / self.total as f64
+        }
+    }
+
+    /// The full probability vector.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.probability(i)).collect()
+    }
+}
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in nats.
+///
+/// Terms with `p[i] == 0` contribute zero (the convention that makes KL
+/// insensitive to outcomes the sampler never drew, as used in the paper's
+/// Figure 7). Terms where `p[i] > 0` but `q[i] == 0` contribute `+∞`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_math::kl_divergence;
+/// let p = [0.5, 0.5];
+/// assert!(kl_divergence(&p, &p).abs() < 1e-12);
+/// ```
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi > 0.0 {
+                d += pi * (pi / qi).ln();
+            } else {
+                return f64::INFINITY;
+            }
+        }
+    }
+    d
+}
+
+/// KL divergence of an *empirical* distribution from an exact one,
+/// `D(empirical ‖ exact)` — the orientation plotted in Figure 7, which
+/// discounts unvisited low-probability outcomes.
+pub fn empirical_kl(empirical: &EmpiricalDistribution, exact: &[f64]) -> f64 {
+    kl_divergence(&empirical.probabilities(), exact)
+}
+
+/// Total variation distance `½·Σ|p - q|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Normalizes a non-negative weight vector into a probability vector.
+///
+/// Returns `None` if the weights sum to zero or contain a negative /
+/// non-finite entry.
+pub fn normalize(weights: &[f64]) -> Option<Vec<f64>> {
+    let mut sum = 0.0;
+    for &w in weights {
+        if !(w.is_finite() && w >= 0.0) {
+            return None;
+        }
+        sum += w;
+    }
+    if sum <= 0.0 {
+        return None;
+    }
+    Some(weights.iter().map(|&w| w / sum).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empirical_distribution_counts() {
+        let mut e = EmpiricalDistribution::new(3);
+        for _ in 0..7 {
+            e.record(1);
+        }
+        for _ in 0..3 {
+            e.record(2);
+        }
+        assert_eq!(e.total(), 10);
+        assert_eq!(e.count(1), 7);
+        assert!((e.probability(1) - 0.7).abs() < 1e-12);
+        assert_eq!(e.probability(0), 0.0);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.1, 0.2, 0.3, 0.4];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_for_different() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_ignores_unsampled_outcomes() {
+        // p has zero mass where q is tiny: finite divergence.
+        let p = [1.0, 0.0];
+        let q = [0.999, 0.001];
+        assert!(kl_divergence(&p, &q).is_finite());
+    }
+
+    #[test]
+    fn kl_infinite_when_support_escapes() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!(kl_divergence(&p, &q).is_infinite());
+    }
+
+    #[test]
+    fn tv_bounds() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn normalize_rejects_bad_inputs() {
+        assert!(normalize(&[0.0, 0.0]).is_none());
+        assert!(normalize(&[-1.0, 2.0]).is_none());
+        assert!(normalize(&[f64::NAN]).is_none());
+        let n = normalize(&[1.0, 3.0]).unwrap();
+        assert!((n[0] - 0.25).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn kl_is_nonnegative(raw in proptest::collection::vec(0.01..1.0f64, 2..8)) {
+            let p = normalize(&raw).unwrap();
+            let mut shifted = raw.clone();
+            shifted.rotate_left(1);
+            let q = normalize(&shifted).unwrap();
+            prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        }
+
+        #[test]
+        fn tv_is_symmetric_and_bounded(
+            a in proptest::collection::vec(0.01..1.0f64, 4),
+            b in proptest::collection::vec(0.01..1.0f64, 4),
+        ) {
+            let p = normalize(&a).unwrap();
+            let q = normalize(&b).unwrap();
+            let tv = total_variation(&p, &q);
+            prop_assert!((total_variation(&q, &p) - tv).abs() < 1e-12);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&tv));
+        }
+    }
+}

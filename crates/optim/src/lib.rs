@@ -1,0 +1,244 @@
+//! Derivative-free classical optimizers for variational quantum loops.
+//!
+//! Hybrid algorithms like QAOA and VQE use a classical optimizer to choose
+//! the next circuit parameters from sampled objective values; the paper's
+//! benchmarks drive their simulators from Nelder–Mead optimization runs
+//! (§4.1). [`NelderMead`] implements the standard simplex method with
+//! reflection, expansion, contraction, and shrink steps.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_optim::NelderMead;
+//!
+//! // Minimize a shifted quadratic.
+//! let result = NelderMead::new()
+//!     .with_max_iterations(500)
+//!     .minimize(|x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2), &[0.0, 0.0]);
+//! assert!((result.x[0] - 3.0).abs() < 1e-4);
+//! assert!((result.x[1] + 1.0).abs() < 1e-4);
+//! ```
+
+/// The Nelder–Mead downhill-simplex optimizer.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Reflection coefficient (α > 0).
+    alpha: f64,
+    /// Expansion coefficient (γ > 1).
+    gamma: f64,
+    /// Contraction coefficient (0 < ρ ≤ 0.5).
+    rho: f64,
+    /// Shrink coefficient (0 < σ < 1).
+    sigma: f64,
+    /// Initial simplex step per coordinate.
+    initial_step: f64,
+    max_iterations: usize,
+    /// Convergence threshold on the simplex's value spread.
+    tolerance: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NelderMead {
+    /// Creates an optimizer with the standard coefficients
+    /// (α=1, γ=2, ρ=0.5, σ=0.5).
+    pub fn new() -> Self {
+        Self {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            initial_step: 0.25,
+            max_iterations: 200,
+            tolerance: 1e-8,
+        }
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the convergence tolerance on the simplex value spread.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Sets the initial simplex step.
+    pub fn with_initial_step(mut self, step: f64) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize(&self, mut f: impl FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        let n = x0.len();
+        assert!(n > 0, "need at least one parameter");
+        let mut evaluations = 0usize;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let v0 = eval(x0, &mut evaluations);
+        simplex.push((x0.to_vec(), v0));
+        for i in 0..n {
+            let mut x = x0.to_vec();
+            x[i] += if x[i].abs() > 1e-12 {
+                self.initial_step * x[i].abs()
+            } else {
+                self.initial_step
+            };
+            let v = eval(&x, &mut evaluations);
+            simplex.push((x, v));
+        }
+
+        let mut iterations = 0usize;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                break;
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (x, _) in &simplex[..n] {
+                for (c, xi) in centroid.iter_mut().zip(x) {
+                    *c += xi / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + self.alpha * (c - w))
+                .collect();
+            let fr = eval(&reflect, &mut evaluations);
+            if fr < simplex[0].1 {
+                // Try expanding further.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&reflect)
+                    .map(|(c, r)| c + self.gamma * (r - c))
+                    .collect();
+                let fe = eval(&expand, &mut evaluations);
+                simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+            } else if fr < simplex[n - 1].1 {
+                simplex[n] = (reflect, fr);
+            } else {
+                // Contract toward the better of worst/reflected.
+                let (base, fb) = if fr < worst.1 {
+                    (&reflect, fr)
+                } else {
+                    (&worst.0, worst.1)
+                };
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(base)
+                    .map(|(c, b)| c + self.rho * (b - c))
+                    .collect();
+                let fc = eval(&contract, &mut evaluations);
+                if fc < fb {
+                    simplex[n] = (contract, fc);
+                } else {
+                    // Shrink everything toward the best point.
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let x: Vec<f64> = best
+                            .iter()
+                            .zip(&entry.0)
+                            .map(|(b, xi)| b + self.sigma * (xi - b))
+                            .collect();
+                        let v = eval(&x, &mut evaluations);
+                        *entry = (x, v);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        OptimResult {
+            x: simplex[0].0.clone(),
+            value: simplex[0].1,
+            iterations,
+            evaluations,
+        }
+    }
+}
+
+/// The outcome of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Objective evaluations performed.
+    pub evaluations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = NelderMead::new()
+            .with_max_iterations(400)
+            .minimize(|x| x.iter().map(|v| v * v).sum(), &[1.0, -2.0, 0.5]);
+        assert!(r.value < 1e-8, "value {}", r.value);
+        assert!(r.x.iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let r = NelderMead::new()
+            .with_max_iterations(4000)
+            .with_tolerance(1e-12)
+            .minimize(
+                |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+                &[-1.2, 1.0],
+            );
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_periodic_objectives() {
+        // Variational objectives are periodic in the angles.
+        let r = NelderMead::new()
+            .with_max_iterations(500)
+            .minimize(|x| x[0].cos() + 1.0, &[1.0]);
+        assert!((r.value).abs() < 1e-5, "min of cos+1 is 0, got {}", r.value);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let r = NelderMead::new()
+            .with_max_iterations(3)
+            .minimize(|x| x[0] * x[0], &[5.0]);
+        assert!(r.iterations <= 3);
+        assert!(r.evaluations >= 4);
+    }
+
+    #[test]
+    fn reports_monotone_improvement() {
+        let start = [4.0, 4.0];
+        let f = |x: &[f64]| x[0].powi(2) + x[1].powi(2);
+        let r = NelderMead::new().with_max_iterations(100).minimize(f, &start);
+        assert!(r.value <= f(&start));
+    }
+}

@@ -1,0 +1,355 @@
+//! Circuit-level driver over the state-vector kernels.
+
+use crate::state::StateVector;
+use qkc_circuit::{Circuit, CircuitError, GateLayout, Operation, ParamMap};
+use qkc_math::AliasTable;
+use rand::Rng;
+use std::fmt;
+
+/// A state-vector circuit simulator in the style of Google qsim: the
+/// baseline the paper benchmarks against in Figure 8.
+///
+/// Noise-free circuits run as a single pass; noisy circuits run as quantum
+/// trajectories (one stochastic pure-state evolution per shot), which is the
+/// classic state-vector treatment of noise mixtures and channels.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::{Circuit, ParamMap};
+/// use qkc_statevector::StateVectorSimulator;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let sim = StateVectorSimulator::new();
+/// let psi = sim.run_pure(&c, &ParamMap::new()).unwrap();
+/// assert!((psi.probabilities()[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateVectorSimulator {
+    threads: usize,
+}
+
+impl Default for StateVectorSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateVectorSimulator {
+    /// Creates a single-threaded simulator.
+    pub fn new() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Sets the number of worker threads used by the gate kernels
+    /// (the paper reports qsim with 1 and 16 threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a noise-free circuit and returns the final state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotUnitary`] for circuits with noise or
+    /// measurements, or an unbound-parameter error.
+    pub fn run_pure(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+    ) -> Result<StateVector, CircuitError> {
+        if circuit.is_noisy() {
+            return Err(CircuitError::NotUnitary);
+        }
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        for op in circuit.operations() {
+            self.apply_unitary_op(&mut state, op, params)?;
+        }
+        Ok(state)
+    }
+
+    /// Runs one stochastic trajectory of a (possibly noisy) circuit,
+    /// recording which branch each noise / measurement event took.
+    ///
+    /// # Errors
+    ///
+    /// Returns an unbound-parameter error if a symbol is missing.
+    pub fn run_trajectory<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        rng: &mut R,
+    ) -> Result<Trajectory, CircuitError> {
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        let mut branches = Vec::new();
+        for op in circuit.operations() {
+            match op {
+                Operation::Noise { channel, qubit } => {
+                    let kraus = channel.kraus(params).map_err(CircuitError::Unbound)?;
+                    // General quantum-trajectory step: candidate states
+                    // E_k|ψ⟩ with weights ‖E_k|ψ⟩‖².
+                    let mut candidates = Vec::with_capacity(kraus.len());
+                    let mut weights = Vec::with_capacity(kraus.len());
+                    for e in &kraus {
+                        let mut cand = state.clone();
+                        cand.apply_gate_threaded(e, &[*qubit], 1);
+                        let w = cand.norm().powi(2);
+                        weights.push(w);
+                        candidates.push(cand);
+                    }
+                    let k = qkc_math::sample_cdf(&weights, rng);
+                    state = candidates.swap_remove(k);
+                    state.normalize();
+                    branches.push(k);
+                }
+                Operation::Measure { qubit } => {
+                    let p1 = state.prob_one(*qubit);
+                    let outcome = usize::from(rng.gen::<f64>() < p1);
+                    state.collapse(*qubit, outcome);
+                    branches.push(outcome);
+                }
+                unitary => self.apply_unitary_op(&mut state, unitary, params)?,
+            }
+        }
+        Ok(Trajectory {
+            state,
+            branches,
+        })
+    }
+
+    /// Draws `shots` measurement outcomes (basis-state indices).
+    ///
+    /// Noise-free circuits are simulated once and sampled from the final
+    /// distribution; noisy circuits run one trajectory per shot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an unbound-parameter error if a symbol is missing.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        shots: usize,
+        rng: &mut R,
+    ) -> Result<Vec<usize>, CircuitError> {
+        if !circuit.is_noisy() {
+            let state = self.run_pure(circuit, params)?;
+            let table = AliasTable::new(&state.probabilities())
+                .expect("final state has unit norm");
+            return Ok((0..shots).map(|_| table.sample(rng)).collect());
+        }
+        let mut outcomes = Vec::with_capacity(shots);
+        for _ in 0..shots {
+            let traj = self.run_trajectory(circuit, params, rng)?;
+            let table = AliasTable::new(&traj.state.probabilities())
+                .expect("trajectory state has unit norm");
+            outcomes.push(table.sample(rng));
+        }
+        Ok(outcomes)
+    }
+
+    /// The exact measurement distribution of a noise-free circuit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run_pure`].
+    pub fn probabilities(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+    ) -> Result<Vec<f64>, CircuitError> {
+        Ok(self.run_pure(circuit, params)?.probabilities())
+    }
+
+    fn apply_unitary_op(
+        &self,
+        state: &mut StateVector,
+        op: &Operation,
+        params: &ParamMap,
+    ) -> Result<(), CircuitError> {
+        match op {
+            Operation::Gate { gate, qubits } => {
+                // Diagonal and permutation gates get cheaper kernels.
+                match gate.layout() {
+                    GateLayout::Diagonal => {
+                        let diag = gate.diagonal(params).map_err(CircuitError::Unbound)?;
+                        state.apply_diagonal(&diag, qubits);
+                    }
+                    GateLayout::Permutation => {
+                        state.apply_permutation(&gate.permutation(), qubits);
+                    }
+                    _ => {
+                        let u = gate.unitary(params).map_err(CircuitError::Unbound)?;
+                        state.apply_gate_threaded(&u, qubits, self.threads);
+                    }
+                }
+                Ok(())
+            }
+            Operation::Permutation { perm, qubits } => {
+                state.apply_permutation(perm.table(), qubits);
+                Ok(())
+            }
+            Operation::Diagonal { diag, qubits } => {
+                let entries: Vec<qkc_math::Complex> =
+                    (0..1usize << qubits.len()).map(|x| diag.phase(x)).collect();
+                state.apply_diagonal(&entries, qubits);
+                Ok(())
+            }
+            Operation::Noise { .. } | Operation::Measure { .. } => {
+                Err(CircuitError::NotUnitary)
+            }
+        }
+    }
+}
+
+/// The result of one stochastic trajectory: the final pure state plus the
+/// branch index taken at each noise/measurement event, in circuit order.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Final (normalized) pure state of this trajectory.
+    pub state: StateVector,
+    /// Branch chosen at each noise or measurement operation.
+    pub branches: Vec<usize>,
+}
+
+impl fmt::Display for Trajectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Trajectory({} qubits, branches {:?})",
+            self.state.num_qubits(),
+            self.branches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_states_match(a: &[qkc_math::Complex], b: &[qkc_math::Complex]) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert!(a[i].approx_eq(b[i], 1e-10), "amplitude {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_mixed_gate_suite() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .h(1)
+            .h(2)
+            .h(3)
+            .t(1)
+            .cnot(0, 2)
+            .cz(1, 3)
+            .zz(0, 3, 0.61)
+            .ccx(0, 1, 2)
+            .rx(3, 0.4)
+            .ry(2, -0.9)
+            .swap(1, 2)
+            .cphase(0, 3, 1.1);
+        let sim = StateVectorSimulator::new();
+        let got = sim.run_pure(&c, &ParamMap::new()).unwrap();
+        let want = reference::run_pure(&c, &ParamMap::new()).unwrap();
+        assert_states_match(got.amplitudes(), &want);
+    }
+
+    #[test]
+    fn trajectory_average_matches_density_matrix() {
+        // Average many bit-flip trajectories; diagonal should approach the
+        // density-matrix diagonal.
+        let mut c = Circuit::new(2);
+        c.h(0).bit_flip(0, 0.3).cnot(0, 1);
+        let params = ParamMap::new();
+        let rho = reference::run_density(&c, &params).unwrap();
+        let want = reference::density_probabilities(&rho);
+
+        let sim = StateVectorSimulator::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let shots = 40_000;
+        let mut acc = [0.0; 4];
+        for _ in 0..shots {
+            let t = sim.run_trajectory(&c, &params, &mut rng).unwrap();
+            for (i, p) in t.state.probabilities().iter().enumerate() {
+                acc[i] += p / shots as f64;
+            }
+        }
+        for i in 0..4 {
+            assert!(
+                (acc[i] - want[i]).abs() < 0.01,
+                "diag {i}: {} vs {}",
+                acc[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_records_noise_branches() {
+        let mut c = Circuit::new(1);
+        c.h(0).amplitude_damp(0, 0.5).measure(0);
+        let sim = StateVectorSimulator::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = sim.run_trajectory(&c, &ParamMap::new(), &mut rng).unwrap();
+        assert_eq!(t.branches.len(), 2); // one noise event + one measurement
+        assert!(t.branches.iter().all(|&b| b < 2));
+    }
+
+    #[test]
+    fn sampling_pure_circuit_matches_distribution() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let sim = StateVectorSimulator::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = sim.sample(&c, &ParamMap::new(), 20_000, &mut rng).unwrap();
+        let zeros = samples.iter().filter(|&&s| s == 0).count() as f64;
+        let threes = samples.iter().filter(|&&s| s == 3).count() as f64;
+        assert!((zeros / 20_000.0 - 0.5).abs() < 0.02);
+        assert!((threes / 20_000.0 - 0.5).abs() < 0.02);
+        assert_eq!(zeros + threes, 20_000.0);
+    }
+
+    #[test]
+    fn threaded_simulator_agrees_with_serial() {
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.h(q);
+        }
+        for q in 0..7 {
+            c.cnot(q, q + 1);
+        }
+        for q in 0..8 {
+            c.rz(q, 0.1 * q as f64);
+        }
+        let s1 = StateVectorSimulator::new()
+            .run_pure(&c, &ParamMap::new())
+            .unwrap();
+        let s16 = StateVectorSimulator::new()
+            .with_threads(16)
+            .run_pure(&c, &ParamMap::new())
+            .unwrap();
+        assert_states_match(s1.amplitudes(), s16.amplitudes());
+    }
+
+    #[test]
+    fn pure_run_rejects_noise() {
+        let mut c = Circuit::new(1);
+        c.h(0).depolarize(0, 0.01);
+        let err = StateVectorSimulator::new()
+            .run_pure(&c, &ParamMap::new())
+            .unwrap_err();
+        assert_eq!(err, CircuitError::NotUnitary);
+    }
+}

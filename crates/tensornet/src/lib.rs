@@ -1,0 +1,30 @@
+//! Tensor-network contraction quantum circuit simulator — the workspace's
+//! analogue of qTorch, the tensor-network baseline in the paper's Figure 8.
+//!
+//! Circuits become networks of gate tensors threaded by qubit-wire indices;
+//! amplitude and marginal queries contract the network with a greedy
+//! minimum-size heuristic. Sampling proceeds qubit-by-qubit from conditional
+//! marginals on the doubled (bra–ket) network, so *every sample re-pays
+//! contraction cost* — the asymmetry against compiled arithmetic circuits
+//! that the paper's Figure 8 quantifies.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_circuit::{Circuit, ParamMap};
+//! use qkc_tensornet::TensorNetwork;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cnot(0, 1);
+//! let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
+//! assert!((tn.amplitude(0b00).norm_sqr() - 0.5).abs() < 1e-12);
+//! assert!(tn.amplitude(0b01).norm_sqr() < 1e-12);
+//! ```
+
+mod network;
+mod simulator;
+mod tensor;
+
+pub use network::TensorNetwork;
+pub use simulator::TensorNetworkSimulator;
+pub use tensor::{IndexId, Tensor};

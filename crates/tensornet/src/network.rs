@@ -1,0 +1,330 @@
+//! Tensor networks built from circuits, with greedy contraction.
+
+use crate::tensor::{IndexId, Tensor};
+use qkc_circuit::{Circuit, CircuitError, Gate, GateLayout, Operation, ParamMap};
+use qkc_math::{Complex, C_ONE, C_ZERO};
+
+/// A tensor network representing a noise-free circuit applied to
+/// `|0...0⟩`, with one open index per qubit (the output wire).
+///
+/// This mirrors qTorch's model: each gate is a tensor, qubit wires thread
+/// indices between consecutive gates, and amplitude/marginal queries close
+/// the open wires and contract. Contraction order is chosen greedily by
+/// minimum resulting tensor size — the same family of heuristic qTorch uses.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::{Circuit, ParamMap};
+/// use qkc_tensornet::TensorNetwork;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
+/// let amp = tn.amplitude(0b11);
+/// assert!((amp.norm_sqr() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorNetwork {
+    tensors: Vec<Tensor>,
+    /// Open output index of each qubit wire.
+    open: Vec<IndexId>,
+    num_qubits: usize,
+    next_index: IndexId,
+}
+
+impl TensorNetwork {
+    /// Builds the network for a noise-free circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotUnitary`] if the circuit contains noise or
+    /// measurements (tensor-network baselines in the paper handle ideal
+    /// circuits only), or an unbound-parameter error.
+    pub fn from_circuit(circuit: &Circuit, params: &ParamMap) -> Result<Self, CircuitError> {
+        if circuit.is_noisy() {
+            return Err(CircuitError::NotUnitary);
+        }
+        let n = circuit.num_qubits();
+        let mut next_index: IndexId = 0;
+        let mut fresh = || {
+            let i = next_index;
+            next_index += 1;
+            i
+        };
+        // Initial |0> cap per qubit.
+        let mut wire: Vec<IndexId> = Vec::with_capacity(n);
+        let mut tensors: Vec<Tensor> = Vec::new();
+        for _ in 0..n {
+            let idx = fresh();
+            tensors.push(Tensor::new(idx_vec(&[idx]), vec![C_ONE, C_ZERO]));
+            wire.push(idx);
+        }
+        for op in circuit.operations() {
+            match op {
+                Operation::Gate { gate, qubits } => {
+                    let u = match gate.layout() {
+                        GateLayout::Permutation => perm_unitary(gate),
+                        _ => gate.unitary(params).map_err(CircuitError::Unbound)?,
+                    };
+                    push_gate_tensor(&mut tensors, &mut wire, &u, qubits, &mut fresh);
+                }
+                Operation::Permutation { perm, qubits } => {
+                    let dim = 1usize << perm.num_qubits();
+                    let mut u = qkc_math::CMatrix::zeros(dim, dim);
+                    for x in 0..dim {
+                        u[(perm.apply(x), x)] = C_ONE;
+                    }
+                    push_gate_tensor(&mut tensors, &mut wire, &u, qubits, &mut fresh);
+                }
+                Operation::Diagonal { diag, qubits } => {
+                    let u = qkc_circuit::reference::diagonal_unitary(diag);
+                    push_gate_tensor(&mut tensors, &mut wire, &u, qubits, &mut fresh);
+                }
+                _ => unreachable!("noisy circuits rejected above"),
+            }
+        }
+        Ok(Self {
+            tensors,
+            open: wire,
+            num_qubits: n,
+            next_index,
+        })
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of tensors in the network.
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// The amplitude `⟨bits|C|0...0⟩` (big-endian bitstring index).
+    ///
+    /// Each call contracts the network from scratch — the cost model the
+    /// paper contrasts against compiled arithmetic circuits.
+    pub fn amplitude(&self, bits: usize) -> Complex {
+        let mut ts = self.tensors.clone();
+        for (q, &idx) in self.open.iter().enumerate() {
+            let bit = (bits >> (self.num_qubits - 1 - q)) & 1;
+            ts.push(Tensor::basis_vector(idx, bit));
+        }
+        contract_greedy(ts).scalar()
+    }
+
+    /// The marginal distribution of `qubit` conditioned on fixed values for
+    /// `fixed` (a list of `(qubit, bit)` pairs), computed on the doubled
+    /// (bra–ket) network with unfixed qubits traced out.
+    ///
+    /// Returns unnormalized `[w0, w1]`.
+    pub fn conditional_marginal(&self, qubit: usize, fixed: &[(usize, usize)]) -> [f64; 2] {
+        let shift = self.next_index; // relabel offset for the bra copy
+        let mut ts: Vec<Tensor> = Vec::with_capacity(self.tensors.len() * 2 + 2 * self.num_qubits);
+        // Ket copy as-is; bra copy conjugated with internal indices shifted.
+        // Open indices of traced qubits are shared between the copies (which
+        // implements the trace); fixed and queried qubits keep separate
+        // open indices on each copy.
+        let keep_separate: Vec<IndexId> = self
+            .open
+            .iter()
+            .enumerate()
+            .filter(|(q, _)| *q == qubit || fixed.iter().any(|&(fq, _)| fq == *q))
+            .map(|(_, &i)| i)
+            .collect();
+        ts.extend(self.tensors.iter().cloned());
+        for t in &self.tensors {
+            ts.push(t.conj().relabel(|i| {
+                let traced_open = self.open.contains(&i) && !keep_separate.contains(&i);
+                if traced_open {
+                    i // shared with the ket copy: implements the trace
+                } else {
+                    i + shift
+                }
+            }));
+        }
+        // Caps on fixed qubits, both copies.
+        for &(fq, bit) in fixed {
+            let idx = self.open[fq];
+            ts.push(Tensor::basis_vector(idx, bit));
+            ts.push(Tensor::basis_vector(idx + shift, bit));
+        }
+        // Queried qubit: leave open on both copies, read the diagonal.
+        let result = contract_greedy(ts);
+        let qi = self.open[qubit];
+        let pos_ket = result
+            .indices()
+            .iter()
+            .position(|&i| i == qi)
+            .expect("queried ket index open");
+        let pos_bra = result
+            .indices()
+            .iter()
+            .position(|&i| i == qi + shift)
+            .expect("queried bra index open");
+        let mut out = [0.0; 2];
+        for b in 0..2 {
+            let mut bits = vec![0usize; result.rank()];
+            bits[pos_ket] = b;
+            bits[pos_bra] = b;
+            out[b] = result.get(&bits).re.max(0.0);
+        }
+        out
+    }
+}
+
+fn idx_vec(ids: &[IndexId]) -> Vec<IndexId> {
+    ids.to_vec()
+}
+
+fn perm_unitary(gate: &Gate) -> qkc_math::CMatrix {
+    let table = gate.permutation();
+    let dim = table.len();
+    let mut u = qkc_math::CMatrix::zeros(dim, dim);
+    for (x, &y) in table.iter().enumerate() {
+        u[(y, x)] = C_ONE;
+    }
+    u
+}
+
+/// Appends a gate tensor, rewiring the involved qubits' open indices.
+fn push_gate_tensor(
+    tensors: &mut Vec<Tensor>,
+    wire: &mut [IndexId],
+    u: &qkc_math::CMatrix,
+    qubits: &[usize],
+    fresh: &mut impl FnMut() -> IndexId,
+) {
+    let k = qubits.len();
+    let ins: Vec<IndexId> = qubits.iter().map(|&q| wire[q]).collect();
+    let outs: Vec<IndexId> = (0..k).map(|_| fresh()).collect();
+    // Tensor indices: (out_0..out_{k-1}, in_0..in_{k-1}); data = U row-major,
+    // since U's row index is the output basis state.
+    let mut indices = outs.clone();
+    indices.extend(ins);
+    tensors.push(Tensor::new(indices, u.as_slice().to_vec()));
+    for (i, &q) in qubits.iter().enumerate() {
+        wire[q] = outs[i];
+    }
+}
+
+/// Contracts a set of tensors to one, greedily picking the pair whose
+/// contraction yields the smallest result; falls back to outer products when
+/// the network is disconnected.
+pub(crate) fn contract_greedy(mut tensors: Vec<Tensor>) -> Tensor {
+    assert!(!tensors.is_empty(), "cannot contract an empty network");
+    while tensors.len() > 1 {
+        let mut best: Option<(usize, usize, usize)> = None; // (i, j, result_rank)
+        for i in 0..tensors.len() {
+            for j in (i + 1)..tensors.len() {
+                let shared = tensors[i].shared_count(&tensors[j]);
+                if shared == 0 {
+                    continue;
+                }
+                let rank = tensors[i].rank() + tensors[j].rank() - 2 * shared;
+                if best.is_none_or(|(_, _, r)| rank < r) {
+                    best = Some((i, j, rank));
+                }
+            }
+        }
+        let (i, j) = match best {
+            Some((i, j, _)) => (i, j),
+            None => {
+                // Disconnected: outer-product the two smallest tensors.
+                let mut order: Vec<usize> = (0..tensors.len()).collect();
+                order.sort_by_key(|&t| tensors[t].rank());
+                (order[0].min(order[1]), order[0].max(order[1]))
+            }
+        };
+        // i < j always, so removing j first leaves i pointing at the same
+        // tensor (swap_remove only disturbs positions >= j).
+        let b = tensors.swap_remove(j);
+        let a = tensors.swap_remove(i);
+        tensors.push(a.contract(&b));
+    }
+    tensors.pop().expect("one tensor remains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::reference;
+
+    #[test]
+    fn amplitudes_match_reference_for_ghz() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
+        let want = reference::run_pure(&c, &ParamMap::new()).unwrap();
+        for b in 0..8 {
+            assert!(
+                tn.amplitude(b).approx_eq(want[b], 1e-12),
+                "amplitude {b}: {} vs {}",
+                tn.amplitude(b),
+                want[b]
+            );
+        }
+    }
+
+    #[test]
+    fn amplitudes_match_reference_for_random_mix() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .h(1)
+            .h(2)
+            .h(3)
+            .t(0)
+            .cz(0, 2)
+            .zz(1, 3, 0.43)
+            .cnot(2, 3)
+            .rx(1, 0.9)
+            .swap(0, 3)
+            .ry(2, -0.31);
+        let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
+        let want = reference::run_pure(&c, &ParamMap::new()).unwrap();
+        for b in 0..16 {
+            assert!(tn.amplitude(b).approx_eq(want[b], 1e-10), "amplitude {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_noisy_circuits() {
+        let mut c = Circuit::new(1);
+        c.h(0).depolarize(0, 0.01);
+        assert!(matches!(
+            TensorNetwork::from_circuit(&c, &ParamMap::new()),
+            Err(CircuitError::NotUnitary)
+        ));
+    }
+
+    #[test]
+    fn conditional_marginals_match_reference() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rx(2, 0.77).cz(1, 2);
+        let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
+        let probs = reference::pure_probabilities(
+            &reference::run_pure(&c, &ParamMap::new()).unwrap(),
+        );
+        // Marginal of qubit 0.
+        let m0 = tn.conditional_marginal(0, &[]);
+        let want0: f64 = probs.iter().skip(4).sum(); // qubit 0 = 1 ⇒ indices 4..8
+        assert!((m0[1] - want0).abs() < 1e-10);
+        // Conditional of qubit 1 given qubit 0 = 0.
+        let m1 = tn.conditional_marginal(1, &[(0, 0)]);
+        let w10: f64 = probs[0] + probs[1];
+        let w11: f64 = probs[2] + probs[3];
+        assert!((m1[0] - w10).abs() < 1e-10);
+        assert!((m1[1] - w11).abs() < 1e-10);
+    }
+
+    #[test]
+    fn network_size_tracks_gate_count() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).z(1);
+        let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
+        // 2 initial caps + 3 gates.
+        assert_eq!(tn.num_tensors(), 5);
+    }
+}

@@ -1,0 +1,289 @@
+//! Dense tensors with named indices and pairwise contraction.
+
+use qkc_math::{Complex, C_ZERO};
+
+/// A globally unique tensor index label. All indices in this crate have
+/// dimension 2 (qubit wires).
+pub type IndexId = usize;
+
+/// A dense tensor over binary indices.
+///
+/// Data is row-major with `indices[0]` slowest-varying. A rank-0 tensor is a
+/// scalar with one data element.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_tensornet::Tensor;
+/// use qkc_math::{Complex, C_ONE, C_ZERO};
+///
+/// // A qubit wire in state |0> and a cap testing for <1| contract to 0.
+/// let ket = Tensor::new(vec![7], vec![C_ONE, C_ZERO]);
+/// let bra = Tensor::new(vec![7], vec![C_ZERO, C_ONE]);
+/// let s = ket.contract(&bra);
+/// assert_eq!(s.rank(), 0);
+/// assert!(s.scalar().approx_zero(1e-15));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    indices: Vec<IndexId>,
+    data: Vec<Complex>,
+}
+
+impl Tensor {
+    /// Creates a tensor from its index labels and row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 2^indices.len()` or an index repeats.
+    pub fn new(indices: Vec<IndexId>, data: Vec<Complex>) -> Self {
+        assert_eq!(
+            data.len(),
+            1usize << indices.len(),
+            "tensor data length must be 2^rank"
+        );
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), indices.len(), "tensor indices must be unique");
+        Self { indices, data }
+    }
+
+    /// A scalar tensor.
+    pub fn scalar_tensor(value: Complex) -> Self {
+        Self {
+            indices: Vec::new(),
+            data: vec![value],
+        }
+    }
+
+    /// A rank-1 basis vector `e_bit` on `index`.
+    pub fn basis_vector(index: IndexId, bit: usize) -> Self {
+        let mut data = vec![C_ZERO; 2];
+        data[bit] = qkc_math::C_ONE;
+        Self {
+            indices: vec![index],
+            data,
+        }
+    }
+
+    /// The tensor's rank (number of indices).
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The index labels.
+    pub fn indices(&self) -> &[IndexId] {
+        &self.indices
+    }
+
+    /// Number of stored elements (`2^rank`).
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The scalar value of a rank-0 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank > 0.
+    pub fn scalar(&self) -> Complex {
+        assert!(self.indices.is_empty(), "tensor is not a scalar");
+        self.data[0]
+    }
+
+    /// Reads the element at the given per-index bit assignment (aligned with
+    /// `indices()` order).
+    pub fn get(&self, bits: &[usize]) -> Complex {
+        self.data[self.flat_index(bits)]
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            indices: self.indices.clone(),
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Returns a copy with indices renamed through `rename`.
+    pub fn relabel(&self, rename: impl Fn(IndexId) -> IndexId) -> Self {
+        Self {
+            indices: self.indices.iter().map(|&i| rename(i)).collect(),
+            data: self.data.clone(),
+        }
+    }
+
+    fn flat_index(&self, bits: &[usize]) -> usize {
+        debug_assert_eq!(bits.len(), self.indices.len());
+        bits.iter().fold(0, |acc, &b| (acc << 1) | (b & 1))
+    }
+
+    /// Number of indices shared with `other`.
+    pub fn shared_count(&self, other: &Tensor) -> usize {
+        self.indices
+            .iter()
+            .filter(|i| other.indices.contains(i))
+            .count()
+    }
+
+    /// Contracts `self` with `other` over all shared indices.
+    ///
+    /// If no indices are shared this is an outer product. The result's
+    /// indices are `self`'s free indices followed by `other`'s.
+    pub fn contract(&self, other: &Tensor) -> Tensor {
+        let shared: Vec<IndexId> = self
+            .indices
+            .iter()
+            .copied()
+            .filter(|i| other.indices.contains(i))
+            .collect();
+        let free_a: Vec<IndexId> = self
+            .indices
+            .iter()
+            .copied()
+            .filter(|i| !shared.contains(i))
+            .collect();
+        let free_b: Vec<IndexId> = other
+            .indices
+            .iter()
+            .copied()
+            .filter(|i| !shared.contains(i))
+            .collect();
+
+        // Position lookup: for each of a's indices, where its bit comes from
+        // in the (free_a, free_b, shared) assignment, and likewise for b.
+        let pos_in = |list: &[IndexId], id: IndexId| list.iter().position(|&x| x == id);
+        let a_src: Vec<(usize, bool)> = self
+            .indices
+            .iter()
+            .map(|&id| match pos_in(&free_a, id) {
+                Some(p) => (p, false),
+                None => (pos_in(&shared, id).expect("index classified"), true),
+            })
+            .collect();
+        let b_src: Vec<(usize, bool)> = other
+            .indices
+            .iter()
+            .map(|&id| match pos_in(&free_b, id) {
+                Some(p) => (p, false),
+                None => (pos_in(&shared, id).expect("index classified"), true),
+            })
+            .collect();
+
+        let na = free_a.len();
+        let nb = free_b.len();
+        let ns = shared.len();
+        let mut out_indices = free_a;
+        out_indices.extend(free_b.iter().copied());
+        let mut out = vec![C_ZERO; 1usize << (na + nb)];
+
+        let bit_of = |word: usize, width: usize, pos: usize| (word >> (width - 1 - pos)) & 1;
+        for fa in 0..1usize << na {
+            for fb in 0..1usize << nb {
+                let mut acc = C_ZERO;
+                for s in 0..1usize << ns {
+                    let mut ai = 0usize;
+                    for &(p, is_shared) in &a_src {
+                        let bit = if is_shared {
+                            bit_of(s, ns, p)
+                        } else {
+                            bit_of(fa, na, p)
+                        };
+                        ai = (ai << 1) | bit;
+                    }
+                    let mut bi = 0usize;
+                    for &(p, is_shared) in &b_src {
+                        let bit = if is_shared {
+                            bit_of(s, ns, p)
+                        } else {
+                            bit_of(fb, nb, p)
+                        };
+                        bi = (bi << 1) | bit;
+                    }
+                    acc += self.data[ai] * other.data[bi];
+                }
+                out[(fa << nb) | fb] = acc;
+            }
+        }
+        Tensor {
+            indices: out_indices,
+            data: out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_math::{C_I, C_ONE};
+
+    #[test]
+    fn scalar_round_trip() {
+        let s = Tensor::scalar_tensor(C_I);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.scalar(), C_I);
+    }
+
+    #[test]
+    fn matrix_vector_contraction() {
+        // Hadamard as tensor (out=0, in=1) against |0> on index 1.
+        let h = qkc_math::CMatrix::hadamard();
+        let ht = Tensor::new(vec![0, 1], h.as_slice().to_vec());
+        let v = Tensor::basis_vector(1, 0);
+        let r = ht.contract(&v);
+        assert_eq!(r.indices(), &[0]);
+        assert!(r.get(&[0]).approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+        assert!(r.get(&[1]).approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+    }
+
+    #[test]
+    fn matrix_matrix_contraction_is_product() {
+        // H·H = I via contraction over the shared middle index.
+        let h = qkc_math::CMatrix::hadamard();
+        let a = Tensor::new(vec![0, 1], h.as_slice().to_vec()); // rows=0, cols=1
+        let b = Tensor::new(vec![1, 2], h.as_slice().to_vec()); // rows=1, cols=2
+        let r = a.contract(&b);
+        assert_eq!(r.indices(), &[0, 2]);
+        assert!(r.get(&[0, 0]).approx_eq(C_ONE, 1e-12));
+        assert!(r.get(&[0, 1]).approx_zero(1e-12));
+        assert!(r.get(&[1, 1]).approx_eq(C_ONE, 1e-12));
+    }
+
+    #[test]
+    fn outer_product_when_disjoint() {
+        let a = Tensor::basis_vector(0, 1);
+        let b = Tensor::basis_vector(1, 0);
+        let r = a.contract(&b);
+        assert_eq!(r.rank(), 2);
+        assert_eq!(r.get(&[1, 0]), C_ONE);
+        assert_eq!(r.get(&[0, 0]), C_ZERO);
+    }
+
+    #[test]
+    fn full_trace_contraction() {
+        // Tr(Z) = 0 by contracting Z's two indices against the identity
+        // "cup" tensor.
+        let z = Tensor::new(
+            vec![0, 1],
+            vec![C_ONE, C_ZERO, C_ZERO, -C_ONE],
+        );
+        let cup = Tensor::new(vec![0, 1], vec![C_ONE, C_ZERO, C_ZERO, C_ONE]);
+        let r = z.contract(&cup);
+        assert!(r.scalar().approx_zero(1e-15));
+    }
+
+    #[test]
+    fn relabel_and_conj() {
+        let t = Tensor::new(vec![3, 5], vec![C_I, C_ZERO, C_ZERO, C_I]);
+        let r = t.relabel(|i| i + 100);
+        assert_eq!(r.indices(), &[103, 105]);
+        assert_eq!(r.conj().get(&[0, 0]), -C_I);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_indices_rejected() {
+        Tensor::new(vec![1, 1], vec![C_ZERO; 4]);
+    }
+}

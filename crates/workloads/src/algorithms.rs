@@ -1,0 +1,485 @@
+//! The validation algorithm suite (paper §3.3.1 and artifact appendix
+//! A.6.1): Bell states, CHSH, Deutsch–Jozsa, Bernstein–Vazirani, Simon,
+//! hidden shift, QFT, Grover, and teleportation.
+
+use qkc_circuit::{Circuit, DiagonalOp, Gate, PermutationOp};
+
+/// The 2-qubit Bell-state circuit (`H`, `CNOT`).
+pub fn bell_circuit() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.h(0).cnot(0, 1);
+    c
+}
+
+/// The noisy Bell-state circuit of the paper's Figure 2
+/// (`H`, phase damping γ=0.36, `CNOT`).
+pub fn noisy_bell_circuit(gamma: f64) -> Circuit {
+    let mut c = Circuit::new(2);
+    c.h(0).phase_damp(0, gamma).cnot(0, 1);
+    c
+}
+
+/// One CHSH measurement-setting circuit: Bell pair plus local rotations
+/// `Ry(-2a)` on Alice and `Ry(-2b)` on Bob before Z-basis measurement.
+///
+/// With the canonical angles `a ∈ {0, π/4}`, `b ∈ {π/8, -π/8}`, the CHSH
+/// correlation `S = E00 + E01 + E10 - E11` reaches `2√2 > 2`.
+pub fn chsh_setting_circuit(a: f64, b: f64) -> Circuit {
+    let mut c = bell_circuit();
+    c.ry(0, -2.0 * a).ry(1, -2.0 * b);
+    c
+}
+
+/// The four canonical CHSH settings `(a, b)`.
+pub fn chsh_settings() -> [(f64, f64); 4] {
+    use std::f64::consts::PI;
+    [
+        (0.0, PI / 8.0),
+        (0.0, -PI / 8.0),
+        (PI / 4.0, PI / 8.0),
+        (PI / 4.0, -PI / 8.0),
+    ]
+}
+
+/// The correlation `E = P(same) - P(different)` of qubits 0 and 1 under an
+/// output distribution.
+pub fn parity_correlation(probs: &[f64], num_qubits: usize) -> f64 {
+    let n = num_qubits;
+    probs
+        .iter()
+        .enumerate()
+        .map(|(s, &p)| {
+            let a = (s >> (n - 1)) & 1;
+            let b = (s >> (n - 2)) & 1;
+            if a == b {
+                p
+            } else {
+                -p
+            }
+        })
+        .sum()
+}
+
+/// A Deutsch–Jozsa oracle: constant (`f(x) = bit`) or balanced
+/// (`f(x) = parity(x & mask)` for a non-zero mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DjOracle {
+    /// `f(x) = bit` for every input.
+    Constant {
+        /// The constant output bit.
+        bit: bool,
+    },
+    /// `f(x) = popcount(x & mask) mod 2`; balanced for `mask != 0`.
+    BalancedParity {
+        /// The parity mask (must be non-zero).
+        mask: usize,
+    },
+}
+
+impl DjOracle {
+    fn evaluate(&self, x: usize) -> bool {
+        match self {
+            DjOracle::Constant { bit } => *bit,
+            DjOracle::BalancedParity { mask } => (x & mask).count_ones() % 2 == 1,
+        }
+    }
+}
+
+/// The Deutsch–Jozsa circuit on `n` input qubits plus one ancilla
+/// (qubit `n`). Measuring the input register all-zeros ⇔ constant oracle.
+pub fn deutsch_jozsa_circuit(n: usize, oracle: DjOracle) -> Circuit {
+    let mut c = Circuit::new(n + 1);
+    c.x(n);
+    for q in 0..=n {
+        c.h(q);
+    }
+    // Bit-flip oracle |x, b> -> |x, b ^ f(x)> as one permutation.
+    let table: Vec<usize> = (0..1usize << (n + 1))
+        .map(|idx| {
+            let x = idx >> 1;
+            let b = idx & 1;
+            (x << 1) | (b ^ usize::from(oracle.evaluate(x)))
+        })
+        .collect();
+    let perm = PermutationOp::new("dj-oracle", table).expect("bijective oracle");
+    let qubits: Vec<usize> = (0..=n).collect();
+    c.permutation(perm, qubits);
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// The Bernstein–Vazirani circuit recovering `secret` (an `n`-bit string,
+/// bit `n-1-q` for qubit `q`) in one query. Uses `n` input qubits plus an
+/// ancilla.
+pub fn bernstein_vazirani_circuit(n: usize, secret: usize) -> Circuit {
+    assert!(secret < 1 << n, "secret out of range");
+    deutsch_jozsa_circuit(n, DjOracle::BalancedParity { mask: secret })
+}
+
+/// Simon's problem circuit: `f(x) = f(y) ⇔ y = x ⊕ secret`. Uses `n` input
+/// qubits and `n` output qubits; input-register measurements are orthogonal
+/// to `secret`.
+pub fn simon_circuit(n: usize, secret: usize) -> Circuit {
+    assert!(secret != 0 && secret < 1 << n, "secret must be non-zero");
+    let mut c = Circuit::new(2 * n);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Two-to-one oracle: f(x) = min(x, x ^ secret); |x, y> -> |x, y ⊕ f(x)>.
+    let table: Vec<usize> = (0..1usize << (2 * n))
+        .map(|idx| {
+            let x = idx >> n;
+            let y = idx & ((1 << n) - 1);
+            let fx = x.min(x ^ secret);
+            (x << n) | (y ^ fx)
+        })
+        .collect();
+    let perm = PermutationOp::new("simon-oracle", table).expect("bijective oracle");
+    let qubits: Vec<usize> = (0..2 * n).collect();
+    c.permutation(perm, qubits);
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// The hidden-shift circuit for the Maiorana–McFarland bent function
+/// `f(x, y) = x·y` on `2m` qubits (van Dam–Hallgren–Ip style, and the Cirq
+/// example the paper validates against): measuring recovers `shift`.
+pub fn hidden_shift_circuit(m: usize, shift: usize) -> Circuit {
+    let n = 2 * m;
+    assert!(shift < 1 << n, "shift out of range");
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle for the shifted function g(x) = f(x ⊕ s): conjugate the phase
+    // oracle with X gates on the shifted positions.
+    let apply_f = |c: &mut Circuit| {
+        // f(x, y) = x·y: a CZ between each paired qubit (i, i+m).
+        for i in 0..m {
+            c.cz(i, i + m);
+        }
+    };
+    for q in 0..n {
+        if (shift >> (n - 1 - q)) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    apply_f(&mut c);
+    for q in 0..n {
+        if (shift >> (n - 1 - q)) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    // Phase oracle of the dual bent function (same f for Maiorana–McFarland
+    // with this pairing).
+    apply_f(&mut c);
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// The quantum Fourier transform on `n` qubits (no final swap reversal;
+/// callers account for the reversed output order).
+pub fn qft_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    append_qft(&mut c, &(0..n).collect::<Vec<_>>(), false);
+    c
+}
+
+/// Appends the QFT (or its inverse) on the given qubits, including the
+/// final qubit-order reversal swaps.
+pub fn append_qft(c: &mut Circuit, qubits: &[usize], inverse: bool) {
+    let n = qubits.len();
+    let mut ops: Vec<(usize, Option<(usize, f64)>)> = Vec::new();
+    for i in 0..n {
+        ops.push((qubits[i], None)); // H
+        for j in (i + 1)..n {
+            let angle = std::f64::consts::PI / (1 << (j - i)) as f64;
+            ops.push((qubits[i], Some((qubits[j], angle))));
+        }
+    }
+    if inverse {
+        // Inverse of [rotations..., swaps]: swaps first (self-inverse,
+        // disjoint pairs), then the rotations reversed with negated angles.
+        for i in 0..n / 2 {
+            c.swap(qubits[i], qubits[n - 1 - i]);
+        }
+        for (target, op) in ops.into_iter().rev() {
+            match op {
+                None => {
+                    c.h(target);
+                }
+                Some((ctrl, angle)) => {
+                    c.cphase(ctrl, target, -angle);
+                }
+            }
+        }
+    } else {
+        for (target, op) in ops {
+            match op {
+                None => {
+                    c.h(target);
+                }
+                Some((ctrl, angle)) => {
+                    c.cphase(ctrl, target, angle);
+                }
+            }
+        }
+        for i in 0..n / 2 {
+            c.swap(qubits[i], qubits[n - 1 - i]);
+        }
+    }
+}
+
+/// Grover search over `n` qubits for the given marked states, running the
+/// optimal number of iterations (≈ π/4·√(N/M)).
+///
+/// The oracle and the diffusion reflection are diagonal operations — the
+/// paper's Grover instances likewise search small abstract spaces (2–16
+/// elements).
+pub fn grover_circuit(n: usize, marked: &[usize]) -> Circuit {
+    assert!(!marked.is_empty(), "need at least one marked state");
+    let dim = 1usize << n;
+    let iterations = ((std::f64::consts::FRAC_PI_4)
+        * (dim as f64 / marked.len() as f64).sqrt())
+    .floor()
+    .max(1.0) as usize;
+    grover_circuit_with_iterations(n, marked, iterations)
+}
+
+/// Grover with an explicit iteration count.
+pub fn grover_circuit_with_iterations(n: usize, marked: &[usize], iterations: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let qubits: Vec<usize> = (0..n).collect();
+    for q in 0..n {
+        c.h(q);
+    }
+    let oracle = DiagonalOp::phase_oracle("grover-oracle", n, marked).expect("marked in range");
+    for _ in 0..iterations {
+        c.diagonal(oracle.clone(), qubits.clone());
+        for q in 0..n {
+            c.h(q);
+        }
+        c.diagonal(DiagonalOp::reflection_about_zero(n), qubits.clone());
+        for q in 0..n {
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// Grover searching for the square roots of `target` modulo `2^n` — the
+/// "square root of a number in a simple abstract algebra setting" instance
+/// family of the paper's Figure 6.
+pub fn grover_sqrt_circuit(n: usize, target: usize) -> Circuit {
+    let dim = 1usize << n;
+    let marked: Vec<usize> = (0..dim).filter(|&x| (x * x) % dim == target % dim).collect();
+    assert!(
+        !marked.is_empty(),
+        "{target} has no square root modulo {dim}"
+    );
+    grover_circuit(n, &marked)
+}
+
+/// Quantum teleportation of the state `Ry(theta)|0⟩` from qubit 0 to
+/// qubit 2, using deferred measurement (quantum-controlled corrections after
+/// the mid-circuit measurements).
+pub fn teleportation_circuit(theta: f64) -> Circuit {
+    let mut c = Circuit::new(3);
+    c.ry(0, theta); // message
+    c.h(1).cnot(1, 2); // Bell pair between 1 (Alice) and 2 (Bob)
+    c.cnot(0, 1).h(0); // Bell measurement basis
+    c.measure(0).measure(1);
+    // Corrections, deferred: X^{m1} then Z^{m0}.
+    c.cnot(1, 2);
+    c.cz(0, 2);
+    c
+}
+
+/// Applies `Gate::X` to selected qubits — helper for preparing basis states
+/// in tests.
+pub fn prepare_basis(c: &mut Circuit, bits: usize) {
+    let n = c.num_qubits();
+    for q in 0..n {
+        if (bits >> (n - 1 - q)) & 1 == 1 {
+            c.gate(Gate::X, [q]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::ParamMap;
+    use qkc_statevector::StateVectorSimulator;
+
+    fn probabilities(c: &Circuit) -> Vec<f64> {
+        StateVectorSimulator::new()
+            .probabilities(c, &ParamMap::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn chsh_violates_classical_bound() {
+        let mut s = 0.0;
+        for (i, (a, b)) in chsh_settings().into_iter().enumerate() {
+            let probs = probabilities(&chsh_setting_circuit(a, b));
+            let e = parity_correlation(&probs, 2);
+            s += if i == 3 { -e } else { e };
+        }
+        assert!(
+            (s - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-9,
+            "CHSH S = {s}"
+        );
+    }
+
+    #[test]
+    fn deutsch_jozsa_separates_constant_and_balanced() {
+        for n in [2, 3, 4] {
+            for oracle in [
+                DjOracle::Constant { bit: false },
+                DjOracle::Constant { bit: true },
+            ] {
+                let probs = probabilities(&deutsch_jozsa_circuit(n, oracle));
+                // Input register all-zeros: sum over ancilla values.
+                let p0: f64 = probs[0] + probs[1];
+                assert!((p0 - 1.0).abs() < 1e-9, "constant oracle n={n}");
+            }
+            for mask in [1, (1 << n) - 1, 0b10] {
+                let probs =
+                    probabilities(&deutsch_jozsa_circuit(n, DjOracle::BalancedParity { mask }));
+                let p0: f64 = probs[0] + probs[1];
+                assert!(p0 < 1e-9, "balanced oracle n={n} mask={mask}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        for n in [3, 5] {
+            for secret in [0b101 & ((1 << n) - 1), (1 << n) - 1, 1] {
+                let probs = probabilities(&bernstein_vazirani_circuit(n, secret));
+                // Input register must read exactly `secret` (ancilla free).
+                let p: f64 = probs[secret << 1] + probs[(secret << 1) | 1];
+                assert!((p - 1.0).abs() < 1e-9, "n={n} secret={secret:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn simon_samples_are_orthogonal_to_secret() {
+        let n = 3;
+        let secret = 0b101;
+        let probs = probabilities(&simon_circuit(n, secret));
+        for (state, &p) in probs.iter().enumerate() {
+            if p > 1e-12 {
+                let x = state >> n; // input register
+                let dot = (x & secret).count_ones() % 2;
+                assert_eq!(dot, 0, "sampled {x:b} not orthogonal to {secret:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_shift_recovers_shift() {
+        for (m, shift) in [(1, 0b01), (2, 0b1011), (2, 0b0110)] {
+            let probs = probabilities(&hidden_shift_circuit(m, shift));
+            let (best, &p) = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            assert_eq!(best, shift, "m={m}");
+            assert!((p - 1.0).abs() < 1e-9, "deterministic recovery, got {p}");
+        }
+    }
+
+    #[test]
+    fn qft_of_basis_state_is_fourier_mode() {
+        let n = 3;
+        let k = 5;
+        let mut c = Circuit::new(n);
+        prepare_basis(&mut c, k);
+        append_qft(&mut c, &[0, 1, 2], false);
+        let state = StateVectorSimulator::new()
+            .run_pure(&c, &ParamMap::new())
+            .unwrap();
+        let dim = 1 << n;
+        for x in 0..dim {
+            let want = qkc_math::Complex::cis(
+                2.0 * std::f64::consts::PI * (k * x) as f64 / dim as f64,
+            )
+            .scale(1.0 / (dim as f64).sqrt());
+            assert!(
+                state.amplitude(x).approx_eq(want, 1e-9),
+                "amp {x}: {} vs {want}",
+                state.amplitude(x)
+            );
+        }
+    }
+
+    #[test]
+    fn qft_then_inverse_is_identity() {
+        let n = 4;
+        let mut c = Circuit::new(n);
+        prepare_basis(&mut c, 0b1010);
+        let qs: Vec<usize> = (0..n).collect();
+        append_qft(&mut c, &qs, false);
+        append_qft(&mut c, &qs, true);
+        let probs = probabilities(&c);
+        assert!((probs[0b1010] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grover_amplifies_marked_states() {
+        for n in [2, 3, 4] {
+            let marked = [(1 << n) - 2];
+            let probs = probabilities(&grover_circuit(n, &marked));
+            let p = probs[marked[0]];
+            // Success probability far above uniform 1/2^n.
+            assert!(
+                p > 0.75,
+                "n={n}: marked probability {p} should dominate"
+            );
+        }
+    }
+
+    #[test]
+    fn grover_sqrt_finds_square_roots() {
+        // x² ≡ 4 (mod 16): roots 2, 6, 10, 14.
+        let c = grover_sqrt_circuit(4, 4);
+        let probs = probabilities(&c);
+        let root_mass: f64 = [2, 6, 10, 14].iter().map(|&r| probs[r]).sum();
+        assert!(root_mass > 0.9, "root mass {root_mass}");
+    }
+
+    #[test]
+    fn teleportation_transfers_the_state() {
+        use qkc_circuit::reference;
+        let theta = 0.9;
+        let rho = reference::run_density(&teleportation_circuit(theta), &ParamMap::new()).unwrap();
+        // Qubit 2 marginal: P(|1>) = sin²(θ/2).
+        let want = (theta / 2.0_f64).sin().powi(2);
+        let p1: f64 = (0..8)
+            .filter(|s| s & 1 == 1)
+            .map(|s| rho[(s, s)].re)
+            .sum();
+        assert!((p1 - want).abs() < 1e-9, "{p1} vs {want}");
+        // And coherence: the off-diagonal of qubit 2's reduced state must
+        // match the pure Ry(θ) state (teleportation preserves phase).
+        let mut off = qkc_math::C_ZERO;
+        for s in 0..4 {
+            off += rho[(2 * s, 2 * s + 1)];
+        }
+        let want_off = (theta / 2.0).cos() * (theta / 2.0).sin();
+        assert!(off.approx_eq(qkc_math::Complex::real(want_off), 1e-9));
+    }
+}

@@ -1,0 +1,212 @@
+//! Problem graphs for the variational workloads.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_workloads::Graph;
+///
+/// let g = Graph::random_regular(8, 3, 42);
+/// assert_eq!(g.num_vertices(), 8);
+/// assert!(g.degrees().iter().all(|&d| d == 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_vertices: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate edges, or out-of-range vertices.
+    pub fn new(num_vertices: usize, mut edges: Vec<(usize, usize)>) -> Self {
+        for e in &mut edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+            assert!(e.0 != e.1, "self-loop at vertex {}", e.0);
+            assert!(e.1 < num_vertices, "vertex {} out of range", e.1);
+        }
+        edges.sort_unstable();
+        let before = edges.len();
+        edges.dedup();
+        assert_eq!(before, edges.len(), "duplicate edges");
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// A random `d`-regular graph via the configuration model (the paper's
+    /// QAOA instances: "random graphs with varying number of vertices each
+    /// having three edges", §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n·d` is odd or `d >= n`.
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
+        assert!((n * d).is_multiple_of(2), "n·d must be even for a d-regular graph");
+        assert!(d < n, "degree must be below vertex count");
+        let mut rng = StdRng::seed_from_u64(seed);
+        'attempt: for _ in 0..10_000 {
+            // Configuration model: pair up d stubs per vertex.
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+            stubs.shuffle(&mut rng);
+            let mut edges = Vec::with_capacity(n * d / 2);
+            let mut seen = std::collections::HashSet::new();
+            for pair in stubs.chunks(2) {
+                let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+                if a == b || !seen.insert((a, b)) {
+                    continue 'attempt; // reject multi-edges and loops
+                }
+                edges.push((a, b));
+            }
+            return Self::new(n, edges);
+        }
+        panic!("failed to sample a simple {d}-regular graph on {n} vertices");
+    }
+
+    /// A `w × h` grid graph (the paper's 2-D Ising model instances: "each
+    /// qubit encodes a grid point in 2D space", §4.1). Vertex `(r, c)` is
+    /// `r·w + c`.
+    pub fn grid(width: usize, height: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..height {
+            for c in 0..width {
+                let v = r * width + c;
+                if c + 1 < width {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < height {
+                    edges.push((v, v + width));
+                }
+            }
+        }
+        Self::new(width * height, edges)
+    }
+
+    /// A simple cycle on `n` vertices.
+    pub fn cycle(n: usize) -> Self {
+        Self::new(n, (0..n).map(|v| (v, (v + 1) % n)).collect())
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The edges, normalized `(low, high)` and sorted.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertex degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0; self.num_vertices];
+        for &(a, b) in &self.edges {
+            d[a] += 1;
+            d[b] += 1;
+        }
+        d
+    }
+
+    /// The cut value of a vertex bipartition given as a bitstring (vertex
+    /// `v`'s side is bit `n-1-v`, matching circuit measurement outcomes).
+    pub fn cut_value(&self, bits: usize) -> usize {
+        let n = self.num_vertices;
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| (bits >> (n - 1 - a)) & 1 != (bits >> (n - 1 - b)) & 1)
+            .count()
+    }
+
+    /// The maximum cut value, by brute force (test/verification use).
+    pub fn max_cut_brute_force(&self) -> usize {
+        (0..1usize << self.num_vertices)
+            .map(|bits| self.cut_value(bits))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Draws a uniformly random graph with edge probability `p`.
+    pub fn random_gnp(n: usize, p: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen::<f64>() < p {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Self::new(n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graph_has_uniform_degree() {
+        for (n, d) in [(6, 3), (8, 3), (10, 3), (12, 4)] {
+            let g = Graph::random_regular(n, d, 7);
+            assert_eq!(g.num_edges(), n * d / 2);
+            assert!(g.degrees().iter().all(|&x| x == d), "({n},{d})");
+        }
+    }
+
+    #[test]
+    fn regular_graphs_differ_by_seed() {
+        let a = Graph::random_regular(10, 3, 1);
+        let b = Graph::random_regular(10, 3, 2);
+        assert_ne!(a, b);
+        // Same seed reproduces.
+        assert_eq!(a, Graph::random_regular(10, 3, 1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = Graph::grid(3, 3);
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 12); // 2*3*2 horizontal + vertical
+        let d = g.degrees();
+        assert_eq!(d[4], 4); // center
+        assert_eq!(d[0], 2); // corner
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        // Path 0-1-2: bits 0b101 puts vertex 1 alone: both edges cut.
+        let g = Graph::new(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(g.cut_value(0b101), 2);
+        assert_eq!(g.cut_value(0b111), 0);
+        assert_eq!(g.cut_value(0b100), 1);
+    }
+
+    #[test]
+    fn max_cut_of_even_cycle_is_n() {
+        let g = Graph::cycle(6);
+        assert_eq!(g.max_cut_brute_force(), 6);
+        let g5 = Graph::cycle(5);
+        assert_eq!(g5.max_cut_brute_force(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        Graph::new(2, vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quantum workloads for the QKC toolchain: the paper's benchmark
+//! variational algorithms, its validation algorithm suite, and its
+//! unstructured random-circuit instances.
+//!
+//! * [`QaoaMaxCut`] — QAOA for Max-Cut on random 3-regular graphs
+//!   (Figures 3, 7, 8a/c, 9a/c).
+//! * [`VqeIsing`] — VQE for a 2-D transverse-field Ising grid
+//!   (Figures 8b/d, 9b/d).
+//! * [`algorithms`] — Bell/CHSH, Deutsch–Jozsa, Bernstein–Vazirani, Simon,
+//!   hidden shift, QFT, Grover, teleportation (§3.3.1 validation suite).
+//! * [`ShorPeriodFinding`] — period finding / factoring (Figure 6, Table 4).
+//! * [`RandomCircuit`] — GRCS-style random circuit sampling (Figure 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_workloads::{Graph, QaoaMaxCut};
+//!
+//! let qaoa = QaoaMaxCut::new(Graph::random_regular(8, 3, 1), 1);
+//! let circuit = qaoa.circuit();
+//! let params = qaoa.default_params();
+//! assert_eq!(circuit.symbols().len(), 2); // gamma0, beta0
+//! assert_eq!(params.len(), 2);
+//! ```
+
+pub mod algorithms;
+pub mod arithmetic;
+mod graph;
+mod qaoa;
+mod rcs;
+mod shor;
+mod vqe;
+
+pub use graph::Graph;
+pub use qaoa::QaoaMaxCut;
+pub use rcs::RandomCircuit;
+pub use shor::{
+    continued_fraction_denominator, controlled_modmul, gcd, mod_pow, multiplicative_order,
+    ShorPeriodFinding,
+};
+pub use vqe::VqeIsing;

@@ -1,0 +1,167 @@
+//! Random circuit sampling (RCS) workload — the paper's *unstructured*
+//! instance family (Figure 6): "quantum operations randomly selected and
+//! placed in a fixed template", in the style of the GRCS supremacy
+//! circuits.
+//!
+//! Qubits sit on a `width × height` grid; every cycle applies a CZ pattern
+//! (alternating between eight stagger offsets like GRCS) and random
+//! single-qubit gates drawn from {T, √X, √Y} on the untouched qubits. These
+//! circuits entangle rapidly and leave little independence structure for
+//! knowledge compilation to exploit — the expected exponential-scaling
+//! contrast with Grover/Shor in Figure 6.
+
+use qkc_circuit::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An RCS instance on a qubit grid.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_workloads::RandomCircuit;
+///
+/// let rcs = RandomCircuit::new(3, 3, 4, 7);
+/// let c = rcs.circuit();
+/// assert_eq!(c.num_qubits(), 9);
+/// assert!(c.depth() > 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomCircuit {
+    width: usize,
+    height: usize,
+    cycles: usize,
+    seed: u64,
+}
+
+impl RandomCircuit {
+    /// Creates an instance: `cycles` entangling rounds on a
+    /// `width × height` grid, deterministic in `seed`.
+    pub fn new(width: usize, height: usize, cycles: usize, seed: u64) -> Self {
+        Self {
+            width,
+            height,
+            cycles,
+            seed,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The CZ pairs of pattern `p` (eight staggered patterns, as in GRCS).
+    fn cz_pattern(&self, p: usize) -> Vec<(usize, usize)> {
+        let (w, h) = (self.width, self.height);
+        let q = |r: usize, c: usize| r * w + c;
+        let mut pairs = Vec::new();
+        match p % 8 {
+            // Horizontal pairs with four stagger phases.
+            0 | 2 | 4 | 6 => {
+                let phase = (p % 8) / 2;
+                for r in 0..h {
+                    let start = (r + phase) % 2;
+                    let mut c = start;
+                    while c + 1 < w {
+                        pairs.push((q(r, c), q(r, c + 1)));
+                        c += 2;
+                    }
+                }
+            }
+            // Vertical pairs with four stagger phases.
+            _ => {
+                let phase = (p % 8 - 1) / 2;
+                for c in 0..w {
+                    let start = (c + phase) % 2;
+                    let mut r = start;
+                    while r + 1 < h {
+                        pairs.push((q(r, c), q(r + 1, c)));
+                        r += 2;
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Builds the circuit.
+    pub fn circuit(&self) -> Circuit {
+        let n = self.num_qubits();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for cycle in 0..self.cycles {
+            let pairs = self.cz_pattern(cycle);
+            let mut in_cz = vec![false; n];
+            for &(a, b) in &pairs {
+                c.cz(a, b);
+                in_cz[a] = true;
+                in_cz[b] = true;
+            }
+            for q in 0..n {
+                if !in_cz[q] {
+                    let g = match rng.gen_range(0..3) {
+                        0 => Gate::T,
+                        1 => Gate::SqrtX,
+                        _ => Gate::SqrtY,
+                    };
+                    c.gate(g, [q]);
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::ParamMap;
+    use qkc_statevector::StateVectorSimulator;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RandomCircuit::new(3, 2, 5, 11).circuit();
+        let b = RandomCircuit::new(3, 2, 5, 11).circuit();
+        assert_eq!(a, b);
+        let c = RandomCircuit::new(3, 2, 5, 12).circuit();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_cycle_entangles_some_pair() {
+        let rcs = RandomCircuit::new(3, 3, 8, 3);
+        let c = rcs.circuit();
+        let cz_count = c
+            .operations()
+            .iter()
+            .filter(|o| matches!(o, qkc_circuit::Operation::Gate { gate: Gate::Cz, .. }))
+            .count();
+        assert!(cz_count >= 8, "each cycle should place CZs, got {cz_count}");
+    }
+
+    #[test]
+    fn output_distribution_spreads_out() {
+        // Porter–Thomas-like behaviour: after enough cycles no outcome
+        // dominates.
+        let rcs = RandomCircuit::new(2, 2, 8, 5);
+        let probs = StateVectorSimulator::new()
+            .probabilities(&rcs.circuit(), &ParamMap::new())
+            .unwrap();
+        let max = probs.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 0.6, "no single outcome should dominate, got {max}");
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn patterns_alternate_directions() {
+        let rcs = RandomCircuit::new(3, 3, 2, 0);
+        let horizontal = rcs.cz_pattern(0);
+        let vertical = rcs.cz_pattern(1);
+        assert!(horizontal.iter().all(|&(a, b)| b == a + 1));
+        assert!(vertical.iter().all(|&(a, b)| b == a + 3));
+    }
+}

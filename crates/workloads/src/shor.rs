@@ -1,0 +1,318 @@
+//! Shor's period-finding / factoring workload (paper Figure 6, Table 4).
+//!
+//! The circuit uses a counting register (phase estimation) over a work
+//! register holding the modular-exponentiation state. Controlled
+//! multiplication by `a^(2^k) mod N` is encoded directly as a reversible
+//! permutation on (control ⊗ work) — the substitution DESIGN.md documents
+//! for Beauregard's adder-based construction, preserving exactly the same
+//! entanglement structure between counting and work registers.
+
+use crate::algorithms::append_qft;
+use qkc_circuit::{Circuit, PermutationOp};
+
+/// Greatest common divisor.
+pub fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Modular exponentiation `base^exp mod modulus`.
+pub fn mod_pow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// The multiplicative order of `a` modulo `n` (brute force; classical
+/// reference for validation).
+pub fn multiplicative_order(a: u64, n: u64) -> u64 {
+    assert_eq!(gcd(a, n), 1, "a must be coprime to n");
+    let mut x = a % n;
+    let mut r = 1;
+    while x != 1 {
+        x = x * a % n;
+        r += 1;
+    }
+    r
+}
+
+/// The controlled modular-multiplication permutation
+/// `|c, x⟩ → |c, (mult·x mod modulus)⟩ if c = 1 and x < modulus`.
+///
+/// # Panics
+///
+/// Panics if `mult` is not coprime to `modulus` (the map would not be a
+/// bijection).
+pub fn controlled_modmul(modulus: u64, mult: u64, work_bits: usize) -> PermutationOp {
+    assert_eq!(gcd(mult, modulus), 1, "multiplier must be coprime");
+    assert!(1u64 << work_bits >= modulus, "work register too small");
+    let dim = 1usize << (1 + work_bits);
+    let table: Vec<usize> = (0..dim)
+        .map(|idx| {
+            let c = idx >> work_bits;
+            let x = (idx & ((1 << work_bits) - 1)) as u64;
+            if c == 1 && x < modulus {
+                ((c << work_bits) as u64 | (x * mult % modulus)) as usize
+            } else {
+                idx
+            }
+        })
+        .collect();
+    PermutationOp::new(format!("c-mul{mult}mod{modulus}"), table)
+        .expect("modular multiplication is bijective")
+}
+
+/// A Shor period-finding instance for `a^x mod n`.
+#[derive(Debug, Clone)]
+pub struct ShorPeriodFinding {
+    modulus: u64,
+    base: u64,
+    counting_bits: usize,
+    work_bits: usize,
+}
+
+impl ShorPeriodFinding {
+    /// Creates an instance with `counting_bits` phase-estimation qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` shares a factor with `modulus` (in that case the
+    /// factor is found classically and no quantum step is needed).
+    pub fn new(modulus: u64, base: u64, counting_bits: usize) -> Self {
+        assert!(modulus >= 3);
+        assert_eq!(
+            gcd(base, modulus),
+            1,
+            "gcd(base, modulus) > 1: factor found classically"
+        );
+        let work_bits = (64 - (modulus - 1).leading_zeros()) as usize;
+        Self {
+            modulus,
+            base,
+            counting_bits,
+            work_bits,
+        }
+    }
+
+    /// Total qubits (counting + work).
+    pub fn num_qubits(&self) -> usize {
+        self.counting_bits + self.work_bits
+    }
+
+    /// Number of counting (phase) qubits.
+    pub fn counting_bits(&self) -> usize {
+        self.counting_bits
+    }
+
+    /// The period-finding circuit: Hadamards on the counting register,
+    /// controlled `×a^(2^k) mod N` cascades, inverse QFT.
+    ///
+    /// Counting qubits are `0..t` (qubit 0 reads the most significant phase
+    /// bit after the inverse QFT); work qubits follow.
+    pub fn circuit(&self) -> Circuit {
+        let t = self.counting_bits;
+        let w = self.work_bits;
+        let mut c = Circuit::new(t + w);
+        for q in 0..t {
+            c.h(q);
+        }
+        // Work register starts at |1⟩.
+        c.x(t + w - 1);
+        for k in 0..t {
+            // Counting qubit t-1-k controls multiplication by a^(2^k):
+            // qubit t-1 is the least significant phase bit.
+            let control = t - 1 - k;
+            let mult = mod_pow(self.base, 1 << k, self.modulus);
+            if mult == 1 {
+                continue;
+            }
+            let perm = controlled_modmul(self.modulus, mult, w);
+            let mut qubits = vec![control];
+            qubits.extend(t..t + w);
+            c.permutation(perm, qubits);
+        }
+        let counting: Vec<usize> = (0..t).collect();
+        append_qft(&mut c, &counting, true);
+        c
+    }
+
+    /// Extracts the counting-register reading from a full measurement
+    /// outcome.
+    pub fn counting_value(&self, outcome: usize) -> usize {
+        outcome >> self.work_bits
+    }
+
+    /// Classical post-processing: recover a candidate period from one
+    /// counting-register outcome via continued fractions, then try to
+    /// factor.
+    pub fn factor_from_outcome(&self, counting: usize) -> Option<(u64, u64)> {
+        let r = continued_fraction_denominator(
+            counting as u64,
+            1u64 << self.counting_bits,
+            self.modulus,
+        )?;
+        // The recovered denominator may be a divisor of the true period:
+        // try small multiples.
+        for mult in 1..=4u64 {
+            let r = r * mult;
+            if r == 0 || mod_pow(self.base, r, self.modulus) != 1 {
+                continue;
+            }
+            if r % 2 == 1 {
+                continue;
+            }
+            let half = mod_pow(self.base, r / 2, self.modulus);
+            if half == self.modulus - 1 {
+                continue;
+            }
+            let f1 = gcd(half + 1, self.modulus);
+            let f2 = gcd(half + self.modulus - 1, self.modulus);
+            for f in [f1, f2] {
+                if f > 1 && f < self.modulus {
+                    return Some((f, self.modulus / f));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The denominator `r ≤ bound` of the continued-fraction convergent of
+/// `y / q` (phase estimation read-out `y` over `q = 2^t`).
+pub fn continued_fraction_denominator(y: u64, q: u64, bound: u64) -> Option<u64> {
+    if y == 0 {
+        return None;
+    }
+    let (mut num, mut den) = (y, q);
+    // Convergent denominators k: k_{-2} = 1, k_{-1} = 0.
+    let (mut k_prev, mut k_cur) = (1u64, 0u64);
+    let mut best: Option<u64> = None;
+    while den != 0 {
+        let a = num / den;
+        let k_next = a * k_cur + k_prev;
+        if k_next > bound {
+            break;
+        }
+        k_prev = k_cur;
+        k_cur = k_next;
+        if k_cur > 0 {
+            best = Some(k_cur);
+        }
+        let rem = num % den;
+        num = den;
+        den = rem;
+    }
+    best.filter(|&r| r > 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::ParamMap;
+    use qkc_statevector::StateVectorSimulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classical_helpers() {
+        assert_eq!(gcd(48, 18), 6);
+        assert_eq!(mod_pow(7, 4, 15), 1);
+        assert_eq!(multiplicative_order(7, 15), 4);
+        assert_eq!(multiplicative_order(2, 15), 4);
+        assert_eq!(multiplicative_order(4, 15), 2);
+    }
+
+    #[test]
+    fn controlled_modmul_is_identity_when_control_clear() {
+        let p = controlled_modmul(15, 7, 4);
+        for x in 0..16 {
+            assert_eq!(p.apply(x), x, "control clear must be identity");
+        }
+        // Control set: 1 -> 7 -> 4 (7*7=49=4 mod 15) ...
+        assert_eq!(p.apply(16 + 1), 16 + 7);
+        assert_eq!(p.apply(16 + 7), 16 + 4);
+        // Out-of-range work values are fixed points.
+        assert_eq!(p.apply(16 + 15), 16 + 15);
+    }
+
+    #[test]
+    fn counting_register_peaks_at_multiples_of_q_over_r() {
+        // a=7, N=15: period r=4. With t=4 counting bits, q/r = 4 exactly:
+        // the counting register concentrates on {0, 4, 8, 12}.
+        let shor = ShorPeriodFinding::new(15, 7, 4);
+        let probs = StateVectorSimulator::new()
+            .probabilities(&shor.circuit(), &ParamMap::new())
+            .unwrap();
+        let mut counting_probs = [0.0; 16];
+        for (s, &p) in probs.iter().enumerate() {
+            counting_probs[shor.counting_value(s)] += p;
+        }
+        let peak_mass: f64 = [0, 4, 8, 12].iter().map(|&k| counting_probs[k]).sum();
+        assert!(
+            peak_mass > 0.999,
+            "peaks should carry all mass, got {peak_mass}"
+        );
+        // Each peak is 1/4.
+        for k in [0, 4, 8, 12] {
+            assert!((counting_probs[k] - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn factors_fifteen_from_samples() {
+        let shor = ShorPeriodFinding::new(15, 7, 4);
+        let sim = StateVectorSimulator::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let samples = sim
+            .sample(&shor.circuit(), &ParamMap::new(), 64, &mut rng)
+            .unwrap();
+        let mut found = None;
+        for s in samples {
+            if let Some((f1, f2)) = shor.factor_from_outcome(shor.counting_value(s)) {
+                found = Some((f1.min(f2), f1.max(f2)));
+                break;
+            }
+        }
+        assert_eq!(found, Some((3, 5)));
+    }
+
+    #[test]
+    fn continued_fractions_recover_small_denominators() {
+        // 12/16 = 3/4: denominator 4.
+        assert_eq!(continued_fraction_denominator(12, 16, 15), Some(4));
+        // 8/16 = 1/2.
+        assert_eq!(continued_fraction_denominator(8, 16, 15), Some(2));
+        assert_eq!(continued_fraction_denominator(0, 16, 15), None);
+    }
+
+    #[test]
+    fn other_bases_also_factor() {
+        for base in [2, 7, 8, 11, 13] {
+            let shor = ShorPeriodFinding::new(15, base, 4);
+            let probs = StateVectorSimulator::new()
+                .probabilities(&shor.circuit(), &ParamMap::new())
+                .unwrap();
+            // At least one outcome with nonzero probability must factor.
+            let mut any = false;
+            for (s, &p) in probs.iter().enumerate() {
+                if p > 1e-6 {
+                    if let Some((f1, f2)) = shor.factor_from_outcome(shor.counting_value(s)) {
+                        assert_eq!(f1 * f2, 15);
+                        any = true;
+                    }
+                }
+            }
+            assert!(any, "base {base} should produce a factoring outcome");
+        }
+    }
+}

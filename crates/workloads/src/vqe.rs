@@ -1,0 +1,317 @@
+//! VQE for the 2-D transverse-field Ising model (paper §4.1, Figures 8b/d,
+//! 9b/d).
+//!
+//! Each qubit encodes one grid point; the Hamiltonian is
+//! `H = -J·Σ_{⟨ij⟩} Z_i Z_j - h·Σ_i X_i`. The ansatz alternates `Ry`
+//! rotation layers with `ZZ` entanglers along the grid edges. Energy is
+//! estimated from samples in two measurement settings: the computational
+//! basis for the `ZZ` terms, and a Hadamard-rotated basis for the `X` terms
+//! — exactly how a hardware run (or a sampling simulator) evaluates the
+//! objective.
+
+use crate::graph::Graph;
+use qkc_circuit::{Circuit, Param, ParamMap};
+
+/// A VQE instance on a `width × height` Ising grid.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_workloads::VqeIsing;
+///
+/// let vqe = VqeIsing::new(2, 2, 1);
+/// assert_eq!(vqe.num_qubits(), 4);
+/// let c = vqe.circuit();
+/// assert_eq!(c.num_qubits(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VqeIsing {
+    grid: Graph,
+    width: usize,
+    height: usize,
+    layers: usize,
+    /// ZZ coupling strength.
+    pub coupling_j: f64,
+    /// Transverse field strength.
+    pub field_h: f64,
+}
+
+impl VqeIsing {
+    /// Creates an instance with `layers` ansatz repetitions (the paper
+    /// benchmarks 1 and 2 iterations), `J = 1`, `h = 0.5`.
+    pub fn new(width: usize, height: usize, layers: usize) -> Self {
+        assert!(layers > 0);
+        Self {
+            grid: Graph::grid(width, height),
+            width,
+            height,
+            layers,
+            coupling_j: 1.0,
+            field_h: 0.5,
+        }
+    }
+
+    /// Number of qubits (grid points).
+    pub fn num_qubits(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The grid graph.
+    pub fn grid(&self) -> &Graph {
+        &self.grid
+    }
+
+    /// Number of ansatz layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// The parameterized ansatz with symbols `theta{k}_{q}` (rotations) and
+    /// `phi{k}` (entangler angles).
+    pub fn circuit(&self) -> Circuit {
+        let n = self.num_qubits();
+        let mut c = Circuit::new(n);
+        for k in 0..self.layers {
+            for q in 0..n {
+                c.ry(q, Param::symbol(format!("theta{k}_{q}")));
+            }
+            let phi = Param::symbol(format!("phi{k}"));
+            for &(a, b) in self.grid.edges() {
+                c.zz(a, b, phi.clone());
+            }
+        }
+        c
+    }
+
+    /// The circuit measured in the X basis: the ansatz followed by a
+    /// Hadamard on every qubit.
+    pub fn circuit_x_basis(&self) -> Circuit {
+        let mut c = self.circuit();
+        for q in 0..self.num_qubits() {
+            c.h(q);
+        }
+        c
+    }
+
+    /// Binds a full parameter vector: `layers·(n+1)` values, per layer the
+    /// `n` rotation angles then the entangler angle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn params(&self, values: &[f64]) -> ParamMap {
+        let n = self.num_qubits();
+        assert_eq!(
+            values.len(),
+            self.layers * (n + 1),
+            "expected layers·(n+1) parameters"
+        );
+        let mut m = ParamMap::new();
+        for k in 0..self.layers {
+            let base = k * (n + 1);
+            for q in 0..n {
+                m.bind(format!("theta{k}_{q}"), values[base + q]);
+            }
+            m.bind(format!("phi{k}"), values[base + n]);
+        }
+        m
+    }
+
+    /// Number of free parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers * (self.num_qubits() + 1)
+    }
+
+    /// A fixed generic starting point.
+    pub fn default_params(&self) -> ParamMap {
+        let values: Vec<f64> = (0..self.num_params())
+            .map(|i| 0.4 + 0.13 * (i as f64).sin())
+            .collect();
+        self.params(&values)
+    }
+
+    /// Energy estimate from samples in the two measurement settings:
+    /// `E = -J·⟨Σ Z_i Z_j⟩ (from z_samples) - h·⟨Σ X_i⟩ (from x_samples)`.
+    pub fn energy_from_samples(&self, z_samples: &[usize], x_samples: &[usize]) -> f64 {
+        let n = self.num_qubits();
+        let zz: f64 = if z_samples.is_empty() {
+            0.0
+        } else {
+            z_samples
+                .iter()
+                .map(|&s| {
+                    self.grid
+                        .edges()
+                        .iter()
+                        .map(|&(a, b)| {
+                            let za = 1.0 - 2.0 * ((s >> (n - 1 - a)) & 1) as f64;
+                            let zb = 1.0 - 2.0 * ((s >> (n - 1 - b)) & 1) as f64;
+                            za * zb
+                        })
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                / z_samples.len() as f64
+        };
+        let x: f64 = if x_samples.is_empty() {
+            0.0
+        } else {
+            x_samples
+                .iter()
+                .map(|&s| {
+                    (0..n)
+                        .map(|q| 1.0 - 2.0 * ((s >> (n - 1 - q)) & 1) as f64)
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                / x_samples.len() as f64
+        };
+        -self.coupling_j * zz - self.field_h * x
+    }
+
+    /// Exact energy from full distributions in both settings (validation).
+    pub fn exact_energy(&self, z_probs: &[f64], x_probs: &[f64]) -> f64 {
+        let n = self.num_qubits();
+        let mut zz = 0.0;
+        for (s, &p) in z_probs.iter().enumerate() {
+            for &(a, b) in self.grid.edges() {
+                let za = 1.0 - 2.0 * ((s >> (n - 1 - a)) & 1) as f64;
+                let zb = 1.0 - 2.0 * ((s >> (n - 1 - b)) & 1) as f64;
+                zz += p * za * zb;
+            }
+        }
+        let mut x = 0.0;
+        for (s, &p) in x_probs.iter().enumerate() {
+            for q in 0..n {
+                x += p * (1.0 - 2.0 * ((s >> (n - 1 - q)) & 1) as f64);
+            }
+        }
+        -self.coupling_j * zz - self.field_h * x
+    }
+
+    /// The exact ground-state energy by brute-force diagonalization of the
+    /// diagonal+field Hamiltonian via dense enumeration (tiny grids only).
+    pub fn ground_energy_brute_force(&self) -> f64 {
+        use qkc_math::CMatrix;
+        let n = self.num_qubits();
+        let dim = 1usize << n;
+        assert!(n <= 6, "brute-force diagonalization limited to 6 qubits");
+        // Build H as a dense matrix: -J Σ ZZ (diagonal) - h Σ X.
+        let mut h = CMatrix::zeros(dim, dim);
+        for s in 0..dim {
+            let mut diag = 0.0;
+            for &(a, b) in self.grid.edges() {
+                let za = 1.0 - 2.0 * ((s >> (n - 1 - a)) & 1) as f64;
+                let zb = 1.0 - 2.0 * ((s >> (n - 1 - b)) & 1) as f64;
+                diag += za * zb;
+            }
+            h[(s, s)] = qkc_math::Complex::real(-self.coupling_j * diag);
+            for q in 0..n {
+                let t = s ^ (1 << (n - 1 - q));
+                h[(s, t)] += qkc_math::Complex::real(-self.field_h);
+            }
+        }
+        // Smallest eigenvalue by inverse power iteration on (cI - H).
+        let shift = 2.0 * (self.grid.num_edges() as f64 + n as f64);
+        let mut v: Vec<qkc_math::Complex> =
+            (0..dim).map(|i| qkc_math::Complex::real(1.0 + (i as f64 * 0.7).sin())).collect();
+        let mut m = CMatrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                m[(r, c)] = if r == c {
+                    qkc_math::Complex::real(shift) - h[(r, c)]
+                } else {
+                    -h[(r, c)]
+                };
+            }
+        }
+        for _ in 0..500 {
+            v = m.mul_vec(&v);
+            let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            for z in &mut v {
+                *z = z.scale(1.0 / norm);
+            }
+        }
+        // Rayleigh quotient with H.
+        let hv = h.mul_vec(&v);
+        v.iter().zip(&hv).map(|(a, b)| (a.conj() * *b).re).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_statevector::StateVectorSimulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn circuit_shape() {
+        let vqe = VqeIsing::new(3, 3, 2);
+        let c = vqe.circuit();
+        assert_eq!(c.num_qubits(), 9);
+        // Per layer: 9 Ry + 12 ZZ.
+        assert_eq!(c.num_gates(), 2 * (9 + 12));
+        assert_eq!(vqe.num_params(), 2 * 10);
+    }
+
+    #[test]
+    fn sampled_energy_matches_exact() {
+        let vqe = VqeIsing::new(2, 2, 1);
+        let params = vqe.default_params();
+        let sim = StateVectorSimulator::new();
+        let zp = sim.probabilities(&vqe.circuit(), &params).unwrap();
+        let xp = sim.probabilities(&vqe.circuit_x_basis(), &params).unwrap();
+        let exact = vqe.exact_energy(&zp, &xp);
+        let mut rng = StdRng::seed_from_u64(13);
+        let zs = sim.sample(&vqe.circuit(), &params, 30_000, &mut rng).unwrap();
+        let xs = sim
+            .sample(&vqe.circuit_x_basis(), &params, 30_000, &mut rng)
+            .unwrap();
+        let sampled = vqe.energy_from_samples(&zs, &xs);
+        assert!((sampled - exact).abs() < 0.1, "{sampled} vs {exact}");
+    }
+
+    #[test]
+    fn optimization_lowers_energy_toward_ground_state() {
+        let vqe = VqeIsing::new(2, 2, 1);
+        let ground = vqe.ground_energy_brute_force();
+        let sim = StateVectorSimulator::new();
+        let objective = |x: &[f64]| {
+            let params = vqe.params(x);
+            let zp = sim.probabilities(&vqe.circuit(), &params).unwrap();
+            let xp = sim.probabilities(&vqe.circuit_x_basis(), &params).unwrap();
+            vqe.exact_energy(&zp, &xp)
+        };
+        let start = vec![0.3; vqe.num_params()];
+        let initial = objective(&start);
+        let result = qkc_optim::NelderMead::new()
+            .with_max_iterations(300)
+            .minimize(objective, &start);
+        assert!(result.value < initial, "optimizer should make progress");
+        assert!(
+            result.value >= ground - 1e-6,
+            "variational energy cannot beat the ground state: {} vs {ground}",
+            result.value
+        );
+        assert!(
+            result.value - ground < 1.5,
+            "should approach the ground state: {} vs {ground}",
+            result.value
+        );
+    }
+
+    #[test]
+    fn ground_energy_of_single_edge() {
+        // 2x1 grid, J=1, h=0.5: H = -Z0Z1 - 0.5(X0+X1);
+        // exact ground energy = -(1 + sqrt(1 + ... )) — verify against a
+        // hand-diagonalized 4x4: eigenvalues of [-1,-.5,-.5,0;...]. Simply
+        // check it is below the classical minimum (-1).
+        let mut vqe = VqeIsing::new(2, 1, 1);
+        vqe.coupling_j = 1.0;
+        vqe.field_h = 0.5;
+        let e = vqe.ground_energy_brute_force();
+        assert!(e < -1.0, "quantum ground state below classical: {e}");
+        assert!(e > -2.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error diagnosis with MPE queries — the paper's §5 research direction:
+//! "MPE queries would answer what error event best explains a given
+//! symptomatic observed outcome."
+//!
+//! A noisy GHZ-preparation circuit should only ever measure |000⟩ or |111⟩;
+//! when a symptomatic outcome like |010⟩ appears, the compiled model tells
+//! us which noise event most probably caused it, and how certain we can be.
+//!
+//! Run with: `cargo run --release --example error_diagnosis`
+
+use qkc::circuit::{Circuit, ParamMap};
+use qkc::kc::KcSimulator;
+
+fn main() {
+    // GHZ preparation with a bit flip risk on each qubit after entangling.
+    let mut c = Circuit::new(3);
+    c.h(0).cnot(0, 1).cnot(1, 2);
+    c.bit_flip(0, 0.02).bit_flip(1, 0.05).bit_flip(2, 0.03);
+    println!("{c}");
+
+    let sim = KcSimulator::compile(&c, &Default::default());
+    let bound = sim.bind(&ParamMap::new()).expect("bind");
+    let rv_labels: Vec<&str> = sim.query()[sim.num_outputs()..]
+        .iter()
+        .map(|s| s.label.as_str())
+        .collect();
+    println!("noise events: {rv_labels:?}\n");
+
+    for outcome in [0b000usize, 0b010, 0b100, 0b110, 0b111] {
+        println!("observed |{outcome:03b}>:");
+        match bound.most_probable_explanation(outcome, 1 << 16) {
+            None => println!("  impossible under this noise model"),
+            Some(exp) => {
+                let blamed: Vec<&str> = exp
+                    .events
+                    .iter()
+                    .zip(&rv_labels)
+                    .filter(|(&e, _)| e != 0)
+                    .map(|(_, &l)| l)
+                    .collect();
+                if blamed.is_empty() {
+                    println!("  best explanation: no error (p = {:.4})", exp.probability);
+                } else {
+                    println!(
+                        "  best explanation: flip at {blamed:?} (p = {:.4})",
+                        exp.probability
+                    );
+                }
+                // Posterior over each noise event given the observation.
+                for (i, label) in rv_labels.iter().enumerate() {
+                    let post = bound.noise_posterior(outcome, i);
+                    println!("  P({label} flipped | obs) = {:.3}", post[1]);
+                }
+            }
+        }
+        println!();
+    }
+
+    // Sanity: the symptomatic |010> must blame qubit 1's flip with certainty
+    // (a flip of q0 or q2 alone cannot produce it from a GHZ state).
+    let exp = bound
+        .most_probable_explanation(0b010, 1 << 16)
+        .expect("explainable");
+    assert_eq!(exp.events, vec![0, 1, 0], "the middle flip is to blame");
+    println!("diagnosis confirmed: |010> is explained by the flip on qubit 1");
+}

@@ -1,0 +1,76 @@
+//! A full variational QAOA Max-Cut loop driven by the knowledge-compilation
+//! simulator: compile the circuit once, then let Nelder–Mead re-bind the
+//! angles every iteration and estimate the objective from Gibbs samples —
+//! the workload of the paper's Figures 8(a)/(c) and 9(a)/(c).
+//!
+//! Run with: `cargo run --release --example qaoa_maxcut`
+
+use qkc::kc::KcSimulator;
+use qkc::knowledge::GibbsOptions;
+use qkc::optim::NelderMead;
+use qkc::workloads::{Graph, QaoaMaxCut};
+use std::cell::RefCell;
+
+fn main() {
+    let n = 8;
+    let graph = Graph::random_regular(n, 3, 42);
+    let qaoa = QaoaMaxCut::new(graph.clone(), 1);
+    println!(
+        "QAOA Max-Cut: {} vertices, {} edges, p = {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        qaoa.iterations()
+    );
+
+    // Compile ONCE — the expensive step. Every optimizer iteration below
+    // only re-binds parameters on the same arithmetic circuit.
+    let start = std::time::Instant::now();
+    let sim = KcSimulator::compile(&qaoa.circuit(), &Default::default());
+    println!(
+        "compiled: {} AC nodes in {:.2}s",
+        sim.metrics().ac_nodes,
+        start.elapsed().as_secs_f64()
+    );
+
+    let evals = RefCell::new(0usize);
+    let seed = RefCell::new(1000u64);
+    let objective = |angles: &[f64]| -> f64 {
+        *evals.borrow_mut() += 1;
+        *seed.borrow_mut() += 1;
+        let params = qaoa.params(&angles[..1], &angles[1..]);
+        let bound = sim.bind(&params).expect("all symbols bound");
+        let mut sampler = bound.sampler(&GibbsOptions {
+            warmup: 300,
+            thin: 2,
+            seed: *seed.borrow(),
+            ..Default::default()
+        });
+        let samples = sampler.sample_outputs(1000, 2);
+        qaoa.objective_from_samples(&samples)
+    };
+
+    let result = NelderMead::new()
+        .with_max_iterations(40)
+        .with_initial_step(0.3)
+        .minimize(objective, &[0.5, 0.4]);
+
+    let best_cut = -result.value;
+    let max_cut = graph.max_cut_brute_force();
+    println!(
+        "optimized angles: gamma = {:.4}, beta = {:.4}",
+        result.x[0], result.x[1]
+    );
+    println!(
+        "expected cut from samples: {best_cut:.3} (max cut = {max_cut}, \
+         ratio {:.3})",
+        best_cut / max_cut as f64
+    );
+    println!(
+        "{} objective evaluations, each re-binding the same compiled AC",
+        evals.borrow()
+    );
+    assert!(
+        best_cut > graph.num_edges() as f64 / 2.0,
+        "QAOA should beat random guessing"
+    );
+}

@@ -1,0 +1,39 @@
+//! QKC — a knowledge-compilation simulator for noisy variational quantum
+//! algorithms, reproducing Huang et al., *Logical Abstractions for Noisy
+//! Variational Quantum Algorithm Simulation* (ASPLOS '21).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`circuit`] — circuit IR (gates, noise, parameters, oracles);
+//! * [`kc`] — the compiled simulator ([`kc::KcSimulator`]);
+//! * [`statevector`], [`densitymatrix`], [`tensornet`] — baselines;
+//! * [`workloads`] — QAOA, VQE, RCS, and the validation algorithm suite;
+//! * [`optim`] — Nelder–Mead for variational loops;
+//! * [`math`], [`bayesnet`], [`cnf`], [`knowledge`] — building blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc::circuit::{Circuit, ParamMap};
+//! use qkc::kc::KcSimulator;
+//!
+//! // The paper's noisy Bell state, compiled once and queried.
+//! let mut c = Circuit::new(2);
+//! c.h(0).phase_damp(0, 0.36).cnot(0, 1);
+//! let sim = KcSimulator::compile(&c, &Default::default());
+//! let bound = sim.bind(&ParamMap::new()).unwrap();
+//! let rho = bound.density_matrix();
+//! assert!((rho[(0, 3)].re - 0.4).abs() < 1e-9); // Equation 3
+//! ```
+
+pub use qkc_bayesnet as bayesnet;
+pub use qkc_circuit as circuit;
+pub use qkc_cnf as cnf;
+pub use qkc_core as kc;
+pub use qkc_densitymatrix as densitymatrix;
+pub use qkc_knowledge as knowledge;
+pub use qkc_math as math;
+pub use qkc_optim as optim;
+pub use qkc_statevector as statevector;
+pub use qkc_tensornet as tensornet;
+pub use qkc_workloads as workloads;

@@ -1,0 +1,192 @@
+//! Cross-simulator agreement: the knowledge-compilation pipeline, the
+//! state-vector simulator, the density-matrix simulator, the tensor-network
+//! simulator, and the naive reference simulator must all tell the same
+//! story on the same circuits.
+
+use qkc::circuit::{reference, Circuit, NoiseChannel, ParamMap};
+use qkc::densitymatrix::DensityMatrixSimulator;
+use qkc::kc::KcSimulator;
+use qkc::statevector::StateVectorSimulator;
+use qkc::tensornet::TensorNetwork;
+use qkc::workloads::{algorithms, Graph, QaoaMaxCut, RandomCircuit, VqeIsing};
+
+fn check_all_pure(circuit: &Circuit, params: &ParamMap) {
+    let want = reference::run_pure(circuit, params).expect("reference");
+    let sv = StateVectorSimulator::new()
+        .run_pure(circuit, params)
+        .expect("statevector");
+    let tn = TensorNetwork::from_circuit(circuit, params).expect("tensornet");
+    let kc = KcSimulator::compile(circuit, &Default::default());
+    let bound = kc.bind(params).expect("bind");
+    for (x, &w) in want.iter().enumerate() {
+        assert!(
+            sv.amplitude(x).approx_eq(w, 1e-9),
+            "statevector amp {x}: {} vs {w}",
+            sv.amplitude(x)
+        );
+        assert!(
+            tn.amplitude(x).approx_eq(w, 1e-9),
+            "tensornet amp {x}: {} vs {w}",
+            tn.amplitude(x)
+        );
+        assert!(
+            bound.amplitude(x, &[]).approx_eq(w, 1e-9),
+            "kc amp {x}: {} vs {w}",
+            bound.amplitude(x, &[])
+        );
+    }
+}
+
+fn check_kc_noisy(circuit: &Circuit, params: &ParamMap) {
+    let want = DensityMatrixSimulator::new()
+        .run(circuit, params)
+        .expect("density");
+    let kc = KcSimulator::compile(circuit, &Default::default());
+    let got = kc.bind(params).expect("bind").density_matrix();
+    for r in 0..want.dim() {
+        for c in 0..want.dim() {
+            assert!(
+                got[(r, c)].approx_eq(want.entry(r, c), 1e-8),
+                "rho[{r},{c}]: {} vs {}",
+                got[(r, c)],
+                want.entry(r, c)
+            );
+        }
+    }
+}
+
+#[test]
+fn bell_ghz_and_qft_agree_everywhere() {
+    check_all_pure(&algorithms::bell_circuit(), &ParamMap::new());
+
+    let mut ghz = Circuit::new(4);
+    ghz.h(0).cnot(0, 1).cnot(1, 2).cnot(2, 3);
+    check_all_pure(&ghz, &ParamMap::new());
+
+    check_all_pure(&algorithms::qft_circuit(3), &ParamMap::new());
+}
+
+#[test]
+fn qaoa_circuit_agrees_everywhere() {
+    let qaoa = QaoaMaxCut::new(Graph::cycle(4), 1);
+    check_all_pure(&qaoa.circuit(), &qaoa.default_params());
+}
+
+#[test]
+fn vqe_circuit_agrees_everywhere() {
+    let vqe = VqeIsing::new(2, 2, 1);
+    check_all_pure(&vqe.circuit(), &vqe.default_params());
+}
+
+#[test]
+fn random_circuit_agrees_everywhere() {
+    let rcs = RandomCircuit::new(2, 2, 4, 9);
+    check_all_pure(&rcs.circuit(), &ParamMap::new());
+}
+
+#[test]
+fn hidden_shift_agrees_everywhere() {
+    check_all_pure(&algorithms::hidden_shift_circuit(2, 0b1001), &ParamMap::new());
+}
+
+#[test]
+fn grover_agrees_everywhere() {
+    check_all_pure(&algorithms::grover_circuit(3, &[5]), &ParamMap::new());
+}
+
+#[test]
+fn noisy_qaoa_density_matrix_agrees() {
+    // Exact density-matrix reconstruction enumerates every noise-branch
+    // assignment, so keep the event count small here; the all-gates-noisy
+    // benchmark setting is validated statistically below.
+    let qaoa = QaoaMaxCut::new(Graph::cycle(3), 1);
+    let mut noisy = qaoa.circuit();
+    noisy.depolarize(0, 0.005).depolarize(2, 0.005);
+    check_kc_noisy(&noisy, &qaoa.default_params());
+}
+
+#[test]
+fn noisy_vqe_density_matrix_agrees() {
+    let vqe = VqeIsing::new(2, 1, 1);
+    let mut noisy = vqe.circuit();
+    noisy.depolarize(0, 0.005).phase_damp(1, 0.1);
+    check_kc_noisy(&noisy, &vqe.default_params());
+}
+
+#[test]
+fn fully_noisy_qaoa_gibbs_matches_density_matrix_diagonal() {
+    // The paper's benchmark noise model (depolarizing after every gate):
+    // too many noise RVs for exact enumeration, so compare the Gibbs
+    // sampling distribution against the density-matrix diagonal.
+    use qkc::knowledge::GibbsOptions;
+    let qaoa = QaoaMaxCut::new(Graph::cycle(3), 1);
+    let noisy = qaoa
+        .circuit()
+        .with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005));
+    let params = qaoa.default_params();
+    let want = DensityMatrixSimulator::new()
+        .probabilities(&noisy, &params)
+        .expect("density");
+    let sim = KcSimulator::compile(&noisy, &Default::default());
+    let bound = sim.bind(&params).expect("bind");
+    let mut sampler = bound.sampler(&GibbsOptions {
+        warmup: 800,
+        seed: 19,
+        ..Default::default()
+    });
+    let shots = 30_000;
+    let mut counts = [0usize; 8];
+    for x in sampler.sample_outputs(shots, 2) {
+        counts[x] += 1;
+    }
+    for x in 0..8 {
+        let freq = counts[x] as f64 / shots as f64;
+        assert!(
+            (freq - want[x]).abs() < 0.02,
+            "P({x}): gibbs {freq} vs exact {}",
+            want[x]
+        );
+    }
+}
+
+#[test]
+fn mixed_noise_models_density_matrix_agrees() {
+    let mut c = Circuit::new(3);
+    c.h(0)
+        .amplitude_damp(0, 0.2)
+        .cnot(0, 1)
+        .phase_damp(1, 0.36)
+        .zz(1, 2, 0.7)
+        .bit_flip(2, 0.1)
+        .measure(0);
+    check_kc_noisy(&c, &ParamMap::new());
+}
+
+#[test]
+fn trajectory_averages_agree_with_kc_probabilities() {
+    use rand::SeedableRng;
+    let mut c = Circuit::new(2);
+    c.h(0).depolarize(0, 0.2).cnot(0, 1).amplitude_damp(1, 0.3);
+    let params = ParamMap::new();
+    let kc = KcSimulator::compile(&c, &Default::default());
+    let want = kc.bind(&params).expect("bind").output_probabilities();
+
+    let sim = StateVectorSimulator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let shots = 30_000;
+    let mut acc = [0.0; 4];
+    for _ in 0..shots {
+        let t = sim.run_trajectory(&c, &params, &mut rng).expect("trajectory");
+        for (i, p) in t.state.probabilities().iter().enumerate() {
+            acc[i] += p / shots as f64;
+        }
+    }
+    for i in 0..4 {
+        assert!(
+            (acc[i] - want[i]).abs() < 0.01,
+            "P({i}): trajectories {} vs kc {}",
+            acc[i],
+            want[i]
+        );
+    }
+}

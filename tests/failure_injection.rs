@@ -1,0 +1,132 @@
+//! Failure-injection tests: every public entry point must reject malformed
+//! input with a meaningful error (or a documented panic), never a wrong
+//! answer.
+
+use qkc::circuit::{Circuit, CircuitError, Param, ParamMap, PermutationOp};
+use qkc::kc::KcSimulator;
+use qkc::statevector::StateVectorSimulator;
+use qkc::tensornet::TensorNetwork;
+
+#[test]
+fn unbound_symbols_error_at_every_level() {
+    let mut c = Circuit::new(2);
+    c.rx(0, Param::symbol("theta")).cnot(0, 1);
+    let empty = ParamMap::new();
+
+    // Gate level.
+    let err = c.unitary(&empty).unwrap_err();
+    assert!(matches!(err, CircuitError::Unbound(_)));
+    assert!(err.to_string().contains("theta"));
+
+    // State-vector level.
+    assert!(StateVectorSimulator::new().run_pure(&c, &empty).is_err());
+
+    // Tensor-network level.
+    assert!(TensorNetwork::from_circuit(&c, &empty).is_err());
+
+    // Knowledge-compilation level: compilation succeeds (structure is
+    // parameter-independent — the paper's central point), binding fails.
+    let sim = KcSimulator::compile(&c, &Default::default());
+    let err = sim.bind(&empty).unwrap_err();
+    assert_eq!(err.name(), "theta");
+
+    // Partial bindings fail too.
+    let partial = ParamMap::from_pairs([("eta", 1.0)]);
+    assert!(sim.bind(&partial).is_err());
+}
+
+#[test]
+fn pure_state_apis_reject_noisy_circuits() {
+    let mut c = Circuit::new(1);
+    c.h(0).depolarize(0, 0.1);
+    let params = ParamMap::new();
+    assert!(matches!(
+        c.unitary(&params),
+        Err(CircuitError::NotUnitary)
+    ));
+    assert!(StateVectorSimulator::new().run_pure(&c, &params).is_err());
+    assert!(TensorNetwork::from_circuit(&c, &params).is_err());
+}
+
+#[test]
+fn malformed_oracles_are_rejected() {
+    // Non-bijective table.
+    assert!(PermutationOp::new("dup", vec![0, 0]).is_err());
+    // Non-power-of-two.
+    assert!(PermutationOp::new("odd", vec![0, 1, 2]).is_err());
+    // Out-of-range output.
+    assert!(PermutationOp::new("oob", vec![0, 9]).is_err());
+    // Error messages are self-describing.
+    let msg = PermutationOp::new("dup", vec![0, 0]).unwrap_err().to_string();
+    assert!(msg.contains("bijection"));
+}
+
+#[test]
+#[should_panic(expected = "outside [0, 1]")]
+fn out_of_range_noise_probability_panics_at_use() {
+    let mut c = Circuit::new(1);
+    c.bit_flip(0, 1.5);
+    // Validation happens when Kraus operators are materialized.
+    let _ = KcSimulator::compile(&c, &Default::default());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn circuit_rejects_out_of_range_qubits() {
+    Circuit::new(2).cnot(0, 2);
+}
+
+#[test]
+#[should_panic(expected = "repeats qubit")]
+fn circuit_rejects_duplicate_operands() {
+    Circuit::new(3).ccx(1, 1, 2);
+}
+
+#[test]
+#[should_panic(expected = "arity mismatch")]
+fn amplitude_query_arity_is_checked() {
+    let mut c = Circuit::new(2);
+    c.h(0).depolarize(0, 0.05);
+    let sim = KcSimulator::compile(&c, &Default::default());
+    let bound = sim.bind(&ParamMap::new()).unwrap();
+    // One noise RV exists; passing none must panic, not mis-answer.
+    let _ = bound.amplitude(0, &[]);
+}
+
+#[test]
+#[should_panic(expected = "noise-free")]
+fn wavefunction_rejects_noisy_circuits() {
+    let mut c = Circuit::new(1);
+    c.h(0).phase_damp(0, 0.3);
+    let sim = KcSimulator::compile(&c, &Default::default());
+    let _ = sim.bind(&ParamMap::new()).unwrap().wavefunction();
+}
+
+#[test]
+fn probability_queries_survive_extreme_noise() {
+    // γ = 1 phase damping and p = 1 bit flip are legal edge strengths:
+    // the pipeline must stay exact, not merely not-crash.
+    let mut c = Circuit::new(1);
+    c.h(0).phase_damp(0, 1.0).bit_flip(0, 1.0);
+    let sim = KcSimulator::compile(&c, &Default::default());
+    let probs = sim.bind(&ParamMap::new()).unwrap().output_probabilities();
+    assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    assert!((probs[0] - 0.5).abs() < 1e-10);
+}
+
+#[test]
+fn zero_strength_noise_equals_noise_free() {
+    let mut noisy = Circuit::new(2);
+    noisy.h(0).depolarize(0, 0.0).cnot(0, 1).amplitude_damp(1, 0.0);
+    let mut pure = Circuit::new(2);
+    pure.h(0).cnot(0, 1);
+    let params = ParamMap::new();
+    let sim = KcSimulator::compile(&noisy, &Default::default());
+    let got = sim.bind(&params).unwrap().output_probabilities();
+    let want = StateVectorSimulator::new()
+        .probabilities(&pure, &params)
+        .unwrap();
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based integration tests: randomized circuits through every
+//! backend must agree.
+
+use proptest::prelude::*;
+use qkc::circuit::{Circuit, ParamMap};
+use qkc::densitymatrix::DensityMatrixSimulator;
+use qkc::kc::KcSimulator;
+use qkc::statevector::StateVectorSimulator;
+use qkc::tensornet::TensorNetwork;
+
+/// A random circuit instruction.
+#[derive(Debug, Clone)]
+enum Instr {
+    H(usize),
+    T(usize),
+    X(usize),
+    Rx(usize, f64),
+    Ry(usize, f64),
+    Rz(usize, f64),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Zz(usize, usize, f64),
+    Swap(usize, usize),
+}
+
+fn arb_instr(n: usize) -> impl Strategy<Value = Instr> {
+    let q = 0..n;
+    let q2 = 0..n;
+    let angle = -3.0..3.0f64;
+    (0usize..10, q, q2, angle).prop_map(move |(kind, a, b, theta)| {
+        let b = if a == b { (b + 1) % n } else { b };
+        match kind {
+            0 => Instr::H(a),
+            1 => Instr::T(a),
+            2 => Instr::X(a),
+            3 => Instr::Rx(a, theta),
+            4 => Instr::Ry(a, theta),
+            5 => Instr::Rz(a, theta),
+            6 => Instr::Cnot(a, b),
+            7 => Instr::Cz(a, b),
+            8 => Instr::Zz(a, b, theta),
+            _ => Instr::Swap(a, b),
+        }
+    })
+}
+
+fn build(n: usize, instrs: &[Instr]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in instrs {
+        match *i {
+            Instr::H(a) => c.h(a),
+            Instr::T(a) => c.t(a),
+            Instr::X(a) => c.x(a),
+            Instr::Rx(a, t) => c.rx(a, t),
+            Instr::Ry(a, t) => c.ry(a, t),
+            Instr::Rz(a, t) => c.rz(a, t),
+            Instr::Cnot(a, b) => c.cnot(a, b),
+            Instr::Cz(a, b) => c.cz(a, b),
+            Instr::Zz(a, b, t) => c.zz(a, b, t),
+            Instr::Swap(a, b) => c.swap(a, b),
+        };
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kc_matches_statevector_on_random_circuits(
+        instrs in proptest::collection::vec(arb_instr(4), 1..14),
+    ) {
+        let c = build(4, &instrs);
+        let params = ParamMap::new();
+        let want = StateVectorSimulator::new().run_pure(&c, &params).unwrap();
+        let kc = KcSimulator::compile(&c, &Default::default());
+        let bound = kc.bind(&params).unwrap();
+        for x in 0..16 {
+            prop_assert!(
+                bound.amplitude(x, &[]).approx_eq(want.amplitude(x), 1e-8),
+                "amp {x}: {} vs {}", bound.amplitude(x, &[]), want.amplitude(x)
+            );
+        }
+    }
+
+    #[test]
+    fn tensornet_matches_statevector_on_random_circuits(
+        instrs in proptest::collection::vec(arb_instr(4), 1..14),
+    ) {
+        let c = build(4, &instrs);
+        let params = ParamMap::new();
+        let want = StateVectorSimulator::new().run_pure(&c, &params).unwrap();
+        let tn = TensorNetwork::from_circuit(&c, &params).unwrap();
+        for x in 0..16 {
+            prop_assert!(tn.amplitude(x).approx_eq(want.amplitude(x), 1e-8));
+        }
+    }
+
+    #[test]
+    fn kc_matches_density_matrix_on_random_noisy_circuits(
+        instrs in proptest::collection::vec(arb_instr(3), 1..8),
+        noise_kind in 0usize..4,
+        p in 0.01..0.4f64,
+        noise_q in 0usize..3,
+    ) {
+        let mut c = build(3, &instrs);
+        match noise_kind {
+            0 => c.depolarize(noise_q, p),
+            1 => c.amplitude_damp(noise_q, p),
+            2 => c.phase_damp(noise_q, p),
+            _ => c.bit_flip(noise_q, p),
+        };
+        let params = ParamMap::new();
+        let want = DensityMatrixSimulator::new().probabilities(&c, &params).unwrap();
+        let kc = KcSimulator::compile(&c, &Default::default());
+        let got = kc.bind(&params).unwrap().output_probabilities();
+        for x in 0..8 {
+            prop_assert!((got[x] - want[x]).abs() < 1e-8,
+                "P({x}): {} vs {}", got[x], want[x]);
+        }
+    }
+
+    #[test]
+    fn probabilities_always_normalize(
+        instrs in proptest::collection::vec(arb_instr(3), 1..10),
+        p in 0.0..0.3f64,
+    ) {
+        let mut c = build(3, &instrs);
+        c.depolarize(0, p);
+        let kc = KcSimulator::compile(&c, &Default::default());
+        let probs = kc.bind(&ParamMap::new()).unwrap().output_probabilities();
+        let total: f64 = probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "total {total}");
+        prop_assert!(probs.iter().all(|&x| x >= -1e-12));
+    }
+}

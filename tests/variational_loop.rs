@@ -1,0 +1,115 @@
+//! Variational-loop integration: compile once, re-bind parameters many
+//! times — the paper's central use case.
+
+use qkc::kc::{KcOptions, KcSimulator};
+use qkc::knowledge::GibbsOptions;
+use qkc::optim::NelderMead;
+use qkc::statevector::StateVectorSimulator;
+use qkc::workloads::{Graph, QaoaMaxCut};
+use std::cell::RefCell;
+
+#[test]
+fn rebinding_equals_fresh_compilation() {
+    let qaoa = QaoaMaxCut::new(Graph::random_regular(6, 3, 2), 1);
+    let circuit = qaoa.circuit();
+    let compiled_once = KcSimulator::compile(&circuit, &KcOptions::default());
+    for (g, b) in [(0.3, 0.2), (0.9, 0.5), (1.4, 1.1)] {
+        let params = qaoa.params(&[g], &[b]);
+        // Fresh compile at these parameters...
+        let fresh = KcSimulator::compile(&circuit, &KcOptions::default());
+        let fresh_bound = fresh.bind(&params).expect("bind");
+        // ...must agree with re-binding the shared compilation.
+        let reused = compiled_once.bind(&params).expect("bind");
+        for x in (0..64).step_by(7) {
+            assert!(
+                reused
+                    .amplitude(x, &[])
+                    .approx_eq(fresh_bound.amplitude(x, &[]), 1e-10),
+                "amp {x} at ({g},{b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn qaoa_gibbs_objective_tracks_exact_objective() {
+    let qaoa = QaoaMaxCut::new(Graph::cycle(6), 1);
+    let sim = KcSimulator::compile(&qaoa.circuit(), &KcOptions::default());
+    let sv = StateVectorSimulator::new();
+    for (g, b) in [(0.6, 0.4), (1.1, 0.25)] {
+        let params = qaoa.params(&[g], &[b]);
+        let exact =
+            qaoa.exact_expected_cut(&sv.probabilities(&qaoa.circuit(), &params).unwrap());
+        let bound = sim.bind(&params).expect("bind");
+        let mut sampler = bound.sampler(&GibbsOptions {
+            warmup: 400,
+            seed: 17,
+            ..Default::default()
+        });
+        let samples = sampler.sample_outputs(8000, 2);
+        let estimated = -qaoa.objective_from_samples(&samples);
+        assert!(
+            (estimated - exact).abs() < 0.12,
+            "at ({g},{b}): sampled {estimated} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn full_nelder_mead_loop_improves_the_cut() {
+    let graph = Graph::random_regular(6, 3, 11);
+    let qaoa = QaoaMaxCut::new(graph.clone(), 1);
+    let sim = KcSimulator::compile(&qaoa.circuit(), &KcOptions::default());
+    let seed = RefCell::new(100u64);
+    let objective = |angles: &[f64]| {
+        *seed.borrow_mut() += 1;
+        let params = qaoa.params(&angles[..1], &angles[1..]);
+        let bound = sim.bind(&params).expect("bind");
+        let mut sampler = bound.sampler(&GibbsOptions {
+            warmup: 200,
+            seed: *seed.borrow(),
+            ..Default::default()
+        });
+        qaoa.objective_from_samples(&sampler.sample_outputs(600, 2))
+    };
+    let start = [0.2, 0.15];
+    let initial = objective(&start);
+    let result = NelderMead::new()
+        .with_max_iterations(25)
+        .with_initial_step(0.4)
+        .minimize(objective, &start);
+    // Sampled objectives are noisy; require clear improvement.
+    assert!(
+        result.value < initial - 0.1,
+        "optimization should improve the sampled cut: {initial} -> {}",
+        result.value
+    );
+    // And the final expected cut must beat uniform random guessing.
+    let random_cut = graph.num_edges() as f64 / 2.0;
+    assert!(
+        -result.value > random_cut,
+        "final cut {} should beat random {random_cut}",
+        -result.value
+    );
+}
+
+#[test]
+fn compile_once_is_reused_across_many_bindings() {
+    // Smoke-test the performance contract: binding must not recompile.
+    let qaoa = QaoaMaxCut::new(Graph::random_regular(10, 3, 5), 1);
+    let sim = KcSimulator::compile(&qaoa.circuit(), &KcOptions::default());
+    let compile_time = sim.metrics().compile_seconds;
+    let start = std::time::Instant::now();
+    let mut acc = 0.0;
+    for i in 0..50 {
+        let params = qaoa.params(&[0.01 * i as f64], &[0.02 * i as f64]);
+        let bound = sim.bind(&params).expect("bind");
+        acc += bound.amplitude(0, &[]).norm_sqr();
+    }
+    let rebind_time = start.elapsed().as_secs_f64() / 50.0;
+    assert!(acc.is_finite());
+    assert!(
+        rebind_time < compile_time.max(0.005) * 10.0,
+        "per-binding cost {rebind_time}s should be far below compile {compile_time}s"
+    );
+}
