@@ -91,9 +91,7 @@ impl<'c> Builder<'c> {
                 Operation::Diagonal { diag, qubits } => {
                     self.add_diagonal_op(op_index, diag, qubits)
                 }
-                Operation::Noise { channel, qubit } => {
-                    self.add_noise(op_index, channel, *qubit)
-                }
+                Operation::Noise { channel, qubit } => self.add_noise(op_index, channel, *qubit),
                 Operation::Measure { qubit } => self.add_measure(op_index, *qubit),
             }
         }
@@ -258,7 +256,16 @@ impl<'c> Builder<'c> {
                 let entry = if y != xt {
                     CatEntry::Zero
                 } else {
-                    self.classify(&mut weights, ua[(x, x)], ub[(x, x)], symbolic, op_index, 0, x, x)
+                    self.classify(
+                        &mut weights,
+                        ua[(x, x)],
+                        ub[(x, x)],
+                        symbolic,
+                        op_index,
+                        0,
+                        x,
+                        x,
+                    )
                 };
                 cat.push(entry);
             }
@@ -328,8 +335,8 @@ impl<'c> Builder<'c> {
         let old: Vec<NodeId> = qubits.iter().map(|&q| self.cur[q]).collect();
         for (i, &q) in qubits.iter().enumerate() {
             let mut cat = Vec::with_capacity(2 << k);
-            for x in 0..1usize << k {
-                let out_bit = (table[x] >> (k - 1 - i)) & 1;
+            for &mapped in table.iter().take(1usize << k) {
+                let out_bit = (mapped >> (k - 1 - i)) & 1;
                 for y in 0..2 {
                     cat.push(if y == out_bit {
                         CatEntry::One
@@ -495,12 +502,7 @@ mod tests {
         let bn = BayesNet::from_circuit(&bell_noisy());
         let h = &bn.nodes()[2];
         let table = bn.evaluate_weights(&ParamMap::new()).unwrap();
-        let expect = [
-            FRAC_1_SQRT_2,
-            FRAC_1_SQRT_2,
-            FRAC_1_SQRT_2,
-            -FRAC_1_SQRT_2,
-        ];
+        let expect = [FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2];
         for (i, &want) in expect.iter().enumerate() {
             match h.cat[i] {
                 CatEntry::Weight(w) => {
@@ -541,9 +543,7 @@ mod tests {
         let bn = BayesNet::from_circuit(&bell_noisy());
         let table = bn.evaluate_weights(&ParamMap::new()).unwrap();
         // Query order: outputs (q0m1, q1m3), then rv.
-        let amp = |q0: usize, q1: usize, rv: usize| {
-            bn.amplitude_brute_force(&[q0, q1, rv], &table)
-        };
+        let amp = |q0: usize, q1: usize, rv: usize| bn.amplitude_brute_force(&[q0, q1, rv], &table);
         assert!(amp(0, 0, 0).approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
         assert!(amp(0, 1, 0).approx_zero(1e-12));
         assert!(amp(1, 0, 0).approx_zero(1e-12));
@@ -567,14 +567,10 @@ mod tests {
         let params = ParamMap::new();
         let table = bn.evaluate_weights(&params).unwrap();
         let want = qkc_circuit::reference::run_pure(&c, &params).unwrap();
-        for out in 0..8usize {
+        for (out, &w) in want.iter().enumerate() {
             let qv: Vec<usize> = (0..3).map(|i| (out >> (2 - i)) & 1).collect();
             let got = bn.amplitude_brute_force(&qv, &table);
-            assert!(
-                got.approx_eq(want[out], 1e-10),
-                "amplitude {out}: {got} vs {}",
-                want[out]
-            );
+            assert!(got.approx_eq(w, 1e-10), "amplitude {out}: {got} vs {w}");
         }
     }
 
@@ -593,7 +589,7 @@ mod tests {
         for (theta_a, table) in [(0.3, &t1), (1.3, &t2)] {
             let amp = bn.amplitude_brute_force(&[1, 0], table);
             assert!(
-                (amp.norm() - (theta_a as f64 / 2.0).sin().abs()) < 1e-10,
+                (amp.norm() - (theta_a / 2.0_f64).sin().abs()) < 1e-10,
                 "Rx amplitude magnitude"
             );
         }
@@ -638,8 +634,8 @@ mod tests {
         for x in 0..4 {
             for xp in 0..4 {
                 let mut acc = qkc_math::C_ZERO;
-                for k in 0..rv_count {
-                    acc += amp_of[x][k] * amp_of[xp][k].conj();
+                for (a, b) in amp_of[x].iter().zip(&amp_of[xp]) {
+                    acc += *a * b.conj();
                 }
                 assert!(
                     acc.approx_eq(rho[(x, xp)], 1e-10),
@@ -691,9 +687,9 @@ mod tests {
         let params = ParamMap::new();
         let table = bn.evaluate_weights(&params).unwrap();
         let want = qkc_circuit::reference::run_pure(&c, &params).unwrap();
-        for out in 0..8usize {
+        for (out, &w) in want.iter().enumerate() {
             let qv: Vec<usize> = (0..3).map(|i| (out >> (2 - i)) & 1).collect();
-            assert!(bn.amplitude_brute_force(&qv, &table).approx_eq(want[out], 1e-10));
+            assert!(bn.amplitude_brute_force(&qv, &table).approx_eq(w, 1e-10));
         }
     }
 }

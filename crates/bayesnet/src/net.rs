@@ -117,7 +117,9 @@ impl BayesNet {
                         col,
                     } => {
                         let key = (*op_index, *matrix_index);
-                        if let std::collections::hash_map::Entry::Vacant(e) = matrix_cache.entry(key) {
+                        if let std::collections::hash_map::Entry::Vacant(e) =
+                            matrix_cache.entry(key)
+                        {
                             let m = match &self.circuit.operations()[*op_index] {
                                 Operation::Gate { gate, .. } => gate.unitary(params)?,
                                 Operation::Noise { channel, .. } => {
@@ -164,11 +166,7 @@ impl BayesNet {
     /// arithmetic circuits must reproduce.
     ///
     /// `query_values` pairs with [`Self::query_nodes`] order.
-    pub fn amplitude_brute_force(
-        &self,
-        query_values: &[usize],
-        table: &WeightTable,
-    ) -> Complex {
+    pub fn amplitude_brute_force(&self, query_values: &[usize], table: &WeightTable) -> Complex {
         let query = self.query_nodes();
         assert_eq!(query.len(), query_values.len(), "query arity mismatch");
         let mut assignment = vec![0usize; self.nodes.len()];

@@ -51,7 +51,13 @@ fn main() {
 
     let mut out = ResultTable::new(
         format!("Figure 3: rank-ordered measurement probabilities ({n}-qubit QAOA)"),
-        &["rank", "bitstring", "exact", "ideal_sampled", "gibbs_sampled"],
+        &[
+            "rank",
+            "bitstring",
+            "exact",
+            "ideal_sampled",
+            "gibbs_sampled",
+        ],
     );
     let print_ranks: Vec<usize> = [0usize, 1, 2, 3, 4, 7, 15, 31, 63, 127, 255]
         .iter()

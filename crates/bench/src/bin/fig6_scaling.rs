@@ -38,7 +38,14 @@ fn main() {
     // Random circuit sampling: grid sizes and depths.
     let rcs_sizes: Vec<(usize, usize, usize)> = scale.pick(
         vec![(2, 2, 4), (2, 3, 4), (3, 3, 4), (3, 3, 6)],
-        vec![(3, 3, 6), (4, 4, 6), (4, 5, 8), (5, 5, 8), (5, 6, 8), (6, 7, 8)],
+        vec![
+            (3, 3, 6),
+            (4, 4, 6),
+            (4, 5, 8),
+            (5, 5, 8),
+            (5, 6, 8),
+            (6, 7, 8),
+        ],
     );
     for (w, h, cycles) in rcs_sizes {
         instances.push(Instance {
@@ -78,7 +85,9 @@ fn main() {
 
     let mut fig6 = ResultTable::new(
         "Figure 6: AC nodes vs CNF variables per workload family",
-        &["family", "instance", "qubits", "gates", "cnf_vars", "ac_nodes", "compile"],
+        &[
+            "family", "instance", "qubits", "gates", "cnf_vars", "ac_nodes", "compile",
+        ],
     );
     // Track the largest instance per family for Table 4.
     let mut largest: std::collections::HashMap<&'static str, (String, usize, usize, usize)> =
@@ -94,9 +103,9 @@ fn main() {
             ac_nodes.to_string(),
             qkc_bench::fmt_secs(secs),
         ]);
-        let entry = largest.entry(inst.family).or_insert_with(|| {
-            (inst.label.clone(), qubits, gates, ac_bytes)
-        });
+        let entry = largest
+            .entry(inst.family)
+            .or_insert_with(|| (inst.label.clone(), qubits, gates, ac_bytes));
         if qubits * 1000 + gates >= entry.1 * 1000 + entry.2 {
             *entry = (inst.label.clone(), qubits, gates, ac_bytes);
         }

@@ -59,7 +59,13 @@ fn run_sweep(
     let mut table = ResultTable::new(
         format!("Figure 8 {label}: seconds to draw {SHOTS} samples"),
         &[
-            "qubits", "sv_1t", "sv_16t", "tn_1t", "tn_16t", "kc_sample", "kc_compile",
+            "qubits",
+            "sv_1t",
+            "sv_16t",
+            "tn_1t",
+            "tn_16t",
+            "kc_sample",
+            "kc_compile",
         ],
     );
     for &n in sizes {
@@ -98,7 +104,8 @@ fn run_sweep(
 
 fn main() {
     let scale = Scale::from_env();
-    let qaoa_sizes: Vec<usize> = scale.pick(vec![6, 8, 10, 12, 14], vec![5, 10, 15, 20, 25, 30, 32]);
+    let qaoa_sizes: Vec<usize> =
+        scale.pick(vec![6, 8, 10, 12, 14], vec![5, 10, 15, 20, 25, 30, 32]);
     let vqe_grids: Vec<(usize, usize)> = scale.pick(
         vec![(2, 2), (2, 3), (3, 3), (3, 4)],
         vec![(2, 2), (3, 3), (4, 4), (4, 5), (5, 5)],
@@ -113,7 +120,11 @@ fn main() {
             &qaoa_sizes,
             sv_cap,
             tn_cap,
-            if iterations == 1 { kc_cap } else { kc_cap.min(12) },
+            if iterations == 1 {
+                kc_cap
+            } else {
+                kc_cap.min(12)
+            },
             |n| {
                 let qaoa = QaoaMaxCut::new(Graph::random_regular(n, 3, 7 + n as u64), iterations);
                 (qaoa.circuit(), qaoa.default_params())
@@ -128,7 +139,11 @@ fn main() {
             &sizes,
             sv_cap,
             tn_cap,
-            if iterations == 1 { kc_cap } else { kc_cap.min(9) },
+            if iterations == 1 {
+                kc_cap
+            } else {
+                kc_cap.min(9)
+            },
             move |n| {
                 let &(w, h) = grids.iter().find(|&&(w, h)| w * h == n).expect("grid");
                 let vqe = VqeIsing::new(w, h, iterations);

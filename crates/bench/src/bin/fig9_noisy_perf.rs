@@ -39,15 +39,16 @@ fn kc_times(circuit: &Circuit, params: &ParamMap) -> (f64, f64) {
     (compile_s, sample_s)
 }
 
-fn run_sweep(
-    label: &str,
-    configs: Vec<(usize, Circuit, ParamMap)>,
-    dm_cap: usize,
-    kc_cap: usize,
-) {
+fn run_sweep(label: &str, configs: Vec<(usize, Circuit, ParamMap)>, dm_cap: usize, kc_cap: usize) {
     let mut table = ResultTable::new(
         format!("Figure 9 {label}: seconds to draw {SHOTS} samples (noisy)"),
-        &["qubits", "noise_ops", "density_matrix", "kc_sample", "kc_compile"],
+        &[
+            "qubits",
+            "noise_ops",
+            "density_matrix",
+            "kc_sample",
+            "kc_compile",
+        ],
     );
     for (n, circuit, params) in configs {
         let dm = if n <= dm_cap {
@@ -88,8 +89,7 @@ fn main() {
                 // d-regular needs n·d even: use degree 3 when possible,
                 // degree 2 (a cycle-like graph) for odd n.
                 let d = if n * 3 % 2 == 0 { 3.min(n - 1) } else { 2 };
-                let qaoa =
-                    QaoaMaxCut::new(Graph::random_regular(n, d, 7 + n as u64), iterations);
+                let qaoa = QaoaMaxCut::new(Graph::random_regular(n, d, 7 + n as u64), iterations);
                 let noisy = qaoa.circuit().with_noise_after_each_gate(&noise);
                 (n, noisy, qaoa.default_params())
             })
@@ -98,7 +98,11 @@ fn main() {
             &format!("(noisy QAOA Max-Cut, iterations={iterations})"),
             configs,
             dm_cap,
-            if iterations == 1 { kc_cap } else { kc_cap.min(6) },
+            if iterations == 1 {
+                kc_cap
+            } else {
+                kc_cap.min(6)
+            },
         );
     }
     for iterations in [1usize, 2] {
@@ -114,7 +118,11 @@ fn main() {
             &format!("(noisy VQE 2-D Ising, iterations={iterations})"),
             configs,
             dm_cap,
-            if iterations == 1 { kc_cap } else { kc_cap.min(6) },
+            if iterations == 1 {
+                kc_cap
+            } else {
+                kc_cap.min(6)
+            },
         );
     }
     println!("\nShape check: density-matrix cost scales as 4^n; knowledge");

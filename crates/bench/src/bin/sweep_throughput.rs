@@ -1,0 +1,93 @@
+//! Engine sweep throughput: bindings/sec and cache-hit speedup on a
+//! parameterized QAOA sweep — the perf baseline for the engine's
+//! compile-once-bind-many contract.
+//!
+//! Three quantities per size:
+//! * `bind/s` — raw parameter re-binds against the cached artifact (the
+//!   step a variational iteration pays before its queries);
+//! * `sweep/s` — full engine sweep points per second (bind + exact
+//!   expectation of the cut observable);
+//! * `speedup` — cold (compile + first point) time over warm per-point
+//!   time: the cache-hit advantage every iteration after the first enjoys.
+//!
+//! Run with: `cargo run --release --bin sweep_throughput`
+//! (`QKC_SCALE=paper` for the larger sweep.)
+
+use qkc_bench::{fmt_secs, time, ResultTable, Scale};
+use qkc_circuit::ParamMap;
+use qkc_engine::{Engine, EngineOptions, SweepSpec};
+use qkc_workloads::{Graph, QaoaMaxCut};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = scale.pick(vec![6, 8, 10], vec![8, 12, 16]);
+    let bindings = scale.pick(64, 256);
+
+    let mut table = ResultTable::new(
+        "Engine sweep throughput (QAOA p=1, 3-regular)",
+        &[
+            "qubits", "compile", "bind/s", "sweep", "sweep/s", "speedup", "threads",
+        ],
+    );
+
+    for n in &sizes {
+        let n = *n;
+        let qaoa = QaoaMaxCut::new(Graph::random_regular(n, 3, 3), 1);
+        let circuit = qaoa.circuit();
+        let obs = qaoa.cut_observable();
+        let params: Vec<ParamMap> = (0..bindings)
+            .map(|i| {
+                let g = 0.3 + 0.001 * i as f64;
+                let b = 0.25 + 0.0007 * i as f64;
+                qaoa.params(&[g], &[b])
+            })
+            .collect();
+
+        for threads in [1usize, 8] {
+            let engine = Engine::with_options(EngineOptions::default().with_threads(threads));
+            // Cold: the first expectation pays the structural compile.
+            let (_, cold) = time(|| {
+                engine
+                    .expectation(&circuit, &params[0], &obs, 0, 1)
+                    .expect("cold evaluation")
+            });
+            // Raw re-bind rate against the cached artifact.
+            let artifact = engine
+                .cache()
+                .get_or_compile(&circuit, &engine.options().kc_options);
+            let (_, bind_secs) = time(|| {
+                for p in &params {
+                    artifact.bind(p).expect("bind");
+                }
+            });
+            // Warm sweep: every point re-binds and takes an expectation.
+            let (points, sweep_secs) = time(|| {
+                engine
+                    .sweep(
+                        &circuit,
+                        &params,
+                        &SweepSpec::expectation(&obs).with_seed(1),
+                    )
+                    .expect("sweep")
+            });
+            assert_eq!(points.len(), bindings);
+            assert_eq!(engine.cache().misses(), 1, "sweep must not recompile");
+            let per_point = sweep_secs / bindings as f64;
+            table.row(vec![
+                n.to_string(),
+                fmt_secs(cold),
+                format!("{:.0}", bindings as f64 / bind_secs),
+                fmt_secs(sweep_secs),
+                format!("{:.0}", bindings as f64 / sweep_secs),
+                format!("{:.0}x", cold / per_point),
+                threads.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nspeedup = cold (compile + first query) time over warm per-point \
+         time; bind/s is the raw parameter-rebinding rate the variational \
+         loop pays per iteration."
+    );
+}

@@ -43,8 +43,11 @@ fn main() {
 
     // Table 3: the CNF encoding.
     let enc = encode(&bn);
-    println!("\n== Table 3: CNF encoding ({} vars, {} clauses) ==",
-        enc.cnf.num_vars(), enc.cnf.num_clauses());
+    println!(
+        "\n== Table 3: CNF encoding ({} vars, {} clauses) ==",
+        enc.cnf.num_vars(),
+        enc.cnf.num_clauses()
+    );
     print!("{}", enc.cnf.to_dimacs());
 
     // Table 5: upward-pass amplitudes and density-matrix components.

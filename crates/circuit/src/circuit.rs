@@ -159,11 +159,7 @@ impl Circuit {
     }
 
     /// Appends a classical permutation.
-    pub fn permutation(
-        &mut self,
-        perm: PermutationOp,
-        qubits: impl Into<Vec<usize>>,
-    ) -> &mut Self {
+    pub fn permutation(&mut self, perm: PermutationOp, qubits: impl Into<Vec<usize>>) -> &mut Self {
         self.push(Operation::Permutation {
             perm,
             qubits: qubits.into(),
@@ -171,7 +167,11 @@ impl Circuit {
     }
 
     /// Appends a diagonal phase operation.
-    pub fn diagonal(&mut self, diag: crate::DiagonalOp, qubits: impl Into<Vec<usize>>) -> &mut Self {
+    pub fn diagonal(
+        &mut self,
+        diag: crate::DiagonalOp,
+        qubits: impl Into<Vec<usize>>,
+    ) -> &mut Self {
         self.push(Operation::Diagonal {
             diag,
             qubits: qubits.into(),
@@ -397,7 +397,12 @@ impl std::error::Error for CircuitError {}
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit({} qubits, {} ops)", self.num_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "Circuit({} qubits, {} ops)",
+            self.num_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             writeln!(f, "  {op}")?;
         }

@@ -370,10 +370,7 @@ mod tests {
     #[test]
     fn every_gate_is_unitary() {
         let empty = ParamMap::new();
-        for g in all_fixed_gates()
-            .into_iter()
-            .chain(all_param_gates(0.37))
-        {
+        for g in all_fixed_gates().into_iter().chain(all_param_gates(0.37)) {
             let u = g.unitary(&empty).unwrap();
             assert!(u.is_unitary(1e-12), "{g} is not unitary");
             assert_eq!(u.rows(), 1 << g.num_qubits(), "{g} has wrong dimension");

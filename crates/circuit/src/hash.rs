@@ -1,0 +1,250 @@
+//! Structural hashing of circuits.
+//!
+//! The knowledge-compilation pipeline's cost split is *structure* (compiled
+//! once) versus *parameter values* (re-bound every iteration). A circuit's
+//! [`structural hash`](crate::Circuit::structural_hash) keys exactly the
+//! structural half: gate kinds, qubit wiring, noise channels, oracles, and
+//! measurement placement, with **symbolic** parameters hashed by name only.
+//! Two circuits with equal hashes compile to interchangeable artifacts, so
+//! an artifact cache (see the `qkc-engine` crate) can serve every iteration
+//! of a variational sweep from one compilation.
+//!
+//! Constant parameters *are* hashed by value: the pipeline's probe machinery
+//! specializes the encoding to the zero/one structure of concrete entries
+//! (a rotation by exactly 0 encodes differently from one by 0.3), so
+//! differing constants must miss the cache. Rebinding a symbolic circuit
+//! with a different [`ParamMap`](crate::ParamMap) does not change the hash —
+//! that is the cache-hit case the paper's economics depend on.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::noise::NoiseChannel;
+use crate::op::Operation;
+use crate::param::Param;
+use std::hash::{Hash, Hasher};
+
+fn hash_param<H: Hasher>(p: &Param, state: &mut H) {
+    match p {
+        Param::Const(v) => {
+            state.write_u8(0);
+            state.write_u64(v.to_bits());
+        }
+        Param::Sym(name) => {
+            state.write_u8(1);
+            name.as_bytes().hash(state);
+        }
+    }
+}
+
+fn hash_gate<H: Hasher>(gate: &Gate, state: &mut H) {
+    use Gate::*;
+    let (tag, params): (u8, &[&Param]) = match gate {
+        I => (0, &[]),
+        X => (1, &[]),
+        Y => (2, &[]),
+        Z => (3, &[]),
+        H => (4, &[]),
+        S => (5, &[]),
+        Sdg => (6, &[]),
+        T => (7, &[]),
+        Tdg => (8, &[]),
+        SqrtX => (9, &[]),
+        SqrtY => (10, &[]),
+        Rx(p) => (11, &[p]),
+        Ry(p) => (12, &[p]),
+        Rz(p) => (13, &[p]),
+        Phase(p) => (14, &[p]),
+        Cnot => (15, &[]),
+        Cz => (16, &[]),
+        CPhase(p) => (17, &[p]),
+        Zz(p) => (18, &[p]),
+        Swap => (19, &[]),
+        Ccx => (20, &[]),
+        Ccz => (21, &[]),
+        Cswap => (22, &[]),
+        CRz(p) => (23, &[p]),
+    };
+    state.write_u8(tag);
+    for p in params {
+        hash_param(p, state);
+    }
+}
+
+fn hash_noise<H: Hasher>(channel: &NoiseChannel, state: &mut H) {
+    use NoiseChannel::*;
+    let (tag, params): (u8, &[&Param]) = match channel {
+        BitFlip { p } => (0, &[p]),
+        PhaseFlip { p } => (1, &[p]),
+        Depolarizing { p } => (2, &[p]),
+        AsymmetricDepolarizing { px, py, pz } => (3, &[px, py, pz]),
+        AmplitudeDamping { gamma } => (4, &[gamma]),
+        GeneralizedAmplitudeDamping { p, gamma } => (5, &[p, gamma]),
+        PhaseDamping { gamma } => (6, &[gamma]),
+    };
+    state.write_u8(tag);
+    for p in params {
+        hash_param(p, state);
+    }
+}
+
+fn hash_operation<H: Hasher>(op: &Operation, state: &mut H) {
+    match op {
+        Operation::Gate { gate, qubits } => {
+            state.write_u8(0);
+            hash_gate(gate, state);
+            qubits.hash(state);
+        }
+        Operation::Noise { channel, qubit } => {
+            state.write_u8(1);
+            hash_noise(channel, state);
+            state.write_usize(*qubit);
+        }
+        Operation::Permutation { perm, qubits } => {
+            state.write_u8(2);
+            perm.name().as_bytes().hash(state);
+            perm.table().hash(state);
+            qubits.hash(state);
+        }
+        Operation::Diagonal { diag, qubits } => {
+            state.write_u8(3);
+            diag.name().as_bytes().hash(state);
+            for phi in diag.phase_angles() {
+                state.write_u64(phi.to_bits());
+            }
+            qubits.hash(state);
+        }
+        Operation::Measure { qubit } => {
+            state.write_u8(4);
+            state.write_usize(*qubit);
+        }
+    }
+}
+
+impl Circuit {
+    /// A 64-bit hash of the circuit's compile-relevant structure: qubit
+    /// count, operation sequence, qubit wiring, gate/noise/oracle kinds,
+    /// constant parameter values (by bit pattern), and symbolic parameter
+    /// *names* (never their bound values).
+    ///
+    /// Circuits that differ only in the [`ParamMap`](crate::ParamMap) they
+    /// will later be bound with hash identically — the property that lets a
+    /// compile-once cache serve a whole variational parameter sweep.
+    ///
+    /// The hash is stable within a process run; it is not a cross-version
+    /// serialization format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qkc_circuit::{Circuit, Param};
+    ///
+    /// let mut a = Circuit::new(2);
+    /// a.rx(0, Param::symbol("theta")).cnot(0, 1);
+    /// let mut b = Circuit::new(2);
+    /// b.rx(0, Param::symbol("theta")).cnot(0, 1);
+    /// assert_eq!(a.structural_hash(), b.structural_hash());
+    ///
+    /// let mut c = Circuit::new(2);
+    /// c.rx(0, Param::symbol("theta")).cnot(1, 0); // rewired
+    /// assert_ne!(a.structural_hash(), c.structural_hash());
+    /// ```
+    pub fn structural_hash(&self) -> u64 {
+        let mut state = std::collections::hash_map::DefaultHasher::new();
+        state.write_usize(self.num_qubits());
+        state.write_usize(self.num_operations());
+        for op in self.operations() {
+            hash_operation(op, &mut state);
+        }
+        state.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Circuit, NoiseChannel, Param, PermutationOp};
+
+    fn bell_with(theta: Param) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).rx(0, theta).cnot(0, 1);
+        c
+    }
+
+    #[test]
+    fn equal_structure_equal_hash() {
+        assert_eq!(
+            bell_with(Param::symbol("t")).structural_hash(),
+            bell_with(Param::symbol("t")).structural_hash()
+        );
+    }
+
+    #[test]
+    fn symbol_name_is_structural_but_binding_is_not() {
+        let a = bell_with(Param::symbol("t")).structural_hash();
+        let b = bell_with(Param::symbol("u")).structural_hash();
+        assert_ne!(a, b, "renamed symbol changes the key");
+    }
+
+    #[test]
+    fn constant_value_is_structural() {
+        let a = bell_with(Param::from(0.3)).structural_hash();
+        let b = bell_with(Param::from(0.4)).structural_hash();
+        assert_ne!(a, b, "probe specialization depends on constant values");
+    }
+
+    #[test]
+    fn gate_kind_qubits_and_order_are_structural() {
+        let mut h_then_x = Circuit::new(2);
+        h_then_x.h(0).x(1);
+        let mut x_then_h = Circuit::new(2);
+        x_then_h.x(1).h(0);
+        assert_ne!(h_then_x.structural_hash(), x_then_h.structural_hash());
+
+        let mut cnot01 = Circuit::new(2);
+        cnot01.cnot(0, 1);
+        let mut cnot10 = Circuit::new(2);
+        cnot10.cnot(1, 0);
+        assert_ne!(cnot01.structural_hash(), cnot10.structural_hash());
+    }
+
+    #[test]
+    fn noise_channel_and_strength_are_structural() {
+        let mut base = Circuit::new(1);
+        base.h(0);
+        let mut damp = base.clone();
+        damp.phase_damp(0, 0.36);
+        let mut damp_other = base.clone();
+        damp_other.phase_damp(0, 0.2);
+        let mut flip = base.clone();
+        flip.noise(NoiseChannel::bit_flip(0.36), 0);
+        let hashes = [
+            base.structural_hash(),
+            damp.structural_hash(),
+            damp_other.structural_hash(),
+            flip.structural_hash(),
+        ];
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn qubit_count_is_structural() {
+        let mut two = Circuit::new(2);
+        two.h(0);
+        let mut three = Circuit::new(3);
+        three.h(0);
+        assert_ne!(two.structural_hash(), three.structural_hash());
+    }
+
+    #[test]
+    fn oracles_and_measurement_are_structural() {
+        let perm = PermutationOp::new("swap2", vec![0, 2, 1, 3]).unwrap();
+        let mut with_perm = Circuit::new(2);
+        with_perm.permutation(perm, [0, 1]);
+        let mut with_measure = Circuit::new(2);
+        with_measure.measure(0);
+        assert_ne!(with_perm.structural_hash(), with_measure.structural_hash());
+    }
+}

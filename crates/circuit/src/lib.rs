@@ -29,6 +29,7 @@
 mod circuit;
 mod decompose;
 mod gate;
+mod hash;
 mod noise;
 mod op;
 mod param;

@@ -227,11 +227,7 @@ impl NoiseChannel {
                         2,
                         vec![C_ONE, C_ZERO, C_ZERO, Complex::real((1.0 - g).sqrt())],
                     ),
-                    CMatrix::from_rows(
-                        2,
-                        2,
-                        vec![C_ZERO, Complex::real(g.sqrt()), C_ZERO, C_ZERO],
-                    ),
+                    CMatrix::from_rows(2, 2, vec![C_ZERO, Complex::real(g.sqrt()), C_ZERO, C_ZERO]),
                 ]
             }
             NoiseChannel::GeneralizedAmplitudeDamping { p, gamma } => {
@@ -245,24 +241,16 @@ impl NoiseChannel {
                         vec![C_ONE, C_ZERO, C_ZERO, Complex::real((1.0 - g).sqrt())],
                     )
                     .scale(Complex::real(sp)),
-                    CMatrix::from_rows(
-                        2,
-                        2,
-                        vec![C_ZERO, Complex::real(g.sqrt()), C_ZERO, C_ZERO],
-                    )
-                    .scale(Complex::real(sp)),
+                    CMatrix::from_rows(2, 2, vec![C_ZERO, Complex::real(g.sqrt()), C_ZERO, C_ZERO])
+                        .scale(Complex::real(sp)),
                     CMatrix::from_rows(
                         2,
                         2,
                         vec![Complex::real((1.0 - g).sqrt()), C_ZERO, C_ZERO, C_ONE],
                     )
                     .scale(Complex::real(sq)),
-                    CMatrix::from_rows(
-                        2,
-                        2,
-                        vec![C_ZERO, C_ZERO, Complex::real(g.sqrt()), C_ZERO],
-                    )
-                    .scale(Complex::real(sq)),
+                    CMatrix::from_rows(2, 2, vec![C_ZERO, C_ZERO, Complex::real(g.sqrt()), C_ZERO])
+                        .scale(Complex::real(sq)),
                 ]
             }
             NoiseChannel::PhaseDamping { gamma } => {
@@ -273,11 +261,7 @@ impl NoiseChannel {
                         2,
                         vec![C_ONE, C_ZERO, C_ZERO, Complex::real((1.0 - g).sqrt())],
                     ),
-                    CMatrix::from_rows(
-                        2,
-                        2,
-                        vec![C_ZERO, C_ZERO, C_ZERO, Complex::real(g.sqrt())],
-                    ),
+                    CMatrix::from_rows(2, 2, vec![C_ZERO, C_ZERO, C_ZERO, Complex::real(g.sqrt())]),
                 ]
             }
         })

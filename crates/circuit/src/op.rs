@@ -287,9 +287,7 @@ impl Operation {
     pub fn is_unitary(&self) -> bool {
         matches!(
             self,
-            Operation::Gate { .. }
-                | Operation::Permutation { .. }
-                | Operation::Diagonal { .. }
+            Operation::Gate { .. } | Operation::Permutation { .. } | Operation::Diagonal { .. }
         )
     }
 

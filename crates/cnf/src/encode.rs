@@ -188,8 +188,7 @@ pub fn encode(bn: &BayesNet) -> Encoding {
             }
         }
         // CAT clauses.
-        let parent_domains: Vec<usize> =
-            node.parents.iter().map(|&p| bn.node(p).domain).collect();
+        let parent_domains: Vec<usize> = node.parents.iter().map(|&p| bn.node(p).domain).collect();
         let rows: usize = parent_domains.iter().product::<usize>().max(1);
         for row in 0..rows {
             // Decode mixed-radix row into parent values (first parent most

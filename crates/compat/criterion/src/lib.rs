@@ -1,0 +1,193 @@
+//! A minimal drop-in for the subset of the `criterion` benchmarking API
+//! this workspace uses: `Criterion`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors this shim as a path dependency under the same crate
+//! name. Instead of criterion's statistical analysis it runs a short
+//! calibrated loop per benchmark and prints the mean wall-clock time —
+//! enough for the relative comparisons the bench binaries make.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Requested measurement budget per benchmark.
+    measurement: Duration,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("\n# group {}", name.into());
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 0,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.budget(), f);
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        if self.measurement.is_zero() {
+            Duration::from_millis(300)
+        } else {
+            self.measurement
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's time budget already
+    /// bounds sample counts.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, Duration::from_millis(300), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, Duration::from_millis(300), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+/// The timing harness handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough iterations to fill the measurement
+    /// budget (at least once).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One calibration run decides the iteration count.
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        budget,
+        report: None,
+    };
+    f(&mut b);
+    match b.report {
+        Some((iters, total)) => {
+            let mean = total.as_secs_f64() / iters as f64;
+            println!(
+                "bench {name:<40} {:>12} /iter  ({iters} iters)",
+                fmt_time(mean)
+            );
+        }
+        None => println!("bench {name:<40} (no measurement)"),
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = super::Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(super::BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(super::BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(super::BenchmarkId::from_parameter(8).0, "8");
+    }
+}

@@ -1,0 +1,101 @@
+//! A drop-in for the `crossbeam::scope` API, implemented over
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors this shim as a path dependency under the same crate
+//! name. Only the scoped-thread subset the workspace uses is provided:
+//! `crossbeam::scope(|s| { s.spawn(|_| ...) })` with joinable handles.
+
+use std::any::Any;
+use std::thread;
+
+/// The error payload of a panicked thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure and to each spawned
+/// thread's closure (so threads can spawn siblings, as in crossbeam).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope, matching
+    /// crossbeam's signature `FnOnce(&Scope) -> T`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// A handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread and returns its result, or the panic payload if
+    /// it panicked.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which threads borrowing from the enclosing
+/// environment can be spawned; all are joined before `scope` returns.
+///
+/// Returns `Ok` with the closure's result. (Panics of *joined* threads are
+/// delivered through [`ScopedJoinHandle::join`]; a panic of an unjoined
+/// thread propagates out of `scope` itself, which is stricter than
+/// crossbeam's `Err` return but equivalent for every caller that joins its
+/// handles.)
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut total = 0u64;
+        super::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            for h in handles {
+                total += h.join().expect("thread");
+            }
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21).join().map(|v| v * 2).unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn joined_panic_is_an_err() {
+        super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,272 @@
+//! A minimal drop-in for the subset of the `proptest` API this workspace
+//! uses: range and tuple strategies, `prop_map`, `collection::vec`, the
+//! `proptest!` macro with `#![proptest_config(...)]`, and `prop_assert!`.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors this shim as a path dependency under the same crate
+//! name. Unlike real proptest it does no shrinking: a failing case panics
+//! with the generated inputs Debug-printed, which is enough to reproduce
+//! (generation is deterministic per test name).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+pub mod collection;
+
+/// Bit-pattern strategies (`proptest::bits`).
+pub mod bits {
+    /// Strategies over `u8` bit patterns.
+    pub mod u8 {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// The strategy type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = ::core::primitive::u8;
+
+            fn new_value(&self, rng: &mut TestRng) -> ::core::primitive::u8 {
+                (rng.0.gen::<u32>() & 0xFF) as ::core::primitive::u8
+            }
+        }
+
+        /// Uniform over all 256 byte values.
+        pub const ANY: Any = Any;
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+std::thread_local! {
+    #[doc(hidden)]
+    static SKIP_CASE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Marks the current case as skipped (used by [`prop_assume!`]).
+#[doc(hidden)]
+pub fn mark_case_skipped() {
+    SKIP_CASE.with(|s| s.set(true));
+}
+
+/// Reads and clears the skip marker (used by [`proptest!`]).
+#[doc(hidden)]
+pub fn take_case_skipped() -> bool {
+    SKIP_CASE.with(|s| s.replace(false))
+}
+
+/// Skips the rest of the current case when `cond` is false. Unlike real
+/// proptest, skipped cases still count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            $crate::mark_case_skipped();
+            return;
+        }
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic source of randomness for strategies.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded from the test's name, so every run of a given
+    /// test sees the same case sequence.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+}
+
+/// A generator of random values — the shim's analogue of
+/// `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, i64, i32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// The assertion used inside `proptest!` bodies. Plain `assert!` here —
+/// without shrinking there is no need to route failures differently.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(0..5, 1..4)) {
+///         prop_assert!(x < 10 && !v.is_empty());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    let debug_inputs = format!(
+                        concat!("case {}: ", $(concat!(stringify!($arg), " = {:?} ")),+),
+                        case $(, $arg)+
+                    );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    let _skipped = $crate::take_case_skipped();
+                    if let Err(payload) = result {
+                        eprintln!("proptest failure inputs: {debug_inputs}");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            x in 2usize..9,
+            theta in -1.0..1.0f64,
+            v in crate::collection::vec(0usize..4, 1..6),
+        ) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&theta));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn prop_map_applies(
+            doubled in (0usize..10).prop_map(|k| k * 2),
+        ) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        let s = 0usize..1000;
+        for _ in 0..50 {
+            assert_eq!(
+                crate::Strategy::new_value(&s, &mut a),
+                crate::Strategy::new_value(&s, &mut b)
+            );
+        }
+    }
+}

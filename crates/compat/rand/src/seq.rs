@@ -1,0 +1,18 @@
+//! Sequence helpers.
+
+use crate::Rng;
+
+/// In-place randomization of slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Uniformly permutes the slice (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}

@@ -6,9 +6,7 @@
 
 use crate::pipeline::{KcSimulator, ValueState};
 use qkc_circuit::{ParamMap, UnboundParam};
-use qkc_knowledge::{
-    evaluate, AcWeights, GibbsOptions, GibbsSampler, QueryVar,
-};
+use qkc_knowledge::{evaluate, AcWeights, GibbsOptions, GibbsSampler, QueryVar};
 use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO};
 
 impl KcSimulator {

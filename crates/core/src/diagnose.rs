@@ -111,11 +111,7 @@ impl<'a> BoundKc<'a> {
     ///
     /// Returns `None` if the output has probability zero under every
     /// explanation.
-    pub fn most_probable_explanation(
-        &self,
-        outputs: usize,
-        budget: usize,
-    ) -> Option<Explanation> {
+    pub fn most_probable_explanation(&self, outputs: usize, budget: usize) -> Option<Explanation> {
         let domains: Vec<usize> = self.rv_specs().iter().map(|s| s.domain).collect();
         if domains.is_empty() {
             let p = self.amplitude(outputs, &[]).norm_sqr();
@@ -285,7 +281,10 @@ mod tests {
         let amp = bound.amplitude(0b11, &[]);
         let target = sens
             .iter()
-            .find(|s| s.weight.approx_eq(qkc_math::Complex::imag(-(0.4f64).sin()), 1e-12))
+            .find(|s| {
+                s.weight
+                    .approx_eq(qkc_math::Complex::imag(-(0.4f64).sin()), 1e-12)
+            })
             .expect("sin entry present");
         // amp = derivative · weight here because the |11> path uses the
         // sin entry exactly once and every other path is zero.
@@ -299,7 +298,11 @@ mod tests {
     #[test]
     fn ascent_matches_enumeration_on_small_instances() {
         let mut c = Circuit::new(2);
-        c.h(0).bit_flip(0, 0.1).cnot(0, 1).phase_flip(1, 0.2).bit_flip(1, 0.15);
+        c.h(0)
+            .bit_flip(0, 0.1)
+            .cnot(0, 1)
+            .phase_flip(1, 0.2)
+            .bit_flip(1, 0.15);
         let sim = KcSimulator::compile(&c, &KcOptions::default());
         let bound = sim.bind(&ParamMap::new()).unwrap();
         for outputs in 0..4 {

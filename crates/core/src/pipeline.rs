@@ -5,9 +5,7 @@
 use qkc_bayesnet::{BayesNet, NodeId};
 use qkc_circuit::Circuit;
 use qkc_cnf::{encode, simplify, Encoding, Lit, SimplifyError};
-use qkc_knowledge::{
-    compile, project_out, smooth, CompileOptions, CompileStats, Nnf, VarOrder,
-};
+use qkc_knowledge::{compile, project_out, smooth, CompileOptions, CompileStats, Nnf, VarOrder};
 use std::collections::HashMap;
 use std::time::Instant;
 

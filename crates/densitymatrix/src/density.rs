@@ -82,7 +82,9 @@ impl DensityMatrix {
 
     /// Measurement probabilities: the real diagonal.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim).map(|i| self.data[i * self.dim + i].re).collect()
+        (0..self.dim)
+            .map(|i| self.data[i * self.dim + i].re)
+            .collect()
     }
 
     /// The trace (1 for a valid state).
@@ -370,7 +372,7 @@ mod tests {
         let mut rho = DensityMatrix::zero_state(2);
         rho.apply_unitary(&gate(Gate::H), &[0]);
         rho.apply_permutation(&[0, 2, 1, 3], &[0, 1]); // SWAP
-        // H was on qubit 0; after SWAP superposition lives on qubit 1.
+                                                       // H was on qubit 0; after SWAP superposition lives on qubit 1.
         let p = rho.probabilities();
         assert!((p[0] - 0.5).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12);
     }

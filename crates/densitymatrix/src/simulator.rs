@@ -38,11 +38,7 @@ impl DensityMatrixSimulator {
     ///
     /// Returns an unbound-parameter error if a symbol is missing from
     /// `params`.
-    pub fn run(
-        &self,
-        circuit: &Circuit,
-        params: &ParamMap,
-    ) -> Result<DensityMatrix, CircuitError> {
+    pub fn run(&self, circuit: &Circuit, params: &ParamMap) -> Result<DensityMatrix, CircuitError> {
         let mut rho = DensityMatrix::zero_state(circuit.num_qubits());
         for op in circuit.operations() {
             match op {
@@ -192,7 +188,11 @@ mod tests {
             let ideal = (theta / 2.0).sin().powi(2);
             // Depolarizing pulls slightly toward 1/2.
             let noisy = ideal * (1.0 - 2.0 * 0.01 / 1.5) + 0.01 / 1.5;
-            assert!((p[1] - noisy).abs() < 1e-6, "theta={theta}: {} vs {noisy}", p[1]);
+            assert!(
+                (p[1] - noisy).abs() < 1e-6,
+                "theta={theta}: {} vs {noisy}",
+                p[1]
+            );
         }
     }
 }

@@ -1,0 +1,582 @@
+//! The unified backend interface and the four simulator adapters.
+
+use crate::cache::ArtifactCache;
+use crate::mix_seed;
+use qkc_circuit::{Circuit, CircuitError, ParamMap};
+use qkc_core::KcOptions;
+use qkc_densitymatrix::DensityMatrixSimulator;
+use qkc_knowledge::GibbsOptions;
+use qkc_math::AliasTable;
+use qkc_statevector::StateVectorSimulator;
+use qkc_tensornet::{TensorNetwork, TensorNetworkSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
+
+/// The four simulator families the engine can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Compiled arithmetic circuit ([`qkc_core::KcSimulator`]): compile
+    /// once, re-bind parameters cheaply; exact for pure circuits and for
+    /// noisy circuits with few random events; Gibbs sampling beyond.
+    KnowledgeCompilation,
+    /// Dense state vector: exact pure states up to ~25 qubits; noise as
+    /// per-shot quantum trajectories.
+    StateVector,
+    /// Dense density matrix: exact mixed states up to ~12 qubits.
+    DensityMatrix,
+    /// Tensor-network contraction: pure circuits; cost set by treewidth,
+    /// re-paid on every sample.
+    TensorNetwork,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BackendKind::KnowledgeCompilation => "knowledge-compilation",
+            BackendKind::StateVector => "state-vector",
+            BackendKind::DensityMatrix => "density-matrix",
+            BackendKind::TensorNetwork => "tensor-network",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a backend can answer, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Can produce exact output probabilities for noise-free circuits.
+    pub exact_pure: bool,
+    /// Can produce exact output probabilities for noisy circuits.
+    pub exact_noisy: bool,
+    /// Can draw measurement samples from noisy circuits.
+    pub sample_noisy: bool,
+    /// Amortizes compilation: parameter re-binding is much cheaper than the
+    /// first run on a circuit structure.
+    pub compile_once: bool,
+}
+
+/// Errors from engine queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The underlying circuit-level failure (unbound symbol, non-unitary
+    /// circuit handed to a pure-state method, ...).
+    Circuit(CircuitError),
+    /// The selected backend cannot answer this query for this circuit.
+    Unsupported {
+        /// The backend that was asked.
+        backend: BackendKind,
+        /// What was asked of it.
+        query: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Circuit(e) => write!(f, "{e}"),
+            EngineError::Unsupported { backend, query } => {
+                write!(f, "backend {backend} does not support {query}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CircuitError> for EngineError {
+    fn from(e: CircuitError) -> Self {
+        EngineError::Circuit(e)
+    }
+}
+
+/// A uniform interface over every simulator family.
+///
+/// All methods are deterministic: sampling queries take an explicit seed
+/// and derive their generators from it, never from global state, so results
+/// are reproducible and independent of scheduling.
+pub trait Backend: Send + Sync {
+    /// Which family this is.
+    fn kind(&self) -> BackendKind;
+
+    /// What this backend can do.
+    fn capabilities(&self) -> Capabilities;
+
+    /// The exact measurement distribution over the `2^n` output basis
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] if this backend cannot compute exact
+    /// probabilities for this circuit (e.g. noisy circuit on a pure-state
+    /// backend), or a circuit-level error.
+    fn probabilities(&self, circuit: &Circuit, params: &ParamMap) -> Result<Vec<f64>, EngineError>;
+
+    /// Draws `shots` measurement outcomes, deterministically in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Circuit-level errors, or [`EngineError::Unsupported`] for circuit
+    /// shapes the backend cannot sample.
+    fn sample(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, EngineError>;
+}
+
+// ---------------------------------------------------------------------------
+// Knowledge compilation
+// ---------------------------------------------------------------------------
+
+/// The compiled-artifact backend: every query first consults the shared
+/// [`ArtifactCache`], so repeated queries on one circuit structure (the
+/// variational-sweep case) compile exactly once and then only re-bind.
+#[derive(Debug, Clone)]
+pub struct KcBackend {
+    cache: Arc<ArtifactCache>,
+    options: KcOptions,
+    /// Exact noisy reconstruction enumerates every joint noise assignment;
+    /// beyond this many `log2` branches it reports `Unsupported` (callers
+    /// fall back to Gibbs sampling, which has no such limit).
+    max_exact_log2_branches: f64,
+    gibbs_warmup: usize,
+    gibbs_thin: usize,
+}
+
+impl KcBackend {
+    /// A backend over `cache` with the given pipeline options.
+    pub fn new(cache: Arc<ArtifactCache>, options: KcOptions) -> Self {
+        Self {
+            cache,
+            options,
+            max_exact_log2_branches: 14.0,
+            gibbs_warmup: 800,
+            gibbs_thin: 3,
+        }
+    }
+
+    /// Sets the exact-enumeration budget (in `log2` joint noise branches).
+    pub fn with_max_exact_log2_branches(mut self, log2: f64) -> Self {
+        self.max_exact_log2_branches = log2;
+        self
+    }
+
+    /// Sets the Gibbs warmup and thinning used for noisy sampling.
+    pub fn with_gibbs(mut self, warmup: usize, thin: usize) -> Self {
+        self.gibbs_warmup = warmup;
+        self.gibbs_thin = thin;
+        self
+    }
+
+    /// `log2` of the joint noise/measurement branch count — the cheap
+    /// O(ops) piece of [`CircuitStats`](crate::CircuitStats), computed
+    /// directly so per-point hot-path calls skip the treewidth proxy.
+    fn log2_noise_branches(circuit: &Circuit) -> f64 {
+        circuit
+            .operations()
+            .iter()
+            .map(|op| match op {
+                qkc_circuit::Operation::Noise { channel, .. } => {
+                    (channel.num_branches() as f64).log2()
+                }
+                qkc_circuit::Operation::Measure { .. } => 1.0,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+impl Backend for KcBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::KnowledgeCompilation
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact_pure: true,
+            exact_noisy: true, // subject to the enumeration budget
+            sample_noisy: true,
+            compile_once: true,
+        }
+    }
+
+    fn probabilities(&self, circuit: &Circuit, params: &ParamMap) -> Result<Vec<f64>, EngineError> {
+        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let bound = artifact
+            .bind(params)
+            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+        if artifact.num_random_events() == 0 {
+            return Ok(bound.wavefunction().iter().map(|a| a.norm_sqr()).collect());
+        }
+        let log2_branches = Self::log2_noise_branches(circuit);
+        if log2_branches > self.max_exact_log2_branches {
+            return Err(EngineError::Unsupported {
+                backend: self.kind(),
+                query: format!(
+                    "exact probabilities with 2^{log2_branches:.0} noise branches \
+                     (budget 2^{:.0}); use sampling instead",
+                    self.max_exact_log2_branches
+                ),
+            });
+        }
+        Ok(bound.output_probabilities())
+    }
+
+    fn sample(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, EngineError> {
+        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let bound = artifact
+            .bind(params)
+            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+        // Exact distribution + O(1) alias draws whenever it is computable:
+        // always for pure circuits, and for noisy circuits whose joint
+        // noise assignments fit the enumeration budget. Gibbs sampling is
+        // the fallback for wide noisy circuits, where enumeration is
+        // impossible but chain updates stay cheap on the compiled artifact.
+        let exact_probs = if artifact.num_random_events() == 0 {
+            Some(
+                bound
+                    .wavefunction()
+                    .iter()
+                    .map(|a| a.norm_sqr())
+                    .collect::<Vec<f64>>(),
+            )
+        } else if Self::log2_noise_branches(circuit) <= self.max_exact_log2_branches {
+            Some(bound.output_probabilities())
+        } else {
+            None
+        };
+        if let Some(mut probs) = exact_probs {
+            for p in &mut probs {
+                // Clamp numerical dust so the alias table accepts the
+                // vector: probabilities are mathematically non-negative,
+                // so any negative entry is cancellation error.
+                *p = p.max(0.0);
+            }
+            let table = AliasTable::new(&probs).expect("distribution sums to 1");
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0));
+            return Ok((0..shots).map(|_| table.sample(&mut rng)).collect());
+        }
+        let mut sampler = bound.sampler(&GibbsOptions {
+            warmup: self.gibbs_warmup,
+            thin: self.gibbs_thin,
+            seed: mix_seed(seed, 1),
+            ..Default::default()
+        });
+        Ok(sampler.sample_outputs(shots, self.gibbs_thin))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// State vector
+// ---------------------------------------------------------------------------
+
+/// The dense state-vector backend (qsim-style). Exact for pure circuits;
+/// noisy circuits sample as per-shot quantum trajectories.
+#[derive(Debug, Clone)]
+pub struct StateVectorBackend {
+    sim: StateVectorSimulator,
+}
+
+impl Default for StateVectorBackend {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl StateVectorBackend {
+    /// A backend whose gate kernels use `threads` worker threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            sim: StateVectorSimulator::new().with_threads(threads),
+        }
+    }
+}
+
+impl Backend for StateVectorBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::StateVector
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact_pure: true,
+            exact_noisy: false,
+            sample_noisy: true,
+            compile_once: false,
+        }
+    }
+
+    fn probabilities(&self, circuit: &Circuit, params: &ParamMap) -> Result<Vec<f64>, EngineError> {
+        if circuit.is_noisy() {
+            return Err(EngineError::Unsupported {
+                backend: self.kind(),
+                query: "exact probabilities of a noisy circuit".to_string(),
+            });
+        }
+        Ok(self.sim.probabilities(circuit, params)?)
+    }
+
+    fn sample(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, EngineError> {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 2));
+        Ok(self.sim.sample(circuit, params, shots, &mut rng)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Density matrix
+// ---------------------------------------------------------------------------
+
+/// The dense density-matrix backend (Cirq-style). Exact for noisy circuits;
+/// memory is `4^n` so the planner caps its qubit count.
+#[derive(Debug, Clone, Default)]
+pub struct DensityMatrixBackend {
+    sim: DensityMatrixSimulator,
+}
+
+impl DensityMatrixBackend {
+    /// A density-matrix backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for DensityMatrixBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::DensityMatrix
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact_pure: true,
+            exact_noisy: true,
+            sample_noisy: true,
+            compile_once: false,
+        }
+    }
+
+    fn probabilities(&self, circuit: &Circuit, params: &ParamMap) -> Result<Vec<f64>, EngineError> {
+        Ok(self.sim.probabilities(circuit, params)?)
+    }
+
+    fn sample(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, EngineError> {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 3));
+        Ok(self.sim.sample(circuit, params, shots, &mut rng)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor network
+// ---------------------------------------------------------------------------
+
+/// The tensor-network backend (qTorch-style). Pure circuits only; every
+/// probability or sample query re-pays contraction cost, which is the
+/// asymmetry the paper's Figure 8 quantifies.
+#[derive(Debug, Clone)]
+pub struct TensorNetworkBackend {
+    sim: TensorNetworkSimulator,
+    threads: usize,
+    /// Exact probabilities contract one doubled network per basis state, so
+    /// they are capped at this qubit count.
+    max_exact_qubits: usize,
+}
+
+impl Default for TensorNetworkBackend {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl TensorNetworkBackend {
+    /// A backend whose sampling partitions shots over `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            sim: TensorNetworkSimulator::new(),
+            threads: threads.max(1),
+            max_exact_qubits: 14,
+        }
+    }
+}
+
+impl Backend for TensorNetworkBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::TensorNetwork
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact_pure: true,
+            exact_noisy: false,
+            sample_noisy: false,
+            compile_once: false,
+        }
+    }
+
+    fn probabilities(&self, circuit: &Circuit, params: &ParamMap) -> Result<Vec<f64>, EngineError> {
+        if circuit.is_noisy() {
+            return Err(EngineError::Unsupported {
+                backend: self.kind(),
+                query: "exact probabilities of a noisy circuit".to_string(),
+            });
+        }
+        if circuit.num_qubits() > self.max_exact_qubits {
+            return Err(EngineError::Unsupported {
+                backend: self.kind(),
+                query: format!(
+                    "exact probabilities beyond {} qubits (2^n contractions)",
+                    self.max_exact_qubits
+                ),
+            });
+        }
+        let tn = TensorNetwork::from_circuit(circuit, params)?;
+        Ok((0..1usize << circuit.num_qubits())
+            .map(|x| tn.amplitude(x).norm_sqr())
+            .collect())
+    }
+
+    fn sample(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, EngineError> {
+        if circuit.is_noisy() {
+            return Err(EngineError::Unsupported {
+                backend: self.kind(),
+                query: "sampling a noisy circuit".to_string(),
+            });
+        }
+        // Each shot owns a generator derived from (seed, shot index), so
+        // the stream is identical however the shots are partitioned across
+        // threads — unlike TensorNetworkSimulator::sample, whose per-thread
+        // seeding ties results to the configured thread count.
+        let tn = TensorNetwork::from_circuit(circuit, params)?;
+        let shot = |s: usize| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, 4 + s as u64));
+            self.sim.sample_once(&tn, &mut rng)
+        };
+        if self.threads <= 1 || shots < 2 {
+            return Ok((0..shots).map(shot).collect());
+        }
+        let chunk = shots.div_ceil(self.threads);
+        let mut all = Vec::with_capacity(shots);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..self.threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(shots);
+                if lo >= hi {
+                    break;
+                }
+                let shot = &shot;
+                handles.push(scope.spawn(move |_| (lo..hi).map(shot).collect::<Vec<usize>>()));
+            }
+            for h in handles {
+                all.extend(h.join().expect("sampler thread panicked"));
+            }
+        })
+        .expect("scoped thread panicked");
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::Circuit;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        c
+    }
+
+    #[test]
+    fn all_backends_agree_on_bell_probabilities() {
+        let cache = Arc::new(ArtifactCache::new());
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(KcBackend::new(cache, KcOptions::default())),
+            Box::new(StateVectorBackend::new(1)),
+            Box::new(DensityMatrixBackend::new()),
+            Box::new(TensorNetworkBackend::new(1)),
+        ];
+        for b in &backends {
+            let p = b.probabilities(&bell(), &ParamMap::new()).unwrap();
+            assert!((p[0] - 0.5).abs() < 1e-9, "{}: {p:?}", b.kind());
+            assert!((p[3] - 0.5).abs() < 1e-9, "{}: {p:?}", b.kind());
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let cache = Arc::new(ArtifactCache::new());
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(KcBackend::new(cache, KcOptions::default())),
+            Box::new(StateVectorBackend::new(1)),
+            Box::new(DensityMatrixBackend::new()),
+            Box::new(TensorNetworkBackend::new(1)),
+        ];
+        let mut noisy = bell();
+        noisy.depolarize(0, 0.05);
+        for b in &backends {
+            let circuit = if b.capabilities().sample_noisy {
+                noisy.clone()
+            } else {
+                bell()
+            };
+            let a = b.sample(&circuit, &ParamMap::new(), 64, 9).unwrap();
+            let bb = b.sample(&circuit, &ParamMap::new(), 64, 9).unwrap();
+            let c = b.sample(&circuit, &ParamMap::new(), 64, 10).unwrap();
+            assert_eq!(a, bb, "{} must be seed-deterministic", b.kind());
+            assert_ne!(a, c, "{} must vary with the seed", b.kind());
+        }
+    }
+
+    #[test]
+    fn tensor_network_sampling_is_thread_count_independent() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rx(2, 0.7).cz(1, 2);
+        let single = TensorNetworkBackend::new(1)
+            .sample(&c, &ParamMap::new(), 33, 5)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let got = TensorNetworkBackend::new(threads)
+                .sample(&c, &ParamMap::new(), 33, 5)
+                .unwrap();
+            assert_eq!(single, got, "thread count {threads} changed the stream");
+        }
+    }
+
+    #[test]
+    fn unsupported_queries_are_reported_not_wrong() {
+        let mut noisy = bell();
+        noisy.depolarize(0, 0.05);
+        let sv = StateVectorBackend::new(1);
+        let err = sv.probabilities(&noisy, &ParamMap::new()).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+        let tn = TensorNetworkBackend::new(1);
+        assert!(tn.sample(&noisy, &ParamMap::new(), 8, 1).is_err());
+    }
+}

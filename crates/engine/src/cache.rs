@@ -1,0 +1,221 @@
+//! The compile-once artifact cache.
+
+use qkc_circuit::Circuit;
+use qkc_core::{KcOptions, KcSimulator};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A thread-safe cache of compiled [`KcSimulator`] artifacts, keyed by the
+/// circuit's [structural hash](Circuit::structural_hash) plus the pipeline
+/// options.
+///
+/// Variational sweeps re-run one circuit structure under thousands of
+/// parameter bindings; every engine query routes through this cache, so the
+/// expensive compilation happens exactly once per structure and each
+/// iteration only pays the cheap bind step. Concurrent requests for the
+/// same structure block on one compilation rather than duplicating it.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::{Circuit, Param, ParamMap};
+/// use qkc_core::KcOptions;
+/// use qkc_engine::ArtifactCache;
+///
+/// let cache = ArtifactCache::new();
+/// let mut c = Circuit::new(2);
+/// c.rx(0, Param::symbol("t")).cnot(0, 1);
+/// let a = cache.get_or_compile(&c, &KcOptions::default());
+/// let b = cache.get_or_compile(&c, &KcOptions::default());
+/// assert_eq!(cache.misses(), 1); // compiled once
+/// assert_eq!(cache.hits(), 1);
+/// // Both handles re-bind against the same artifact.
+/// assert!(a.bind(&ParamMap::from_pairs([("t", 0.3)])).is_ok());
+/// assert!(b.bind(&ParamMap::from_pairs([("t", 1.2)])).is_ok());
+/// ```
+#[derive(Debug)]
+struct Entry {
+    /// The circuit this entry was created for, kept to turn a 64-bit key
+    /// collision into a cache miss instead of silently wrong results.
+    circuit: Circuit,
+    options_key: String,
+    cell: Arc<OnceLock<Arc<KcSimulator>>>,
+}
+
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    entries: Mutex<HashMap<u64, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache key: structural hash of the circuit, extended with the
+    /// pipeline options (different options compile different artifacts).
+    fn key(circuit: &Circuit, options: &KcOptions) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write_u64(circuit.structural_hash());
+        // KcOptions is a plain field struct; its Debug form covers every
+        // field deterministically.
+        format!("{options:?}").hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns the compiled artifact for `circuit`, compiling it on first
+    /// use. Concurrent callers with the same structure share one
+    /// compilation; callers with different structures compile in parallel.
+    ///
+    /// A 64-bit key collision between two different circuits is detected
+    /// by comparing the stored circuit and degrades to an uncached compile
+    /// (correct results, no sharing) rather than serving the wrong
+    /// artifact.
+    pub fn get_or_compile(&self, circuit: &Circuit, options: &KcOptions) -> Arc<KcSimulator> {
+        let key = Self::key(circuit, options);
+        let options_key = format!("{options:?}");
+        let cell = {
+            let mut entries = self.entries.lock().expect("cache poisoned");
+            match entries.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let entry = e.get();
+                    if entry.circuit != *circuit || entry.options_key != options_key {
+                        // Hash collision: do not share the cell.
+                        drop(entries);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return Arc::new(KcSimulator::compile(circuit, options));
+                    }
+                    entry.cell.clone()
+                }
+                std::collections::hash_map::Entry::Vacant(v) => v
+                    .insert(Entry {
+                        circuit: circuit.clone(),
+                        options_key,
+                        cell: Arc::default(),
+                    })
+                    .cell
+                    .clone(),
+            }
+        };
+        let mut compiled_here = false;
+        let artifact = cell
+            .get_or_init(|| {
+                compiled_here = true;
+                Arc::new(KcSimulator::compile(circuit, options))
+            })
+            .clone();
+        if compiled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        artifact
+    }
+
+    /// Number of requests served from an existing artifact.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that compiled a new artifact.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every artifact (hit/miss counters keep accumulating).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::Param;
+
+    fn parameterized() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.rx(0, Param::symbol("a")).zz(0, 1, Param::symbol("b"));
+        c
+    }
+
+    #[test]
+    fn same_structure_compiles_once() {
+        let cache = ArtifactCache::new();
+        for _ in 0..10 {
+            cache.get_or_compile(&parameterized(), &KcOptions::default());
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 9);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn changed_structure_recompiles() {
+        let cache = ArtifactCache::new();
+        cache.get_or_compile(&parameterized(), &KcOptions::default());
+        let mut widened = parameterized();
+        widened.h(1);
+        cache.get_or_compile(&widened, &KcOptions::default());
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn changed_options_recompile() {
+        let cache = ArtifactCache::new();
+        cache.get_or_compile(&parameterized(), &KcOptions::default());
+        let no_elide = KcOptions {
+            elide_internal: false,
+            ..Default::default()
+        };
+        cache.get_or_compile(&parameterized(), &no_elide);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_compilation() {
+        let cache = Arc::new(ArtifactCache::new());
+        crossbeam::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                handles.push(s.spawn(move |_| {
+                    cache.get_or_compile(&parameterized(), &KcOptions::default());
+                }));
+            }
+            for h in handles {
+                h.join().expect("thread");
+            }
+        })
+        .expect("scope");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = ArtifactCache::new();
+        cache.get_or_compile(&parameterized(), &KcOptions::default());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_compile(&parameterized(), &KcOptions::default());
+        assert_eq!(cache.misses(), 2);
+    }
+}

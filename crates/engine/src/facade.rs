@@ -1,0 +1,269 @@
+//! The [`Engine`]: planner + cache + backends + sweep executor in one
+//! handle.
+
+use crate::backend::{
+    Backend, BackendKind, DensityMatrixBackend, EngineError, KcBackend, StateVectorBackend,
+    TensorNetworkBackend,
+};
+use crate::cache::ArtifactCache;
+use crate::planner::{Plan, PlanHint, Planner};
+use crate::sweep::{SweepExecutor, SweepPoint, SweepSpec};
+use qkc_circuit::{Circuit, ParamMap};
+use qkc_core::KcOptions;
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Backend planning thresholds and the user override.
+    pub planner: Planner,
+    /// Knowledge-compilation pipeline options.
+    pub kc_options: KcOptions,
+    /// Worker threads for sweeps and the dense kernels.
+    pub threads: usize,
+    /// Default workload hint used by queries that do not state one.
+    pub hint: PlanHint,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            planner: Planner::default(),
+            kc_options: KcOptions::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16),
+            hint: PlanHint::default(),
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Forces every query onto one backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.planner.force = Some(backend);
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the default workload hint.
+    pub fn with_hint(mut self, hint: PlanHint) -> Self {
+        self.hint = hint;
+        self
+    }
+}
+
+/// The single entry point for running circuits: plans a backend per
+/// circuit, caches compiled artifacts across calls, and fans parameter
+/// sweeps out over worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_circuit::{Circuit, ParamMap};
+/// use qkc_engine::Engine;
+///
+/// let engine = Engine::new();
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cnot(0, 1);
+/// let p = engine.probabilities(&bell, &ParamMap::new()).unwrap();
+/// assert!((p[0] - 0.5).abs() < 1e-9 && (p[3] - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    options: EngineOptions,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default options.
+    pub fn new() -> Self {
+        Self::with_options(EngineOptions::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(options: EngineOptions) -> Self {
+        Self {
+            options,
+            cache: Arc::new(ArtifactCache::new()),
+        }
+    }
+
+    /// The configuration.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The shared artifact cache (hit/miss counters, clearing).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Plans a backend for `circuit` under the engine's default hint.
+    pub fn plan(&self, circuit: &Circuit) -> Plan {
+        self.options.planner.plan(circuit, self.options.hint)
+    }
+
+    /// Plans a backend under an explicit hint.
+    pub fn plan_with_hint(&self, circuit: &Circuit, hint: PlanHint) -> Plan {
+        self.options.planner.plan(circuit, hint)
+    }
+
+    /// Instantiates the backend a plan chose.
+    pub fn backend(&self, kind: BackendKind) -> Box<dyn Backend> {
+        match kind {
+            BackendKind::KnowledgeCompilation => Box::new(
+                KcBackend::new(Arc::clone(&self.cache), self.options.kc_options.clone())
+                    .with_max_exact_log2_branches(self.options.planner.max_exact_log2_branches),
+            ),
+            BackendKind::StateVector => Box::new(StateVectorBackend::new(self.options.threads)),
+            BackendKind::DensityMatrix => Box::new(DensityMatrixBackend::new()),
+            BackendKind::TensorNetwork => Box::new(TensorNetworkBackend::new(self.options.threads)),
+        }
+    }
+
+    /// Plans and instantiates in one step.
+    pub fn backend_for(&self, circuit: &Circuit) -> (Plan, Box<dyn Backend>) {
+        let plan = self.plan(circuit);
+        let backend = self.backend(plan.backend);
+        (plan, backend)
+    }
+
+    /// The exact output-measurement distribution, on the planned backend.
+    ///
+    /// # Errors
+    ///
+    /// Circuit-level errors, or [`EngineError::Unsupported`] when no exact
+    /// answer is feasible (fall back to [`Engine::sample`]).
+    pub fn probabilities(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+    ) -> Result<Vec<f64>, EngineError> {
+        let (_, backend) = self.backend_for(circuit);
+        backend.probabilities(circuit, params)
+    }
+
+    /// Draws `shots` measurement outcomes on the planned backend,
+    /// deterministically in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Circuit-level errors from the selected backend.
+    pub fn sample(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, EngineError> {
+        let (_, backend) = self.backend_for(circuit);
+        backend.sample(circuit, params, shots, seed)
+    }
+
+    /// The expectation of a diagonal observable: exact when the planned
+    /// backend supports it, otherwise estimated from `shots` samples.
+    ///
+    /// # Errors
+    ///
+    /// Circuit-level errors from the selected backend.
+    pub fn expectation(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        observable: &(dyn Fn(usize) -> f64 + Sync),
+        shots: usize,
+        seed: u64,
+    ) -> Result<f64, EngineError> {
+        let spec = SweepSpec {
+            shots,
+            observable: Some(observable),
+            keep_samples: false,
+            seed,
+        };
+        let points = self.sweep(circuit, std::slice::from_ref(params), &spec)?;
+        Ok(points[0].expectation.expect("observable was requested"))
+    }
+
+    /// Runs a parameter sweep: every binding in `params` evaluated against
+    /// one planned backend (hinted [`PlanHint::ParameterSweep`]), fanned
+    /// out across the engine's worker threads. On the
+    /// knowledge-compilation backend the circuit compiles once and every
+    /// point re-binds.
+    ///
+    /// # Errors
+    ///
+    /// The first point-level error.
+    pub fn sweep(
+        &self,
+        circuit: &Circuit,
+        params: &[ParamMap],
+        spec: &SweepSpec<'_>,
+    ) -> Result<Vec<SweepPoint>, EngineError> {
+        let plan = self.plan_with_hint(circuit, PlanHint::ParameterSweep);
+        let backend = self.backend(plan.backend);
+        SweepExecutor::new(self.options.threads).run(backend.as_ref(), circuit, params, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_backend_is_respected() {
+        let engine =
+            Engine::with_options(EngineOptions::default().with_backend(BackendKind::DensityMatrix));
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let plan = engine.plan(&c);
+        assert_eq!(plan.backend, BackendKind::DensityMatrix);
+    }
+
+    #[test]
+    fn expectation_exact_on_pure_circuit() {
+        let engine = Engine::new();
+        let mut c = Circuit::new(1);
+        c.rx(0, 1.3);
+        let p1 = engine
+            .expectation(&c, &ParamMap::new(), &|bits| bits as f64, 0, 0)
+            .unwrap();
+        assert!((p1 - (1.3f64 / 2.0).sin().powi(2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sweep_reuses_one_artifact_across_calls() {
+        let engine = Engine::with_options(
+            EngineOptions::default().with_backend(BackendKind::KnowledgeCompilation),
+        );
+        let mut c = Circuit::new(2);
+        c.rx(0, qkc_circuit::Param::symbol("t")).cnot(0, 1);
+        let params: Vec<ParamMap> = (0..5)
+            .map(|i| ParamMap::from_pairs([("t", 0.1 * i as f64)]))
+            .collect();
+        let obs = |bits: usize| bits as f64;
+        engine
+            .sweep(&c, &params, &SweepSpec::expectation(&obs))
+            .unwrap();
+        engine
+            .sweep(&c, &params, &SweepSpec::expectation(&obs))
+            .unwrap();
+        assert_eq!(
+            engine.cache().misses(),
+            1,
+            "second sweep re-uses the artifact"
+        );
+    }
+}

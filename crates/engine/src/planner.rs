@@ -1,0 +1,249 @@
+//! Backend selection from circuit statistics.
+
+use crate::backend::BackendKind;
+use crate::stats::CircuitStats;
+use qkc_circuit::Circuit;
+
+/// What the caller intends to do with the circuit — the axis the paper's
+/// evaluation splits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanHint {
+    /// One-off query: compilation cost is not amortized.
+    #[default]
+    SingleShot,
+    /// Many parameter bindings over one structure (VQE/QAOA loops): favors
+    /// compile-once backends.
+    ParameterSweep,
+}
+
+/// A backend decision with its inputs and justification.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The chosen backend.
+    pub backend: BackendKind,
+    /// The statistics the decision was made from.
+    pub stats: CircuitStats,
+    /// Human-readable justification (surfaced in logs and benchmarks).
+    pub reason: String,
+}
+
+/// Chooses a backend from [`CircuitStats`], following the cost model of the
+/// paper's Figures 8 and 9:
+///
+/// * noisy circuits: density matrices are exact but `4^n`, so they win only
+///   at small qubit counts when noise events are too many to enumerate;
+///   everywhere else the compiled artifact wins (exact when the joint noise
+///   assignment space is enumerable, Gibbs sampling beyond);
+/// * pure circuits in the wide-shallow, low-treewidth regime: compiled
+///   artifacts, whose one-time cost is amortized — decisively so for
+///   [`PlanHint::ParameterSweep`];
+/// * pure deep/narrow circuits: dense state vectors up to the memory wall;
+/// * pure wide circuits past the state-vector wall: tensor networks when
+///   the treewidth proxy stays moderate, otherwise the compiled artifact.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Densest mixed state the planner will hand to the density-matrix
+    /// backend (`4^n` memory).
+    pub max_density_matrix_qubits: usize,
+    /// Largest pure state the planner will hand to the state-vector backend
+    /// (`2^n` memory).
+    pub max_state_vector_qubits: usize,
+    /// `log2` joint-noise-branch budget for exact enumeration on the
+    /// compiled backend; must match the [`KcBackend`](crate::KcBackend)
+    /// budget.
+    pub max_exact_log2_branches: f64,
+    /// Treewidth proxy at or below which tensor contraction stays cheap.
+    pub max_tensor_width: usize,
+    /// Forces a specific backend, bypassing every rule.
+    pub force: Option<BackendKind>,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self {
+            max_density_matrix_qubits: 10,
+            max_state_vector_qubits: 24,
+            max_exact_log2_branches: 14.0,
+            max_tensor_width: 10,
+            force: None,
+        }
+    }
+}
+
+impl Planner {
+    /// A planner with the default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forces every plan to `backend` (the user override).
+    pub fn with_forced_backend(mut self, backend: BackendKind) -> Self {
+        self.force = Some(backend);
+        self
+    }
+
+    /// Plans a backend for `circuit` under `hint`.
+    pub fn plan(&self, circuit: &Circuit, hint: PlanHint) -> Plan {
+        let stats = CircuitStats::of(circuit);
+        if let Some(backend) = self.force {
+            return Plan {
+                backend,
+                stats,
+                reason: "forced by caller override".to_string(),
+            };
+        }
+        let (backend, reason) = self.decide(&stats, hint);
+        Plan {
+            backend,
+            stats,
+            reason,
+        }
+    }
+
+    fn decide(&self, s: &CircuitStats, hint: PlanHint) -> (BackendKind, String) {
+        if s.is_noisy() {
+            let enumerable = s.log2_noise_branches <= self.max_exact_log2_branches;
+            if !enumerable && s.num_qubits <= self.max_density_matrix_qubits {
+                return (
+                    BackendKind::DensityMatrix,
+                    format!(
+                        "noisy, 2^{:.0} noise branches exceed the enumeration budget and \
+                         {} qubits fit a dense density matrix",
+                        s.log2_noise_branches, s.num_qubits
+                    ),
+                );
+            }
+            return (
+                BackendKind::KnowledgeCompilation,
+                if enumerable {
+                    format!(
+                        "noisy with 2^{:.0} enumerable noise branches: compiled artifact \
+                         is exact and re-binds cheaply",
+                        s.log2_noise_branches
+                    )
+                } else {
+                    format!(
+                        "noisy, {} qubits past the density-matrix wall: compiled artifact \
+                         with Gibbs sampling",
+                        s.num_qubits
+                    )
+                },
+            );
+        }
+
+        // Pure circuits.
+        let sweep = hint == PlanHint::ParameterSweep;
+        if sweep && s.is_wide_shallow() {
+            return (
+                BackendKind::KnowledgeCompilation,
+                format!(
+                    "parameter sweep over a wide-shallow circuit ({} ops/qubit max, width \
+                     proxy {}): compile once, re-bind per iteration",
+                    s.max_ops_per_qubit, s.treewidth_proxy
+                ),
+            );
+        }
+        if s.num_qubits <= self.max_state_vector_qubits {
+            return (
+                BackendKind::StateVector,
+                format!("pure, {} qubits fit a dense state vector", s.num_qubits),
+            );
+        }
+        if s.treewidth_proxy <= self.max_tensor_width {
+            return (
+                BackendKind::TensorNetwork,
+                format!(
+                    "pure, {} qubits past the state-vector wall with treewidth proxy {}: \
+                     contraction stays polynomial-ish",
+                    s.num_qubits, s.treewidth_proxy
+                ),
+            );
+        }
+        (
+            BackendKind::KnowledgeCompilation,
+            format!(
+                "pure, {} qubits past the state-vector wall and treewidth proxy {} too \
+                 high for contraction: compiled artifact",
+                s.num_qubits, s.treewidth_proxy
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::{Circuit, NoiseChannel};
+
+    /// A QAOA-shaped circuit: ring of ZZ couplers plus a mixer layer.
+    fn ring(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n {
+            c.zz(q, (q + 1) % n, 0.4);
+        }
+        for q in 0..n {
+            c.rx(q, 0.3);
+        }
+        c
+    }
+
+    #[test]
+    fn sweep_over_wide_shallow_pure_circuit_uses_kc() {
+        let plan = Planner::new().plan(&ring(30), PlanHint::ParameterSweep);
+        assert_eq!(plan.backend, BackendKind::KnowledgeCompilation);
+        assert!(plan.reason.contains("compile once"), "{}", plan.reason);
+    }
+
+    #[test]
+    fn single_shot_small_pure_circuit_uses_state_vector() {
+        let plan = Planner::new().plan(&ring(8), PlanHint::SingleShot);
+        assert_eq!(plan.backend, BackendKind::StateVector);
+    }
+
+    #[test]
+    fn huge_low_width_pure_circuit_uses_tensor_network() {
+        let mut chain = Circuit::new(40);
+        for q in 0..39 {
+            chain.cnot(q, q + 1);
+        }
+        let plan = Planner::new().plan(&chain, PlanHint::SingleShot);
+        assert_eq!(plan.backend, BackendKind::TensorNetwork);
+    }
+
+    #[test]
+    fn small_heavily_noisy_circuit_uses_density_matrix() {
+        // Depolarizing after every gate on a dense 4-qubit circuit: far too
+        // many branches to enumerate, but 4 qubits are tiny for rho.
+        let noisy = ring(4).with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005));
+        let plan = Planner::new().plan(&noisy, PlanHint::SingleShot);
+        assert_eq!(plan.backend, BackendKind::DensityMatrix);
+    }
+
+    #[test]
+    fn lightly_noisy_circuit_uses_kc_exactly() {
+        let mut c = ring(6);
+        c.depolarize(0, 0.01).phase_damp(3, 0.1);
+        let plan = Planner::new().plan(&c, PlanHint::ParameterSweep);
+        assert_eq!(plan.backend, BackendKind::KnowledgeCompilation);
+        assert!(plan.reason.contains("exact"), "{}", plan.reason);
+    }
+
+    #[test]
+    fn wide_noisy_circuit_uses_kc_gibbs() {
+        let noisy = ring(16).with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005));
+        let plan = Planner::new().plan(&noisy, PlanHint::SingleShot);
+        assert_eq!(plan.backend, BackendKind::KnowledgeCompilation);
+        assert!(plan.reason.contains("Gibbs"), "{}", plan.reason);
+    }
+
+    #[test]
+    fn override_wins() {
+        let planner = Planner::new().with_forced_backend(BackendKind::TensorNetwork);
+        let plan = planner.plan(&ring(4), PlanHint::SingleShot);
+        assert_eq!(plan.backend, BackendKind::TensorNetwork);
+        assert!(plan.reason.contains("forced"));
+    }
+}

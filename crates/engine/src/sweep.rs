@@ -1,0 +1,353 @@
+//! The parallel parameter-sweep executor.
+
+use crate::backend::{Backend, EngineError};
+use crate::mix_seed;
+use qkc_circuit::{Circuit, ParamMap};
+
+/// What each sweep point should produce.
+///
+/// The observable is a diagonal function of the measured bitstring
+/// (cut values, Ising energies, indicator functions, ...). When the backend
+/// can produce exact probabilities the expectation is computed exactly;
+/// otherwise it is estimated from `shots` samples.
+pub struct SweepSpec<'a> {
+    /// Samples to draw per point (also the estimator sample size when the
+    /// backend cannot do exact expectations). `0` draws none.
+    pub shots: usize,
+    /// Diagonal observable to take the expectation of, if any.
+    pub observable: Option<&'a (dyn Fn(usize) -> f64 + Sync)>,
+    /// Keep the raw samples in each [`SweepPoint`] (they are dropped after
+    /// estimating the expectation otherwise).
+    pub keep_samples: bool,
+    /// Base seed; point `i` derives its own generator from `(seed, i)`, so
+    /// results are reproducible and independent of thread count.
+    pub seed: u64,
+}
+
+impl<'a> SweepSpec<'a> {
+    /// Expectation-only sweep (exact when the backend allows, otherwise
+    /// estimated from a default 2048 shots per point).
+    pub fn expectation(observable: &'a (dyn Fn(usize) -> f64 + Sync)) -> Self {
+        Self {
+            shots: 2048,
+            observable: Some(observable),
+            keep_samples: false,
+            seed: 0,
+        }
+    }
+
+    /// Samples-only sweep.
+    pub fn samples(shots: usize) -> Self {
+        Self {
+            shots,
+            observable: None,
+            keep_samples: true,
+            seed: 0,
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-point shot count.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+}
+
+/// The result of one parameter binding in a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the input parameter batch.
+    pub index: usize,
+    /// Expectation of the requested observable, if one was requested.
+    pub expectation: Option<f64>,
+    /// Whether `expectation` is exact (from the full distribution) rather
+    /// than a sample estimate.
+    pub exact: bool,
+    /// Raw samples, when requested via [`SweepSpec::keep_samples`].
+    pub samples: Vec<usize>,
+}
+
+/// Fans a batch of parameter bindings out across worker threads.
+///
+/// Every worker queries the same shared [`Backend`]; on the
+/// knowledge-compilation backend that means one structural compilation
+/// (through the [`ArtifactCache`](crate::ArtifactCache)) and one cheap
+/// re-bind per point — the paper's compile-once-bind-many economics applied
+/// across both iterations *and* cores.
+///
+/// Work is partitioned by point index and every point's randomness derives
+/// only from `(spec.seed, index)`, so the output is byte-identical for any
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct SweepExecutor {
+    threads: usize,
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self::new(available_threads())
+    }
+}
+
+/// The default worker count: the machine's parallelism, capped so sweeps
+/// stay polite on shared hosts.
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+impl SweepExecutor {
+    /// An executor with an explicit worker-thread count.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every binding in `params` against `backend` and returns one
+    /// [`SweepPoint`] per binding, in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first point-level error, if any point fails (all points run the
+    /// same circuit structure, so failures are typically uniform).
+    pub fn run(
+        &self,
+        backend: &dyn Backend,
+        circuit: &Circuit,
+        params: &[ParamMap],
+        spec: &SweepSpec<'_>,
+    ) -> Result<Vec<SweepPoint>, EngineError> {
+        if params.is_empty() {
+            return Ok(Vec::new());
+        }
+        // No warm-up pass is needed before fanning out: concurrent first
+        // touches of a compile-once backend serialize on the artifact
+        // cache's per-key cell, so exactly one worker compiles and the rest
+        // block until the artifact is shared.
+        let threads = self.threads.min(params.len());
+        if threads == 1 {
+            return params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| run_point(backend, circuit, i, p, spec))
+                .collect();
+        }
+        let chunk = params.len().div_ceil(threads);
+        let mut out: Vec<Result<Vec<SweepPoint>, EngineError>> = Vec::with_capacity(threads);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, slice) in params.chunks(chunk).enumerate() {
+                let lo = t * chunk;
+                handles.push(scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, p)| run_point(backend, circuit, lo + j, p, spec))
+                        .collect::<Result<Vec<SweepPoint>, EngineError>>()
+                }));
+            }
+            for h in handles {
+                out.push(h.join().expect("sweep worker panicked"));
+            }
+        })
+        .expect("sweep scope panicked");
+        let mut points = Vec::with_capacity(params.len());
+        for chunk_result in out {
+            points.extend(chunk_result?);
+        }
+        Ok(points)
+    }
+}
+
+/// Evaluates one sweep point: exact expectation when the backend can,
+/// sampled estimate (and/or raw samples) otherwise.
+fn run_point(
+    backend: &dyn Backend,
+    circuit: &Circuit,
+    index: usize,
+    params: &ParamMap,
+    spec: &SweepSpec<'_>,
+) -> Result<SweepPoint, EngineError> {
+    let point_seed = mix_seed(spec.seed, index as u64);
+    let mut samples = Vec::new();
+    let mut expectation = None;
+    let mut exact = false;
+
+    if let Some(obs) = spec.observable {
+        match backend.probabilities(circuit, params) {
+            Ok(probs) => {
+                expectation = Some(
+                    probs
+                        .iter()
+                        .enumerate()
+                        .map(|(bits, &p)| p * obs(bits))
+                        .sum(),
+                );
+                exact = true;
+            }
+            // Exact is unsupported here: fall through to a sampled
+            // estimate — unless sampling was disabled (shots = 0), where
+            // swallowing the error would leave the expectation silently
+            // absent.
+            Err(e @ EngineError::Unsupported { .. }) => {
+                if spec.shots == 0 {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    let need_samples_for_expectation =
+        spec.observable.is_some() && expectation.is_none() && spec.shots > 0;
+    if spec.keep_samples || need_samples_for_expectation {
+        samples = backend.sample(circuit, params, spec.shots, point_seed)?;
+        if need_samples_for_expectation {
+            let obs = spec.observable.expect("checked above");
+            expectation =
+                Some(samples.iter().map(|&s| obs(s)).sum::<f64>() / samples.len().max(1) as f64);
+        }
+        if !spec.keep_samples {
+            samples = Vec::new();
+        }
+    }
+
+    Ok(SweepPoint {
+        index,
+        expectation,
+        exact,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{KcBackend, StateVectorBackend};
+    use crate::ArtifactCache;
+    use qkc_circuit::{Circuit, Param};
+    use qkc_core::KcOptions;
+    use std::sync::Arc;
+
+    fn rx_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.rx(0, Param::symbol("t")).cnot(0, 1);
+        c
+    }
+
+    fn sweep_params(n: usize) -> Vec<ParamMap> {
+        (0..n)
+            .map(|i| ParamMap::from_pairs([("t", 0.2 + 0.1 * i as f64)]))
+            .collect()
+    }
+
+    #[test]
+    fn exact_expectations_match_the_closed_form() {
+        let cache = Arc::new(ArtifactCache::new());
+        let backend = KcBackend::new(cache.clone(), KcOptions::default());
+        // P(|11>) = sin^2(t/2); observable = indicator of |11>.
+        let obs = |bits: usize| if bits == 0b11 { 1.0 } else { 0.0 };
+        let points = SweepExecutor::new(4)
+            .run(
+                &backend,
+                &rx_circuit(),
+                &sweep_params(9),
+                &SweepSpec::expectation(&obs),
+            )
+            .unwrap();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert!(p.exact);
+            let t = 0.2 + 0.1 * i as f64;
+            let want = (t / 2.0).sin().powi(2);
+            assert!((p.expectation.unwrap() - want).abs() < 1e-9);
+        }
+        assert_eq!(cache.misses(), 1, "whole sweep compiles once");
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let obs = |bits: usize| bits as f64;
+        let mut noisy = rx_circuit();
+        noisy.depolarize(0, 0.02);
+        for backend in [true, false] {
+            let cache = Arc::new(ArtifactCache::new());
+            let kc;
+            let sv;
+            let b: &dyn Backend = if backend {
+                kc = KcBackend::new(cache, KcOptions::default());
+                &kc
+            } else {
+                sv = StateVectorBackend::new(1);
+                &sv
+            };
+            let spec = SweepSpec {
+                shots: 256,
+                observable: Some(&obs),
+                keep_samples: true,
+                seed: 77,
+            };
+            let base = SweepExecutor::new(1)
+                .run(b, &noisy, &sweep_params(7), &spec)
+                .unwrap();
+            for threads in [2, 3, 8] {
+                let got = SweepExecutor::new(threads)
+                    .run(b, &noisy, &sweep_params(7), &spec)
+                    .unwrap();
+                assert_eq!(base, got, "thread count must not change results");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let backend = StateVectorBackend::new(1);
+        let points = SweepExecutor::new(4)
+            .run(&backend, &rx_circuit(), &[], &SweepSpec::samples(16))
+            .unwrap();
+        assert!(points.is_empty());
+    }
+
+    #[test]
+    fn sampled_estimates_are_used_when_exact_is_unsupported() {
+        // State-vector backend cannot do exact noisy probabilities; the
+        // executor falls back to trajectory sampling.
+        let mut noisy = rx_circuit();
+        noisy.depolarize(0, 0.01);
+        let obs = |bits: usize| if bits == 0b11 { 1.0 } else { 0.0 };
+        let spec = SweepSpec {
+            shots: 4000,
+            observable: Some(&obs),
+            keep_samples: false,
+            seed: 3,
+        };
+        let backend = StateVectorBackend::new(1);
+        let points = SweepExecutor::new(2)
+            .run(&backend, &noisy, &sweep_params(3), &spec)
+            .unwrap();
+        for (i, p) in points.iter().enumerate() {
+            assert!(!p.exact);
+            let t = 0.2 + 0.1 * i as f64;
+            let want = (t / 2.0).sin().powi(2);
+            assert!(
+                (p.expectation.unwrap() - want).abs() < 0.05,
+                "point {i}: {} vs {want}",
+                p.expectation.unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The engine-driven variational loop: batched Nelder–Mead over a
+//! parameter sweep.
+
+use crate::backend::EngineError;
+use crate::facade::Engine;
+use crate::sweep::SweepSpec;
+use qkc_circuit::{Circuit, ParamMap};
+use qkc_optim::{NelderMead, OptimResult};
+
+/// Configuration of [`minimize_variational`].
+#[derive(Debug, Clone)]
+pub struct VariationalConfig {
+    /// The simplex optimizer (iteration budget, tolerance, step).
+    pub optimizer: NelderMead,
+    /// Shots per objective evaluation when the backend cannot compute the
+    /// expectation exactly. `0` forces exact-only evaluation.
+    pub shots: usize,
+    /// Base seed; evaluation `k` of the loop derives its own stream, so a
+    /// run is exactly reproducible.
+    pub seed: u64,
+}
+
+impl Default for VariationalConfig {
+    fn default() -> Self {
+        Self {
+            optimizer: NelderMead::new(),
+            shots: 1024,
+            seed: 0,
+        }
+    }
+}
+
+/// One weighted term of a variational objective: the expectation of a
+/// diagonal observable over one circuit's output distribution. Multi-term
+/// objectives arise from multiple measurement settings — VQE's `Z`-basis
+/// couplings plus `X`-basis field terms, for example.
+pub struct VariationalTerm<'a> {
+    /// The (parameterized) circuit of this measurement setting.
+    pub circuit: &'a Circuit,
+    /// Diagonal observable over output bitstrings.
+    pub observable: &'a (dyn Fn(usize) -> f64 + Sync),
+    /// Coefficient of this term in the objective.
+    pub weight: f64,
+}
+
+/// The outcome of a variational run.
+#[derive(Debug, Clone)]
+pub struct VariationalResult {
+    /// The optimizer's result (best point, value, iteration counts).
+    pub optim: OptimResult,
+    /// Total objective evaluations routed through the engine (one per
+    /// point per term).
+    pub engine_evaluations: usize,
+    /// Whether every evaluation was exact (from full distributions) rather
+    /// than sampled.
+    pub all_exact: bool,
+}
+
+/// Minimizes the expectation of `observable` over the output distribution
+/// of `circuit`, as a function of the parameter vector `x` mapped to
+/// bindings by `to_params` — the paper's variational loop, run end to end
+/// through the engine.
+///
+/// The circuit structure compiles at most once (first evaluation, via the
+/// engine's artifact cache); every subsequent objective evaluation re-binds
+/// parameters. Candidate batches from the optimizer (initial simplex,
+/// shrink steps) are fanned out across the engine's worker threads as one
+/// parameter sweep.
+///
+/// # Errors
+///
+/// The first engine-level error encountered during an evaluation.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn minimize_variational(
+    engine: &Engine,
+    circuit: &Circuit,
+    to_params: impl Fn(&[f64]) -> ParamMap + Sync,
+    observable: &(dyn Fn(usize) -> f64 + Sync),
+    x0: &[f64],
+    config: &VariationalConfig,
+) -> Result<VariationalResult, EngineError> {
+    minimize_variational_terms(
+        engine,
+        &[VariationalTerm {
+            circuit,
+            observable,
+            weight: 1.0,
+        }],
+        to_params,
+        x0,
+        config,
+    )
+}
+
+/// Multi-term variant of [`minimize_variational`]: minimizes
+/// `Σ_t weight_t · ⟨observable_t⟩_{circuit_t(x)}`. Every term's circuit
+/// compiles at most once; each optimizer batch becomes one parameter sweep
+/// per term.
+///
+/// # Errors
+///
+/// The first engine-level error encountered during an evaluation.
+///
+/// # Panics
+///
+/// Panics if `terms` or `x0` is empty.
+pub fn minimize_variational_terms(
+    engine: &Engine,
+    terms: &[VariationalTerm<'_>],
+    to_params: impl Fn(&[f64]) -> ParamMap + Sync,
+    x0: &[f64],
+    config: &VariationalConfig,
+) -> Result<VariationalResult, EngineError> {
+    assert!(!terms.is_empty(), "need at least one objective term");
+    let mut first_error: Option<EngineError> = None;
+    let mut engine_evaluations = 0usize;
+    let mut all_exact = true;
+    let mut batch_index = 0u64;
+    let optim = config.optimizer.minimize_batch(
+        |points| {
+            if first_error.is_some() {
+                // A previous batch failed: short-circuit with placeholder
+                // values; the result is discarded below.
+                return vec![f64::INFINITY; points.len()];
+            }
+            let bindings: Vec<ParamMap> = points.iter().map(|x| to_params(x)).collect();
+            let mut totals = vec![0.0; points.len()];
+            for (t, term) in terms.iter().enumerate() {
+                let spec = SweepSpec {
+                    shots: config.shots,
+                    observable: Some(term.observable),
+                    keep_samples: false,
+                    seed: crate::mix_seed(config.seed, batch_index * terms.len() as u64 + t as u64),
+                };
+                engine_evaluations += points.len();
+                match engine.sweep(term.circuit, &bindings, &spec) {
+                    Ok(sweep_points) => {
+                        for (total, p) in totals.iter_mut().zip(sweep_points) {
+                            all_exact &= p.exact;
+                            *total +=
+                                term.weight * p.expectation.expect("observable was requested");
+                        }
+                    }
+                    Err(e) => {
+                        first_error = Some(e);
+                        return vec![f64::INFINITY; points.len()];
+                    }
+                }
+            }
+            batch_index += 1;
+            totals
+        },
+        x0,
+    );
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(VariationalResult {
+        optim,
+        engine_evaluations,
+        all_exact,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BackendKind, EngineOptions};
+    use qkc_circuit::Param;
+
+    /// Minimize P(|1>) of Rx(theta)|0>: optimum at theta = 0 (mod 2pi).
+    #[test]
+    fn variational_loop_finds_the_minimum_exactly() {
+        let engine = Engine::new();
+        let mut c = Circuit::new(1);
+        c.rx(0, Param::symbol("theta"));
+        let result = minimize_variational(
+            &engine,
+            &c,
+            |x| ParamMap::from_pairs([("theta", x[0])]),
+            &|bits| bits as f64,
+            &[2.0],
+            &VariationalConfig {
+                optimizer: NelderMead::new().with_max_iterations(120),
+                shots: 0,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert!(result.all_exact);
+        assert!(result.optim.value < 1e-6, "value {}", result.optim.value);
+        assert!(result.engine_evaluations >= result.optim.evaluations);
+        assert_eq!(engine.cache().misses(), 1, "one compile for the whole loop");
+    }
+
+    #[test]
+    fn variational_runs_are_reproducible() {
+        // Sampled objective (forced state-vector backend on a noisy
+        // circuit): two runs with one seed agree, a third seed differs.
+        let mk_engine = || {
+            Engine::with_options(EngineOptions::default().with_backend(BackendKind::StateVector))
+        };
+        let mut c = Circuit::new(1);
+        c.rx(0, Param::symbol("theta")).depolarize(0, 0.05);
+        let run = |seed: u64| {
+            let engine = mk_engine();
+            minimize_variational(
+                &engine,
+                &c,
+                |x| ParamMap::from_pairs([("theta", x[0])]),
+                &|bits| bits as f64,
+                &[1.0],
+                &VariationalConfig {
+                    optimizer: NelderMead::new().with_max_iterations(12),
+                    shots: 64,
+                    seed,
+                },
+            )
+            .unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.optim.x, b.optim.x);
+        assert_eq!(a.optim.value, b.optim.value);
+        assert!(!a.all_exact);
+    }
+
+    #[test]
+    fn unbound_symbol_surfaces_as_error() {
+        let engine = Engine::new();
+        let mut c = Circuit::new(1);
+        c.rx(0, Param::symbol("theta"));
+        let r = minimize_variational(
+            &engine,
+            &c,
+            |_| ParamMap::new(), // never binds theta
+            &|bits| bits as f64,
+            &[1.0],
+            &VariationalConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn exact_only_objective_on_incapable_backend_is_an_error_not_a_panic() {
+        // shots = 0 (exact only) + forced state-vector backend + noisy
+        // circuit: exact probabilities are unsupported, so the loop must
+        // report the error instead of panicking on a missing expectation.
+        let engine =
+            Engine::with_options(EngineOptions::default().with_backend(BackendKind::StateVector));
+        let mut c = Circuit::new(1);
+        c.rx(0, Param::symbol("theta")).depolarize(0, 0.05);
+        let r = minimize_variational(
+            &engine,
+            &c,
+            |x| ParamMap::from_pairs([("theta", x[0])]),
+            &|bits| bits as f64,
+            &[1.0],
+            &VariationalConfig {
+                shots: 0,
+                ..Default::default()
+            },
+        );
+        match r {
+            Err(EngineError::Unsupported { .. }) => {}
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_term_objective_sums_weighted_expectations() {
+        // Terms: +1·P(|1>) on Rx(theta) and -0.5·P(|1>) on the same
+        // circuit; net objective 0.5·sin^2(theta/2), minimized at 0.
+        let engine = Engine::new();
+        let mut c = Circuit::new(1);
+        c.rx(0, Param::symbol("theta"));
+        let obs = |bits: usize| bits as f64;
+        let result = minimize_variational_terms(
+            &engine,
+            &[
+                VariationalTerm {
+                    circuit: &c,
+                    observable: &obs,
+                    weight: 1.0,
+                },
+                VariationalTerm {
+                    circuit: &c,
+                    observable: &obs,
+                    weight: -0.5,
+                },
+            ],
+            |x| ParamMap::from_pairs([("theta", x[0])]),
+            &[2.0],
+            &VariationalConfig {
+                optimizer: NelderMead::new().with_max_iterations(120),
+                shots: 0,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(result.optim.value.abs() < 1e-6);
+        assert_eq!(engine.cache().misses(), 1, "same structure: one compile");
+    }
+}

@@ -218,10 +218,7 @@ impl Dpll {
                 return self.builder.false_id();
             }
         };
-        let mut conjuncts: Vec<NnfId> = implied
-            .iter()
-            .map(|&l| self.builder.lit(l))
-            .collect();
+        let mut conjuncts: Vec<NnfId> = implied.iter().map(|&l| self.builder.lit(l)).collect();
 
         let active: Vec<u32> = clause_ids
             .iter()

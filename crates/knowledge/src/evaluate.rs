@@ -269,10 +269,7 @@ mod tests {
                 }
                 let want = evaluate(&nnf, &w2);
                 let got = d.wrt_lit(lit).unwrap_or(C_ZERO);
-                assert!(
-                    got.approx_eq(want, 1e-12),
-                    "lit {lit}: {got} vs {want}"
-                );
+                assert!(got.approx_eq(want, 1e-12), "lit {lit}: {got} vs {want}");
             }
         }
     }

@@ -94,7 +94,8 @@ impl<'a> GibbsSampler<'a> {
         options: &GibbsOptions,
     ) -> Self {
         assert!(
-            vars.iter().all(|v| v.fixed.is_some() || !v.value_lits.is_empty()),
+            vars.iter()
+                .all(|v| v.fixed.is_some() || !v.value_lits.is_empty()),
             "movable variables need literals"
         );
         let mut rng = StdRng::seed_from_u64(options.seed);
@@ -104,8 +105,7 @@ impl<'a> GibbsSampler<'a> {
         // paper's Figure 3 — make random initialization land on
         // zero-amplitude states from which single-flip Gibbs cannot escape.
         let model = sample_model(nnf, &base_weights, &mut rng);
-        let mut polarity: std::collections::HashMap<u32, bool> =
-            std::collections::HashMap::new();
+        let mut polarity: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
         if let Some(lits) = &model {
             for &l in lits {
                 polarity.insert(l.unsigned_abs(), l > 0);

@@ -36,7 +36,7 @@ mod nnf;
 mod order;
 mod transform;
 
-pub use compiler::{compile, Compiled, CompileOptions, CompileStats};
+pub use compiler::{compile, CompileOptions, CompileStats, Compiled};
 pub use evaluate::{evaluate, evaluate_with_differentials, AcWeights, Differentials};
 pub use gibbs::{GibbsOptions, GibbsSampler, QueryVar};
 pub use nnf::{Nnf, NnfBuilder, NnfId, NnfNode};

@@ -220,9 +220,7 @@ impl NnfBuilder {
             }
             if expanded {
                 let node = match &self.nodes[id as usize] {
-                    NnfNode::And(cs) => {
-                        NnfNode::And(cs.iter().map(|c| map[c]).collect())
-                    }
+                    NnfNode::And(cs) => NnfNode::And(cs.iter().map(|c| map[c]).collect()),
                     NnfNode::Or(a, b) => NnfNode::Or(map[a], map[b]),
                     other => other.clone(),
                 };
@@ -338,7 +336,10 @@ mod tests {
         let text = nnf.to_c2d_format();
         let mut lines = text.lines();
         let header = lines.next().unwrap();
-        assert_eq!(header, format!("nnf {} {} 2", nnf.num_nodes(), nnf.num_edges()));
+        assert_eq!(
+            header,
+            format!("nnf {} {} 2", nnf.num_nodes(), nnf.num_edges())
+        );
         assert_eq!(lines.clone().count(), nnf.num_nodes());
         assert_eq!(lines.filter(|l| l.starts_with('L')).count(), 3);
     }

@@ -75,6 +75,12 @@ fn separator_ranks(cnf: &Cnf) -> Vec<u32> {
                 }
             }
         }
+        // The gather above walks HashSets, whose iteration order varies per
+        // process (RandomState); sort so the tie-breaks inside `bisect`
+        // (min-degree start vertex) — and therefore the variable order, the
+        // compiled NNF, and every downstream sampling stream — are
+        // deterministic functions of the CNF alone.
+        comp.sort_unstable();
         bisect(&comp, &adj, &mut rank, &mut next_rank, &mut assign);
     }
     // Isolated / never-mentioned variables get trailing ranks.
@@ -105,7 +111,12 @@ fn bisect(
     // BFS from the minimum-degree vertex gives a rough diameter ordering.
     let start = *vars
         .iter()
-        .min_by_key(|&&v| adj[v as usize].iter().filter(|w| in_vars.contains(w)).count())
+        .min_by_key(|&&v| {
+            adj[v as usize]
+                .iter()
+                .filter(|w| in_vars.contains(w))
+                .count()
+        })
         .expect("non-empty");
     let mut order = Vec::with_capacity(vars.len());
     let mut visited: HashSet<u32> = HashSet::new();
@@ -232,6 +243,35 @@ mod tests {
         // vars 3, 4 never mentioned.
         let r = compute_ranks(&f, VarOrder::MinCutSeparator);
         assert!(r[3] != u32::MAX && r[4] != u32::MAX);
+    }
+
+    #[test]
+    fn ranks_are_deterministic_across_recomputation() {
+        // Each HashMap/HashSet instance gets fresh RandomState keys, so any
+        // iteration-order leak into the ranking shows up as two different
+        // answers for one CNF. A dense-ish random 3-CNF exercises the
+        // bisection path; repeat to make order leaks overwhelmingly likely
+        // to surface.
+        let mut f = Cnf::new(12);
+        let mut x = 7u64;
+        for _ in 0..30 {
+            let mut next = || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % 12 + 1) as i32
+            };
+            let (a, b, c) = (next(), next(), next());
+            if a != b && b != c && a != c {
+                f.add_clause(vec![a, -b, c]);
+            }
+        }
+        let first = compute_ranks(&f, VarOrder::MinCutSeparator);
+        for _ in 0..10 {
+            assert_eq!(
+                compute_ranks(&f, VarOrder::MinCutSeparator),
+                first,
+                "variable ranking must be a pure function of the CNF"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,4 @@ mod stats;
 pub use complex::{Complex, C_I, C_ONE, C_ZERO, FRAC_1_SQRT_2};
 pub use matrix::CMatrix;
 pub use sampling::{sample_cdf, AliasTable};
-pub use stats::{
-    empirical_kl, kl_divergence, normalize, total_variation, EmpiricalDistribution,
-};
+pub use stats::{empirical_kl, kl_divergence, normalize, total_variation, EmpiricalDistribution};

@@ -206,12 +206,20 @@ impl CMatrix {
     /// conditional amplitude tables without qubit duplication (§3.1.1).
     pub fn is_monomial(&self, tol: f64) -> bool {
         for r in 0..self.rows {
-            if (0..self.cols).filter(|&c| self[(r, c)].norm() > tol).count() > 1 {
+            if (0..self.cols)
+                .filter(|&c| self[(r, c)].norm() > tol)
+                .count()
+                > 1
+            {
                 return false;
             }
         }
         for c in 0..self.cols {
-            if (0..self.rows).filter(|&r| self[(r, c)].norm() > tol).count() > 1 {
+            if (0..self.rows)
+                .filter(|&r| self[(r, c)].norm() > tol)
+                .count()
+                > 1
+            {
                 return false;
             }
         }

@@ -36,8 +36,7 @@ impl AliasTable {
             return None;
         }
         let sum: f64 = weights.iter().sum();
-        if !sum.is_finite() || sum <= 0.0 || weights.iter().any(|&w| !(w.is_finite() && w >= 0.0))
-        {
+        if !sum.is_finite() || sum <= 0.0 || weights.iter().any(|&w| !(w.is_finite() && w >= 0.0)) {
             return None;
         }
         let n = weights.len();

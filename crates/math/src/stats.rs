@@ -71,7 +71,9 @@ impl EmpiricalDistribution {
 
     /// The full probability vector.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.counts.len()).map(|i| self.probability(i)).collect()
+        (0..self.counts.len())
+            .map(|i| self.probability(i))
+            .collect()
     }
 }
 

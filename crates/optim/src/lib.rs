@@ -82,17 +82,43 @@ impl NelderMead {
     ///
     /// Panics if `x0` is empty.
     pub fn minimize(&self, mut f: impl FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        self.minimize_batch(|points| points.iter().map(|x| f(x)).collect(), x0)
+    }
+
+    /// Minimizes with a *batched* objective: `f` receives every candidate
+    /// point the current step needs (the `n + 1` initial-simplex points, a
+    /// shrink step's `n` points, single reflect/expand/contract probes) and
+    /// returns their values in order.
+    ///
+    /// Variational quantum loops evaluate objectives by simulation, so a
+    /// batch maps naturally onto a parallel parameter sweep — the
+    /// `qkc-engine` crate's executor fans each batch out across worker
+    /// threads while the simplex logic here stays strictly deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or `f` returns the wrong number of values.
+    pub fn minimize_batch(
+        &self,
+        mut f: impl FnMut(&[Vec<f64>]) -> Vec<f64>,
+        x0: &[f64],
+    ) -> OptimResult {
         let n = x0.len();
         assert!(n > 0, "need at least one parameter");
         let mut evaluations = 0usize;
-        let mut eval = |x: &[f64], evals: &mut usize| {
-            *evals += 1;
-            f(x)
+        let mut eval_batch = |points: &[Vec<f64>], evals: &mut usize| -> Vec<f64> {
+            *evals += points.len();
+            let values = f(points);
+            assert_eq!(
+                values.len(),
+                points.len(),
+                "batched objective must return one value per point"
+            );
+            values
         };
-        // Initial simplex: x0 plus a step along each axis.
-        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
-        let v0 = eval(x0, &mut evaluations);
-        simplex.push((x0.to_vec(), v0));
+        // Initial simplex: x0 plus a step along each axis, as one batch.
+        let mut initial: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        initial.push(x0.to_vec());
         for i in 0..n {
             let mut x = x0.to_vec();
             x[i] += if x[i].abs() > 1e-12 {
@@ -100,9 +126,10 @@ impl NelderMead {
             } else {
                 self.initial_step
             };
-            let v = eval(&x, &mut evaluations);
-            simplex.push((x, v));
+            initial.push(x);
         }
+        let initial_values = eval_batch(&initial, &mut evaluations);
+        let mut simplex: Vec<(Vec<f64>, f64)> = initial.into_iter().zip(initial_values).collect();
 
         let mut iterations = 0usize;
         while iterations < self.max_iterations {
@@ -125,7 +152,7 @@ impl NelderMead {
                 .zip(&worst.0)
                 .map(|(c, w)| c + self.alpha * (c - w))
                 .collect();
-            let fr = eval(&reflect, &mut evaluations);
+            let fr = eval_batch(std::slice::from_ref(&reflect), &mut evaluations)[0];
             if fr < simplex[0].1 {
                 // Try expanding further.
                 let expand: Vec<f64> = centroid
@@ -133,7 +160,7 @@ impl NelderMead {
                     .zip(&reflect)
                     .map(|(c, r)| c + self.gamma * (r - c))
                     .collect();
-                let fe = eval(&expand, &mut evaluations);
+                let fe = eval_batch(std::slice::from_ref(&expand), &mut evaluations)[0];
                 simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
             } else if fr < simplex[n - 1].1 {
                 simplex[n] = (reflect, fr);
@@ -149,20 +176,26 @@ impl NelderMead {
                     .zip(base)
                     .map(|(c, b)| c + self.rho * (b - c))
                     .collect();
-                let fc = eval(&contract, &mut evaluations);
+                let fc = eval_batch(std::slice::from_ref(&contract), &mut evaluations)[0];
                 if fc < fb {
                     simplex[n] = (contract, fc);
                 } else {
-                    // Shrink everything toward the best point.
+                    // Shrink everything toward the best point, as one batch.
                     let best = simplex[0].0.clone();
-                    for entry in simplex.iter_mut().skip(1) {
-                        let x: Vec<f64> = best
-                            .iter()
-                            .zip(&entry.0)
-                            .map(|(b, xi)| b + self.sigma * (xi - b))
-                            .collect();
-                        let v = eval(&x, &mut evaluations);
-                        *entry = (x, v);
+                    let shrunk: Vec<Vec<f64>> = simplex[1..]
+                        .iter()
+                        .map(|(x, _)| {
+                            best.iter()
+                                .zip(x)
+                                .map(|(b, xi)| b + self.sigma * (xi - b))
+                                .collect()
+                        })
+                        .collect();
+                    let values = eval_batch(&shrunk, &mut evaluations);
+                    for (entry, point) in
+                        simplex[1..].iter_mut().zip(shrunk.into_iter().zip(values))
+                    {
+                        *entry = (point.0, point.1);
                     }
                 }
             }
@@ -238,7 +271,9 @@ mod tests {
     fn reports_monotone_improvement() {
         let start = [4.0, 4.0];
         let f = |x: &[f64]| x[0].powi(2) + x[1].powi(2);
-        let r = NelderMead::new().with_max_iterations(100).minimize(f, &start);
+        let r = NelderMead::new()
+            .with_max_iterations(100)
+            .minimize(f, &start);
         assert!(r.value <= f(&start));
     }
 }

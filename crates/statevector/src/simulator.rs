@@ -118,10 +118,7 @@ impl StateVectorSimulator {
                 unitary => self.apply_unitary_op(&mut state, unitary, params)?,
             }
         }
-        Ok(Trajectory {
-            state,
-            branches,
-        })
+        Ok(Trajectory { state, branches })
     }
 
     /// Draws `shots` measurement outcomes (basis-state indices).
@@ -141,8 +138,7 @@ impl StateVectorSimulator {
     ) -> Result<Vec<usize>, CircuitError> {
         if !circuit.is_noisy() {
             let state = self.run_pure(circuit, params)?;
-            let table = AliasTable::new(&state.probabilities())
-                .expect("final state has unit norm");
+            let table = AliasTable::new(&state.probabilities()).expect("final state has unit norm");
             return Ok((0..shots).map(|_| table.sample(rng)).collect());
         }
         let mut outcomes = Vec::with_capacity(shots);
@@ -202,9 +198,7 @@ impl StateVectorSimulator {
                 state.apply_diagonal(&entries, qubits);
                 Ok(())
             }
-            Operation::Noise { .. } | Operation::Measure { .. } => {
-                Err(CircuitError::NotUnitary)
-            }
+            Operation::Noise { .. } | Operation::Measure { .. } => Err(CircuitError::NotUnitary),
         }
     }
 }
@@ -240,7 +234,12 @@ mod tests {
     fn assert_states_match(a: &[qkc_math::Complex], b: &[qkc_math::Complex]) {
         assert_eq!(a.len(), b.len());
         for i in 0..a.len() {
-            assert!(a[i].approx_eq(b[i], 1e-10), "amplitude {i}: {} vs {}", a[i], b[i]);
+            assert!(
+                a[i].approx_eq(b[i], 1e-10),
+                "amplitude {i}: {} vs {}",
+                a[i],
+                b[i]
+            );
         }
     }
 

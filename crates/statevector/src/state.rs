@@ -187,8 +187,7 @@ impl StateVector {
                     // SAFETY: each group `g` touches only indices in
                     // [g << (p+1), (g+1) << (p+1)), and group ranges are
                     // disjoint across threads.
-                    let amps =
-                        unsafe { std::slice::from_raw_parts_mut(ptr.get(), dim) };
+                    let amps = unsafe { std::slice::from_raw_parts_mut(ptr.get(), dim) };
                     work(amps, g0, g1);
                 });
             }
@@ -261,8 +260,7 @@ impl StateVector {
                 scope.spawn(move |_| {
                     // SAFETY: distinct compressed indices expand to disjoint
                     // amplitude groups.
-                    let amps =
-                        unsafe { std::slice::from_raw_parts_mut(ptr.get(), dim) };
+                    let amps = unsafe { std::slice::from_raw_parts_mut(ptr.get(), dim) };
                     work(amps, c0, c1);
                 });
             }
@@ -351,8 +349,8 @@ impl SendPtr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qkc_circuit::{Gate, ParamMap};
     use proptest::prelude::*;
+    use qkc_circuit::{Gate, ParamMap};
 
     fn gate(g: Gate) -> CMatrix {
         g.unitary(&ParamMap::new()).unwrap()
@@ -400,9 +398,9 @@ mod tests {
             let full = reference::embed_unitary(&u, &[a, b], 4);
             expect_state = full.mul_vec(&expect_state);
             s.apply_gate(&u, &[a, b]);
-            for i in 0..16 {
+            for (i, &want) in expect_state.iter().enumerate() {
                 assert!(
-                    s.amplitude(i).approx_eq(expect_state[i], 1e-10),
+                    s.amplitude(i).approx_eq(want, 1e-10),
                     "mismatch at {i} for CNOT({a},{b})"
                 );
             }

@@ -165,11 +165,11 @@ impl TensorNetwork {
             .position(|&i| i == qi + shift)
             .expect("queried bra index open");
         let mut out = [0.0; 2];
-        for b in 0..2 {
+        for (b, slot) in out.iter_mut().enumerate() {
             let mut bits = vec![0usize; result.rank()];
             bits[pos_ket] = b;
             bits[pos_bra] = b;
-            out[b] = result.get(&bits).re.max(0.0);
+            *slot = result.get(&bits).re.max(0.0);
         }
         out
     }
@@ -258,12 +258,11 @@ mod tests {
         c.h(0).cnot(0, 1).cnot(1, 2);
         let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
         let want = reference::run_pure(&c, &ParamMap::new()).unwrap();
-        for b in 0..8 {
+        for (b, &w) in want.iter().enumerate() {
             assert!(
-                tn.amplitude(b).approx_eq(want[b], 1e-12),
-                "amplitude {b}: {} vs {}",
-                tn.amplitude(b),
-                want[b]
+                tn.amplitude(b).approx_eq(w, 1e-12),
+                "amplitude {b}: {} vs {w}",
+                tn.amplitude(b)
             );
         }
     }
@@ -284,8 +283,8 @@ mod tests {
             .ry(2, -0.31);
         let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
         let want = reference::run_pure(&c, &ParamMap::new()).unwrap();
-        for b in 0..16 {
-            assert!(tn.amplitude(b).approx_eq(want[b], 1e-10), "amplitude {b}");
+        for (b, &w) in want.iter().enumerate() {
+            assert!(tn.amplitude(b).approx_eq(w, 1e-10), "amplitude {b}");
         }
     }
 
@@ -304,9 +303,8 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cnot(0, 1).rx(2, 0.77).cz(1, 2);
         let tn = TensorNetwork::from_circuit(&c, &ParamMap::new()).unwrap();
-        let probs = reference::pure_probabilities(
-            &reference::run_pure(&c, &ParamMap::new()).unwrap(),
-        );
+        let probs =
+            reference::pure_probabilities(&reference::run_pure(&c, &ParamMap::new()).unwrap());
         // Marginal of qubit 0.
         let m0 = tn.conditional_marginal(0, &[]);
         let want0: f64 = probs.iter().skip(4).sum(); // qubit 0 = 1 ⇒ indices 4..8

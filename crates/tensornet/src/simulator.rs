@@ -127,9 +127,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cnot(0, 1).rx(2, 1.1).cz(1, 2);
         let params = ParamMap::new();
-        let probs = reference::pure_probabilities(
-            &reference::run_pure(&c, &params).unwrap(),
-        );
+        let probs = reference::pure_probabilities(&reference::run_pure(&c, &params).unwrap());
         let sim = TensorNetworkSimulator::new();
         let mut rng = StdRng::seed_from_u64(23);
         let shots = 20_000;
@@ -137,12 +135,11 @@ mod tests {
         for s in sim.sample(&c, &params, shots, &mut rng).unwrap() {
             emp.record(s);
         }
-        for b in 0..8 {
+        for (b, &p) in probs.iter().enumerate() {
             assert!(
-                (emp.probability(b) - probs[b]).abs() < 0.015,
-                "outcome {b}: {} vs {}",
-                emp.probability(b),
-                probs[b]
+                (emp.probability(b) - p).abs() < 0.015,
+                "outcome {b}: {} vs {p}",
+                emp.probability(b)
             );
         }
     }

@@ -233,8 +233,12 @@ mod tests {
         let v = Tensor::basis_vector(1, 0);
         let r = ht.contract(&v);
         assert_eq!(r.indices(), &[0]);
-        assert!(r.get(&[0]).approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
-        assert!(r.get(&[1]).approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+        assert!(r
+            .get(&[0])
+            .approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+        assert!(r
+            .get(&[1])
+            .approx_eq(Complex::real(std::f64::consts::FRAC_1_SQRT_2), 1e-12));
     }
 
     #[test]
@@ -264,10 +268,7 @@ mod tests {
     fn full_trace_contraction() {
         // Tr(Z) = 0 by contracting Z's two indices against the identity
         // "cup" tensor.
-        let z = Tensor::new(
-            vec![0, 1],
-            vec![C_ONE, C_ZERO, C_ZERO, -C_ONE],
-        );
+        let z = Tensor::new(vec![0, 1], vec![C_ONE, C_ZERO, C_ZERO, -C_ONE]);
         let cup = Tensor::new(vec![0, 1], vec![C_ONE, C_ZERO, C_ZERO, C_ONE]);
         let r = z.contract(&cup);
         assert!(r.scalar().approx_zero(1e-15));

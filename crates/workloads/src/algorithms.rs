@@ -248,10 +248,9 @@ pub fn append_qft(c: &mut Circuit, qubits: &[usize], inverse: bool) {
 pub fn grover_circuit(n: usize, marked: &[usize]) -> Circuit {
     assert!(!marked.is_empty(), "need at least one marked state");
     let dim = 1usize << n;
-    let iterations = ((std::f64::consts::FRAC_PI_4)
-        * (dim as f64 / marked.len() as f64).sqrt())
-    .floor()
-    .max(1.0) as usize;
+    let iterations = ((std::f64::consts::FRAC_PI_4) * (dim as f64 / marked.len() as f64).sqrt())
+        .floor()
+        .max(1.0) as usize;
     grover_circuit_with_iterations(n, marked, iterations)
 }
 
@@ -281,7 +280,9 @@ pub fn grover_circuit_with_iterations(n: usize, marked: &[usize], iterations: us
 /// family of the paper's Figure 6.
 pub fn grover_sqrt_circuit(n: usize, target: usize) -> Circuit {
     let dim = 1usize << n;
-    let marked: Vec<usize> = (0..dim).filter(|&x| (x * x) % dim == target % dim).collect();
+    let marked: Vec<usize> = (0..dim)
+        .filter(|&x| (x * x) % dim == target % dim)
+        .collect();
     assert!(
         !marked.is_empty(),
         "{target} has no square root modulo {dim}"
@@ -414,10 +415,9 @@ mod tests {
             .unwrap();
         let dim = 1 << n;
         for x in 0..dim {
-            let want = qkc_math::Complex::cis(
-                2.0 * std::f64::consts::PI * (k * x) as f64 / dim as f64,
-            )
-            .scale(1.0 / (dim as f64).sqrt());
+            let want =
+                qkc_math::Complex::cis(2.0 * std::f64::consts::PI * (k * x) as f64 / dim as f64)
+                    .scale(1.0 / (dim as f64).sqrt());
             assert!(
                 state.amplitude(x).approx_eq(want, 1e-9),
                 "amp {x}: {} vs {want}",
@@ -445,10 +445,7 @@ mod tests {
             let probs = probabilities(&grover_circuit(n, &marked));
             let p = probs[marked[0]];
             // Success probability far above uniform 1/2^n.
-            assert!(
-                p > 0.75,
-                "n={n}: marked probability {p} should dominate"
-            );
+            assert!(p > 0.75, "n={n}: marked probability {p} should dominate");
         }
     }
 
@@ -468,10 +465,7 @@ mod tests {
         let rho = reference::run_density(&teleportation_circuit(theta), &ParamMap::new()).unwrap();
         // Qubit 2 marginal: P(|1>) = sin²(θ/2).
         let want = (theta / 2.0_f64).sin().powi(2);
-        let p1: f64 = (0..8)
-            .filter(|s| s & 1 == 1)
-            .map(|s| rho[(s, s)].re)
-            .sum();
+        let p1: f64 = (0..8).filter(|s| s & 1 == 1).map(|s| rho[(s, s)].re).sum();
         assert!((p1 - want).abs() < 1e-9, "{p1} vs {want}");
         // And coherence: the off-diagonal of qubit 2's reduced state must
         // match the pure Ry(θ) state (teleportation preserves phase).

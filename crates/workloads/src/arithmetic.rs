@@ -34,7 +34,7 @@ pub fn fourier_add_const(c: &mut Circuit, qubits: &[usize], a: u64) {
         // e^{2πiax/2^n}. Qubit i carries bit weight 2^{n-1-i}, so its phase
         // is 2π·a / 2^{i+1} — an exact no-op whenever 2^{i+1} divides a.
         let denom = 1u64 << (i + 1);
-        if a % denom == 0 {
+        if a.is_multiple_of(denom) {
             continue;
         }
         let theta = 2.0 * std::f64::consts::PI * a as f64 / denom as f64;
@@ -49,7 +49,7 @@ pub fn fourier_add_const_controlled(c: &mut Circuit, control: usize, qubits: &[u
     let a = a % (1u64 << n);
     for (i, &q) in qubits.iter().enumerate() {
         let denom = 1u64 << (i + 1);
-        if a % denom == 0 {
+        if a.is_multiple_of(denom) {
             continue;
         }
         let theta = 2.0 * std::f64::consts::PI * a as f64 / denom as f64;
@@ -141,11 +141,7 @@ mod tests {
                     c.push(op.clone());
                 }
                 let got = run_deterministic(&c);
-                assert_eq!(
-                    got as u64,
-                    (x + a) % 16,
-                    "{x} + {a} mod 16"
-                );
+                assert_eq!(got as u64, (x + a) % 16, "{x} + {a} mod 16");
             }
         }
     }

@@ -52,7 +52,10 @@ impl Graph {
     ///
     /// Panics if `n·d` is odd or `d >= n`.
     pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
-        assert!((n * d).is_multiple_of(2), "n·d must be even for a d-regular graph");
+        assert!(
+            (n * d).is_multiple_of(2),
+            "n·d must be even for a d-regular graph"
+        );
         assert!(d < n, "degree must be below vertex count");
         let mut rng = StdRng::seed_from_u64(seed);
         'attempt: for _ in 0..10_000 {

@@ -101,8 +101,8 @@ impl RandomCircuit {
                 in_cz[a] = true;
                 in_cz[b] = true;
             }
-            for q in 0..n {
-                if !in_cz[q] {
+            for (q, &busy) in in_cz.iter().enumerate() {
+                if !busy {
                     let g = match rng.gen_range(0..3) {
                         0 => Gate::T,
                         1 => Gate::SqrtX,

@@ -189,6 +189,108 @@ impl VqeIsing {
         -self.coupling_j * zz - self.field_h * x
     }
 
+    // ---- engine entry points ----
+
+    /// The diagonal `Σ_{⟨ij⟩} Z_i Z_j` observable over computational-basis
+    /// bitstrings.
+    pub fn zz_observable(&self) -> impl Fn(usize) -> f64 + Sync + '_ {
+        let n = self.num_qubits();
+        move |s| {
+            self.grid
+                .edges()
+                .iter()
+                .map(|&(a, b)| {
+                    let za = 1.0 - 2.0 * ((s >> (n - 1 - a)) & 1) as f64;
+                    let zb = 1.0 - 2.0 * ((s >> (n - 1 - b)) & 1) as f64;
+                    za * zb
+                })
+                .sum()
+        }
+    }
+
+    /// The diagonal `Σ_i Z_i` observable — applied to *X-basis* samples it
+    /// measures `Σ_i X_i`.
+    pub fn x_observable(&self) -> impl Fn(usize) -> f64 + Sync {
+        let n = self.num_qubits();
+        move |s| {
+            (0..n)
+                .map(|q| 1.0 - 2.0 * ((s >> (n - 1 - q)) & 1) as f64)
+                .sum()
+        }
+    }
+
+    /// The variational energy at `values`, evaluated through the engine in
+    /// both measurement settings (`Z` basis for the couplings, `X` basis
+    /// for the field). Both setting circuits compile at most once per
+    /// engine and are re-bound on every later call.
+    ///
+    /// # Errors
+    ///
+    /// Engine-level errors from the selected backend.
+    pub fn energy_via(
+        &self,
+        engine: &qkc_engine::Engine,
+        values: &[f64],
+        shots: usize,
+        seed: u64,
+    ) -> Result<f64, qkc_engine::EngineError> {
+        let params = self.params(values);
+        let zz =
+            engine.expectation(&self.circuit(), &params, &self.zz_observable(), shots, seed)?;
+        let x = engine.expectation(
+            &self.circuit_x_basis(),
+            &params,
+            &self.x_observable(),
+            shots,
+            seed.wrapping_add(1),
+        )?;
+        Ok(-self.coupling_j * zz - self.field_h * x)
+    }
+
+    /// Runs the full VQE loop through the engine with a batched
+    /// Nelder–Mead: each candidate batch becomes two parameter sweeps (one
+    /// per measurement setting) fanned out across worker threads.
+    ///
+    /// # Errors
+    ///
+    /// The first engine-level error encountered.
+    pub fn optimize_via(
+        &self,
+        engine: &qkc_engine::Engine,
+        optimizer: &qkc_optim::NelderMead,
+        x0: &[f64],
+        shots: usize,
+        seed: u64,
+    ) -> Result<qkc_optim::OptimResult, qkc_engine::EngineError> {
+        let z_circuit = self.circuit();
+        let x_circuit = self.circuit_x_basis();
+        let zz_obs = self.zz_observable();
+        let x_obs = self.x_observable();
+        let result = qkc_engine::minimize_variational_terms(
+            engine,
+            &[
+                qkc_engine::VariationalTerm {
+                    circuit: &z_circuit,
+                    observable: &zz_obs,
+                    weight: -self.coupling_j,
+                },
+                qkc_engine::VariationalTerm {
+                    circuit: &x_circuit,
+                    observable: &x_obs,
+                    weight: -self.field_h,
+                },
+            ],
+            |x| self.params(x),
+            x0,
+            &qkc_engine::VariationalConfig {
+                optimizer: optimizer.clone(),
+                shots,
+                seed,
+            },
+        )?;
+        Ok(result.optim)
+    }
+
     /// The exact ground-state energy by brute-force diagonalization of the
     /// diagonal+field Hamiltonian via dense enumeration (tiny grids only).
     pub fn ground_energy_brute_force(&self) -> f64 {
@@ -213,8 +315,9 @@ impl VqeIsing {
         }
         // Smallest eigenvalue by inverse power iteration on (cI - H).
         let shift = 2.0 * (self.grid.num_edges() as f64 + n as f64);
-        let mut v: Vec<qkc_math::Complex> =
-            (0..dim).map(|i| qkc_math::Complex::real(1.0 + (i as f64 * 0.7).sin())).collect();
+        let mut v: Vec<qkc_math::Complex> = (0..dim)
+            .map(|i| qkc_math::Complex::real(1.0 + (i as f64 * 0.7).sin()))
+            .collect();
         let mut m = CMatrix::zeros(dim, dim);
         for r in 0..dim {
             for c in 0..dim {
@@ -264,7 +367,9 @@ mod tests {
         let xp = sim.probabilities(&vqe.circuit_x_basis(), &params).unwrap();
         let exact = vqe.exact_energy(&zp, &xp);
         let mut rng = StdRng::seed_from_u64(13);
-        let zs = sim.sample(&vqe.circuit(), &params, 30_000, &mut rng).unwrap();
+        let zs = sim
+            .sample(&vqe.circuit(), &params, 30_000, &mut rng)
+            .unwrap();
         let xs = sim
             .sample(&vqe.circuit_x_basis(), &params, 30_000, &mut rng)
             .unwrap();
@@ -299,6 +404,49 @@ mod tests {
             "should approach the ground state: {} vs {ground}",
             result.value
         );
+    }
+
+    #[test]
+    fn engine_energy_matches_exact_energy() {
+        let vqe = VqeIsing::new(2, 2, 1);
+        let params = vqe.default_params();
+        let sim = StateVectorSimulator::new();
+        let zp = sim.probabilities(&vqe.circuit(), &params).unwrap();
+        let xp = sim.probabilities(&vqe.circuit_x_basis(), &params).unwrap();
+        let want = vqe.exact_energy(&zp, &xp);
+        let engine = qkc_engine::Engine::new();
+        let values: Vec<f64> = (0..vqe.num_params())
+            .map(|i| 0.4 + 0.13 * (i as f64).sin())
+            .collect();
+        let got = vqe.energy_via(&engine, &values, 0, 7).unwrap();
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn engine_vqe_loop_approaches_ground_state() {
+        let vqe = VqeIsing::new(2, 2, 1);
+        let ground = vqe.ground_energy_brute_force();
+        let engine = qkc_engine::Engine::new();
+        let start = vec![0.3; vqe.num_params()];
+        let initial = vqe.energy_via(&engine, &start, 0, 1).unwrap();
+        let result = vqe
+            .optimize_via(
+                &engine,
+                &qkc_optim::NelderMead::new().with_max_iterations(300),
+                &start,
+                0, // exact objective
+                1,
+            )
+            .unwrap();
+        assert!(result.value < initial, "optimizer should make progress");
+        assert!(result.value >= ground - 1e-6);
+        assert!(
+            result.value - ground < 1.5,
+            "should approach the ground state: {} vs {ground}",
+            result.value
+        );
+        // Two measurement settings, two compilations, zero recompiles.
+        assert!(engine.cache().misses() <= 2);
     }
 
     #[test]

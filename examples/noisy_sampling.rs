@@ -64,11 +64,7 @@ fn main() {
     ranked.sort_by(|&a, &b| exact[b].total_cmp(&exact[a]));
     println!("\noutcome   exact    gibbs");
     for &x in ranked.iter().take(6) {
-        println!(
-            "  |{x:04b}>  {:.4}   {:.4}",
-            exact[x],
-            emp.probability(x)
-        );
+        println!("  |{x:04b}>  {:.4}   {:.4}", exact[x], emp.probability(x));
     }
     let kl = empirical_kl(&emp, &exact);
     assert!(kl < 0.05, "Gibbs sampling should converge, KL = {kl}");

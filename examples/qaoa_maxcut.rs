@@ -1,15 +1,15 @@
-//! A full variational QAOA Max-Cut loop driven by the knowledge-compilation
-//! simulator: compile the circuit once, then let Nelder–Mead re-bind the
-//! angles every iteration and estimate the objective from Gibbs samples —
-//! the workload of the paper's Figures 8(a)/(c) and 9(a)/(c).
+//! A full variational QAOA Max-Cut loop driven end-to-end by the engine:
+//! the planner picks the knowledge-compilation backend for this
+//! wide-shallow sweep, the artifact cache compiles the circuit exactly
+//! once, and every optimizer evaluation re-binds the angles — candidate
+//! batches fanned out across worker threads. This is the workload of the
+//! paper's Figures 8(a)/(c) and 9(a)/(c).
 //!
 //! Run with: `cargo run --release --example qaoa_maxcut`
 
-use qkc::kc::KcSimulator;
-use qkc::knowledge::GibbsOptions;
+use qkc::engine::{Engine, VariationalConfig};
 use qkc::optim::NelderMead;
 use qkc::workloads::{Graph, QaoaMaxCut};
-use std::cell::RefCell;
 
 fn main() {
     let n = 8;
@@ -22,52 +22,45 @@ fn main() {
         qaoa.iterations()
     );
 
-    // Compile ONCE — the expensive step. Every optimizer iteration below
-    // only re-binds parameters on the same arithmetic circuit.
+    let engine = Engine::new();
+    let plan = engine.plan_with_hint(&qaoa.circuit(), qkc::engine::PlanHint::ParameterSweep);
+    println!("planned backend: {} — {}", plan.backend, plan.reason);
+
     let start = std::time::Instant::now();
-    let sim = KcSimulator::compile(&qaoa.circuit(), &Default::default());
-    println!(
-        "compiled: {} AC nodes in {:.2}s",
-        sim.metrics().ac_nodes,
-        start.elapsed().as_secs_f64()
-    );
+    let result = qaoa
+        .optimize_via(
+            &engine,
+            &VariationalConfig {
+                optimizer: NelderMead::new()
+                    .with_max_iterations(40)
+                    .with_initial_step(0.3),
+                shots: 1000,
+                seed: 1000,
+            },
+        )
+        .expect("engine run");
+    let elapsed = start.elapsed().as_secs_f64();
 
-    let evals = RefCell::new(0usize);
-    let seed = RefCell::new(1000u64);
-    let objective = |angles: &[f64]| -> f64 {
-        *evals.borrow_mut() += 1;
-        *seed.borrow_mut() += 1;
-        let params = qaoa.params(&angles[..1], &angles[1..]);
-        let bound = sim.bind(&params).expect("all symbols bound");
-        let mut sampler = bound.sampler(&GibbsOptions {
-            warmup: 300,
-            thin: 2,
-            seed: *seed.borrow(),
-            ..Default::default()
-        });
-        let samples = sampler.sample_outputs(1000, 2);
-        qaoa.objective_from_samples(&samples)
-    };
-
-    let result = NelderMead::new()
-        .with_max_iterations(40)
-        .with_initial_step(0.3)
-        .minimize(objective, &[0.5, 0.4]);
-
-    let best_cut = -result.value;
+    let best_cut = -result.optim.value;
     let max_cut = graph.max_cut_brute_force();
     println!(
         "optimized angles: gamma = {:.4}, beta = {:.4}",
-        result.x[0], result.x[1]
+        result.optim.x[0], result.optim.x[1]
     );
     println!(
-        "expected cut from samples: {best_cut:.3} (max cut = {max_cut}, \
-         ratio {:.3})",
+        "expected cut: {best_cut:.3} (max cut = {max_cut}, ratio {:.3})",
         best_cut / max_cut as f64
     );
     println!(
-        "{} objective evaluations, each re-binding the same compiled AC",
-        evals.borrow()
+        "{} engine evaluations in {elapsed:.2}s — compiled {} artifact(s), {} cache hits",
+        result.engine_evaluations,
+        engine.cache().misses(),
+        engine.cache().hits()
+    );
+    assert_eq!(
+        engine.cache().misses(),
+        1,
+        "the whole loop must compile exactly once"
     );
     assert!(
         best_cut > graph.num_edges() as f64 / 2.0,

@@ -36,11 +36,7 @@ fn main() {
         for outputs in 0..4usize {
             let amp = bound.amplitude(outputs, &[rv]);
             if amp.norm() > 1e-12 {
-                println!(
-                    "   {rv}    |{}>   |{}>   {amp}",
-                    outputs >> 1,
-                    outputs & 1
-                );
+                println!("   {rv}    |{}>   |{}>   {amp}", outputs >> 1, outputs & 1);
             }
         }
     }

@@ -1,14 +1,14 @@
-//! VQE for the 2-D transverse-field Ising model, with energies estimated
-//! from two measurement settings (computational and X basis) — the workload
-//! of the paper's Figures 8(b)/(d) and 9(b)/(d).
+//! VQE for the 2-D transverse-field Ising model through the engine: two
+//! measurement settings (computational and X basis) mean two compiled
+//! artifacts, both cached; every optimizer evaluation becomes two parallel
+//! parameter sweeps. This is the workload of the paper's Figures 8(b)/(d)
+//! and 9(b)/(d).
 //!
 //! Run with: `cargo run --release --example vqe_ising`
 
-use qkc::kc::KcSimulator;
-use qkc::knowledge::GibbsOptions;
+use qkc::engine::Engine;
 use qkc::optim::NelderMead;
 use qkc::workloads::VqeIsing;
-use std::cell::RefCell;
 
 fn main() {
     let vqe = VqeIsing::new(2, 2, 1);
@@ -19,56 +19,43 @@ fn main() {
         vqe.field_h
     );
 
-    // Two measurement settings, two compiled circuits (each compiled once).
-    let start = std::time::Instant::now();
-    let sim_z = KcSimulator::compile(&vqe.circuit(), &Default::default());
-    let sim_x = KcSimulator::compile(&vqe.circuit_x_basis(), &Default::default());
-    println!(
-        "compiled both settings: {} + {} AC nodes in {:.2}s",
-        sim_z.metrics().ac_nodes,
-        sim_x.metrics().ac_nodes,
-        start.elapsed().as_secs_f64()
-    );
-
-    let seed = RefCell::new(500u64);
-    let objective = |values: &[f64]| -> f64 {
-        *seed.borrow_mut() += 2;
-        let params = vqe.params(values);
-        let shots = 800;
-        let z_samples = sim_z
-            .bind(&params)
-            .expect("bound")
-            .sampler(&GibbsOptions {
-                warmup: 300,
-                thin: 2,
-                seed: *seed.borrow(),
-                ..Default::default()
-            })
-            .sample_outputs(shots, 2);
-        let x_samples = sim_x
-            .bind(&params)
-            .expect("bound")
-            .sampler(&GibbsOptions {
-                warmup: 300,
-                thin: 2,
-                seed: *seed.borrow() + 1,
-                ..Default::default()
-            })
-            .sample_outputs(shots, 2);
-        vqe.energy_from_samples(&z_samples, &x_samples)
-    };
+    let engine = Engine::new();
+    let plan = engine.plan_with_hint(&vqe.circuit(), qkc::engine::PlanHint::ParameterSweep);
+    println!("planned backend: {} — {}", plan.backend, plan.reason);
 
     let start_point = vec![0.4; vqe.num_params()];
-    let initial_energy = objective(&start_point);
-    let result = NelderMead::new()
-        .with_max_iterations(60)
-        .with_initial_step(0.4)
-        .minimize(objective, &start_point);
+    let initial_energy = vqe
+        .energy_via(&engine, &start_point, 800, 500)
+        .expect("engine run");
+
+    let start = std::time::Instant::now();
+    let result = vqe
+        .optimize_via(
+            &engine,
+            &NelderMead::new()
+                .with_max_iterations(60)
+                .with_initial_step(0.4),
+            &start_point,
+            800,
+            500,
+        )
+        .expect("engine run");
+    let elapsed = start.elapsed().as_secs_f64();
 
     let ground = vqe.ground_energy_brute_force();
-    println!("initial sampled energy : {initial_energy:+.4}");
+    println!("initial sampled energy  : {initial_energy:+.4}");
     println!("optimized sampled energy: {:+.4}", result.value);
     println!("exact ground energy     : {ground:+.4}");
+    println!(
+        "{} evaluations in {elapsed:.2}s — {} compiled artifact(s), {} cache hits",
+        result.evaluations,
+        engine.cache().misses(),
+        engine.cache().hits()
+    );
+    assert!(
+        engine.cache().misses() <= 2,
+        "two measurement settings, at most two compilations"
+    );
     assert!(
         result.value < initial_energy + 1e-9,
         "optimization should not regress"

@@ -4,6 +4,8 @@
 //!
 //! This facade crate re-exports the workspace's public API:
 //!
+//! * [`engine`] — the unified entry point: backend dispatch, the
+//!   compile-once artifact cache, and the parallel sweep executor;
 //! * [`circuit`] — circuit IR (gates, noise, parameters, oracles);
 //! * [`kc`] — the compiled simulator ([`kc::KcSimulator`]);
 //! * [`statevector`], [`densitymatrix`], [`tensornet`] — baselines;
@@ -31,6 +33,7 @@ pub use qkc_circuit as circuit;
 pub use qkc_cnf as cnf;
 pub use qkc_core as kc;
 pub use qkc_densitymatrix as densitymatrix;
+pub use qkc_engine as engine;
 pub use qkc_knowledge as knowledge;
 pub use qkc_math as math;
 pub use qkc_optim as optim;

@@ -20,10 +20,7 @@ fn kc_probabilities(circuit: &qkc::circuit::Circuit) -> Vec<f64> {
 #[test]
 fn deutsch_jozsa_constant_vs_balanced_via_kc() {
     let n = 3;
-    let constant = kc_probabilities(&deutsch_jozsa_circuit(
-        n,
-        DjOracle::Constant { bit: true },
-    ));
+    let constant = kc_probabilities(&deutsch_jozsa_circuit(n, DjOracle::Constant { bit: true }));
     // Input register all-zeros with certainty (ancilla traced out).
     let p0: f64 = constant[0] + constant[1];
     assert!((p0 - 1.0).abs() < 1e-9);

@@ -86,7 +86,10 @@ fn random_circuit_agrees_everywhere() {
 
 #[test]
 fn hidden_shift_agrees_everywhere() {
-    check_all_pure(&algorithms::hidden_shift_circuit(2, 0b1001), &ParamMap::new());
+    check_all_pure(
+        &algorithms::hidden_shift_circuit(2, 0b1001),
+        &ParamMap::new(),
+    );
 }
 
 #[test]
@@ -176,7 +179,9 @@ fn trajectory_averages_agree_with_kc_probabilities() {
     let shots = 30_000;
     let mut acc = [0.0; 4];
     for _ in 0..shots {
-        let t = sim.run_trajectory(&c, &params, &mut rng).expect("trajectory");
+        let t = sim
+            .run_trajectory(&c, &params, &mut rng)
+            .expect("trajectory");
         for (i, p) in t.state.probabilities().iter().enumerate() {
             acc[i] += p / shots as f64;
         }

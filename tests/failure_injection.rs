@@ -40,10 +40,7 @@ fn pure_state_apis_reject_noisy_circuits() {
     let mut c = Circuit::new(1);
     c.h(0).depolarize(0, 0.1);
     let params = ParamMap::new();
-    assert!(matches!(
-        c.unitary(&params),
-        Err(CircuitError::NotUnitary)
-    ));
+    assert!(matches!(c.unitary(&params), Err(CircuitError::NotUnitary)));
     assert!(StateVectorSimulator::new().run_pure(&c, &params).is_err());
     assert!(TensorNetwork::from_circuit(&c, &params).is_err());
 }
@@ -57,7 +54,9 @@ fn malformed_oracles_are_rejected() {
     // Out-of-range output.
     assert!(PermutationOp::new("oob", vec![0, 9]).is_err());
     // Error messages are self-describing.
-    let msg = PermutationOp::new("dup", vec![0, 0]).unwrap_err().to_string();
+    let msg = PermutationOp::new("dup", vec![0, 0])
+        .unwrap_err()
+        .to_string();
     assert!(msg.contains("bijection"));
 }
 
@@ -117,7 +116,11 @@ fn probability_queries_survive_extreme_noise() {
 #[test]
 fn zero_strength_noise_equals_noise_free() {
     let mut noisy = Circuit::new(2);
-    noisy.h(0).depolarize(0, 0.0).cnot(0, 1).amplitude_damp(1, 0.0);
+    noisy
+        .h(0)
+        .depolarize(0, 0.0)
+        .cnot(0, 1)
+        .amplitude_damp(1, 0.0);
     let mut pure = Circuit::new(2);
     pure.h(0).cnot(0, 1);
     let params = ParamMap::new();

@@ -38,8 +38,7 @@ fn qaoa_gibbs_objective_tracks_exact_objective() {
     let sv = StateVectorSimulator::new();
     for (g, b) in [(0.6, 0.4), (1.1, 0.25)] {
         let params = qaoa.params(&[g], &[b]);
-        let exact =
-            qaoa.exact_expected_cut(&sv.probabilities(&qaoa.circuit(), &params).unwrap());
+        let exact = qaoa.exact_expected_cut(&sv.probabilities(&qaoa.circuit(), &params).unwrap());
         let bound = sim.bind(&params).expect("bind");
         let mut sampler = bound.sampler(&GibbsOptions {
             warmup: 400,
