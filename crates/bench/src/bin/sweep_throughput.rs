@@ -2,13 +2,24 @@
 //! parameterized QAOA sweep — the perf baseline for the engine's
 //! compile-once-bind-many contract.
 //!
-//! Three quantities per size:
-//! * `bind/s` — raw parameter re-binds against the cached artifact (the
-//!   step a variational iteration pays before its queries);
-//! * `sweep/s` — full engine sweep points per second (bind + exact
-//!   expectation of the cut observable);
+//! Per size and thread count:
+//! * `bind/s` — raw scalar parameter re-binds against the cached artifact
+//!   (the step a variational iteration pays before its queries);
+//! * `bbind/s` — the same re-binds through `bind_batch` in lanes of
+//!   `QKC_BATCH` (default: the engine's `DEFAULT_BATCH`, 16) points;
+//! * `eval/s` — scalar bindings evaluated per second: bind + exact
+//!   expectation of the cut observable, one AC traversal per basis state
+//!   per point;
+//! * `beval/s` — the batched path: `bind_batch` + batched expectations,
+//!   one AC traversal per basis state per *lane of k points*;
+//! * `batchx` — `beval/s` over `eval/s`: the batched-kernel speedup;
+//! * `sweep/s` — full engine sweep points per second;
 //! * `speedup` — cold (compile + first point) time over warm per-point
 //!   time: the cache-hit advantage every iteration after the first enjoys.
+//!
+//! Also appends one machine-readable datapoint to `BENCH_sweep.json`
+//! (override the path with `QKC_BENCH_JSON`) so the perf trajectory
+//! accumulates across runs/commits; CI uploads it as an artifact.
 //!
 //! Run with: `cargo run --release --bin sweep_throughput`
 //! (`QKC_SCALE=paper` for the larger sweep.)
@@ -17,18 +28,43 @@ use qkc_bench::{fmt_secs, time, ResultTable, Scale};
 use qkc_circuit::ParamMap;
 use qkc_engine::{Engine, EngineOptions, SweepSpec};
 use qkc_workloads::{Graph, QaoaMaxCut};
+use std::io::Write;
+
+/// One measured row, for both the table and the JSON datapoint.
+struct Row {
+    qubits: usize,
+    threads: usize,
+    compile_secs: f64,
+    scalar_binds_per_sec: f64,
+    batched_binds_per_sec: f64,
+    scalar_evals_per_sec: f64,
+    batched_evals_per_sec: f64,
+    sweep_points_per_sec: f64,
+    cache_speedup: f64,
+}
+
+fn batch_width() -> usize {
+    std::env::var("QKC_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k: &usize| k >= 1)
+        .unwrap_or(qkc_engine::DEFAULT_BATCH)
+}
 
 fn main() {
     let scale = Scale::from_env();
     let sizes: Vec<usize> = scale.pick(vec![6, 8, 10], vec![8, 12, 16]);
     let bindings = scale.pick(64, 256);
+    let k = batch_width();
 
     let mut table = ResultTable::new(
-        "Engine sweep throughput (QAOA p=1, 3-regular)",
+        format!("Engine sweep throughput (QAOA p=1, 3-regular, batch k={k})"),
         &[
-            "qubits", "compile", "bind/s", "sweep", "sweep/s", "speedup", "threads",
+            "qubits", "compile", "bind/s", "bbind/s", "eval/s", "beval/s", "batchx", "sweep/s",
+            "speedup", "threads",
         ],
     );
+    let mut rows: Vec<Row> = Vec::new();
 
     for n in &sizes {
         let n = *n;
@@ -44,22 +80,70 @@ fn main() {
             .collect();
 
         for threads in [1usize, 8] {
-            let engine = Engine::with_options(EngineOptions::default().with_threads(threads));
+            let engine =
+                Engine::with_options(EngineOptions::default().with_threads(threads).with_batch(k));
             // Cold: the first expectation pays the structural compile.
             let (_, cold) = time(|| {
                 engine
                     .expectation(&circuit, &params[0], &obs, 0, 1)
                     .expect("cold evaluation")
             });
-            // Raw re-bind rate against the cached artifact.
             let artifact = engine
                 .cache()
                 .get_or_compile(&circuit, &engine.options().kc_options);
-            let (_, bind_secs) = time(|| {
-                for p in &params {
-                    artifact.bind(p).expect("bind");
-                }
-            });
+            // Scalar-vs-batched comparisons interleave their repeats and
+            // keep the best time of each, so host noise (throttling, noisy
+            // neighbors) cannot skew one side of the ratio.
+            let repeats = scale.pick(3, 1);
+            let mut bind_secs = f64::INFINITY;
+            let mut bbind_secs = f64::INFINITY;
+            let mut eval_secs = f64::INFINITY;
+            let mut beval_secs = f64::INFINITY;
+            for _ in 0..repeats {
+                // Raw re-bind rate: scalar, then lanes of k via bind_batch.
+                let (_, t) = time(|| {
+                    for p in &params {
+                        artifact.bind(p).expect("bind");
+                    }
+                });
+                bind_secs = bind_secs.min(t);
+                let (_, t) = time(|| {
+                    for lane in params.chunks(k) {
+                        artifact.bind_batch(lane).expect("bind_batch");
+                    }
+                });
+                bbind_secs = bbind_secs.min(t);
+                // Full per-binding work: bind + exact expectation of the
+                // cut observable, scalar vs batched.
+                let (scalar_total, t) = time(|| {
+                    let mut total = 0.0;
+                    for p in &params {
+                        let bound = artifact.bind(p).expect("bind");
+                        total += bound
+                            .wavefunction()
+                            .iter()
+                            .map(|a| a.norm_sqr())
+                            .enumerate()
+                            .map(|(bits, pr)| pr * obs(bits))
+                            .sum::<f64>();
+                    }
+                    total
+                });
+                eval_secs = eval_secs.min(t);
+                let (batched_total, t) = time(|| {
+                    let mut total = 0.0;
+                    for lane in params.chunks(k) {
+                        let bound = artifact.bind_batch(lane).expect("bind_batch");
+                        total += bound.expectations(&obs).iter().sum::<f64>();
+                    }
+                    total
+                });
+                beval_secs = beval_secs.min(t);
+                assert!(
+                    (scalar_total - batched_total).abs() < 1e-9,
+                    "batched expectations diverged from scalar"
+                );
+            }
             // Warm sweep: every point re-binds and takes an expectation.
             let (points, sweep_secs) = time(|| {
                 engine
@@ -73,21 +157,87 @@ fn main() {
             assert_eq!(points.len(), bindings);
             assert_eq!(engine.cache().misses(), 1, "sweep must not recompile");
             let per_point = sweep_secs / bindings as f64;
+            let row = Row {
+                qubits: n,
+                threads,
+                compile_secs: cold,
+                scalar_binds_per_sec: bindings as f64 / bind_secs,
+                batched_binds_per_sec: bindings as f64 / bbind_secs,
+                scalar_evals_per_sec: bindings as f64 / eval_secs,
+                batched_evals_per_sec: bindings as f64 / beval_secs,
+                sweep_points_per_sec: bindings as f64 / sweep_secs,
+                cache_speedup: cold / per_point,
+            };
             table.row(vec![
-                n.to_string(),
-                fmt_secs(cold),
-                format!("{:.0}", bindings as f64 / bind_secs),
-                fmt_secs(sweep_secs),
-                format!("{:.0}", bindings as f64 / sweep_secs),
-                format!("{:.0}x", cold / per_point),
-                threads.to_string(),
+                row.qubits.to_string(),
+                fmt_secs(row.compile_secs),
+                format!("{:.0}", row.scalar_binds_per_sec),
+                format!("{:.0}", row.batched_binds_per_sec),
+                format!("{:.0}", row.scalar_evals_per_sec),
+                format!("{:.0}", row.batched_evals_per_sec),
+                format!(
+                    "{:.2}x",
+                    row.batched_evals_per_sec / row.scalar_evals_per_sec
+                ),
+                format!("{:.0}", row.sweep_points_per_sec),
+                format!("{:.0}x", row.cache_speedup),
+                row.threads.to_string(),
             ]);
+            rows.push(row);
         }
     }
     table.print();
     println!(
         "\nspeedup = cold (compile + first query) time over warm per-point \
-         time; bind/s is the raw parameter-rebinding rate the variational \
-         loop pays per iteration."
+         time; bind/s is the raw parameter-rebinding rate and eval/s the \
+         bind+expectation rate a variational iteration pays per point — \
+         the `b` variants route lanes of k={k} points through one \
+         arithmetic-circuit traversal (bit-identical results)."
     );
+
+    if let Err(e) = write_json(&rows, k) {
+        eprintln!("warning: could not write BENCH_sweep.json: {e}");
+    }
+}
+
+/// Appends this run's datapoint to the JSON-lines trajectory file: one
+/// self-contained JSON object per run, newest last.
+fn write_json(rows: &[Row], k: usize) -> std::io::Result<()> {
+    let path = std::env::var("QKC_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut row_json: Vec<String> = Vec::new();
+    for r in rows {
+        row_json.push(format!(
+            "{{\"qubits\":{},\"threads\":{},\"compile_secs\":{:.6},\
+             \"scalar_binds_per_sec\":{:.1},\"batched_binds_per_sec\":{:.1},\
+             \"scalar_evals_per_sec\":{:.1},\"batched_evals_per_sec\":{:.1},\
+             \"batch_speedup\":{:.3},\"sweep_points_per_sec\":{:.1},\
+             \"cache_speedup\":{:.1}}}",
+            r.qubits,
+            r.threads,
+            r.compile_secs,
+            r.scalar_binds_per_sec,
+            r.batched_binds_per_sec,
+            r.scalar_evals_per_sec,
+            r.batched_evals_per_sec,
+            r.batched_evals_per_sec / r.scalar_evals_per_sec,
+            r.sweep_points_per_sec,
+            r.cache_speedup,
+        ));
+    }
+    let datapoint = format!(
+        "{{\"bench\":\"sweep_throughput\",\"unix_time\":{unix_time},\
+         \"batch_width\":{k},\"rows\":[{}]}}\n",
+        row_json.join(",")
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    file.write_all(datapoint.as_bytes())?;
+    println!("\nappended datapoint to {path}");
+    Ok(())
 }

@@ -8,6 +8,7 @@ use crate::pipeline::{KcSimulator, ValueState};
 use qkc_circuit::{ParamMap, UnboundParam};
 use qkc_knowledge::{evaluate, AcWeights, GibbsOptions, GibbsSampler, QueryVar};
 use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO};
+use std::cell::RefCell;
 
 impl KcSimulator {
     /// Binds parameter values, producing a query handle.
@@ -35,6 +36,7 @@ impl KcSimulator {
             sim: self,
             weights,
             global,
+            scratch: RefCell::new(None),
         })
     }
 }
@@ -45,6 +47,13 @@ pub struct BoundKc<'a> {
     sim: &'a KcSimulator,
     weights: AcWeights,
     global: Complex,
+    /// One reusable evidence buffer, cloned from the bound weights on the
+    /// first query: amplitude queries write query-variable evidence here
+    /// and restore it afterwards, instead of cloning the full weight
+    /// vector per query (`output_probabilities` and `density_matrix`
+    /// issue O(4ⁿ) of them). Lazy so query-free binds (raw sweep
+    /// re-binding) pay nothing.
+    scratch: RefCell<Option<AcWeights>>,
 }
 
 impl<'a> BoundKc<'a> {
@@ -62,14 +71,31 @@ impl<'a> BoundKc<'a> {
     pub fn amplitude_assignment(&self, values: &[usize]) -> Complex {
         let query = self.sim.query();
         assert_eq!(values.len(), query.len(), "query arity mismatch");
-        let mut w = self.weights.clone();
+        let mut guard = self.scratch.borrow_mut();
+        let w = guard.get_or_insert_with(|| self.weights.clone());
+        let mut possible = true;
         for (spec, &value) in query.iter().zip(values) {
             assert!(value < spec.domain, "value {value} out of domain");
-            if !set_evidence(&mut w, spec, value) {
-                return C_ZERO;
+            if !set_evidence(w, spec, value) {
+                possible = false;
+                break;
             }
         }
-        self.global * evaluate(self.sim.nnf(), &w)
+        let amp = if possible {
+            self.global * evaluate(self.sim.nnf(), w)
+        } else {
+            C_ZERO
+        };
+        self.restore_scratch(w);
+        amp
+    }
+
+    /// Restores the touched query variables of the scratch buffer from the
+    /// pristine bound weights.
+    fn restore_scratch(&self, w: &mut AcWeights) {
+        for &v in self.sim.query_lit_vars() {
+            w.set(v, self.weights.get(v as i32), self.weights.get(-(v as i32)));
+        }
     }
 
     /// The amplitude of output bitstring `outputs` (qubit 0 = most
@@ -139,22 +165,7 @@ impl<'a> BoundKc<'a> {
     fn for_each_rv(&self, mut f: impl FnMut(&Self, &[usize])) {
         let rv_specs = &self.sim.query()[self.sim.num_outputs()..];
         let domains: Vec<usize> = rv_specs.iter().map(|s| s.domain).collect();
-        let mut rvs = vec![0usize; domains.len()];
-        loop {
-            f(self, &rvs);
-            let mut i = 0;
-            loop {
-                if i == domains.len() {
-                    return;
-                }
-                rvs[i] += 1;
-                if rvs[i] < domains[i] {
-                    break;
-                }
-                rvs[i] = 0;
-                i += 1;
-            }
-        }
+        for_each_rv_assignment(&domains, |rvs| f(self, rvs));
     }
 
     /// Runs one upward+downward pass with evidence set to `(outputs, rvs)`
@@ -168,11 +179,14 @@ impl<'a> BoundKc<'a> {
         let mut values: Vec<usize> = (0..n).map(|i| (outputs >> (n - 1 - i)) & 1).collect();
         values.extend_from_slice(rvs);
         let query = self.sim.query();
-        let mut w = self.weights.clone();
+        let mut guard = self.scratch.borrow_mut();
+        let w = guard.get_or_insert_with(|| self.weights.clone());
         for (spec, &value) in query.iter().zip(&values) {
-            set_evidence(&mut w, spec, value);
+            set_evidence(w, spec, value);
         }
-        qkc_knowledge::evaluate_with_differentials(self.sim.nnf(), &w)
+        let diffs = qkc_knowledge::evaluate_with_differentials(self.sim.nnf(), w);
+        self.restore_scratch(w);
+        diffs
     }
 
     /// The global factor from unit-resolved parameters.
@@ -215,6 +229,28 @@ impl<'a> BoundKc<'a> {
             sampler,
             value_maps,
             num_outputs: self.sim.num_outputs(),
+        }
+    }
+}
+
+/// Calls `f` with every assignment of the random-event domains, in
+/// odometer order (first domain fastest) — the enumeration order both the
+/// scalar and batched probability reconstructions share.
+pub(crate) fn for_each_rv_assignment(domains: &[usize], mut f: impl FnMut(&[usize])) {
+    let mut rvs = vec![0usize; domains.len()];
+    loop {
+        f(&rvs);
+        let mut i = 0;
+        loop {
+            if i == domains.len() {
+                return;
+            }
+            rvs[i] += 1;
+            if rvs[i] < domains[i] {
+                break;
+            }
+            rvs[i] = 0;
+            i += 1;
         }
     }
 }

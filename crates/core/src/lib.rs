@@ -32,10 +32,12 @@
 //! }
 //! ```
 
+mod batch;
 mod bound;
 mod diagnose;
 mod pipeline;
 
+pub use batch::BoundKcBatch;
 pub use bound::{BoundKc, KcSampler};
 pub use diagnose::{Explanation, Sensitivity};
 pub use pipeline::{KcOptions, KcSimulator, PipelineMetrics, QuerySpec, ValueState};

@@ -139,6 +139,10 @@ pub struct KcSimulator {
     fixed: HashMap<u32, bool>,
     nnf: Nnf,
     query: Vec<QuerySpec>,
+    /// The CNF variables carrying free query-value literals — the only
+    /// variables evidence ever touches (precomputed for the bind hot
+    /// path's evidence save/restore).
+    query_lit_vars: Vec<u32>,
     metrics: PipelineMetrics,
 }
 
@@ -227,12 +231,21 @@ impl KcSimulator {
         metrics.ac_size_bytes = nnf.size_bytes();
         metrics.compile_seconds = start.elapsed().as_secs_f64();
 
+        let query_lit_vars = query
+            .iter()
+            .flat_map(|spec| {
+                spec.free_values()
+                    .into_iter()
+                    .map(|(_, l)| l.unsigned_abs())
+            })
+            .collect();
         Ok(Self {
             bn,
             encoding,
             fixed,
             nnf,
             query,
+            query_lit_vars,
             metrics,
         })
     }
@@ -310,5 +323,9 @@ impl KcSimulator {
 
     pub(crate) fn fixed(&self) -> &HashMap<u32, bool> {
         &self.fixed
+    }
+
+    pub(crate) fn query_lit_vars(&self) -> &[u32] {
+        &self.query_lit_vars
     }
 }

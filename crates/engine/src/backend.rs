@@ -126,6 +126,56 @@ pub trait Backend: Send + Sync {
         shots: usize,
         seed: u64,
     ) -> Result<Vec<usize>, EngineError>;
+
+    /// The exact measurement distribution for a batch of parameter
+    /// bindings: `result[i]` equals `probabilities(circuit, &params[i])`
+    /// **bit-for-bit** — batching is a throughput contract, never a
+    /// numerics contract.
+    ///
+    /// The default runs the bindings sequentially; compile-once backends
+    /// override it to amortize one artifact traversal over the whole batch
+    /// ([`KcBackend`] binds all points at once and updates one weight lane
+    /// per point in each arithmetic-circuit pass).
+    ///
+    /// # Errors
+    ///
+    /// The first point-level error in input order.
+    fn probabilities_batch(
+        &self,
+        circuit: &Circuit,
+        params: &[ParamMap],
+    ) -> Result<Vec<Vec<f64>>, EngineError> {
+        params
+            .iter()
+            .map(|p| self.probabilities(circuit, p))
+            .collect()
+    }
+
+    /// The exact expectation of a diagonal observable for a batch of
+    /// bindings, riding on [`Backend::probabilities_batch`]. Like it,
+    /// `result[i]` is bit-for-bit the single-point expectation.
+    ///
+    /// # Errors
+    ///
+    /// The first point-level error in input order.
+    fn expectation_batch(
+        &self,
+        circuit: &Circuit,
+        params: &[ParamMap],
+        observable: &(dyn Fn(usize) -> f64 + Sync),
+    ) -> Result<Vec<f64>, EngineError> {
+        Ok(self
+            .probabilities_batch(circuit, params)?
+            .iter()
+            .map(|probs| {
+                probs
+                    .iter()
+                    .enumerate()
+                    .map(|(bits, &p)| p * observable(bits))
+                    .sum()
+            })
+            .collect())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -172,6 +222,25 @@ impl KcBackend {
         self
     }
 
+    /// Checks the exact-enumeration budget: `Ok` when the joint noise
+    /// branches of `circuit` fit, the `Unsupported` error callers fall
+    /// back to sampling on otherwise. One definition keeps the scalar and
+    /// batched exact paths agreeing on what is feasible.
+    fn ensure_exact_budget(&self, circuit: &Circuit) -> Result<(), EngineError> {
+        let log2_branches = Self::log2_noise_branches(circuit);
+        if log2_branches > self.max_exact_log2_branches {
+            return Err(EngineError::Unsupported {
+                backend: self.kind(),
+                query: format!(
+                    "exact probabilities with 2^{log2_branches:.0} noise branches \
+                     (budget 2^{:.0}); use sampling instead",
+                    self.max_exact_log2_branches
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// `log2` of the joint noise/measurement branch count — the cheap
     /// O(ops) piece of [`CircuitStats`](crate::CircuitStats), computed
     /// directly so per-point hot-path calls skip the treewidth proxy.
@@ -212,17 +281,30 @@ impl Backend for KcBackend {
         if artifact.num_random_events() == 0 {
             return Ok(bound.wavefunction().iter().map(|a| a.norm_sqr()).collect());
         }
-        let log2_branches = Self::log2_noise_branches(circuit);
-        if log2_branches > self.max_exact_log2_branches {
-            return Err(EngineError::Unsupported {
-                backend: self.kind(),
-                query: format!(
-                    "exact probabilities with 2^{log2_branches:.0} noise branches \
-                     (budget 2^{:.0}); use sampling instead",
-                    self.max_exact_log2_branches
-                ),
-            });
+        self.ensure_exact_budget(circuit)?;
+        Ok(bound.output_probabilities())
+    }
+
+    fn probabilities_batch(
+        &self,
+        circuit: &Circuit,
+        params: &[ParamMap],
+    ) -> Result<Vec<Vec<f64>>, EngineError> {
+        if params.is_empty() {
+            return Ok(Vec::new());
         }
+        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let bound = artifact
+            .bind_batch(params)
+            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+        if artifact.num_random_events() == 0 {
+            return Ok(bound
+                .wavefunctions()
+                .into_iter()
+                .map(|wf| wf.iter().map(|a| a.norm_sqr()).collect())
+                .collect());
+        }
+        self.ensure_exact_budget(circuit)?;
         Ok(bound.output_probabilities())
     }
 
@@ -250,7 +332,7 @@ impl Backend for KcBackend {
                     .map(|a| a.norm_sqr())
                     .collect::<Vec<f64>>(),
             )
-        } else if Self::log2_noise_branches(circuit) <= self.max_exact_log2_branches {
+        } else if self.ensure_exact_budget(circuit).is_ok() {
             Some(bound.output_probabilities())
         } else {
             None
@@ -526,6 +608,60 @@ mod tests {
             let p = b.probabilities(&bell(), &ParamMap::new()).unwrap();
             assert!((p[0] - 0.5).abs() < 1e-9, "{}: {p:?}", b.kind());
             assert!((p[3] - 0.5).abs() < 1e-9, "{}: {p:?}", b.kind());
+        }
+    }
+
+    #[test]
+    fn batched_probabilities_match_scalar_bit_for_bit() {
+        use qkc_circuit::Param;
+        let mut pure = Circuit::new(2);
+        pure.rx(0, Param::symbol("t")).cnot(0, 1);
+        let mut noisy = pure.clone();
+        noisy.depolarize(0, 0.05);
+        let params: Vec<ParamMap> = (0..5)
+            .map(|i| ParamMap::from_pairs([("t", 0.2 + 0.4 * i as f64)]))
+            .collect();
+        let cache = Arc::new(ArtifactCache::new());
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(KcBackend::new(cache, KcOptions::default())),
+            Box::new(StateVectorBackend::new(1)),
+            Box::new(DensityMatrixBackend::new()),
+            Box::new(TensorNetworkBackend::new(1)),
+        ];
+        for b in &backends {
+            for circuit in [&pure, &noisy] {
+                let scalar: Result<Vec<Vec<f64>>, EngineError> =
+                    params.iter().map(|p| b.probabilities(circuit, p)).collect();
+                let batched = b.probabilities_batch(circuit, &params);
+                match (scalar, batched) {
+                    (Ok(scalar), Ok(batched)) => {
+                        for (i, (s, g)) in scalar.iter().zip(&batched).enumerate() {
+                            for (x, (&sv, &gv)) in s.iter().zip(g).enumerate() {
+                                assert_eq!(
+                                    sv.to_bits(),
+                                    gv.to_bits(),
+                                    "{} point {i} P({x})",
+                                    b.kind()
+                                );
+                            }
+                        }
+                    }
+                    (Err(_), Err(_)) => {} // both unsupported, consistently
+                    other => panic!("{}: support mismatch {other:?}", b.kind()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_batch_rides_probabilities() {
+        let cache = Arc::new(ArtifactCache::new());
+        let kc = KcBackend::new(cache, KcOptions::default());
+        let obs = |bits: usize| if bits == 3 { 1.0 } else { 0.0 };
+        let params = vec![ParamMap::new(); 3];
+        let got = kc.expectation_batch(&bell(), &params, &obs).unwrap();
+        for v in got {
+            assert!((v - 0.5).abs() < 1e-9);
         }
     }
 

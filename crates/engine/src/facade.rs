@@ -21,6 +21,10 @@ pub struct EngineOptions {
     pub kc_options: KcOptions,
     /// Worker threads for sweeps and the dense kernels.
     pub threads: usize,
+    /// Sweep batch width: points per batched backend call inside each
+    /// worker (see [`SweepExecutor::with_batch`]). Results are identical
+    /// for every width.
+    pub batch: usize,
     /// Default workload hint used by queries that do not state one.
     pub hint: PlanHint,
 }
@@ -34,6 +38,7 @@ impl Default for EngineOptions {
                 .map(|n| n.get())
                 .unwrap_or(1)
                 .min(16),
+            batch: crate::sweep::DEFAULT_BATCH,
             hint: PlanHint::default(),
         }
     }
@@ -49,6 +54,12 @@ impl EngineOptions {
     /// Sets the worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the sweep batch width (1 disables batched evaluation).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
         self
     }
 
@@ -214,7 +225,9 @@ impl Engine {
     ) -> Result<Vec<SweepPoint>, EngineError> {
         let plan = self.plan_with_hint(circuit, PlanHint::ParameterSweep);
         let backend = self.backend(plan.backend);
-        SweepExecutor::new(self.options.threads).run(backend.as_ref(), circuit, params, spec)
+        SweepExecutor::new(self.options.threads)
+            .with_batch(self.options.batch)
+            .run(backend.as_ref(), circuit, params, spec)
     }
 }
 

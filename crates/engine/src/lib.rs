@@ -16,9 +16,13 @@
 //!   [structural hash](qkc_circuit::Circuit::structural_hash), so a whole
 //!   VQE/QAOA sweep compiles exactly once;
 //! * [`SweepExecutor`] — fans a batch of [`ParamMap`](qkc_circuit::ParamMap)s
-//!   out across worker threads, every thread re-binding against the shared
-//!   compiled artifact, with per-point deterministic seeding (results are
-//!   identical for any thread count);
+//!   out across worker threads and, within each worker, through the
+//!   backend's batched evaluation path
+//!   ([`Backend::probabilities_batch`] / [`Backend::expectation_batch`]):
+//!   the KC backend binds lanes of `k` points at once and amortizes one
+//!   arithmetic-circuit traversal over all of them. Per-point
+//!   deterministic seeding and bit-for-bit batched kernels keep results
+//!   identical for any thread count and any batch width;
 //! * [`Planner`] — picks a backend from circuit statistics (qubit count,
 //!   noise events, a treewidth proxy) with a user override;
 //! * [`Engine`] — the facade tying the four together, plus a batched
@@ -63,7 +67,7 @@ pub use cache::ArtifactCache;
 pub use facade::{Engine, EngineOptions};
 pub use planner::{Plan, PlanHint, Planner};
 pub use stats::CircuitStats;
-pub use sweep::{SweepExecutor, SweepPoint, SweepSpec};
+pub use sweep::{SweepExecutor, SweepPoint, SweepSpec, DEFAULT_BATCH};
 pub use variational::{
     minimize_variational, minimize_variational_terms, VariationalConfig, VariationalResult,
     VariationalTerm,

@@ -73,21 +73,33 @@ pub struct SweepPoint {
     pub samples: Vec<usize>,
 }
 
-/// Fans a batch of parameter bindings out across worker threads.
+/// Fans a batch of parameter bindings out across worker threads, and
+/// within each worker through the backend's batched evaluation path.
 ///
 /// Every worker queries the same shared [`Backend`]; on the
 /// knowledge-compilation backend that means one structural compilation
 /// (through the [`ArtifactCache`](crate::ArtifactCache)) and one cheap
 /// re-bind per point — the paper's compile-once-bind-many economics applied
-/// across both iterations *and* cores.
+/// across both iterations *and* cores. Each worker additionally chunks its
+/// slice of the point space into lanes of [`SweepExecutor::batch`] points
+/// and evaluates exact expectations through
+/// [`Backend::expectation_batch`], amortizing one arithmetic-circuit
+/// traversal over the whole lane.
 ///
 /// Work is partitioned by point index and every point's randomness derives
-/// only from `(spec.seed, index)`, so the output is byte-identical for any
-/// thread count.
+/// only from `(spec.seed, index)`; batched evaluation is bit-for-bit equal
+/// to scalar evaluation. The output is therefore byte-identical for any
+/// thread count *and* any batch width.
 #[derive(Debug, Clone)]
 pub struct SweepExecutor {
     threads: usize,
+    batch: usize,
 }
+
+/// The default batch width: wide enough to amortize per-node dispatch in
+/// the batched kernels (and one of the lane counts they monomorphize
+/// for), small enough to keep lane buffers cache-resident.
+pub const DEFAULT_BATCH: usize = 16;
 
 impl Default for SweepExecutor {
     fn default() -> Self {
@@ -105,16 +117,31 @@ fn available_threads() -> usize {
 }
 
 impl SweepExecutor {
-    /// An executor with an explicit worker-thread count.
+    /// An executor with an explicit worker-thread count and the default
+    /// batch width.
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            batch: DEFAULT_BATCH,
         }
+    }
+
+    /// Sets the batch width: how many sweep points each worker evaluates
+    /// per batched backend call. `1` disables batching; results are
+    /// identical either way.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 
     /// Worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Batch width (points per batched backend call).
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// Runs every binding in `params` against `backend` and returns one
@@ -140,11 +167,7 @@ impl SweepExecutor {
         // block until the artifact is shared.
         let threads = self.threads.min(params.len());
         if threads == 1 {
-            return params
-                .iter()
-                .enumerate()
-                .map(|(i, p)| run_point(backend, circuit, i, p, spec))
-                .collect();
+            return run_slice(backend, circuit, 0, params, spec, self.batch);
         }
         let chunk = params.len().div_ceil(threads);
         let mut out: Vec<Result<Vec<SweepPoint>, EngineError>> = Vec::with_capacity(threads);
@@ -152,13 +175,10 @@ impl SweepExecutor {
             let mut handles = Vec::new();
             for (t, slice) in params.chunks(chunk).enumerate() {
                 let lo = t * chunk;
-                handles.push(scope.spawn(move |_| {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(j, p)| run_point(backend, circuit, lo + j, p, spec))
-                        .collect::<Result<Vec<SweepPoint>, EngineError>>()
-                }));
+                let batch = self.batch;
+                handles.push(
+                    scope.spawn(move |_| run_slice(backend, circuit, lo, slice, spec, batch)),
+                );
             }
             for h in handles {
                 out.push(h.join().expect("sweep worker panicked"));
@@ -171,6 +191,60 @@ impl SweepExecutor {
         }
         Ok(points)
     }
+}
+
+/// Evaluates one worker's contiguous slice of the point space, in lanes of
+/// `batch` points. Each lane tries one batched exact-expectation call;
+/// when the backend cannot answer exactly (`Unsupported`), every point of
+/// the lane falls back to the scalar [`run_point`] path, which resolves
+/// sampling and error semantics per point.
+fn run_slice(
+    backend: &dyn Backend,
+    circuit: &Circuit,
+    lo: usize,
+    slice: &[ParamMap],
+    spec: &SweepSpec<'_>,
+    batch: usize,
+) -> Result<Vec<SweepPoint>, EngineError> {
+    let mut out = Vec::with_capacity(slice.len());
+    for (lane_index, lane) in slice.chunks(batch.max(1)).enumerate() {
+        let base = lo + lane_index * batch.max(1);
+        let batched: Option<Vec<f64>> = match spec.observable {
+            Some(obs) if lane.len() > 1 => match backend.expectation_batch(circuit, lane, obs) {
+                Ok(values) => Some(values),
+                // Exact batched evaluation is unsupported: the scalar path
+                // repeats the (cheap) discovery per point and applies the
+                // shots/sampling fallback rules there.
+                Err(EngineError::Unsupported { .. }) => None,
+                Err(e) => return Err(e),
+            },
+            _ => None,
+        };
+        for (j, p) in lane.iter().enumerate() {
+            let index = base + j;
+            match &batched {
+                Some(values) => {
+                    let mut samples = Vec::new();
+                    if spec.keep_samples {
+                        samples = backend.sample(
+                            circuit,
+                            p,
+                            spec.shots,
+                            mix_seed(spec.seed, index as u64),
+                        )?;
+                    }
+                    out.push(SweepPoint {
+                        index,
+                        expectation: Some(values[j]),
+                        exact: true,
+                        samples,
+                    });
+                }
+                None => out.push(run_point(backend, circuit, index, p, spec)?),
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Evaluates one sweep point: exact expectation when the backend can,
@@ -310,6 +384,74 @@ mod tests {
                     .unwrap();
                 assert_eq!(base, got, "thread count must not change results");
             }
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_batch_widths() {
+        // The acceptance contract of the batched kernel: chunking the
+        // point space into lanes of k must not change a single bit of the
+        // output, for any k and thread count, exact or sampled, pure or
+        // noisy.
+        let obs = |bits: usize| bits as f64 - 0.25;
+        let pure = rx_circuit();
+        let mut noisy = rx_circuit();
+        noisy.depolarize(0, 0.02);
+        for circuit in [&pure, &noisy] {
+            let cache = Arc::new(ArtifactCache::new());
+            let backend = KcBackend::new(cache, KcOptions::default());
+            let spec = SweepSpec {
+                shots: 64,
+                observable: Some(&obs),
+                keep_samples: true,
+                seed: 5,
+            };
+            let base = SweepExecutor::new(1)
+                .with_batch(1)
+                .run(&backend, circuit, &sweep_params(10), &spec)
+                .unwrap();
+            assert!(base.iter().all(|p| p.exact));
+            for threads in [1usize, 2, 3] {
+                for batch in [1usize, 3, 8] {
+                    let got = SweepExecutor::new(threads)
+                        .with_batch(batch)
+                        .run(&backend, circuit, &sweep_params(10), &spec)
+                        .unwrap();
+                    assert_eq!(
+                        base, got,
+                        "threads={threads} batch={batch} changed the sweep"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fallback_matches_scalar_on_sampling_backends() {
+        // State-vector cannot answer exact noisy expectations: the batched
+        // lane falls back to per-point sampling, which must stay identical
+        // across batch widths because seeds derive from (seed, index).
+        let mut noisy = rx_circuit();
+        noisy.depolarize(0, 0.03);
+        let obs = |bits: usize| bits as f64;
+        let spec = SweepSpec {
+            shots: 128,
+            observable: Some(&obs),
+            keep_samples: true,
+            seed: 11,
+        };
+        let backend = StateVectorBackend::new(1);
+        let base = SweepExecutor::new(1)
+            .with_batch(1)
+            .run(&backend, &noisy, &sweep_params(7), &spec)
+            .unwrap();
+        assert!(base.iter().all(|p| !p.exact));
+        for batch in [3usize, 8] {
+            let got = SweepExecutor::new(2)
+                .with_batch(batch)
+                .run(&backend, &noisy, &sweep_params(7), &spec)
+                .unwrap();
+            assert_eq!(base, got, "batch={batch} changed the sampled sweep");
         }
     }
 

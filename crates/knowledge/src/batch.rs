@@ -1,0 +1,515 @@
+//! Batched arithmetic-circuit evaluation: one NNF traversal amortized over
+//! `k` literal-weight vectors.
+//!
+//! The paper's economics are compile-once-bind-many (§3.2): after knowledge
+//! compilation every variational iteration only rewrites literal weights and
+//! re-traverses the same AC. [`evaluate_batch`] exploits that across
+//! *bindings* the way qsim's fused kernels exploit it across gates — the
+//! node stream (the expensive, branchy part) is decoded once, and each node
+//! updates `k` complex lanes held contiguously in a structure-of-arrays
+//! buffer. Sweep throughput multiplies because per-node dispatch, bounds
+//! checks, and the per-call value-buffer allocation are all paid once per
+//! node instead of once per node per binding.
+//!
+//! Every lane is guaranteed **bit-for-bit identical** to the scalar
+//! [`evaluate`](crate::evaluate())/
+//! [`evaluate_with_differentials`](crate::evaluate_with_differentials())
+//! result for the same weights: the per-lane operation sequence (including
+//! the zero short-circuit at AND nodes and the zero-partial skip in the
+//! downward pass) mirrors the scalar kernel exactly. The engine's sweep
+//! executor relies on this to keep results byte-identical across batch
+//! widths.
+
+use crate::nnf::{Nnf, NnfNode};
+use qkc_cnf::Lit;
+use qkc_math::{Complex, C_ONE, C_ZERO};
+use std::collections::HashMap;
+
+/// Literal weights for `k` bindings in structure-of-arrays layout: for each
+/// CNF variable, `k` contiguous positive lanes and `k` contiguous negative
+/// lanes.
+///
+/// Lane `l` of the batch is exactly one scalar
+/// [`AcWeights`](crate::AcWeights) vector; evidence that is shared by every
+/// binding (query-variable indicators) is written once with
+/// [`AcWeightsBatch::set_all`], per-binding parameter values with
+/// [`AcWeightsBatch::set_lane`].
+#[derive(Debug, Clone)]
+pub struct AcWeightsBatch {
+    pos: Vec<Complex>,
+    neg: Vec<Complex>,
+    lanes: usize,
+}
+
+impl AcWeightsBatch {
+    /// All-ones weights over `num_vars` variables and `lanes` bindings.
+    pub fn uniform(num_vars: usize, lanes: usize) -> Self {
+        Self {
+            pos: vec![C_ONE; (num_vars + 1) * lanes],
+            neg: vec![C_ONE; (num_vars + 1) * lanes],
+            lanes,
+        }
+    }
+
+    /// Number of lanes (bindings) per variable.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of variables covered (0 for an empty, zero-lane batch).
+    pub fn num_vars(&self) -> usize {
+        self.pos
+            .len()
+            .checked_div(self.lanes)
+            .map_or(0, |rows| rows - 1)
+    }
+
+    /// Sets both polarities of variable `v` in lane `lane`.
+    pub fn set_lane(&mut self, v: u32, lane: usize, pos: Complex, neg: Complex) {
+        let at = v as usize * self.lanes + lane;
+        self.pos[at] = pos;
+        self.neg[at] = neg;
+    }
+
+    /// Sets both polarities of variable `v` in every lane (shared evidence).
+    pub fn set_all(&mut self, v: u32, pos: Complex, neg: Complex) {
+        let row = v as usize * self.lanes;
+        self.pos[row..row + self.lanes].fill(pos);
+        self.neg[row..row + self.lanes].fill(neg);
+    }
+
+    /// Copies every lane of variable `v` from `src` (row-level
+    /// save/restore around evidence writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has a different lane count.
+    pub fn copy_var_from(&mut self, src: &AcWeightsBatch, v: u32) {
+        assert_eq!(self.lanes, src.lanes, "lane count mismatch");
+        let row = v as usize * self.lanes;
+        self.pos[row..row + self.lanes].copy_from_slice(&src.pos[row..row + self.lanes]);
+        self.neg[row..row + self.lanes].copy_from_slice(&src.neg[row..row + self.lanes]);
+    }
+
+    /// The weight of literal `l` in lane `lane`.
+    #[inline]
+    pub fn get(&self, l: Lit, lane: usize) -> Complex {
+        self.row(l)[lane]
+    }
+
+    /// The `k` lane weights of a literal, contiguous.
+    #[inline]
+    pub fn row(&self, l: Lit) -> &[Complex] {
+        let (store, v) = if l > 0 {
+            (&self.pos, l as usize)
+        } else {
+            (&self.neg, (-l) as usize)
+        };
+        &store[v * self.lanes..(v + 1) * self.lanes]
+    }
+}
+
+/// Upward pass over `k` weight lanes in one traversal: returns the root
+/// value of every lane, each bit-for-bit equal to the scalar
+/// [`evaluate`](crate::evaluate()) of that lane's weights.
+pub fn evaluate_batch(nnf: &Nnf, weights: &AcWeightsBatch) -> Vec<Complex> {
+    let mut values = Vec::new();
+    evaluate_batch_into(nnf, weights, &mut values).to_vec()
+}
+
+/// [`evaluate_batch`] with a caller-owned value buffer, so hot loops (one
+/// AC pass per basis state) amortize the buffer allocation across calls.
+/// Returns the `k` root values as a slice into `values`.
+pub fn evaluate_batch_into<'v>(
+    nnf: &Nnf,
+    weights: &AcWeightsBatch,
+    values: &'v mut Vec<Complex>,
+) -> &'v [Complex] {
+    let k = weights.lanes();
+    if k == 0 {
+        return &[];
+    }
+    // Every node row is written by the pass (False rows are filled with
+    // zeros explicitly), so a resize without re-zeroing is sound.
+    values.resize(nnf.num_nodes() * k, C_ZERO);
+    upward_pass(nnf, weights, values);
+    let root = nnf.root() as usize * k;
+    &values[root..root + k]
+}
+
+/// The evaluation upward pass: fills `values` (node-major, `k` lanes per
+/// node). Dispatches to a monomorphized body for the common lane counts so
+/// the compiler can const-propagate `k` and fully unroll the per-lane
+/// loops. (The differentials pass runs its own upward sweep — it needs
+/// full AND products, without the zero short-circuit used here.)
+fn upward_pass(nnf: &Nnf, weights: &AcWeightsBatch, values: &mut [Complex]) {
+    match weights.lanes() {
+        4 => upward_pass_impl(nnf, weights, values, 4),
+        8 => upward_pass_impl(nnf, weights, values, 8),
+        16 => upward_pass_impl(nnf, weights, values, 16),
+        k => upward_pass_impl(nnf, weights, values, k),
+    }
+}
+
+#[inline(always)]
+fn upward_pass_impl(nnf: &Nnf, weights: &AcWeightsBatch, values: &mut [Complex], k: usize) {
+    for (i, node) in nnf.nodes().iter().enumerate() {
+        let row = i * k;
+        // Children precede parents, so splitting at `row` always puts every
+        // child lane in `head` and the current node's lanes at `tail[..k]`.
+        let (head, tail) = values.split_at_mut(row);
+        let out = &mut tail[..k];
+        match node {
+            NnfNode::True => out.fill(C_ONE),
+            NnfNode::False => out.fill(C_ZERO),
+            NnfNode::Lit(l) => out.copy_from_slice(weights.row(*l)),
+            NnfNode::And(cs) => {
+                out.fill(C_ONE);
+                for &c in cs.iter() {
+                    // Mirror the scalar kernel's early break, lifted to the
+                    // batch: a zero lane stops multiplying (keeping the
+                    // exact bits the scalar pass returns), and once every
+                    // lane is dead the remaining children are skipped
+                    // entirely. Zeros come almost exclusively from evidence
+                    // weights, which are shared across lanes, so lanes
+                    // usually die together and the whole-AND break fires
+                    // about as often as the scalar one.
+                    if out.iter().all(|a| *a == C_ZERO) {
+                        break;
+                    }
+                    let child = &head[c as usize * k..c as usize * k + k];
+                    for (acc, &v) in out.iter_mut().zip(child) {
+                        if *acc != C_ZERO {
+                            *acc *= v;
+                        }
+                    }
+                }
+            }
+            NnfNode::Or(a, b) => {
+                let a = &head[*a as usize * k..*a as usize * k + k];
+                let b = &head[*b as usize * k..*b as usize * k + k];
+                for (acc, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                    *acc = x + y;
+                }
+            }
+        }
+    }
+}
+
+/// The result of a combined batched upward + downward pass: per-lane root
+/// values and per-lane partial derivatives with respect to every literal.
+#[derive(Debug)]
+pub struct DifferentialsBatch {
+    lanes: usize,
+    values: Vec<Complex>,
+    partials: Vec<Complex>,
+    lit_nodes: HashMap<Lit, u32>,
+    root: u32,
+}
+
+impl DifferentialsBatch {
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The root value (amplitude) of lane `lane`.
+    pub fn value(&self, lane: usize) -> Complex {
+        self.values[self.root as usize * self.lanes + lane]
+    }
+
+    /// `∂f/∂w(lit)` in lane `lane` (see
+    /// [`Differentials::wrt_lit`](crate::Differentials::wrt_lit)). Returns
+    /// `None` if the literal does not appear in the circuit.
+    pub fn wrt_lit(&self, lit: Lit, lane: usize) -> Option<Complex> {
+        self.lit_nodes
+            .get(&lit)
+            .map(|&id| self.partials[id as usize * self.lanes + lane])
+    }
+
+    /// The partial derivative of the root with respect to node `id` in lane
+    /// `lane`.
+    pub fn wrt_node(&self, id: u32, lane: usize) -> Complex {
+        self.partials[id as usize * self.lanes + lane]
+    }
+}
+
+/// Combined batched upward and downward pass: one traversal each way,
+/// updating `k` lanes per node. Lane `l` matches the scalar
+/// [`evaluate_with_differentials`](crate::evaluate_with_differentials())
+/// bit-for-bit.
+pub fn evaluate_with_differentials_batch(
+    nnf: &Nnf,
+    weights: &AcWeightsBatch,
+) -> DifferentialsBatch {
+    let k = weights.lanes();
+    let n = nnf.num_nodes();
+    let mut values = vec![C_ZERO; n * k];
+    let mut lit_nodes: HashMap<Lit, u32> = HashMap::new();
+    // The downward pass needs full AND products, so run a dedicated upward
+    // pass without the zero short-circuit (as the scalar kernel does).
+    for (i, node) in nnf.nodes().iter().enumerate() {
+        let row = i * k;
+        let (head, tail) = values.split_at_mut(row);
+        let out = &mut tail[..k];
+        match node {
+            NnfNode::True => out.fill(C_ONE),
+            NnfNode::False => {}
+            NnfNode::Lit(l) => {
+                lit_nodes.insert(*l, i as u32);
+                out.copy_from_slice(weights.row(*l));
+            }
+            NnfNode::And(cs) => {
+                out.fill(C_ONE);
+                for &c in cs.iter() {
+                    let child = &head[c as usize * k..c as usize * k + k];
+                    for (acc, &v) in out.iter_mut().zip(child) {
+                        *acc *= v;
+                    }
+                }
+            }
+            NnfNode::Or(a, b) => {
+                let arow = *a as usize * k;
+                let brow = *b as usize * k;
+                for (l, acc) in out.iter_mut().enumerate() {
+                    *acc = head[arow + l] + head[brow + l];
+                }
+            }
+        }
+    }
+    let mut partials = vec![C_ZERO; n * k];
+    let root_row = nnf.root() as usize * k;
+    partials[root_row..root_row + k].fill(C_ONE);
+    // Per-AND scratch, reused across nodes: prefix products (child-major,
+    // k lanes each), suffix/accumulator lanes, and a copy of the node's
+    // partials (needed because `partials` is written below while the
+    // node's own row must stay fixed).
+    let mut prefix: Vec<Complex> = Vec::new();
+    let mut suffix: Vec<Complex> = vec![C_ONE; k];
+    let mut acc: Vec<Complex> = vec![C_ONE; k];
+    let mut p: Vec<Complex> = Vec::new();
+    for (i, node) in nnf.nodes().iter().enumerate().rev() {
+        let row = i * k;
+        match node {
+            NnfNode::And(cs) => {
+                let p_row = &partials[row..row + k];
+                if p_row.iter().all(|&x| x == C_ZERO) {
+                    continue;
+                }
+                p.clear();
+                p.extend_from_slice(p_row);
+                // prefix[c][l] = Π_{j<c} v_j[l]; then sweep suffix from the
+                // right, exactly as the scalar kernel.
+                prefix.clear();
+                prefix.resize(cs.len() * k, C_ONE);
+                acc.fill(C_ONE);
+                for (ci, &c) in cs.iter().enumerate() {
+                    prefix[ci * k..ci * k + k].copy_from_slice(&acc);
+                    let child = &values[c as usize * k..c as usize * k + k];
+                    for (a, &v) in acc.iter_mut().zip(child) {
+                        *a *= v;
+                    }
+                }
+                suffix.fill(C_ONE);
+                for (ci, &c) in cs.iter().enumerate().rev() {
+                    let crow = c as usize * k;
+                    for l in 0..k {
+                        // Scalar kernel skips whole nodes whose partial is
+                        // zero; the per-lane analogue keeps each lane's
+                        // accumulation sequence (and so its bits) identical.
+                        if p[l] != C_ZERO {
+                            partials[crow + l] += p[l] * prefix[ci * k + l] * suffix[l];
+                        }
+                    }
+                    let child = &values[crow..crow + k];
+                    for (s, &v) in suffix.iter_mut().zip(child) {
+                        *s *= v;
+                    }
+                }
+            }
+            NnfNode::Or(a, b) => {
+                let arow = *a as usize * k;
+                let brow = *b as usize * k;
+                for l in 0..k {
+                    let p = partials[row + l];
+                    if p != C_ZERO {
+                        partials[arow + l] += p;
+                        partials[brow + l] += p;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    DifferentialsBatch {
+        lanes: k,
+        values,
+        partials,
+        lit_nodes,
+        root: nnf.root(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompileOptions};
+    use crate::evaluate::{evaluate, evaluate_with_differentials, AcWeights};
+    use crate::transform::smooth;
+    use qkc_cnf::Cnf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weights(num_vars: usize, rng: &mut StdRng) -> AcWeights {
+        let mut w = AcWeights::uniform(num_vars);
+        for v in 1..=num_vars as u32 {
+            w.set(
+                v,
+                Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+                Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+            );
+        }
+        w
+    }
+
+    fn batch_of(lane_weights: &[AcWeights]) -> AcWeightsBatch {
+        let num_vars = lane_weights[0].num_vars();
+        let mut batch = AcWeightsBatch::uniform(num_vars, lane_weights.len());
+        for (lane, w) in lane_weights.iter().enumerate() {
+            for v in 1..=num_vars as u32 {
+                batch.set_lane(v, lane, w.get(v as Lit), w.get(-(v as Lit)));
+            }
+        }
+        batch
+    }
+
+    fn bits_eq(a: Complex, b: Complex) -> bool {
+        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()
+    }
+
+    fn test_nnf() -> Nnf {
+        // (v1 ∨ v2) ∧ (¬v1 ∨ v3), smoothed over all variables.
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-1, 3]);
+        let c = compile(&f, &CompileOptions::default());
+        let groups: Vec<Vec<Lit>> = (1..=3).map(|v| vec![v, -v]).collect();
+        smooth(&c.nnf, &groups)
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit() {
+        let nnf = test_nnf();
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in [1usize, 3, 8] {
+            let lanes: Vec<AcWeights> = (0..k).map(|_| random_weights(3, &mut rng)).collect();
+            let got = evaluate_batch(&nnf, &batch_of(&lanes));
+            assert_eq!(got.len(), k);
+            for (lane, w) in lanes.iter().enumerate() {
+                let want = evaluate(&nnf, w);
+                assert!(
+                    bits_eq(got[lane], want),
+                    "lane {lane}: {} vs {want}",
+                    got[lane]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_with_zero_weights() {
+        // Zero weights exercise the AND short-circuit; signs of zero must
+        // still match the scalar kernel.
+        let nnf = test_nnf();
+        let mut w0 = AcWeights::uniform(3);
+        w0.set(1, C_ZERO, Complex::real(-1.0));
+        w0.set(2, C_ZERO, C_ONE);
+        let mut w1 = AcWeights::uniform(3);
+        w1.set(3, C_ZERO, C_ZERO);
+        w1.set(1, Complex::real(-2.0), C_ONE);
+        let lanes = [w0, w1];
+        let got = evaluate_batch(&nnf, &batch_of(&lanes));
+        for (lane, w) in lanes.iter().enumerate() {
+            assert!(bits_eq(got[lane], evaluate(&nnf, w)), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn differentials_batch_matches_scalar_bit_for_bit() {
+        let nnf = test_nnf();
+        let mut rng = StdRng::seed_from_u64(23);
+        let lanes: Vec<AcWeights> = (0..5).map(|_| random_weights(3, &mut rng)).collect();
+        let batch = evaluate_with_differentials_batch(&nnf, &batch_of(&lanes));
+        assert_eq!(batch.lanes(), 5);
+        for (lane, w) in lanes.iter().enumerate() {
+            let scalar = evaluate_with_differentials(&nnf, w);
+            assert!(
+                bits_eq(batch.value(lane), scalar.value),
+                "value lane {lane}"
+            );
+            for v in 1..=3i32 {
+                for lit in [v, -v] {
+                    let got = batch.wrt_lit(lit, lane);
+                    let want = scalar.wrt_lit(lit);
+                    match (got, want) {
+                        (Some(g), Some(s)) => {
+                            assert!(bits_eq(g, s), "lit {lit} lane {lane}: {g} vs {s}")
+                        }
+                        (None, None) => {}
+                        other => panic!("lit {lit} lane {lane}: presence mismatch {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differentials_batch_handles_zero_partials() {
+        // Evidence weights with zeros: the downward pass must stay exact
+        // (prefix/suffix products, no divisions) in every lane.
+        let nnf = test_nnf();
+        let mut w = AcWeights::uniform(3);
+        w.set(1, C_ONE, C_ZERO);
+        w.set(2, C_ZERO, C_ONE);
+        w.set(3, C_ONE, C_ZERO);
+        let lanes = [w.clone(), w];
+        let batch = evaluate_with_differentials_batch(&nnf, &batch_of(&lanes));
+        let scalar = evaluate_with_differentials(&nnf, &lanes[0]);
+        for lane in 0..2 {
+            for v in 1..=3i32 {
+                for lit in [v, -v] {
+                    assert_eq!(
+                        batch.wrt_lit(lit, lane).map(|c| (c.re, c.im)),
+                        scalar.wrt_lit(lit).map(|c| (c.re, c.im)),
+                        "lit {lit} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let nnf = test_nnf();
+        let batch = AcWeightsBatch::uniform(3, 0);
+        assert!(evaluate_batch(&nnf, &batch).is_empty());
+        assert_eq!(batch.num_vars(), 0);
+    }
+
+    #[test]
+    fn accessors_cover_lanes() {
+        let mut b = AcWeightsBatch::uniform(2, 3);
+        assert_eq!(b.lanes(), 3);
+        assert_eq!(b.num_vars(), 2);
+        b.set_lane(1, 1, Complex::imag(2.0), Complex::real(3.0));
+        assert_eq!(b.get(1, 1), Complex::imag(2.0));
+        assert_eq!(b.get(-1, 1), Complex::real(3.0));
+        assert_eq!(b.get(1, 0), C_ONE);
+        b.set_all(2, C_ZERO, C_ONE);
+        for lane in 0..3 {
+            assert_eq!(b.get(2, lane), C_ZERO);
+            assert_eq!(b.get(-2, lane), C_ONE);
+        }
+        assert_eq!(b.row(2), &[C_ZERO; 3]);
+    }
+}

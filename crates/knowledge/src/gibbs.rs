@@ -69,6 +69,9 @@ pub struct GibbsSampler<'a> {
     weights: AcWeights,
     vars: Vec<QueryVar>,
     state: Vec<usize>,
+    /// Indices of unfixed variables — vars are immutable after
+    /// construction, so this is built once instead of per transition.
+    movable: Vec<usize>,
     rng: StdRng,
     steps_taken: u64,
     moves_accepted: u64,
@@ -76,6 +79,13 @@ pub struct GibbsSampler<'a> {
     /// |amplitude|² of the current state, kept in sync across moves.
     current_density: f64,
 }
+
+/// Bounded redraw budget for zero-density starts (see
+/// [`GibbsSampler::new`]): `sample_model` weights branches by magnitude,
+/// so each redraw lands on a cancelled state with probability < 1 whenever
+/// the wavefunction has support, and the budget is generous enough that
+/// exhausting it is astronomically unlikely in that case.
+const ZERO_DENSITY_REDRAWS: usize = 32;
 
 impl<'a> GibbsSampler<'a> {
     /// Creates a sampler.
@@ -98,55 +108,88 @@ impl<'a> GibbsSampler<'a> {
                 .all(|v| v.fixed.is_some() || !v.value_lits.is_empty()),
             "movable variables need literals"
         );
-        let mut rng = StdRng::seed_from_u64(options.seed);
-        // Initialize inside the support: sample a model of the circuit
-        // (with query evidence summed out) and read off the query values.
-        // Sharply peaked distributions — the variational regime of the
-        // paper's Figure 3 — make random initialization land on
-        // zero-amplitude states from which single-flip Gibbs cannot escape.
-        let model = sample_model(nnf, &base_weights, &mut rng);
-        let mut polarity: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
-        if let Some(lits) = &model {
-            for &l in lits {
-                polarity.insert(l.unsigned_abs(), l > 0);
-            }
-        }
-        let state: Vec<usize> = vars
-            .iter()
-            .map(|v| {
-                if let Some(val) = v.fixed {
-                    return val;
-                }
-                for (value, &lit) in v.value_lits.iter().enumerate() {
-                    if polarity.get(&lit.unsigned_abs()) == Some(&(lit > 0)) {
-                        return value;
-                    }
-                }
-                rng.gen_range(0..v.value_lits.len())
-            })
+        let rng = StdRng::seed_from_u64(options.seed);
+        let movable: Vec<usize> = (0..vars.len())
+            .filter(|&i| vars[i].fixed.is_none())
             .collect();
         let mut sampler = Self {
             nnf,
             weights: base_weights,
+            state: vec![0; vars.len()],
             vars,
-            state,
+            movable,
             rng,
             steps_taken: 0,
             moves_accepted: 0,
             mh_restart_prob: options.mh_restart_prob,
             current_density: 0.0,
         };
-        for i in 0..sampler.vars.len() {
-            if !sampler.vars[i].value_lits.is_empty() {
-                sampler.apply_evidence(i);
+        // Initialize inside the support: sample a model of the circuit
+        // (with query evidence summed out) and read off the query values.
+        // Sharply peaked distributions — the variational regime of the
+        // paper's Figure 3 — make random initialization land on
+        // zero-amplitude states from which single-flip Gibbs cannot escape.
+        sampler.draw_start();
+        // `sample_model` weights branches by magnitude, so phase
+        // cancellation can still land the draw on a zero-amplitude state
+        // (e.g. a destructively interfering branch whose sub-circuit
+        // magnitudes dominate). Redraw before warmup, bounded.
+        for _ in 0..ZERO_DENSITY_REDRAWS {
+            if sampler.current_density > 0.0 {
+                break;
             }
+            sampler.reset_query_weights();
+            sampler.draw_start();
         }
-        sampler.current_density = sampler.current_amplitude().norm_sqr();
         // Warm-up moves the chain into the support and mixes it.
         for _ in 0..options.warmup {
             sampler.step();
         }
         sampler
+    }
+
+    /// Draws a start state by magnitude-weighted model sampling, applies
+    /// its evidence, and records the resulting `|amplitude|²`. Expects the
+    /// query-variable weights to be in their summed-out (1, 1) state.
+    fn draw_start(&mut self) {
+        let model = sample_model(self.nnf, &self.weights, &mut self.rng);
+        let mut polarity: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
+        if let Some(lits) = &model {
+            for &l in lits {
+                polarity.insert(l.unsigned_abs(), l > 0);
+            }
+        }
+        for i in 0..self.vars.len() {
+            let v = &self.vars[i];
+            let mut chosen = v.fixed;
+            if chosen.is_none() {
+                for (value, &lit) in v.value_lits.iter().enumerate() {
+                    if polarity.get(&lit.unsigned_abs()) == Some(&(lit > 0)) {
+                        chosen = Some(value);
+                        break;
+                    }
+                }
+            }
+            let domain = v.value_lits.len();
+            self.state[i] = chosen.unwrap_or_else(|| self.rng.gen_range(0..domain));
+        }
+        for i in 0..self.vars.len() {
+            if !self.vars[i].value_lits.is_empty() {
+                self.apply_evidence(i);
+            }
+        }
+        self.current_density = self.current_amplitude().norm_sqr();
+    }
+
+    /// Restores the summed-out (1, 1) weights of every query literal,
+    /// undoing applied evidence so `sample_model` sees the base
+    /// distribution again.
+    fn reset_query_weights(&mut self) {
+        for var in &self.vars {
+            for &lit in &var.value_lits {
+                self.weights.set(lit.unsigned_abs(), C_ONE, C_ONE);
+            }
+        }
     }
 
     /// The current assignment (one value per query variable).
@@ -197,17 +240,14 @@ impl<'a> GibbsSampler<'a> {
     /// variable, compute the conditional |amplitude|² of each of its values
     /// via one upward+downward pass, and resample it.
     pub fn step(&mut self) {
-        let movable: Vec<usize> = (0..self.vars.len())
-            .filter(|&i| self.vars[i].fixed.is_none())
-            .collect();
-        if movable.is_empty() {
+        if self.movable.is_empty() {
             return;
         }
         if self.mh_restart_prob > 0.0 && self.rng.gen::<f64>() < self.mh_restart_prob {
-            self.mh_move(&movable);
+            self.mh_move();
             return;
         }
-        let i = movable[self.rng.gen_range(0..movable.len())];
+        let i = self.movable[self.rng.gen_range(0..self.movable.len())];
         self.steps_taken += 1;
         let d = evaluate_with_differentials(self.nnf, &self.weights);
         let var = &self.vars[i];
@@ -239,10 +279,11 @@ impl<'a> GibbsSampler<'a> {
     /// assignment; accept with probability `min(1, |amp(y)|²/|amp(x)|²)`
     /// (the proposal is symmetric/uniform, so the ratio is just the target
     /// density ratio).
-    fn mh_move(&mut self, movable: &[usize]) {
+    fn mh_move(&mut self) {
         self.steps_taken += 1;
         let old_state = self.state.clone();
-        let proposal: Vec<(usize, usize)> = movable
+        let proposal: Vec<(usize, usize)> = self
+            .movable
             .iter()
             .map(|&i| (i, self.rng.gen_range(0..self.vars[i].value_lits.len())))
             .collect();
@@ -404,6 +445,52 @@ mod tests {
         for (a, b) in samples {
             assert_eq!(a, 1);
             assert_eq!(b, 1, "parity forces the free var to follow");
+        }
+    }
+
+    #[test]
+    fn zero_density_start_is_redrawn_on_interference_heavy_circuit() {
+        // f = (v1 ↔ v2) ∧ (v1 ∨ v3) with phase weights w(±v3) = (1, -1):
+        // amp(0,0) = w(+v3) = 1 (v3 forced true), amp(1,1) = 1 + (-1) = 0
+        // (destructive interference over the free v3), and the off-parity
+        // states are unsatisfiable. `sample_model` weights branches by
+        // *magnitude*, so it prefers the cancelled (1,1) branch (mass 2 of
+        // 3) — without the zero-density redraw the chain starts at a
+        // zero-amplitude state it can never leave by single flips, and
+        // every sample reports (1,1) even though that state has
+        // probability zero.
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![-1, 2]);
+        f.add_clause(vec![1, -2]);
+        f.add_clause(vec![1, 3]);
+        let c = compile(&f, &CompileOptions::default());
+        let groups: Vec<Vec<Lit>> = (1..=3).map(|v| vec![v, -v]).collect();
+        let nnf = smooth(&c.nnf, &groups);
+        for seed in 0..20 {
+            let mut base = AcWeights::uniform(3);
+            base.set(3, C_ONE, qkc_math::Complex::real(-1.0));
+            let mut sampler = GibbsSampler::new(
+                &nnf,
+                base,
+                parity_vars(),
+                &GibbsOptions {
+                    warmup: 30,
+                    thin: 1,
+                    seed,
+                    mh_restart_prob: 0.0,
+                },
+            );
+            assert!(
+                sampler.current_amplitude().norm_sqr() > 0.0,
+                "seed {seed}: chain initialized on a zero-amplitude state"
+            );
+            for (a, b) in sampler.sample_with(50, 1, |s| (s[0], s[1])) {
+                assert_eq!(
+                    (a, b),
+                    (0, 0),
+                    "seed {seed}: sampled a zero-probability state"
+                );
+            }
         }
     }
 

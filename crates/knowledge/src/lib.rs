@@ -9,6 +9,10 @@
 //! evaluated repeatedly as an *arithmetic circuit*: upward for amplitudes
 //! ([`evaluate`]), upward+downward for all single-flip amplitudes at once
 //! ([`evaluate_with_differentials`]), which drives the [`GibbsSampler`].
+//! Parameter sweeps amortize the traversal itself: [`evaluate_batch`] and
+//! [`evaluate_with_differentials_batch`] decode each node once and update
+//! `k` weight lanes ([`AcWeightsBatch`]) in contiguous loops, bit-for-bit
+//! equal to `k` scalar evaluations.
 //!
 //! # Examples
 //!
@@ -29,6 +33,7 @@
 //! assert!((evaluate(&nnf, &w).re - 0.875).abs() < 1e-12);
 //! ```
 
+mod batch;
 mod compiler;
 mod evaluate;
 mod gibbs;
@@ -36,6 +41,10 @@ mod nnf;
 mod order;
 mod transform;
 
+pub use batch::{
+    evaluate_batch, evaluate_batch_into, evaluate_with_differentials_batch, AcWeightsBatch,
+    DifferentialsBatch,
+};
 pub use compiler::{compile, CompileOptions, CompileStats, Compiled};
 pub use evaluate::{evaluate, evaluate_with_differentials, AcWeights, Differentials};
 pub use gibbs::{GibbsOptions, GibbsSampler, QueryVar};

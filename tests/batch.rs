@@ -1,0 +1,203 @@
+//! Property-based tests for the batched evaluation path: `bind_batch` /
+//! `evaluate_batch` must match `k` sequential scalar evaluations
+//! bit-for-bit on random circuits and parameter sets, and chunked sweeps
+//! must be identical for every batch width and thread count.
+
+use proptest::prelude::*;
+use qkc::circuit::{Circuit, Param, ParamMap};
+use qkc::engine::{BackendKind, Engine, EngineOptions, SweepSpec};
+use qkc::kc::KcSimulator;
+use qkc::math::Complex;
+
+/// A random parameterized circuit instruction; rotation angles reference
+/// one of two symbols so every circuit stays re-bindable.
+#[derive(Debug, Clone)]
+enum Instr {
+    H(usize),
+    T(usize),
+    RxA(usize),
+    RyB(usize),
+    RzA(usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    ZzB(usize, usize),
+}
+
+fn arb_instr(n: usize) -> impl Strategy<Value = Instr> {
+    let q = 0..n;
+    let q2 = 0..n;
+    (0usize..8, q, q2).prop_map(move |(kind, a, b)| {
+        let b = if a == b { (b + 1) % n } else { b };
+        match kind {
+            0 => Instr::H(a),
+            1 => Instr::T(a),
+            2 => Instr::RxA(a),
+            3 => Instr::RyB(a),
+            4 => Instr::RzA(a),
+            5 => Instr::Cnot(a, b),
+            6 => Instr::Cz(a, b),
+            _ => Instr::ZzB(a, b),
+        }
+    })
+}
+
+fn build(n: usize, instrs: &[Instr]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in instrs {
+        match *i {
+            Instr::H(a) => c.h(a),
+            Instr::T(a) => c.t(a),
+            Instr::RxA(a) => c.rx(a, Param::symbol("a")),
+            Instr::RyB(a) => c.ry(a, Param::symbol("b")),
+            Instr::RzA(a) => c.rz(a, Param::symbol("a")),
+            Instr::Cnot(a, b) => c.cnot(a, b),
+            Instr::Cz(a, b) => c.cz(a, b),
+            Instr::ZzB(a, b) => c.zz(a, b, Param::symbol("b")),
+        };
+    }
+    c
+}
+
+fn param_sets(values: &[(f64, f64)]) -> Vec<ParamMap> {
+    values
+        .iter()
+        .map(|&(a, b)| ParamMap::from_pairs([("a", a), ("b", b)]))
+        .collect()
+}
+
+fn bits_eq(x: Complex, y: Complex) -> bool {
+    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `bind_batch` wavefunctions equal `k` sequential scalar binds,
+    /// bit for bit, on random pure circuits and parameter sets.
+    #[test]
+    fn bind_batch_matches_sequential_scalar_binds(
+        instrs in proptest::collection::vec(arb_instr(3), 1..12),
+        angles in proptest::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 1..9),
+    ) {
+        let c = build(3, &instrs);
+        let sim = KcSimulator::compile(&c, &Default::default());
+        let params = param_sets(&angles);
+        let batch = sim.bind_batch(&params).unwrap();
+        let wfs = batch.wavefunctions();
+        for (lane, p) in params.iter().enumerate() {
+            let scalar = sim.bind(p).unwrap().wavefunction();
+            for (x, (&got, &want)) in wfs[lane].iter().zip(&scalar).enumerate() {
+                prop_assert!(
+                    bits_eq(got, want),
+                    "lane {lane} amp {x}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// Same contract on noisy circuits, through the random-event
+    /// enumeration of `output_probabilities`.
+    #[test]
+    fn batched_noisy_probabilities_match_scalar(
+        instrs in proptest::collection::vec(arb_instr(2), 1..8),
+        angles in proptest::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 1..5),
+        noise_q in 0usize..2,
+    ) {
+        let mut c = build(2, &instrs);
+        c.depolarize(noise_q, 0.05);
+        let sim = KcSimulator::compile(&c, &Default::default());
+        let params = param_sets(&angles);
+        let batch = sim.bind_batch(&params).unwrap();
+        let probs = batch.output_probabilities();
+        for (lane, p) in params.iter().enumerate() {
+            let scalar = sim.bind(p).unwrap().output_probabilities();
+            for (x, (&got, &want)) in probs[lane].iter().zip(&scalar).enumerate() {
+                prop_assert!(
+                    got.to_bits() == want.to_bits(),
+                    "lane {lane} P({x}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// Engine sweeps are byte-identical for every batch width and thread
+    /// count — the chunking contract of the sweep executor.
+    #[test]
+    fn chunked_sweeps_are_identical_across_batch_widths(
+        instrs in proptest::collection::vec(arb_instr(2), 1..8),
+        angles in proptest::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 2..8),
+    ) {
+        let c = build(2, &instrs);
+        let params = param_sets(&angles);
+        let obs = |bits: usize| bits as f64;
+        let run = |threads: usize, batch: usize| {
+            let engine = Engine::with_options(
+                EngineOptions::default()
+                    .with_backend(BackendKind::KnowledgeCompilation)
+                    .with_threads(threads)
+                    .with_batch(batch),
+            );
+            engine
+                .sweep(&c, &params, &SweepSpec::expectation(&obs).with_seed(3))
+                .unwrap()
+        };
+        let base = run(1, 1);
+        for threads in [1usize, 3] {
+            for batch in [1usize, 3, 8] {
+                prop_assert_eq!(
+                    &base,
+                    &run(threads, batch),
+                    "threads={} batch={} changed the sweep",
+                    threads,
+                    batch
+                );
+            }
+        }
+    }
+}
+
+/// The variational loop's simplex batches ride the batched path; the
+/// optimizer trajectory must not depend on the batch width.
+#[test]
+fn variational_runs_are_identical_across_batch_widths() {
+    use qkc::engine::{minimize_variational, VariationalConfig};
+    use qkc::optim::NelderMead;
+    let mut c = Circuit::new(2);
+    c.rx(0, Param::symbol("t"))
+        .cnot(0, 1)
+        .ry(1, Param::symbol("u"));
+    let run = |batch: usize| {
+        let engine = Engine::with_options(
+            EngineOptions::default()
+                .with_backend(BackendKind::KnowledgeCompilation)
+                .with_batch(batch),
+        );
+        minimize_variational(
+            &engine,
+            &c,
+            |x| ParamMap::from_pairs([("t", x[0]), ("u", x[1])]),
+            &|bits| bits as f64,
+            &[1.9, -0.7],
+            &VariationalConfig {
+                optimizer: NelderMead::new().with_max_iterations(60),
+                shots: 0,
+                seed: 4,
+            },
+        )
+        .unwrap()
+    };
+    let base = run(1);
+    for batch in [3usize, 8, 16] {
+        let got = run(batch);
+        assert_eq!(
+            base.optim.x, got.optim.x,
+            "batch={batch} changed the optimum"
+        );
+        assert_eq!(
+            base.optim.value.to_bits(),
+            got.optim.value.to_bits(),
+            "batch={batch} changed the objective value"
+        );
+        assert_eq!(base.optim.evaluations, got.optim.evaluations);
+    }
+}
