@@ -10,9 +10,13 @@
 //! * `eval/s` — scalar bindings evaluated per second: bind + exact
 //!   expectation of the cut observable, one AC traversal per basis state
 //!   per point;
-//! * `beval/s` — the batched path: `bind_batch` + batched expectations,
+//! * `beval/s` — the k-lane path: `bind_batch` + batched expectations,
 //!   one AC traversal per basis state per *lane of k points*;
-//! * `batchx` — `beval/s` over `eval/s`: the batched-kernel speedup;
+//! * `batchx` — `beval/s` over `eval/s`. Since the flat-tape delta
+//!   evaluator landed, the scalar path recomputes only the dirty cone
+//!   between basis states, so it now beats the full-recompute lane
+//!   kernel on larger circuits (ratios < 1) — which is why the engine's
+//!   sweep executor routes exact queries through the scalar path;
 //! * `sweep/s` — full engine sweep points per second;
 //! * `speedup` — cold (compile + first point) time over warm per-point
 //!   time: the cache-hit advantage every iteration after the first enjoys.
@@ -192,7 +196,9 @@ fn main() {
          time; bind/s is the raw parameter-rebinding rate and eval/s the \
          bind+expectation rate a variational iteration pays per point — \
          the `b` variants route lanes of k={k} points through one \
-         arithmetic-circuit traversal (bit-identical results)."
+         arithmetic-circuit traversal (bit-identical results). The scalar \
+         path rides the flat tape's delta evaluator, so batchx < 1 on \
+         larger circuits; engine sweeps use the faster scalar path."
     );
 
     if let Err(e) = write_json(&rows, k) {

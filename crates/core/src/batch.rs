@@ -16,7 +16,7 @@
 
 use crate::pipeline::{KcSimulator, ValueState};
 use qkc_circuit::{ParamMap, UnboundParam};
-use qkc_knowledge::{evaluate_batch_into, AcWeightsBatch};
+use qkc_knowledge::{AcWeightsBatch, TapeEvaluator};
 use qkc_math::{Complex, C_ONE, C_ZERO};
 use std::cell::RefCell;
 
@@ -38,7 +38,7 @@ impl KcSimulator {
         let mut weights = AcWeightsBatch::uniform(self.encoding().cnf.num_vars(), k);
         let mut globals = vec![C_ONE; k];
         for (var, node, slot) in self.encoding().vars.params() {
-            match self.fixed().get(&var) {
+            match self.fixed_vars().get(&var) {
                 // Same split as the scalar bind: forced-true parameters
                 // become per-lane global factors, forced-false contribute
                 // w(¬P) = 1, free parameters land in the weight lanes.
@@ -60,7 +60,7 @@ impl KcSimulator {
             weights,
             globals,
             scratch: RefCell::new(None),
-            values: RefCell::new(Vec::new()),
+            eval: RefCell::new(TapeEvaluator::new()),
         })
     }
 }
@@ -77,9 +77,10 @@ pub struct BoundKcBatch<'a> {
     /// query (see [`BoundKc`](crate::BoundKc)): queries write
     /// query-variable evidence, evaluate, and restore.
     scratch: RefCell<Option<AcWeightsBatch>>,
-    /// Reusable node-value buffer for the batched upward pass — one AC
-    /// pass per basis state makes the per-call allocation measurable.
-    values: RefCell<Vec<Complex>>,
+    /// Persistent tape evaluator — one AC pass per basis state makes the
+    /// per-call value-buffer allocation measurable, so the lane-strided
+    /// buffers live here across queries.
+    eval: RefCell<TapeEvaluator>,
 }
 
 impl<'a> BoundKcBatch<'a> {
@@ -113,8 +114,8 @@ impl<'a> BoundKcBatch<'a> {
             }
         }
         let amps = if possible {
-            let mut buf = self.values.borrow_mut();
-            let vals = evaluate_batch_into(self.sim.nnf(), w, &mut buf);
+            let mut eval = self.eval.borrow_mut();
+            let vals = eval.evaluate_batch(self.sim.tape(), w);
             self.globals
                 .iter()
                 .zip(vals)

@@ -6,7 +6,7 @@
 
 use crate::pipeline::{KcSimulator, ValueState};
 use qkc_circuit::{ParamMap, UnboundParam};
-use qkc_knowledge::{evaluate, AcWeights, GibbsOptions, GibbsSampler, QueryVar};
+use qkc_knowledge::{AcWeights, GibbsOptions, GibbsSampler, QueryVar, TapeEvaluator};
 use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO};
 use std::cell::RefCell;
 
@@ -23,7 +23,7 @@ impl KcSimulator {
         let mut global = C_ONE;
         for (var, node, slot) in self.encoding().vars.params() {
             let value = table.value(node, slot);
-            match self.fixed().get(&var) {
+            match self.fixed_vars().get(&var) {
                 // Unit resolution removed the variable: a forced-true
                 // parameter multiplies every model, so it becomes a global
                 // factor; forced-false contributes w(¬P) = 1.
@@ -37,6 +37,9 @@ impl KcSimulator {
             weights,
             global,
             scratch: RefCell::new(None),
+            eval: RefCell::new(TapeEvaluator::new()),
+            last_query: RefCell::new(Vec::new()),
+            changed_vars: RefCell::new(Vec::new()),
         })
     }
 }
@@ -54,6 +57,18 @@ pub struct BoundKc<'a> {
     /// issue O(4ⁿ) of them). Lazy so query-free binds (raw sweep
     /// re-binding) pay nothing.
     scratch: RefCell<Option<AcWeights>>,
+    /// Persistent tape evaluator: value/partial buffers are allocated on
+    /// the first query and reused by every subsequent one (zero
+    /// allocations per amplitude after warmup).
+    eval: RefCell<TapeEvaluator>,
+    /// The previous amplitude query's assignment (empty = none yet):
+    /// consecutive amplitude queries — wavefunction sweeps, probability
+    /// reconstructions — differ in a few evidence values, so the next
+    /// query recomputes only the cone of the variables that changed
+    /// (bit-for-bit equal to a full pass).
+    last_query: RefCell<Vec<usize>>,
+    /// Reusable changed-variable buffer for the delta pass.
+    changed_vars: RefCell<Vec<u32>>,
 }
 
 impl<'a> BoundKc<'a> {
@@ -82,7 +97,59 @@ impl<'a> BoundKc<'a> {
             }
         }
         let amp = if possible {
-            self.global * evaluate(self.sim.nnf(), w)
+            let tape = self.sim.tape();
+            let mut eval = self.eval.borrow_mut();
+            let mut last = self.last_query.borrow_mut();
+            let raw = if last.len() == values.len() {
+                // Recompute only the cone of the query variables whose
+                // evidence differs from the previous amplitude query
+                // (falls back to a full pass internally if the cached
+                // buffer was invalidated by another kernel).
+                let mut changed = self.changed_vars.borrow_mut();
+                changed.clear();
+                for ((spec, &prev), &now) in query.iter().zip(last.iter()).zip(values) {
+                    if prev != now {
+                        for state in &spec.values {
+                            if let ValueState::Lit(l) = state {
+                                changed.push(l.unsigned_abs());
+                            }
+                        }
+                    }
+                }
+                eval.evaluate_delta(tape, w, &changed)
+            } else {
+                eval.evaluate(tape, w)
+            };
+            last.clear();
+            last.extend_from_slice(values);
+            self.global * raw
+        } else {
+            C_ZERO
+        };
+        self.restore_scratch(w);
+        amp
+    }
+
+    /// The enum-walk reference path for [`BoundKc::amplitude_assignment`]:
+    /// identical evidence handling, evaluated on the [`Nnf`](qkc_knowledge::Nnf)
+    /// arena instead of the tape. Kept for equivalence tests and the
+    /// kernel benchmarks; results are bit-for-bit equal to the tape path.
+    #[doc(hidden)]
+    pub fn amplitude_assignment_enum_walk(&self, values: &[usize]) -> Complex {
+        let query = self.sim.query();
+        assert_eq!(values.len(), query.len(), "query arity mismatch");
+        let mut guard = self.scratch.borrow_mut();
+        let w = guard.get_or_insert_with(|| self.weights.clone());
+        let mut possible = true;
+        for (spec, &value) in query.iter().zip(values) {
+            assert!(value < spec.domain, "value {value} out of domain");
+            if !set_evidence(w, spec, value) {
+                possible = false;
+                break;
+            }
+        }
+        let amp = if possible {
+            self.global * qkc_knowledge::evaluate(self.sim.nnf(), w)
         } else {
             C_ZERO
         };
@@ -128,7 +195,42 @@ impl<'a> BoundKc<'a> {
             "wavefunction is only defined for noise-free circuits"
         );
         let n = self.sim.num_outputs();
-        (0..1usize << n).map(|x| self.amplitude(x, &[])).collect()
+        let dim = 1usize << n;
+        let mut out = vec![C_ZERO; dim];
+        let mut values = vec![0usize; n];
+        // Gray-code order: consecutive queries differ in one output
+        // variable's evidence, so the tape evaluator's delta kernel
+        // recomputes a single cone per amplitude — and the Gray bits are
+        // assigned so the most-frequently-flipped one has the smallest
+        // cone. Each amplitude is bit-identical to an independent query;
+        // only the visit order changes.
+        self.for_each_output_gray(&mut values, |this, values, x| {
+            out[x] = this.amplitude_assignment(values);
+        });
+        out
+    }
+
+    /// Enumerates all `2^n` output assignments in cone-ordered Gray-code
+    /// order, calling `f(self, values, x)` with `values[..n]` holding the
+    /// bits of basis state `x`. `values` must have the full query arity;
+    /// slots past the outputs are left untouched.
+    fn for_each_output_gray(
+        &self,
+        values: &mut [usize],
+        mut f: impl FnMut(&Self, &[usize], usize),
+    ) {
+        let n = self.sim.num_outputs();
+        let order = self.sim.output_gray_order();
+        for g in 0..1usize << n {
+            let gc = g ^ (g >> 1);
+            let mut x = 0usize;
+            for (k, &oi) in order.iter().enumerate() {
+                let bit = (gc >> k) & 1;
+                values[oi] = bit;
+                x |= bit << (n - 1 - oi);
+            }
+            f(self, values, x);
+        }
     }
 
     /// Measurement probabilities of every output bitstring:
@@ -136,11 +238,17 @@ impl<'a> BoundKc<'a> {
     /// validation on small circuits.
     pub fn output_probabilities(&self) -> Vec<f64> {
         let n = self.sim.num_outputs();
-        let mut probs = vec![0.0; 1usize << n];
+        let dim = 1usize << n;
+        let mut probs = vec![0.0; dim];
+        let mut values = vec![0usize; self.sim.query().len()];
         self.for_each_rv(|this, rvs| {
-            for (x, p) in probs.iter_mut().enumerate() {
-                *p += this.amplitude(x, rvs).norm_sqr();
-            }
+            values[n..].copy_from_slice(rvs);
+            // Gray-code output order (see `wavefunction`); per-x sums
+            // still accumulate in the same random-event order, so each
+            // probability is bitwise unchanged.
+            this.for_each_output_gray(&mut values, |this, values, x| {
+                probs[x] += this.amplitude_assignment(values).norm_sqr();
+            });
         });
         probs
     }
@@ -151,8 +259,15 @@ impl<'a> BoundKc<'a> {
         let n = self.sim.num_outputs();
         let dim = 1usize << n;
         let mut rho = CMatrix::zeros(dim, dim);
+        let mut values = vec![0usize; self.sim.query().len()];
+        let mut amps: Vec<Complex> = vec![C_ZERO; dim];
         self.for_each_rv(|this, rvs| {
-            let amps: Vec<Complex> = (0..dim).map(|x| this.amplitude(x, rvs)).collect();
+            values[n..].copy_from_slice(rvs);
+            // Gray-code order (see `wavefunction`); amplitudes land at
+            // their natural index.
+            this.for_each_output_gray(&mut values, |this, values, x| {
+                amps[x] = this.amplitude_assignment(values);
+            });
             for r in 0..dim {
                 for c in 0..dim {
                     rho[(r, c)] += amps[r] * amps[c].conj();
@@ -169,12 +284,13 @@ impl<'a> BoundKc<'a> {
     }
 
     /// Runs one upward+downward pass with evidence set to `(outputs, rvs)`
-    /// and returns the differentials (used by sensitivity queries).
+    /// and returns an owned differentials snapshot (used by sensitivity
+    /// queries, which hold results past the evaluator borrow).
     pub(crate) fn differentials_for(
         &self,
         outputs: usize,
         rvs: &[usize],
-    ) -> qkc_knowledge::Differentials {
+    ) -> qkc_knowledge::TapeDifferentials<'a> {
         let n = self.sim.num_outputs();
         let mut values: Vec<usize> = (0..n).map(|i| (outputs >> (n - 1 - i)) & 1).collect();
         values.extend_from_slice(rvs);
@@ -184,7 +300,10 @@ impl<'a> BoundKc<'a> {
         for (spec, &value) in query.iter().zip(&values) {
             set_evidence(w, spec, value);
         }
-        let diffs = qkc_knowledge::evaluate_with_differentials(self.sim.nnf(), w);
+        let tape = self.sim.tape();
+        let mut eval = self.eval.borrow_mut();
+        let value = eval.differentials(tape, w);
+        let diffs = eval.take_differentials(tape, value);
         self.restore_scratch(w);
         diffs
     }
@@ -200,8 +319,35 @@ impl<'a> BoundKc<'a> {
     }
 
     /// Creates a Gibbs sampler over outputs and random events
-    /// (paper §3.3.2).
+    /// (paper §3.3.2). Transitions run on the flat tape through a
+    /// persistent evaluator (delta cone per accepted move).
     pub fn sampler(&self, options: &GibbsOptions) -> KcSampler<'_> {
+        let (vars, value_maps) = self.sampler_vars();
+        let sampler = GibbsSampler::new(self.sim.tape(), self.weights.clone(), vars, options);
+        KcSampler {
+            sampler,
+            value_maps,
+            num_outputs: self.sim.num_outputs(),
+        }
+    }
+
+    /// The enum-walk reference counterpart of [`BoundKc::sampler`]: same
+    /// chain, bit for bit, on the arena kernels. For equivalence tests and
+    /// kernel benchmarks.
+    #[doc(hidden)]
+    pub fn sampler_enum_walk(&self, options: &GibbsOptions) -> KcSampler<'_> {
+        let (vars, value_maps) = self.sampler_vars();
+        let sampler =
+            GibbsSampler::new_enum_walk(self.sim.nnf(), self.weights.clone(), vars, options);
+        KcSampler {
+            sampler,
+            value_maps,
+            num_outputs: self.sim.num_outputs(),
+        }
+    }
+
+    /// Query-variable layout shared by both sampler constructors.
+    fn sampler_vars(&self) -> (Vec<QueryVar>, Vec<Vec<usize>>) {
         let mut vars = Vec::new();
         let mut value_maps = Vec::new();
         for spec in self.sim.query() {
@@ -224,12 +370,7 @@ impl<'a> BoundKc<'a> {
                 value_maps.push(free.iter().map(|&(v, _)| v).collect());
             }
         }
-        let sampler = GibbsSampler::new(self.sim.nnf(), self.weights.clone(), vars, options);
-        KcSampler {
-            sampler,
-            value_maps,
-            num_outputs: self.sim.num_outputs(),
-        }
+        (vars, value_maps)
     }
 }
 

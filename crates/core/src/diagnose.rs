@@ -40,7 +40,7 @@ impl<'a> BoundKc<'a> {
         let diffs = self.differentials_for(outputs, rvs);
         let mut out = Vec::new();
         for (var, node, slot) in self.simulator().encoding().vars.params() {
-            if self.simulator().fixed().contains_key(&var) {
+            if self.simulator().fixed_vars().contains_key(&var) {
                 continue;
             }
             if let Some(d) = diffs.wrt_lit(var as i32) {

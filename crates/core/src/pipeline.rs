@@ -5,7 +5,9 @@
 use qkc_bayesnet::{BayesNet, NodeId};
 use qkc_circuit::Circuit;
 use qkc_cnf::{encode, simplify, Encoding, Lit, SimplifyError};
-use qkc_knowledge::{compile, project_out, smooth, CompileOptions, CompileStats, Nnf, VarOrder};
+use qkc_knowledge::{
+    compile, project_out, smooth, AcTape, CompileOptions, CompileStats, Nnf, VarOrder,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -54,7 +56,9 @@ pub struct PipelineMetrics {
     pub ac_nodes: usize,
     /// AC edges.
     pub ac_edges: usize,
-    /// AC serialized size in bytes (paper's "AC file size").
+    /// Exact resident size of the compiled execution tape in bytes (the
+    /// paper's "AC file size" metric, now measured rather than estimated) —
+    /// what the engine's artifact cache accounts per entry.
     pub ac_size_bytes: usize,
     /// Knowledge-compiler search statistics.
     pub compile_stats: CompileStats,
@@ -138,11 +142,19 @@ pub struct KcSimulator {
     encoding: Encoding,
     fixed: HashMap<u32, bool>,
     nnf: Nnf,
+    /// The flat execution form of `nnf` — every query kernel runs on this;
+    /// the enum arena is kept for serialization and as the reference
+    /// implementation the tape is tested against.
+    tape: AcTape,
     query: Vec<QuerySpec>,
     /// The CNF variables carrying free query-value literals — the only
     /// variables evidence ever touches (precomputed for the bind hot
     /// path's evidence save/restore).
     query_lit_vars: Vec<u32>,
+    /// Output indices ordered by ascending tape-cone size: basis
+    /// enumerations assign the most-frequently-flipped Gray bit to the
+    /// output whose evidence change dirties the fewest tape slots.
+    output_gray_order: Vec<usize>,
     metrics: PipelineMetrics,
 }
 
@@ -226,12 +238,16 @@ impl KcSimulator {
             .collect();
         let nnf = smooth(&nnf, &groups);
 
+        // Lower once into the flat execution tape; every bind/query kernel
+        // runs on it from here on.
+        let tape = AcTape::lower(&nnf);
+
         metrics.ac_nodes = nnf.num_nodes();
         metrics.ac_edges = nnf.num_edges();
-        metrics.ac_size_bytes = nnf.size_bytes();
+        metrics.ac_size_bytes = tape.size_bytes();
         metrics.compile_seconds = start.elapsed().as_secs_f64();
 
-        let query_lit_vars = query
+        let mut query_lit_vars: Vec<u32> = query
             .iter()
             .flat_map(|spec| {
                 spec.free_values()
@@ -239,13 +255,28 @@ impl KcSimulator {
                     .map(|(_, l)| l.unsigned_abs())
             })
             .collect();
+        // Binary specs yield both polarities of one CNF variable — dedup
+        // so the per-query evidence restore writes each variable once.
+        query_lit_vars.sort_unstable();
+        query_lit_vars.dedup();
+        let num_outputs = bn.outputs().len();
+        let mut output_gray_order: Vec<usize> = (0..num_outputs).collect();
+        let cone_of = |i: &usize| {
+            let lits: Vec<Lit> = query[*i].free_values().iter().map(|&(_, l)| l).collect();
+            tape.cone_size(&lits)
+        };
+        // `sort_by_cached_key`: each cone traversal allocates and walks
+        // the parent CSR, so compute it once per output.
+        output_gray_order.sort_by_cached_key(cone_of);
         Ok(Self {
             bn,
             encoding,
             fixed,
             nnf,
+            tape,
             query,
             query_lit_vars,
+            output_gray_order,
             metrics,
         })
     }
@@ -295,9 +326,22 @@ impl KcSimulator {
         &self.encoding
     }
 
-    /// The compiled, smoothed arithmetic circuit.
+    /// The compiled, smoothed arithmetic circuit (enum-arena reference
+    /// form; kept for serialization and equivalence testing).
     pub fn nnf(&self) -> &Nnf {
         &self.nnf
+    }
+
+    /// The flat execution tape every query kernel runs on.
+    pub fn tape(&self) -> &AcTape {
+        &self.tape
+    }
+
+    /// Variables fixed by unit resolution (and their forced polarity).
+    /// Public so reference implementations and tests can reconstruct the
+    /// bind step's weight layout exactly.
+    pub fn fixed_vars(&self) -> &HashMap<u32, bool> {
+        &self.fixed
     }
 
     /// Query-variable layout: outputs first (one per qubit), then
@@ -321,8 +365,8 @@ impl KcSimulator {
         &self.metrics
     }
 
-    pub(crate) fn fixed(&self) -> &HashMap<u32, bool> {
-        &self.fixed
+    pub(crate) fn output_gray_order(&self) -> &[usize] {
+        &self.output_gray_order
     }
 
     pub(crate) fn query_lit_vars(&self) -> &[u32] {

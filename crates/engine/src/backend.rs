@@ -133,9 +133,10 @@ pub trait Backend: Send + Sync {
     /// numerics contract.
     ///
     /// The default runs the bindings sequentially; compile-once backends
-    /// override it to amortize one artifact traversal over the whole batch
-    /// ([`KcBackend`] binds all points at once and updates one weight lane
-    /// per point in each arithmetic-circuit pass).
+    /// override it to amortize the compiled artifact over the whole batch
+    /// ([`KcBackend`] compiles once and reconstructs each point through
+    /// the flat tape's delta evaluator, which recomputes only the dirty
+    /// cone between basis states).
     ///
     /// # Errors
     ///
@@ -293,19 +294,33 @@ impl Backend for KcBackend {
         if params.is_empty() {
             return Ok(Vec::new());
         }
+        // Compile once, then per-point scalar binds: since the flat tape's
+        // delta evaluator recomputes only the dirty cone between basis
+        // states (Gray-ordered sweeps), the scalar reconstruction now beats
+        // the k-lane full-recompute batch kernel — and both are bit-for-bit
+        // identical, so routing here keeps sweep results byte-identical to
+        // every earlier configuration. (`bind_batch` remains the right tool
+        // for amortizing many *bindings* of one evidence assignment; see
+        // the ROADMAP's delta-aware batch lanes item for combining both.)
         let artifact = self.cache.get_or_compile(circuit, &self.options);
-        let bound = artifact
-            .bind_batch(params)
-            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
-        if artifact.num_random_events() == 0 {
-            return Ok(bound
-                .wavefunctions()
-                .into_iter()
-                .map(|wf| wf.iter().map(|a| a.norm_sqr()).collect())
-                .collect());
-        }
-        self.ensure_exact_budget(circuit)?;
-        Ok(bound.output_probabilities())
+        params
+            .iter()
+            .map(|p| {
+                // Same order as the scalar `probabilities`: bind first
+                // (surfacing unbound-symbol errors), then the enumeration
+                // budget — so `result[i]` fails exactly like the scalar
+                // call for binding `i` would.
+                let bound = artifact
+                    .bind(p)
+                    .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+                if artifact.num_random_events() == 0 {
+                    Ok(bound.wavefunction().iter().map(|a| a.norm_sqr()).collect())
+                } else {
+                    self.ensure_exact_budget(circuit)?;
+                    Ok(bound.output_probabilities())
+                }
+            })
+            .collect()
     }
 
     fn sample(

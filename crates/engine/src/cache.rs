@@ -127,6 +127,38 @@ impl ArtifactCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Exact bytes of compiled execution tape resident in the cache: the
+    /// sum of `ac_size_bytes` over every finished artifact (entries still
+    /// compiling contribute 0). This is the occupancy figure a size-aware
+    /// eviction policy evicts against.
+    pub fn resident_bytes(&self) -> usize {
+        self.occupancy().1
+    }
+
+    /// Entry count and resident tape bytes, read under one lock
+    /// acquisition so the pair is mutually consistent.
+    fn occupancy(&self) -> (usize, usize) {
+        let map = self.entries.lock().expect("cache poisoned");
+        let bytes = map
+            .values()
+            .filter_map(|e| e.cell.get())
+            .map(|artifact| artifact.metrics().ac_size_bytes)
+            .sum();
+        (map.len(), bytes)
+    }
+
+    /// A point-in-time snapshot of counters and resident footprint (the
+    /// hit/miss counters are sampled alongside, best-effort).
+    pub fn stats(&self) -> crate::CacheStats {
+        let (entries, resident_bytes) = self.occupancy();
+        crate::CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries,
+            resident_bytes,
+        }
+    }
+
     /// Number of cached artifacts.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache poisoned").len()
@@ -206,6 +238,30 @@ mod tests {
         .expect("scope");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn resident_bytes_track_cached_artifacts() {
+        let cache = ArtifactCache::new();
+        assert_eq!(cache.resident_bytes(), 0);
+        let a = cache.get_or_compile(&parameterized(), &KcOptions::default());
+        let one = cache.resident_bytes();
+        assert_eq!(one, a.metrics().ac_size_bytes);
+        assert!(one > 0);
+        // A second structure adds its own tape bytes.
+        let mut widened = parameterized();
+        widened.h(1);
+        let b = cache.get_or_compile(&widened, &KcOptions::default());
+        assert_eq!(
+            cache.resident_bytes(),
+            a.metrics().ac_size_bytes + b.metrics().ac_size_bytes
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.resident_bytes, cache.resident_bytes());
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
     }
 
     #[test]

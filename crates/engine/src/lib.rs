@@ -66,7 +66,7 @@ pub use backend::{
 pub use cache::ArtifactCache;
 pub use facade::{Engine, EngineOptions};
 pub use planner::{Plan, PlanHint, Planner};
-pub use stats::CircuitStats;
+pub use stats::{CacheStats, CircuitStats};
 pub use sweep::{SweepExecutor, SweepPoint, SweepSpec, DEFAULT_BATCH};
 pub use variational::{
     minimize_variational, minimize_variational_terms, VariationalConfig, VariationalResult,

@@ -1,7 +1,26 @@
-//! Circuit statistics that drive backend planning.
+//! Circuit statistics that drive backend planning, and cache-occupancy
+//! statistics that will drive size-aware eviction.
 
 use qkc_circuit::{Circuit, Operation};
 use std::collections::BTreeSet;
+
+/// A point-in-time snapshot of the [`ArtifactCache`](crate::ArtifactCache):
+/// request counters plus the exact resident footprint of the compiled
+/// execution tapes it holds (the sum of each artifact's
+/// `PipelineMetrics::ac_size_bytes`). The byte figure is the input a
+/// size-aware eviction policy needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from an existing artifact.
+    pub hits: u64,
+    /// Requests that compiled a new artifact.
+    pub misses: u64,
+    /// Number of cached artifacts (compiled or still compiling).
+    pub entries: usize,
+    /// Exact bytes of compiled execution tape resident across every
+    /// *finished* artifact (in-flight compilations count 0 until done).
+    pub resident_bytes: usize,
+}
 
 /// Structural statistics of a circuit, cheap to compute (no compilation),
 /// used by the [`Planner`](crate::Planner) to pick a backend.

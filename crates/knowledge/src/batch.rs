@@ -34,10 +34,12 @@ use std::collections::HashMap;
 /// binding (query-variable indicators) is written once with
 /// [`AcWeightsBatch::set_all`], per-binding parameter values with
 /// [`AcWeightsBatch::set_lane`].
+/// Lane rows are stored interleaved by [`AcWeights::slot_of`] slot — the
+/// `k` lanes of `w(+v)` at row `2v`, of `w(-v)` at row `2v+1` — so the
+/// compiled tape's precomputed literal slots index a row directly.
 #[derive(Debug, Clone)]
 pub struct AcWeightsBatch {
-    pos: Vec<Complex>,
-    neg: Vec<Complex>,
+    w: Vec<Complex>,
     lanes: usize,
 }
 
@@ -45,8 +47,7 @@ impl AcWeightsBatch {
     /// All-ones weights over `num_vars` variables and `lanes` bindings.
     pub fn uniform(num_vars: usize, lanes: usize) -> Self {
         Self {
-            pos: vec![C_ONE; (num_vars + 1) * lanes],
-            neg: vec![C_ONE; (num_vars + 1) * lanes],
+            w: vec![C_ONE; 2 * (num_vars + 1) * lanes],
             lanes,
         }
     }
@@ -58,24 +59,23 @@ impl AcWeightsBatch {
 
     /// Number of variables covered (0 for an empty, zero-lane batch).
     pub fn num_vars(&self) -> usize {
-        self.pos
+        self.w
             .len()
-            .checked_div(self.lanes)
+            .checked_div(2 * self.lanes)
             .map_or(0, |rows| rows - 1)
     }
 
     /// Sets both polarities of variable `v` in lane `lane`.
     pub fn set_lane(&mut self, v: u32, lane: usize, pos: Complex, neg: Complex) {
-        let at = v as usize * self.lanes + lane;
-        self.pos[at] = pos;
-        self.neg[at] = neg;
+        self.w[2 * v as usize * self.lanes + lane] = pos;
+        self.w[(2 * v as usize + 1) * self.lanes + lane] = neg;
     }
 
     /// Sets both polarities of variable `v` in every lane (shared evidence).
     pub fn set_all(&mut self, v: u32, pos: Complex, neg: Complex) {
-        let row = v as usize * self.lanes;
-        self.pos[row..row + self.lanes].fill(pos);
-        self.neg[row..row + self.lanes].fill(neg);
+        let row = 2 * v as usize * self.lanes;
+        self.w[row..row + self.lanes].fill(pos);
+        self.w[row + self.lanes..row + 2 * self.lanes].fill(neg);
     }
 
     /// Copies every lane of variable `v` from `src` (row-level
@@ -86,9 +86,8 @@ impl AcWeightsBatch {
     /// Panics if `src` has a different lane count.
     pub fn copy_var_from(&mut self, src: &AcWeightsBatch, v: u32) {
         assert_eq!(self.lanes, src.lanes, "lane count mismatch");
-        let row = v as usize * self.lanes;
-        self.pos[row..row + self.lanes].copy_from_slice(&src.pos[row..row + self.lanes]);
-        self.neg[row..row + self.lanes].copy_from_slice(&src.neg[row..row + self.lanes]);
+        let row = 2 * v as usize * self.lanes;
+        self.w[row..row + 2 * self.lanes].copy_from_slice(&src.w[row..row + 2 * self.lanes]);
     }
 
     /// The weight of literal `l` in lane `lane`.
@@ -100,12 +99,20 @@ impl AcWeightsBatch {
     /// The `k` lane weights of a literal, contiguous.
     #[inline]
     pub fn row(&self, l: Lit) -> &[Complex] {
-        let (store, v) = if l > 0 {
-            (&self.pos, l as usize)
-        } else {
-            (&self.neg, (-l) as usize)
-        };
-        &store[v * self.lanes..(v + 1) * self.lanes]
+        self.row_by_slot(crate::AcWeights::slot_of(l))
+    }
+
+    /// The `k` lane weights at a precomputed
+    /// [`slot_of`](crate::AcWeights::slot_of) slot.
+    #[inline]
+    pub fn row_by_slot(&self, slot: u32) -> &[Complex] {
+        &self.w[slot as usize * self.lanes..(slot as usize + 1) * self.lanes]
+    }
+
+    /// Number of interleaved slots covered (`2 × (num_vars + 1)`).
+    #[inline]
+    pub(crate) fn num_slots(&self) -> usize {
+        self.w.len().checked_div(self.lanes).unwrap_or(0)
     }
 }
 

@@ -17,40 +17,63 @@ use std::collections::HashMap;
 /// * Query variables under evidence: the indicator of the observed value
 ///   gets 1, the others 0.
 /// * Everything else (summed-out internal states): both 1.
+///
+/// Weights are stored interleaved — slot `2v` is `w(+v)`, slot `2v+1` is
+/// `w(-v)` — so a literal weight is one indexed load once its slot is
+/// known. The compiled tape precomputes literal slots at lowering time,
+/// making the leaf fetch branch-free on the hot path.
 #[derive(Debug, Clone)]
 pub struct AcWeights {
-    pos: Vec<Complex>,
-    neg: Vec<Complex>,
+    w: Vec<Complex>,
 }
 
 impl AcWeights {
     /// All-ones weights over `num_vars` variables.
     pub fn uniform(num_vars: usize) -> Self {
         Self {
-            pos: vec![C_ONE; num_vars + 1],
-            neg: vec![C_ONE; num_vars + 1],
+            w: vec![C_ONE; 2 * (num_vars + 1)],
+        }
+    }
+
+    /// The interleaved storage slot of a literal: `2v` for `+v`, `2v+1`
+    /// for `-v`.
+    #[inline]
+    pub fn slot_of(l: Lit) -> u32 {
+        if l > 0 {
+            2 * l as u32
+        } else {
+            2 * (-l) as u32 + 1
         }
     }
 
     /// Sets both polarities of variable `v`.
+    #[inline]
     pub fn set(&mut self, v: u32, pos: Complex, neg: Complex) {
-        self.pos[v as usize] = pos;
-        self.neg[v as usize] = neg;
+        self.w[2 * v as usize] = pos;
+        self.w[2 * v as usize + 1] = neg;
     }
 
     /// The weight of a literal.
     #[inline]
     pub fn get(&self, l: Lit) -> Complex {
-        if l > 0 {
-            self.pos[l as usize]
-        } else {
-            self.neg[(-l) as usize]
-        }
+        self.w[Self::slot_of(l) as usize]
+    }
+
+    /// The weight at a precomputed [`slot_of`](AcWeights::slot_of) slot.
+    #[inline]
+    pub fn by_slot(&self, slot: u32) -> Complex {
+        self.w[slot as usize]
+    }
+
+    /// Number of interleaved slots (`2 × (num_vars + 1)`).
+    #[inline]
+    pub(crate) fn num_slots(&self) -> usize {
+        self.w.len()
     }
 
     /// Number of variables covered.
     pub fn num_vars(&self) -> usize {
-        self.pos.len() - 1
+        self.w.len() / 2 - 1
     }
 }
 

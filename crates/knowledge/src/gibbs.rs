@@ -6,9 +6,18 @@
 //! update costs a single upward + downward pass: the downward differentials
 //! give the amplitude of every single-variable reassignment at once, and the
 //! new value is drawn proportionally to `|amplitude|²`.
+//!
+//! Transitions run on the flat [`AcTape`] through a persistent
+//! [`TapeEvaluator`], so a step performs zero allocations: the value /
+//! partial buffers, the conditional-probability column, and the MH proposal
+//! scratch are all owned by the sampler. [`GibbsSampler::new_enum_walk`]
+//! keeps the original enum-arena kernels as a reference implementation —
+//! both produce bit-identical chains for the same seed, which the
+//! equivalence tests assert.
 
-use crate::evaluate::{evaluate_with_differentials, sample_model, AcWeights};
+use crate::evaluate::{evaluate, evaluate_with_differentials, sample_model, AcWeights};
 use crate::nnf::Nnf;
+use crate::tape::{AcTape, TapeEvaluator};
 use qkc_cnf::Lit;
 use qkc_math::{Complex, C_ONE, C_ZERO};
 use rand::rngs::StdRng;
@@ -62,16 +71,50 @@ impl Default for GibbsOptions {
     }
 }
 
+/// The compiled circuit a chain runs on: the flat tape (production) or the
+/// enum arena (reference). Both kernels are bit-for-bit equivalent; the
+/// tape path additionally reuses every buffer across transitions.
+// The size skew vs the reference variant is fine: exactly one kernel is
+// embedded per (long-lived) sampler, so nothing pays for the larger one.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Kernel<'a> {
+    Tape {
+        tape: &'a AcTape,
+        eval: TapeEvaluator,
+        /// CNF variables whose weights changed since the last differential
+        /// pass — the delta set the next pass recomputes the cone of.
+        changed: Vec<u32>,
+        /// Too many changes to track (initialization, MH proposals):
+        /// the next differential pass runs in full.
+        changed_full: bool,
+        /// The evaluator's partials still describe the current weights
+        /// (no weight change since the last differential pass), so a
+        /// rejected/held move can reuse them without any pass at all.
+        diffs_fresh: bool,
+    },
+    EnumWalk {
+        nnf: &'a Nnf,
+    },
+}
+
 /// A Gibbs sampler over a smoothed arithmetic circuit.
 #[derive(Debug)]
 pub struct GibbsSampler<'a> {
-    nnf: &'a Nnf,
+    kernel: Kernel<'a>,
     weights: AcWeights,
     vars: Vec<QueryVar>,
     state: Vec<usize>,
     /// Indices of unfixed variables — vars are immutable after
     /// construction, so this is built once instead of per transition.
     movable: Vec<usize>,
+    /// Conditional `|amplitude|²` column scratch, one slot per domain value
+    /// of the widest variable — reused every coordinate update.
+    probs: Vec<f64>,
+    /// MH-move scratch: the pre-proposal state and the proposal, reused.
+    saved_state: Vec<usize>,
+    /// Model-sampling scratch for chain initialization.
+    model_lits: Vec<Lit>,
     rng: StdRng,
     steps_taken: u64,
     moves_accepted: u64,
@@ -81,14 +124,14 @@ pub struct GibbsSampler<'a> {
 }
 
 /// Bounded redraw budget for zero-density starts (see
-/// [`GibbsSampler::new`]): `sample_model` weights branches by magnitude,
+/// [`GibbsSampler::new`]): model sampling weights branches by magnitude,
 /// so each redraw lands on a cancelled state with probability < 1 whenever
 /// the wavefunction has support, and the budget is generous enough that
 /// exhausting it is astronomically unlikely in that case.
 const ZERO_DENSITY_REDRAWS: usize = 32;
 
 impl<'a> GibbsSampler<'a> {
-    /// Creates a sampler.
+    /// Creates a sampler over the flat compiled tape.
     ///
     /// `base_weights` must already carry parameter-variable values (and 1/1
     /// for summed-out internals); this sampler owns the evidence weights of
@@ -98,7 +141,40 @@ impl<'a> GibbsSampler<'a> {
     ///
     /// Panics if a query variable has an empty domain.
     pub fn new(
+        tape: &'a AcTape,
+        base_weights: AcWeights,
+        vars: Vec<QueryVar>,
+        options: &GibbsOptions,
+    ) -> Self {
+        Self::with_kernel(
+            Kernel::Tape {
+                tape,
+                eval: TapeEvaluator::new(),
+                changed: Vec::new(),
+                changed_full: true,
+                diffs_fresh: false,
+            },
+            base_weights,
+            vars,
+            options,
+        )
+    }
+
+    /// Creates a sampler running the original enum-arena kernels — the
+    /// reference implementation the tape path is tested against. Same seed,
+    /// same chain, bit for bit; every transition re-allocates its buffers.
+    #[doc(hidden)]
+    pub fn new_enum_walk(
         nnf: &'a Nnf,
+        base_weights: AcWeights,
+        vars: Vec<QueryVar>,
+        options: &GibbsOptions,
+    ) -> Self {
+        Self::with_kernel(Kernel::EnumWalk { nnf }, base_weights, vars, options)
+    }
+
+    fn with_kernel(
+        kernel: Kernel<'a>,
         base_weights: AcWeights,
         vars: Vec<QueryVar>,
         options: &GibbsOptions,
@@ -112,12 +188,16 @@ impl<'a> GibbsSampler<'a> {
         let movable: Vec<usize> = (0..vars.len())
             .filter(|&i| vars[i].fixed.is_none())
             .collect();
+        let max_domain = vars.iter().map(|v| v.value_lits.len()).max().unwrap_or(0);
         let mut sampler = Self {
-            nnf,
+            kernel,
             weights: base_weights,
             state: vec![0; vars.len()],
             vars,
             movable,
+            probs: Vec::with_capacity(max_domain),
+            saved_state: Vec::new(),
+            model_lits: Vec::new(),
             rng,
             steps_taken: 0,
             moves_accepted: 0,
@@ -129,8 +209,17 @@ impl<'a> GibbsSampler<'a> {
         // Sharply peaked distributions — the variational regime of the
         // paper's Figure 3 — make random initialization land on
         // zero-amplitude states from which single-flip Gibbs cannot escape.
-        sampler.draw_start();
-        // `sample_model` weights branches by magnitude, so phase
+        //
+        // The model-sampling magnitudes depend only on the summed-out base
+        // weights, which are identical on every redraw attempt (evidence is
+        // reset in between), so the tape kernel computes the magnitude
+        // buffer once and reuses it across the whole redraw loop.
+        let has_support = match &mut sampler.kernel {
+            Kernel::Tape { tape, eval, .. } => eval.model_magnitudes(tape, &sampler.weights) > 0.0,
+            Kernel::EnumWalk { .. } => true, // checked per draw by sample_model
+        };
+        sampler.draw_start(has_support);
+        // Model sampling weights branches by magnitude, so phase
         // cancellation can still land the draw on a zero-amplitude state
         // (e.g. a destructively interfering branch whose sub-circuit
         // magnitudes dominate). Redraw before warmup, bounded.
@@ -139,7 +228,7 @@ impl<'a> GibbsSampler<'a> {
                 break;
             }
             sampler.reset_query_weights();
-            sampler.draw_start();
+            sampler.draw_start(has_support);
         }
         // Warm-up moves the chain into the support and mixes it.
         for _ in 0..options.warmup {
@@ -150,9 +239,24 @@ impl<'a> GibbsSampler<'a> {
 
     /// Draws a start state by magnitude-weighted model sampling, applies
     /// its evidence, and records the resulting `|amplitude|²`. Expects the
-    /// query-variable weights to be in their summed-out (1, 1) state.
-    fn draw_start(&mut self) {
-        let model = sample_model(self.nnf, &self.weights, &mut self.rng);
+    /// query-variable weights to be in their summed-out (1, 1) state — and,
+    /// on the tape kernel, the magnitude buffer to be current for those
+    /// weights (it is computed once in the constructor and reused across
+    /// redraws, since the weights do not change in between).
+    fn draw_start(&mut self, has_support: bool) {
+        // Initialization rewrites every query variable's evidence.
+        self.note_weights_changed_all();
+        let model = match &mut self.kernel {
+            Kernel::Tape { tape, eval, .. } => {
+                if has_support {
+                    eval.draw_model(tape, &mut self.rng, &mut self.model_lits);
+                    Some(std::mem::take(&mut self.model_lits))
+                } else {
+                    None
+                }
+            }
+            Kernel::EnumWalk { nnf } => sample_model(nnf, &self.weights, &mut self.rng),
+        };
         let mut polarity: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
         if let Some(lits) = &model {
             for &l in lits {
@@ -173,16 +277,20 @@ impl<'a> GibbsSampler<'a> {
             let domain = v.value_lits.len();
             self.state[i] = chosen.unwrap_or_else(|| self.rng.gen_range(0..domain));
         }
+        // Return the lits buffer for the next redraw.
+        if let Some(lits) = model {
+            self.model_lits = lits;
+        }
         for i in 0..self.vars.len() {
             if !self.vars[i].value_lits.is_empty() {
                 self.apply_evidence(i);
             }
         }
-        self.current_density = self.current_amplitude().norm_sqr();
+        self.current_density = self.amplitude_of_current_state().norm_sqr();
     }
 
     /// Restores the summed-out (1, 1) weights of every query literal,
-    /// undoing applied evidence so `sample_model` sees the base
+    /// undoing applied evidence so model sampling sees the base
     /// distribution again.
     fn reset_query_weights(&mut self) {
         for var in &self.vars {
@@ -238,7 +346,8 @@ impl<'a> GibbsSampler<'a> {
     /// One transition: with probability `mh_restart_prob` an independence
     /// MH move, otherwise a Gibbs coordinate update — pick a random unfixed
     /// variable, compute the conditional |amplitude|² of each of its values
-    /// via one upward+downward pass, and resample it.
+    /// via one upward+downward pass, and resample it. Zero allocations on
+    /// the tape kernel.
     pub fn step(&mut self) {
         if self.movable.is_empty() {
             return;
@@ -249,29 +358,98 @@ impl<'a> GibbsSampler<'a> {
         }
         let i = self.movable[self.rng.gen_range(0..self.movable.len())];
         self.steps_taken += 1;
-        let d = evaluate_with_differentials(self.nnf, &self.weights);
-        let var = &self.vars[i];
         // By Darwiche's differential semantics each value's literal
         // derivative is the amplitude with this variable re-assigned —
         // for binary nodes value 0's literal is `-v`, so one rule covers
         // both encodings.
-        let probs: Vec<f64> = var
-            .value_lits
-            .iter()
-            .map(|&lit| d.wrt_lit(lit).unwrap_or(C_ZERO).norm_sqr())
-            .collect();
-        let total: f64 = probs.iter().sum();
+        let var = &self.vars[i];
+        self.probs.clear();
+        match &mut self.kernel {
+            Kernel::Tape {
+                tape,
+                eval,
+                changed,
+                changed_full,
+                diffs_fresh,
+            } => {
+                // Weights unchanged since the last differential pass
+                // (previous update resampled the same value): the partials
+                // are still exact — skip both passes entirely. Otherwise
+                // recompute just the dirty cone of the variables that
+                // moved, falling back to a full pass after initialization
+                // or MH proposals. All three paths are bit-for-bit the
+                // full recompute the enum walk performs.
+                if !(*diffs_fresh && changed.is_empty() && !*changed_full) {
+                    if *changed_full {
+                        eval.differentials(tape, &self.weights);
+                    } else {
+                        eval.differentials_delta(tape, &self.weights, changed);
+                    }
+                    changed.clear();
+                    *changed_full = false;
+                    *diffs_fresh = true;
+                }
+                self.probs.extend(
+                    var.value_lits
+                        .iter()
+                        .map(|&lit| eval.wrt_lit(tape, lit).unwrap_or(C_ZERO).norm_sqr()),
+                );
+            }
+            Kernel::EnumWalk { nnf } => {
+                let d = evaluate_with_differentials(nnf, &self.weights);
+                self.probs.extend(
+                    var.value_lits
+                        .iter()
+                        .map(|&lit| d.wrt_lit(lit).unwrap_or(C_ZERO).norm_sqr()),
+                );
+            }
+        }
+        let total: f64 = self.probs.iter().sum();
         if total <= 0.0 {
             // Zero-support column (can only happen from a zero-amplitude
             // start state): leave the coordinate and try another next step.
             return;
         }
-        let new_value = qkc_math::sample_cdf(&probs, &mut self.rng);
-        self.current_density = probs[new_value];
+        let new_value = qkc_math::sample_cdf(&self.probs, &mut self.rng);
+        self.current_density = self.probs[new_value];
         if new_value != self.state[i] {
             self.moves_accepted += 1;
             self.state[i] = new_value;
             self.apply_evidence(i);
+            self.note_weights_changed(i);
+        }
+    }
+
+    /// Records that variable `i`'s evidence weights changed, so the tape
+    /// kernel's next differential pass recomputes (only) its cone.
+    fn note_weights_changed(&mut self, i: usize) {
+        if let Kernel::Tape {
+            changed,
+            changed_full,
+            diffs_fresh,
+            ..
+        } = &mut self.kernel
+        {
+            *diffs_fresh = false;
+            if !*changed_full {
+                changed.extend(self.vars[i].value_lits.iter().map(|l| l.unsigned_abs()));
+            }
+        }
+    }
+
+    /// Records a bulk weight change (initialization, MH proposals): the
+    /// tape kernel's next differential pass runs in full.
+    fn note_weights_changed_all(&mut self) {
+        if let Kernel::Tape {
+            changed,
+            changed_full,
+            diffs_fresh,
+            ..
+        } = &mut self.kernel
+        {
+            *diffs_fresh = false;
+            *changed_full = true;
+            changed.clear();
         }
     }
 
@@ -281,31 +459,31 @@ impl<'a> GibbsSampler<'a> {
     /// density ratio).
     fn mh_move(&mut self) {
         self.steps_taken += 1;
-        let old_state = self.state.clone();
-        let proposal: Vec<(usize, usize)> = self
-            .movable
-            .iter()
-            .map(|&i| (i, self.rng.gen_range(0..self.vars[i].value_lits.len())))
-            .collect();
-        for &(i, v) in &proposal {
-            self.state[i] = v;
+        // The proposal rewrites every movable variable's evidence (and a
+        // rejection rewrites it back).
+        self.note_weights_changed_all();
+        self.saved_state.clear();
+        self.saved_state.extend_from_slice(&self.state);
+        for mi in 0..self.movable.len() {
+            let i = self.movable[mi];
+            self.state[i] = self.rng.gen_range(0..self.vars[i].value_lits.len());
             self.apply_evidence(i);
         }
-        let new_density = self.current_amplitude().norm_sqr();
+        let new_density = self.amplitude_of_current_state().norm_sqr();
         let accept = if self.current_density <= 0.0 {
             new_density > 0.0
         } else {
             self.rng.gen::<f64>() < (new_density / self.current_density).min(1.0)
         };
         if accept {
-            if self.state != old_state {
+            if self.state != self.saved_state {
                 self.moves_accepted += 1;
             }
             self.current_density = new_density;
         } else {
-            self.state = old_state;
-            for &(i, _) in &proposal {
-                self.apply_evidence(i);
+            self.state.copy_from_slice(&self.saved_state);
+            for mi in 0..self.movable.len() {
+                self.apply_evidence(self.movable[mi]);
             }
         }
     }
@@ -329,9 +507,16 @@ impl<'a> GibbsSampler<'a> {
         out
     }
 
+    fn amplitude_of_current_state(&mut self) -> Complex {
+        match &mut self.kernel {
+            Kernel::Tape { tape, eval, .. } => eval.evaluate(tape, &self.weights),
+            Kernel::EnumWalk { nnf } => evaluate(nnf, &self.weights),
+        }
+    }
+
     /// The amplitude of the chain's current full assignment.
-    pub fn current_amplitude(&self) -> Complex {
-        crate::evaluate::evaluate(self.nnf, &self.weights)
+    pub fn current_amplitude(&mut self) -> Complex {
+        self.amplitude_of_current_state()
     }
 }
 
@@ -365,8 +550,9 @@ mod tests {
     #[test]
     fn chain_respects_support() {
         let nnf = parity_nnf();
+        let tape = AcTape::lower(&nnf);
         let mut sampler = GibbsSampler::new(
-            &nnf,
+            &tape,
             AcWeights::uniform(2),
             parity_vars(),
             &GibbsOptions {
@@ -394,6 +580,7 @@ mod tests {
         let c = compile(&f, &CompileOptions::default());
         let groups: Vec<Vec<Lit>> = (1..=2).map(|v| vec![v, -v]).collect();
         let nnf = smooth(&c.nnf, &groups);
+        let tape = AcTape::lower(&nnf);
         let base = AcWeights::uniform(2);
         let vars: Vec<QueryVar> = (1..=2)
             .map(|v| QueryVar {
@@ -406,7 +593,7 @@ mod tests {
         // bias by scaling one variable's indicator weights via params? Keep
         // simple: uniform weights give 50/50 marginals.
         let mut sampler = GibbsSampler::new(
-            &nnf,
+            &tape,
             base,
             vars,
             &GibbsOptions {
@@ -428,10 +615,11 @@ mod tests {
     #[test]
     fn fixed_vars_never_move() {
         let nnf = parity_nnf();
+        let tape = AcTape::lower(&nnf);
         let mut vars = parity_vars();
         vars[0].fixed = Some(1);
         let mut sampler = GibbsSampler::new(
-            &nnf,
+            &tape,
             AcWeights::uniform(2),
             vars,
             &GibbsOptions {
@@ -453,7 +641,7 @@ mod tests {
         // f = (v1 ↔ v2) ∧ (v1 ∨ v3) with phase weights w(±v3) = (1, -1):
         // amp(0,0) = w(+v3) = 1 (v3 forced true), amp(1,1) = 1 + (-1) = 0
         // (destructive interference over the free v3), and the off-parity
-        // states are unsatisfiable. `sample_model` weights branches by
+        // states are unsatisfiable. Model sampling weights branches by
         // *magnitude*, so it prefers the cancelled (1,1) branch (mass 2 of
         // 3) — without the zero-density redraw the chain starts at a
         // zero-amplitude state it can never leave by single flips, and
@@ -466,11 +654,12 @@ mod tests {
         let c = compile(&f, &CompileOptions::default());
         let groups: Vec<Vec<Lit>> = (1..=3).map(|v| vec![v, -v]).collect();
         let nnf = smooth(&c.nnf, &groups);
+        let tape = AcTape::lower(&nnf);
         for seed in 0..20 {
             let mut base = AcWeights::uniform(3);
             base.set(3, C_ONE, qkc_math::Complex::real(-1.0));
             let mut sampler = GibbsSampler::new(
-                &nnf,
+                &tape,
                 base,
                 parity_vars(),
                 &GibbsOptions {
@@ -495,10 +684,47 @@ mod tests {
     }
 
     #[test]
+    fn tape_and_enum_walk_chains_are_bit_identical() {
+        // Same seed, same circuit, both kernels: states, acceptance
+        // bookkeeping, and the full sample stream must match exactly —
+        // including through zero-density redraws (interference circuit).
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![-1, 2]);
+        f.add_clause(vec![1, -2]);
+        f.add_clause(vec![1, 3]);
+        let c = compile(&f, &CompileOptions::default());
+        let groups: Vec<Vec<Lit>> = (1..=3).map(|v| vec![v, -v]).collect();
+        let nnf = smooth(&c.nnf, &groups);
+        let tape = AcTape::lower(&nnf);
+        for seed in 0..10 {
+            let mut base = AcWeights::uniform(3);
+            base.set(3, C_ONE, qkc_math::Complex::real(-1.0));
+            let options = GibbsOptions {
+                warmup: 25,
+                thin: 1,
+                seed,
+                mh_restart_prob: 0.10,
+            };
+            let mut tape_chain = GibbsSampler::new(&tape, base.clone(), parity_vars(), &options);
+            let mut enum_chain = GibbsSampler::new_enum_walk(&nnf, base, parity_vars(), &options);
+            assert_eq!(tape_chain.state(), enum_chain.state(), "seed {seed}");
+            let a = tape_chain.sample_with(200, 1, |s| s.to_vec());
+            let b = enum_chain.sample_with(200, 1, |s| s.to_vec());
+            assert_eq!(a, b, "seed {seed}: chains diverged");
+            assert_eq!(
+                tape_chain.acceptance_rate(),
+                enum_chain.acceptance_rate(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
     fn acceptance_rate_reported() {
         let nnf = parity_nnf();
+        let tape = AcTape::lower(&nnf);
         let mut sampler = GibbsSampler::new(
-            &nnf,
+            &tape,
             AcWeights::uniform(2),
             parity_vars(),
             &GibbsOptions::default(),

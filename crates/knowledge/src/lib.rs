@@ -14,6 +14,13 @@
 //! `k` weight lanes ([`AcWeightsBatch`]) in contiguous loops, bit-for-bit
 //! equal to `k` scalar evaluations.
 //!
+//! Production queries run on the flat execution form: [`AcTape`] lowers the
+//! enum arena once into a topologically-ordered instruction stream with CSR
+//! child storage, and [`TapeEvaluator`] runs every kernel (scalar, batched,
+//! differential, model sampling) over persistent buffers — zero allocations
+//! per query after warmup, bit-for-bit identical to the enum-walk kernels,
+//! which remain as the reference implementation.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,6 +46,7 @@ mod evaluate;
 mod gibbs;
 mod nnf;
 mod order;
+mod tape;
 mod transform;
 
 pub use batch::{
@@ -50,4 +58,5 @@ pub use evaluate::{evaluate, evaluate_with_differentials, AcWeights, Differentia
 pub use gibbs::{GibbsOptions, GibbsSampler, QueryVar};
 pub use nnf::{Nnf, NnfBuilder, NnfId, NnfNode};
 pub use order::{compute_ranks, VarOrder};
+pub use tape::{AcTape, TapeDifferentials, TapeEvaluator, TapeId, TapeOp, TapeOpKind};
 pub use transform::{project_out, smooth};

@@ -1,0 +1,1504 @@
+//! Flat compiled-circuit tape: the cache-friendly execution form of an
+//! [`Nnf`].
+//!
+//! Every query the system answers — amplitudes, probabilities,
+//! expectations, Gibbs transitions, batched sweep lanes — bottoms out in a
+//! traversal of the compiled d-DNNF (paper §3.2–3.3). The enum arena is
+//! the right shape for *building* (hash-consing, transformation passes) but
+//! the wrong shape for *executing*: every AND node chases a `Box<[NnfId]>`
+//! pointer, every node pays a 24-byte enum decode, literal leaves branch on
+//! the weight sign, and every traversal re-allocates its value buffers.
+//! [`AcTape`] is a one-time lowering into a flat, topologically-ordered
+//! instruction stream with CSR child storage (one contiguous edge buffer
+//! plus per-node ranges), constant folding and dead-node pruning, a
+//! dedicated two-child AND opcode (the dominant shape exhaustive-DPLL
+//! compilation produces), precomputed branch-free literal weight slots, and
+//! a literal→slot table that replaces the per-call `HashMap` the
+//! differential pass used to build.
+//!
+//! [`TapeEvaluator`] owns every scratch buffer the kernels need, so after
+//! the first call on a given tape no query allocates — and buffers whose
+//! every slot is overwritten by a pass are not even re-zeroed between
+//! calls. The upward pass, the upward+downward differential pass, the
+//! `k`-lane batched variants, and magnitude-guided model sampling all run
+//! over this persistent storage.
+//!
+//! # Determinism contract
+//!
+//! Every kernel is **bit-for-bit identical** to the enum-walk reference
+//! implementation ([`evaluate`](crate::evaluate()),
+//! [`evaluate_with_differentials`](crate::evaluate_with_differentials()),
+//! [`evaluate_batch`](crate::evaluate_batch()),
+//! [`sample_model`](crate::sample_model())): the per-node operation
+//! sequence (child order, the zero short-circuit at AND nodes, the
+//! zero-partial skip in the downward pass, prefix/suffix products —
+//! including the multiplications by exact one the reference performs) is
+//! mirrored exactly, and model sampling visits OR nodes in the same order
+//! so it consumes the same RNG stream. Lowering only performs
+//! transformations that provably preserve bits: dead nodes are pruned
+//! (they never contribute), ⊤/⊥ become precomputed constants (the values
+//! the reference assigns), and an AND whose children are all constants is
+//! folded by running the reference recipe at lowering time. OR nodes are
+//! never folded — model sampling draws one random number per OR visit, so
+//! removing one would shift the stream.
+
+use crate::evaluate::AcWeights;
+use crate::nnf::{Nnf, NnfNode};
+use crate::AcWeightsBatch;
+use qkc_cnf::Lit;
+use qkc_math::{Complex, C_ONE, C_ZERO};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of unique tape stamps (see [`AcTape::lower`]): lets an evaluator
+/// prove its cached value buffer belongs to the tape it is handed, so the
+/// delta kernels can refuse stale state without trusting the caller.
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// Index of an instruction (node) in an [`AcTape`].
+pub type TapeId = u32;
+
+/// Instruction opcodes. Kept small so the dispatch in the hot loops
+/// compiles to a dense jump table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TapeOpKind {
+    /// A precomputed constant: `a` indexes the tape's constant pool.
+    Const = 0,
+    /// A literal leaf: `a` is the precomputed
+    /// [`AcWeights::slot_of`] weight slot, `b` the literal bit-cast to
+    /// `u32`.
+    Lit = 1,
+    /// A two-child product node: children are the slots `a` and `b`.
+    /// Split out from [`TapeOpKind::And`] because exhaustive-DPLL
+    /// compilation makes binary ANDs the dominant shape — the unrolled
+    /// kernel skips the edge-buffer indirection and loop bookkeeping.
+    And2 = 2,
+    /// A general product node: children are `edges[a..b]`, in source
+    /// order.
+    And = 3,
+    /// A two-child sum node: children are the slots `a` and `b`.
+    Or = 4,
+}
+
+/// One fixed-size instruction: opcode plus two payload words. 12 bytes,
+/// scanned linearly — no per-node heap indirection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeOp {
+    /// The opcode.
+    pub kind: TapeOpKind,
+    /// First payload word (see [`TapeOpKind`]).
+    pub a: u32,
+    /// Second payload word (see [`TapeOpKind`]).
+    pub b: u32,
+}
+
+/// A flat, topologically-ordered compiled circuit: the execution form every
+/// evaluator in the stack runs on. Build one per compiled [`Nnf`] with
+/// [`AcTape::lower`] and reuse it for the artifact's lifetime.
+///
+/// # Invariants (established by lowering, relied on by the kernels)
+///
+/// * children precede parents: every child slot referenced by an
+///   instruction is smaller than the instruction's own slot;
+/// * every `And` edge range lies within the edge buffer, every `Const`
+///   index within the constant pool;
+/// * `weight_slots` bounds every `Lit` instruction's weight slot.
+#[derive(Debug, Clone)]
+pub struct AcTape {
+    ops: Vec<TapeOp>,
+    /// CSR child buffer: a general AND at slot `i` owns
+    /// `edges[ops[i].a .. ops[i].b]`.
+    edges: Vec<TapeId>,
+    /// Folded constant values, indexed by `Const` payloads.
+    consts: Vec<Complex>,
+    /// `(literal, slot)` pairs sorted by literal — the precomputed
+    /// literal→slot table that replaces the differential pass's per-call
+    /// `HashMap`.
+    lit_slots: Vec<(Lit, TapeId)>,
+    /// Reverse CSR: slot `i`'s parents are
+    /// `parents[parent_offsets[i] .. parent_offsets[i + 1]]`. Drives the
+    /// delta kernels' dirty-cone propagation.
+    parent_offsets: Vec<u32>,
+    parents: Vec<TapeId>,
+    /// One past the largest weight slot any `Lit` instruction reads: the
+    /// minimum [`AcWeights::num_slots`] the kernels accept.
+    weight_slots: u32,
+    /// Process-unique identity of this lowering (shared by clones, which
+    /// are bit-identical).
+    stamp: u64,
+    root: TapeId,
+}
+
+impl AcTape {
+    /// Lowers an [`Nnf`] into tape form: prunes nodes unreachable from the
+    /// root, folds constants (exactly — see the module docs), renumbers the
+    /// survivors topologically, and packs AND children into one contiguous
+    /// edge buffer.
+    pub fn lower(nnf: &Nnf) -> Self {
+        let n = nnf.num_nodes();
+        // Pass 1 (forward): which nodes fold to a constant, and to what.
+        // The fold replays the reference evaluation recipe over constant
+        // inputs, so a folded value is bitwise the value the enum walk
+        // would compute.
+        let mut folded: Vec<Option<Complex>> = vec![None; n];
+        for (i, node) in nnf.nodes().iter().enumerate() {
+            folded[i] = match node {
+                NnfNode::True => Some(C_ONE),
+                NnfNode::False => Some(C_ZERO),
+                NnfNode::Lit(_) => None,
+                NnfNode::And(cs) => {
+                    if cs.iter().all(|&c| folded[c as usize].is_some()) {
+                        let mut acc = C_ONE;
+                        for &c in cs.iter() {
+                            acc *= folded[c as usize].expect("checked const");
+                            if acc == C_ZERO {
+                                break;
+                            }
+                        }
+                        Some(acc)
+                    } else {
+                        None
+                    }
+                }
+                // OR nodes never fold: model sampling draws one random
+                // number per OR visit, so folding one would shift the
+                // stream.
+                NnfNode::Or(..) => None,
+            };
+        }
+        // Pass 2 (backward): mark the nodes the tape must materialize.
+        // A folded node needs no children; everything else keeps its
+        // children live.
+        let mut live = vec![false; n];
+        live[nnf.root() as usize] = true;
+        for (i, node) in nnf.nodes().iter().enumerate().rev() {
+            if !live[i] || folded[i].is_some() {
+                continue;
+            }
+            match node {
+                NnfNode::And(cs) => {
+                    for &c in cs.iter() {
+                        live[c as usize] = true;
+                    }
+                }
+                NnfNode::Or(a, b) => {
+                    live[*a as usize] = true;
+                    live[*b as usize] = true;
+                }
+                _ => {}
+            }
+        }
+        // Pass 3 (forward): emit instructions for live nodes in the
+        // original topological order, renumbering densely.
+        let mut slot_of: Vec<TapeId> = vec![u32::MAX; n];
+        let mut ops: Vec<TapeOp> = Vec::new();
+        let mut edges: Vec<TapeId> = Vec::new();
+        let mut consts: Vec<Complex> = Vec::new();
+        let mut lit_slots: Vec<(Lit, TapeId)> = Vec::new();
+        let mut weight_slots = 0u32;
+        for (i, node) in nnf.nodes().iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let slot = ops.len() as TapeId;
+            slot_of[i] = slot;
+            let op = if let Some(value) = folded[i] {
+                let cx = consts.len() as u32;
+                consts.push(value);
+                TapeOp {
+                    kind: TapeOpKind::Const,
+                    a: cx,
+                    b: 0,
+                }
+            } else {
+                match node {
+                    NnfNode::Lit(l) => {
+                        lit_slots.push((*l, slot));
+                        let wslot = AcWeights::slot_of(*l);
+                        weight_slots = weight_slots.max(wslot + 1);
+                        TapeOp {
+                            kind: TapeOpKind::Lit,
+                            a: wslot,
+                            b: *l as u32,
+                        }
+                    }
+                    NnfNode::And(cs) if cs.len() == 2 => TapeOp {
+                        kind: TapeOpKind::And2,
+                        a: slot_of[cs[0] as usize],
+                        b: slot_of[cs[1] as usize],
+                    },
+                    NnfNode::And(cs) => {
+                        let start = edges.len() as u32;
+                        edges.extend(cs.iter().map(|&c| slot_of[c as usize]));
+                        TapeOp {
+                            kind: TapeOpKind::And,
+                            a: start,
+                            b: edges.len() as u32,
+                        }
+                    }
+                    NnfNode::Or(a, b) => TapeOp {
+                        kind: TapeOpKind::Or,
+                        a: slot_of[*a as usize],
+                        b: slot_of[*b as usize],
+                    },
+                    NnfNode::True | NnfNode::False => unreachable!("constants always fold"),
+                }
+            };
+            ops.push(op);
+        }
+        lit_slots.sort_unstable_by_key(|&(l, _)| l);
+        // Reverse CSR (children → parents), for the delta kernels.
+        let n_ops = ops.len();
+        let mut parent_offsets = vec![0u32; n_ops + 1];
+        let count_child = |c: TapeId, offsets: &mut Vec<u32>| {
+            offsets[c as usize + 1] += 1;
+        };
+        for op in &ops {
+            match op.kind {
+                TapeOpKind::And2 | TapeOpKind::Or => {
+                    count_child(op.a, &mut parent_offsets);
+                    count_child(op.b, &mut parent_offsets);
+                }
+                TapeOpKind::And => {
+                    for &c in &edges[op.a as usize..op.b as usize] {
+                        count_child(c, &mut parent_offsets);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for i in 0..n_ops {
+            parent_offsets[i + 1] += parent_offsets[i];
+        }
+        let mut parents = vec![0 as TapeId; *parent_offsets.last().unwrap() as usize];
+        let mut fill = parent_offsets.clone();
+        for (i, op) in ops.iter().enumerate() {
+            let mut place = |c: TapeId, fill: &mut Vec<u32>| {
+                parents[fill[c as usize] as usize] = i as TapeId;
+                fill[c as usize] += 1;
+            };
+            match op.kind {
+                TapeOpKind::And2 | TapeOpKind::Or => {
+                    place(op.a, &mut fill);
+                    place(op.b, &mut fill);
+                }
+                TapeOpKind::And => {
+                    for &c in &edges[op.a as usize..op.b as usize] {
+                        place(c, &mut fill);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self {
+            root: slot_of[nnf.root() as usize],
+            ops,
+            edges,
+            consts,
+            lit_slots,
+            parent_offsets,
+            parents,
+            weight_slots,
+            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The instruction stream, children before parents.
+    pub fn ops(&self) -> &[TapeOp] {
+        &self.ops
+    }
+
+    /// Number of instructions (live nodes).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of CSR edges (general-AND child references; binary AND and
+    /// OR children live inline in the instruction).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The root instruction slot.
+    pub fn root(&self) -> TapeId {
+        self.root
+    }
+
+    /// The tape slot of a literal leaf, if the literal survives in the
+    /// circuit. O(log #lits) over the precomputed slot table.
+    #[inline]
+    pub fn lit_slot(&self, lit: Lit) -> Option<TapeId> {
+        self.lit_slots
+            .binary_search_by_key(&lit, |&(l, _)| l)
+            .ok()
+            .map(|ix| self.lit_slots[ix].1)
+    }
+
+    /// The sorted `(literal, slot)` table.
+    pub fn lit_slots(&self) -> &[(Lit, TapeId)] {
+        &self.lit_slots
+    }
+
+    /// Number of tape slots in the ancestor cone of the given literals
+    /// (the literal slots themselves included): the work a delta pass pays
+    /// when those literals' weights change. Compile-time planning helper —
+    /// enumeration orders that flip small-cone variables most often make
+    /// evidence sweeps cheap. Allocates; not for hot paths.
+    pub fn cone_size(&self, lits: &[Lit]) -> usize {
+        let mut seen = vec![false; self.ops.len()];
+        let mut stack: Vec<TapeId> = Vec::with_capacity(lits.len());
+        for slot in lits.iter().filter_map(|&l| self.lit_slot(l)) {
+            // Dedup the seeds: repeated literals must not double-count.
+            if !seen[slot as usize] {
+                seen[slot as usize] = true;
+                stack.push(slot);
+            }
+        }
+        let mut count = 0usize;
+        while let Some(s) = stack.pop() {
+            count += 1;
+            for &p in self.parents_of(s) {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        count
+    }
+
+    /// Exact resident size in bytes: the struct plus every backing buffer.
+    /// This is the number the artifact cache accounts under
+    /// `ac_size_bytes` (and the natural wire size of the flat format).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.ops.len() * std::mem::size_of::<TapeOp>()
+            + self.edges.len() * std::mem::size_of::<TapeId>()
+            + self.consts.len() * std::mem::size_of::<Complex>()
+            + self.lit_slots.len() * std::mem::size_of::<(Lit, TapeId)>()
+            + self.parent_offsets.len() * std::mem::size_of::<u32>()
+            + self.parents.len() * std::mem::size_of::<TapeId>()
+    }
+
+    /// The parents of a slot (reverse CSR).
+    #[inline]
+    fn parents_of(&self, slot: TapeId) -> &[TapeId] {
+        &self.parents[self.parent_offsets[slot as usize] as usize
+            ..self.parent_offsets[slot as usize + 1] as usize]
+    }
+
+    /// Panics unless `weights` covers every weight slot the tape reads —
+    /// the single bounds check each kernel pass performs up front so its
+    /// per-node loop can index weights without rechecking.
+    #[inline]
+    fn check_weights(&self, num_slots: usize) {
+        assert!(
+            self.weight_slots as usize <= num_slots,
+            "weight vector covers {num_slots} slots but the tape reads {}",
+            self.weight_slots
+        );
+    }
+}
+
+/// A reusable evaluator over [`AcTape`]s: owns every value/partial/scratch
+/// buffer the kernels need, so queries after the first allocation-warming
+/// call are zero-alloc. One evaluator serves tapes of any size (buffers
+/// grow monotonically); it is cheap to construct and intended to be kept
+/// alongside whatever owns the query loop (a bound artifact, a Gibbs
+/// chain, a sweep lane).
+#[derive(Debug, Default)]
+pub struct TapeEvaluator {
+    /// Per-slot values (node-major, `k` lanes per slot in batch mode).
+    /// Grow-only and never re-zeroed: every pass overwrites every slot it
+    /// reads.
+    values: Vec<Complex>,
+    /// Per-slot partial derivatives of the root (zeroed per pass — the
+    /// downward sweep accumulates into it).
+    partials: Vec<Complex>,
+    /// Prefix products for the downward AND sweep (child-major).
+    prefix: Vec<Complex>,
+    /// Per-lane suffix / accumulator / partial-copy scratch (batch mode).
+    suffix: Vec<Complex>,
+    acc: Vec<Complex>,
+    pcopy: Vec<Complex>,
+    /// Per-slot magnitudes for model sampling. Grow-only, fully
+    /// overwritten by each magnitude pass.
+    mags: Vec<f64>,
+    /// Descent stack for model sampling.
+    stack: Vec<TapeId>,
+    /// Lane count the `partials` buffer was filled for (scalar passes use
+    /// 1); guards the `wrt_*` accessors. Tracked separately from
+    /// `value_lanes` because a value-only pass (e.g. a batched upward)
+    /// leaves earlier partials intact at their own stride.
+    partial_lanes: usize,
+    /// Lane count the `values` buffer was filled for (scalar passes use 1).
+    value_lanes: usize,
+    /// What the `values` buffer currently holds (and for which tape) —
+    /// the validity gate for the delta kernels.
+    values_mode: ValuesMode,
+    values_stamp: u64,
+    /// Delta worklist membership flags (persistent; all false between
+    /// calls).
+    queued: Vec<bool>,
+}
+
+/// What arithmetic the `values` buffer was produced by. The two scalar
+/// modes differ in zero-sign bits (the short-circuited AND stops
+/// multiplying zeros), so a delta pass may only extend a buffer of its own
+/// mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ValuesMode {
+    /// No usable scalar buffer (fresh evaluator, or a batch pass
+    /// overwrote it with lane-strided data).
+    #[default]
+    Invalid,
+    /// Short-circuited upward values ([`TapeEvaluator::evaluate`]).
+    Evaluate,
+    /// Full-product upward values (the differential passes).
+    DiffUpward,
+}
+
+impl TapeEvaluator {
+    /// A fresh evaluator with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows `values` to at least `len` slots without re-zeroing live
+    /// ones: callers overwrite every slot they read.
+    #[inline]
+    fn ensure_values(&mut self, len: usize) {
+        if self.values.len() < len {
+            self.values.resize(len, C_ZERO);
+        }
+    }
+
+    /// Upward pass: the circuit's value under `weights`. Bit-for-bit equal
+    /// to [`evaluate`](crate::evaluate()) on the source [`Nnf`]. Zero
+    /// allocations after the first call at a given size.
+    pub fn evaluate(&mut self, tape: &AcTape, weights: &AcWeights) -> Complex {
+        tape.check_weights(weights.num_slots());
+        let n = tape.ops.len();
+        self.ensure_values(n);
+        let values = &mut self.values[..n];
+        // Safe indexing throughout: the bounds checks measurably help LLVM
+        // here (range information), and the lowering invariants make them
+        // never fail.
+        for (i, op) in tape.ops.iter().enumerate() {
+            values[i] = match op.kind {
+                TapeOpKind::Const => tape.consts[op.a as usize],
+                TapeOpKind::Lit => weights.by_slot(op.a),
+                TapeOpKind::And2 => {
+                    // The reference loop unrolled for two children:
+                    // acc = 1·v₀ (short-circuit) then acc·v₁.
+                    let mut acc = C_ONE * values[op.a as usize];
+                    if acc != C_ZERO {
+                        acc *= values[op.b as usize];
+                    }
+                    acc
+                }
+                TapeOpKind::And => {
+                    let mut acc = C_ONE;
+                    for &c in &tape.edges[op.a as usize..op.b as usize] {
+                        acc *= values[c as usize];
+                        if acc == C_ZERO {
+                            break;
+                        }
+                    }
+                    acc
+                }
+                TapeOpKind::Or => values[op.a as usize] + values[op.b as usize],
+            };
+        }
+        self.values_mode = ValuesMode::Evaluate;
+        self.values_stamp = tape.stamp;
+        self.value_lanes = 1;
+        values[tape.root as usize]
+    }
+
+    /// [`evaluate`](TapeEvaluator::evaluate) when only the weights of
+    /// `changed_vars` differ from the weights of this evaluator's previous
+    /// scalar upward pass on the same tape: recomputes just the dirty cone
+    /// above the changed literals (propagation stops where a recomputed
+    /// value is bit-identical to the cached one), which is what makes
+    /// repeated amplitude queries — wavefunction sweeps, probability
+    /// reconstructions, chain moves — cheap on the compiled artifact.
+    ///
+    /// Falls back to a full pass when the cached buffer is missing, was
+    /// produced by a different kernel mode, or belongs to another tape, so
+    /// it is always safe to call. Bit-for-bit equal to a full
+    /// [`evaluate`](TapeEvaluator::evaluate): every recomputed slot is a
+    /// pure function of its children, by induction over the topological
+    /// order.
+    ///
+    /// The caller must list **every** variable whose weights changed since
+    /// the previous pass (listing unchanged ones is harmless).
+    pub fn evaluate_delta(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeights,
+        changed_vars: &[u32],
+    ) -> Complex {
+        if self.values_mode != ValuesMode::Evaluate || self.values_stamp != tape.stamp {
+            return self.evaluate(tape, weights);
+        }
+        tape.check_weights(weights.num_slots());
+        self.delta_update(tape, weights, changed_vars, false);
+        self.values[tape.root as usize]
+    }
+
+    /// Recomputes the dirty cone above `changed_vars` in `values`,
+    /// propagating only past slots whose bits actually changed.
+    /// `full_products` selects the differential-mode AND (no
+    /// short-circuit).
+    ///
+    /// The worklist is a flag scan, not a priority queue: dirty flags are
+    /// seeded at the changed literals, and one ascending sweep from the
+    /// lowest dirty slot processes them — children precede parents, so
+    /// every dirty slot sees fully updated children, and a pending counter
+    /// stops the sweep as soon as propagation dies out. A clean slot
+    /// costs one flag test; a dirty one, one node recompute.
+    fn delta_update(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeights,
+        changed_vars: &[u32],
+        full_products: bool,
+    ) {
+        let n = tape.ops.len();
+        if self.queued.len() < n {
+            self.queued.resize(n, false);
+        }
+        let mut pending = 0usize;
+        let mut cursor = n;
+        for &v in changed_vars {
+            for lit in [v as Lit, -(v as Lit)] {
+                if let Some(slot) = tape.lit_slot(lit) {
+                    if !self.queued[slot as usize] {
+                        self.queued[slot as usize] = true;
+                        pending += 1;
+                        cursor = cursor.min(slot as usize);
+                    }
+                }
+            }
+        }
+        while pending > 0 {
+            if !self.queued[cursor] {
+                cursor += 1;
+                continue;
+            }
+            self.queued[cursor] = false;
+            pending -= 1;
+            let op = tape.ops[cursor];
+            let values = &self.values;
+            let new = match op.kind {
+                TapeOpKind::Const => tape.consts[op.a as usize],
+                TapeOpKind::Lit => weights.by_slot(op.a),
+                TapeOpKind::And2 => {
+                    let mut acc = C_ONE * values[op.a as usize];
+                    if full_products || acc != C_ZERO {
+                        acc *= values[op.b as usize];
+                    }
+                    acc
+                }
+                TapeOpKind::And => {
+                    let mut acc = C_ONE;
+                    for &c in &tape.edges[op.a as usize..op.b as usize] {
+                        acc *= values[c as usize];
+                        if !full_products && acc == C_ZERO {
+                            break;
+                        }
+                    }
+                    acc
+                }
+                TapeOpKind::Or => values[op.a as usize] + values[op.b as usize],
+            };
+            let old = self.values[cursor];
+            if new.re.to_bits() != old.re.to_bits() || new.im.to_bits() != old.im.to_bits() {
+                self.values[cursor] = new;
+                for &p in tape.parents_of(cursor as TapeId) {
+                    if !self.queued[p as usize] {
+                        self.queued[p as usize] = true;
+                        pending += 1;
+                    }
+                }
+            }
+            cursor += 1;
+        }
+    }
+
+    /// Combined upward + downward pass: returns the root value and leaves
+    /// the partial derivative of the root with respect to every slot in
+    /// this evaluator, readable through [`TapeEvaluator::wrt_lit`] /
+    /// [`TapeEvaluator::wrt_slot`] until the next pass. Bit-for-bit equal
+    /// to [`evaluate_with_differentials`](crate::evaluate_with_differentials())
+    /// (same full AND products upward, same prefix/suffix sweep and
+    /// zero-partial skip downward — including the reference's
+    /// multiplications by exact one). Zero allocations after warmup.
+    pub fn differentials(&mut self, tape: &AcTape, weights: &AcWeights) -> Complex {
+        tape.check_weights(weights.num_slots());
+        let n = tape.ops.len();
+        self.ensure_values(n);
+        let values = &mut self.values[..n];
+        for (i, op) in tape.ops.iter().enumerate() {
+            values[i] = match op.kind {
+                TapeOpKind::Const => tape.consts[op.a as usize],
+                TapeOpKind::Lit => weights.by_slot(op.a),
+                TapeOpKind::And2 => {
+                    // Full product (no short-circuit): (1·v₀)·v₁.
+                    C_ONE * values[op.a as usize] * values[op.b as usize]
+                }
+                TapeOpKind::And => {
+                    let mut acc = C_ONE;
+                    for &c in &tape.edges[op.a as usize..op.b as usize] {
+                        acc *= values[c as usize];
+                    }
+                    acc
+                }
+                TapeOpKind::Or => values[op.a as usize] + values[op.b as usize],
+            };
+        }
+        self.values_mode = ValuesMode::DiffUpward;
+        self.values_stamp = tape.stamp;
+        self.value_lanes = 1;
+        self.downward(tape)
+    }
+
+    /// [`differentials`](TapeEvaluator::differentials) when only the
+    /// weights of `changed_vars` differ from this evaluator's previous
+    /// differential pass on the same tape: the upward half updates just
+    /// the dirty cone (see
+    /// [`evaluate_delta`](TapeEvaluator::evaluate_delta)); the downward
+    /// half always runs in full (the root partial flows everywhere).
+    /// One Gibbs transition changes one variable's evidence, so the chain
+    /// rides this almost every step.
+    ///
+    /// Falls back to a full pass when the cached buffer is unusable.
+    /// Bit-for-bit equal to a full
+    /// [`differentials`](TapeEvaluator::differentials) pass.
+    pub fn differentials_delta(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeights,
+        changed_vars: &[u32],
+    ) -> Complex {
+        if self.values_mode != ValuesMode::DiffUpward || self.values_stamp != tape.stamp {
+            return self.differentials(tape, weights);
+        }
+        tape.check_weights(weights.num_slots());
+        self.delta_update(tape, weights, changed_vars, true);
+        self.downward(tape)
+    }
+
+    /// The downward (partial-derivative) sweep over the current
+    /// full-product `values` buffer. Returns the root value.
+    fn downward(&mut self, tape: &AcTape) -> Complex {
+        let n = tape.ops.len();
+        let values = &self.values[..n];
+        if self.partials.len() < n {
+            self.partials.resize(n, C_ZERO);
+        }
+        self.partial_lanes = 1;
+        let partials = &mut self.partials[..n];
+        partials.fill(C_ZERO);
+        partials[tape.root as usize] = C_ONE;
+        for (i, op) in tape.ops.iter().enumerate().rev() {
+            let p = partials[i];
+            if p == C_ZERO {
+                continue;
+            }
+            match op.kind {
+                TapeOpKind::And2 => {
+                    // The reference prefix/suffix sweep unrolled for two
+                    // children, keeping its exact multiplication sequence:
+                    // prefix = [1, 1·v₀], suffix starts 1.
+                    let va = values[op.a as usize];
+                    let vb = values[op.b as usize];
+                    partials[op.b as usize] += p * (C_ONE * va) * C_ONE;
+                    partials[op.a as usize] += p * C_ONE * (C_ONE * vb);
+                }
+                TapeOpKind::And => {
+                    let cs = &tape.edges[op.a as usize..op.b as usize];
+                    // prefix[k] = Π_{j<k} v_j ; then sweep suffix from the
+                    // right (exact with zero children — no divisions).
+                    self.prefix.clear();
+                    self.prefix.reserve(cs.len());
+                    let mut acc = C_ONE;
+                    for &c in cs {
+                        self.prefix.push(acc);
+                        acc *= values[c as usize];
+                    }
+                    let mut suffix = C_ONE;
+                    for (k, &c) in cs.iter().enumerate().rev() {
+                        partials[c as usize] += p * self.prefix[k] * suffix;
+                        suffix *= values[c as usize];
+                    }
+                }
+                TapeOpKind::Or => {
+                    partials[op.a as usize] += p;
+                    partials[op.b as usize] += p;
+                }
+                _ => {}
+            }
+        }
+        values[tape.root as usize]
+    }
+
+    /// `∂f/∂w(lit)` from the most recent scalar
+    /// [`differentials`](TapeEvaluator::differentials) pass: the amplitude
+    /// of the same query with `lit`'s variable re-assigned to satisfy `lit`
+    /// (Darwiche's differential semantics). `None` if the literal does not
+    /// appear in the circuit. No per-call allocation — the literal→slot
+    /// table was built at lowering time.
+    #[inline]
+    pub fn wrt_lit(&self, tape: &AcTape, lit: Lit) -> Option<Complex> {
+        debug_assert_eq!(self.partial_lanes, 1, "scalar read after batch pass");
+        tape.lit_slot(lit).map(|s| self.partials[s as usize])
+    }
+
+    /// The partial derivative of the root with respect to tape slot `slot`
+    /// from the most recent scalar differentials pass.
+    #[inline]
+    pub fn wrt_slot(&self, slot: TapeId) -> Complex {
+        debug_assert_eq!(self.partial_lanes, 1, "scalar read after batch pass");
+        self.partials[slot as usize]
+    }
+
+    /// Snapshot of the most recent scalar differentials pass, owning its
+    /// partials, for callers that must outlive the evaluator borrow (the
+    /// diagnosis queries). Hot paths use
+    /// [`wrt_lit`](TapeEvaluator::wrt_lit) directly instead.
+    pub fn take_differentials<'t>(
+        &self,
+        tape: &'t AcTape,
+        value: Complex,
+    ) -> TapeDifferentials<'t> {
+        debug_assert_eq!(self.partial_lanes, 1, "scalar snapshot after batch pass");
+        TapeDifferentials {
+            value,
+            partials: self.partials[..tape.ops.len()].to_vec(),
+            tape,
+        }
+    }
+
+    /// Batched upward pass over `k` weight lanes: one tape scan updating
+    /// `k` contiguous complex lanes per slot. Returns the `k` root values;
+    /// lane `l` is bit-for-bit the scalar
+    /// [`evaluate`](TapeEvaluator::evaluate) of that lane's weights
+    /// (mirroring [`evaluate_batch`](crate::evaluate_batch()): per-lane
+    /// zero short-circuit, whole-AND break once every lane is dead).
+    pub fn evaluate_batch(&mut self, tape: &AcTape, weights: &AcWeightsBatch) -> &[Complex] {
+        let k = weights.lanes();
+        if k == 0 {
+            return &[];
+        }
+        tape.check_weights(weights.num_slots());
+        let n = tape.ops.len();
+        self.ensure_values(n * k);
+        self.value_lanes = k;
+        self.values_mode = ValuesMode::Invalid;
+        match k {
+            4 => batch_upward(tape, weights, &mut self.values[..n * 4], 4),
+            8 => batch_upward(tape, weights, &mut self.values[..n * 8], 8),
+            16 => batch_upward(tape, weights, &mut self.values[..n * 16], 16),
+            k => batch_upward(tape, weights, &mut self.values[..n * k], k),
+        }
+        let root = tape.root as usize * k;
+        &self.values[root..root + k]
+    }
+
+    /// Batched upward + downward pass: per-lane root values and partials.
+    /// Lane `l` matches the scalar differentials pass bit-for-bit (same
+    /// per-lane zero-partial skip). Read results through
+    /// [`value_lane`](TapeEvaluator::value_lane) /
+    /// [`wrt_lit_lane`](TapeEvaluator::wrt_lit_lane).
+    pub fn differentials_batch(&mut self, tape: &AcTape, weights: &AcWeightsBatch) {
+        let k = weights.lanes();
+        let n = tape.ops.len();
+        self.partial_lanes = k;
+        self.value_lanes = k;
+        if k == 0 {
+            return;
+        }
+        tape.check_weights(weights.num_slots());
+        self.ensure_values(n * k);
+        self.values_mode = ValuesMode::Invalid;
+        let values = &mut self.values[..n * k];
+        for (i, op) in tape.ops.iter().enumerate() {
+            let row = i * k;
+            let (head, tail) = values.split_at_mut(row);
+            let out = &mut tail[..k];
+            match op.kind {
+                TapeOpKind::Const => out.fill(tape.consts[op.a as usize]),
+                TapeOpKind::Lit => out.copy_from_slice(weights.row_by_slot(op.a)),
+                TapeOpKind::And2 => {
+                    let arow = &head[op.a as usize * k..op.a as usize * k + k];
+                    let brow = &head[op.b as usize * k..op.b as usize * k + k];
+                    for (acc, (&x, &y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
+                        *acc = C_ONE * x * y;
+                    }
+                }
+                TapeOpKind::And => {
+                    out.fill(C_ONE);
+                    for &c in &tape.edges[op.a as usize..op.b as usize] {
+                        let child = &head[c as usize * k..c as usize * k + k];
+                        for (a, &v) in out.iter_mut().zip(child) {
+                            *a *= v;
+                        }
+                    }
+                }
+                TapeOpKind::Or => {
+                    let arow = op.a as usize * k;
+                    let brow = op.b as usize * k;
+                    for (l, a) in out.iter_mut().enumerate() {
+                        *a = head[arow + l] + head[brow + l];
+                    }
+                }
+            }
+        }
+        if self.partials.len() < n * k {
+            self.partials.resize(n * k, C_ZERO);
+        }
+        let partials = &mut self.partials[..n * k];
+        partials.fill(C_ZERO);
+        let root_row = tape.root as usize * k;
+        partials[root_row..root_row + k].fill(C_ONE);
+        self.suffix.clear();
+        self.suffix.resize(k, C_ONE);
+        self.acc.clear();
+        self.acc.resize(k, C_ONE);
+        for (i, op) in tape.ops.iter().enumerate().rev() {
+            let row = i * k;
+            match op.kind {
+                TapeOpKind::And2 | TapeOpKind::And => {
+                    let p_row = &partials[row..row + k];
+                    if p_row.iter().all(|&x| x == C_ZERO) {
+                        continue;
+                    }
+                    self.pcopy.clear();
+                    self.pcopy.extend_from_slice(p_row);
+                    let pair = [op.a, op.b];
+                    let cs: &[TapeId] = if op.kind == TapeOpKind::And2 {
+                        &pair
+                    } else {
+                        &tape.edges[op.a as usize..op.b as usize]
+                    };
+                    self.prefix.clear();
+                    self.prefix.resize(cs.len() * k, C_ONE);
+                    self.acc.fill(C_ONE);
+                    for (ci, &c) in cs.iter().enumerate() {
+                        self.prefix[ci * k..ci * k + k].copy_from_slice(&self.acc);
+                        let child = &values[c as usize * k..c as usize * k + k];
+                        for (a, &v) in self.acc.iter_mut().zip(child) {
+                            *a *= v;
+                        }
+                    }
+                    self.suffix.fill(C_ONE);
+                    for (ci, &c) in cs.iter().enumerate().rev() {
+                        let crow = c as usize * k;
+                        for l in 0..k {
+                            // Per-lane zero-partial skip keeps each lane's
+                            // accumulation sequence identical to scalar.
+                            if self.pcopy[l] != C_ZERO {
+                                partials[crow + l] +=
+                                    self.pcopy[l] * self.prefix[ci * k + l] * self.suffix[l];
+                            }
+                        }
+                        let child = &values[crow..crow + k];
+                        for (s, &v) in self.suffix.iter_mut().zip(child) {
+                            *s *= v;
+                        }
+                    }
+                }
+                TapeOpKind::Or => {
+                    let arow = op.a as usize * k;
+                    let brow = op.b as usize * k;
+                    for l in 0..k {
+                        let p = partials[row + l];
+                        if p != C_ZERO {
+                            partials[arow + l] += p;
+                            partials[brow + l] += p;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The root value of lane `lane` from the most recent batched pass.
+    #[inline]
+    pub fn value_lane(&self, tape: &AcTape, lane: usize) -> Complex {
+        self.values[tape.root as usize * self.value_lanes + lane]
+    }
+
+    /// `∂f/∂w(lit)` in lane `lane` from the most recent
+    /// [`differentials_batch`](TapeEvaluator::differentials_batch) pass.
+    #[inline]
+    pub fn wrt_lit_lane(&self, tape: &AcTape, lit: Lit, lane: usize) -> Option<Complex> {
+        tape.lit_slot(lit)
+            .map(|s| self.partials[s as usize * self.partial_lanes + lane])
+    }
+
+    /// Magnitude pass for model sampling: fills the persistent magnitude
+    /// buffer with the *absolute* value of every slot under `weights` and
+    /// returns the root magnitude. The buffer stays valid (for
+    /// [`draw_model`](TapeEvaluator::draw_model)) until the next magnitude
+    /// pass — weights that do not change between draws (the Gibbs
+    /// zero-density redraw loop) pay this pass once.
+    pub fn model_magnitudes(&mut self, tape: &AcTape, weights: &AcWeights) -> f64 {
+        tape.check_weights(weights.num_slots());
+        let n = tape.ops.len();
+        if self.mags.len() < n {
+            self.mags.resize(n, 0.0);
+        }
+        let mags = &mut self.mags[..n];
+        for (i, op) in tape.ops.iter().enumerate() {
+            mags[i] = match op.kind {
+                TapeOpKind::Const => tape.consts[op.a as usize].norm(),
+                TapeOpKind::Lit => weights.by_slot(op.a).norm(),
+                TapeOpKind::And2 => 1.0 * mags[op.a as usize] * mags[op.b as usize],
+                TapeOpKind::And => tape.edges[op.a as usize..op.b as usize]
+                    .iter()
+                    .map(|&c| mags[c as usize])
+                    .product(),
+                TapeOpKind::Or => mags[op.a as usize] + mags[op.b as usize],
+            };
+        }
+        mags[tape.root as usize]
+    }
+
+    /// Descends from the root, choosing OR branches proportionally to the
+    /// magnitudes of the last
+    /// [`model_magnitudes`](TapeEvaluator::model_magnitudes) pass, and
+    /// appends the literals along the sampled model to `lits` (cleared
+    /// first). Visits OR nodes in the same order as the enum-walk
+    /// [`sample_model`](crate::sample_model()), so it consumes the
+    /// identical RNG stream and yields the identical model.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the magnitude buffer is stale for this tape.
+    pub fn draw_model<R: rand::Rng + ?Sized>(
+        &mut self,
+        tape: &AcTape,
+        rng: &mut R,
+        lits: &mut Vec<Lit>,
+    ) {
+        debug_assert!(self.mags.len() >= tape.ops.len(), "stale magnitude buffer");
+        lits.clear();
+        self.stack.clear();
+        self.stack.push(tape.root);
+        while let Some(id) = self.stack.pop() {
+            let op = tape.ops[id as usize];
+            match op.kind {
+                TapeOpKind::Lit => lits.push(op.b as i32),
+                TapeOpKind::And2 => {
+                    self.stack.push(op.a);
+                    self.stack.push(op.b);
+                }
+                TapeOpKind::And => self
+                    .stack
+                    .extend_from_slice(&tape.edges[op.a as usize..op.b as usize]),
+                TapeOpKind::Or => {
+                    let (ma, mb) = (self.mags[op.a as usize], self.mags[op.b as usize]);
+                    let pick_a = if ma + mb <= 0.0 {
+                        rng.gen::<bool>()
+                    } else {
+                        rng.gen::<f64>() * (ma + mb) < ma
+                    };
+                    self.stack.push(if pick_a { op.a } else { op.b });
+                }
+                TapeOpKind::Const => {}
+            }
+        }
+    }
+
+    /// Samples one model of the circuit, with branch choices weighted by
+    /// the absolute literal weights — magnitude pass plus descent in one
+    /// call, bit-for-bit the enum-walk [`sample_model`](crate::sample_model()).
+    /// Returns `None` if no model has nonzero weight magnitude.
+    pub fn sample_model<R: rand::Rng + ?Sized>(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeights,
+        rng: &mut R,
+    ) -> Option<Vec<Lit>> {
+        if self.model_magnitudes(tape, weights) <= 0.0 {
+            return None;
+        }
+        let mut lits = Vec::new();
+        self.draw_model(tape, rng, &mut lits);
+        Some(lits)
+    }
+}
+
+/// The batched upward value pass, monomorphized over the lane count so the
+/// compiler const-propagates `k` (mirrors the enum batch kernel's
+/// dispatch).
+#[inline(always)]
+fn batch_upward(tape: &AcTape, weights: &AcWeightsBatch, values: &mut [Complex], k: usize) {
+    for (i, op) in tape.ops.iter().enumerate() {
+        let row = i * k;
+        // Children precede parents, so every child row sits in `head`.
+        let (head, tail) = values.split_at_mut(row);
+        let out = &mut tail[..k];
+        match op.kind {
+            TapeOpKind::Const => out.fill(tape.consts[op.a as usize]),
+            TapeOpKind::Lit => out.copy_from_slice(weights.row_by_slot(op.a)),
+            TapeOpKind::And2 => {
+                // Per-lane unroll of the two-child product with the
+                // reference's short-circuit sequence.
+                let arow = &head[op.a as usize * k..op.a as usize * k + k];
+                let brow = &head[op.b as usize * k..op.b as usize * k + k];
+                for (acc, (&x, &y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
+                    let mut v = C_ONE * x;
+                    if v != C_ZERO {
+                        v *= y;
+                    }
+                    *acc = v;
+                }
+            }
+            TapeOpKind::And => {
+                out.fill(C_ONE);
+                for &c in &tape.edges[op.a as usize..op.b as usize] {
+                    // Per-lane zero short-circuit + whole-AND break once
+                    // every lane is dead, exactly as the enum batch kernel.
+                    if out.iter().all(|a| *a == C_ZERO) {
+                        break;
+                    }
+                    let child = &head[c as usize * k..c as usize * k + k];
+                    for (acc, &v) in out.iter_mut().zip(child) {
+                        if *acc != C_ZERO {
+                            *acc *= v;
+                        }
+                    }
+                }
+            }
+            TapeOpKind::Or => {
+                let a = &head[op.a as usize * k..op.a as usize * k + k];
+                let b = &head[op.b as usize * k..op.b as usize * k + k];
+                for (acc, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                    *acc = x + y;
+                }
+            }
+        }
+    }
+}
+
+/// An owned snapshot of a scalar differentials pass (value + per-slot
+/// partials), borrowing only the tape. For callers that hold results across
+/// further evaluator use (sensitivity analysis); the Gibbs loop reads the
+/// evaluator's buffers directly instead.
+#[derive(Debug)]
+pub struct TapeDifferentials<'t> {
+    value: Complex,
+    partials: Vec<Complex>,
+    tape: &'t AcTape,
+}
+
+impl<'t> TapeDifferentials<'t> {
+    /// Value at the root (the amplitude of the current evidence).
+    pub fn value(&self) -> Complex {
+        self.value
+    }
+
+    /// `∂f/∂w(lit)` — see [`TapeEvaluator::wrt_lit`].
+    pub fn wrt_lit(&self, lit: Lit) -> Option<Complex> {
+        self.tape.lit_slot(lit).map(|s| self.partials[s as usize])
+    }
+
+    /// The partial derivative of the root with respect to tape slot `slot`.
+    pub fn wrt_slot(&self, slot: TapeId) -> Complex {
+        self.partials[slot as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompileOptions};
+    use crate::evaluate::{evaluate, evaluate_with_differentials, sample_model};
+    use crate::transform::smooth;
+    use crate::NnfBuilder;
+    use qkc_cnf::Cnf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bits_eq(a: Complex, b: Complex) -> bool {
+        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()
+    }
+
+    fn test_nnf() -> Nnf {
+        // (v1 ∨ v2) ∧ (¬v1 ∨ v3), smoothed over all variables.
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-1, 3]);
+        let c = compile(&f, &CompileOptions::default());
+        let groups: Vec<Vec<i32>> = (1..=3).map(|v| vec![v, -v]).collect();
+        smooth(&c.nnf, &groups)
+    }
+
+    fn random_weights(num_vars: usize, rng: &mut StdRng) -> AcWeights {
+        let mut w = AcWeights::uniform(num_vars);
+        for v in 1..=num_vars as u32 {
+            w.set(
+                v,
+                Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+                Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn lowering_prunes_and_folds() {
+        let mut b = NnfBuilder::new();
+        let x = b.lit(1);
+        let y = b.lit(2);
+        let a = b.and([x, y]);
+        let nnf = b.extract(a);
+        let tape = AcTape::lower(&nnf);
+        assert_eq!(tape.num_ops(), 3); // two lits + one binary and
+        assert_eq!(tape.num_edges(), 0); // binary ANDs are inline And2 ops
+        assert_eq!(tape.ops()[2].kind, TapeOpKind::And2);
+        assert!(tape.lit_slot(1).is_some());
+        assert!(tape.lit_slot(3).is_none());
+        // Wider ANDs use the CSR edge buffer.
+        let z = b.lit(3);
+        let wide = b.and([x, y, z]);
+        let tape = AcTape::lower(&b.extract(wide));
+        assert_eq!(tape.num_edges(), 3);
+    }
+
+    #[test]
+    fn trivial_constant_roots_fold() {
+        let b = NnfBuilder::new();
+        let nnf_true = b.extract(b.true_id());
+        let tape = AcTape::lower(&nnf_true);
+        assert_eq!(tape.num_ops(), 1);
+        let mut eval = TapeEvaluator::new();
+        assert!(bits_eq(tape.consts[0], C_ONE));
+        assert!(bits_eq(eval.evaluate(&tape, &AcWeights::uniform(1)), C_ONE));
+        let nnf_false = b.extract(b.false_id());
+        let tape = AcTape::lower(&nnf_false);
+        let mut eval = TapeEvaluator::new();
+        assert!(bits_eq(
+            eval.evaluate(&tape, &AcWeights::uniform(1)),
+            C_ZERO
+        ));
+    }
+
+    #[test]
+    fn evaluate_matches_enum_walk_bit_for_bit() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let w = random_weights(3, &mut rng);
+            assert!(bits_eq(eval.evaluate(&tape, &w), evaluate(&nnf, &w)));
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_with_zero_evidence_weights() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut w = AcWeights::uniform(3);
+        w.set(1, C_ZERO, Complex::real(-1.0));
+        w.set(2, C_ZERO, C_ONE);
+        assert!(bits_eq(eval.evaluate(&tape, &w), evaluate(&nnf, &w)));
+    }
+
+    #[test]
+    fn differentials_match_enum_walk_bit_for_bit() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..25 {
+            let w = random_weights(3, &mut rng);
+            let value = eval.differentials(&tape, &w);
+            let reference = evaluate_with_differentials(&nnf, &w);
+            assert!(bits_eq(value, reference.value));
+            for v in 1..=3i32 {
+                for lit in [v, -v] {
+                    match (eval.wrt_lit(&tape, lit), reference.wrt_lit(lit)) {
+                        (Some(g), Some(want)) => assert!(bits_eq(g, want), "lit {lit}"),
+                        (None, None) => {}
+                        other => panic!("lit {lit}: presence mismatch {other:?}"),
+                    }
+                }
+            }
+            let snapshot = eval.take_differentials(&tape, value);
+            assert!(bits_eq(snapshot.value(), reference.value));
+            assert_eq!(
+                snapshot
+                    .wrt_lit(2)
+                    .map(|c| (c.re.to_bits(), c.im.to_bits())),
+                reference
+                    .wrt_lit(2)
+                    .map(|c| (c.re.to_bits(), c.im.to_bits()))
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_enum_batch_bit_for_bit() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(29);
+        for k in [1usize, 4, 16] {
+            let lane_weights: Vec<AcWeights> =
+                (0..k).map(|_| random_weights(3, &mut rng)).collect();
+            let mut batch = AcWeightsBatch::uniform(3, k);
+            for (lane, w) in lane_weights.iter().enumerate() {
+                for v in 1..=3u32 {
+                    batch.set_lane(v, lane, w.get(v as i32), w.get(-(v as i32)));
+                }
+            }
+            let want = crate::evaluate_batch(&nnf, &batch);
+            let got = eval.evaluate_batch(&tape, &batch).to_vec();
+            for (lane, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                assert!(bits_eq(g, w), "k={k} lane {lane}");
+            }
+            let reference = crate::evaluate_with_differentials_batch(&nnf, &batch);
+            eval.differentials_batch(&tape, &batch);
+            for lane in 0..k {
+                assert!(bits_eq(eval.value_lane(&tape, lane), reference.value(lane)));
+                for v in 1..=3i32 {
+                    for lit in [v, -v] {
+                        assert_eq!(
+                            eval.wrt_lit_lane(&tape, lit, lane)
+                                .map(|c| (c.re.to_bits(), c.im.to_bits())),
+                            reference
+                                .wrt_lit(lit, lane)
+                                .map(|c| (c.re.to_bits(), c.im.to_bits())),
+                            "k={k} lane {lane} lit {lit}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_model_consumes_the_same_rng_stream() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let w = AcWeights::uniform(3);
+        for seed in 0..20 {
+            let mut rng_enum = StdRng::seed_from_u64(seed);
+            let mut rng_tape = StdRng::seed_from_u64(seed);
+            let want = sample_model(&nnf, &w, &mut rng_enum);
+            let got = eval.sample_model(&tape, &w, &mut rng_tape);
+            assert_eq!(got, want, "seed {seed}");
+            // Identical downstream state proves identical RNG consumption.
+            assert_eq!(rng_enum.gen::<u64>(), rng_tape.gen::<u64>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cached_magnitudes_redraw_identically() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let w = AcWeights::uniform(3);
+        let root_mag = eval.model_magnitudes(&tape, &w);
+        assert!(root_mag > 0.0);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut lits = Vec::new();
+        for _ in 0..10 {
+            eval.draw_model(&tape, &mut rng_a, &mut lits);
+            let want = sample_model(&nnf, &w, &mut rng_b).expect("satisfiable");
+            assert_eq!(lits, want);
+        }
+    }
+
+    #[test]
+    fn unsat_tape_has_no_model() {
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![1]);
+        f.add_clause(vec![-1]);
+        let c = compile(&f, &CompileOptions::default());
+        let tape = AcTape::lower(&c.nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(eval
+            .sample_model(&tape, &AcWeights::uniform(1), &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn delta_passes_match_full_recompute_bit_for_bit() {
+        // Random sequences of single/multi-variable weight updates: the
+        // delta kernels (dirty-cone recompute) must stay bitwise equal to
+        // a full pass on a fresh evaluator, in both arithmetic modes.
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut delta_eval = TapeEvaluator::new();
+        let mut full_eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut w = random_weights(3, &mut rng);
+        assert!(bits_eq(
+            delta_eval.evaluate(&tape, &w),
+            full_eval.evaluate(&tape, &w)
+        ));
+        for step in 0..200 {
+            // Mutate 1..=3 variables, sometimes to evidence-like 0/1
+            // weights so zero short-circuits and zero partials fire.
+            let count = 1 + rng.gen_range(0..3usize);
+            let mut changed = Vec::new();
+            for _ in 0..count {
+                let v = 1 + rng.gen_range(0..3) as u32;
+                let evidence = rng.gen::<f64>() < 0.4;
+                let (pos, neg) = if evidence {
+                    if rng.gen::<bool>() {
+                        (C_ONE, C_ZERO)
+                    } else {
+                        (C_ZERO, C_ONE)
+                    }
+                } else {
+                    (
+                        Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+                        Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+                    )
+                };
+                w.set(v, pos, neg);
+                changed.push(v);
+            }
+            if step % 2 == 0 {
+                let got = delta_eval.evaluate_delta(&tape, &w, &changed);
+                let want = full_eval.evaluate(&tape, &w);
+                assert!(bits_eq(got, want), "step {step} (evaluate mode)");
+            } else {
+                let got = delta_eval.differentials_delta(&tape, &w, &changed);
+                let want = full_eval.differentials(&tape, &w);
+                assert!(bits_eq(got, want), "step {step} (diff mode)");
+                for v in 1..=3i32 {
+                    for lit in [v, -v] {
+                        assert_eq!(
+                            delta_eval
+                                .wrt_lit(&tape, lit)
+                                .map(|c| (c.re.to_bits(), c.im.to_bits())),
+                            full_eval
+                                .wrt_lit(&tape, lit)
+                                .map(|c| (c.re.to_bits(), c.im.to_bits())),
+                            "step {step} lit {lit}"
+                        );
+                    }
+                }
+            }
+            // Note: alternating modes forces the fallback path too (the
+            // mode check rejects the other mode's buffer).
+        }
+    }
+
+    #[test]
+    fn delta_with_no_changes_is_a_no_op() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let w = random_weights(3, &mut rng);
+        let full = eval.evaluate(&tape, &w);
+        assert!(bits_eq(eval.evaluate_delta(&tape, &w, &[]), full));
+    }
+
+    #[test]
+    fn delta_falls_back_after_batch_pass_invalidates() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut w = random_weights(3, &mut rng);
+        eval.evaluate(&tape, &w);
+        // A batch pass overwrites `values` with lane-strided data...
+        let batch = AcWeightsBatch::uniform(3, 4);
+        eval.evaluate_batch(&tape, &batch);
+        // ...so a subsequent delta must fall back to a full pass rather
+        // than extend garbage.
+        w.set(1, C_ZERO, C_ONE);
+        let got = eval.evaluate_delta(&tape, &w, &[1]);
+        assert!(bits_eq(got, evaluate(&nnf, &w)));
+    }
+
+    #[test]
+    fn delta_falls_back_across_tapes() {
+        let nnf = test_nnf();
+        let tape_a = AcTape::lower(&nnf);
+        let tape_b = AcTape::lower(&nnf); // same content, different stamp
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(53);
+        let w = random_weights(3, &mut rng);
+        eval.evaluate(&tape_a, &w);
+        let got = eval.evaluate_delta(&tape_b, &w, &[]);
+        assert!(bits_eq(got, evaluate(&nnf, &w)));
+    }
+
+    #[test]
+    fn undersized_weight_vector_is_rejected() {
+        let nnf = test_nnf(); // mentions variables up to 3
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eval.evaluate(&tape, &AcWeights::uniform(1))
+        }));
+        assert!(result.is_err(), "undersized weights must panic, not UB");
+    }
+
+    #[test]
+    fn size_bytes_is_exact_over_buffers() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let expected = std::mem::size_of::<AcTape>()
+            + tape.ops.len() * std::mem::size_of::<TapeOp>()
+            + tape.edges.len() * std::mem::size_of::<TapeId>()
+            + tape.consts.len() * std::mem::size_of::<Complex>()
+            + tape.lit_slots.len() * std::mem::size_of::<(Lit, TapeId)>()
+            + tape.parent_offsets.len() * std::mem::size_of::<u32>()
+            + tape.parents.len() * std::mem::size_of::<TapeId>();
+        assert_eq!(tape.size_bytes(), expected);
+        assert!(tape.size_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let batch = AcWeightsBatch::uniform(3, 0);
+        assert!(eval.evaluate_batch(&tape, &batch).is_empty());
+    }
+
+    #[test]
+    fn evaluator_buffers_are_reused_across_tapes() {
+        // A big tape warms the buffers; a smaller one must still compute
+        // correctly over the (larger, stale) storage.
+        let big = test_nnf();
+        let big_tape = AcTape::lower(&big);
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![1]);
+        let small = compile(&f, &CompileOptions::default());
+        let small_tape = AcTape::lower(&small.nnf);
+        let mut eval = TapeEvaluator::new();
+        let w3 = AcWeights::uniform(3);
+        let w1 = AcWeights::uniform(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let wr = random_weights(3, &mut rng);
+            assert!(bits_eq(eval.evaluate(&big_tape, &wr), evaluate(&big, &wr)));
+            assert!(bits_eq(
+                eval.evaluate(&small_tape, &w1),
+                evaluate(&small.nnf, &w1)
+            ));
+            let v = eval.differentials(&big_tape, &w3);
+            assert!(bits_eq(v, evaluate_with_differentials(&big, &w3).value));
+        }
+    }
+}

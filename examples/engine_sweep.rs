@@ -52,12 +52,15 @@ fn main() {
     let points = engine
         .sweep(&c, &thetas, &SweepSpec::expectation(&obs).with_seed(11))
         .expect("sweep");
+    let stats = engine.cache().stats();
     println!(
-        "  {} points in {:.1} ms — {} compile(s), {} cache hits",
+        "  {} points in {:.1} ms — {} compile(s), {} cache hits, \
+         {} B of compiled tape resident",
         points.len(),
         start.elapsed().as_secs_f64() * 1e3,
-        engine.cache().misses(),
-        engine.cache().hits()
+        stats.misses,
+        stats.hits,
+        stats.resident_bytes
     );
     for p in points.iter().step_by(16) {
         let theta = 0.05 * p.index as f64;
