@@ -21,6 +21,18 @@
 //! * `speedup` — cold (compile + first point) time over warm per-point
 //!   time: the cache-hit advantage every iteration after the first enjoys.
 //!
+//! A second section measures **gradient throughput** on a multi-angle
+//! QAOA circuit (one symbol per edge and per vertex, the ma-QAOA ansatz):
+//! * `psgrad/s` — full gradients per second through the engine's
+//!   parameter-shift query (`Engine::gradient`): every `θ ± π/2` shifted
+//!   binding is a lane of one batched bind on the cached artifact, swept
+//!   by the delta-aware batch kernel;
+//! * `fdgrad/s` — the same gradient by the scalar finite-difference path
+//!   (`2p + 1` independent `Engine::expectation` calls, the best a caller
+//!   could do before this API);
+//! * `gradx` — their ratio (the parameter-shift path's win; the two are
+//!   cross-checked numerically during measurement).
+//!
 //! Also appends one machine-readable datapoint to `BENCH_sweep.json`
 //! (override the path with `QKC_BENCH_JSON`) so the perf trajectory
 //! accumulates across runs/commits; CI uploads it as an artifact.
@@ -29,7 +41,7 @@
 //! (`QKC_SCALE=paper` for the larger sweep.)
 
 use qkc_bench::{fmt_secs, time, ResultTable, Scale};
-use qkc_circuit::ParamMap;
+use qkc_circuit::{Circuit, Param, ParamMap};
 use qkc_engine::{Engine, EngineOptions, SweepSpec};
 use qkc_workloads::{Graph, QaoaMaxCut};
 use std::io::Write;
@@ -196,19 +208,148 @@ fn main() {
          time; bind/s is the raw parameter-rebinding rate and eval/s the \
          bind+expectation rate a variational iteration pays per point — \
          the `b` variants route lanes of k={k} points through one \
-         arithmetic-circuit traversal (bit-identical results). The scalar \
-         path rides the flat tape's delta evaluator, so batchx < 1 on \
-         larger circuits; engine sweeps use the faster scalar path."
+         arithmetic-circuit traversal whose delta-aware batch kernel \
+         recomputes only the dirty cone per basis state, decoded once for \
+         all lanes (bit-identical results); engine sweeps ride the same \
+         batched path."
     );
 
-    if let Err(e) = write_json(&rows, k) {
+    let grad_rows = gradient_section(&scale);
+
+    if let Err(e) = write_json(&rows, &grad_rows, k) {
         eprintln!("warning: could not write BENCH_sweep.json: {e}");
     }
 }
 
+/// One measured gradient row.
+struct GradRow {
+    qubits: usize,
+    params: usize,
+    ps_grads_per_sec: f64,
+    fd_grads_per_sec: f64,
+}
+
+/// Multi-angle QAOA (one symbol per edge and per vertex): the gradient
+/// workload. Unique symbols keep the parameter-shift and finite-difference
+/// paths at the same evaluation count (`2p + 1`), so `gradx` isolates the
+/// batched-artifact win rather than an evaluation-count difference.
+fn ma_qaoa(n: usize) -> (Circuit, ParamMap) {
+    let graph = Graph::random_regular(n, 3, 3);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    let mut params = ParamMap::new();
+    for (e, &(a, b)) in graph.edges().iter().enumerate() {
+        c.zz(a, b, Param::symbol(format!("g{e}")));
+        params.bind(format!("g{e}"), 0.45 + 0.01 * e as f64);
+    }
+    for q in 0..n {
+        c.rx(q, Param::symbol(format!("b{q}")));
+        params.bind(format!("b{q}"), 0.25 + 0.01 * q as f64);
+    }
+    (c, params)
+}
+
+fn gradient_section(scale: &Scale) -> Vec<GradRow> {
+    let sizes: Vec<usize> = scale.pick(vec![6, 8, 10], vec![8, 12, 16]);
+    let repeats = scale.pick(3, 1);
+    let mut table = ResultTable::new(
+        "Gradient throughput (multi-angle QAOA, parameter-shift vs scalar finite differences)"
+            .to_string(),
+        &["qubits", "params", "psgrad/s", "fdgrad/s", "gradx"],
+    );
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let (circuit, params) = ma_qaoa(n);
+        let obs = move |bits: usize| bits.count_ones() as f64;
+        let engine = Engine::new();
+        let symbols: Vec<String> = circuit.symbols().into_iter().collect();
+        let p = symbols.len();
+        // Warm the cache so both paths measure the bind-and-evaluate
+        // economics, not compilation.
+        let warm = engine
+            .gradient(&circuit, &params, &obs, None)
+            .expect("gradient");
+        assert_eq!(warm.evaluations, 2 * p + 1);
+        assert!(warm.exact, "KC gradients are exact parameter-shift");
+        // Interleaved best-of-N, like the sweep section: host noise cannot
+        // skew one side of the ratio.
+        let mut ps_secs = f64::INFINITY;
+        let mut fd_secs = f64::INFINITY;
+        for _ in 0..repeats {
+            let (ps, t) = time(|| {
+                engine
+                    .gradient(&circuit, &params, &obs, None)
+                    .expect("gradient")
+            });
+            ps_secs = ps_secs.min(t);
+            let (fd, t) = time(|| {
+                // The scalar path: one facade expectation per shifted
+                // binding, central differences with the engine's FD step.
+                let h = qkc_engine::FD_STEP;
+                let value = engine
+                    .expectation(&circuit, &params, &obs, 0, 1)
+                    .expect("expectation");
+                let grad: Vec<f64> = symbols
+                    .iter()
+                    .map(|s| {
+                        let base = params.get(s).expect("bound");
+                        let mut plus = params.clone();
+                        plus.bind(s, base + h);
+                        let mut minus = params.clone();
+                        minus.bind(s, base - h);
+                        let ep = engine
+                            .expectation(&circuit, &plus, &obs, 0, 1)
+                            .expect("expectation");
+                        let em = engine
+                            .expectation(&circuit, &minus, &obs, 0, 1)
+                            .expect("expectation");
+                        (ep - em) / (2.0 * h)
+                    })
+                    .collect();
+                (value, grad)
+            });
+            fd_secs = fd_secs.min(t);
+            // Cross-check during measurement: exact parameter-shift must
+            // agree with the finite-difference reference.
+            assert!((fd.0 - ps.value).abs() < 1e-9, "value diverged");
+            for (i, (g_fd, g_ps)) in fd.1.iter().zip(&ps.gradient).enumerate() {
+                assert!(
+                    (g_fd - g_ps).abs() < 1e-4,
+                    "gradient[{i}] diverged: fd {g_fd} vs ps {g_ps}"
+                );
+            }
+        }
+        let row = GradRow {
+            qubits: n,
+            params: p,
+            ps_grads_per_sec: 1.0 / ps_secs,
+            fd_grads_per_sec: 1.0 / fd_secs,
+        };
+        table.row(vec![
+            n.to_string(),
+            p.to_string(),
+            format!("{:.1}", row.ps_grads_per_sec),
+            format!("{:.1}", row.fd_grads_per_sec),
+            format!("{:.2}x", row.ps_grads_per_sec / row.fd_grads_per_sec),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    println!(
+        "\npsgrad/s = full exact parameter-shift gradients per second \
+         (shifted bindings as lanes of one batched bind on the cached \
+         artifact); fdgrad/s = the same gradient by 2p+1 scalar engine \
+         expectation calls. Both evaluate 2p+1 bindings, so gradx is the \
+         batched-path speedup."
+    );
+    rows
+}
+
 /// Appends this run's datapoint to the JSON-lines trajectory file: one
 /// self-contained JSON object per run, newest last.
-fn write_json(rows: &[Row], k: usize) -> std::io::Result<()> {
+fn write_json(rows: &[Row], grad_rows: &[GradRow], k: usize) -> std::io::Result<()> {
     let path = std::env::var("QKC_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -234,10 +375,23 @@ fn write_json(rows: &[Row], k: usize) -> std::io::Result<()> {
             r.cache_speedup,
         ));
     }
+    let mut grad_json: Vec<String> = Vec::new();
+    for g in grad_rows {
+        grad_json.push(format!(
+            "{{\"qubits\":{},\"params\":{},\"ps_grads_per_sec\":{:.2},\
+             \"fd_grads_per_sec\":{:.2},\"grad_speedup\":{:.3}}}",
+            g.qubits,
+            g.params,
+            g.ps_grads_per_sec,
+            g.fd_grads_per_sec,
+            g.ps_grads_per_sec / g.fd_grads_per_sec,
+        ));
+    }
     let datapoint = format!(
         "{{\"bench\":\"sweep_throughput\",\"unix_time\":{unix_time},\
-         \"batch_width\":{k},\"rows\":[{}]}}\n",
-        row_json.join(",")
+         \"batch_width\":{k},\"rows\":[{}],\"gradient_rows\":[{}]}}\n",
+        row_json.join(","),
+        grad_json.join(",")
     );
     let mut file = std::fs::OpenOptions::new()
         .create(true)

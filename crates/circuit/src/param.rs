@@ -95,6 +95,15 @@ pub struct UnboundParam {
 }
 
 impl UnboundParam {
+    /// An unbound-symbol error for `name` (for callers that detect the
+    /// missing binding themselves, e.g. gradient queries resolving their
+    /// differentiation targets before evaluating).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self {
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
     /// The name of the unbound symbol.
     pub fn name(&self) -> &str {
         &self.name

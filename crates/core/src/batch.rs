@@ -61,6 +61,8 @@ impl KcSimulator {
             globals,
             scratch: RefCell::new(None),
             eval: RefCell::new(TapeEvaluator::new()),
+            last_query: RefCell::new(Vec::new()),
+            changed_vars: RefCell::new(Vec::new()),
         })
     }
 }
@@ -81,6 +83,15 @@ pub struct BoundKcBatch<'a> {
     /// per-call value-buffer allocation measurable, so the lane-strided
     /// buffers live here across queries.
     eval: RefCell<TapeEvaluator>,
+    /// The previous amplitude query's assignment (empty = none yet):
+    /// consecutive batched amplitude queries — Gray-ordered wavefunction
+    /// sweeps, probability reconstructions, gradient lanes — differ in a
+    /// few evidence values (shared across lanes), so the next query
+    /// recomputes only the dirty cone of the changed variables, once per
+    /// batch instead of once per lane.
+    last_query: RefCell<Vec<usize>>,
+    /// Reusable changed-variable buffer for the batch delta pass.
+    changed_vars: RefCell<Vec<u32>>,
 }
 
 impl<'a> BoundKcBatch<'a> {
@@ -114,8 +125,32 @@ impl<'a> BoundKcBatch<'a> {
             }
         }
         let amps = if possible {
+            let tape = self.sim.tape();
             let mut eval = self.eval.borrow_mut();
-            let vals = eval.evaluate_batch(self.sim.tape(), w);
+            let mut last = self.last_query.borrow_mut();
+            let vals = if last.len() == values.len() {
+                // Recompute only the cone of the query variables whose
+                // evidence differs from the previous query — one decode
+                // per dirty slot updates every lane (falls back to a full
+                // batched pass internally if the cached buffer was
+                // invalidated by another kernel or lane count).
+                let mut changed = self.changed_vars.borrow_mut();
+                changed.clear();
+                for ((spec, &prev), &now) in query.iter().zip(last.iter()).zip(values) {
+                    if prev != now {
+                        for state in &spec.values {
+                            if let ValueState::Lit(l) = state {
+                                changed.push(l.unsigned_abs());
+                            }
+                        }
+                    }
+                }
+                eval.evaluate_batch_delta(tape, w, &changed)
+            } else {
+                eval.evaluate_batch(tape, w)
+            };
+            last.clear();
+            last.extend_from_slice(values);
             self.globals
                 .iter()
                 .zip(vals)
@@ -164,13 +199,43 @@ impl<'a> BoundKcBatch<'a> {
         );
         let n = self.sim.num_outputs();
         let dim = 1usize << n;
-        let mut out = vec![Vec::with_capacity(dim); self.lanes()];
-        for x in 0..dim {
-            for (wf, amp) in out.iter_mut().zip(self.amplitude(x, &[])) {
-                wf.push(amp);
+        let mut out = vec![vec![C_ZERO; dim]; self.lanes()];
+        let mut values = vec![0usize; n];
+        // Gray-code order (see `BoundKc::wavefunction`): consecutive
+        // queries differ in one output variable's evidence — shared across
+        // lanes — so the batch delta kernel recomputes a single cone per
+        // basis state, decoded once for all lanes. Each amplitude is
+        // bit-identical to an independent query; only the visit order
+        // changes.
+        self.for_each_output_gray(&mut values, |this, values, x| {
+            for (wf, amp) in out.iter_mut().zip(this.amplitude_assignment(values)) {
+                wf[x] = amp;
             }
-        }
+        });
         out
+    }
+
+    /// Enumerates all `2^n` output assignments in cone-ordered Gray-code
+    /// order (the scalar bound handle's order), calling `f(self, values,
+    /// x)` with `values[..n]` holding the bits of basis state `x`. Slots
+    /// past the outputs are left untouched.
+    fn for_each_output_gray(
+        &self,
+        values: &mut [usize],
+        mut f: impl FnMut(&Self, &[usize], usize),
+    ) {
+        let n = self.sim.num_outputs();
+        let order = self.sim.output_gray_order();
+        for g in 0..1usize << n {
+            let gc = g ^ (g >> 1);
+            let mut x = 0usize;
+            for (k, &oi) in order.iter().enumerate() {
+                let bit = (gc >> k) & 1;
+                values[oi] = bit;
+                x |= bit << (n - 1 - oi);
+            }
+            f(self, values, x);
+        }
     }
 
     /// Measurement probabilities of every output bitstring per lane:
@@ -182,25 +247,41 @@ impl<'a> BoundKcBatch<'a> {
         let mut probs = vec![vec![0.0; dim]; self.lanes()];
         let rv_specs = &self.sim.query()[self.sim.num_outputs()..];
         let domains: Vec<usize> = rv_specs.iter().map(|s| s.domain).collect();
+        let mut values = vec![0usize; self.sim.query().len()];
         crate::bound::for_each_rv_assignment(&domains, |rvs| {
-            for x in 0..dim {
-                for (row, amp) in probs.iter_mut().zip(self.amplitude(x, rvs)) {
+            values[n..].copy_from_slice(rvs);
+            // Gray-code output order (see `wavefunctions`); per-x sums
+            // still accumulate in the same random-event order, so each
+            // probability is bitwise unchanged.
+            self.for_each_output_gray(&mut values, |this, values, x| {
+                for (row, amp) in probs.iter_mut().zip(this.amplitude_assignment(values)) {
                     row[x] += amp.norm_sqr();
                 }
-            }
+            });
         });
         probs
     }
 
     /// The exact expectation of a diagonal observable over the output
     /// distribution of every lane. Pure circuits avoid the random-event
-    /// enumeration by folding over `|wavefunction|²` directly.
+    /// enumeration by writing `|amplitude|²` straight into the per-lane
+    /// probability rows during the Gray sweep — no complex wavefunction
+    /// buffer is materialized (gradient queries fold many lanes at once,
+    /// where that buffer would dominate memory). The fold below runs in
+    /// natural basis order either way, so each lane's expectation is
+    /// bit-for-bit the scalar fold over that lane's distribution.
     pub fn expectations(&self, observable: &dyn Fn(usize) -> f64) -> Vec<f64> {
         let probs = if self.sim.num_random_events() == 0 {
-            self.wavefunctions()
-                .into_iter()
-                .map(|wf| wf.iter().map(|a| a.norm_sqr()).collect::<Vec<f64>>())
-                .collect::<Vec<_>>()
+            let n = self.sim.num_outputs();
+            let dim = 1usize << n;
+            let mut probs = vec![vec![0.0; dim]; self.lanes()];
+            let mut values = vec![0usize; n];
+            self.for_each_output_gray(&mut values, |this, values, x| {
+                for (row, amp) in probs.iter_mut().zip(this.amplitude_assignment(values)) {
+                    row[x] = amp.norm_sqr();
+                }
+            });
+            probs
         } else {
             self.output_probabilities()
         };

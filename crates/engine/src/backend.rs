@@ -1,8 +1,9 @@
 //! The unified backend interface and the four simulator adapters.
 
 use crate::cache::ArtifactCache;
+use crate::gradient::{self, GradientResult, SymbolRule};
 use crate::mix_seed;
-use qkc_circuit::{Circuit, CircuitError, ParamMap};
+use qkc_circuit::{Circuit, CircuitError, ParamMap, UnboundParam};
 use qkc_core::KcOptions;
 use qkc_densitymatrix::DensityMatrixSimulator;
 use qkc_knowledge::GibbsOptions;
@@ -177,6 +178,57 @@ pub trait Backend: Send + Sync {
             })
             .collect())
     }
+
+    /// The expectation of a diagonal observable **and its gradient** with
+    /// respect to the symbols in `wrt`, at the binding `params`.
+    ///
+    /// The default implementation evaluates central finite differences
+    /// (`±`[`FD_STEP`](crate::FD_STEP) per symbol) through one
+    /// [`Backend::expectation_batch`] call and flags the result
+    /// [`GradientResult::exact`]` = false`. Compile-once backends override
+    /// it with the exact parameter-shift rule ([`KcBackend`] evaluates
+    /// every shifted binding as a lane of one batched bind against the
+    /// cached artifact).
+    ///
+    /// Symbols absent from the circuit get gradient component 0; symbols
+    /// the circuit mentions must be bound in `params`.
+    ///
+    /// # Errors
+    ///
+    /// Unbound-symbol errors, or [`EngineError::Unsupported`] when the
+    /// backend cannot produce the exact expectations the gradient is built
+    /// from (gradient queries never fall back to sampling — shot noise
+    /// would swamp a finite difference).
+    fn expectation_gradient(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        observable: &(dyn Fn(usize) -> f64 + Sync),
+        wrt: &[String],
+    ) -> Result<GradientResult, EngineError> {
+        // Central differences for every symbol, regardless of shift
+        // structure: one batched exact evaluation, `exact: false`. Only
+        // the absent/noise/gate classification is needed here — the exact
+        // shift coefficients are never built.
+        let rules: Vec<SymbolRule> = gradient::symbol_classes(circuit, wrt)
+            .into_iter()
+            .map(|class| match class {
+                gradient::SymbolClass::Absent => SymbolRule::Absent,
+                gradient::SymbolClass::Noise => SymbolRule::CentralDiffProbability,
+                gradient::SymbolClass::Gates { .. } => SymbolRule::CentralDiff,
+            })
+            .collect();
+        let (lanes, plans) = gradient::shifted_bindings(params, wrt, &rules)
+            .map_err(|name| EngineError::Circuit(CircuitError::Unbound(UnboundParam::new(name))))?;
+        let values = self.expectation_batch(circuit, &lanes, observable)?;
+        let (value, gradient, _) = gradient::contract_gradient(&values, &plans);
+        Ok(GradientResult {
+            value,
+            gradient,
+            exact: false,
+            evaluations: lanes.len(),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -294,33 +346,97 @@ impl Backend for KcBackend {
         if params.is_empty() {
             return Ok(Vec::new());
         }
-        // Compile once, then per-point scalar binds: since the flat tape's
-        // delta evaluator recomputes only the dirty cone between basis
-        // states (Gray-ordered sweeps), the scalar reconstruction now beats
-        // the k-lane full-recompute batch kernel — and both are bit-for-bit
-        // identical, so routing here keeps sweep results byte-identical to
-        // every earlier configuration. (`bind_batch` remains the right tool
-        // for amortizing many *bindings* of one evidence assignment; see
-        // the ROADMAP's delta-aware batch lanes item for combining both.)
+        // Compile once, then all points as lanes of one batched bind: the
+        // delta-aware batch lane kernel sweeps the Gray-ordered basis once
+        // for the whole lane, decoding each dirty slot once while updating
+        // every lane — compounding the PR 3 delta win with the PR 2 lane
+        // win. Each lane is bit-for-bit the scalar reconstruction, so
+        // sweep results stay byte-identical to every earlier configuration.
         let artifact = self.cache.get_or_compile(circuit, &self.options);
-        params
-            .iter()
-            .map(|p| {
-                // Same order as the scalar `probabilities`: bind first
-                // (surfacing unbound-symbol errors), then the enumeration
-                // budget — so `result[i]` fails exactly like the scalar
-                // call for binding `i` would.
-                let bound = artifact
-                    .bind(p)
-                    .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
-                if artifact.num_random_events() == 0 {
-                    Ok(bound.wavefunction().iter().map(|a| a.norm_sqr()).collect())
-                } else {
-                    self.ensure_exact_budget(circuit)?;
-                    Ok(bound.output_probabilities())
-                }
-            })
-            .collect()
+        if artifact.num_random_events() > 0 {
+            // Mirror the scalar path's per-point error order (bind first,
+            // then the enumeration budget): the budget depends only on the
+            // circuit, so the first scalar error is point 0's bind error
+            // when it has one, the budget error otherwise.
+            artifact
+                .bind(&params[0])
+                .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+            self.ensure_exact_budget(circuit)?;
+        }
+        let bound = artifact
+            .bind_batch(params)
+            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+        if artifact.num_random_events() == 0 {
+            Ok(bound
+                .wavefunctions()
+                .into_iter()
+                .map(|wf| wf.iter().map(|a| a.norm_sqr()).collect())
+                .collect())
+        } else {
+            Ok(bound.output_probabilities())
+        }
+    }
+
+    fn expectation_batch(
+        &self,
+        circuit: &Circuit,
+        params: &[ParamMap],
+        observable: &(dyn Fn(usize) -> f64 + Sync),
+    ) -> Result<Vec<f64>, EngineError> {
+        if params.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One batched bind + one Gray-ordered basis sweep for the whole
+        // lane (see `probabilities_batch`); the per-lane expectation fold
+        // is the same enumerate-and-sum as the scalar path, so values are
+        // bit-for-bit the single-point expectations.
+        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        if artifact.num_random_events() > 0 {
+            artifact
+                .bind(&params[0])
+                .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+            self.ensure_exact_budget(circuit)?;
+        }
+        let bound = artifact
+            .bind_batch(params)
+            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+        Ok(bound.expectations(&|bits| observable(bits)))
+    }
+
+    /// Exact parameter-shift gradients on the compiled artifact: the
+    /// circuit is scanned for each symbol's shift structure (rule order =
+    /// gate-occurrence count, so shared symbols stay exact; symbols inside
+    /// noise channels fall back to finite differences), and every shifted
+    /// binding becomes a lane of **one** batched bind whose Gray-ordered
+    /// expectation sweep decodes each dirty tape slot once for all lanes.
+    fn expectation_gradient(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        observable: &(dyn Fn(usize) -> f64 + Sync),
+        wrt: &[String],
+    ) -> Result<GradientResult, EngineError> {
+        let rules = gradient::symbol_rules(circuit, wrt);
+        let (lanes, plans) = gradient::shifted_bindings(params, wrt, &rules)
+            .map_err(|name| EngineError::Circuit(CircuitError::Unbound(UnboundParam::new(name))))?;
+        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        if artifact.num_random_events() > 0 {
+            // Gradients need exact expectations; the budget error tells the
+            // caller to choose a different backend (or SPSA) instead of
+            // silently differentiating shot noise.
+            self.ensure_exact_budget(circuit)?;
+        }
+        let bound = artifact
+            .bind_batch(&lanes)
+            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+        let values = bound.expectations(&|bits| observable(bits));
+        let (value, grad, exact) = gradient::contract_gradient(&values, &plans);
+        Ok(GradientResult {
+            value,
+            gradient: grad,
+            exact,
+            evaluations: lanes.len(),
+        })
     }
 
     fn sample(

@@ -46,9 +46,17 @@ struct Entry {
 
 #[derive(Debug, Default)]
 pub struct ArtifactCache {
-    entries: Mutex<HashMap<u64, Entry>>,
+    /// Keyed by the 64-bit structural key; each key holds *every* distinct
+    /// `(circuit, options)` pair that hashes to it (64-bit collisions are
+    /// astronomically rare, so the vec is length 1 in practice — but a
+    /// collision must not evict either structure from caching).
+    entries: Mutex<HashMap<u64, Vec<Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Test-only key hook: collapse every key to a constant so collision
+    /// handling can be exercised deterministically.
+    #[cfg(test)]
+    collide_all_keys: bool,
 }
 
 impl ArtifactCache {
@@ -57,9 +65,23 @@ impl ArtifactCache {
         Self::default()
     }
 
+    /// A cache whose every key collides — the regression hook for the
+    /// collision path (test-only).
+    #[cfg(test)]
+    fn with_forced_collisions() -> Self {
+        Self {
+            collide_all_keys: true,
+            ..Self::default()
+        }
+    }
+
     /// The cache key: structural hash of the circuit, extended with the
     /// pipeline options (different options compile different artifacts).
-    fn key(circuit: &Circuit, options: &KcOptions) -> u64 {
+    fn key(&self, circuit: &Circuit, options: &KcOptions) -> u64 {
+        #[cfg(test)]
+        if self.collide_all_keys {
+            return 0;
+        }
         let mut h = std::collections::hash_map::DefaultHasher::new();
         h.write_u64(circuit.structural_hash());
         // KcOptions is a plain field struct; its Debug form covers every
@@ -73,33 +95,29 @@ impl ArtifactCache {
     /// compilation; callers with different structures compile in parallel.
     ///
     /// A 64-bit key collision between two different circuits is detected
-    /// by comparing the stored circuit and degrades to an uncached compile
-    /// (correct results, no sharing) rather than serving the wrong
-    /// artifact.
+    /// by comparing the stored circuits, and the colliding structure is
+    /// stored *alongside* the existing one — both cache normally (an
+    /// earlier version recompiled the second structure on every request,
+    /// which turned a one-in-2⁶⁴ event into a permanent recompile loop).
     pub fn get_or_compile(&self, circuit: &Circuit, options: &KcOptions) -> Arc<KcSimulator> {
-        let key = Self::key(circuit, options);
+        let key = self.key(circuit, options);
         let options_key = format!("{options:?}");
         let cell = {
             let mut entries = self.entries.lock().expect("cache poisoned");
-            match entries.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let entry = e.get();
-                    if entry.circuit != *circuit || entry.options_key != options_key {
-                        // Hash collision: do not share the cell.
-                        drop(entries);
-                        self.misses.fetch_add(1, Ordering::Relaxed);
-                        return Arc::new(KcSimulator::compile(circuit, options));
-                    }
-                    entry.cell.clone()
-                }
-                std::collections::hash_map::Entry::Vacant(v) => v
-                    .insert(Entry {
+            let bucket = entries.entry(key).or_default();
+            match bucket
+                .iter()
+                .find(|e| e.options_key == options_key && e.circuit == *circuit)
+            {
+                Some(entry) => entry.cell.clone(),
+                None => {
+                    bucket.push(Entry {
                         circuit: circuit.clone(),
                         options_key,
                         cell: Arc::default(),
-                    })
-                    .cell
-                    .clone(),
+                    });
+                    bucket.last().expect("just pushed").cell.clone()
+                }
             }
         };
         let mut compiled_here = false;
@@ -139,12 +157,14 @@ impl ArtifactCache {
     /// acquisition so the pair is mutually consistent.
     fn occupancy(&self) -> (usize, usize) {
         let map = self.entries.lock().expect("cache poisoned");
+        let entries = map.values().map(Vec::len).sum();
         let bytes = map
             .values()
+            .flatten()
             .filter_map(|e| e.cell.get())
             .map(|artifact| artifact.metrics().ac_size_bytes)
             .sum();
-        (map.len(), bytes)
+        (entries, bytes)
     }
 
     /// A point-in-time snapshot of counters and resident footprint (the
@@ -161,7 +181,12 @@ impl ArtifactCache {
 
     /// Number of cached artifacts.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache poisoned").len()
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -262,6 +287,39 @@ mod tests {
         assert_eq!(stats.resident_bytes, cache.resident_bytes());
         cache.clear();
         assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn colliding_structures_both_cache() {
+        // Regression: with every key forced to collide, two different
+        // structures must still each compile exactly once — the earlier
+        // collision handling never stored the second structure, so every
+        // later request for it recompiled forever.
+        let cache = ArtifactCache::with_forced_collisions();
+        let a = parameterized();
+        let mut b = parameterized();
+        b.h(1);
+        for _ in 0..3 {
+            cache.get_or_compile(&a, &KcOptions::default());
+            cache.get_or_compile(&b, &KcOptions::default());
+        }
+        assert_eq!(cache.misses(), 2, "one compile per structure, ever");
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.len(), 2, "both structures resident under one key");
+        // Options changes on a colliding key also cache independently.
+        let no_elide = KcOptions {
+            elide_internal: false,
+            ..Default::default()
+        };
+        cache.get_or_compile(&a, &no_elide);
+        cache.get_or_compile(&a, &no_elide);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 3);
+        // Occupancy accounting covers every entry in the bucket.
+        assert!(cache.resident_bytes() > 0);
+        assert_eq!(cache.stats().entries, 3);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::backend::{
     TensorNetworkBackend,
 };
 use crate::cache::ArtifactCache;
+use crate::gradient::{self, GradientPoint, GradientResult, GradientSpec};
 use crate::planner::{Plan, PlanHint, Planner};
 use crate::sweep::{SweepExecutor, SweepPoint, SweepSpec};
 use qkc_circuit::{Circuit, ParamMap};
@@ -206,6 +207,81 @@ impl Engine {
         };
         let points = self.sweep(circuit, std::slice::from_ref(params), &spec)?;
         Ok(points[0].expectation.expect("observable was requested"))
+    }
+
+    /// The expectation of a diagonal observable **and its gradient** with
+    /// respect to `wrt` (`None` = every circuit symbol, sorted), on the
+    /// backend planned for a parameter sweep. On the
+    /// knowledge-compilation backend the gradient is the exact
+    /// parameter-shift rule evaluated as lanes of one batched bind against
+    /// the cached artifact; other backends answer the same query by
+    /// central finite differences, flagged
+    /// [`exact`](GradientResult::exact)` = false`.
+    ///
+    /// # Errors
+    ///
+    /// Unbound-symbol errors, or [`EngineError::Unsupported`] when the
+    /// planned backend cannot produce exact expectations for this circuit
+    /// (gradients never fall back to sampling).
+    pub fn gradient(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+        observable: &(dyn Fn(usize) -> f64 + Sync),
+        wrt: Option<&[String]>,
+    ) -> Result<GradientResult, EngineError> {
+        let plan = self.plan_with_hint(circuit, PlanHint::ParameterSweep);
+        let backend = self.backend(plan.backend);
+        let owned;
+        let wrt = match wrt {
+            Some(w) => w,
+            None => {
+                owned = gradient::default_wrt(circuit);
+                &owned
+            }
+        };
+        backend.expectation_gradient(circuit, params, observable, wrt)
+    }
+
+    /// Runs a gradient sweep: value and gradient at every binding in
+    /// `params`, fanned out across the engine's worker threads. The
+    /// circuit structure compiles at most once (shared artifact cache);
+    /// every point is an independent exact query, so results are
+    /// byte-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// The first point-level error in input order.
+    pub fn gradient_sweep(
+        &self,
+        circuit: &Circuit,
+        params: &[ParamMap],
+        spec: &GradientSpec<'_>,
+    ) -> Result<Vec<GradientPoint>, EngineError> {
+        if params.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plan = self.plan_with_hint(circuit, PlanHint::ParameterSweep);
+        let backend = self.backend(plan.backend);
+        let wrt = match &spec.wrt {
+            Some(w) => w.clone(),
+            None => gradient::default_wrt(circuit),
+        };
+        crate::sweep::fan_out_chunks(self.options.threads, params, |lo, slice| {
+            slice
+                .iter()
+                .enumerate()
+                .map(|(j, p)| {
+                    let r = backend.expectation_gradient(circuit, p, spec.observable, &wrt)?;
+                    Ok(GradientPoint {
+                        index: lo + j,
+                        value: r.value,
+                        gradient: r.gradient,
+                        exact: r.exact,
+                    })
+                })
+                .collect()
+        })
     }
 
     /// Runs a parameter sweep: every binding in `params` evaluated against

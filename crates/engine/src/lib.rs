@@ -54,6 +54,7 @@
 mod backend;
 mod cache;
 mod facade;
+mod gradient;
 mod planner;
 mod stats;
 mod sweep;
@@ -65,11 +66,13 @@ pub use backend::{
 };
 pub use cache::ArtifactCache;
 pub use facade::{Engine, EngineOptions};
+pub use gradient::{GradientPoint, GradientResult, GradientSpec, FD_STEP};
 pub use planner::{Plan, PlanHint, Planner};
 pub use stats::{CacheStats, CircuitStats};
 pub use sweep::{SweepExecutor, SweepPoint, SweepSpec, DEFAULT_BATCH};
 pub use variational::{
-    minimize_variational, minimize_variational_terms, VariationalConfig, VariationalResult,
+    minimize_variational, minimize_variational_gradient, minimize_variational_terms,
+    GradientOptimizer, VariationalConfig, VariationalGradientConfig, VariationalResult,
     VariationalTerm,
 };
 

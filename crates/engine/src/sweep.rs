@@ -165,32 +165,50 @@ impl SweepExecutor {
         // touches of a compile-once backend serialize on the artifact
         // cache's per-key cell, so exactly one worker compiles and the rest
         // block until the artifact is shared.
-        let threads = self.threads.min(params.len());
-        if threads == 1 {
-            return run_slice(backend, circuit, 0, params, spec, self.batch);
-        }
-        let chunk = params.len().div_ceil(threads);
-        let mut out: Vec<Result<Vec<SweepPoint>, EngineError>> = Vec::with_capacity(threads);
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, slice) in params.chunks(chunk).enumerate() {
-                let lo = t * chunk;
-                let batch = self.batch;
-                handles.push(
-                    scope.spawn(move |_| run_slice(backend, circuit, lo, slice, spec, batch)),
-                );
-            }
-            for h in handles {
-                out.push(h.join().expect("sweep worker panicked"));
-            }
+        let batch = self.batch;
+        fan_out_chunks(self.threads, params, |lo, slice| {
+            run_slice(backend, circuit, lo, slice, spec, batch)
         })
-        .expect("sweep scope panicked");
-        let mut points = Vec::with_capacity(params.len());
-        for chunk_result in out {
-            points.extend(chunk_result?);
-        }
-        Ok(points)
     }
+}
+
+/// Fans `items` out across up to `threads` scoped workers in contiguous
+/// chunks and concatenates the per-chunk results in input order; the
+/// first failing chunk's error (itself the chunk's first item-level
+/// error) wins, preserving input-order error semantics. Shared by the
+/// sweep executor and the engine's gradient sweeps.
+pub(crate) fn fan_out_chunks<I, T, F>(
+    threads: usize,
+    items: &[I],
+    f: F,
+) -> Result<Vec<T>, EngineError>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &[I]) -> Result<Vec<T>, EngineError> + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return f(0, items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Result<Vec<T>, EngineError>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, slice) in items.chunks(chunk).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| f(t * chunk, slice)));
+        }
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    let mut results = Vec::with_capacity(items.len());
+    for chunk_result in out {
+        results.extend(chunk_result?);
+    }
+    Ok(results)
 }
 
 /// Evaluates one worker's contiguous slice of the point space, in lanes of

@@ -456,6 +456,10 @@ enum ValuesMode {
     Evaluate,
     /// Full-product upward values (the differential passes).
     DiffUpward,
+    /// Lane-strided short-circuited upward values
+    /// ([`TapeEvaluator::evaluate_batch`]); valid for batch delta passes
+    /// with the same lane count.
+    BatchEvaluate,
 }
 
 impl TapeEvaluator {
@@ -796,7 +800,8 @@ impl TapeEvaluator {
         let n = tape.ops.len();
         self.ensure_values(n * k);
         self.value_lanes = k;
-        self.values_mode = ValuesMode::Invalid;
+        self.values_mode = ValuesMode::BatchEvaluate;
+        self.values_stamp = tape.stamp;
         match k {
             4 => batch_upward(tape, weights, &mut self.values[..n * 4], 4),
             8 => batch_upward(tape, weights, &mut self.values[..n * 8], 8),
@@ -805,6 +810,152 @@ impl TapeEvaluator {
         }
         let root = tape.root as usize * k;
         &self.values[root..root + k]
+    }
+
+    /// [`evaluate_batch`](TapeEvaluator::evaluate_batch) when only the
+    /// weights of `changed_vars` differ from this evaluator's previous
+    /// batched upward pass on the same tape (same lane count): recomputes
+    /// just the dirty cone above the changed literals, with **one**
+    /// instruction decode per dirty slot updating all `k` lanes — the
+    /// delta-aware batch lane kernel. Evidence sweeps whose evidence is
+    /// shared across lanes (Gray-ordered basis enumerations over per-lane
+    /// parameter bindings — batched wavefunctions, probabilities,
+    /// expectations, gradient lanes) ride this: the per-slot decode that
+    /// the scalar delta path pays once per lane is paid once per batch.
+    ///
+    /// Falls back to a full [`evaluate_batch`](TapeEvaluator::evaluate_batch)
+    /// when the cached buffer is missing, was produced by another kernel
+    /// mode or tape, or has a different lane count, so it is always safe to
+    /// call. Lane `l` is bit-for-bit the scalar
+    /// [`evaluate`](TapeEvaluator::evaluate) of that lane's weights: every
+    /// recomputed slot runs the batch kernel's per-lane arithmetic (itself
+    /// bit-identical to scalar), and propagation past a slot stops only
+    /// when **every** lane's bits are unchanged — a pure function of
+    /// unchanged children, by induction over the topological order.
+    ///
+    /// The caller must list every variable whose weights changed in **any**
+    /// lane since the previous pass (listing unchanged ones is harmless).
+    pub fn evaluate_batch_delta(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeightsBatch,
+        changed_vars: &[u32],
+    ) -> &[Complex] {
+        let k = weights.lanes();
+        if k == 0 {
+            return &[];
+        }
+        if self.values_mode != ValuesMode::BatchEvaluate
+            || self.values_stamp != tape.stamp
+            || self.value_lanes != k
+        {
+            return self.evaluate_batch(tape, weights);
+        }
+        tape.check_weights(weights.num_slots());
+        self.delta_update_batch(tape, weights, changed_vars, k);
+        let root = tape.root as usize * k;
+        &self.values[root..root + k]
+    }
+
+    /// The batched analogue of [`delta_update`](TapeEvaluator::delta_update):
+    /// one ascending flag-scan sweep recomputing dirty slot *rows* (all `k`
+    /// lanes) with a single decode each, propagating to parents when any
+    /// lane's bits changed.
+    fn delta_update_batch(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeightsBatch,
+        changed_vars: &[u32],
+        k: usize,
+    ) {
+        let n = tape.ops.len();
+        if self.queued.len() < n {
+            self.queued.resize(n, false);
+        }
+        let mut pending = 0usize;
+        let mut cursor = n;
+        for &v in changed_vars {
+            for lit in [v as Lit, -(v as Lit)] {
+                if let Some(slot) = tape.lit_slot(lit) {
+                    if !self.queued[slot as usize] {
+                        self.queued[slot as usize] = true;
+                        pending += 1;
+                        cursor = cursor.min(slot as usize);
+                    }
+                }
+            }
+        }
+        // Row scratch: the candidate new values of the slot being
+        // recomputed (all `k` lanes), compared bitwise against the cached
+        // row before overwriting.
+        self.acc.clear();
+        self.acc.resize(k, C_ZERO);
+        while pending > 0 {
+            if !self.queued[cursor] {
+                cursor += 1;
+                continue;
+            }
+            self.queued[cursor] = false;
+            pending -= 1;
+            let op = tape.ops[cursor];
+            let row = cursor * k;
+            {
+                // Disjoint field borrows: children are read from `values`
+                // (all at slots < cursor), the candidate row lands in `acc`.
+                let values = &self.values;
+                let out = &mut self.acc[..k];
+                match op.kind {
+                    TapeOpKind::Const => out.fill(tape.consts[op.a as usize]),
+                    TapeOpKind::Lit => out.copy_from_slice(weights.row_by_slot(op.a)),
+                    TapeOpKind::And2 => {
+                        let arow = &values[op.a as usize * k..op.a as usize * k + k];
+                        let brow = &values[op.b as usize * k..op.b as usize * k + k];
+                        for (acc, (&x, &y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
+                            let mut v = C_ONE * x;
+                            if v != C_ZERO {
+                                v *= y;
+                            }
+                            *acc = v;
+                        }
+                    }
+                    TapeOpKind::And => {
+                        out.fill(C_ONE);
+                        for &c in &tape.edges[op.a as usize..op.b as usize] {
+                            if out.iter().all(|a| *a == C_ZERO) {
+                                break;
+                            }
+                            let child = &values[c as usize * k..c as usize * k + k];
+                            for (acc, &v) in out.iter_mut().zip(child) {
+                                if *acc != C_ZERO {
+                                    *acc *= v;
+                                }
+                            }
+                        }
+                    }
+                    TapeOpKind::Or => {
+                        let arow = op.a as usize * k;
+                        let brow = op.b as usize * k;
+                        for (l, acc) in out.iter_mut().enumerate() {
+                            *acc = values[arow + l] + values[brow + l];
+                        }
+                    }
+                }
+            }
+            let old = &self.values[row..row + k];
+            let any_changed = self.acc[..k].iter().zip(old).any(|(new, old)| {
+                new.re.to_bits() != old.re.to_bits() || new.im.to_bits() != old.im.to_bits()
+            });
+            if any_changed {
+                self.values[row..row + k].copy_from_slice(&self.acc[..k]);
+                for &p in tape.parents_of(cursor as TapeId) {
+                    if !self.queued[p as usize] {
+                        self.queued[p as usize] = true;
+                        pending += 1;
+                    }
+                }
+            }
+            cursor += 1;
+        }
     }
 
     /// Batched upward + downward pass: per-lane root values and partials.
@@ -1396,6 +1547,109 @@ mod tests {
             }
             // Note: alternating modes forces the fallback path too (the
             // mode check rejects the other mode's buffer).
+        }
+    }
+
+    #[test]
+    fn batch_delta_matches_full_batch_and_scalar_bit_for_bit() {
+        // Random sequences of shared-evidence and per-lane weight updates:
+        // the delta-aware batch kernel must stay bitwise equal to a full
+        // batched pass on a fresh evaluator — and, lane by lane, to the
+        // scalar evaluator.
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut rng = StdRng::seed_from_u64(59);
+        for k in [1usize, 3, 4, 16] {
+            let mut delta_eval = TapeEvaluator::new();
+            let mut full_eval = TapeEvaluator::new();
+            let mut scalar_eval = TapeEvaluator::new();
+            let mut batch = AcWeightsBatch::uniform(3, k);
+            let mut lanes: Vec<AcWeights> = Vec::with_capacity(k);
+            for lane in 0..k {
+                let w = random_weights(3, &mut rng);
+                for v in 1..=3u32 {
+                    batch.set_lane(v, lane, w.get(v as i32), w.get(-(v as i32)));
+                }
+                lanes.push(w);
+            }
+            // First call on a fresh evaluator exercises the fallback.
+            let first = delta_eval
+                .evaluate_batch_delta(&tape, &batch, &[1, 2, 3])
+                .to_vec();
+            let want = full_eval.evaluate_batch(&tape, &batch).to_vec();
+            assert_eq!(first.len(), want.len());
+            for (lane, (&g, &w)) in first.iter().zip(&want).enumerate() {
+                assert!(bits_eq(g, w), "k={k} warmup lane {lane}");
+            }
+            for step in 0..120 {
+                let v = 1 + rng.gen_range(0..3) as u32;
+                if rng.gen::<f64>() < 0.5 {
+                    // Shared evidence write (the Gray-sweep case).
+                    let (pos, neg) = if rng.gen::<bool>() {
+                        (C_ONE, C_ZERO)
+                    } else {
+                        (C_ZERO, C_ONE)
+                    };
+                    batch.set_all(v, pos, neg);
+                    for w in &mut lanes {
+                        w.set(v, pos, neg);
+                    }
+                } else {
+                    // Per-lane parameter write.
+                    for (lane, w) in lanes.iter_mut().enumerate() {
+                        let pos = Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+                        let neg = Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+                        batch.set_lane(v, lane, pos, neg);
+                        w.set(v, pos, neg);
+                    }
+                }
+                let got = delta_eval
+                    .evaluate_batch_delta(&tape, &batch, &[v])
+                    .to_vec();
+                let want = full_eval.evaluate_batch(&tape, &batch).to_vec();
+                for (lane, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        bits_eq(g, w),
+                        "k={k} step {step} lane {lane} (vs full batch)"
+                    );
+                    let scalar = scalar_eval.evaluate(&tape, &lanes[lane]);
+                    assert!(
+                        bits_eq(g, scalar),
+                        "k={k} step {step} lane {lane} (vs scalar)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_delta_falls_back_on_lane_count_change() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let batch4 = AcWeightsBatch::uniform(3, 4);
+        eval.evaluate_batch(&tape, &batch4);
+        // Different lane count: the cached buffer is strided for k=4, so a
+        // k=2 delta must run a full pass instead of reading stale rows.
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut batch2 = AcWeightsBatch::uniform(3, 2);
+        for lane in 0..2 {
+            let w = random_weights(3, &mut rng);
+            for v in 1..=3u32 {
+                batch2.set_lane(v, lane, w.get(v as i32), w.get(-(v as i32)));
+            }
+        }
+        let got = eval.evaluate_batch_delta(&tape, &batch2, &[]).to_vec();
+        let want = TapeEvaluator::new().evaluate_batch(&tape, &batch2).to_vec();
+        for (lane, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            assert!(bits_eq(g, w), "lane {lane}");
+        }
+        // Scalar passes also invalidate the batch buffer.
+        let w = random_weights(3, &mut rng);
+        eval.evaluate(&tape, &w);
+        let got = eval.evaluate_batch_delta(&tape, &batch2, &[]).to_vec();
+        for (lane, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            assert!(bits_eq(g, w), "post-scalar lane {lane}");
         }
     }
 

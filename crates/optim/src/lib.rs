@@ -1,10 +1,37 @@
-//! Derivative-free classical optimizers for variational quantum loops.
+//! Classical optimizers for variational quantum loops.
 //!
 //! Hybrid algorithms like QAOA and VQE use a classical optimizer to choose
-//! the next circuit parameters from sampled objective values; the paper's
+//! the next circuit parameters from simulated objective values; the paper's
 //! benchmarks drive their simulators from Nelder–Mead optimization runs
-//! (§4.1). [`NelderMead`] implements the standard simplex method with
-//! reflection, expansion, contraction, and shrink steps.
+//! (§4.1). Three optimizers share one [`OptimResult`] and one batched
+//! objective shape, so the engine can fan every candidate batch out as one
+//! parameter sweep:
+//!
+//! * [`NelderMead`] — derivative-free downhill simplex (reflection,
+//!   expansion, contraction, shrink);
+//! * [`Spsa`] — simultaneous-perturbation stochastic approximation: two
+//!   objective evaluations per iteration estimate the gradient along a
+//!   random ±1 direction; robust to sampled (noisy) objectives;
+//! * [`Adam`] — first-order moment-adaptive gradient descent over a
+//!   *value-and-gradient* objective; pairs with the engine's exact
+//!   parameter-shift gradient queries.
+//!
+//! # NaN contract
+//!
+//! Every optimizer maps a NaN objective value to `+∞` on ingestion: NaN
+//! compares false against everything, so a single NaN point would otherwise
+//! poison best-point tracking and keep convergence tests from ever firing.
+//! With the mapping, NaN regions are simply treated as the worst possible
+//! values and the optimizers still terminate with the best *finite* point
+//! they saw (if any).
+//!
+//! # Abort contract
+//!
+//! The `*_try` variants take objectives returning `Option`: `None` aborts
+//! the run immediately — the optimizer performs no further objective calls
+//! and returns the best point seen so far, and the aborted batch is not
+//! counted in [`OptimResult::evaluations`]. Engine-driven loops use this to
+//! stop burning iteration budget the moment a sweep fails.
 //!
 //! # Examples
 //!
@@ -18,6 +45,19 @@
 //! assert!((result.x[0] - 3.0).abs() < 1e-4);
 //! assert!((result.x[1] + 1.0).abs() < 1e-4);
 //! ```
+
+/// A value-and-gradient objective sample: `(f(x), ∇f(x))`.
+pub type ValueAndGrad = (f64, Vec<f64>);
+
+/// Maps NaN to `+∞` (the module-level NaN contract).
+#[inline]
+fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
 
 /// The Nelder–Mead downhill-simplex optimizer.
 #[derive(Debug, Clone)]
@@ -95,6 +135,8 @@ impl NelderMead {
     /// `qkc-engine` crate's executor fans each batch out across worker
     /// threads while the simplex logic here stays strictly deterministic.
     ///
+    /// NaN values are mapped to `+∞` on ingestion (see the module docs).
+    ///
     /// # Panics
     ///
     /// Panics if `x0` is empty or `f` returns the wrong number of values.
@@ -103,18 +145,35 @@ impl NelderMead {
         mut f: impl FnMut(&[Vec<f64>]) -> Vec<f64>,
         x0: &[f64],
     ) -> OptimResult {
+        self.minimize_batch_try(|points| Some(f(points)), x0)
+    }
+
+    /// [`minimize_batch`](NelderMead::minimize_batch) with an abortable
+    /// objective: returning `None` stops the run immediately with the best
+    /// point found so far (the aborted batch is not counted in
+    /// [`OptimResult::evaluations`]). If the initial-simplex batch aborts,
+    /// the result reports `x0` with value `+∞` and zero evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or `f` returns the wrong number of values.
+    pub fn minimize_batch_try(
+        &self,
+        mut f: impl FnMut(&[Vec<f64>]) -> Option<Vec<f64>>,
+        x0: &[f64],
+    ) -> OptimResult {
         let n = x0.len();
         assert!(n > 0, "need at least one parameter");
         let mut evaluations = 0usize;
-        let mut eval_batch = |points: &[Vec<f64>], evals: &mut usize| -> Vec<f64> {
-            *evals += points.len();
-            let values = f(points);
+        let mut eval_batch = |points: &[Vec<f64>], evals: &mut usize| -> Option<Vec<f64>> {
+            let values = f(points)?;
             assert_eq!(
                 values.len(),
                 points.len(),
                 "batched objective must return one value per point"
             );
-            values
+            *evals += points.len();
+            Some(values.into_iter().map(sanitize).collect())
         };
         // Initial simplex: x0 plus a step along each axis, as one batch.
         let mut initial: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
@@ -128,11 +187,18 @@ impl NelderMead {
             };
             initial.push(x);
         }
-        let initial_values = eval_batch(&initial, &mut evaluations);
+        let Some(initial_values) = eval_batch(&initial, &mut evaluations) else {
+            return OptimResult {
+                x: x0.to_vec(),
+                value: f64::INFINITY,
+                iterations: 0,
+                evaluations: 0,
+            };
+        };
         let mut simplex: Vec<(Vec<f64>, f64)> = initial.into_iter().zip(initial_values).collect();
 
         let mut iterations = 0usize;
-        while iterations < self.max_iterations {
+        'outer: while iterations < self.max_iterations {
             iterations += 1;
             simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
             let spread = simplex[n].1 - simplex[0].1;
@@ -152,7 +218,10 @@ impl NelderMead {
                 .zip(&worst.0)
                 .map(|(c, w)| c + self.alpha * (c - w))
                 .collect();
-            let fr = eval_batch(std::slice::from_ref(&reflect), &mut evaluations)[0];
+            let Some(frv) = eval_batch(std::slice::from_ref(&reflect), &mut evaluations) else {
+                break 'outer;
+            };
+            let fr = frv[0];
             if fr < simplex[0].1 {
                 // Try expanding further.
                 let expand: Vec<f64> = centroid
@@ -160,7 +229,12 @@ impl NelderMead {
                     .zip(&reflect)
                     .map(|(c, r)| c + self.gamma * (r - c))
                     .collect();
-                let fe = eval_batch(std::slice::from_ref(&expand), &mut evaluations)[0];
+                let Some(fev) = eval_batch(std::slice::from_ref(&expand), &mut evaluations) else {
+                    // Keep the improving reflected point before stopping.
+                    simplex[n] = (reflect, fr);
+                    break 'outer;
+                };
+                let fe = fev[0];
                 simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
             } else if fr < simplex[n - 1].1 {
                 simplex[n] = (reflect, fr);
@@ -176,7 +250,11 @@ impl NelderMead {
                     .zip(base)
                     .map(|(c, b)| c + self.rho * (b - c))
                     .collect();
-                let fc = eval_batch(std::slice::from_ref(&contract), &mut evaluations)[0];
+                let Some(fcv) = eval_batch(std::slice::from_ref(&contract), &mut evaluations)
+                else {
+                    break 'outer;
+                };
+                let fc = fcv[0];
                 if fc < fb {
                     simplex[n] = (contract, fc);
                 } else {
@@ -191,7 +269,9 @@ impl NelderMead {
                                 .collect()
                         })
                         .collect();
-                    let values = eval_batch(&shrunk, &mut evaluations);
+                    let Some(values) = eval_batch(&shrunk, &mut evaluations) else {
+                        break 'outer;
+                    };
                     for (entry, point) in
                         simplex[1..].iter_mut().zip(shrunk.into_iter().zip(values))
                     {
@@ -210,6 +290,386 @@ impl NelderMead {
     }
 }
 
+/// Simultaneous-perturbation stochastic approximation (Spall 1992): each
+/// iteration draws one random ±1 direction `Δ`, evaluates the objective at
+/// `x ± c_k·Δ` plus the current iterate `x` (as one three-point batch —
+/// the perturbed pair drives the gradient estimate
+/// `ĝ_i = (f⁺ − f⁻) / (2·c_k·Δ_i)`, the iterate value drives best-point
+/// tracking), and steps with a decaying step size. Three evaluations per
+/// iteration *independent of dimension*, and no gradient queries — the
+/// optimizer of choice for sampled (shot-noise) objectives.
+///
+/// Fully deterministic in its seed: the perturbation stream comes from a
+/// seeded generator, never from global state.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_optim::Spsa;
+///
+/// let r = Spsa::new()
+///     .with_max_iterations(400)
+///     .minimize(|x| (x[0] - 1.0).powi(2) + x[1] * x[1], &[0.0, 0.5]);
+/// assert!(r.value < 0.05, "value {}", r.value);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spsa {
+    /// Step-size numerator (`a` in `a_k = a / (A + k + 1)^α`).
+    a: f64,
+    /// Perturbation-size numerator (`c` in `c_k = c / (k + 1)^γ`).
+    c: f64,
+    /// Step-size decay exponent (Spall's asymptotically optimal 0.602).
+    alpha: f64,
+    /// Perturbation decay exponent (Spall's 0.101).
+    gamma: f64,
+    /// Stability constant `A` (delays the step-size decay).
+    stability: f64,
+    max_iterations: usize,
+    seed: u64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Spsa {
+    /// Standard coefficients: `a = 0.5`, `c = 0.2`, `α = 0.602`,
+    /// `γ = 0.101`, `A = 10` — tuned for objectives over rotation angles
+    /// (O(1) curvature, 2π periodicity): the first step moves
+    /// `≈ 0.12·|ĝ|` radians and the decay keeps the summed step length
+    /// well past the angle scale over a few hundred iterations.
+    pub fn new() -> Self {
+        Self {
+            a: 0.5,
+            c: 0.2,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 10.0,
+            max_iterations: 200,
+            seed: 0,
+        }
+    }
+
+    /// Sets the iteration budget (each iteration costs three evaluations:
+    /// the two perturbed probes and the current iterate).
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the perturbation-stream seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The perturbation-stream seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the step-size numerator `a`.
+    pub fn with_step(mut self, a: f64) -> Self {
+        self.a = a;
+        self
+    }
+
+    /// Sets the perturbation size `c` (match the objective's noise scale).
+    pub fn with_perturbation(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize(&self, mut f: impl FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        self.minimize_batch(|points| points.iter().map(|x| f(x)).collect(), x0)
+    }
+
+    /// Minimizes with a *batched* objective, mirroring
+    /// [`NelderMead::minimize_batch`]: each iteration submits its two
+    /// perturbed candidates *plus the current iterate* as one batch (one
+    /// parameter sweep through the engine) — the perturbed values drive
+    /// the gradient estimate, the iterate value drives best-point
+    /// tracking, which would otherwise be limited by the perturbation
+    /// radius. NaN values are mapped to `+∞` on ingestion.
+    ///
+    /// The best evaluated point (not the final iterate) is returned: SPSA
+    /// iterates wander under noise, but every evaluation is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or `f` returns the wrong number of values.
+    pub fn minimize_batch(
+        &self,
+        mut f: impl FnMut(&[Vec<f64>]) -> Vec<f64>,
+        x0: &[f64],
+    ) -> OptimResult {
+        self.minimize_batch_try(|points| Some(f(points)), x0)
+    }
+
+    /// [`minimize_batch`](Spsa::minimize_batch) with an abortable
+    /// objective: `None` stops the run immediately with the best point
+    /// seen so far, not counting the aborted batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or `f` returns the wrong number of values.
+    pub fn minimize_batch_try(
+        &self,
+        mut f: impl FnMut(&[Vec<f64>]) -> Option<Vec<f64>>,
+        x0: &[f64],
+    ) -> OptimResult {
+        let n = x0.len();
+        assert!(n > 0, "need at least one parameter");
+        let mut rng = SplitMix64::new(self.seed);
+        let mut x = x0.to_vec();
+        let mut best_x = x0.to_vec();
+        let mut best_value = f64::INFINITY;
+        let mut evaluations = 0usize;
+        let mut iterations = 0usize;
+        let mut delta = vec![0.0f64; n];
+        for k in 0..self.max_iterations {
+            let ck = self.c / ((k + 1) as f64).powf(self.gamma);
+            let ak = self.a / (self.stability + (k + 1) as f64).powf(self.alpha);
+            for d in delta.iter_mut() {
+                *d = if rng.next_bool() { 1.0 } else { -1.0 };
+            }
+            let plus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+            let minus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+            let batch = [plus, minus, x.clone()];
+            let Some(values) = f(&batch) else {
+                break;
+            };
+            assert_eq!(values.len(), 3, "batched objective must return 3 values");
+            iterations += 1;
+            evaluations += 3;
+            let fp = sanitize(values[0]);
+            let fm = sanitize(values[1]);
+            let fx = sanitize(values[2]);
+            let [plus, minus, here] = batch;
+            if fp < best_value {
+                best_value = fp;
+                best_x.copy_from_slice(&plus);
+            }
+            if fm < best_value {
+                best_value = fm;
+                best_x.copy_from_slice(&minus);
+            }
+            if fx < best_value {
+                best_value = fx;
+                best_x.copy_from_slice(&here);
+            }
+            if !fp.is_finite() || !fm.is_finite() {
+                // No usable gradient information in an infinite difference;
+                // skip the step rather than teleporting the iterate.
+                continue;
+            }
+            let scale = (fp - fm) / (2.0 * ck);
+            for (xi, d) in x.iter_mut().zip(&delta) {
+                // 1/Δ_i = Δ_i for Rademacher perturbations.
+                *xi -= ak * scale * d;
+            }
+        }
+        OptimResult {
+            x: best_x,
+            value: best_value,
+            iterations,
+            evaluations,
+        }
+    }
+}
+
+/// Adam (Kingma & Ba 2015): gradient descent with per-coordinate
+/// first/second-moment adaptation, over a *value-and-gradient* objective.
+/// Pairs with the engine's exact parameter-shift gradient queries
+/// (`Engine::gradient`): one batched gradient evaluation per iteration.
+///
+/// # Examples
+///
+/// ```
+/// use qkc_optim::Adam;
+///
+/// // Minimize a quadratic with its analytic gradient.
+/// let r = Adam::new().with_max_iterations(300).minimize(
+///     |x| {
+///         let v = (x[0] - 2.0).powi(2);
+///         (v, vec![2.0 * (x[0] - 2.0)])
+///     },
+///     &[0.0],
+/// );
+/// assert!((r.x[0] - 2.0).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    max_iterations: usize,
+    /// Early-stop threshold on the gradient 2-norm.
+    tolerance: f64,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adam {
+    /// Standard coefficients: `lr = 0.1` (rotation-angle scale), `β₁ =
+    /// 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new() -> Self {
+        Self {
+            learning_rate: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            max_iterations: 200,
+            tolerance: 1e-8,
+        }
+    }
+
+    /// Sets the iteration budget (one value-and-gradient evaluation each).
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the learning rate.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the early-stop threshold on the gradient 2-norm.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Minimizes `f` (returning `(value, gradient)`) starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or a gradient has the wrong arity.
+    pub fn minimize(&self, mut f: impl FnMut(&[f64]) -> ValueAndGrad, x0: &[f64]) -> OptimResult {
+        self.minimize_batch(|points| points.iter().map(|x| f(x)).collect(), x0)
+    }
+
+    /// Minimizes with a *batched* value-and-gradient objective, mirroring
+    /// [`NelderMead::minimize_batch`]: `f` receives every candidate point
+    /// the current step needs (one per Adam iteration today) and returns
+    /// `(value, gradient)` per point, so engine-driven loops route each
+    /// batch through one gradient sweep. NaN values are mapped to `+∞` on
+    /// ingestion; a non-finite gradient component stops the run (no
+    /// trustworthy direction), returning the best point seen.
+    ///
+    /// The best evaluated point (not the final iterate) is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or a gradient has the wrong arity.
+    pub fn minimize_batch(
+        &self,
+        mut f: impl FnMut(&[Vec<f64>]) -> Vec<ValueAndGrad>,
+        x0: &[f64],
+    ) -> OptimResult {
+        self.minimize_batch_try(|points| Some(f(points)), x0)
+    }
+
+    /// [`minimize_batch`](Adam::minimize_batch) with an abortable
+    /// objective: `None` stops the run immediately with the best point
+    /// seen so far, not counting the aborted batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or a gradient has the wrong arity.
+    pub fn minimize_batch_try(
+        &self,
+        mut f: impl FnMut(&[Vec<f64>]) -> Option<Vec<ValueAndGrad>>,
+        x0: &[f64],
+    ) -> OptimResult {
+        let n = x0.len();
+        assert!(n > 0, "need at least one parameter");
+        let mut x = x0.to_vec();
+        let mut m = vec![0.0f64; n];
+        let mut v = vec![0.0f64; n];
+        let mut best_x = x0.to_vec();
+        let mut best_value = f64::INFINITY;
+        let mut evaluations = 0usize;
+        let mut iterations = 0usize;
+        for t in 1..=self.max_iterations {
+            let Some(results) = f(std::slice::from_ref(&x)) else {
+                break;
+            };
+            assert_eq!(results.len(), 1, "batched objective must return 1 result");
+            let (value, grad) = results.into_iter().next().expect("checked length");
+            assert_eq!(grad.len(), n, "gradient arity mismatch");
+            iterations += 1;
+            evaluations += 1;
+            let value = sanitize(value);
+            if value < best_value {
+                best_value = value;
+                best_x.copy_from_slice(&x);
+            }
+            if grad.iter().any(|g| !g.is_finite()) {
+                break;
+            }
+            let norm_sq: f64 = grad.iter().map(|g| g * g).sum();
+            if norm_sq.sqrt() < self.tolerance {
+                break;
+            }
+            let b1t = 1.0 - self.beta1.powi(t as i32);
+            let b2t = 1.0 - self.beta2.powi(t as i32);
+            for i in 0..n {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                let m_hat = m[i] / b1t;
+                let v_hat = v[i] / b2t;
+                x[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+        OptimResult {
+            x: best_x,
+            value: best_value,
+            iterations,
+            evaluations,
+        }
+    }
+}
+
+/// SplitMix64 — a tiny self-contained generator for the SPSA perturbation
+/// stream (deterministic, seed-addressed, no external state).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
 /// The outcome of an optimization run.
 #[derive(Debug, Clone)]
 pub struct OptimResult {
@@ -219,7 +679,7 @@ pub struct OptimResult {
     pub value: f64,
     /// Iterations performed.
     pub iterations: usize,
-    /// Objective evaluations performed.
+    /// Objective evaluations performed (aborted batches excluded).
     pub evaluations: usize,
 }
 
@@ -275,5 +735,198 @@ mod tests {
             .with_max_iterations(100)
             .minimize(f, &start);
         assert!(r.value <= f(&start));
+    }
+
+    #[test]
+    fn nan_objective_still_terminates_with_finite_best() {
+        // NaN outside the unit box (the documented contract maps it to
+        // +∞); the simplex must still terminate with a finite best point
+        // instead of stalling on poisoned comparisons.
+        let f = |x: &[f64]| {
+            if x.iter().any(|v| v.abs() > 1.0) {
+                f64::NAN
+            } else {
+                x.iter().map(|v| v * v).sum()
+            }
+        };
+        let r = NelderMead::new()
+            .with_max_iterations(200)
+            .minimize(f, &[0.8, -0.8]);
+        assert!(r.value.is_finite(), "best value must be finite");
+        assert!(r.x.iter().all(|v| v.abs() <= 1.0));
+        assert!(r.value < 0.8f64.powi(2) * 2.0 + 1e-9);
+        // Even an everywhere-NaN objective terminates (with +∞).
+        let r = NelderMead::new()
+            .with_max_iterations(50)
+            .minimize(|_| f64::NAN, &[1.0]);
+        assert!(r.iterations <= 50);
+        assert!(r.value.is_infinite());
+    }
+
+    #[test]
+    fn aborting_objective_stops_promptly() {
+        // The objective fails after the 2nd batch: the optimizer must stop
+        // immediately instead of iterating to the budget, and must not
+        // count the aborted batch.
+        let mut batches = 0usize;
+        let mut evals_seen = 0usize;
+        let r = NelderMead::new()
+            .with_max_iterations(1000)
+            .minimize_batch_try(
+                |points| {
+                    batches += 1;
+                    if batches > 2 {
+                        return None;
+                    }
+                    evals_seen += points.len();
+                    Some(points.iter().map(|x| x[0] * x[0] + 1.0).collect())
+                },
+                &[3.0, 4.0],
+            );
+        assert_eq!(batches, 3, "exactly one failing batch after two good ones");
+        assert_eq!(r.evaluations, evals_seen, "aborted batch not counted");
+        assert!(r.iterations < 1000, "must not burn the whole budget");
+        assert!(r.value.is_finite());
+    }
+
+    #[test]
+    fn abort_on_initial_batch_reports_start_point() {
+        let r = NelderMead::new().minimize_batch_try(|_| None, &[1.5, -2.0]);
+        assert_eq!(r.x, vec![1.5, -2.0]);
+        assert!(r.value.is_infinite());
+        assert_eq!(r.evaluations, 0);
+    }
+
+    #[test]
+    fn spsa_minimizes_smooth_quadratic() {
+        let r = Spsa::new()
+            .with_max_iterations(600)
+            .minimize(|x| (x[0] - 1.0).powi(2) + (x[1] + 0.5).powi(2), &[0.0, 0.0]);
+        assert!(r.value < 0.05, "value {}", r.value);
+        assert_eq!(r.evaluations, 3 * r.iterations);
+    }
+
+    #[test]
+    fn spsa_is_seed_deterministic() {
+        let f = |x: &[f64]| x[0].cos() + 0.3 * x[1] * x[1];
+        let run = |seed| {
+            Spsa::new()
+                .with_seed(seed)
+                .with_max_iterations(100)
+                .minimize(f, &[1.0, 1.0])
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.value, b.value);
+        let c = run(8);
+        assert!(a.x != c.x || a.value != c.value, "seed must matter");
+    }
+
+    #[test]
+    fn spsa_handles_noisy_objectives() {
+        // Deterministic pseudo-noise on top of a bowl: SPSA still finds a
+        // near-optimal point (tracked over all evaluations).
+        let mut calls = 0u64;
+        let r = Spsa::new().with_max_iterations(800).minimize(
+            |x| {
+                calls += 1;
+                let noise = ((calls as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+                x[0] * x[0] + x[1] * x[1] + 0.02 * noise
+            },
+            &[1.5, -1.0],
+        );
+        assert!(r.value < 0.1, "value {}", r.value);
+    }
+
+    #[test]
+    fn spsa_aborts_and_keeps_best() {
+        let mut batches = 0usize;
+        let r = Spsa::new().with_max_iterations(500).minimize_batch_try(
+            |points| {
+                batches += 1;
+                if batches > 3 {
+                    return None;
+                }
+                Some(points.iter().map(|x| x[0] * x[0]).collect())
+            },
+            &[2.0],
+        );
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.evaluations, 9);
+        assert!(r.value.is_finite());
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic_with_gradient() {
+        let r = Adam::new().with_max_iterations(400).minimize(
+            |x| {
+                let v = (x[0] - 2.0).powi(2) + 3.0 * (x[1] + 1.0).powi(2);
+                (v, vec![2.0 * (x[0] - 2.0), 6.0 * (x[1] + 1.0)])
+            },
+            &[0.0, 0.0],
+        );
+        assert!((r.x[0] - 2.0).abs() < 5e-2, "x = {:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 5e-2);
+        assert_eq!(r.evaluations, r.iterations);
+    }
+
+    #[test]
+    fn adam_minimizes_periodic_objective() {
+        // cos(θ) + 1 with analytic gradient: the variational shape.
+        let r = Adam::new()
+            .with_max_iterations(300)
+            .minimize(|x| (x[0].cos() + 1.0, vec![-x[0].sin()]), &[1.0]);
+        assert!(r.value < 1e-3, "value {}", r.value);
+    }
+
+    #[test]
+    fn adam_stops_on_small_gradient() {
+        let r = Adam::new().with_max_iterations(10_000).minimize(
+            |x| ((x[0] - 1.0).powi(2), vec![2.0 * (x[0] - 1.0)]),
+            &[1.0 + 1e-12],
+        );
+        assert!(r.iterations < 10_000, "tolerance must fire early");
+    }
+
+    #[test]
+    fn adam_stops_on_non_finite_gradient() {
+        let mut calls = 0usize;
+        let r = Adam::new().with_max_iterations(100).minimize(
+            |x| {
+                calls += 1;
+                if calls > 5 {
+                    (x[0] * x[0], vec![f64::NAN])
+                } else {
+                    (x[0] * x[0], vec![2.0 * x[0]])
+                }
+            },
+            &[1.0],
+        );
+        assert_eq!(r.iterations, 6, "stops on the NaN gradient");
+        assert!(r.value.is_finite());
+    }
+
+    #[test]
+    fn adam_aborts_and_keeps_best() {
+        let mut batches = 0usize;
+        let r = Adam::new().with_max_iterations(500).minimize_batch_try(
+            |points| {
+                batches += 1;
+                if batches > 4 {
+                    return None;
+                }
+                Some(
+                    points
+                        .iter()
+                        .map(|x| (x[0] * x[0], vec![2.0 * x[0]]))
+                        .collect(),
+                )
+            },
+            &[2.0],
+        );
+        assert_eq!(r.iterations, 4);
+        assert_eq!(r.evaluations, 4);
+        assert!(r.value.is_finite());
     }
 }

@@ -178,6 +178,41 @@ impl QaoaMaxCut {
             config,
         )
     }
+
+    /// The gradient-based variational loop
+    /// ([`qkc_engine::minimize_variational_gradient`]): Adam rides exact
+    /// parameter-shift gradients — each layer's shared `gamma`/`beta`
+    /// symbol gets the general shift rule of order equal to its gate count,
+    /// every shifted binding a lane of one batched bind on the same cached
+    /// artifact — while SPSA estimates descent directions from two-point
+    /// value sweeps. Same parameter vector and objective as
+    /// [`QaoaMaxCut::optimize_via`].
+    ///
+    /// # Errors
+    ///
+    /// Engine-level errors from the selected backend.
+    pub fn optimize_gradient_via(
+        &self,
+        engine: &qkc_engine::Engine,
+        config: &qkc_engine::VariationalGradientConfig,
+    ) -> Result<qkc_engine::VariationalResult, qkc_engine::EngineError> {
+        let p = self.iterations;
+        let x0: Vec<f64> = (0..2 * p).map(|i| if i < p { 0.5 } else { 0.35 }).collect();
+        let obs = self.cut_observable();
+        let neg_obs = move |bits: usize| -obs(bits);
+        let circuit = self.circuit();
+        qkc_engine::minimize_variational_gradient(
+            engine,
+            &[qkc_engine::VariationalTerm {
+                circuit: &circuit,
+                observable: &neg_obs,
+                weight: 1.0,
+            }],
+            |x| self.params(&x[..p], &x[p..]),
+            &x0,
+            config,
+        )
+    }
 }
 
 #[cfg(test)]

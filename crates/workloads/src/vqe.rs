@@ -291,6 +291,47 @@ impl VqeIsing {
         Ok(result.optim)
     }
 
+    /// The gradient-based VQE loop
+    /// ([`qkc_engine::minimize_variational_gradient`]) over both
+    /// measurement settings: Adam issues one exact parameter-shift
+    /// gradient query per setting per iteration (the shared entangler
+    /// angle `phi{k}` gets the general shift rule of order equal to its
+    /// edge count), SPSA two-point value sweeps. Parameter vector and
+    /// objective match [`VqeIsing::optimize_via`].
+    ///
+    /// # Errors
+    ///
+    /// The first engine-level error encountered.
+    pub fn optimize_gradient_via(
+        &self,
+        engine: &qkc_engine::Engine,
+        x0: &[f64],
+        config: &qkc_engine::VariationalGradientConfig,
+    ) -> Result<qkc_engine::VariationalResult, qkc_engine::EngineError> {
+        let z_circuit = self.circuit();
+        let x_circuit = self.circuit_x_basis();
+        let zz_obs = self.zz_observable();
+        let x_obs = self.x_observable();
+        qkc_engine::minimize_variational_gradient(
+            engine,
+            &[
+                qkc_engine::VariationalTerm {
+                    circuit: &z_circuit,
+                    observable: &zz_obs,
+                    weight: -self.coupling_j,
+                },
+                qkc_engine::VariationalTerm {
+                    circuit: &x_circuit,
+                    observable: &x_obs,
+                    weight: -self.field_h,
+                },
+            ],
+            |x| self.params(x),
+            x0,
+            config,
+        )
+    }
+
     /// The exact ground-state energy by brute-force diagonalization of the
     /// diagonal+field Hamiltonian via dense enumeration (tiny grids only).
     pub fn ground_energy_brute_force(&self) -> f64 {
