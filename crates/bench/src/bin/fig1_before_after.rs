@@ -32,6 +32,7 @@ fn main() {
                 cache: true,
                 simplify_cnf: false,
                 elide_internal: false,
+                ..Default::default()
             },
         ),
         (
@@ -41,6 +42,7 @@ fn main() {
                 cache: true,
                 simplify_cnf: true,
                 elide_internal: false,
+                ..Default::default()
             },
         ),
         (
@@ -50,6 +52,7 @@ fn main() {
                 cache: true,
                 simplify_cnf: true,
                 elide_internal: true,
+                ..Default::default()
             },
         ),
         (
@@ -59,6 +62,7 @@ fn main() {
                 cache: true,
                 simplify_cnf: true,
                 elide_internal: true,
+                ..Default::default()
             },
         ),
         (
@@ -68,6 +72,7 @@ fn main() {
                 cache: false,
                 simplify_cnf: true,
                 elide_internal: true,
+                ..Default::default()
             },
         ),
     ];

@@ -33,6 +33,19 @@
 //! * `gradx` — their ratio (the parameter-shift path's win; the two are
 //!   cross-checked numerically during measurement).
 //!
+//! A third section measures the **artifact lifecycle** (the spill tier
+//! of the bounded cache):
+//! * `compile` — the structural compilation a cold miss pays;
+//! * `wire B` — the serialized artifact size ([`KcSimulator::to_bytes`]);
+//! * `rehydrate` — reading + decoding the spill file back into a
+//!   bit-identical simulator (verified during measurement);
+//! * `rehydx` — compile time over rehydrate time: the factor by which a
+//!   spill hit beats a recompile (asserted ≥ 5× at the largest size);
+//! * `spillsw/s` — engine sweep points per second under a byte budget
+//!   below the artifact size, so *every* query rehydrates from disk —
+//!   the worst-case eviction-thrash floor, with its eviction/spill-hit
+//!   counts.
+//!
 //! Also appends one machine-readable datapoint to `BENCH_sweep.json`
 //! (override the path with `QKC_BENCH_JSON`) so the perf trajectory
 //! accumulates across runs/commits; CI uploads it as an artifact.
@@ -42,7 +55,8 @@
 
 use qkc_bench::{fmt_secs, time, ResultTable, Scale};
 use qkc_circuit::{Circuit, Param, ParamMap};
-use qkc_engine::{Engine, EngineOptions, SweepSpec};
+use qkc_core::{KcOptions, KcSimulator};
+use qkc_engine::{BackendKind, CacheOptions, Engine, EngineOptions, SweepSpec};
 use qkc_workloads::{Graph, QaoaMaxCut};
 use std::io::Write;
 
@@ -215,10 +229,151 @@ fn main() {
     );
 
     let grad_rows = gradient_section(&scale);
+    let lifecycle_rows = lifecycle_section(&scale);
 
-    if let Err(e) = write_json(&rows, &grad_rows, k) {
+    if let Err(e) = write_json(&rows, &grad_rows, &lifecycle_rows, k) {
         eprintln!("warning: could not write BENCH_sweep.json: {e}");
     }
+}
+
+/// One measured artifact-lifecycle row.
+struct LifecycleRow {
+    qubits: usize,
+    compile_secs: f64,
+    wire_bytes: usize,
+    rehydrate_secs: f64,
+    capped_sweep_points_per_sec: f64,
+    evictions: u64,
+    spill_hits: u64,
+}
+
+/// Rehydrate-vs-recompile economics plus the eviction-thrash sweep floor,
+/// on the same QAOA family as the main section.
+fn lifecycle_section(scale: &Scale) -> Vec<LifecycleRow> {
+    let sizes: Vec<usize> = scale.pick(vec![6, 8, 10], vec![8, 12, 16]);
+    let bindings = scale.pick(32, 128);
+    let repeats = scale.pick(3, 2);
+    let mut table = ResultTable::new(
+        "Artifact lifecycle (spill write-through, rehydrate vs recompile)".to_string(),
+        &[
+            "qubits",
+            "compile",
+            "wire B",
+            "rehydrate",
+            "rehydx",
+            "spillsw/s",
+            "evict",
+            "spillhit",
+        ],
+    );
+    let spill_dir = std::env::temp_dir().join(format!("qkc-bench-spill-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let qaoa = QaoaMaxCut::new(Graph::random_regular(n, 3, 3), 1);
+        let circuit = qaoa.circuit();
+        let obs = qaoa.cut_observable();
+        let options = KcOptions::default();
+
+        // Interleaved best-of-N: compile vs (serialize + decode), with
+        // bit-identity of the rehydrated artifact asserted while timing.
+        let mut compile_secs = f64::INFINITY;
+        let mut rehydrate_secs = f64::INFINITY;
+        let mut wire_bytes = 0usize;
+        let probe_params = qaoa.params(&[0.37], &[0.21]);
+        for _ in 0..repeats {
+            let (sim, t) = time(|| KcSimulator::compile(&circuit, &options));
+            compile_secs = compile_secs.min(t);
+            let bytes = sim.to_bytes(&circuit, &options);
+            wire_bytes = bytes.len();
+            let path = spill_dir.join(format!("bench-{n}.qkcart"));
+            std::fs::create_dir_all(&spill_dir).expect("spill dir");
+            std::fs::write(&path, &bytes).expect("write spill");
+            let (back, t) = time(|| {
+                let bytes = std::fs::read(&path).expect("read spill");
+                KcSimulator::from_bytes(&circuit, &options, &bytes).expect("rehydrate")
+            });
+            rehydrate_secs = rehydrate_secs.min(t);
+            let want = sim.bind(&probe_params).expect("bind").wavefunction();
+            let got = back.bind(&probe_params).expect("bind").wavefunction();
+            assert!(
+                want.iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.re.to_bits() == b.re.to_bits()
+                        && a.im.to_bits() == b.im.to_bits()),
+                "rehydrated artifact diverged from the compiled one"
+            );
+        }
+
+        // Worst-case thrash: budget below the artifact, so every engine
+        // query evicts and the next rehydrates from disk.
+        let engine = Engine::with_options(
+            EngineOptions::default()
+                .with_backend(BackendKind::KnowledgeCompilation)
+                .with_cache(
+                    CacheOptions::default()
+                        .with_max_resident_bytes(1)
+                        .with_spill_dir(&spill_dir),
+                ),
+        );
+        let params: Vec<ParamMap> = (0..bindings)
+            .map(|i| qaoa.params(&[0.3 + 0.002 * i as f64], &[0.25 + 0.001 * i as f64]))
+            .collect();
+        let (points, sweep_secs) = time(|| {
+            engine
+                .sweep(
+                    &circuit,
+                    &params,
+                    &SweepSpec::expectation(&obs).with_seed(1),
+                )
+                .expect("capped sweep")
+        });
+        assert_eq!(points.len(), bindings);
+        let stats = engine.cache().stats();
+        assert!(stats.evictions > 0 && stats.spill_hits > 0);
+        assert_eq!(stats.misses, 1, "spill tier absorbs every re-request");
+
+        let row = LifecycleRow {
+            qubits: n,
+            compile_secs,
+            wire_bytes,
+            rehydrate_secs,
+            capped_sweep_points_per_sec: bindings as f64 / sweep_secs,
+            evictions: stats.evictions,
+            spill_hits: stats.spill_hits,
+        };
+        table.row(vec![
+            n.to_string(),
+            fmt_secs(row.compile_secs),
+            row.wire_bytes.to_string(),
+            fmt_secs(row.rehydrate_secs),
+            format!("{:.0}x", row.compile_secs / row.rehydrate_secs),
+            format!("{:.0}", row.capped_sweep_points_per_sec),
+            row.evictions.to_string(),
+            row.spill_hits.to_string(),
+        ]);
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    table.print();
+    println!(
+        "\nrehydx = structural-compile time over spill-file rehydration \
+         time (read + decode + deterministic re-derivation of the \
+         circuit-dependent state), bit-identity asserted while measuring; \
+         spillsw/s is the engine sweep rate when the byte budget is below \
+         the artifact size, so every point's query rehydrates from disk — \
+         the floor a bounded cache cannot fall under."
+    );
+    // The acceptance bar: on the largest default QAOA size, a spill hit
+    // must beat a recompile by at least 5x (in practice it is far more).
+    let largest = rows.last().expect("sizes non-empty");
+    assert!(
+        largest.compile_secs / largest.rehydrate_secs >= 5.0,
+        "rehydration ({}) must be ≥5x faster than recompilation ({}) at {} qubits",
+        fmt_secs(largest.rehydrate_secs),
+        fmt_secs(largest.compile_secs),
+        largest.qubits
+    );
+    rows
 }
 
 /// One measured gradient row.
@@ -349,7 +504,12 @@ fn gradient_section(scale: &Scale) -> Vec<GradRow> {
 
 /// Appends this run's datapoint to the JSON-lines trajectory file: one
 /// self-contained JSON object per run, newest last.
-fn write_json(rows: &[Row], grad_rows: &[GradRow], k: usize) -> std::io::Result<()> {
+fn write_json(
+    rows: &[Row],
+    grad_rows: &[GradRow],
+    lifecycle_rows: &[LifecycleRow],
+    k: usize,
+) -> std::io::Result<()> {
     let path = std::env::var("QKC_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -387,11 +547,30 @@ fn write_json(rows: &[Row], grad_rows: &[GradRow], k: usize) -> std::io::Result<
             g.ps_grads_per_sec / g.fd_grads_per_sec,
         ));
     }
+    let mut lifecycle_json: Vec<String> = Vec::new();
+    for l in lifecycle_rows {
+        lifecycle_json.push(format!(
+            "{{\"qubits\":{},\"compile_secs\":{:.6},\"wire_bytes\":{},\
+             \"rehydrate_secs\":{:.6},\"rehydrate_speedup\":{:.1},\
+             \"capped_sweep_points_per_sec\":{:.1},\"evictions\":{},\
+             \"spill_hits\":{}}}",
+            l.qubits,
+            l.compile_secs,
+            l.wire_bytes,
+            l.rehydrate_secs,
+            l.compile_secs / l.rehydrate_secs,
+            l.capped_sweep_points_per_sec,
+            l.evictions,
+            l.spill_hits,
+        ));
+    }
     let datapoint = format!(
         "{{\"bench\":\"sweep_throughput\",\"unix_time\":{unix_time},\
-         \"batch_width\":{k},\"rows\":[{}],\"gradient_rows\":[{}]}}\n",
+         \"batch_width\":{k},\"rows\":[{}],\"gradient_rows\":[{}],\
+         \"artifact_rows\":[{}]}}\n",
         row_json.join(","),
-        grad_json.join(",")
+        grad_json.join(","),
+        lifecycle_json.join(",")
     );
     let mut file = std::fs::OpenOptions::new()
         .create(true)

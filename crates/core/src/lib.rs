@@ -32,11 +32,13 @@
 //! }
 //! ```
 
+mod artifact;
 mod batch;
 mod bound;
 mod diagnose;
 mod pipeline;
 
+pub use artifact::{ArtifactDecodeError, ARTIFACT_WIRE_VERSION};
 pub use batch::BoundKcBatch;
 pub use bound::{BoundKc, KcSampler};
 pub use diagnose::{Explanation, Sensitivity};
@@ -60,6 +62,7 @@ mod tests {
                         cache: true,
                         simplify_cnf,
                         elide_internal,
+                        ..Default::default()
                     });
                 }
             }

@@ -12,6 +12,14 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// Pipeline configuration.
+///
+/// Every field participates in the compiled artifact's *identity*: two
+/// option values that compare unequal may compile different (equally
+/// correct) artifacts, so caches key on the whole struct. Float fields
+/// compare and hash **by bit pattern** ([`f64::to_bits`]) — exactly the
+/// bits that reach the pipeline — which keeps `Eq`/`Hash` consistent
+/// without ever conflating two values the compiler could distinguish
+/// (`0.0`/`-0.0` differ; a NaN equals itself).
 #[derive(Debug, Clone)]
 pub struct KcOptions {
     /// Decision order for the knowledge compiler.
@@ -23,6 +31,10 @@ pub struct KcOptions {
     /// Elide internal qubit-state variables from the compiled circuit
     /// (paper §3.2.2 optimization 1).
     pub elide_internal: bool,
+    /// Bisection split fraction of the min-cut separator order (see
+    /// [`qkc_knowledge::compute_ranks_balanced`]); `0.5` — the default —
+    /// is the balanced split.
+    pub separator_balance: f64,
 }
 
 impl Default for KcOptions {
@@ -32,7 +44,30 @@ impl Default for KcOptions {
             cache: true,
             simplify_cnf: true,
             elide_internal: true,
+            separator_balance: qkc_knowledge::DEFAULT_SEPARATOR_BALANCE,
         }
+    }
+}
+
+impl PartialEq for KcOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+            && self.cache == other.cache
+            && self.simplify_cnf == other.simplify_cnf
+            && self.elide_internal == other.elide_internal
+            && self.separator_balance.to_bits() == other.separator_balance.to_bits()
+    }
+}
+
+impl Eq for KcOptions {}
+
+impl std::hash::Hash for KcOptions {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.order.hash(state);
+        self.cache.hash(state);
+        self.simplify_cnf.hash(state);
+        self.elide_internal.hash(state);
+        state.write_u64(self.separator_balance.to_bits());
     }
 }
 
@@ -138,24 +173,24 @@ impl QuerySpec {
 /// ```
 #[derive(Debug)]
 pub struct KcSimulator {
-    bn: BayesNet,
-    encoding: Encoding,
-    fixed: HashMap<u32, bool>,
-    nnf: Nnf,
+    pub(crate) bn: BayesNet,
+    pub(crate) encoding: Encoding,
+    pub(crate) fixed: HashMap<u32, bool>,
+    pub(crate) nnf: Nnf,
     /// The flat execution form of `nnf` — every query kernel runs on this;
     /// the enum arena is kept for serialization and as the reference
     /// implementation the tape is tested against.
-    tape: AcTape,
-    query: Vec<QuerySpec>,
+    pub(crate) tape: AcTape,
+    pub(crate) query: Vec<QuerySpec>,
     /// The CNF variables carrying free query-value literals — the only
     /// variables evidence ever touches (precomputed for the bind hot
     /// path's evidence save/restore).
-    query_lit_vars: Vec<u32>,
+    pub(crate) query_lit_vars: Vec<u32>,
     /// Output indices ordered by ascending tape-cone size: basis
     /// enumerations assign the most-frequently-flipped Gray bit to the
     /// output whose evidence change dirties the fewest tape slots.
-    output_gray_order: Vec<usize>,
-    metrics: PipelineMetrics,
+    pub(crate) output_gray_order: Vec<usize>,
+    pub(crate) metrics: PipelineMetrics,
 }
 
 impl KcSimulator {
@@ -199,6 +234,7 @@ impl KcSimulator {
             &CompileOptions {
                 order: options.order,
                 cache: options.cache,
+                separator_balance: options.separator_balance,
             },
         );
         metrics.nnf_nodes_raw = compiled.nnf.num_nodes();
@@ -247,27 +283,8 @@ impl KcSimulator {
         metrics.ac_size_bytes = tape.size_bytes();
         metrics.compile_seconds = start.elapsed().as_secs_f64();
 
-        let mut query_lit_vars: Vec<u32> = query
-            .iter()
-            .flat_map(|spec| {
-                spec.free_values()
-                    .into_iter()
-                    .map(|(_, l)| l.unsigned_abs())
-            })
-            .collect();
-        // Binary specs yield both polarities of one CNF variable — dedup
-        // so the per-query evidence restore writes each variable once.
-        query_lit_vars.sort_unstable();
-        query_lit_vars.dedup();
-        let num_outputs = bn.outputs().len();
-        let mut output_gray_order: Vec<usize> = (0..num_outputs).collect();
-        let cone_of = |i: &usize| {
-            let lits: Vec<Lit> = query[*i].free_values().iter().map(|&(_, l)| l).collect();
-            tape.cone_size(&lits)
-        };
-        // `sort_by_cached_key`: each cone traversal allocates and walks
-        // the parent CSR, so compute it once per output.
-        output_gray_order.sort_by_cached_key(cone_of);
+        let (query_lit_vars, output_gray_order) =
+            Self::derived_query_layout(&query, &tape, bn.outputs().len());
         Ok(Self {
             bn,
             encoding,
@@ -281,7 +298,39 @@ impl KcSimulator {
         })
     }
 
-    fn build_query(
+    /// The two query-layout caches derived from the compiled tape: the
+    /// deduplicated evidence-variable list and the cone-ordered Gray basis
+    /// order. Deterministic in `(query, tape)`, so artifact rehydration
+    /// (`crate::artifact`) recomputes them instead of serializing them.
+    pub(crate) fn derived_query_layout(
+        query: &[QuerySpec],
+        tape: &AcTape,
+        num_outputs: usize,
+    ) -> (Vec<u32>, Vec<usize>) {
+        let mut query_lit_vars: Vec<u32> = query
+            .iter()
+            .flat_map(|spec| {
+                spec.free_values()
+                    .into_iter()
+                    .map(|(_, l)| l.unsigned_abs())
+            })
+            .collect();
+        // Binary specs yield both polarities of one CNF variable — dedup
+        // so the per-query evidence restore writes each variable once.
+        query_lit_vars.sort_unstable();
+        query_lit_vars.dedup();
+        let mut output_gray_order: Vec<usize> = (0..num_outputs).collect();
+        let cone_of = |i: &usize| {
+            let lits: Vec<Lit> = query[*i].free_values().iter().map(|&(_, l)| l).collect();
+            tape.cone_size(&lits)
+        };
+        // `sort_by_cached_key`: each cone traversal allocates and walks
+        // the parent CSR, so compute it once per output.
+        output_gray_order.sort_by_cached_key(cone_of);
+        (query_lit_vars, output_gray_order)
+    }
+
+    pub(crate) fn build_query(
         bn: &BayesNet,
         encoding: &Encoding,
         fixed: &HashMap<u32, bool>,

@@ -71,6 +71,20 @@ pub enum EngineError {
         /// What was asked of it.
         query: String,
     },
+    /// A sweep worker panicked while evaluating its points. The panic is
+    /// contained to the affected chunk: other workers' results are still
+    /// computed and the process survives.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// An expectation was requested from a sample estimate, but the
+    /// backend produced zero samples — there is no estimate, and reporting
+    /// `0.0` would be silently wrong.
+    NoSamples {
+        /// The backend that produced no samples.
+        backend: BackendKind,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -79,6 +93,15 @@ impl fmt::Display for EngineError {
             EngineError::Circuit(e) => write!(f, "{e}"),
             EngineError::Unsupported { backend, query } => {
                 write!(f, "backend {backend} does not support {query}")
+            }
+            EngineError::WorkerPanicked { detail } => {
+                write!(f, "sweep worker panicked: {detail}")
+            }
+            EngineError::NoSamples { backend } => {
+                write!(
+                    f,
+                    "backend {backend} returned zero samples for a sampled expectation estimate"
+                )
             }
         }
     }

@@ -1,58 +1,188 @@
-//! The compile-once artifact cache.
+//! The compile-once artifact cache: bounded residency, cost-aware
+//! eviction, and on-disk spill.
+//!
+//! Variational sweeps re-run one circuit structure under thousands of
+//! parameter bindings; every engine query routes through this cache, so
+//! the expensive compilation happens exactly once per structure and each
+//! iteration only pays the cheap bind step. Long-running services add a
+//! second requirement the paper's economics imply but an unbounded map
+//! ignores: the compiled artifacts *are* the precious resource, and a
+//! shared cache must hold as many of them as memory allows — and no more.
+//!
+//! # Lifecycle
+//!
+//! [`CacheOptions`] bounds the cache. When `max_resident_bytes` is set,
+//! the cache enforces it against the **exact** resident tape footprint
+//! (`PipelineMetrics::ac_size_bytes`, maintained incrementally): whenever
+//! occupancy exceeds the budget, entries are evicted in cost-aware-LRU
+//! order (GreedyDual-Size: each resident artifact carries the priority
+//! `clock + reacquire_cost / size`, refreshed on every access; eviction
+//! removes the minimum and advances the clock to it — so recently used,
+//! expensive-to-recompile, small artifacts survive longest).
+//!
+//! When `spill_dir` is also set, artifacts are *written through* to disk
+//! in the versioned artifact wire format ([`KcSimulator::to_bytes`]) right
+//! after compilation, outside every lock. Eviction then merely drops the
+//! resident copy; the next request for that structure **rehydrates** from
+//! the spill file ([`KcSimulator::from_bytes`]) instead of recompiling —
+//! orders of magnitude cheaper, and bit-for-bit identical (the
+//! determinism contract is unaffected by eviction). Spill files carry the
+//! circuit's structural hash, an options fingerprint, and checksums, so a
+//! fresh cache pointed at a warm `spill_dir` safely reuses artifacts from
+//! a previous process — corrupt, stale, or mismatched files are detected
+//! and recompiled over.
+//!
+//! # Concurrency
+//!
+//! One mutex guards the whole cache state, so counters, entry count, and
+//! occupancy are always mutually consistent (a [`stats`](ArtifactCache::stats)
+//! snapshot is taken under a single lock acquisition). Compilation and
+//! rehydration run *outside* the lock: the resolving thread marks the
+//! entry busy, and concurrent requests for the same structure block on a
+//! condvar until it lands, while requests for other structures proceed in
+//! parallel. Eviction and spill never do I/O under the lock.
+//!
+//! # Examples
+//!
+//! ```
+//! use qkc_circuit::{Circuit, Param, ParamMap};
+//! use qkc_core::KcOptions;
+//! use qkc_engine::ArtifactCache;
+//!
+//! let cache = ArtifactCache::new();
+//! let mut c = Circuit::new(2);
+//! c.rx(0, Param::symbol("t")).cnot(0, 1);
+//! let a = cache.get_or_compile(&c, &KcOptions::default());
+//! let b = cache.get_or_compile(&c, &KcOptions::default());
+//! assert_eq!(cache.misses(), 1); // compiled once
+//! assert_eq!(cache.hits(), 1);
+//! // Both handles re-bind against the same artifact.
+//! assert!(a.bind(&ParamMap::from_pairs([("t", 0.3)])).is_ok());
+//! assert!(b.bind(&ParamMap::from_pairs([("t", 1.2)])).is_ok());
+//! ```
 
 use qkc_circuit::Circuit;
 use qkc_core::{KcOptions, KcSimulator};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-/// A thread-safe cache of compiled [`KcSimulator`] artifacts, keyed by the
-/// circuit's [structural hash](Circuit::structural_hash) plus the pipeline
-/// options.
-///
-/// Variational sweeps re-run one circuit structure under thousands of
-/// parameter bindings; every engine query routes through this cache, so the
-/// expensive compilation happens exactly once per structure and each
-/// iteration only pays the cheap bind step. Concurrent requests for the
-/// same structure block on one compilation rather than duplicating it.
-///
-/// # Examples
-///
-/// ```
-/// use qkc_circuit::{Circuit, Param, ParamMap};
-/// use qkc_core::KcOptions;
-/// use qkc_engine::ArtifactCache;
-///
-/// let cache = ArtifactCache::new();
-/// let mut c = Circuit::new(2);
-/// c.rx(0, Param::symbol("t")).cnot(0, 1);
-/// let a = cache.get_or_compile(&c, &KcOptions::default());
-/// let b = cache.get_or_compile(&c, &KcOptions::default());
-/// assert_eq!(cache.misses(), 1); // compiled once
-/// assert_eq!(cache.hits(), 1);
-/// // Both handles re-bind against the same artifact.
-/// assert!(a.bind(&ParamMap::from_pairs([("t", 0.3)])).is_ok());
-/// assert!(b.bind(&ParamMap::from_pairs([("t", 1.2)])).is_ok());
-/// ```
+/// Residency and persistence bounds for an [`ArtifactCache`].
+#[derive(Debug, Clone, Default)]
+pub struct CacheOptions {
+    /// Maximum bytes of compiled execution tape the cache keeps resident
+    /// (`None` = unbounded). Enforced against the exact
+    /// `PipelineMetrics::ac_size_bytes` occupancy after every
+    /// resolution/access; a single artifact larger than the budget is
+    /// evicted as soon as it lands (each request then recompiles or
+    /// rehydrates it, but the budget holds).
+    ///
+    /// The budget covers the compiled tapes — the payload that dominates
+    /// memory by orders of magnitude. Per-structure bookkeeping (the
+    /// circuit, options, spill path) stays resident after eviction so the
+    /// entry can come back; a service cycling through unboundedly many
+    /// *distinct structures* should call
+    /// [`clear`](ArtifactCache::clear) at its own epoch boundaries.
+    pub max_resident_bytes: Option<usize>,
+    /// Directory for on-disk artifact spill. When set, compiled artifacts
+    /// are written through here and evicted entries rehydrate from disk
+    /// instead of recompiling; a cache constructed over a warm directory
+    /// reuses artifacts across process restarts. `None` disables spill —
+    /// eviction then discards, and the next request recompiles.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl CacheOptions {
+    /// Sets the resident-byte budget.
+    pub fn with_max_resident_bytes(mut self, max: usize) -> Self {
+        self.max_resident_bytes = Some(max);
+        self
+    }
+
+    /// Sets the spill directory.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Residency of one cached structure.
+#[derive(Debug, Default)]
+enum EntryState {
+    /// No resident artifact: never compiled, evicted, or cleared.
+    #[default]
+    Absent,
+    /// A worker is compiling or rehydrating outside the lock; waiters
+    /// block on the cache condvar.
+    Resolving,
+    /// Resident and shared.
+    Ready(Arc<KcSimulator>),
+}
+
+/// One cached `(circuit, options)` structure. The entry persists across
+/// evictions — only the `Ready` artifact is dropped — so the identity
+/// needed to rehydrate or recompile (and to detect 64-bit key collisions)
+/// is never lost.
 #[derive(Debug)]
 struct Entry {
     /// The circuit this entry was created for, kept to turn a 64-bit key
-    /// collision into a cache miss instead of silently wrong results.
+    /// collision into a cache miss instead of silently wrong results, and
+    /// to recompile/rehydrate after eviction.
     circuit: Circuit,
-    options_key: String,
-    cell: Arc<OnceLock<Arc<KcSimulator>>>,
+    options: KcOptions,
+    state: EntryState,
+    /// Designated spill path (fixed at insertion when the cache has a
+    /// spill dir; stable across this entry's lifetime).
+    spill_path: Option<PathBuf>,
+    /// Bytes of a *valid* spill file on disk, once one is known to exist.
+    spilled_bytes: Option<usize>,
+    /// Exact resident tape bytes while `Ready` (0 before first
+    /// resolution).
+    size_bytes: usize,
+    /// Measured seconds of this entry's most recent acquisition (compile
+    /// on a miss, decode on a spill hit) — the price eviction would make
+    /// the next request pay again.
+    cost_seconds: f64,
+    /// GreedyDual-Size priority: `clock_at_access + cost / size`.
+    priority: f64,
 }
 
 #[derive(Debug, Default)]
-pub struct ArtifactCache {
-    /// Keyed by the 64-bit structural key; each key holds *every* distinct
+struct CacheState {
+    /// Key → indices into `entries`; each key holds *every* distinct
     /// `(circuit, options)` pair that hashes to it (64-bit collisions are
     /// astronomically rare, so the vec is length 1 in practice — but a
     /// collision must not evict either structure from caching).
-    entries: Mutex<HashMap<u64, Vec<Entry>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    buckets: HashMap<u64, Vec<usize>>,
+    entries: Vec<Entry>,
+    /// Bumped by `clear()`; resolutions and waiters started against an
+    /// older generation re-validate instead of touching freed indices.
+    generation: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    spill_hits: u64,
+    /// Exact bytes of compiled tape across every `Ready` entry,
+    /// maintained incrementally (the figure the byte budget bounds).
+    resident_bytes: usize,
+    /// Bytes of valid spill files on disk.
+    spilled_bytes: usize,
+    /// GreedyDual-Size clock: advances to the evicted priority on each
+    /// eviction, so post-eviction accesses outrank stale ones.
+    clock: f64,
+}
+
+/// A thread-safe, optionally bounded cache of compiled [`KcSimulator`]
+/// artifacts, keyed by the circuit's
+/// [structural hash](Circuit::structural_hash) plus the pipeline options.
+/// See the [module docs](self) for the eviction and spill lifecycle.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    options: CacheOptions,
+    state: Mutex<CacheState>,
+    resolved: Condvar,
     /// Test-only key hook: collapse every key to a constant so collision
     /// handling can be exercised deterministically.
     #[cfg(test)]
@@ -60,9 +190,22 @@ pub struct ArtifactCache {
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, unbounded cache without spill.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with the given residency/persistence bounds.
+    pub fn with_options(options: CacheOptions) -> Self {
+        Self {
+            options,
+            ..Self::default()
+        }
+    }
+
+    /// The residency/persistence bounds this cache enforces.
+    pub fn cache_options(&self) -> &CacheOptions {
+        &self.options
     }
 
     /// A cache whose every key collides — the regression hook for the
@@ -76,7 +219,9 @@ impl ArtifactCache {
     }
 
     /// The cache key: structural hash of the circuit, extended with the
-    /// pipeline options (different options compile different artifacts).
+    /// pipeline options through their bit-exact `Hash` implementation
+    /// (different options compile different artifacts; float fields key by
+    /// bit pattern, never by a formatted representation).
     fn key(&self, circuit: &Circuit, options: &KcOptions) -> u64 {
         #[cfg(test)]
         if self.collide_all_keys {
@@ -84,119 +229,359 @@ impl ArtifactCache {
         }
         let mut h = std::collections::hash_map::DefaultHasher::new();
         h.write_u64(circuit.structural_hash());
-        // KcOptions is a plain field struct; its Debug form covers every
-        // field deterministically.
-        format!("{options:?}").hash(&mut h);
+        options.hash(&mut h);
         h.finish()
     }
 
     /// Returns the compiled artifact for `circuit`, compiling it on first
-    /// use. Concurrent callers with the same structure share one
-    /// compilation; callers with different structures compile in parallel.
+    /// use — or rehydrating it from the spill tier when an evicted (or
+    /// previous-process) artifact is on disk. Concurrent callers with the
+    /// same structure share one resolution; callers with different
+    /// structures resolve in parallel.
     ///
     /// A 64-bit key collision between two different circuits is detected
     /// by comparing the stored circuits, and the colliding structure is
-    /// stored *alongside* the existing one — both cache normally (an
-    /// earlier version recompiled the second structure on every request,
-    /// which turned a one-in-2⁶⁴ event into a permanent recompile loop).
+    /// stored *alongside* the existing one — both cache normally.
     pub fn get_or_compile(&self, circuit: &Circuit, options: &KcOptions) -> Arc<KcSimulator> {
         let key = self.key(circuit, options);
-        let options_key = format!("{options:?}");
-        let cell = {
-            let mut entries = self.entries.lock().expect("cache poisoned");
-            let bucket = entries.entry(key).or_default();
-            match bucket
-                .iter()
-                .find(|e| e.options_key == options_key && e.circuit == *circuit)
-            {
-                Some(entry) => entry.cell.clone(),
-                None => {
-                    bucket.push(Entry {
-                        circuit: circuit.clone(),
-                        options_key,
-                        cell: Arc::default(),
-                    });
-                    bucket.last().expect("just pushed").cell.clone()
+        let mut st = self.state.lock().expect("cache poisoned");
+        'restart: loop {
+            let ix = Self::find_or_insert(&mut st, key, circuit, options, &self.options);
+            let generation = st.generation;
+            loop {
+                match &st.entries[ix].state {
+                    EntryState::Ready(artifact) => {
+                        let artifact = Arc::clone(artifact);
+                        st.hits += 1;
+                        Self::touch(&mut st, ix);
+                        self.enforce_budget(&mut st);
+                        return artifact;
+                    }
+                    EntryState::Resolving => {
+                        st = self.resolved.wait(st).expect("cache poisoned");
+                        if st.generation != generation {
+                            // The cache was cleared while we waited; the
+                            // index may now name a different entry.
+                            continue 'restart;
+                        }
+                    }
+                    EntryState::Absent => {
+                        st.entries[ix].state = EntryState::Resolving;
+                        let spill_path = st.entries[ix].spill_path.clone();
+                        drop(st);
+                        return self.resolve(circuit, options, ix, generation, spill_path);
+                    }
                 }
             }
-        };
-        let mut compiled_here = false;
-        let artifact = cell
-            .get_or_init(|| {
-                compiled_here = true;
-                Arc::new(KcSimulator::compile(circuit, options))
-            })
-            .clone();
-        if compiled_here {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Finds the entry for `(circuit, options)` in `key`'s bucket, or
+    /// inserts a fresh one (designating its spill path from its stable
+    /// position in the bucket).
+    fn find_or_insert(
+        st: &mut CacheState,
+        key: u64,
+        circuit: &Circuit,
+        options: &KcOptions,
+        cache_options: &CacheOptions,
+    ) -> usize {
+        if let Some(bucket) = st.buckets.get(&key) {
+            for &ix in bucket {
+                let e = &st.entries[ix];
+                if e.options == *options && e.circuit == *circuit {
+                    return ix;
+                }
+            }
+        }
+        let position = st.buckets.get(&key).map_or(0, Vec::len);
+        let ix = st.entries.len();
+        st.entries.push(Entry {
+            circuit: circuit.clone(),
+            options: options.clone(),
+            state: EntryState::Absent,
+            spill_path: cache_options
+                .spill_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("qkc-art-{key:016x}-{position}.qkcart"))),
+            spilled_bytes: None,
+            size_bytes: 0,
+            cost_seconds: 0.0,
+            priority: 0.0,
+        });
+        st.buckets.entry(key).or_default().push(ix);
+        ix
+    }
+
+    /// Compiles or rehydrates entry `ix` outside the state lock, then
+    /// publishes the result. Runs with the entry marked `Resolving`; the
+    /// guard restores `Absent` and wakes waiters if this unwinds.
+    fn resolve(
+        &self,
+        circuit: &Circuit,
+        options: &KcOptions,
+        ix: usize,
+        generation: u64,
+        spill_path: Option<PathBuf>,
+    ) -> Arc<KcSimulator> {
+        let mut guard = ResolveGuard {
+            cache: self,
+            ix,
+            generation,
+            armed: true,
+        };
+
+        // Rehydrate from the spill tier when a decodable artifact is on
+        // disk (written by this cache, an earlier eviction, or a previous
+        // process sharing the spill dir). Validation inside `from_bytes`
+        // rejects stale/corrupt/mismatched files, falling back to compile.
+        let mut rehydrated: Option<(Arc<KcSimulator>, f64, usize)> = None;
+        if let Some(path) = &spill_path {
+            let started = Instant::now();
+            if let Ok(bytes) = std::fs::read(path) {
+                if let Ok(sim) = KcSimulator::from_bytes(circuit, options, &bytes) {
+                    rehydrated =
+                        Some((Arc::new(sim), started.elapsed().as_secs_f64(), bytes.len()));
+                }
+            }
+        }
+
+        let (artifact, cost_seconds, spilled, spill_hit) = match rehydrated {
+            Some((artifact, secs, file_len)) => (artifact, secs, Some(file_len), true),
+            None => {
+                let started = Instant::now();
+                let artifact = Arc::new(KcSimulator::compile(circuit, options));
+                let secs = started.elapsed().as_secs_f64();
+                // Write-through spill: serialize now, outside every lock,
+                // so eviction later is a pure pointer drop.
+                let spilled = spill_path
+                    .as_ref()
+                    .and_then(|path| write_spill(path, &artifact, circuit, options));
+                (artifact, secs, spilled, false)
+            }
+        };
+
+        let mut st = self.state.lock().expect("cache poisoned");
+        guard.armed = false;
+        if st.generation != generation {
+            // The cache was cleared mid-resolution: the entry (and any
+            // index stability) is gone. Hand the artifact to the caller,
+            // counted, without touching freed state — and take back any
+            // spill file this resolution wrote, since no entry tracks it
+            // and `clear()` promises an empty spill dir.
+            if spill_hit {
+                st.spill_hits += 1;
+            } else {
+                st.misses += 1;
+            }
+            drop(st);
+            if spilled.is_some() && !spill_hit {
+                if let Some(path) = &spill_path {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            self.resolved.notify_all();
+            return artifact;
+        }
+        let spill_delta = {
+            let entry = &mut st.entries[ix];
+            entry.size_bytes = artifact.metrics().ac_size_bytes;
+            entry.cost_seconds = cost_seconds;
+            entry.state = EntryState::Ready(Arc::clone(&artifact));
+            match spilled {
+                Some(file_len) => {
+                    let previous = entry.spilled_bytes.replace(file_len).unwrap_or(0);
+                    file_len as isize - previous as isize
+                }
+                None => 0,
+            }
+        };
+        st.spilled_bytes = (st.spilled_bytes as isize + spill_delta) as usize;
+        st.resident_bytes += st.entries[ix].size_bytes;
+        if spill_hit {
+            st.spill_hits += 1;
+        } else {
+            st.misses += 1;
+        }
+        Self::touch(&mut st, ix);
+        self.enforce_budget(&mut st);
+        drop(st);
+        self.resolved.notify_all();
         artifact
     }
 
-    /// Number of requests served from an existing artifact.
+    /// Refreshes entry `ix`'s GreedyDual-Size priority at the current
+    /// clock: `clock + reacquire_cost / size`. Bigger artifacts and
+    /// cheaper reacquisitions (a spill file beats a recompile) sort
+    /// earlier toward eviction; every access pushes the entry past the
+    /// clock frontier.
+    fn touch(st: &mut CacheState, ix: usize) {
+        let e = &mut st.entries[ix];
+        e.priority = st.clock + e.cost_seconds / (e.size_bytes.max(1) as f64);
+    }
+
+    /// Evicts minimum-priority `Ready` entries until occupancy fits the
+    /// byte budget. No I/O: spill files were written through at
+    /// compile time, so eviction only drops the resident copy.
+    fn enforce_budget(&self, st: &mut CacheState) {
+        let Some(max) = self.options.max_resident_bytes else {
+            return;
+        };
+        while st.resident_bytes > max {
+            let victim = st
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e.state, EntryState::Ready(_)))
+                .min_by(|(_, a), (_, b)| a.priority.total_cmp(&b.priority))
+                .map(|(ix, _)| ix);
+            let Some(victim) = victim else {
+                break; // nothing resident is evictable (all resolving)
+            };
+            st.clock = st.clock.max(st.entries[victim].priority);
+            st.entries[victim].state = EntryState::Absent;
+            st.resident_bytes -= st.entries[victim].size_bytes;
+            st.evictions += 1;
+        }
+    }
+
+    /// Number of requests served from a resident artifact.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.state.lock().expect("cache poisoned").hits
     }
 
     /// Number of requests that compiled a new artifact.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.state.lock().expect("cache poisoned").misses
+    }
+
+    /// Number of artifacts evicted to enforce the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.state.lock().expect("cache poisoned").evictions
+    }
+
+    /// Number of requests served by rehydrating a spilled artifact from
+    /// disk instead of recompiling.
+    pub fn spill_hits(&self) -> u64 {
+        self.state.lock().expect("cache poisoned").spill_hits
     }
 
     /// Exact bytes of compiled execution tape resident in the cache: the
-    /// sum of `ac_size_bytes` over every finished artifact (entries still
-    /// compiling contribute 0). This is the occupancy figure a size-aware
-    /// eviction policy evicts against.
+    /// sum of `ac_size_bytes` over every resident artifact (entries still
+    /// resolving contribute 0). This is the occupancy the byte budget
+    /// bounds.
     pub fn resident_bytes(&self) -> usize {
-        self.occupancy().1
+        self.state.lock().expect("cache poisoned").resident_bytes
     }
 
-    /// Entry count and resident tape bytes, read under one lock
-    /// acquisition so the pair is mutually consistent.
-    fn occupancy(&self) -> (usize, usize) {
-        let map = self.entries.lock().expect("cache poisoned");
-        let entries = map.values().map(Vec::len).sum();
-        let bytes = map
-            .values()
-            .flatten()
-            .filter_map(|e| e.cell.get())
-            .map(|artifact| artifact.metrics().ac_size_bytes)
-            .sum();
-        (entries, bytes)
-    }
-
-    /// A point-in-time snapshot of counters and resident footprint (the
-    /// hit/miss counters are sampled alongside, best-effort).
+    /// A point-in-time snapshot of counters and footprint, taken under
+    /// **one** lock acquisition so every field is consistent with every
+    /// other (`entries` can never disagree with the counters that created
+    /// them).
     pub fn stats(&self) -> crate::CacheStats {
-        let (entries, resident_bytes) = self.occupancy();
+        let st = self.state.lock().expect("cache poisoned");
         crate::CacheStats {
-            hits: self.hits(),
-            misses: self.misses(),
-            entries,
-            resident_bytes,
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+            spill_hits: st.spill_hits,
+            entries: st.entries.len(),
+            resident_bytes: st.resident_bytes,
+            spilled_bytes: st.spilled_bytes,
         }
     }
 
-    /// Number of cached artifacts.
+    /// Number of cached structures (resident, resolving, or evicted — an
+    /// evicted entry still knows how to come back).
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .expect("cache poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.state.lock().expect("cache poisoned").entries.len()
     }
 
-    /// Whether the cache is empty.
+    /// Whether the cache holds no structures.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops every artifact (hit/miss counters keep accumulating).
+    /// Drops every artifact and removes this cache's spill files
+    /// (hit/miss counters keep accumulating).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache poisoned").clear();
+        let spill_paths: Vec<PathBuf> = {
+            let mut st = self.state.lock().expect("cache poisoned");
+            // Every designated path, not just recorded ones: an in-flight
+            // resolution may have written its file before this lock was
+            // taken (it will not record it either — the generation bump
+            // below routes it to the orphan-cleanup path in `resolve`).
+            let paths = st
+                .entries
+                .iter()
+                .filter_map(|e| e.spill_path.clone())
+                .collect();
+            st.buckets.clear();
+            st.entries.clear();
+            st.resident_bytes = 0;
+            st.spilled_bytes = 0;
+            st.generation += 1;
+            paths
+        };
+        // Wake waiters parked on pre-clear resolutions so they re-validate.
+        self.resolved.notify_all();
+        for path in spill_paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Serializes `artifact` and writes it to `path` (via a same-directory
+/// temp file + rename, so concurrent readers never see a half-written
+/// payload). Returns the file length, or `None` if any step failed —
+/// spill is strictly best-effort; a failed write only costs a future
+/// recompile.
+fn write_spill(
+    path: &std::path::Path,
+    artifact: &KcSimulator,
+    circuit: &Circuit,
+    options: &KcOptions,
+) -> Option<usize> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).ok()?;
+    }
+    let bytes = artifact.to_bytes(circuit, options);
+    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+    std::fs::write(&tmp, &bytes).ok()?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Some(bytes.len()),
+        Err(_) => {
+            let _ = std::fs::remove_file(&tmp);
+            None
+        }
+    }
+}
+
+/// Restores a `Resolving` entry to `Absent` and wakes waiters if the
+/// resolving thread unwinds (a panicking compile must not strand every
+/// waiter on the condvar).
+struct ResolveGuard<'a> {
+    cache: &'a ArtifactCache,
+    ix: usize,
+    generation: u64,
+    armed: bool,
+}
+
+impl Drop for ResolveGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Ok(mut st) = self.cache.state.lock() {
+            if st.generation == self.generation {
+                if let Some(entry) = st.entries.get_mut(self.ix) {
+                    if matches!(entry.state, EntryState::Resolving) {
+                        entry.state = EntryState::Absent;
+                    }
+                }
+            }
+        }
+        self.cache.resolved.notify_all();
     }
 }
 
@@ -209,6 +594,19 @@ mod tests {
         let mut c = Circuit::new(2);
         c.rx(0, Param::symbol("a")).zz(0, 1, Param::symbol("b"));
         c
+    }
+
+    /// A unique temp dir per test invocation (std-only; no tempfile dep).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "qkc-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
     }
 
     #[test]
@@ -246,6 +644,32 @@ mod tests {
     }
 
     #[test]
+    fn options_differing_only_in_a_float_field_cache_separately() {
+        // Regression for the stringly-typed `format!("{options:?}")` key:
+        // the cache key and entry identity now go through KcOptions'
+        // bit-exact Hash/Eq, so two balances that differ in the last ulp —
+        // or only in zero sign — are distinct artifacts.
+        let cache = ArtifactCache::new();
+        let base = KcOptions::default();
+        let nudged = KcOptions {
+            separator_balance: f64::from_bits(base.separator_balance.to_bits() + 1),
+            ..Default::default()
+        };
+        assert_ne!(base, nudged);
+        cache.get_or_compile(&parameterized(), &base);
+        cache.get_or_compile(&parameterized(), &nudged);
+        cache.get_or_compile(&parameterized(), &base);
+        cache.get_or_compile(&parameterized(), &nudged);
+        assert_eq!(
+            cache.misses(),
+            2,
+            "distinct float bits → distinct artifacts"
+        );
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn concurrent_requests_share_one_compilation() {
         let cache = Arc::new(ArtifactCache::new());
         crossbeam::scope(|s| {
@@ -263,6 +687,61 @@ mod tests {
         .expect("scope");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn stats_snapshots_are_internally_consistent_under_concurrency() {
+        // Counters, entry count, and occupancy all live under one lock:
+        // any snapshot taken while workers hammer `get_or_compile` must
+        // satisfy the bookkeeping invariants (the old implementation read
+        // counters outside the entries lock and could violate them).
+        let cache = Arc::new(ArtifactCache::new());
+        let distinct = 3u64;
+        let workers = 4;
+        let iters = 25;
+        crossbeam::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let cache = Arc::clone(&cache);
+                handles.push(s.spawn(move |_| {
+                    for i in 0..iters {
+                        let mut c = parameterized();
+                        for _ in 0..((w + i) % distinct as usize) {
+                            c.h(1);
+                        }
+                        cache.get_or_compile(&c, &KcOptions::default());
+                    }
+                }));
+            }
+            let snapshotter = {
+                let cache = Arc::clone(&cache);
+                s.spawn(move |_| {
+                    for _ in 0..200 {
+                        let s = cache.stats();
+                        assert!(
+                            s.misses <= s.entries as u64,
+                            "every miss creates its entry first: {s:?}"
+                        );
+                        assert!(s.entries as u64 <= distinct, "snapshot: {s:?}");
+                        assert_eq!(s.evictions, 0, "unbounded cache never evicts");
+                        assert!(
+                            s.hits + s.misses <= (workers * iters) as u64,
+                            "snapshot: {s:?}"
+                        );
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            for h in handles {
+                h.join().expect("worker");
+            }
+            snapshotter.join().expect("snapshotter");
+        })
+        .expect("scope");
+        let s = cache.stats();
+        assert_eq!(s.misses, distinct);
+        assert_eq!(s.hits + s.misses, (workers * iters) as u64);
+        assert_eq!(s.entries as u64, distinct);
     }
 
     #[test]
@@ -331,5 +810,178 @@ mod tests {
         assert!(cache.is_empty());
         cache.get_or_compile(&parameterized(), &KcOptions::default());
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_down_to_the_cap() {
+        // Three structures, budget sized for roughly one: after every
+        // request the resident footprint must respect the cap, with the
+        // shortfall recorded as evictions.
+        let sizes: Vec<usize> = {
+            let probe = ArtifactCache::new();
+            (0..3)
+                .map(|extra| {
+                    let mut c = parameterized();
+                    for q in 0..extra {
+                        c.h(q % 2);
+                    }
+                    probe
+                        .get_or_compile(&c, &KcOptions::default())
+                        .metrics()
+                        .ac_size_bytes
+                })
+                .collect()
+        };
+        let cap = *sizes.iter().max().unwrap();
+        let cache =
+            ArtifactCache::with_options(CacheOptions::default().with_max_resident_bytes(cap));
+        for round in 0..2 {
+            for extra in 0..3 {
+                let mut c = parameterized();
+                for q in 0..extra {
+                    c.h(q % 2);
+                }
+                cache.get_or_compile(&c, &KcOptions::default());
+                assert!(
+                    cache.resident_bytes() <= cap,
+                    "round {round}: {} resident > cap {cap}",
+                    cache.resident_bytes()
+                );
+            }
+        }
+        let s = cache.stats();
+        assert!(s.evictions > 0, "cap below total footprint must evict");
+        assert_eq!(s.entries, 3, "evicted entries keep their identity");
+        assert_eq!(s.spill_hits, 0, "no spill dir → evictions recompile");
+        assert!(s.misses > 3, "recompiles after spill-less eviction");
+    }
+
+    #[test]
+    fn spilled_artifacts_rehydrate_instead_of_recompiling() {
+        let dir = scratch_dir("spill");
+        let a = parameterized();
+        let mut b = parameterized();
+        b.h(1);
+        // A budget below every artifact: nothing stays resident, so the
+        // second request for `a` must deterministically come from disk
+        // (the returned handles stay valid — eviction only drops the
+        // cache's own reference).
+        let cache = ArtifactCache::with_options(
+            CacheOptions::default()
+                .with_max_resident_bytes(1)
+                .with_spill_dir(&dir),
+        );
+        let first = cache.get_or_compile(&a, &KcOptions::default());
+        assert!(cache.stats().spilled_bytes > 0, "write-through spill");
+        assert!(cache.resident_bytes() <= 1, "budget holds after eviction");
+        cache.get_or_compile(&b, &KcOptions::default());
+        let again = cache.get_or_compile(&a, &KcOptions::default());
+        let s = cache.stats();
+        assert_eq!(s.misses, 2, "a and b each compile exactly once");
+        assert!(
+            s.evictions >= 3,
+            "every resolution is evicted under a 1-byte cap"
+        );
+        assert_eq!(s.spill_hits, 1, "the second `a` came from disk");
+        // The rehydrated artifact answers bit-identically.
+        let p = qkc_circuit::ParamMap::from_pairs([("a", 0.37), ("b", 1.2)]);
+        let wa = first.bind(&p).unwrap().wavefunction();
+        let wb = again.bind(&p).unwrap().wavefunction();
+        for (x, y) in wa.iter().zip(&wb) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        cache.clear();
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "clear removes spill files"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_spill_dir_survives_process_restart() {
+        // A fresh cache over a directory another cache spilled into must
+        // rehydrate instead of compiling — the restart-survival half of
+        // the spill tier (simulated here by a second cache instance).
+        let dir = scratch_dir("restart");
+        let writer = ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&dir));
+        let original = writer.get_or_compile(&parameterized(), &KcOptions::default());
+        assert_eq!(writer.misses(), 1);
+        assert!(writer.stats().spilled_bytes > 0);
+
+        let reader = ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&dir));
+        let rehydrated = reader.get_or_compile(&parameterized(), &KcOptions::default());
+        let s = reader.stats();
+        assert_eq!(s.misses, 0, "warm start: no compile");
+        assert_eq!(s.spill_hits, 1);
+        assert_eq!(
+            rehydrated.metrics().ac_size_bytes,
+            original.metrics().ac_size_bytes
+        );
+
+        // A corrupt spill file falls back to a clean compile.
+        let corrupt_dir = scratch_dir("corrupt");
+        let writer =
+            ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&corrupt_dir));
+        writer.get_or_compile(&parameterized(), &KcOptions::default());
+        for f in std::fs::read_dir(&corrupt_dir).unwrap() {
+            let path = f.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let reader =
+            ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&corrupt_dir));
+        reader.get_or_compile(&parameterized(), &KcOptions::default());
+        let s = reader.stats();
+        assert_eq!(s.misses, 1, "corrupt file → recompile");
+        assert_eq!(s.spill_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&corrupt_dir);
+    }
+
+    #[test]
+    fn eviction_prefers_cheap_large_artifacts() {
+        // Cost-aware ordering: with equal recency, the entry whose
+        // reacquisition is cheap relative to its size goes first. Compile
+        // a small and a large structure, then insert pressure: the large
+        // one (smaller cost/size density on this workload) is evicted
+        // while the small survives.
+        let small = parameterized();
+        let mut large = parameterized();
+        for q in 0..2 {
+            large.h(q).t(q).h(q);
+        }
+        large.zz(0, 1, Param::symbol("c"));
+        let (small_sz, large_sz) = {
+            let probe = ArtifactCache::new();
+            (
+                probe
+                    .get_or_compile(&small, &KcOptions::default())
+                    .metrics()
+                    .ac_size_bytes,
+                probe
+                    .get_or_compile(&large, &KcOptions::default())
+                    .metrics()
+                    .ac_size_bytes,
+            )
+        };
+        assert!(large_sz > small_sz, "workload sizes must differ");
+        // Budget: both fit, but adding either again after pressure from a
+        // third structure forces exactly one out.
+        let cache = ArtifactCache::with_options(
+            CacheOptions::default().with_max_resident_bytes(small_sz + large_sz),
+        );
+        cache.get_or_compile(&small, &KcOptions::default());
+        cache.get_or_compile(&large, &KcOptions::default());
+        assert_eq!(cache.stats().evictions, 0);
+        let mut third = parameterized();
+        third.h(0);
+        cache.get_or_compile(&third, &KcOptions::default());
+        assert!(cache.stats().evictions >= 1, "pressure must evict");
+        assert!(cache.resident_bytes() <= small_sz + large_sz);
     }
 }

@@ -5,7 +5,7 @@ use crate::backend::{
     Backend, BackendKind, DensityMatrixBackend, EngineError, KcBackend, StateVectorBackend,
     TensorNetworkBackend,
 };
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, CacheOptions};
 use crate::gradient::{self, GradientPoint, GradientResult, GradientSpec};
 use crate::planner::{Plan, PlanHint, Planner};
 use crate::sweep::{SweepExecutor, SweepPoint, SweepSpec};
@@ -28,6 +28,11 @@ pub struct EngineOptions {
     pub batch: usize,
     /// Default workload hint used by queries that do not state one.
     pub hint: PlanHint,
+    /// Artifact-cache residency bounds: byte budget and spill directory
+    /// (see [`CacheOptions`]). Defaults to unbounded without spill;
+    /// bounding the cache never changes results — evicted artifacts
+    /// rehydrate or recompile bit-identically.
+    pub cache: CacheOptions,
 }
 
 impl Default for EngineOptions {
@@ -41,6 +46,7 @@ impl Default for EngineOptions {
                 .min(16),
             batch: crate::sweep::DEFAULT_BATCH,
             hint: PlanHint::default(),
+            cache: CacheOptions::default(),
         }
     }
 }
@@ -67,6 +73,12 @@ impl EngineOptions {
     /// Sets the default workload hint.
     pub fn with_hint(mut self, hint: PlanHint) -> Self {
         self.hint = hint;
+        self
+    }
+
+    /// Sets the artifact-cache residency bounds.
+    pub fn with_cache(mut self, cache: CacheOptions) -> Self {
+        self.cache = cache;
         self
     }
 }
@@ -107,10 +119,8 @@ impl Engine {
 
     /// An engine with explicit options.
     pub fn with_options(options: EngineOptions) -> Self {
-        Self {
-            options,
-            cache: Arc::new(ArtifactCache::new()),
-        }
+        let cache = Arc::new(ArtifactCache::with_options(options.cache.clone()));
+        Self { options, cache }
     }
 
     /// The configuration.

@@ -64,7 +64,7 @@ pub use backend::{
     Backend, BackendKind, Capabilities, DensityMatrixBackend, EngineError, KcBackend,
     StateVectorBackend, TensorNetworkBackend,
 };
-pub use cache::ArtifactCache;
+pub use cache::{ArtifactCache, CacheOptions};
 pub use facade::{Engine, EngineOptions};
 pub use gradient::{GradientPoint, GradientResult, GradientSpec, FD_STEP};
 pub use planner::{Plan, PlanHint, Planner};

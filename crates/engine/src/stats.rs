@@ -7,19 +7,28 @@ use std::collections::BTreeSet;
 /// A point-in-time snapshot of the [`ArtifactCache`](crate::ArtifactCache):
 /// request counters plus the exact resident footprint of the compiled
 /// execution tapes it holds (the sum of each artifact's
-/// `PipelineMetrics::ac_size_bytes`). The byte figure is the input a
-/// size-aware eviction policy needs.
+/// `PipelineMetrics::ac_size_bytes`). Taken under one lock acquisition,
+/// so every field is mutually consistent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Requests served from an existing artifact.
+    /// Requests served from a resident artifact.
     pub hits: u64,
     /// Requests that compiled a new artifact.
     pub misses: u64,
-    /// Number of cached artifacts (compiled or still compiling).
+    /// Artifacts evicted to enforce the resident-byte budget.
+    pub evictions: u64,
+    /// Requests served by rehydrating a spilled artifact from disk
+    /// (evicted earlier, or left warm by a previous process) instead of
+    /// recompiling.
+    pub spill_hits: u64,
+    /// Number of cached structures (resident, resolving, or evicted —
+    /// evicted entries keep their identity for rehydration).
     pub entries: usize,
     /// Exact bytes of compiled execution tape resident across every
     /// *finished* artifact (in-flight compilations count 0 until done).
     pub resident_bytes: usize,
+    /// Bytes of valid artifact spill files on disk.
+    pub spilled_bytes: usize,
 }
 
 /// Structural statistics of a circuit, cheap to compute (no compilation),

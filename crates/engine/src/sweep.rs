@@ -177,6 +177,13 @@ impl SweepExecutor {
 /// first failing chunk's error (itself the chunk's first item-level
 /// error) wins, preserving input-order error semantics. Shared by the
 /// sweep executor and the engine's gradient sweeps.
+///
+/// A panicking worker does **not** take the process down: its panic is
+/// caught at join, converted into [`EngineError::WorkerPanicked`] for the
+/// affected chunk of points, and every other worker still runs to
+/// completion (their results are simply superseded by the input-order
+/// error). The single-threaded path behaves identically by catching
+/// unwinds around the direct call.
 pub(crate) fn fan_out_chunks<I, T, F>(
     threads: usize,
     items: &[I],
@@ -189,7 +196,8 @@ where
 {
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
-        return f(0, items);
+        return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0, items)))
+            .unwrap_or_else(|payload| Err(worker_panic_error(payload)));
     }
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Result<Vec<T>, EngineError>> = Vec::with_capacity(threads);
@@ -200,7 +208,12 @@ where
             handles.push(scope.spawn(move |_| f(t * chunk, slice)));
         }
         for h in handles {
-            out.push(h.join().expect("worker panicked"));
+            out.push(h.join().unwrap_or_else(|payload| {
+                // The worker panicked: report its chunk of points as an
+                // engine error instead of propagating the unwind into the
+                // caller's thread (and killing the remaining results).
+                Err(worker_panic_error(payload))
+            }));
         }
     })
     .expect("scope panicked");
@@ -209,6 +222,18 @@ where
         results.extend(chunk_result?);
     }
     Ok(results)
+}
+
+/// Converts a caught panic payload into [`EngineError::WorkerPanicked`],
+/// preserving string payloads (the overwhelmingly common `panic!`/
+/// `assert!` case).
+fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> EngineError {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    EngineError::WorkerPanicked { detail }
 }
 
 /// Evaluates one worker's contiguous slice of the point space, in lanes of
@@ -309,9 +334,15 @@ fn run_point(
     if spec.keep_samples || need_samples_for_expectation {
         samples = backend.sample(circuit, params, spec.shots, point_seed)?;
         if need_samples_for_expectation {
+            // An empty draw has no estimate: erroring beats the old
+            // `len().max(1)` division, which silently reported `Some(0.0)`.
+            if samples.is_empty() {
+                return Err(EngineError::NoSamples {
+                    backend: backend.kind(),
+                });
+            }
             let obs = spec.observable.expect("checked above");
-            expectation =
-                Some(samples.iter().map(|&s| obs(s)).sum::<f64>() / samples.len().max(1) as f64);
+            expectation = Some(samples.iter().map(|&s| obs(s)).sum::<f64>() / samples.len() as f64);
         }
         if !spec.keep_samples {
             samples = Vec::new();
@@ -471,6 +502,150 @@ mod tests {
                 .unwrap();
             assert_eq!(base, got, "batch={batch} changed the sampled sweep");
         }
+    }
+
+    /// A deliberately misbehaving backend for the failure-containment
+    /// tests: panics on bindings whose `"t"` value matches `panic_on`, and
+    /// optionally returns zero samples regardless of the shot count.
+    struct FaultyBackend {
+        panic_on: Option<f64>,
+        empty_samples: bool,
+    }
+
+    impl Backend for FaultyBackend {
+        fn kind(&self) -> crate::BackendKind {
+            crate::BackendKind::StateVector
+        }
+
+        fn capabilities(&self) -> crate::Capabilities {
+            crate::Capabilities {
+                exact_pure: false,
+                exact_noisy: false,
+                sample_noisy: true,
+                compile_once: false,
+            }
+        }
+
+        fn probabilities(
+            &self,
+            _circuit: &Circuit,
+            params: &ParamMap,
+        ) -> Result<Vec<f64>, EngineError> {
+            if let Some(bad) = self.panic_on {
+                if params.get("t") == Some(bad) {
+                    panic!("injected backend panic at t={bad}");
+                }
+            }
+            Err(EngineError::Unsupported {
+                backend: self.kind(),
+                query: "exact probabilities".into(),
+            })
+        }
+
+        fn sample(
+            &self,
+            _circuit: &Circuit,
+            params: &ParamMap,
+            shots: usize,
+            _seed: u64,
+        ) -> Result<Vec<usize>, EngineError> {
+            if let Some(bad) = self.panic_on {
+                if params.get("t") == Some(bad) {
+                    panic!("injected backend panic at t={bad}");
+                }
+            }
+            if self.empty_samples {
+                return Ok(Vec::new());
+            }
+            Ok(vec![0; shots])
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_an_engine_error_not_a_process_abort() {
+        // Regression: a panicking sweep worker used to unwind through
+        // `join().expect(...)` and take the whole process down. It must
+        // instead surface as `WorkerPanicked` for the affected points
+        // while the other workers' chunks still run to completion.
+        let backend = FaultyBackend {
+            // The exact float of params index 3 of sweep_params(8).
+            panic_on: Some(0.2 + 0.1 * 3.0),
+            empty_samples: false,
+        };
+        let obs = |bits: usize| bits as f64;
+        let spec = SweepSpec {
+            shots: 16,
+            observable: Some(&obs),
+            keep_samples: false,
+            seed: 1,
+        };
+        for threads in [1usize, 4] {
+            let result = SweepExecutor::new(threads).with_batch(1).run(
+                &backend,
+                &rx_circuit(),
+                &sweep_params(8),
+                &spec,
+            );
+            match result {
+                Err(EngineError::WorkerPanicked { detail }) => {
+                    assert!(
+                        detail.contains("injected backend panic"),
+                        "panic payload preserved: {detail}"
+                    );
+                }
+                other => panic!("threads={threads}: expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        // Healthy points on the same backend still sweep fine.
+        let healthy = SweepExecutor::new(4)
+            .run(&backend, &rx_circuit(), &sweep_params(3), &spec)
+            .expect("panic-free points succeed");
+        assert_eq!(healthy.len(), 3);
+    }
+
+    #[test]
+    fn zero_samples_is_an_error_not_a_zero_expectation() {
+        // Regression: the sampled-estimate path divided by
+        // `samples.len().max(1)`, silently reporting `Some(0.0)` when a
+        // backend produced no samples.
+        let backend = FaultyBackend {
+            panic_on: None,
+            empty_samples: true,
+        };
+        let obs = |bits: usize| bits as f64 + 1.0;
+        let spec = SweepSpec {
+            shots: 64,
+            observable: Some(&obs),
+            keep_samples: false,
+            seed: 2,
+        };
+        let result = SweepExecutor::new(1).run(&backend, &rx_circuit(), &sweep_params(2), &spec);
+        assert!(
+            matches!(result, Err(EngineError::NoSamples { .. })),
+            "got {result:?}"
+        );
+    }
+
+    #[test]
+    fn zero_shot_sweeps_error_when_exact_is_unsupported() {
+        // shots = 0 with an observable on a sampling-only backend has no
+        // way to produce an expectation: the error must surface instead of
+        // a silently absent (or zero) value.
+        let mut noisy = rx_circuit();
+        noisy.depolarize(0, 0.02);
+        let obs = |bits: usize| bits as f64;
+        let spec = SweepSpec {
+            shots: 0,
+            observable: Some(&obs),
+            keep_samples: false,
+            seed: 3,
+        };
+        let backend = StateVectorBackend::new(1);
+        let result = SweepExecutor::new(2).run(&backend, &noisy, &sweep_params(4), &spec);
+        assert!(
+            matches!(result, Err(EngineError::Unsupported { .. })),
+            "got {result:?}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! compiled circuit is then reused across every simulation query.
 
 use crate::nnf::{Nnf, NnfBuilder, NnfId};
-use crate::order::{compute_ranks, VarOrder};
+use crate::order::{compute_ranks_balanced, VarOrder, DEFAULT_SEPARATOR_BALANCE};
 use qkc_cnf::{lit_sign, lit_var, Cnf, Lit};
 use std::collections::HashMap;
 
@@ -27,6 +27,10 @@ pub struct CompileOptions {
     pub order: VarOrder,
     /// Enable component caching (disable only for ablation benchmarks).
     pub cache: bool,
+    /// Bisection split fraction for [`VarOrder::MinCutSeparator`] (see
+    /// [`compute_ranks_balanced`](crate::compute_ranks_balanced)); `0.5`
+    /// is the balanced default.
+    pub separator_balance: f64,
 }
 
 impl Default for CompileOptions {
@@ -34,6 +38,7 @@ impl Default for CompileOptions {
         Self {
             order: VarOrder::MinCutSeparator,
             cache: true,
+            separator_balance: DEFAULT_SEPARATOR_BALANCE,
         }
     }
 }
@@ -86,7 +91,7 @@ pub fn compile(cnf: &Cnf, options: &CompileOptions) -> Compiled {
 }
 
 fn compile_on_this_thread(cnf: &Cnf, options: &CompileOptions) -> Compiled {
-    let ranks = compute_ranks(cnf, options.order);
+    let ranks = compute_ranks_balanced(cnf, options.order, options.separator_balance);
     let mut state = Dpll {
         clauses: cnf.clauses().to_vec(),
         occurs: build_occurs(cnf),
@@ -385,7 +390,14 @@ mod tests {
         let want = brute_force_count(cnf);
         for order in [VarOrder::Lexicographic, VarOrder::MinCutSeparator] {
             for cache in [true, false] {
-                let got = model_count(cnf, &CompileOptions { order, cache });
+                let got = model_count(
+                    cnf,
+                    &CompileOptions {
+                        order,
+                        cache,
+                        ..Default::default()
+                    },
+                );
                 assert!(
                     (got - want).abs() < 1e-6,
                     "order {order:?} cache {cache}: {got} vs {want}"

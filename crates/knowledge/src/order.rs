@@ -13,7 +13,7 @@ use qkc_cnf::{lit_var, Cnf};
 use std::collections::HashSet;
 
 /// The available decision orders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum VarOrder {
     /// Variable-index order (circuit time order).
     Lexicographic,
@@ -22,17 +22,33 @@ pub enum VarOrder {
     MinCutSeparator,
 }
 
+/// The default bisection split fraction of [`VarOrder::MinCutSeparator`]:
+/// perfectly balanced halves. See [`compute_ranks_balanced`].
+pub const DEFAULT_SEPARATOR_BALANCE: f64 = 0.5;
+
 /// Computes `rank[var]` (1-based vars; index 0 unused): the compiler always
 /// branches on the unassigned variable of minimum rank within a component.
 pub fn compute_ranks(cnf: &Cnf, order: VarOrder) -> Vec<u32> {
+    compute_ranks_balanced(cnf, order, DEFAULT_SEPARATOR_BALANCE)
+}
+
+/// [`compute_ranks`] with an explicit bisection balance for
+/// [`VarOrder::MinCutSeparator`]: the BFS diameter ordering is split at
+/// fraction `balance` (clamped to `(0, 1)`) instead of the midpoint.
+/// Skewed cuts trade separator size against recursion depth; `0.5` is the
+/// balanced default and reproduces [`compute_ranks`] exactly. The balance
+/// is part of the compiled artifact's identity — two compilations that
+/// differ only in it may produce different variable orders, hence
+/// different (equally correct) circuits.
+pub fn compute_ranks_balanced(cnf: &Cnf, order: VarOrder, balance: f64) -> Vec<u32> {
     let n = cnf.num_vars();
     match order {
         VarOrder::Lexicographic => (0..=n as u32).collect(),
-        VarOrder::MinCutSeparator => separator_ranks(cnf),
+        VarOrder::MinCutSeparator => separator_ranks(cnf, balance),
     }
 }
 
-fn separator_ranks(cnf: &Cnf) -> Vec<u32> {
+fn separator_ranks(cnf: &Cnf, balance: f64) -> Vec<u32> {
     let n = cnf.num_vars();
     // Variable interaction graph: adjacency via shared clauses.
     let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); n + 1];
@@ -81,7 +97,7 @@ fn separator_ranks(cnf: &Cnf) -> Vec<u32> {
         // compiled NNF, and every downstream sampling stream — are
         // deterministic functions of the CNF alone.
         comp.sort_unstable();
-        bisect(&comp, &adj, &mut rank, &mut next_rank, &mut assign);
+        bisect(&comp, &adj, balance, &mut rank, &mut next_rank, &mut assign);
     }
     // Isolated / never-mentioned variables get trailing ranks.
     for v in 1..=n as u32 {
@@ -95,6 +111,7 @@ fn separator_ranks(cnf: &Cnf) -> Vec<u32> {
 fn bisect(
     vars: &[u32],
     adj: &[HashSet<u32>],
+    balance: f64,
     rank: &mut Vec<u32>,
     next_rank: &mut u32,
     assign: &mut impl FnMut(u32, &mut Vec<u32>, &mut u32),
@@ -143,7 +160,11 @@ fn bisect(
             order.push(v);
         }
     }
-    let half = order.len() / 2;
+    // Split the BFS ordering at the requested fraction; floor at balance
+    // 0.5 is exactly the old midpoint split, and the clamp keeps both
+    // halves non-empty under extreme balances.
+    let half =
+        ((order.len() as f64 * balance.clamp(0.0, 1.0)).floor() as usize).clamp(1, order.len() - 1);
     let a: HashSet<u32> = order[..half].iter().copied().collect();
     let b: HashSet<u32> = order[half..].iter().copied().collect();
     // Separator: vertices of A adjacent to B (take the smaller boundary
@@ -186,10 +207,10 @@ fn bisect(
         .filter(|v| !sep_set.contains(v))
         .collect();
     if !rest_a.is_empty() {
-        bisect(&rest_a, adj, rank, next_rank, assign);
+        bisect(&rest_a, adj, balance, rank, next_rank, assign);
     }
     if !rest_b.is_empty() {
-        bisect(&rest_b, adj, rank, next_rank, assign);
+        bisect(&rest_b, adj, balance, rank, next_rank, assign);
     }
 }
 

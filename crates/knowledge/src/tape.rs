@@ -247,49 +247,7 @@ impl AcTape {
             ops.push(op);
         }
         lit_slots.sort_unstable_by_key(|&(l, _)| l);
-        // Reverse CSR (children → parents), for the delta kernels.
-        let n_ops = ops.len();
-        let mut parent_offsets = vec![0u32; n_ops + 1];
-        let count_child = |c: TapeId, offsets: &mut Vec<u32>| {
-            offsets[c as usize + 1] += 1;
-        };
-        for op in &ops {
-            match op.kind {
-                TapeOpKind::And2 | TapeOpKind::Or => {
-                    count_child(op.a, &mut parent_offsets);
-                    count_child(op.b, &mut parent_offsets);
-                }
-                TapeOpKind::And => {
-                    for &c in &edges[op.a as usize..op.b as usize] {
-                        count_child(c, &mut parent_offsets);
-                    }
-                }
-                _ => {}
-            }
-        }
-        for i in 0..n_ops {
-            parent_offsets[i + 1] += parent_offsets[i];
-        }
-        let mut parents = vec![0 as TapeId; *parent_offsets.last().unwrap() as usize];
-        let mut fill = parent_offsets.clone();
-        for (i, op) in ops.iter().enumerate() {
-            let mut place = |c: TapeId, fill: &mut Vec<u32>| {
-                parents[fill[c as usize] as usize] = i as TapeId;
-                fill[c as usize] += 1;
-            };
-            match op.kind {
-                TapeOpKind::And2 | TapeOpKind::Or => {
-                    place(op.a, &mut fill);
-                    place(op.b, &mut fill);
-                }
-                TapeOpKind::And => {
-                    for &c in &edges[op.a as usize..op.b as usize] {
-                        place(c, &mut fill);
-                    }
-                }
-                _ => {}
-            }
-        }
+        let (parent_offsets, parents) = build_parent_csr(&ops, &edges);
         Self {
             root: slot_of[nnf.root() as usize],
             ops,
@@ -337,6 +295,13 @@ impl AcTape {
     /// The sorted `(literal, slot)` table.
     pub fn lit_slots(&self) -> &[(Lit, TapeId)] {
         &self.lit_slots
+    }
+
+    /// One past the largest weight slot any literal instruction reads: the
+    /// minimum [`AcWeights::num_slots`] a weight vector must cover for the
+    /// kernels to accept it.
+    pub fn required_weight_slots(&self) -> u32 {
+        self.weight_slots
     }
 
     /// Number of tape slots in the ancestor cone of the given literals
@@ -398,6 +363,348 @@ impl AcTape {
             self.weight_slots
         );
     }
+
+    /// Serializes the tape into its versioned, checksummed wire format —
+    /// the on-disk / over-the-wire form of a compiled artifact (spill
+    /// files, distributed sweep sharding).
+    ///
+    /// Layout (little-endian): magic `QKTP`, format version, root /
+    /// weight-slot words, four section counts, then the four flat sections
+    /// exactly as resident — fixed-width ops (opcode byte + two payload
+    /// words), CSR edge buffer, constant pool (IEEE-754 bit patterns, so
+    /// round-trips are bit-exact), sorted literal→slot table — and a
+    /// trailing FNV-1a checksum over everything before it. The parent CSR
+    /// and the process-unique stamp are *not* serialized: both are derived
+    /// (and re-derived cheaply) by [`AcTape::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            WIRE_HEADER_BYTES
+                + self.ops.len() * 9
+                + self.edges.len() * 4
+                + self.consts.len() * 16
+                + self.lit_slots.len() * 8
+                + 8,
+        );
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&self.root.to_le_bytes());
+        out.extend_from_slice(&self.weight_slots.to_le_bytes());
+        out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.edges.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.consts.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.lit_slots.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            out.push(op.kind as u8);
+            out.extend_from_slice(&op.a.to_le_bytes());
+            out.extend_from_slice(&op.b.to_le_bytes());
+        }
+        for &e in &self.edges {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        for c in &self.consts {
+            out.extend_from_slice(&c.re.to_bits().to_le_bytes());
+            out.extend_from_slice(&c.im.to_bits().to_le_bytes());
+        }
+        for &(l, s) in &self.lit_slots {
+            out.extend_from_slice(&l.to_le_bytes());
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a tape from [`AcTape::to_bytes`] output.
+    ///
+    /// Every kernel invariant the lowering establishes is re-validated
+    /// here — children precede parents, edge ranges and constant indices
+    /// in bounds, literal slots pointing at matching `Lit` instructions in
+    /// strictly increasing literal order — so a decoded tape is as safe to
+    /// execute as a freshly lowered one, and a hostile or bit-rotted
+    /// payload is rejected with an error rather than trusted. The decoded
+    /// tape is bit-for-bit equivalent to the encoded one under every
+    /// evaluator kernel; it carries a fresh stamp (evaluator delta caches
+    /// never confuse it with the original).
+    ///
+    /// # Errors
+    ///
+    /// [`TapeDecodeError`] on wrong magic, unsupported version, truncated
+    /// or oversized payload, checksum mismatch, or any structural
+    /// violation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TapeDecodeError> {
+        if bytes.len() < 4 {
+            return Err(TapeDecodeError::Truncated);
+        }
+        if bytes[..4] != WIRE_MAGIC {
+            return Err(TapeDecodeError::BadMagic);
+        }
+        if bytes.len() < WIRE_HEADER_BYTES + 8 {
+            return Err(TapeDecodeError::Truncated);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != WIRE_VERSION {
+            return Err(TapeDecodeError::UnsupportedVersion(version));
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        if fnv1a(body) != u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes")) {
+            return Err(TapeDecodeError::ChecksumMismatch);
+        }
+        let mut rd = WireReader {
+            buf: body,
+            pos: WIRE_MAGIC.len() + 4,
+        };
+        let root = rd.u32()?;
+        let weight_slots = rd.u32()?;
+        let n_ops = rd.u32()? as usize;
+        let n_edges = rd.u32()? as usize;
+        let n_consts = rd.u32()? as usize;
+        let n_lits = rd.u32()? as usize;
+        let expect = WIRE_HEADER_BYTES as u64
+            + n_ops as u64 * 9
+            + n_edges as u64 * 4
+            + n_consts as u64 * 16
+            + n_lits as u64 * 8;
+        if (body.len() as u64) < expect {
+            return Err(TapeDecodeError::Truncated);
+        }
+        if body.len() as u64 > expect {
+            return Err(TapeDecodeError::Malformed("trailing bytes"));
+        }
+        if n_ops == 0 {
+            return Err(TapeDecodeError::Malformed("empty instruction stream"));
+        }
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let kind = match rd.u8()? {
+                0 => TapeOpKind::Const,
+                1 => TapeOpKind::Lit,
+                2 => TapeOpKind::And2,
+                3 => TapeOpKind::And,
+                4 => TapeOpKind::Or,
+                _ => return Err(TapeDecodeError::Malformed("unknown opcode")),
+            };
+            let a = rd.u32()?;
+            let b = rd.u32()?;
+            ops.push(TapeOp { kind, a, b });
+        }
+        let mut edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            edges.push(rd.u32()?);
+        }
+        let mut consts = Vec::with_capacity(n_consts);
+        for _ in 0..n_consts {
+            let re = f64::from_bits(rd.u64()?);
+            let im = f64::from_bits(rd.u64()?);
+            consts.push(Complex::new(re, im));
+        }
+        let mut lit_slots: Vec<(Lit, TapeId)> = Vec::with_capacity(n_lits);
+        for _ in 0..n_lits {
+            let lit = rd.u32()? as i32;
+            let slot = rd.u32()?;
+            lit_slots.push((lit, slot));
+        }
+        // Structural validation: re-establish every lowering invariant the
+        // kernels index by without bounds checks they can't afford.
+        if root as usize >= n_ops {
+            return Err(TapeDecodeError::Malformed("root out of range"));
+        }
+        let mut lit_ops = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match op.kind {
+                TapeOpKind::Const => {
+                    if op.a as usize >= consts.len() {
+                        return Err(TapeDecodeError::Malformed("constant index out of range"));
+                    }
+                }
+                TapeOpKind::Lit => {
+                    lit_ops += 1;
+                    if op.a >= weight_slots {
+                        return Err(TapeDecodeError::Malformed("weight slot out of range"));
+                    }
+                    let lit = op.b as i32;
+                    if lit == 0 || lit == i32::MIN {
+                        return Err(TapeDecodeError::Malformed("invalid literal"));
+                    }
+                    if AcWeights::slot_of(lit) != op.a {
+                        return Err(TapeDecodeError::Malformed("literal/slot mismatch"));
+                    }
+                }
+                TapeOpKind::And2 | TapeOpKind::Or => {
+                    if op.a as usize >= i || op.b as usize >= i {
+                        return Err(TapeDecodeError::Malformed("child after parent"));
+                    }
+                }
+                TapeOpKind::And => {
+                    let (lo, hi) = (op.a as usize, op.b as usize);
+                    if lo > hi || hi > edges.len() {
+                        return Err(TapeDecodeError::Malformed("edge range out of bounds"));
+                    }
+                    if edges[lo..hi].iter().any(|&c| c as usize >= i) {
+                        return Err(TapeDecodeError::Malformed("child after parent"));
+                    }
+                }
+            }
+        }
+        if lit_slots.len() != lit_ops {
+            return Err(TapeDecodeError::Malformed("literal table size mismatch"));
+        }
+        for (i, &(lit, slot)) in lit_slots.iter().enumerate() {
+            if i > 0 && lit_slots[i - 1].0 >= lit {
+                return Err(TapeDecodeError::Malformed("literal table unsorted"));
+            }
+            let op = ops
+                .get(slot as usize)
+                .ok_or(TapeDecodeError::Malformed("literal slot out of range"))?;
+            if op.kind != TapeOpKind::Lit || op.b as i32 != lit {
+                return Err(TapeDecodeError::Malformed("literal table points astray"));
+            }
+        }
+        let (parent_offsets, parents) = build_parent_csr(&ops, &edges);
+        Ok(Self {
+            ops,
+            edges,
+            consts,
+            lit_slots,
+            parent_offsets,
+            parents,
+            weight_slots,
+            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
+            root,
+        })
+    }
+}
+
+/// Wire-format constants: magic, version, and the fixed header size
+/// (magic + version + reserved + root + weight_slots + four counts).
+const WIRE_MAGIC: [u8; 4] = *b"QKTP";
+/// Current [`AcTape`] wire-format version; bumped on any layout change so
+/// old readers reject new payloads cleanly (and vice versa).
+pub const WIRE_VERSION: u16 = 1;
+const WIRE_HEADER_BYTES: usize = 4 + 2 + 2 + 4 + 4 + 4 * 4;
+
+/// FNV-1a over the payload: cheap, dependency-free corruption detection
+/// (not cryptographic — the trust boundary is same-operator storage).
+/// Shared by every QKC wire format (re-exported as
+/// [`wire_checksum`](crate::wire_checksum)) so the trailer algorithm can
+/// never diverge between the tape and artifact payloads.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bounds-checked little-endian reads over a wire payload.
+struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl WireReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], TapeDecodeError> {
+        let end = self.pos.checked_add(n).ok_or(TapeDecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(TapeDecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, TapeDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TapeDecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, TapeDecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+/// Why a wire payload was rejected by [`AcTape::from_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeDecodeError {
+    /// The payload does not start with the tape magic.
+    BadMagic,
+    /// The payload's format version is not one this build reads.
+    UnsupportedVersion(u16),
+    /// The payload ends before its sections do.
+    Truncated,
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch,
+    /// A section is internally inconsistent (the contained invariant).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TapeDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TapeDecodeError::BadMagic => write!(f, "not an AcTape payload (bad magic)"),
+            TapeDecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported AcTape wire version {v}")
+            }
+            TapeDecodeError::Truncated => write!(f, "truncated AcTape payload"),
+            TapeDecodeError::ChecksumMismatch => write!(f, "AcTape payload checksum mismatch"),
+            TapeDecodeError::Malformed(what) => write!(f, "malformed AcTape payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TapeDecodeError {}
+
+/// Builds the reverse CSR (children → parents) that drives the delta
+/// kernels' dirty-cone propagation. Shared by lowering and wire decoding —
+/// the parent CSR is always derived, never trusted from a payload.
+fn build_parent_csr(ops: &[TapeOp], edges: &[TapeId]) -> (Vec<u32>, Vec<TapeId>) {
+    let n_ops = ops.len();
+    let mut parent_offsets = vec![0u32; n_ops + 1];
+    let count_child = |c: TapeId, offsets: &mut Vec<u32>| {
+        offsets[c as usize + 1] += 1;
+    };
+    for op in ops {
+        match op.kind {
+            TapeOpKind::And2 | TapeOpKind::Or => {
+                count_child(op.a, &mut parent_offsets);
+                count_child(op.b, &mut parent_offsets);
+            }
+            TapeOpKind::And => {
+                for &c in &edges[op.a as usize..op.b as usize] {
+                    count_child(c, &mut parent_offsets);
+                }
+            }
+            _ => {}
+        }
+    }
+    for i in 0..n_ops {
+        parent_offsets[i + 1] += parent_offsets[i];
+    }
+    let mut parents = vec![0 as TapeId; *parent_offsets.last().unwrap() as usize];
+    let mut fill = parent_offsets.clone();
+    for (i, op) in ops.iter().enumerate() {
+        let mut place = |c: TapeId, fill: &mut Vec<u32>| {
+            parents[fill[c as usize] as usize] = i as TapeId;
+            fill[c as usize] += 1;
+        };
+        match op.kind {
+            TapeOpKind::And2 | TapeOpKind::Or => {
+                place(op.a, &mut fill);
+                place(op.b, &mut fill);
+            }
+            TapeOpKind::And => {
+                for &c in &edges[op.a as usize..op.b as usize] {
+                    place(c, &mut fill);
+                }
+            }
+            _ => {}
+        }
+    }
+    (parent_offsets, parents)
 }
 
 /// A reusable evaluator over [`AcTape`]s: owns every value/partial/scratch
@@ -1754,5 +2061,146 @@ mod tests {
             let v = eval.differentials(&big_tape, &w3);
             assert!(bits_eq(v, evaluate_with_differentials(&big, &w3).value));
         }
+    }
+
+    /// Random CNF for wire-format round-trip coverage (same generator
+    /// family as the delta tests: enough clauses for non-trivial sharing).
+    fn random_cnf(vars: usize, clauses: usize, seed: u64) -> Cnf {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = Cnf::new(vars);
+        for _ in 0..clauses {
+            let len = rng.gen_range(1..4usize);
+            let mut clause = Vec::with_capacity(len);
+            for _ in 0..len {
+                let v = rng.gen_range(1..vars as i32 + 1);
+                clause.push(if rng.gen::<bool>() { v } else { -v });
+            }
+            f.add_clause(clause);
+        }
+        f
+    }
+
+    #[test]
+    fn wire_round_trip_is_bit_identical_under_every_kernel() {
+        for seed in 0..20u64 {
+            let f = random_cnf(6, 9, seed);
+            let compiled = compile(&f, &CompileOptions::default());
+            let groups: Vec<Vec<i32>> = (1..=6).map(|v| vec![v, -v]).collect();
+            let nnf = smooth(&compiled.nnf, &groups);
+            let tape = AcTape::lower(&nnf);
+            let bytes = tape.to_bytes();
+            let back = AcTape::from_bytes(&bytes).expect("round trip decodes");
+            // Identical flat sections → identical byte stream again.
+            assert_eq!(back.to_bytes(), bytes, "re-encode differs (seed {seed})");
+            assert_ne!(back.stamp, tape.stamp, "decoded tape has its own identity");
+            // Every kernel agrees bit-for-bit between original and decoded.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD5);
+            let mut ea = TapeEvaluator::new();
+            let mut eb = TapeEvaluator::new();
+            for _ in 0..4 {
+                let w = random_weights(6, &mut rng);
+                assert!(bits_eq(ea.evaluate(&tape, &w), eb.evaluate(&back, &w)));
+                assert!(bits_eq(
+                    ea.differentials(&tape, &w),
+                    eb.differentials(&back, &w)
+                ));
+                for v in 1..=6i32 {
+                    for lit in [v, -v] {
+                        assert_eq!(
+                            ea.wrt_lit(&tape, lit)
+                                .map(|c| (c.re.to_bits(), c.im.to_bits())),
+                            eb.wrt_lit(&back, lit)
+                                .map(|c| (c.re.to_bits(), c.im.to_bits())),
+                        );
+                    }
+                }
+                // Model sampling consumes the identical RNG stream.
+                let mut ra = StdRng::seed_from_u64(7 + seed);
+                let mut rb = StdRng::seed_from_u64(7 + seed);
+                assert_eq!(
+                    ea.sample_model(&tape, &w, &mut ra),
+                    eb.sample_model(&back, &w, &mut rb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_rejects_corruption_truncation_and_version_skew() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let bytes = tape.to_bytes();
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            AcTape::from_bytes(&bad).err(),
+            Some(TapeDecodeError::BadMagic)
+        );
+
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[4] = 0xFE;
+        assert_eq!(
+            AcTape::from_bytes(&bad).err(),
+            Some(TapeDecodeError::UnsupportedVersion(u16::from_le_bytes([
+                0xFE, bad[5]
+            ])))
+        );
+
+        // Every possible truncation point decodes to an error, never a
+        // panic or a silently short tape.
+        for len in 0..bytes.len() {
+            assert!(
+                AcTape::from_bytes(&bytes[..len]).is_err(),
+                "truncation at {len} accepted"
+            );
+        }
+
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0u8; 3]);
+        assert!(AcTape::from_bytes(&long).is_err());
+
+        // Any single-byte flip anywhere in the payload is caught (by the
+        // checksum, or — if the flip lands in the checksum itself — by the
+        // mismatch against the intact body).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(AcTape::from_bytes(&bad).is_err(), "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn wire_validates_structure_not_just_checksum() {
+        // A payload with a valid checksum but broken invariants (child
+        // after parent) must be rejected: rebuild a tampered body and
+        // re-stamp its checksum.
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut bytes = tape.to_bytes();
+        let body_len = bytes.len() - 8;
+        // Find an And2/Or op and point its first child at itself: op
+        // section starts at the fixed header.
+        let ops_start = 4 + 2 + 2 + 4 + 4 + 16;
+        let n_ops = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let mut patched = false;
+        for i in 0..n_ops {
+            let off = ops_start + i * 9;
+            if bytes[off] == TapeOpKind::And2 as u8 || bytes[off] == TapeOpKind::Or as u8 {
+                bytes[off + 1..off + 5].copy_from_slice(&(i as u32).to_le_bytes());
+                patched = true;
+                break;
+            }
+        }
+        assert!(patched, "test nnf has an inner node");
+        let sum = super::fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            AcTape::from_bytes(&bytes).err(),
+            Some(TapeDecodeError::Malformed("child after parent"))
+        );
     }
 }

@@ -1,12 +1,18 @@
-//! The engine's three moving parts in one tour: the planner picking
-//! backends from circuit shape, the artifact cache compiling a sweep's
-//! structure exactly once, and the parallel sweep executor producing
-//! thread-count-independent results.
+//! The engine's moving parts in one tour: the planner picking backends
+//! from circuit shape, the artifact cache compiling a sweep's structure
+//! exactly once, the parallel sweep executor producing
+//! thread-count-independent results, and the artifact lifecycle — a
+//! byte-capped cache evicting, spilling to disk, and rehydrating without
+//! changing a single bit of the output.
 //!
 //! Run with: `cargo run --release --example engine_sweep`
+//!
+//! The final section doubles as the CI eviction smoke test: it runs a
+//! sweep under a `max_resident_bytes` budget small enough to force
+//! eviction and asserts budget, spill, and byte-identity invariants.
 
 use qkc::circuit::{Circuit, NoiseChannel, Param, ParamMap};
-use qkc::engine::{Engine, PlanHint, SweepSpec};
+use qkc::engine::{BackendKind, CacheOptions, Engine, EngineOptions, PlanHint, SweepSpec};
 use qkc::workloads::{Graph, QaoaMaxCut};
 
 fn main() {
@@ -97,4 +103,68 @@ fn main() {
          (backend: {})",
         backend.kind()
     );
+
+    // --- 4. Artifact lifecycle: byte-capped cache + on-disk spill --------
+    println!("\n== artifact lifecycle: eviction + spill, bits unchanged ==");
+    // Two structures whose combined tapes exceed the budget, swept twice
+    // each, so the cache must evict mid-run and serve the re-requests by
+    // rehydrating spill files.
+    let mut other = Circuit::new(2);
+    other
+        .h(0)
+        .rx(0, Param::symbol("theta"))
+        .t(1)
+        .cnot(0, 1)
+        .rx(1, Param::symbol("theta"));
+    let reference_engine = Engine::with_options(
+        EngineOptions::default().with_backend(BackendKind::KnowledgeCompilation),
+    );
+    let spec = SweepSpec::expectation(&obs).with_seed(11);
+    let want_c = reference_engine.sweep(&c, &thetas, &spec).expect("sweep");
+    let want_other = reference_engine
+        .sweep(&other, &thetas, &spec)
+        .expect("sweep");
+    let total = reference_engine.cache().resident_bytes();
+
+    let spill_dir = std::env::temp_dir().join(format!("qkc-engine-sweep-{}", std::process::id()));
+    let bounded = Engine::with_options(
+        EngineOptions::default()
+            .with_backend(BackendKind::KnowledgeCompilation)
+            .with_cache(
+                CacheOptions::default()
+                    .with_max_resident_bytes(total / 2)
+                    .with_spill_dir(&spill_dir),
+            ),
+    );
+    for _round in 0..2 {
+        let got_c = bounded.sweep(&c, &thetas, &spec).expect("bounded sweep");
+        let got_other = bounded
+            .sweep(&other, &thetas, &spec)
+            .expect("bounded sweep");
+        assert_eq!(got_c, want_c, "eviction must not change results");
+        assert_eq!(got_other, want_other, "eviction must not change results");
+    }
+    let stats = bounded.cache().stats();
+    assert!(
+        stats.resident_bytes <= total / 2,
+        "resident {} exceeds the {}-byte budget",
+        stats.resident_bytes,
+        total / 2
+    );
+    assert!(stats.evictions > 0, "budget below footprint must evict");
+    assert!(stats.spill_hits > 0, "re-requests must rehydrate from disk");
+    assert_eq!(stats.misses, 2, "each structure compiled exactly once");
+    println!(
+        "  budget {} B (of {} B total): {} eviction(s), {} spill hit(s), \
+         {} compile(s), {} B spilled on disk — outputs byte-identical to \
+         the unbounded cache",
+        total / 2,
+        total,
+        stats.evictions,
+        stats.spill_hits,
+        stats.misses,
+        stats.spilled_bytes
+    );
+    bounded.cache().clear();
+    let _ = std::fs::remove_dir_all(&spill_dir);
 }

@@ -1,0 +1,331 @@
+//! Full-stack regression tests for the artifact lifecycle: the wire
+//! format round-trips bit-for-bit on random pure and noisy circuits,
+//! hostile payloads are rejected cleanly, and a byte-capped cache that
+//! evicts, spills, and rehydrates mid-sweep produces **byte-identical**
+//! results to an unbounded cache — at every thread count and batch width.
+
+use proptest::prelude::*;
+use qkc::circuit::{Circuit, Param, ParamMap};
+use qkc::engine::{BackendKind, CacheOptions, Engine, EngineOptions, SweepSpec};
+use qkc::kc::{ArtifactDecodeError, KcOptions, KcSimulator};
+use qkc::knowledge::AcTape;
+use std::path::PathBuf;
+
+/// A random parameterized circuit instruction; rotation angles reference
+/// one of two symbols so every circuit stays re-bindable.
+#[derive(Debug, Clone)]
+enum Instr {
+    H(usize),
+    T(usize),
+    RxA(usize),
+    RyB(usize),
+    RzA(usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    ZzB(usize, usize),
+}
+
+fn arb_instr(n: usize) -> impl Strategy<Value = Instr> {
+    let q = 0..n;
+    let q2 = 0..n;
+    (0usize..8, q, q2).prop_map(move |(kind, a, b)| {
+        let b = if a == b { (b + 1) % n } else { b };
+        match kind {
+            0 => Instr::H(a),
+            1 => Instr::T(a),
+            2 => Instr::RxA(a),
+            3 => Instr::RyB(a),
+            4 => Instr::RzA(a),
+            5 => Instr::Cnot(a, b),
+            6 => Instr::Cz(a, b),
+            _ => Instr::ZzB(a, b),
+        }
+    })
+}
+
+fn build(n: usize, instrs: &[Instr]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in instrs {
+        match *i {
+            Instr::H(a) => c.h(a),
+            Instr::T(a) => c.t(a),
+            Instr::RxA(a) => c.rx(a, Param::symbol("a")),
+            Instr::RyB(a) => c.ry(a, Param::symbol("b")),
+            Instr::RzA(a) => c.rz(a, Param::symbol("a")),
+            Instr::Cnot(a, b) => c.cnot(a, b),
+            Instr::Cz(a, b) => c.cz(a, b),
+            Instr::ZzB(a, b) => c.zz(a, b, Param::symbol("b")),
+        };
+    }
+    c
+}
+
+fn params(a: f64, b: f64) -> ParamMap {
+    ParamMap::from_pairs([("a", a), ("b", b)])
+}
+
+/// A unique scratch dir per call (std-only; removed by the caller).
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qkc-lifecycle-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Bit-exact comparison of every evaluator-visible output of two
+/// simulators at a binding: amplitudes over the full query space for
+/// noisy circuits, the wavefunction for pure ones.
+fn assert_binds_identical(a: &KcSimulator, b: &KcSimulator, p: &ParamMap) {
+    let ba = a.bind(p).unwrap();
+    let bb = b.bind(p).unwrap();
+    if a.num_random_events() == 0 {
+        let wa = ba.wavefunction();
+        let wb = bb.wavefunction();
+        for (x, (u, v)) in wa.iter().zip(&wb).enumerate() {
+            assert_eq!(u.re.to_bits(), v.re.to_bits(), "amp {x} re");
+            assert_eq!(u.im.to_bits(), v.im.to_bits(), "amp {x} im");
+        }
+    } else {
+        let pa = ba.output_probabilities();
+        let pb = bb.output_probabilities();
+        for (x, (u, v)) in pa.iter().zip(&pb).enumerate() {
+            assert_eq!(u.to_bits(), v.to_bits(), "P({x})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `AcTape::to_bytes ∘ from_bytes` is the identity on compiled tapes
+    /// of random pure and noisy circuits (re-encode byte-equality), and
+    /// the rehydrated *simulator* binds bit-for-bit identically to the
+    /// original across random parameter bindings.
+    #[test]
+    fn artifact_round_trip_is_bit_identical(
+        instrs in proptest::collection::vec(arb_instr(3), 1..10),
+        a in -3.0..3.0f64,
+        b in -3.0..3.0f64,
+        noisy in 0usize..2,
+    ) {
+        let mut c = build(3, &instrs);
+        if noisy == 1 {
+            c.depolarize(0, 0.05);
+        }
+        let options = KcOptions::default();
+        let sim = KcSimulator::compile(&c, &options);
+
+        // Tape level: decode(encode(tape)) re-encodes to the same bytes.
+        let tape_bytes = sim.tape().to_bytes();
+        let tape_back = AcTape::from_bytes(&tape_bytes).expect("tape decodes");
+        prop_assert_eq!(tape_back.to_bytes(), tape_bytes.clone());
+
+        // Artifact level: the rehydrated simulator is indistinguishable.
+        let bytes = sim.to_bytes(&c, &options);
+        let back = KcSimulator::from_bytes(&c, &options, &bytes).expect("artifact decodes");
+        assert_binds_identical(&sim, &back, &params(a, b));
+        assert_binds_identical(&sim, &back, &params(b * 0.7, a + 0.3));
+        prop_assert_eq!(back.to_bytes(&c, &options), bytes);
+    }
+
+    /// Corrupted, truncated, and version-skewed payloads are rejected
+    /// with an error — never a panic, never a silently wrong artifact —
+    /// on random circuits.
+    #[test]
+    fn hostile_payloads_are_rejected(
+        instrs in proptest::collection::vec(arb_instr(2), 1..8),
+        flip in proptest::bits::u8::ANY,
+        cut in 0.0..1.0f64,
+    ) {
+        let c = build(2, &instrs);
+        let options = KcOptions::default();
+        let sim = KcSimulator::compile(&c, &options);
+        let bytes = sim.to_bytes(&c, &options);
+
+        let cut_at = ((bytes.len() as f64) * cut) as usize;
+        prop_assert!(KcSimulator::from_bytes(&c, &options, &bytes[..cut_at]).is_err());
+
+        let mut corrupt = bytes.clone();
+        let at = cut_at.min(bytes.len() - 1);
+        corrupt[at] ^= flip | 1; // always a real flip
+        prop_assert!(KcSimulator::from_bytes(&c, &options, &corrupt).is_err());
+
+        let mut skewed = bytes.clone();
+        skewed[4] = skewed[4].wrapping_add(1);
+        prop_assert!(matches!(
+            KcSimulator::from_bytes(&c, &options, &skewed).err(),
+            Some(ArtifactDecodeError::UnsupportedVersion(_))
+                | Some(ArtifactDecodeError::ChecksumMismatch)
+        ));
+    }
+}
+
+/// The acceptance contract of the bounded cache: a sweep that forces
+/// eviction + spill + rehydration mid-flight is **byte-identical** to the
+/// unbounded sweep, for every thread count × batch width, and the byte
+/// budget holds after completion.
+#[test]
+fn capped_spilling_sweeps_are_byte_identical_to_unbounded() {
+    // Three distinct structures swept in interleaved rounds, so a cache
+    // sized below their combined footprint keeps evicting mid-run.
+    let mut structures: Vec<Circuit> = Vec::new();
+    for extra in 0..3usize {
+        let mut c = Circuit::new(3);
+        c.h(0).rx(1, Param::symbol("a")).cnot(0, 1);
+        for q in 0..extra {
+            c.t(q).h(q);
+        }
+        c.zz(1, 2, Param::symbol("b")).depolarize(0, 0.02);
+        structures.push(c);
+    }
+    let bindings: Vec<ParamMap> = (0..12)
+        .map(|i| params(0.2 + 0.13 * i as f64, 1.1 - 0.09 * i as f64))
+        .collect();
+    let obs = |bits: usize| bits as f64 - 1.5;
+    let spec = SweepSpec::expectation(&obs).with_seed(42).with_shots(32);
+
+    // Reference: unbounded cache (KC backend forced, so the compiled
+    // artifacts — not a dense fallback — are what both engines exercise).
+    let unbounded = Engine::with_options(
+        EngineOptions::default()
+            .with_threads(2)
+            .with_backend(BackendKind::KnowledgeCompilation),
+    );
+    let reference: Vec<_> = structures
+        .iter()
+        .map(|c| unbounded.sweep(c, &bindings, &spec).expect("sweep"))
+        .collect();
+    assert_eq!(unbounded.cache().stats().evictions, 0);
+
+    // Total footprint → a cap below it forces eviction traffic.
+    let total = unbounded.cache().resident_bytes();
+    assert!(total > 0);
+    let dir = scratch_dir("sweep");
+    for threads in [1usize, 2, 4] {
+        for batch in [1usize, 3, 16] {
+            let capped = Engine::with_options(
+                EngineOptions::default()
+                    .with_threads(threads)
+                    .with_batch(batch)
+                    .with_backend(BackendKind::KnowledgeCompilation)
+                    .with_cache(
+                        CacheOptions::default()
+                            .with_max_resident_bytes(total / 3)
+                            .with_spill_dir(&dir),
+                    ),
+            );
+            // Interleave structures twice so evicted artifacts are
+            // re-requested (spill hits, not just first compiles).
+            for round in 0..2 {
+                for (s, c) in structures.iter().enumerate() {
+                    let got = capped.sweep(c, &bindings, &spec).expect("capped sweep");
+                    assert_eq!(
+                        got, reference[s],
+                        "threads={threads} batch={batch} round={round} structure={s}: \
+                         capped cache changed sweep results"
+                    );
+                }
+            }
+            let stats = capped.cache().stats();
+            assert!(
+                stats.resident_bytes <= total / 3,
+                "budget violated after completion: {} > {}",
+                stats.resident_bytes,
+                total / 3
+            );
+            assert!(
+                stats.evictions > 0,
+                "cap below footprint must evict: {stats:?}"
+            );
+            assert!(
+                stats.spill_hits > 0,
+                "re-requested evicted artifacts must rehydrate from disk: {stats:?}"
+            );
+            assert_eq!(
+                stats.misses, 3,
+                "with a spill tier every structure compiles exactly once: {stats:?}"
+            );
+            capped.cache().clear();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Eviction without a spill dir recompiles — and still produces the
+/// identical bytes (the determinism contract does not depend on spill).
+#[test]
+fn spill_less_eviction_recompiles_identically() {
+    let mut c = Circuit::new(3);
+    c.h(0)
+        .rx(0, Param::symbol("a"))
+        .cnot(0, 1)
+        .zz(1, 2, Param::symbol("b"));
+    let bindings: Vec<ParamMap> = (0..8)
+        .map(|i| params(0.1 * i as f64, 0.4 + 0.05 * i as f64))
+        .collect();
+    let obs = |bits: usize| bits as f64;
+    let spec = SweepSpec::expectation(&obs).with_seed(7);
+
+    let unbounded = Engine::with_options(
+        EngineOptions::default().with_backend(BackendKind::KnowledgeCompilation),
+    );
+    let want = unbounded.sweep(&c, &bindings, &spec).expect("sweep");
+
+    // A 1-byte cap without spill: every sweep's compile is evicted right
+    // after it lands, so the second sweep recompiles.
+    let capped = Engine::with_options(
+        EngineOptions::default()
+            .with_threads(2)
+            .with_backend(BackendKind::KnowledgeCompilation)
+            .with_cache(CacheOptions::default().with_max_resident_bytes(1)),
+    );
+    let got1 = capped.sweep(&c, &bindings, &spec).expect("sweep 1");
+    let got2 = capped.sweep(&c, &bindings, &spec).expect("sweep 2");
+    assert_eq!(got1, want);
+    assert_eq!(got2, want);
+    let stats = capped.cache().stats();
+    assert!(stats.evictions >= 2);
+    assert!(stats.misses >= 2, "no spill dir → recompiles: {stats:?}");
+    assert_eq!(stats.spill_hits, 0);
+    assert!(stats.resident_bytes <= 1);
+}
+
+/// A warm spill directory carries compiled artifacts across engine
+/// instances (the restart-survival half of the lifecycle), bit-for-bit.
+#[test]
+fn spill_dir_warm_start_reuses_artifacts_across_engines() {
+    let mut c = Circuit::new(2);
+    c.h(0).rx(1, Param::symbol("a")).cnot(0, 1);
+    let bindings: Vec<ParamMap> = (0..6).map(|i| params(0.3 * i as f64, 0.0)).collect();
+    let obs = |bits: usize| if bits == 0b11 { 1.0 } else { 0.0 };
+    let spec = SweepSpec::expectation(&obs).with_seed(5);
+
+    let dir = scratch_dir("warm");
+    let first = Engine::with_options(
+        EngineOptions::default()
+            .with_backend(BackendKind::KnowledgeCompilation)
+            .with_cache(CacheOptions::default().with_spill_dir(&dir)),
+    );
+    let want = first.sweep(&c, &bindings, &spec).expect("sweep");
+    assert_eq!(first.cache().stats().misses, 1);
+    assert!(first.cache().stats().spilled_bytes > 0);
+
+    // A second engine (≈ restarted process) over the same dir: no
+    // compile, one spill hit, identical bytes.
+    let second = Engine::with_options(
+        EngineOptions::default()
+            .with_backend(BackendKind::KnowledgeCompilation)
+            .with_cache(CacheOptions::default().with_spill_dir(&dir)),
+    );
+    let got = second.sweep(&c, &bindings, &spec).expect("warm sweep");
+    assert_eq!(got, want);
+    let stats = second.cache().stats();
+    assert_eq!(stats.misses, 0, "warm start must not compile: {stats:?}");
+    assert_eq!(stats.spill_hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
