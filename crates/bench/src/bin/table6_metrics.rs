@@ -1,24 +1,25 @@
 //! Table 6: intermediate compilation-result metrics — gates (BN nodes), CNF
-//! clauses, AC nodes/edges, and AC size — for the largest QAOA and VQE
-//! problem instances of the Figure 8 (ideal) and Figure 9 (noisy) sweeps.
+//! clauses, AC nodes/edges, AC size, and now the measured per-phase times —
+//! for the largest QAOA and VQE problem instances of the Figure 8 (ideal)
+//! and Figure 9 (noisy) sweeps.
+//!
+//! Formatting comes from [`PipelineMetrics::report`] — the same pretty-
+//! printer every live run can use — instead of a bench-local table.
 
-use qkc_bench::{fmt_bytes, ResultTable, Scale};
+use qkc_bench::Scale;
 use qkc_circuit::{Circuit, NoiseChannel};
 use qkc_core::{KcOptions, KcSimulator};
 use qkc_workloads::{Graph, QaoaMaxCut, VqeIsing};
 
-fn row(table: &mut ResultTable, label: &str, circuit: &Circuit) {
+fn report(label: &str, circuit: &Circuit) {
     let sim = KcSimulator::compile(circuit, &KcOptions::default());
-    let m = sim.metrics();
-    table.row(vec![
-        label.to_string(),
-        circuit.num_qubits().to_string(),
-        format!("{} ({})", circuit.num_gates(), m.bn_nodes),
-        m.cnf_clauses.to_string(),
-        m.ac_nodes.to_string(),
-        m.ac_edges.to_string(),
-        fmt_bytes(m.ac_size_bytes),
-    ]);
+    println!(
+        "{label} — {} qubits, {} gates",
+        circuit.num_qubits(),
+        circuit.num_gates()
+    );
+    print!("{}", sim.metrics().report());
+    println!();
 }
 
 fn main() {
@@ -29,53 +30,31 @@ fn main() {
     let noisy_qaoa_n = scale.pick(6, 12);
     let noisy_vqe = scale.pick((2, 2), (3, 3));
 
-    let mut table = ResultTable::new(
-        "Table 6: intermediate compilation metrics for the largest instances",
-        &[
-            "instance",
-            "#qubits",
-            "#gates (BN nodes)",
-            "#CNF clauses",
-            "#AC nodes",
-            "#AC edges",
-            "AC size",
-        ],
-    );
+    println!("Table 6: intermediate compilation metrics for the largest instances\n");
 
     for iters in [1usize, 2] {
         let qaoa = QaoaMaxCut::new(Graph::random_regular(ideal_qaoa_n, 3, 9), iters);
-        row(
-            &mut table,
-            &format!("ideal QAOA {iters} iteration(s)"),
-            &qaoa.circuit(),
-        );
+        report(&format!("ideal QAOA {iters} iteration(s)"), &qaoa.circuit());
     }
     for iters in [1usize, 2] {
         let vqe = VqeIsing::new(ideal_vqe.0, ideal_vqe.1, iters);
-        row(
-            &mut table,
-            &format!("ideal VQE {iters} iteration(s)"),
-            &vqe.circuit(),
-        );
+        report(&format!("ideal VQE {iters} iteration(s)"), &vqe.circuit());
     }
     for iters in [1usize, 2] {
         let qaoa = QaoaMaxCut::new(Graph::random_regular(noisy_qaoa_n, 3, 9), iters);
-        row(
-            &mut table,
+        report(
             &format!("noisy QAOA {iters} iteration(s)"),
             &qaoa.circuit().with_noise_after_each_gate(&noise),
         );
     }
     for iters in [1usize, 2] {
         let vqe = VqeIsing::new(noisy_vqe.0, noisy_vqe.1, iters);
-        row(
-            &mut table,
+        report(
             &format!("noisy VQE {iters} iteration(s)"),
             &vqe.circuit().with_noise_after_each_gate(&noise),
         );
     }
-    table.print();
-    println!("\nShape check (paper Table 6): two iterations inflate the AC far");
+    println!("Shape check (paper Table 6): two iterations inflate the AC far");
     println!("more than the CNF (depth hurts compilation superlinearly), and");
     println!("noise multiplies clause counts but stays tractable at low width.");
 }

@@ -27,7 +27,7 @@
 //! trailing FNV-1a checksum rejects bit rot; truncated, corrupted, or
 //! version-skewed payloads all decode to an error, never a panic.
 
-use crate::pipeline::{KcOptions, KcSimulator, PipelineMetrics};
+use crate::pipeline::{KcOptions, KcSimulator, PhaseSeconds, PipelineMetrics};
 use qkc_bayesnet::BayesNet;
 use qkc_circuit::Circuit;
 use qkc_cnf::encode;
@@ -37,7 +37,11 @@ use std::hash::{Hash, Hasher};
 
 const MAGIC: [u8; 4] = *b"QKCA";
 /// Current artifact wire-format version; bumped on any layout change.
-pub const ARTIFACT_WIRE_VERSION: u16 = 1;
+/// Version 2 added per-phase compile times ([`PhaseSeconds`]) and the
+/// compiler's order/search split to the metrics section; version-1 spill
+/// files decode to [`ArtifactDecodeError::UnsupportedVersion`] and become
+/// clean recompiles.
+pub const ARTIFACT_WIRE_VERSION: u16 = 2;
 
 /// Why an artifact payload was rejected by [`KcSimulator::from_bytes`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,7 +203,23 @@ impl KcSimulator {
         push_u64(&mut out, m.compile_stats.decisions);
         push_u64(&mut out, m.compile_stats.cache_hits);
         push_u64(&mut out, m.compile_stats.components);
+        push_u64(&mut out, m.compile_stats.order_seconds.to_bits());
+        push_u64(&mut out, m.compile_stats.search_seconds.to_bits());
         push_u64(&mut out, m.compile_seconds.to_bits());
+        // Per-phase wall times (version 2): a rehydrated artifact reports
+        // the same measured phase breakdown as the compile that made it.
+        let p = &m.phase_seconds;
+        for secs in [
+            p.bn_build,
+            p.cnf_encode,
+            p.simplify,
+            p.var_order,
+            p.ddnnf_search,
+            p.postprocess,
+            p.tape_lower,
+        ] {
+            push_u64(&mut out, secs.to_bits());
+        }
 
         // The d-DNNF enum arena (reference form; the enum-walk paths and
         // c2d export of a rehydrated artifact keep working).
@@ -318,8 +338,19 @@ impl KcSimulator {
             decisions: rd.u64()?,
             cache_hits: rd.u64()?,
             components: rd.u64()?,
+            order_seconds: f64::from_bits(rd.u64()?),
+            search_seconds: f64::from_bits(rd.u64()?),
         };
         let compile_seconds = f64::from_bits(rd.u64()?);
+        let phase_seconds = PhaseSeconds {
+            bn_build: f64::from_bits(rd.u64()?),
+            cnf_encode: f64::from_bits(rd.u64()?),
+            simplify: f64::from_bits(rd.u64()?),
+            var_order: f64::from_bits(rd.u64()?),
+            ddnnf_search: f64::from_bits(rd.u64()?),
+            postprocess: f64::from_bits(rd.u64()?),
+            tape_lower: f64::from_bits(rd.u64()?),
+        };
         let metrics = PipelineMetrics {
             bn_nodes: sizes[0],
             cnf_vars: sizes[1],
@@ -332,6 +363,7 @@ impl KcSimulator {
             ac_size_bytes: sizes[8],
             compile_stats,
             compile_seconds,
+            phase_seconds,
         };
 
         let n_nodes = rd.u32()? as usize;

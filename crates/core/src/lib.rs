@@ -42,7 +42,7 @@ pub use artifact::{ArtifactDecodeError, ARTIFACT_WIRE_VERSION};
 pub use batch::BoundKcBatch;
 pub use bound::{BoundKc, KcSampler};
 pub use diagnose::{Explanation, Sensitivity};
-pub use pipeline::{KcOptions, KcSimulator, PipelineMetrics, QuerySpec, ValueState};
+pub use pipeline::{KcOptions, KcSimulator, PhaseSeconds, PipelineMetrics, QuerySpec, ValueState};
 
 #[cfg(test)]
 mod tests {

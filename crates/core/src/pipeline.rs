@@ -71,6 +71,43 @@ impl std::hash::Hash for KcOptions {
     }
 }
 
+/// Wall-clock seconds per compile phase, in pipeline order. Filled on
+/// every compile (the clock reads are nanoseconds against phases that run
+/// for micro- to milliseconds) and persisted into the artifact wire format,
+/// so cached and rehydrated artifacts carry their true measured costs —
+/// the per-host data the planner-calibration work fits against.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSeconds {
+    /// Circuit → Bayesian network.
+    pub bn_build: f64,
+    /// Bayesian network → CNF (WMC encoding).
+    pub cnf_encode: f64,
+    /// Unit-resolution simplification.
+    pub simplify: f64,
+    /// Min-cut separator variable order.
+    pub var_order: f64,
+    /// Exhaustive DPLL search producing the d-DNNF.
+    pub ddnnf_search: f64,
+    /// Query build + internal-variable elision + smoothing.
+    pub postprocess: f64,
+    /// d-DNNF → flat execution tape.
+    pub tape_lower: f64,
+}
+
+impl PhaseSeconds {
+    /// Sum of all phases (excludes inter-phase glue, so it is at most
+    /// [`PipelineMetrics::compile_seconds`]).
+    pub fn total(&self) -> f64 {
+        self.bn_build
+            + self.cnf_encode
+            + self.simplify
+            + self.var_order
+            + self.ddnnf_search
+            + self.postprocess
+            + self.tape_lower
+    }
+}
+
 /// Sizes and timings of every pipeline stage — the quantities reported in
 /// the paper's Tables 4 and 6 and Figures 1 and 6.
 #[derive(Debug, Clone, Default)]
@@ -99,6 +136,62 @@ pub struct PipelineMetrics {
     pub compile_stats: CompileStats,
     /// Wall-clock seconds spent compiling (all stages).
     pub compile_seconds: f64,
+    /// Per-phase wall times within `compile_seconds`.
+    pub phase_seconds: PhaseSeconds,
+}
+
+impl PipelineMetrics {
+    /// A multi-line human-readable report of every stage's sizes and
+    /// measured phase times — the live-run equivalent of the paper's
+    /// Table 6 rows.
+    pub fn report(&self) -> String {
+        fn ms(s: f64) -> String {
+            if s >= 1.0 {
+                format!("{s:.2}s")
+            } else if s >= 1e-3 {
+                format!("{:.1}ms", s * 1e3)
+            } else {
+                format!("{:.0}us", s * 1e6)
+            }
+        }
+        fn kb(bytes: usize) -> String {
+            if bytes >= 1 << 20 {
+                format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64)
+            } else if bytes >= 1 << 10 {
+                format!("{:.1} KiB", bytes as f64 / (1 << 10) as f64)
+            } else {
+                format!("{bytes} B")
+            }
+        }
+        let p = &self.phase_seconds;
+        format!(
+            "  bn       {} nodes\n\
+             \x20 cnf      {} vars, {} clauses -> {} after unit resolution ({} vars fixed)\n\
+             \x20 d-DNNF   {} raw nodes -> {} AC nodes, {} edges, {} tape\n\
+             \x20 search   {} decisions, {} components, {} cache hits\n\
+             \x20 phases   bn {} | encode {} | simplify {} | order {} | search {} | post {} | lower {} | total {}\n",
+            self.bn_nodes,
+            self.cnf_vars,
+            self.cnf_clauses,
+            self.cnf_clauses_simplified,
+            self.fixed_vars,
+            self.nnf_nodes_raw,
+            self.ac_nodes,
+            self.ac_edges,
+            kb(self.ac_size_bytes),
+            self.compile_stats.decisions,
+            self.compile_stats.components,
+            self.compile_stats.cache_hits,
+            ms(p.bn_build),
+            ms(p.cnf_encode),
+            ms(p.simplify),
+            ms(p.var_order),
+            ms(p.ddnnf_search),
+            ms(p.postprocess),
+            ms(p.tape_lower),
+            ms(self.compile_seconds),
+        )
+    }
 }
 
 /// How one value of a query variable is realized in the compiled circuit.
@@ -212,7 +305,14 @@ impl KcSimulator {
     pub fn try_compile(circuit: &Circuit, options: &KcOptions) -> Result<Self, SimplifyError> {
         let start = Instant::now();
         let bn = BayesNet::from_circuit(circuit);
+        let mut phases = PhaseSeconds {
+            bn_build: start.elapsed().as_secs_f64(),
+            ..Default::default()
+        };
+
+        let t = Instant::now();
         let encoding = encode(&bn);
+        phases.cnf_encode = t.elapsed().as_secs_f64();
         let mut metrics = PipelineMetrics {
             bn_nodes: bn.num_nodes(),
             cnf_vars: encoding.cnf.num_vars(),
@@ -220,12 +320,14 @@ impl KcSimulator {
             ..Default::default()
         };
 
+        let t = Instant::now();
         let (work_cnf, fixed) = if options.simplify_cnf {
             let s = simplify(&encoding.cnf)?;
             (s.cnf, s.fixed)
         } else {
             (encoding.cnf.clone(), HashMap::new())
         };
+        phases.simplify = t.elapsed().as_secs_f64();
         metrics.cnf_clauses_simplified = work_cnf.num_clauses();
         metrics.fixed_vars = fixed.len();
 
@@ -237,9 +339,12 @@ impl KcSimulator {
                 separator_balance: options.separator_balance,
             },
         );
+        phases.var_order = compiled.stats.order_seconds;
+        phases.ddnnf_search = compiled.stats.search_seconds;
         metrics.nnf_nodes_raw = compiled.nnf.num_nodes();
         metrics.compile_stats = compiled.stats;
 
+        let t = Instant::now();
         // Build the query specification before transforming the circuit.
         let query = Self::build_query(&bn, &encoding, &fixed);
 
@@ -273,15 +378,20 @@ impl KcSimulator {
             })
             .collect();
         let nnf = smooth(&nnf, &groups);
+        phases.postprocess = t.elapsed().as_secs_f64();
 
         // Lower once into the flat execution tape; every bind/query kernel
         // runs on it from here on.
+        let t = Instant::now();
         let tape = AcTape::lower(&nnf);
+        phases.tape_lower = t.elapsed().as_secs_f64();
 
         metrics.ac_nodes = nnf.num_nodes();
         metrics.ac_edges = nnf.num_edges();
         metrics.ac_size_bytes = tape.size_bytes();
         metrics.compile_seconds = start.elapsed().as_secs_f64();
+        metrics.phase_seconds = phases;
+        Self::record_compile_telemetry(&metrics);
 
         let (query_lit_vars, output_gray_order) =
             Self::derived_query_layout(&query, &tape, bn.outputs().len());
@@ -296,6 +406,27 @@ impl KcSimulator {
             output_gray_order,
             metrics,
         })
+    }
+
+    /// Mirrors a freshly measured compile into the global telemetry
+    /// registry. Every call below is one relaxed load when telemetry is
+    /// disabled; the phase times themselves are always measured because
+    /// they are part of the product (`PipelineMetrics`), not just the
+    /// instrumentation.
+    fn record_compile_telemetry(metrics: &PipelineMetrics) {
+        use qkc_telemetry::{count, record_size, record_span_secs};
+        let p = &metrics.phase_seconds;
+        record_span_secs("compile/bn_build", p.bn_build);
+        record_span_secs("compile/cnf_encode", p.cnf_encode);
+        record_span_secs("compile/simplify", p.simplify);
+        record_span_secs("compile/order", p.var_order);
+        record_span_secs("compile/ddnnf", p.ddnnf_search);
+        record_span_secs("compile/postprocess", p.postprocess);
+        record_span_secs("compile/tape_lower", p.tape_lower);
+        record_span_secs("compile/total", metrics.compile_seconds);
+        count("compile/runs", 1);
+        record_size("compile/tape_bytes", metrics.ac_size_bytes as u64);
+        record_size("compile/ac_nodes", metrics.ac_nodes as u64);
     }
 
     /// The two query-layout caches derived from the compiled tape: the

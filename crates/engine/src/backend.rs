@@ -233,6 +233,7 @@ pub trait Backend: Send + Sync {
         // structure: one batched exact evaluation, `exact: false`. Only
         // the absent/noise/gate classification is needed here — the exact
         // shift coefficients are never built.
+        let scan_span = qkc_telemetry::span("gradient/scan");
         let rules: Vec<SymbolRule> = gradient::symbol_classes(circuit, wrt)
             .into_iter()
             .map(|class| match class {
@@ -243,7 +244,12 @@ pub trait Backend: Send + Sync {
             .collect();
         let (lanes, plans) = gradient::shifted_bindings(params, wrt, &rules)
             .map_err(|name| EngineError::Circuit(CircuitError::Unbound(UnboundParam::new(name))))?;
+        drop(scan_span);
+        let eval_span = qkc_telemetry::span("gradient/bind_eval");
         let values = self.expectation_batch(circuit, &lanes, observable)?;
+        drop(eval_span);
+        qkc_telemetry::count("gradient/queries", 1);
+        qkc_telemetry::count("gradient/lanes", lanes.len() as u64);
         let (value, gradient, _) = gradient::contract_gradient(&values, &plans);
         Ok(GradientResult {
             value,
@@ -439,9 +445,11 @@ impl Backend for KcBackend {
         observable: &(dyn Fn(usize) -> f64 + Sync),
         wrt: &[String],
     ) -> Result<GradientResult, EngineError> {
+        let scan_span = qkc_telemetry::span("gradient/scan");
         let rules = gradient::symbol_rules(circuit, wrt);
         let (lanes, plans) = gradient::shifted_bindings(params, wrt, &rules)
             .map_err(|name| EngineError::Circuit(CircuitError::Unbound(UnboundParam::new(name))))?;
+        drop(scan_span);
         let artifact = self.cache.get_or_compile(circuit, &self.options);
         if artifact.num_random_events() > 0 {
             // Gradients need exact expectations; the budget error tells the
@@ -449,10 +457,14 @@ impl Backend for KcBackend {
             // silently differentiating shot noise.
             self.ensure_exact_budget(circuit)?;
         }
+        let eval_span = qkc_telemetry::span("gradient/bind_eval");
         let bound = artifact
             .bind_batch(&lanes)
             .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
         let values = bound.expectations(&|bits| observable(bits));
+        drop(eval_span);
+        qkc_telemetry::count("gradient/queries", 1);
+        qkc_telemetry::count("gradient/lanes", lanes.len() as u64);
         let (value, grad, exact) = gradient::contract_gradient(&values, &plans);
         Ok(GradientResult {
             value,

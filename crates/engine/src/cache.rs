@@ -63,6 +63,7 @@
 
 use qkc_circuit::Circuit;
 use qkc_core::{KcOptions, KcSimulator};
+use qkc_telemetry::{count, record_size, record_span_secs};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
@@ -253,6 +254,7 @@ impl ArtifactCache {
                     EntryState::Ready(artifact) => {
                         let artifact = Arc::clone(artifact);
                         st.hits += 1;
+                        count("cache/hit", 1);
                         Self::touch(&mut st, ix);
                         self.enforce_budget(&mut st);
                         return artifact;
@@ -339,7 +341,15 @@ impl ArtifactCache {
         if let Some(path) = &spill_path {
             let started = Instant::now();
             if let Ok(bytes) = std::fs::read(path) {
+                let read_secs = started.elapsed().as_secs_f64();
+                let decode_started = Instant::now();
                 if let Ok(sim) = KcSimulator::from_bytes(circuit, options, &bytes) {
+                    record_span_secs("cache/rehydrate/read", read_secs);
+                    record_span_secs(
+                        "cache/rehydrate/decode",
+                        decode_started.elapsed().as_secs_f64(),
+                    );
+                    record_size("cache/rehydrate/bytes", bytes.len() as u64);
                     rehydrated =
                         Some((Arc::new(sim), started.elapsed().as_secs_f64(), bytes.len()));
                 }
@@ -352,11 +362,17 @@ impl ArtifactCache {
                 let started = Instant::now();
                 let artifact = Arc::new(KcSimulator::compile(circuit, options));
                 let secs = started.elapsed().as_secs_f64();
+                record_span_secs("cache/compile", secs);
                 // Write-through spill: serialize now, outside every lock,
                 // so eviction later is a pure pointer drop.
+                let spill_started = Instant::now();
                 let spilled = spill_path
                     .as_ref()
                     .and_then(|path| write_spill(path, &artifact, circuit, options));
+                if let Some(file_len) = spilled {
+                    record_span_secs("cache/spill/write", spill_started.elapsed().as_secs_f64());
+                    record_size("cache/spill/bytes", file_len as u64);
+                }
                 (artifact, secs, spilled, false)
             }
         };
@@ -371,8 +387,10 @@ impl ArtifactCache {
             // and `clear()` promises an empty spill dir.
             if spill_hit {
                 st.spill_hits += 1;
+                count("cache/spill_hit", 1);
             } else {
                 st.misses += 1;
+                count("cache/miss", 1);
             }
             drop(st);
             if spilled.is_some() && !spill_hit {
@@ -400,8 +418,10 @@ impl ArtifactCache {
         st.resident_bytes += st.entries[ix].size_bytes;
         if spill_hit {
             st.spill_hits += 1;
+            count("cache/spill_hit", 1);
         } else {
             st.misses += 1;
+            count("cache/miss", 1);
         }
         Self::touch(&mut st, ix);
         self.enforce_budget(&mut st);
@@ -442,6 +462,17 @@ impl ArtifactCache {
             st.entries[victim].state = EntryState::Absent;
             st.resident_bytes -= st.entries[victim].size_bytes;
             st.evictions += 1;
+            count("cache/evict", 1);
+            record_size(
+                "cache/evict/victim_bytes",
+                st.entries[victim].size_bytes as u64,
+            );
+            // GreedyDual priority in nano-units so the integer histogram
+            // resolves the (seconds-per-byte scale) fractional values.
+            record_size(
+                "cache/evict/priority_nanos",
+                (st.entries[victim].priority * 1e9) as u64,
+            );
         }
     }
 
@@ -486,6 +517,11 @@ impl ArtifactCache {
             evictions: st.evictions,
             spill_hits: st.spill_hits,
             entries: st.entries.len(),
+            resident_entries: st
+                .entries
+                .iter()
+                .filter(|e| matches!(e.state, EntryState::Ready(_)))
+                .count(),
             resident_bytes: st.resident_bytes,
             spilled_bytes: st.spilled_bytes,
         }

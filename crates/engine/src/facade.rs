@@ -7,7 +7,7 @@ use crate::backend::{
 };
 use crate::cache::{ArtifactCache, CacheOptions};
 use crate::gradient::{self, GradientPoint, GradientResult, GradientSpec};
-use crate::planner::{Plan, PlanHint, Planner};
+use crate::planner::{Plan, PlanExplanation, PlanHint, Planner};
 use crate::sweep::{SweepExecutor, SweepPoint, SweepSpec};
 use qkc_circuit::{Circuit, ParamMap};
 use qkc_core::KcOptions;
@@ -141,6 +141,24 @@ impl Engine {
     /// Plans a backend under an explicit hint.
     pub fn plan_with_hint(&self, circuit: &Circuit, hint: PlanHint) -> Plan {
         self.options.planner.plan(circuit, hint)
+    }
+
+    /// An "explain plan" for dispatch under the engine's default hint:
+    /// every candidate backend's feasibility and estimated cost, plus the
+    /// chosen one (always the same backend [`Engine::plan`] picks).
+    pub fn explain(&self, circuit: &Circuit) -> PlanExplanation {
+        self.options.planner.explain(circuit, self.options.hint)
+    }
+
+    /// A snapshot of the global telemetry registry: every span, counter,
+    /// and histogram recorded since the last
+    /// [`reset`](qkc_telemetry::reset). Telemetry is off by default —
+    /// enable with [`qkc_telemetry::set_enabled`] (or `QKC_TELEMETRY=1`
+    /// via [`qkc_telemetry::init_from_env`]); while disabled every
+    /// instrumentation site is a single relaxed atomic load and this
+    /// snapshot stays empty.
+    pub fn telemetry(&self) -> qkc_telemetry::Snapshot {
+        qkc_telemetry::snapshot()
     }
 
     /// Instantiates the backend a plan chose.

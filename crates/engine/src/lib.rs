@@ -67,7 +67,7 @@ pub use backend::{
 pub use cache::{ArtifactCache, CacheOptions};
 pub use facade::{Engine, EngineOptions};
 pub use gradient::{GradientPoint, GradientResult, GradientSpec, FD_STEP};
-pub use planner::{Plan, PlanHint, Planner};
+pub use planner::{Candidate, Plan, PlanExplanation, PlanHint, Planner};
 pub use stats::{CacheStats, CircuitStats};
 pub use sweep::{SweepExecutor, SweepPoint, SweepSpec, DEFAULT_BATCH};
 pub use variational::{
@@ -75,6 +75,10 @@ pub use variational::{
     GradientOptimizer, VariationalConfig, VariationalGradientConfig, VariationalResult,
     VariationalTerm,
 };
+
+/// The instrumentation subsystem ([`qkc_telemetry`]), re-exported so
+/// engine users can enable/snapshot telemetry without naming the crate.
+pub use qkc_telemetry as telemetry;
 
 /// SplitMix64 — the engine's standard way to derive independent child seeds
 /// from a base seed and an index. Deterministic, and used everywhere a

@@ -27,6 +27,79 @@ pub struct Plan {
     pub reason: String,
 }
 
+/// One backend's assessment inside a [`PlanExplanation`]: whether the
+/// planner considers it applicable at all, and the `log2` of its dominant
+/// cost term (amplitudes for dense backends, the treewidth proxy for
+/// compilation/contraction) — comparable across candidates as an order of
+/// magnitude, not a calibrated runtime.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The backend being assessed.
+    pub backend: BackendKind,
+    /// Whether this backend can answer the query at all under the
+    /// planner's thresholds.
+    pub feasible: bool,
+    /// `log2` of the backend's dominant memory/time term.
+    pub est_log2_cost: f64,
+    /// Human-readable assessment (why it is or is not viable).
+    pub verdict: String,
+}
+
+/// An "explain plan" for backend dispatch: the statistics the decision was
+/// made from, every candidate's score, and the chosen backend — produced
+/// by [`Planner::explain`] and guaranteed to agree with [`Planner::plan`].
+#[derive(Debug, Clone)]
+pub struct PlanExplanation {
+    /// The intent the plan was made under.
+    pub hint: PlanHint,
+    /// The statistics the decision was made from.
+    pub stats: CircuitStats,
+    /// Every candidate backend's assessment, in fixed order (KC, state
+    /// vector, density matrix, tensor network).
+    pub candidates: Vec<Candidate>,
+    /// The backend [`Planner::plan`] picks for the same inputs.
+    pub chosen: BackendKind,
+    /// The plan's justification.
+    pub reason: String,
+}
+
+impl PlanExplanation {
+    /// Renders the explanation as an indented multi-line table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "plan explain ({:?}): {} qubits, {} gates, tw~{}, 2^{:.0} noise branches\n",
+            self.hint,
+            self.stats.num_qubits,
+            self.stats.num_gates,
+            self.stats.treewidth_proxy,
+            self.stats.log2_noise_branches,
+        );
+        for c in &self.candidates {
+            out.push_str(&format!(
+                "  {} {:<22} cost~2^{:<5.1} {:<10} {}\n",
+                if c.backend == self.chosen { ">" } else { " " },
+                c.backend.to_string(),
+                c.est_log2_cost,
+                if c.feasible { "feasible" } else { "infeasible" },
+                c.verdict,
+            ));
+        }
+        out.push_str(&format!("  chosen: {} — {}\n", self.chosen, self.reason));
+        out
+    }
+}
+
+/// Static telemetry path for the chosen-backend counter (paths must be
+/// `&'static str`, so one literal per backend).
+fn chosen_path(backend: BackendKind) -> &'static str {
+    match backend {
+        BackendKind::KnowledgeCompilation => "planner/chosen/kc",
+        BackendKind::StateVector => "planner/chosen/sv",
+        BackendKind::DensityMatrix => "planner/chosen/dm",
+        BackendKind::TensorNetwork => "planner/chosen/tn",
+    }
+}
+
 /// Chooses a backend from [`CircuitStats`], following the cost model of the
 /// paper's Figures 8 and 9:
 ///
@@ -85,7 +158,9 @@ impl Planner {
     /// Plans a backend for `circuit` under `hint`.
     pub fn plan(&self, circuit: &Circuit, hint: PlanHint) -> Plan {
         let stats = CircuitStats::of(circuit);
+        qkc_telemetry::count("planner/plan", 1);
         if let Some(backend) = self.force {
+            qkc_telemetry::count(chosen_path(backend), 1);
             return Plan {
                 backend,
                 stats,
@@ -93,10 +168,105 @@ impl Planner {
             };
         }
         let (backend, reason) = self.decide(&stats, hint);
+        qkc_telemetry::count(chosen_path(backend), 1);
         Plan {
             backend,
             stats,
             reason,
+        }
+    }
+
+    /// An "explain plan" for backend dispatch: every candidate backend with
+    /// its feasibility, estimated `log2` cost, and verdict, plus the chosen
+    /// backend. The choice is made by the same rule cascade as
+    /// [`Planner::plan`], so the two always agree; the per-candidate cost
+    /// estimates are the raw material the planner-calibration work fits
+    /// measured phase times against.
+    pub fn explain(&self, circuit: &Circuit, hint: PlanHint) -> PlanExplanation {
+        let _span = qkc_telemetry::span("planner/explain");
+        let plan = self.plan(circuit, hint);
+        let s = &plan.stats;
+        let n = s.num_qubits as f64;
+        let enumerable = s.log2_noise_branches <= self.max_exact_log2_branches;
+
+        // Feasibility mirrors the decide() thresholds; est_log2_cost is the
+        // exponent of each backend's dominant memory/time term.
+        let candidates = vec![
+            Candidate {
+                backend: BackendKind::KnowledgeCompilation,
+                // Always applicable: exact when branches are enumerable,
+                // Gibbs sampling beyond.
+                feasible: true,
+                est_log2_cost: s.treewidth_proxy as f64
+                    + s.log2_noise_branches.min(self.max_exact_log2_branches),
+                verdict: if enumerable {
+                    format!(
+                        "compile ~2^{} (treewidth proxy), exact reconstruction over 2^{:.0} branches",
+                        s.treewidth_proxy, s.log2_noise_branches
+                    )
+                } else {
+                    format!(
+                        "compile ~2^{} (treewidth proxy), Gibbs sampling past the 2^{:.0} branch budget",
+                        s.treewidth_proxy, self.max_exact_log2_branches
+                    )
+                },
+            },
+            Candidate {
+                backend: BackendKind::StateVector,
+                feasible: !s.is_noisy() && s.num_qubits <= self.max_state_vector_qubits,
+                est_log2_cost: n,
+                verdict: if s.is_noisy() {
+                    "pure states only: cannot represent the mixed state exactly".to_string()
+                } else if s.num_qubits > self.max_state_vector_qubits {
+                    format!(
+                        "2^{} amplitudes exceed the {}-qubit memory wall",
+                        s.num_qubits, self.max_state_vector_qubits
+                    )
+                } else {
+                    format!("2^{} amplitudes fit in memory", s.num_qubits)
+                },
+            },
+            Candidate {
+                backend: BackendKind::DensityMatrix,
+                feasible: s.num_qubits <= self.max_density_matrix_qubits,
+                est_log2_cost: 2.0 * n,
+                verdict: if s.num_qubits <= self.max_density_matrix_qubits {
+                    format!(
+                        "4^{} density matrix fits in memory, exact under any noise",
+                        s.num_qubits
+                    )
+                } else {
+                    format!(
+                        "4^{} entries exceed the {}-qubit density-matrix wall",
+                        s.num_qubits, self.max_density_matrix_qubits
+                    )
+                },
+            },
+            Candidate {
+                backend: BackendKind::TensorNetwork,
+                feasible: !s.is_noisy() && s.treewidth_proxy <= self.max_tensor_width,
+                est_log2_cost: s.treewidth_proxy as f64,
+                verdict: if s.is_noisy() {
+                    "pure-state contraction only: noise channels are not unitaries".to_string()
+                } else if s.treewidth_proxy > self.max_tensor_width {
+                    format!(
+                        "treewidth proxy {} past the contraction budget {}",
+                        s.treewidth_proxy, self.max_tensor_width
+                    )
+                } else {
+                    format!(
+                        "contraction ~2^{} (treewidth proxy) stays cheap",
+                        s.treewidth_proxy
+                    )
+                },
+            },
+        ];
+        PlanExplanation {
+            hint,
+            stats: plan.stats.clone(),
+            candidates,
+            chosen: plan.backend,
+            reason: plan.reason,
         }
     }
 
@@ -237,6 +407,33 @@ mod tests {
         let plan = Planner::new().plan(&noisy, PlanHint::SingleShot);
         assert_eq!(plan.backend, BackendKind::KnowledgeCompilation);
         assert!(plan.reason.contains("Gibbs"), "{}", plan.reason);
+    }
+
+    #[test]
+    fn explain_agrees_with_plan_and_scores_every_backend() {
+        let planner = Planner::new();
+        let circuits = [
+            ring(30),
+            ring(8),
+            ring(4).with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005)),
+            ring(16).with_noise_after_each_gate(&NoiseChannel::depolarizing(0.005)),
+        ];
+        for circuit in &circuits {
+            for hint in [PlanHint::SingleShot, PlanHint::ParameterSweep] {
+                let plan = planner.plan(circuit, hint);
+                let explain = planner.explain(circuit, hint);
+                assert_eq!(explain.chosen, plan.backend);
+                assert_eq!(explain.reason, plan.reason);
+                assert_eq!(explain.candidates.len(), 4);
+                let chosen = explain
+                    .candidates
+                    .iter()
+                    .find(|c| c.backend == explain.chosen)
+                    .expect("chosen backend among candidates");
+                assert!(chosen.feasible, "plan picked an infeasible backend");
+                assert!(explain.render().contains("chosen:"));
+            }
+        }
     }
 
     #[test]

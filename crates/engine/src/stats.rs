@@ -21,9 +21,19 @@ pub struct CacheStats {
     /// (evicted earlier, or left warm by a previous process) instead of
     /// recompiling.
     pub spill_hits: u64,
-    /// Number of cached structures (resident, resolving, or evicted —
-    /// evicted entries keep their identity for rehydration).
+    /// **Total** number of cached structures the cache has ever admitted:
+    /// resident, still resolving, or evicted. Evicted entries keep their
+    /// identity (circuit, options, spill path) so they can rehydrate, and
+    /// therefore still count here. Compare with [`resident_entries`]
+    /// (`CacheStats::resident_entries`) for how many actually hold a
+    /// compiled artifact in memory right now.
     pub entries: usize,
+    /// Number of entries whose compiled artifact is **resident in memory**
+    /// right now — the subset of [`entries`](CacheStats::entries) that is
+    /// `Ready`, excluding in-flight resolutions and evicted-but-
+    /// rehydratable structures. `resident_bytes` is the byte footprint of
+    /// exactly these entries.
+    pub resident_entries: usize,
     /// Exact bytes of compiled execution tape resident across every
     /// *finished* artifact (in-flight compilations count 0 until done).
     pub resident_bytes: usize,

@@ -166,9 +166,38 @@ impl SweepExecutor {
         // cache's per-key cell, so exactly one worker compiles and the rest
         // block until the artifact is shared.
         let batch = self.batch;
-        fan_out_chunks(self.threads, params, |lo, slice| {
-            run_slice(backend, circuit, lo, slice, spec, batch)
-        })
+        // Per-worker accounting exists only while telemetry is on; the
+        // disabled path runs the exact uninstrumented closure.
+        let run_start = qkc_telemetry::enabled().then(std::time::Instant::now);
+        let busy_secs: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
+        let result = fan_out_chunks(self.threads, params, |lo, slice| {
+            if let Some(start) = run_start {
+                // Queue wait: spawn-to-start latency of this worker.
+                qkc_telemetry::record_span_secs(
+                    "sweep/worker/queue_wait",
+                    start.elapsed().as_secs_f64(),
+                );
+                let busy_start = std::time::Instant::now();
+                let r = run_slice(backend, circuit, lo, slice, spec, batch);
+                let busy = busy_start.elapsed().as_secs_f64();
+                qkc_telemetry::record_span_secs("sweep/worker/busy", busy);
+                busy_secs.lock().expect("busy log poisoned").push(busy);
+                r
+            } else {
+                run_slice(backend, circuit, lo, slice, spec, batch)
+            }
+        });
+        if let Some(start) = run_start {
+            let wall = start.elapsed().as_secs_f64();
+            qkc_telemetry::record_span_secs("sweep/run", wall);
+            qkc_telemetry::count("sweep/points", params.len() as u64);
+            // Idle = this sweep's wall time minus the worker's busy time:
+            // time the worker spent waiting on spawn, skew, or joins.
+            for &busy in busy_secs.lock().expect("busy log poisoned").iter() {
+                qkc_telemetry::record_span_secs("sweep/worker/idle", (wall - busy).max(0.0));
+            }
+        }
+        result
     }
 }
 
@@ -251,6 +280,9 @@ fn run_slice(
 ) -> Result<Vec<SweepPoint>, EngineError> {
     let mut out = Vec::with_capacity(slice.len());
     for (lane_index, lane) in slice.chunks(batch.max(1)).enumerate() {
+        // One relaxed load when telemetry is off; a lane-latency histogram
+        // sample when on.
+        let _lane_span = qkc_telemetry::span("sweep/worker/chunk");
         let base = lo + lane_index * batch.max(1);
         let batched: Option<Vec<f64>> = match spec.observable {
             Some(obs) if lane.len() > 1 => match backend.expectation_batch(circuit, lane, obs) {

@@ -52,6 +52,10 @@ pub struct CompileStats {
     pub cache_hits: u64,
     /// Components created (cache misses).
     pub components: u64,
+    /// Wall time spent computing the variable order (min-cut ranks).
+    pub order_seconds: f64,
+    /// Wall time spent in the DPLL/d-DNNF exhaustive search itself.
+    pub search_seconds: f64,
 }
 
 /// The result of compilation.
@@ -91,7 +95,9 @@ pub fn compile(cnf: &Cnf, options: &CompileOptions) -> Compiled {
 }
 
 fn compile_on_this_thread(cnf: &Cnf, options: &CompileOptions) -> Compiled {
+    let order_start = std::time::Instant::now();
     let ranks = compute_ranks_balanced(cnf, options.order, options.separator_balance);
+    let order_seconds = order_start.elapsed().as_secs_f64();
     let mut state = Dpll {
         clauses: cnf.clauses().to_vec(),
         occurs: build_occurs(cnf),
@@ -104,7 +110,10 @@ fn compile_on_this_thread(cnf: &Cnf, options: &CompileOptions) -> Compiled {
         stats: CompileStats::default(),
     };
     let all: Vec<u32> = (0..cnf.num_clauses() as u32).collect();
+    let search_start = std::time::Instant::now();
     let root = state.solve(&all);
+    state.stats.order_seconds = order_seconds;
+    state.stats.search_seconds = search_start.elapsed().as_secs_f64();
     Compiled {
         nnf: state.builder.extract(root),
         stats: state.stats,

@@ -1,0 +1,178 @@
+//! A fixed-size log-linear histogram over `u64` values with atomic buckets.
+//!
+//! The layout follows the HdrHistogram idea at its smallest useful
+//! configuration: values 0..=3 get exact buckets, and every octave above
+//! that is split into [`SUB_BUCKETS`] linear sub-buckets, bounding the
+//! relative bucket width at `1 / SUB_BUCKETS` (25%, or 12.5% error when
+//! reading from the midpoint). That is
+//! plenty for latency and size distributions, costs a fixed 252 words, and
+//! needs no allocation or locking on the record path — one `fetch_add` per
+//! observation (plus one for the running sum).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two.
+pub const SUB_BUCKETS: usize = 4;
+
+/// Total bucket count: 4 exact small-value buckets plus 4 sub-buckets for
+/// each octave `[2^e, 2^{e+1})`, `e` in `2..=63`.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - 2) * SUB_BUCKETS;
+
+/// Maps a value to its bucket index. Monotone in `value`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros() as usize; // >= 2
+        (exp - 1) * SUB_BUCKETS + ((value >> (exp - 2)) & (SUB_BUCKETS as u64 - 1)) as usize
+    }
+}
+
+/// The smallest value that lands in bucket `index`.
+#[inline]
+pub fn bucket_low(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let exp = index / SUB_BUCKETS + 1;
+        let sub = (index % SUB_BUCKETS) as u64;
+        (SUB_BUCKETS as u64 + sub) << (exp - 2)
+    }
+}
+
+/// The largest value that lands in bucket `index`.
+#[inline]
+pub fn bucket_high(index: usize) -> u64 {
+    if index + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(index + 1) - 1
+    }
+}
+
+/// A lock-free log-linear histogram. The observation count is *derived*
+/// from the bucket occupancies (there is no separate count cell), so any
+/// snapshot's total always equals the sum of its buckets by construction —
+/// the invariant the snapshot tests lean on.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    /// Running sum of raw observed values (wrapping on overflow).
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Two relaxed `fetch_add`s, nothing else.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Reads the occupied buckets as `(low, high, count)` triples, in value
+    /// order, along with the derived total count and the running sum.
+    pub fn read(&self) -> (Vec<(u64, u64, u64)>, u64, u64) {
+        let mut out = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                out.push((bucket_low(i), bucket_high(i), n));
+                count += n;
+            }
+        }
+        (out, count, self.sum.load(Ordering::Relaxed))
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_monotone_and_consistent_with_bounds() {
+        let mut prev = 0usize;
+        // Sweep a mix of exact small values and exponentially spaced ones.
+        let mut probes: Vec<u64> = (0..64).collect();
+        for e in 6..63 {
+            for off in [0u64, 1, (1 << e) / 3, (1 << e) - 1] {
+                probes.push((1u64 << e) + off);
+            }
+        }
+        probes.push(u64::MAX);
+        probes.sort_unstable();
+        for v in probes {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(
+                bucket_low(i) <= v && v <= bucket_high(i),
+                "value {v} outside bucket {i}: [{}, {}]",
+                bucket_low(i),
+                bucket_high(i)
+            );
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_line() {
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(
+                bucket_high(i) + 1,
+                bucket_low(i + 1),
+                "gap after bucket {i}"
+            );
+        }
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_high(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 1_000, 50_000, 1 << 30, 1 << 50] {
+            let i = bucket_index(v);
+            let width = (bucket_high(i) - bucket_low(i)) as f64;
+            assert!(
+                width / v as f64 <= 0.25 + 1e-12,
+                "bucket width {width} too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_is_derived_from_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 100, 100, 1 << 40] {
+            h.record(v);
+        }
+        let (buckets, count, sum) = h.read();
+        assert_eq!(count, 8);
+        assert_eq!(sum, 1 + 2 + 3 + 4 + 100 + 100 + (1u64 << 40));
+        assert_eq!(count, buckets.iter().map(|&(_, _, n)| n).sum::<u64>());
+        h.reset();
+        let (buckets, count, sum) = h.read();
+        assert!(buckets.is_empty());
+        assert_eq!((count, sum), (0, 0));
+    }
+}

@@ -145,6 +145,11 @@ fn main() {
         assert_eq!(got_other, want_other, "eviction must not change results");
     }
     let stats = bounded.cache().stats();
+    println!(
+        "  occupancy: {} of {} cached structures resident ({} B), rest \
+         evicted to disk",
+        stats.resident_entries, stats.entries, stats.resident_bytes
+    );
     assert!(
         stats.resident_bytes <= total / 2,
         "resident {} exceeds the {}-byte budget",
@@ -166,5 +171,56 @@ fn main() {
         stats.spilled_bytes
     );
     bounded.cache().clear();
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    // --- 5. Telemetry: the whole run, one tree -------------------------
+    println!("\n== telemetry: spans, counters, per-phase profiles ==");
+    // Off by default (every site above cost one relaxed atomic load).
+    // Enable, replay a representative slice of the workload, and render.
+    qkc::telemetry::set_enabled(true);
+    qkc::telemetry::reset();
+    let telemetry_engine = Engine::with_options(
+        EngineOptions::default()
+            .with_backend(BackendKind::KnowledgeCompilation)
+            .with_cache(
+                CacheOptions::default()
+                    .with_max_resident_bytes(total / 2)
+                    .with_spill_dir(&spill_dir),
+            ),
+    );
+    let explain = telemetry_engine.explain(&qaoa.circuit());
+    print!("{}", explain.render());
+    for _round in 0..2 {
+        telemetry_engine
+            .sweep(&c, &thetas, &spec)
+            .expect("telemetry sweep");
+        telemetry_engine
+            .sweep(&other, &thetas, &spec)
+            .expect("telemetry sweep");
+    }
+    let snap = telemetry_engine.telemetry();
+    qkc::telemetry::set_enabled(false);
+    print!("{}", snap.render_tree());
+    // CI smoke contract: one engine run covers all four subsystems.
+    for phase in ["compile", "cache", "sweep", "planner"] {
+        assert!(
+            snap.has_data_under(phase),
+            "telemetry report missing {phase} data"
+        );
+    }
+    assert!(
+        snap.span("compile/ddnnf").map(|s| s.count).unwrap_or(0) > 0,
+        "per-phase compile spans missing"
+    );
+    println!(
+        "  covered: compile ({} runs), cache ({} hits / {} misses), sweep \
+         ({} points), planner ({} plans)",
+        snap.counter("compile/runs").unwrap_or(0),
+        snap.counter("cache/hit").unwrap_or(0),
+        snap.counter("cache/miss").unwrap_or(0),
+        snap.counter("sweep/points").unwrap_or(0),
+        snap.counter("planner/plan").unwrap_or(0),
+    );
+    telemetry_engine.cache().clear();
     let _ = std::fs::remove_dir_all(&spill_dir);
 }

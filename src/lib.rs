@@ -11,7 +11,8 @@
 //! * [`statevector`], [`densitymatrix`], [`tensornet`] — baselines;
 //! * [`workloads`] — QAOA, VQE, RCS, and the validation algorithm suite;
 //! * [`optim`] — Nelder–Mead for variational loops;
-//! * [`math`], [`bayesnet`], [`cnf`], [`knowledge`] — building blocks.
+//! * [`math`], [`bayesnet`], [`cnf`], [`knowledge`] — building blocks;
+//! * [`telemetry`] — opt-in spans/counters/histograms across the stack.
 //!
 //! # Examples
 //!
@@ -38,5 +39,6 @@ pub use qkc_knowledge as knowledge;
 pub use qkc_math as math;
 pub use qkc_optim as optim;
 pub use qkc_statevector as statevector;
+pub use qkc_telemetry as telemetry;
 pub use qkc_tensornet as tensornet;
 pub use qkc_workloads as workloads;

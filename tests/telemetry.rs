@@ -1,0 +1,279 @@
+//! Telemetry integration tests: the observability contract end to end.
+//!
+//! * Enabling telemetry must not change a single output bit — sweeps and
+//!   gradients are compared bitwise across thread counts and batch widths
+//!   with the flag on and off.
+//! * Snapshots must be internally consistent even while many threads
+//!   record concurrently: well-formed sorted-unique paths, histogram
+//!   counts that equal their bucket sums, and counters that only grow.
+//! * `Planner::explain` must agree with `Planner::plan` on every circuit,
+//!   because the explanation *is* the planning decision, annotated.
+//!
+//! The enable flag is process-global, so every test that flips it holds a
+//! file-local mutex (and restores the previous state before releasing it).
+
+use qkc::circuit::{Circuit, Param, ParamMap};
+use qkc::engine::{
+    ArtifactCache, BackendKind, Engine, EngineOptions, KcBackend, PlanHint, Planner, SweepExecutor,
+    SweepPoint, SweepSpec,
+};
+use qkc::telemetry;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests that touch the process-global telemetry flag/registry.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Restores the prior enable state when a test body returns or panics.
+struct FlagGuard(bool);
+
+impl FlagGuard {
+    fn set(on: bool) -> Self {
+        Self(telemetry::set_enabled(on))
+    }
+}
+
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        telemetry::set_enabled(self.0);
+    }
+}
+
+fn noisy_sweep_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.h(0)
+        .rx(0, Param::symbol("theta"))
+        .depolarize(0, 0.02)
+        .cnot(0, 1)
+        .rx(1, Param::symbol("theta"))
+        .phase_damp(1, 0.1)
+        .cnot(1, 2);
+    c
+}
+
+fn sweep_params(n: usize) -> Vec<ParamMap> {
+    (0..n)
+        .map(|i| ParamMap::from_pairs([("theta", 0.15 + 0.07 * i as f64)]))
+        .collect()
+}
+
+fn run_sweep(enabled: bool, threads: usize, batch: usize) -> Vec<SweepPoint> {
+    let _flag = FlagGuard::set(enabled);
+    let backend = KcBackend::new(Arc::new(ArtifactCache::new()), Default::default());
+    let obs = |bits: usize| bits as f64 - 0.5;
+    let spec = SweepSpec {
+        shots: 64,
+        observable: Some(&obs),
+        keep_samples: true,
+        seed: 41,
+    };
+    SweepExecutor::new(threads)
+        .with_batch(batch)
+        .run(&backend, &noisy_sweep_circuit(), &sweep_params(24), &spec)
+        .expect("sweep")
+}
+
+#[test]
+fn enabling_telemetry_never_changes_sweep_results() {
+    let _guard = lock();
+    let want = run_sweep(false, 1, 1);
+    for threads in [1usize, 2, 4] {
+        for batch in [1usize, 16] {
+            let off = run_sweep(false, threads, batch);
+            let on = run_sweep(true, threads, batch);
+            assert_eq!(
+                off, want,
+                "threads={threads} batch={batch}: disabled run diverged"
+            );
+            assert_eq!(
+                on, want,
+                "threads={threads} batch={batch}: enabled run diverged"
+            );
+            // PartialEq on f64 admits 0.0 == -0.0; the contract is bitwise.
+            for (a, b) in on.iter().zip(&want) {
+                match (a.expectation, b.expectation) {
+                    (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                    (x, y) => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn enabling_telemetry_never_changes_gradients() {
+    let _guard = lock();
+    let mut c = Circuit::new(2);
+    c.h(0)
+        .zz(0, 1, Param::symbol("g"))
+        .rx(0, Param::symbol("b0"))
+        .rx(1, Param::symbol("b1"));
+    let params = ParamMap::from_pairs([("g", 0.45), ("b0", 0.25), ("b1", 0.31)]);
+    let obs = |bits: usize| bits.count_ones() as f64;
+    let grad = |enabled: bool, threads: usize| {
+        let _flag = FlagGuard::set(enabled);
+        let engine = Engine::with_options(
+            EngineOptions::default()
+                .with_backend(BackendKind::KnowledgeCompilation)
+                .with_threads(threads),
+        );
+        engine.gradient(&c, &params, &obs, None).expect("gradient")
+    };
+    let want = grad(false, 1);
+    for threads in [1usize, 2, 4] {
+        let on = grad(true, threads);
+        assert_eq!(on.value.to_bits(), want.value.to_bits());
+        assert_eq!(on.gradient.len(), want.gradient.len());
+        for (a, b) in on.gradient.iter().zip(&want.gradient) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads={threads}: gradient diverged under telemetry"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshots_stay_consistent_under_concurrent_recording() {
+    let _guard = lock();
+    let _flag = FlagGuard::set(true);
+    telemetry::reset();
+
+    // Four threads, four distinct structures, all through one shared
+    // cache: compiles, hits, sweeps, and plans all record concurrently
+    // while the main thread snapshots mid-flight.
+    let engine = Arc::new(Engine::with_options(
+        EngineOptions::default().with_backend(BackendKind::KnowledgeCompilation),
+    ));
+    let obs = |bits: usize| bits as f64;
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut c = Circuit::new(2);
+            c.h(0).rx(0, Param::symbol("theta")).cnot(0, 1);
+            for _ in 0..t {
+                c.t(1); // distinct structural hash per thread
+            }
+            for round in 0..3 {
+                let params = sweep_params(8);
+                let spec = SweepSpec::expectation(&obs).with_seed(round);
+                engine.sweep(&c, &params, &spec).expect("sweep");
+            }
+        }));
+    }
+
+    // Counters must be monotone across successive snapshots, including
+    // ones taken while the workers are still recording.
+    let mut last: Vec<(String, u64)> = Vec::new();
+    let mut check = |snap: &telemetry::Snapshot| {
+        let now: Vec<(String, u64)> = snap
+            .counters
+            .iter()
+            .map(|c| (c.path.clone(), c.value))
+            .collect();
+        for (path, value) in &last {
+            let current = snap.counter(path).unwrap_or(0);
+            assert!(
+                current >= *value,
+                "{path} went backwards: {value} -> {current}"
+            );
+        }
+        last = now;
+    };
+    for _ in 0..8 {
+        let snap = telemetry::snapshot();
+        check(&snap);
+        std::thread::yield_now();
+    }
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let snap = telemetry::snapshot();
+    check(&snap);
+
+    // Structural invariants of the final snapshot.
+    assert!(snap.counter("cache/miss").unwrap_or(0) >= 4);
+    assert!(snap.counter("sweep/points").unwrap_or(0) >= 4 * 3 * 8);
+    for stats in snap.spans.iter().chain(&snap.sizes) {
+        assert!(
+            telemetry::path_is_well_formed(&stats.path),
+            "malformed path {:?}",
+            stats.path
+        );
+        let bucket_total: u64 = stats.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(
+            stats.count, bucket_total,
+            "{}: histogram count must equal its bucket sum",
+            stats.path
+        );
+    }
+    for c in &snap.counters {
+        assert!(telemetry::path_is_well_formed(&c.path));
+    }
+    for family in [
+        snap.spans.iter().map(|s| &s.path).collect::<Vec<_>>(),
+        snap.sizes.iter().map(|s| &s.path).collect::<Vec<_>>(),
+        snap.counters.iter().map(|c| &c.path).collect::<Vec<_>>(),
+    ] {
+        for pair in family.windows(2) {
+            assert!(pair[0] < pair[1], "paths must be sorted and unique");
+        }
+    }
+    telemetry::reset();
+}
+
+#[test]
+fn planner_explain_agrees_with_plan_on_random_circuits() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let planner = Planner::new();
+    for trial in 0..40 {
+        let n = rng.gen_range(2usize..14);
+        let gates = rng.gen_range(4usize..40);
+        let mut c = Circuit::new(n);
+        for _ in 0..gates {
+            let q = rng.gen_range(0usize..n);
+            match rng.gen_range(0usize..5) {
+                0 => {
+                    c.h(q);
+                }
+                1 => {
+                    c.t(q);
+                }
+                2 => {
+                    c.rx(q, 0.1 + rng.gen::<f64>());
+                }
+                3 => {
+                    let p = rng.gen_range(0usize..n - 1);
+                    c.cnot(p, p + 1);
+                }
+                _ => {
+                    c.depolarize(q, 0.01);
+                }
+            }
+        }
+        for hint in [PlanHint::SingleShot, PlanHint::ParameterSweep] {
+            let plan = planner.plan(&c, hint);
+            let explanation = planner.explain(&c, hint);
+            assert_eq!(
+                explanation.chosen, plan.backend,
+                "trial {trial}: explain chose a different backend than plan"
+            );
+            assert_eq!(explanation.reason, plan.reason, "trial {trial}");
+            assert_eq!(explanation.candidates.len(), 4, "trial {trial}");
+            let chosen = explanation
+                .candidates
+                .iter()
+                .find(|cand| cand.backend == explanation.chosen)
+                .expect("chosen backend appears among the candidates");
+            assert!(
+                chosen.feasible,
+                "trial {trial}: chose an infeasible backend"
+            );
+        }
+    }
+}
