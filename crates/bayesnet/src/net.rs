@@ -141,6 +141,101 @@ impl BayesNet {
         Ok(WeightTable { per_node })
     }
 
+    /// Evaluates every weight slot under `params` together with its
+    /// analytic tangent `∂(entry)/∂symbol` for each of `symbols` — one
+    /// tangent table per symbol, aligned slot-for-slot with the base
+    /// table.
+    ///
+    /// Entries are trigonometric polynomials of the gate angles, so the
+    /// tangents are closed-form ([`qkc_circuit::Gate::unitary_tangent`]):
+    /// no step size, no truncation error. Entries that do not depend on a
+    /// symbol (constants, other gates' entries, noise Kraus entries) get
+    /// tangent zero. Symbols that parameterize *noise channels* are outside
+    /// this path's contract — their Kraus entries are `√p`-polynomial, not
+    /// trigonometric — and callers must route them to a finite-difference
+    /// rule instead (debug builds assert the contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit mentions a symbol absent from
+    /// `params`.
+    pub fn evaluate_weights_with_tangents(
+        &self,
+        params: &ParamMap,
+        symbols: &[String],
+    ) -> Result<(WeightTable, Vec<WeightTable>), UnboundParam> {
+        type CachedEntry = (qkc_math::CMatrix, Vec<Option<qkc_math::CMatrix>>);
+        let mut matrix_cache: HashMap<(usize, usize), CachedEntry> = HashMap::new();
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        let mut tangent_nodes: Vec<Vec<Vec<Complex>>> =
+            vec![Vec::with_capacity(self.nodes.len()); symbols.len()];
+        for node in &self.nodes {
+            let mut ws = Vec::with_capacity(node.weights.len());
+            let mut dws: Vec<Vec<Complex>> =
+                vec![Vec::with_capacity(node.weights.len()); symbols.len()];
+            for w in &node.weights {
+                match w {
+                    WeightValue::Const(c) => {
+                        ws.push(*c);
+                        for d in &mut dws {
+                            d.push(C_ZERO);
+                        }
+                    }
+                    WeightValue::OpEntry {
+                        op_index,
+                        matrix_index,
+                        row,
+                        col,
+                    } => {
+                        let key = (*op_index, *matrix_index);
+                        if !matrix_cache.contains_key(&key) {
+                            let entry = match &self.circuit.operations()[*op_index] {
+                                Operation::Gate { gate, .. } => {
+                                    let m = gate.unitary(params)?;
+                                    let tangents = symbols
+                                        .iter()
+                                        .map(|s| gate.unitary_tangent(params, s))
+                                        .collect::<Result<Vec<_>, _>>()?;
+                                    (m, tangents)
+                                }
+                                Operation::Noise { channel, .. } => {
+                                    debug_assert!(
+                                        symbols
+                                            .iter()
+                                            .all(|s| !channel.symbols().contains(&s.as_str())),
+                                        "noise symbols have no analytic weight tangent"
+                                    );
+                                    let kraus = channel.kraus(params)?;
+                                    (kraus[*matrix_index].clone(), vec![None; symbols.len()])
+                                }
+                                other => unreachable!(
+                                    "weights only reference gates and noise, got {other}"
+                                ),
+                            };
+                            matrix_cache.insert(key, entry);
+                        }
+                        let (m, tangents) = &matrix_cache[&key];
+                        ws.push(m[(*row, *col)]);
+                        for (d, t) in dws.iter_mut().zip(tangents) {
+                            d.push(t.as_ref().map_or(C_ZERO, |t| t[(*row, *col)]));
+                        }
+                    }
+                }
+            }
+            per_node.push(ws);
+            for (tn, d) in tangent_nodes.iter_mut().zip(dws) {
+                tn.push(d);
+            }
+        }
+        Ok((
+            WeightTable { per_node },
+            tangent_nodes
+                .into_iter()
+                .map(|per_node| WeightTable { per_node })
+                .collect(),
+        ))
+    }
+
     /// The amplitude contribution of one *full* assignment (a value for
     /// every node): the product of selected CAT entries.
     pub fn joint_amplitude(&self, assignment: &[usize], table: &WeightTable) -> Complex {
@@ -241,5 +336,66 @@ impl BayesNet {
             probs[out] += amp.norm_sqr();
         }
         probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qkc_circuit::Param;
+
+    #[test]
+    fn weight_tangents_match_finite_differences_of_the_weight_table() {
+        // Shared symbol `g` across two ZZ gates, a CRz, and a noise channel
+        // parameterized by a *different* (constant) probability: every slot
+        // tangent must match a central difference of the base table.
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .rx(1, Param::symbol("a"))
+            .zz(0, 1, Param::symbol("g"))
+            .zz(1, 2, Param::symbol("g"))
+            .crz(0, 2, Param::symbol("a"))
+            .depolarize(1, 0.05);
+        let bn = BayesNet::from_circuit(&c);
+        let symbols = vec!["a".to_string(), "g".to_string(), "missing".to_string()];
+        let at = |a: f64, g: f64| {
+            let mut m = ParamMap::new();
+            m.bind("a", a);
+            m.bind("g", g);
+            m
+        };
+        let (a0, g0) = (0.37, -1.1);
+        let (base, tangents) = bn
+            .evaluate_weights_with_tangents(&at(a0, g0), &symbols)
+            .unwrap();
+        assert_eq!(base, bn.evaluate_weights(&at(a0, g0)).unwrap());
+        assert_eq!(tangents.len(), symbols.len());
+        let h = 1e-6;
+        let fd = |up: &WeightTable, dn: &WeightTable, node: NodeId, w: usize| {
+            (up.value(node, w) - dn.value(node, w)).scale(1.0 / (2.0 * h))
+        };
+        let (a_up, a_dn) = (
+            bn.evaluate_weights(&at(a0 + h, g0)).unwrap(),
+            bn.evaluate_weights(&at(a0 - h, g0)).unwrap(),
+        );
+        let (g_up, g_dn) = (
+            bn.evaluate_weights(&at(a0, g0 + h)).unwrap(),
+            bn.evaluate_weights(&at(a0, g0 - h)).unwrap(),
+        );
+        for (node, ws) in base.per_node.iter().enumerate() {
+            for w in 0..ws.len() {
+                let da = fd(&a_up, &a_dn, node, w);
+                let dg = fd(&g_up, &g_dn, node, w);
+                assert!(
+                    tangents[0].value(node, w).approx_eq(da, 1e-8),
+                    "node {node} slot {w} d/da"
+                );
+                assert!(
+                    tangents[1].value(node, w).approx_eq(dg, 1e-8),
+                    "node {node} slot {w} d/dg"
+                );
+                assert_eq!(tangents[2].value(node, w), C_ZERO, "absent symbol");
+            }
+        }
     }
 }

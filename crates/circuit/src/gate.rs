@@ -253,6 +253,93 @@ impl Gate {
         })
     }
 
+    /// The elementwise derivative `∂U/∂symbol` of this gate's unitary with
+    /// respect to the named symbolic parameter, or `None` when the gate
+    /// does not mention the symbol.
+    ///
+    /// Every parameterized gate's entries are trigonometric polynomials of
+    /// the angle, so the derivatives are closed-form — this is the ground
+    /// truth the differentiable bind pipeline (CPT tangents → weight
+    /// tangents → one-pass tape gradients) is built on, with no step-size
+    /// error anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the symbolic parameter is unbound in `params`.
+    pub fn unitary_tangent(
+        &self,
+        params: &ParamMap,
+        symbol: &str,
+    ) -> Result<Option<CMatrix>, UnboundParam> {
+        use Gate::*;
+        let c = Complex::real;
+        let m2 = |a, b, cc, d| CMatrix::from_rows(2, 2, vec![a, b, cc, d]);
+        // i·z, the workhorse of every cis derivative.
+        let rot = |z: Complex| Complex::new(-z.im, z.re);
+        let p = match self {
+            Rx(p) | Ry(p) | Rz(p) | Phase(p) | CPhase(p) | Zz(p) | CRz(p) => p,
+            _ => return Ok(None),
+        };
+        if p.symbol_name() != Some(symbol) {
+            return Ok(None);
+        }
+        Ok(Some(match self {
+            Rx(p) => {
+                // d/dθ of [[cos t, -i sin t], [-i sin t, cos t]], t = θ/2.
+                let t = p.resolve(params)? / 2.0;
+                m2(
+                    c(-0.5 * t.sin()),
+                    Complex::imag(-0.5 * t.cos()),
+                    Complex::imag(-0.5 * t.cos()),
+                    c(-0.5 * t.sin()),
+                )
+            }
+            Ry(p) => {
+                let t = p.resolve(params)? / 2.0;
+                m2(
+                    c(-0.5 * t.sin()),
+                    c(-0.5 * t.cos()),
+                    c(0.5 * t.cos()),
+                    c(-0.5 * t.sin()),
+                )
+            }
+            Rz(p) => {
+                // d/dθ e^{∓iθ/2} = ∓(i/2)·e^{∓iθ/2}.
+                let t = p.resolve(params)? / 2.0;
+                m2(
+                    -rot(Complex::cis(-t)).scale(0.5),
+                    C_ZERO,
+                    C_ZERO,
+                    rot(Complex::cis(t)).scale(0.5),
+                )
+            }
+            Phase(p) => {
+                let t = p.resolve(params)?;
+                m2(C_ZERO, C_ZERO, C_ZERO, rot(Complex::cis(t)))
+            }
+            CPhase(p) => {
+                let t = p.resolve(params)?;
+                diagonal_matrix(&[C_ZERO, C_ZERO, C_ZERO, rot(Complex::cis(t))])
+            }
+            Zz(p) => {
+                let t = p.resolve(params)? / 2.0;
+                let lo = -rot(Complex::cis(-t)).scale(0.5);
+                let hi = rot(Complex::cis(t)).scale(0.5);
+                diagonal_matrix(&[lo, hi, hi, lo])
+            }
+            CRz(p) => {
+                let t = p.resolve(params)? / 2.0;
+                diagonal_matrix(&[
+                    C_ZERO,
+                    C_ZERO,
+                    -rot(Complex::cis(-t)).scale(0.5),
+                    rot(Complex::cis(t)).scale(0.5),
+                ])
+            }
+            _ => unreachable!("parameterized gates handled above"),
+        }))
+    }
+
     /// The diagonal of the gate's unitary, for [`GateLayout::Diagonal`]
     /// gates.
     ///
@@ -491,7 +578,67 @@ mod tests {
         assert!((&a * &b).approx_eq(&ab, 1e-12));
     }
 
+    fn all_symbolic_gates() -> Vec<Gate> {
+        use Gate::*;
+        let p = Param::symbol("th");
+        vec![
+            Rx(p.clone()),
+            Ry(p.clone()),
+            Rz(p.clone()),
+            Phase(p.clone()),
+            CPhase(p.clone()),
+            Zz(p.clone()),
+            CRz(p),
+        ]
+    }
+
+    #[test]
+    fn tangent_is_none_for_fixed_gates_and_foreign_symbols() {
+        let empty = ParamMap::new();
+        for g in all_fixed_gates() {
+            assert_eq!(g.unitary_tangent(&empty, "th").unwrap(), None, "{g}");
+        }
+        let mut m = ParamMap::new();
+        m.bind("th", 0.4);
+        for g in all_symbolic_gates() {
+            assert_eq!(g.unitary_tangent(&m, "other").unwrap(), None, "{g}");
+            assert!(g.unitary_tangent(&m, "th").unwrap().is_some(), "{g}");
+        }
+        // Constant-angle parameterized gates depend on no symbol at all.
+        let g = Gate::Rx(Param::from(0.3));
+        assert_eq!(g.unitary_tangent(&empty, "th").unwrap(), None);
+    }
+
     proptest! {
+        #[test]
+        fn unitary_tangent_matches_finite_differences(theta in -6.0..6.0f64) {
+            // The closed forms must agree with a high-order central
+            // difference of the unitary entry-by-entry.
+            let h = 1e-5;
+            for g in all_symbolic_gates() {
+                let at = |t: f64| {
+                    let mut m = ParamMap::new();
+                    m.bind("th", t);
+                    g.unitary(&m).unwrap()
+                };
+                let mut m = ParamMap::new();
+                m.bind("th", theta);
+                let got = g.unitary_tangent(&m, "th").unwrap().unwrap();
+                let (up, dn) = (at(theta + h), at(theta - h));
+                for r in 0..got.rows() {
+                    for c in 0..got.cols() {
+                        let fd = (up[(r, c)] - dn[(r, c)]).scale(1.0 / (2.0 * h));
+                        prop_assert!(
+                            got[(r, c)].approx_eq(fd, 1e-7),
+                            "{g} entry ({r},{c}): {:?} vs fd {:?}",
+                            got[(r, c)],
+                            fd
+                        );
+                    }
+                }
+            }
+        }
+
         #[test]
         fn parameterized_gates_stay_unitary(theta in -10.0..10.0f64) {
             let empty = ParamMap::new();

@@ -6,7 +6,10 @@
 
 use crate::pipeline::{KcSimulator, ValueState};
 use qkc_circuit::{ParamMap, UnboundParam};
-use qkc_knowledge::{AcWeights, GibbsOptions, GibbsSampler, QueryVar, TapeEvaluator};
+use qkc_knowledge::{
+    AcWeights, AcWeightsBatch, DiffCone, GibbsOptions, GibbsSampler, QueryVar, TangentPlan,
+    TapeEvaluator,
+};
 use qkc_math::{CMatrix, Complex, C_ONE, C_ZERO};
 use std::cell::RefCell;
 
@@ -40,6 +43,84 @@ impl KcSimulator {
             eval: RefCell::new(TapeEvaluator::new()),
             last_query: RefCell::new(Vec::new()),
             changed_vars: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Binds parameter values **with symbolic weight tangents**: alongside
+    /// every literal weight, the bind lays out `d(weight)/dθ_s` for each
+    /// symbol in `symbols` — in the same interleaved [`AcWeights`] slot
+    /// layout, resolved once against the tape's literal→slot table. The
+    /// handle answers exact expectation *gradients* for all symbols from a
+    /// single differentials pass per evidence assignment
+    /// ([`BoundKcTangents::expectation_gradient`]).
+    ///
+    /// Symbols may appear in any number of gates (shared parameters sum
+    /// naturally through the chain rule); symbols absent from the circuit
+    /// get an identically-zero gradient. Symbols driving *noise* channels
+    /// are not differentiable here — callers route those components through
+    /// finite differences.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit mentions a symbol absent from
+    /// `params`.
+    pub fn bind_with_tangents(
+        &self,
+        params: &ParamMap,
+        symbols: &[String],
+    ) -> Result<BoundKcTangents<'_>, UnboundParam> {
+        let (table, dtables) = self
+            .bayes_net()
+            .evaluate_weights_with_tangents(params, symbols)?;
+        let num_vars = self.encoding().cnf.num_vars();
+        let mut weights = AcWeights::uniform(num_vars);
+        let mut global = C_ONE;
+        let mut dglobals = vec![C_ZERO; symbols.len()];
+        let mut tangents: Vec<AcWeights> =
+            symbols.iter().map(|_| AcWeights::zeros(num_vars)).collect();
+        for (var, node, slot) in self.encoding().vars.params() {
+            let value = table.value(node, slot);
+            match self.fixed_vars().get(&var) {
+                Some(&true) => {
+                    // Product rule through the running global factor:
+                    // d(g·v) = dg·v + g·dv — update dg before g.
+                    for (dg, dt) in dglobals.iter_mut().zip(&dtables) {
+                        *dg = *dg * value + global * dt.value(node, slot);
+                    }
+                    global *= value;
+                }
+                Some(&false) => {}
+                None => {
+                    weights.set(var, value, C_ONE);
+                    // Only the positive literal carries the parameter:
+                    // w(¬P) = 1 always, so its tangent is zero.
+                    for (t, dt) in tangents.iter_mut().zip(&dtables) {
+                        t.set(var, dt.value(node, slot), C_ZERO);
+                    }
+                }
+            }
+        }
+        let plans: Vec<TangentPlan> = tangents
+            .iter()
+            .map(|t| TangentPlan::new(self.tape(), t))
+            .collect();
+        // The gradient loop only reads partials at the tangent-bearing
+        // literal slots, so its downward sweeps can stay inside those
+        // slots' ancestor cone — built once here, reused per assignment.
+        let cone = DiffCone::new(self.tape(), plans.iter().flat_map(|p| p.slots()));
+        Ok(BoundKcTangents {
+            bound: BoundKc {
+                sim: self,
+                weights,
+                global,
+                scratch: RefCell::new(None),
+                eval: RefCell::new(TapeEvaluator::new()),
+                last_query: RefCell::new(Vec::new()),
+                changed_vars: RefCell::new(Vec::new()),
+            },
+            dglobals,
+            plans,
+            cone,
         })
     }
 }
@@ -374,6 +455,188 @@ impl<'a> BoundKc<'a> {
     }
 }
 
+/// A compiled simulator bound to concrete parameter values **and** their
+/// weight tangents for a fixed symbol list — the analytic-gradient query
+/// handle produced by [`KcSimulator::bind_with_tangents`].
+#[derive(Debug)]
+pub struct BoundKcTangents<'a> {
+    bound: BoundKc<'a>,
+    /// `d(global)/∂θ_s` — product rule over unit-resolved parameters.
+    dglobals: Vec<Complex>,
+    /// One contraction plan per symbol, in input order.
+    plans: Vec<TangentPlan>,
+    /// Ancestor cone of the union of all plans' slots: the downward sweep
+    /// of every gradient pass stays inside it (bit-for-bit equal partials
+    /// at every plan slot, none of the full-tape sweep cost).
+    cone: DiffCone,
+}
+
+impl<'a> BoundKcTangents<'a> {
+    /// The underlying bound handle (ordinary amplitude/probability queries
+    /// ignore the tangents and behave exactly like [`KcSimulator::bind`]).
+    pub fn bound(&self) -> &BoundKc<'a> {
+        &self.bound
+    }
+
+    /// Number of tangent symbols this handle differentiates against.
+    pub fn num_symbols(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The exact expectation of a diagonal observable **and** its gradient
+    /// with respect to every tangent symbol, from ONE upward+downward
+    /// differentials pass per evidence assignment — independent of the
+    /// number of parameters.
+    ///
+    /// Per assignment `(x, K)`: `amp = global · root`, and for each symbol
+    /// the chain rule gives
+    /// `damp_s = dglobal_s · root + global · Σ_lit ∂root/∂w(lit) · dw(lit)/dθ_s`,
+    /// where the sum is the precomputed tangent contraction. Then
+    /// `⟨O⟩ = Σ |amp|²·O(x)` and
+    /// `∂⟨O⟩/∂θ_s = Σ 2·Re(conj(amp)·damp_s)·O(x)` — exact because the
+    /// d-DNNF circuit is multilinear in its literal weights. Enumeration
+    /// runs in the same Gray-output × random-event odometer order as the
+    /// probability reconstructions, so the expectation value is bit-for-bit
+    /// the plain [`BoundKcBatch::expectations`](crate::BoundKcBatch::expectations)
+    /// fold. Zero allocations per assignment after warmup.
+    ///
+    /// Internally, consecutive Gray-code basis states ride as *weight
+    /// lanes* of one batched differentials pass (up to 16 at a time): the
+    /// sweep decodes each cone slot once and updates every lane in a
+    /// contiguous loop, amortizing per-slot dispatch the same way the
+    /// parameter-shift batch bind amortizes it over shifted parameter
+    /// sets. Each lane is bit-for-bit the scalar pass for its assignment
+    /// (full-product arithmetic is path-independent), so lane blocking
+    /// changes visit grouping, not any accumulated value.
+    pub fn expectation_gradient(&self, observable: &dyn Fn(usize) -> f64) -> (f64, Vec<f64>) {
+        let b = &self.bound;
+        let n = b.sim.num_outputs();
+        let ns = self.plans.len();
+        let dim = 1usize << n;
+        // 32 lanes balance per-slot sweep amortization against the L1
+        // working set of the wide product nodes (arity×lanes rows).
+        let k = dim.min(32);
+        let query = b.sim.query();
+        let tape = b.sim.tape();
+        // Every lane starts from the pristine bound weights; evidence
+        // writes below touch only the query variables they change.
+        let mut wb = AcWeightsBatch::uniform(b.weights.num_vars(), k);
+        for v in 1..=b.weights.num_vars() as u32 {
+            wb.set_all(v, b.weights.get(v as i32), b.weights.get(-(v as i32)));
+        }
+        // opos[oi] = position of output oi in the Gray bit order, so each
+        // lane can decode its basis state without re-walking `order`.
+        let order = b.sim.output_gray_order();
+        let mut opos = vec![0usize; n];
+        for (j, &oi) in order.iter().enumerate() {
+            opos[oi] = j;
+        }
+        // Per-basis-state accumulators, folded against the observable in
+        // natural order at the end — the same shape as the probability
+        // reconstructions, so the expectation value is bitwise identical
+        // to the plain `expectations` fold.
+        let mut probs = vec![0.0; dim];
+        let mut dprobs = vec![vec![0.0; dim]; ns];
+        // Last evidence value written into each lane, per query spec:
+        // lanes revisit the same Gray positions every block, so most specs
+        // are already correct and the delta cone stays small.
+        let mut written: Vec<Vec<Option<usize>>> = vec![vec![None; query.len()]; k];
+        let mut dead = vec![false; k];
+        let mut changed: Vec<u32> = Vec::new();
+        let mut xs = vec![0usize; k];
+        let mut raws = vec![C_ZERO; k];
+        let mut contracted = vec![C_ZERO; k];
+        let mut first = true;
+        let mut eval = b.eval.borrow_mut();
+        let domains: Vec<usize> = query[n..].iter().map(|s| s.domain).collect();
+        for_each_rv_assignment(&domains, |rvs| {
+            for blk in 0..dim / k {
+                changed.clear();
+                dead.fill(false);
+                'lane: for l in 0..k {
+                    let g = blk * k + l;
+                    let gc = g ^ (g >> 1);
+                    let mut x = 0usize;
+                    let mut apply = |written: &mut Vec<Option<usize>>, s: usize, value: usize| {
+                        let spec = &query[s];
+                        // An impossible value has no literal to set: mark
+                        // the lane dead and leave its weights untouched
+                        // (so `written` stays truthful for later blocks).
+                        if matches!(spec.values[value], ValueState::ForcedFalse) {
+                            return false;
+                        }
+                        if written[s] != Some(value) {
+                            set_evidence_lane(&mut wb, spec, value, l);
+                            written[s] = Some(value);
+                            for state in &spec.values {
+                                if let ValueState::Lit(lit) = state {
+                                    changed.push(lit.unsigned_abs());
+                                }
+                            }
+                        }
+                        true
+                    };
+                    for oi in 0..n {
+                        let bit = (gc >> opos[oi]) & 1;
+                        x |= bit << (n - 1 - oi);
+                        if !apply(&mut written[l], oi, bit) {
+                            dead[l] = true;
+                            continue 'lane;
+                        }
+                    }
+                    xs[l] = x;
+                    for (s, &rv) in rvs.iter().enumerate() {
+                        if !apply(&mut written[l], n + s, rv) {
+                            dead[l] = true;
+                            continue 'lane;
+                        }
+                    }
+                }
+                if first {
+                    eval.differentials_cone_batch(tape, &wb, &self.cone);
+                    first = false;
+                } else {
+                    eval.differentials_cone_batch_delta(tape, &wb, &changed, &self.cone);
+                }
+                for l in 0..k {
+                    if dead[l] {
+                        continue;
+                    }
+                    raws[l] = eval.value_lane(tape, l);
+                    probs[xs[l]] += (b.global * raws[l]).norm_sqr();
+                }
+                for ((dp, plan), &dg) in dprobs.iter_mut().zip(&self.plans).zip(&self.dglobals)
+                {
+                    eval.contract_tangent_broadcast(plan, &mut contracted);
+                    for l in 0..k {
+                        if dead[l] {
+                            continue;
+                        }
+                        let amp = b.global * raws[l];
+                        let damp = dg * raws[l] + b.global * contracted[l];
+                        dp[xs[l]] += 2.0 * (amp.conj() * damp).re;
+                    }
+                }
+            }
+        });
+        let energy = probs
+            .iter()
+            .enumerate()
+            .map(|(x, &p)| p * observable(x))
+            .sum();
+        let grad = dprobs
+            .iter()
+            .map(|dp| {
+                dp.iter()
+                    .enumerate()
+                    .map(|(x, &d)| d * observable(x))
+                    .sum()
+            })
+            .collect();
+        (energy, grad)
+    }
+}
+
 /// Calls `f` with every assignment of the random-event domains, in
 /// odometer order (first domain fastest) — the enumeration order both the
 /// scalar and batched probability reconstructions share.
@@ -427,6 +690,36 @@ fn set_evidence(w: &mut AcWeights, spec: &crate::pipeline::QuerySpec, value: usi
         }
     }
     true
+}
+
+/// Lane-local [`set_evidence`] for batched gradient passes. The caller has
+/// already rejected `ForcedFalse` values.
+fn set_evidence_lane(
+    wb: &mut AcWeightsBatch,
+    spec: &crate::pipeline::QuerySpec,
+    value: usize,
+    lane: usize,
+) {
+    if spec.domain == 2 {
+        if let (ValueState::Lit(l0), ValueState::Lit(l1)) = (spec.values[0], spec.values[1]) {
+            debug_assert_eq!(l0, -l1, "binary node literals must be complementary");
+            let var = l1.unsigned_abs();
+            let (pos, neg) = if value == 1 {
+                (C_ONE, C_ZERO)
+            } else {
+                (C_ZERO, C_ONE)
+            };
+            wb.set_lane(var, lane, pos, neg);
+        }
+        return;
+    }
+    for (v, state) in spec.values.iter().enumerate() {
+        if let ValueState::Lit(lit) = state {
+            let var = lit.unsigned_abs();
+            let chosen = if v == value { C_ONE } else { C_ZERO };
+            wb.set_lane(var, lane, chosen, C_ONE);
+        }
+    }
 }
 
 /// A Gibbs sampler with query-variable value mapping back to circuit

@@ -1,7 +1,7 @@
 //! The unified backend interface and the four simulator adapters.
 
 use crate::cache::ArtifactCache;
-use crate::gradient::{self, GradientResult, SymbolRule};
+use crate::gradient::{self, GradientMethod, GradientResult, SymbolClass, SymbolRule};
 use crate::mix_seed;
 use qkc_circuit::{Circuit, CircuitError, ParamMap, UnboundParam};
 use qkc_core::KcOptions;
@@ -12,8 +12,11 @@ use qkc_statevector::StateVectorSimulator;
 use qkc_tensornet::{TensorNetwork, TensorNetworkSimulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// The four simulator families the engine can dispatch to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -237,9 +240,9 @@ pub trait Backend: Send + Sync {
         let rules: Vec<SymbolRule> = gradient::symbol_classes(circuit, wrt)
             .into_iter()
             .map(|class| match class {
-                gradient::SymbolClass::Absent => SymbolRule::Absent,
-                gradient::SymbolClass::Noise => SymbolRule::CentralDiffProbability,
-                gradient::SymbolClass::Gates { .. } => SymbolRule::CentralDiff,
+                SymbolClass::Absent => SymbolRule::Absent,
+                SymbolClass::Noise => SymbolRule::CentralDiffProbability,
+                SymbolClass::Gates { .. } => SymbolRule::CentralDiff,
             })
             .collect();
         let (lanes, plans) = gradient::shifted_bindings(params, wrt, &rules)
@@ -250,12 +253,14 @@ pub trait Backend: Send + Sync {
         drop(eval_span);
         qkc_telemetry::count("gradient/queries", 1);
         qkc_telemetry::count("gradient/lanes", lanes.len() as u64);
+        qkc_telemetry::count(GradientMethod::FiniteDifference.counter_path(), 1);
         let (value, gradient, _) = gradient::contract_gradient(&values, &plans);
         Ok(GradientResult {
             value,
             gradient,
             exact: false,
             evaluations: lanes.len(),
+            method: GradientMethod::FiniteDifference,
         })
     }
 }
@@ -277,6 +282,15 @@ pub struct KcBackend {
     max_exact_log2_branches: f64,
     gibbs_warmup: usize,
     gibbs_thin: usize,
+    /// Routes gate-symbol gradients through the parameter-shift path even
+    /// when the analytic tangent path applies — the cross-check and
+    /// benchmark-comparison knob.
+    force_shift: bool,
+    /// Per-symbol shift-structure scans keyed by `(circuit structural
+    /// hash, wrt)`: a gradient sweep asks the same classification for
+    /// every sweep point, so the circuit scan runs once per structure.
+    /// Shared across clones (the sweep executor clones the backend).
+    scan_cache: Arc<Mutex<HashMap<u64, Arc<Vec<SymbolClass>>>>>,
 }
 
 impl KcBackend {
@@ -288,6 +302,8 @@ impl KcBackend {
             max_exact_log2_branches: 14.0,
             gibbs_warmup: 800,
             gibbs_thin: 3,
+            force_shift: false,
+            scan_cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -302,6 +318,35 @@ impl KcBackend {
         self.gibbs_warmup = warmup;
         self.gibbs_thin = thin;
         self
+    }
+
+    /// Forces gradient queries onto the parameter-shift path even when the
+    /// one-pass analytic path applies. For cross-checking the two exact
+    /// paths against each other and for benchmark comparisons; never needed
+    /// for correctness.
+    pub fn with_force_shift(mut self, force: bool) -> Self {
+        self.force_shift = force;
+        self
+    }
+
+    /// The per-symbol classification of `wrt` against `circuit`, cached by
+    /// the circuit's structural hash (parameter *values* do not affect the
+    /// classification, so every point of a sweep shares one scan).
+    fn classes_for(&self, circuit: &Circuit, wrt: &[String]) -> Arc<Vec<SymbolClass>> {
+        let mut h = DefaultHasher::new();
+        circuit.structural_hash().hash(&mut h);
+        wrt.hash(&mut h);
+        let key = h.finish();
+        if let Some(classes) = self.scan_cache.lock().unwrap().get(&key) {
+            return Arc::clone(classes);
+        }
+        let classes = Arc::new(gradient::symbol_classes(circuit, wrt));
+        self.scan_cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(classes)
+            .clone()
     }
 
     /// Checks the exact-enumeration budget: `Ok` when the joint noise
@@ -432,12 +477,18 @@ impl Backend for KcBackend {
         Ok(bound.expectations(&|bits| observable(bits)))
     }
 
-    /// Exact parameter-shift gradients on the compiled artifact: the
-    /// circuit is scanned for each symbol's shift structure (rule order =
-    /// gate-occurrence count, so shared symbols stay exact; symbols inside
-    /// noise channels fall back to finite differences), and every shifted
-    /// binding becomes a lane of **one** batched bind whose Gray-ordered
-    /// expectation sweep decodes each dirty tape slot once for all lanes.
+    /// Exact gradients on the compiled artifact. The **analytic path** is
+    /// primary: when every `wrt` symbol lives in gates (or is absent), the
+    /// bind carries symbolic weight tangents and ONE differentials pass
+    /// per evidence assignment yields every parameter's derivative through
+    /// the chain rule — O(1) tape evaluations independent of parameter
+    /// count. Symbols inside noise channels have no analytic weight
+    /// tangent (their Kraus entries are `√p`-polynomial), so those queries
+    /// fall back to the **parameter-shift path**: each symbol's shift
+    /// structure (rule order = gate-occurrence count, so shared symbols
+    /// stay exact; noise symbols use finite differences) becomes lanes of
+    /// one batched bind. The shift path also remains available as a
+    /// cross-check via [`KcBackend::with_force_shift`].
     fn expectation_gradient(
         &self,
         circuit: &Circuit,
@@ -446,7 +497,48 @@ impl Backend for KcBackend {
         wrt: &[String],
     ) -> Result<GradientResult, EngineError> {
         let scan_span = qkc_telemetry::span("gradient/scan");
-        let rules = gradient::symbol_rules(circuit, wrt);
+        let classes = self.classes_for(circuit, wrt);
+        drop(scan_span);
+        let analytic = !self.force_shift
+            && !classes.iter().any(|c| matches!(c, SymbolClass::Noise));
+        if analytic {
+            // Mirror the shift path's error order: unbound *wrt* symbols
+            // first (shifted_bindings reports them before compiling), then
+            // the enumeration budget.
+            if let Some(unbound) = wrt
+                .iter()
+                .zip(classes.iter())
+                .find(|(s, c)| !matches!(c, SymbolClass::Absent) && params.get(s).is_none())
+            {
+                return Err(EngineError::Circuit(CircuitError::Unbound(
+                    UnboundParam::new(unbound.0.clone()),
+                )));
+            }
+            let artifact = self.cache.get_or_compile(circuit, &self.options);
+            if artifact.num_random_events() > 0 {
+                self.ensure_exact_budget(circuit)?;
+            }
+            let bind_span = qkc_telemetry::span("gradient/tangent_bind");
+            let bound = artifact
+                .bind_with_tangents(params, wrt)
+                .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+            drop(bind_span);
+            let contract_span = qkc_telemetry::span("gradient/contract");
+            let (value, grad) = bound.expectation_gradient(&|bits| observable(bits));
+            drop(contract_span);
+            qkc_telemetry::count("gradient/queries", 1);
+            qkc_telemetry::count("gradient/lanes", 1);
+            qkc_telemetry::count(GradientMethod::Analytic.counter_path(), 1);
+            return Ok(GradientResult {
+                value,
+                gradient: grad,
+                exact: true,
+                evaluations: 1,
+                method: GradientMethod::Analytic,
+            });
+        }
+        let scan_span = qkc_telemetry::span("gradient/scan");
+        let rules = gradient::rules_from_classes(&classes);
         let (lanes, plans) = gradient::shifted_bindings(params, wrt, &rules)
             .map_err(|name| EngineError::Circuit(CircuitError::Unbound(UnboundParam::new(name))))?;
         drop(scan_span);
@@ -465,12 +557,14 @@ impl Backend for KcBackend {
         drop(eval_span);
         qkc_telemetry::count("gradient/queries", 1);
         qkc_telemetry::count("gradient/lanes", lanes.len() as u64);
+        qkc_telemetry::count(GradientMethod::ParameterShift.counter_path(), 1);
         let (value, grad, exact) = gradient::contract_gradient(&values, &plans);
         Ok(GradientResult {
             value,
             gradient: grad,
             exact,
             evaluations: lanes.len(),
+            method: GradientMethod::ParameterShift,
         })
     }
 

@@ -476,6 +476,37 @@ impl ArtifactCache {
         }
     }
 
+    /// Peeks at the cache for a **resident** compiled artifact of
+    /// `(circuit, options)` and returns its pipeline metrics together with
+    /// the measured acquisition cost in seconds (compile on a miss, decode
+    /// on a spill hit).
+    ///
+    /// This is a pure observation for callers — like the
+    /// [`Planner`](crate::Planner) — that want to replace static proxies
+    /// with measured figures when they happen to be available: it never
+    /// compiles, never blocks on an in-flight resolution (a `Resolving`
+    /// entry reports `None`), never touches eviction priorities, and does
+    /// not count as a hit or a miss.
+    pub fn resident_metrics(
+        &self,
+        circuit: &Circuit,
+        options: &KcOptions,
+    ) -> Option<(qkc_core::PipelineMetrics, f64)> {
+        let key = self.key(circuit, options);
+        let st = self.state.lock().expect("cache poisoned");
+        let bucket = st.buckets.get(&key)?;
+        for &ix in bucket {
+            let e = &st.entries[ix];
+            if e.options == *options && e.circuit == *circuit {
+                if let EntryState::Ready(artifact) = &e.state {
+                    return Some((artifact.metrics().clone(), e.cost_seconds));
+                }
+                return None;
+            }
+        }
+        None
+    }
+
     /// Number of requests served from a resident artifact.
     pub fn hits(&self) -> u64 {
         self.state.lock().expect("cache poisoned").hits
@@ -835,6 +866,35 @@ mod tests {
         assert_eq!(cache.stats().entries, 3);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn resident_metrics_peeks_without_counting() {
+        let cache = ArtifactCache::new();
+        // Cold cache: nothing resident, nothing counted.
+        assert!(cache
+            .resident_metrics(&parameterized(), &KcOptions::default())
+            .is_none());
+        assert_eq!(cache.hits() + cache.misses(), 0, "a peek is not a request");
+        let artifact = cache.get_or_compile(&parameterized(), &KcOptions::default());
+        let (metrics, cost_seconds) = cache
+            .resident_metrics(&parameterized(), &KcOptions::default())
+            .expect("artifact is resident");
+        assert_eq!(metrics.ac_size_bytes, artifact.metrics().ac_size_bytes);
+        assert!(cost_seconds > 0.0, "compile cost was measured");
+        // Different options → different structure → no peek result.
+        let no_elide = KcOptions {
+            elide_internal: false,
+            ..Default::default()
+        };
+        assert!(cache.resident_metrics(&parameterized(), &no_elide).is_none());
+        assert_eq!(cache.hits(), 0, "peeks never count as hits");
+        assert_eq!(cache.misses(), 1);
+        // An evicted entry reports None again.
+        cache.clear();
+        assert!(cache
+            .resident_metrics(&parameterized(), &KcOptions::default())
+            .is_none());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::backend::{
 };
 use crate::cache::{ArtifactCache, CacheOptions};
 use crate::gradient::{self, GradientPoint, GradientResult, GradientSpec};
-use crate::planner::{Plan, PlanExplanation, PlanHint, Planner};
+use crate::planner::{KcCalibration, Plan, PlanExplanation, PlanHint, Planner};
 use crate::sweep::{SweepExecutor, SweepPoint, SweepSpec};
 use qkc_circuit::{Circuit, ParamMap};
 use qkc_core::KcOptions;
@@ -133,21 +133,42 @@ impl Engine {
         &self.cache
     }
 
+    /// Measured calibration for the planner's KC candidate: present
+    /// exactly when this structure's compiled artifact is resident in the
+    /// engine's cache (a pure peek — never compiles, never counts as a
+    /// hit or miss).
+    fn calibration(&self, circuit: &Circuit) -> Option<KcCalibration> {
+        self.cache
+            .resident_metrics(circuit, &self.options.kc_options)
+            .map(|(metrics, _cost_seconds)| KcCalibration::from_metrics(&metrics))
+    }
+
     /// Plans a backend for `circuit` under the engine's default hint.
+    /// When the structure's compiled artifact is already cache-resident,
+    /// the plan is calibrated against its measured tape size and compile
+    /// time (see [`Planner::plan_calibrated`]).
     pub fn plan(&self, circuit: &Circuit) -> Plan {
-        self.options.planner.plan(circuit, self.options.hint)
+        self.plan_with_hint(circuit, self.options.hint)
     }
 
     /// Plans a backend under an explicit hint.
     pub fn plan_with_hint(&self, circuit: &Circuit, hint: PlanHint) -> Plan {
-        self.options.planner.plan(circuit, hint)
+        self.options
+            .planner
+            .plan_calibrated(circuit, hint, self.calibration(circuit).as_ref())
     }
 
     /// An "explain plan" for dispatch under the engine's default hint:
     /// every candidate backend's feasibility and estimated cost, plus the
-    /// chosen one (always the same backend [`Engine::plan`] picks).
+    /// chosen one (always the same backend [`Engine::plan`] picks). A
+    /// cache-resident artifact upgrades the KC candidate's score from the
+    /// treewidth proxy to its exact measured footprint.
     pub fn explain(&self, circuit: &Circuit) -> PlanExplanation {
-        self.options.planner.explain(circuit, self.options.hint)
+        self.options.planner.explain_calibrated(
+            circuit,
+            self.options.hint,
+            self.calibration(circuit).as_ref(),
+        )
     }
 
     /// A snapshot of the global telemetry registry: every span, counter,
@@ -306,6 +327,7 @@ impl Engine {
                         value: r.value,
                         gradient: r.gradient,
                         exact: r.exact,
+                        method: r.method,
                     })
                 })
                 .collect()
@@ -358,6 +380,46 @@ mod tests {
             .expectation(&c, &ParamMap::new(), &|bits| bits as f64, 0, 0)
             .unwrap();
         assert!((p1 - (1.3f64 / 2.0).sin().powi(2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn plans_calibrate_against_cache_resident_artifacts() {
+        let engine = Engine::new();
+        // A wide-shallow sweep circuit the planner routes to KC.
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.h(q);
+        }
+        for q in 0..8 {
+            c.zz(q, (q + 1) % 8, qkc_circuit::Param::symbol("g"));
+        }
+        let hint = PlanHint::ParameterSweep;
+        // Cold cache: static plan, treewidth-proxy scoring.
+        let cold = engine.plan_with_hint(&c, hint);
+        assert_eq!(cold.backend, BackendKind::KnowledgeCompilation);
+        assert!(!cold.reason.contains("calibrated"), "{}", cold.reason);
+        // Compile the artifact through a normal query, then re-plan: the
+        // same decision, now justified by measured figures.
+        let params = [ParamMap::from_pairs([("g", 0.3)])];
+        let obs = |bits: usize| bits.count_ones() as f64;
+        engine
+            .sweep(&c, &params, &SweepSpec::expectation(&obs))
+            .unwrap();
+        let warm = engine.plan_with_hint(&c, hint);
+        assert_eq!(warm.backend, cold.backend, "calibration never flips the plan");
+        assert!(warm.reason.contains("calibrated"), "{}", warm.reason);
+        let explain = engine.explain(&c);
+        let kc = explain
+            .candidates
+            .iter()
+            .find(|cand| cand.backend == BackendKind::KnowledgeCompilation)
+            .expect("kc candidate");
+        assert!(kc.verdict.contains("measured"), "{}", kc.verdict);
+        assert_eq!(
+            engine.cache().misses(),
+            1,
+            "planning peeks never compile or count"
+        );
     }
 
     #[test]

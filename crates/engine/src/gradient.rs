@@ -29,6 +29,47 @@ use qkc_circuit::{Circuit, Gate, Operation, ParamMap};
 /// that exact-expectation differences do not cancel catastrophically.
 pub const FD_STEP: f64 = 1e-6;
 
+/// How a gradient query was evaluated — the primary mechanism behind the
+/// whole result (individual components of a [`ParameterShift`]
+/// (GradientMethod::ParameterShift) query may still be finite differences;
+/// [`GradientResult::exact`] records that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GradientMethod {
+    /// One-pass analytic differentiation through the compiled tape:
+    /// symbolic weight tangents are chain-ruled against the AC's
+    /// per-literal partials, so every parameter's derivative comes from a
+    /// single differentials pass per evidence assignment — O(1) tape
+    /// evaluations regardless of parameter count. Always exact.
+    Analytic,
+    /// The parameter-shift rule: shifted bindings evaluated as lanes of one
+    /// batched bind. Exact for gate symbols; noise-symbol components fall
+    /// back to finite differences within the same query.
+    ParameterShift,
+    /// Central finite differences throughout (non-compiled backends).
+    FiniteDifference,
+}
+
+impl GradientMethod {
+    /// The static telemetry counter path of this method.
+    pub(crate) fn counter_path(self) -> &'static str {
+        match self {
+            GradientMethod::Analytic => "gradient/method/analytic",
+            GradientMethod::ParameterShift => "gradient/method/shift",
+            GradientMethod::FiniteDifference => "gradient/method/fd",
+        }
+    }
+}
+
+impl std::fmt::Display for GradientMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GradientMethod::Analytic => "analytic",
+            GradientMethod::ParameterShift => "shift",
+            GradientMethod::FiniteDifference => "fd",
+        })
+    }
+}
+
 /// The value and gradient of one expectation query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GradientResult {
@@ -36,13 +77,16 @@ pub struct GradientResult {
     pub value: f64,
     /// `∂⟨obs⟩/∂symbol` per differentiation target, in `wrt` order.
     pub gradient: Vec<f64>,
-    /// Whether every component came from the exact parameter-shift rule
-    /// over exact expectations (`false` when any component used the
-    /// finite-difference fallback).
+    /// Whether every component is exact: analytic differentiation, or the
+    /// exact parameter-shift rule over exact expectations (`false` when
+    /// any component used the finite-difference fallback).
     pub exact: bool,
-    /// Expectation evaluations consumed (the unshifted value plus every
-    /// shifted lane).
+    /// Expectation evaluations consumed: 1 for the analytic path
+    /// (independent of parameter count), the unshifted value plus every
+    /// shifted lane otherwise.
     pub evaluations: usize,
+    /// The mechanism that produced this result.
+    pub method: GradientMethod,
 }
 
 /// What a gradient sweep should compute for every parameter point.
@@ -81,6 +125,9 @@ pub struct GradientPoint {
     pub gradient: Vec<f64>,
     /// Whether value and gradient are exact (see [`GradientResult::exact`]).
     pub exact: bool,
+    /// The mechanism that produced this point (see
+    /// [`GradientResult::method`]).
+    pub method: GradientMethod,
 }
 
 /// How one symbol's gradient component is evaluated.
@@ -205,17 +252,25 @@ pub(crate) fn symbol_classes(circuit: &Circuit, wrt: &[String]) -> Vec<SymbolCla
 /// probability-domain finite-difference fallback for noise symbols (noise
 /// weights are polynomial — often `√p` — in the symbol, not
 /// trigonometric, so no finite shift rule exists).
+#[cfg(test)]
 pub(crate) fn symbol_rules(circuit: &Circuit, wrt: &[String]) -> Vec<SymbolRule> {
-    symbol_classes(circuit, wrt)
-        .into_iter()
+    rules_from_classes(&symbol_classes(circuit, wrt))
+}
+
+/// The rule-building half of [`symbol_rules`], split out so callers that
+/// cache the classification (the KC backend keys it by circuit structural
+/// hash across sweep points) can skip the circuit scan.
+pub(crate) fn rules_from_classes(classes: &[SymbolClass]) -> Vec<SymbolRule> {
+    classes
+        .iter()
         .map(|class| match class {
             SymbolClass::Noise => SymbolRule::CentralDiffProbability,
             SymbolClass::Absent => SymbolRule::Absent,
             SymbolClass::Gates {
                 occurrences,
                 half_frequencies: true,
-            } => SymbolRule::Shift(shift_rule_half_frequencies(occurrences)),
-            SymbolClass::Gates { occurrences, .. } => SymbolRule::Shift(shift_rule(occurrences)),
+            } => SymbolRule::Shift(shift_rule_half_frequencies(*occurrences)),
+            SymbolClass::Gates { occurrences, .. } => SymbolRule::Shift(shift_rule(*occurrences)),
         })
         .collect()
 }

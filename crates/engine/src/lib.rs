@@ -66,8 +66,8 @@ pub use backend::{
 };
 pub use cache::{ArtifactCache, CacheOptions};
 pub use facade::{Engine, EngineOptions};
-pub use gradient::{GradientPoint, GradientResult, GradientSpec, FD_STEP};
-pub use planner::{Candidate, Plan, PlanExplanation, PlanHint, Planner};
+pub use gradient::{GradientMethod, GradientPoint, GradientResult, GradientSpec, FD_STEP};
+pub use planner::{Candidate, KcCalibration, Plan, PlanExplanation, PlanHint, Planner};
 pub use stats::{CacheStats, CircuitStats};
 pub use sweep::{SweepExecutor, SweepPoint, SweepSpec, DEFAULT_BATCH};
 pub use variational::{

@@ -16,6 +16,30 @@ pub enum PlanHint {
     ParameterSweep,
 }
 
+/// Measured figures for the knowledge-compilation candidate, lifted from
+/// a cache-resident compiled artifact
+/// ([`ArtifactCache::resident_metrics`](crate::ArtifactCache::resident_metrics)).
+/// When present, the planner scores the KC candidate from what the
+/// compiler actually produced — the exact tape footprint and the measured
+/// compile wall time — instead of the treewidth proxy.
+#[derive(Debug, Clone)]
+pub struct KcCalibration {
+    /// Exact resident size of the compiled execution tape in bytes.
+    pub ac_size_bytes: usize,
+    /// Measured wall-clock seconds the compilation took (all stages).
+    pub compile_seconds: f64,
+}
+
+impl KcCalibration {
+    /// Calibration figures from a compiled artifact's pipeline metrics.
+    pub fn from_metrics(metrics: &qkc_core::PipelineMetrics) -> Self {
+        Self {
+            ac_size_bytes: metrics.ac_size_bytes,
+            compile_seconds: metrics.compile_seconds,
+        }
+    }
+}
+
 /// A backend decision with its inputs and justification.
 #[derive(Debug, Clone)]
 pub struct Plan {
@@ -157,6 +181,22 @@ impl Planner {
 
     /// Plans a backend for `circuit` under `hint`.
     pub fn plan(&self, circuit: &Circuit, hint: PlanHint) -> Plan {
+        self.plan_calibrated(circuit, hint, None)
+    }
+
+    /// Plans a backend with optional measured calibration for the KC
+    /// candidate. `calibration` carries figures from an already-compiled,
+    /// cache-resident artifact of this structure; when present and the
+    /// decision lands on knowledge compilation, the justification cites
+    /// the measured tape size and compile time instead of leaving the
+    /// caller with the treewidth proxy. `None` reproduces
+    /// [`Planner::plan`] exactly.
+    pub fn plan_calibrated(
+        &self,
+        circuit: &Circuit,
+        hint: PlanHint,
+        calibration: Option<&KcCalibration>,
+    ) -> Plan {
         let stats = CircuitStats::of(circuit);
         qkc_telemetry::count("planner/plan", 1);
         if let Some(backend) = self.force {
@@ -167,7 +207,17 @@ impl Planner {
                 reason: "forced by caller override".to_string(),
             };
         }
-        let (backend, reason) = self.decide(&stats, hint);
+        let (backend, mut reason) = self.decide(&stats, hint);
+        if backend == BackendKind::KnowledgeCompilation {
+            if let Some(cal) = calibration {
+                qkc_telemetry::count("planner/calibrated", 1);
+                reason.push_str(&format!(
+                    "; calibrated: artifact is cache-resident ({} B tape, compiled in {:.3}s \
+                     — re-binds pay no compile cost)",
+                    cal.ac_size_bytes, cal.compile_seconds
+                ));
+            }
+        }
         qkc_telemetry::count(chosen_path(backend), 1);
         Plan {
             backend,
@@ -183,22 +233,61 @@ impl Planner {
     /// estimates are the raw material the planner-calibration work fits
     /// measured phase times against.
     pub fn explain(&self, circuit: &Circuit, hint: PlanHint) -> PlanExplanation {
+        self.explain_calibrated(circuit, hint, None)
+    }
+
+    /// [`Planner::explain`] with optional measured calibration: when a
+    /// compiled artifact of this structure is cache-resident, the KC
+    /// candidate is scored from its **exact** tape footprint and measured
+    /// compile seconds instead of the treewidth proxy (the other
+    /// candidates keep their static estimates — nothing measured exists
+    /// for backends that never ran). `None` reproduces
+    /// [`Planner::explain`] exactly.
+    pub fn explain_calibrated(
+        &self,
+        circuit: &Circuit,
+        hint: PlanHint,
+        calibration: Option<&KcCalibration>,
+    ) -> PlanExplanation {
         let _span = qkc_telemetry::span("planner/explain");
-        let plan = self.plan(circuit, hint);
+        let plan = self.plan_calibrated(circuit, hint, calibration);
         let s = &plan.stats;
         let n = s.num_qubits as f64;
         let enumerable = s.log2_noise_branches <= self.max_exact_log2_branches;
+        let branch_cost = s.log2_noise_branches.min(self.max_exact_log2_branches);
 
         // Feasibility mirrors the decide() thresholds; est_log2_cost is the
-        // exponent of each backend's dominant memory/time term.
-        let candidates = vec![
-            Candidate {
+        // exponent of each backend's dominant memory/time term. The KC
+        // candidate upgrades from the treewidth proxy to measured figures
+        // when a compiled artifact is resident.
+        let kc_candidate = match calibration {
+            Some(cal) => Candidate {
+                backend: BackendKind::KnowledgeCompilation,
+                feasible: true,
+                // The dominant per-query term is one traversal of the
+                // resident tape (times the enumerable branch factor) — an
+                // exact byte count, not a width guess.
+                est_log2_cost: (cal.ac_size_bytes.max(1) as f64).log2() + branch_cost,
+                verdict: if enumerable {
+                    format!(
+                        "measured: {} B tape resident (compiled once in {:.3}s), exact \
+                         reconstruction over 2^{:.0} branches",
+                        cal.ac_size_bytes, cal.compile_seconds, s.log2_noise_branches
+                    )
+                } else {
+                    format!(
+                        "measured: {} B tape resident (compiled once in {:.3}s), Gibbs \
+                         sampling past the 2^{:.0} branch budget",
+                        cal.ac_size_bytes, cal.compile_seconds, self.max_exact_log2_branches
+                    )
+                },
+            },
+            None => Candidate {
                 backend: BackendKind::KnowledgeCompilation,
                 // Always applicable: exact when branches are enumerable,
                 // Gibbs sampling beyond.
                 feasible: true,
-                est_log2_cost: s.treewidth_proxy as f64
-                    + s.log2_noise_branches.min(self.max_exact_log2_branches),
+                est_log2_cost: s.treewidth_proxy as f64 + branch_cost,
                 verdict: if enumerable {
                     format!(
                         "compile ~2^{} (treewidth proxy), exact reconstruction over 2^{:.0} branches",
@@ -211,6 +300,9 @@ impl Planner {
                     )
                 },
             },
+        };
+        let candidates = vec![
+            kc_candidate,
             Candidate {
                 backend: BackendKind::StateVector,
                 feasible: !s.is_noisy() && s.num_qubits <= self.max_state_vector_qubits,
@@ -434,6 +526,39 @@ mod tests {
                 assert!(explain.render().contains("chosen:"));
             }
         }
+    }
+
+    #[test]
+    fn calibration_rescores_the_kc_candidate_from_measured_figures() {
+        let planner = Planner::new();
+        let circuit = ring(30);
+        let cal = KcCalibration {
+            ac_size_bytes: 4096,
+            compile_seconds: 0.125,
+        };
+        let hint = PlanHint::ParameterSweep;
+        let uncal = planner.explain(&circuit, hint);
+        let caled = planner.explain_calibrated(&circuit, hint, Some(&cal));
+        assert_eq!(caled.chosen, uncal.chosen, "calibration rescore only");
+        let kc = |e: &PlanExplanation| {
+            e.candidates
+                .iter()
+                .find(|c| c.backend == BackendKind::KnowledgeCompilation)
+                .cloned()
+                .expect("kc candidate")
+        };
+        assert!((kc(&caled).est_log2_cost - 12.0).abs() < 1e-9, "log2(4096)");
+        assert!(kc(&caled).verdict.contains("measured"), "{}", kc(&caled).verdict);
+        assert!(!kc(&uncal).verdict.contains("measured"));
+        // The plan's justification cites the measured artifact — appended,
+        // so every uncalibrated reason phrase survives.
+        let plan = planner.plan_calibrated(&circuit, hint, Some(&cal));
+        assert!(plan.reason.contains("compile once"), "{}", plan.reason);
+        assert!(plan.reason.contains("calibrated"), "{}", plan.reason);
+        // Non-KC decisions ignore the calibration entirely.
+        let sv = planner.plan_calibrated(&ring(8), PlanHint::SingleShot, Some(&cal));
+        assert_eq!(sv.backend, BackendKind::StateVector);
+        assert!(!sv.reason.contains("calibrated"));
     }
 
     #[test]

@@ -514,7 +514,7 @@ mod tests {
     #[test]
     fn gradient_loop_finds_the_minimum_with_adam() {
         // Minimize P(|1>) of Rx(theta)|0> = sin²(θ/2) by exact
-        // parameter-shift gradients: optimum at θ = 0 (mod 2π).
+        // analytic gradients: optimum at θ = 0 (mod 2π).
         let engine = Engine::new();
         let mut c = Circuit::new(1);
         c.rx(0, Param::symbol("theta"));
@@ -535,9 +535,11 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(result.all_exact, "parameter-shift gradients are exact");
+        assert!(result.all_exact, "analytic gradients are exact");
         assert!(result.optim.value < 1e-4, "value {}", result.optim.value);
-        assert!(result.engine_evaluations >= 3 * result.optim.iterations);
+        // One tape evaluation per gradient query on the analytic path,
+        // regardless of parameter count.
+        assert!(result.engine_evaluations >= result.optim.iterations);
         assert_eq!(engine.cache().misses(), 1, "one compile for the whole run");
     }
 

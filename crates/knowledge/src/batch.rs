@@ -52,6 +52,16 @@ impl AcWeightsBatch {
         }
     }
 
+    /// All-zeros weights over `num_vars` variables and `lanes` bindings —
+    /// the starting point for per-lane tangent vectors (see
+    /// [`AcWeights::zeros`](crate::AcWeights::zeros)).
+    pub fn zeros(num_vars: usize, lanes: usize) -> Self {
+        Self {
+            w: vec![C_ZERO; 2 * (num_vars + 1) * lanes],
+            lanes,
+        }
+    }
+
     /// Number of lanes (bindings) per variable.
     pub fn lanes(&self) -> usize {
         self.lanes
@@ -305,32 +315,33 @@ pub fn evaluate_with_differentials_batch(
                 }
                 p.clear();
                 p.extend_from_slice(p_row);
-                // prefix[c][l] = Π_{j<c} v_j[l]; then sweep suffix from the
-                // right, exactly as the scalar kernel.
+                // prefix[c][l] here holds the SUFFIX Π_{j>c} v_j[l], stashed
+                // from the right; the forward sweep then carries
+                // pq = p·Π_{j<c} v_j in `acc`, exactly as the scalar kernel.
                 prefix.clear();
                 prefix.resize(cs.len() * k, C_ONE);
-                acc.fill(C_ONE);
-                for (ci, &c) in cs.iter().enumerate() {
-                    prefix[ci * k..ci * k + k].copy_from_slice(&acc);
-                    let child = &values[c as usize * k..c as usize * k + k];
-                    for (a, &v) in acc.iter_mut().zip(child) {
-                        *a *= v;
-                    }
-                }
                 suffix.fill(C_ONE);
                 for (ci, &c) in cs.iter().enumerate().rev() {
+                    prefix[ci * k..ci * k + k].copy_from_slice(&suffix);
+                    let child = &values[c as usize * k..c as usize * k + k];
+                    for (s, &v) in suffix.iter_mut().zip(child) {
+                        *s *= v;
+                    }
+                }
+                acc[..k].copy_from_slice(&p);
+                for (ci, &c) in cs.iter().enumerate() {
                     let crow = c as usize * k;
                     for l in 0..k {
                         // Scalar kernel skips whole nodes whose partial is
                         // zero; the per-lane analogue keeps each lane's
                         // accumulation sequence (and so its bits) identical.
                         if p[l] != C_ZERO {
-                            partials[crow + l] += p[l] * prefix[ci * k + l] * suffix[l];
+                            partials[crow + l] += acc[l] * prefix[ci * k + l];
                         }
                     }
                     let child = &values[crow..crow + k];
-                    for (s, &v) in suffix.iter_mut().zip(child) {
-                        *s *= v;
+                    for (a, &v) in acc.iter_mut().zip(child) {
+                        *a *= v;
                     }
                 }
             }

@@ -35,6 +35,15 @@ impl AcWeights {
         }
     }
 
+    /// All-zeros weights over `num_vars` variables — the natural starting
+    /// point for *tangent* vectors `d(weight)/dθ`, which are zero except at
+    /// the parameter variables a symbol actually drives.
+    pub fn zeros(num_vars: usize) -> Self {
+        Self {
+            w: vec![C_ZERO; 2 * (num_vars + 1)],
+        }
+    }
+
     /// The interleaved storage slot of a literal: `2v` for `+v`, `2v+1`
     /// for `-v`.
     #[inline]
@@ -178,18 +187,20 @@ pub fn evaluate_with_differentials(nnf: &Nnf, weights: &AcWeights) -> Differenti
         }
         match node {
             NnfNode::And(cs) => {
-                // prefix[k] = Π_{j<k} v_j ; then sweep suffix from the right.
+                // scratch[k] = Π_{j>k} v_j stashed from the right; then a
+                // forward sweep carries pq = p·Π_{j<k} v_j so each child's
+                // contribution pq·scratch[k] costs a single multiply.
                 scratch.clear();
-                scratch.reserve(cs.len());
-                let mut acc = C_ONE;
-                for &c in cs.iter() {
-                    scratch.push(acc);
-                    acc *= values[c as usize];
-                }
+                scratch.resize(cs.len(), C_ONE);
                 let mut suffix = C_ONE;
                 for (k, &c) in cs.iter().enumerate().rev() {
-                    partials[c as usize] += p * scratch[k] * suffix;
+                    scratch[k] = suffix;
                     suffix *= values[c as usize];
+                }
+                let mut pq = p;
+                for (k, &c) in cs.iter().enumerate() {
+                    partials[c as usize] += pq * scratch[k];
+                    pq *= values[c as usize];
                 }
             }
             NnfNode::Or(a, b) => {

@@ -59,7 +59,8 @@ pub use gibbs::{GibbsOptions, GibbsSampler, QueryVar};
 pub use nnf::{Nnf, NnfBuilder, NnfId, NnfNode};
 pub use order::{compute_ranks, compute_ranks_balanced, VarOrder, DEFAULT_SEPARATOR_BALANCE};
 pub use tape::{
-    fnv1a as wire_checksum, AcTape, TapeDecodeError, TapeDifferentials, TapeEvaluator, TapeId,
-    TapeOp, TapeOpKind, WIRE_VERSION as TAPE_WIRE_VERSION,
+    fnv1a as wire_checksum, AcTape, DiffCone, TangentPlan, TangentPlanBatch, TapeDecodeError,
+    TapeDifferentials, TapeEvaluator, TapeId, TapeOp, TapeOpKind,
+    WIRE_VERSION as TAPE_WIRE_VERSION,
 };
 pub use transform::{project_out, smooth};

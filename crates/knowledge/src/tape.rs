@@ -767,6 +767,10 @@ enum ValuesMode {
     /// ([`TapeEvaluator::evaluate_batch`]); valid for batch delta passes
     /// with the same lane count.
     BatchEvaluate,
+    /// Lane-strided full-product upward values (the batch differential
+    /// passes); valid for batch differential delta passes with the same
+    /// lane count.
+    BatchDiffUpward,
 }
 
 impl TapeEvaluator {
@@ -948,6 +952,14 @@ impl TapeEvaluator {
     /// multiplications by exact one). Zero allocations after warmup.
     pub fn differentials(&mut self, tape: &AcTape, weights: &AcWeights) -> Complex {
         tape.check_weights(weights.num_slots());
+        self.upward_full_products(tape, weights);
+        self.downward(tape)
+    }
+
+    /// The full-product upward half shared by the differential passes:
+    /// fills `values` with every slot's value (no AND short-circuit) and
+    /// flags the buffer for delta reuse.
+    fn upward_full_products(&mut self, tape: &AcTape, weights: &AcWeights) {
         let n = tape.ops.len();
         self.ensure_values(n);
         let values = &mut self.values[..n];
@@ -972,7 +984,6 @@ impl TapeEvaluator {
         self.values_mode = ValuesMode::DiffUpward;
         self.values_stamp = tape.stamp;
         self.value_lanes = 1;
-        self.downward(tape)
     }
 
     /// [`differentials`](TapeEvaluator::differentials) when only the
@@ -1001,6 +1012,128 @@ impl TapeEvaluator {
         self.downward(tape)
     }
 
+    /// [`differentials`](TapeEvaluator::differentials) with the downward
+    /// half restricted to a precomputed ancestor cone: partials at every
+    /// cone slot (in particular the cone's seed slots) are bit-for-bit the
+    /// full pass's, while the often much larger rest of the tape is never
+    /// visited. Slots *outside* the cone keep stale partials — read the
+    /// result only through plans whose slots seeded the cone
+    /// ([`contract_tangent`](TapeEvaluator::contract_tangent)); the general
+    /// [`wrt_lit`](TapeEvaluator::wrt_lit) /
+    /// [`take_differentials`](TapeEvaluator::take_differentials) accessors
+    /// require a full pass.
+    pub fn differentials_cone(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeights,
+        cone: &DiffCone,
+    ) -> Complex {
+        tape.check_weights(weights.num_slots());
+        self.upward_full_products(tape, weights);
+        self.downward_cone(tape, cone)
+    }
+
+    /// [`differentials_delta`](TapeEvaluator::differentials_delta) with the
+    /// downward half restricted to `cone` — the analytic-gradient hot loop.
+    /// A Gray-adjacent evidence flip pays one dirty-cone upward delta plus
+    /// one downward sweep over the tangent literals' ancestors, instead of
+    /// two full tape scans. Same partials-validity caveat as
+    /// [`differentials_cone`](TapeEvaluator::differentials_cone); same
+    /// full-pass fallback as
+    /// [`differentials_delta`](TapeEvaluator::differentials_delta).
+    pub fn differentials_cone_delta(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeights,
+        changed_vars: &[u32],
+        cone: &DiffCone,
+    ) -> Complex {
+        if self.values_mode != ValuesMode::DiffUpward || self.values_stamp != tape.stamp {
+            return self.differentials_cone(tape, weights, cone);
+        }
+        tape.check_weights(weights.num_slots());
+        self.delta_update(tape, weights, changed_vars, true);
+        self.downward_cone(tape, cone)
+    }
+
+    /// The downward sweep restricted to an ancestor cone. Every parent of
+    /// a cone slot is itself a cone slot (the cone is an ancestor
+    /// closure), so each cone slot receives exactly the contributions the
+    /// full sweep gives it — same descending order, same zero-partial
+    /// skip, same per-node multiplication sequence — and its partial is
+    /// bit-for-bit the full sweep's.
+    fn downward_cone(&mut self, tape: &AcTape, cone: &DiffCone) -> Complex {
+        debug_assert_eq!(cone.stamp, tape.stamp, "cone built for a different tape");
+        let n = tape.ops.len();
+        let values = &self.values[..n];
+        if self.partials.len() < n {
+            self.partials.resize(n, C_ZERO);
+        }
+        self.partial_lanes = 1;
+        let partials = &mut self.partials[..n];
+        for &s in &cone.slots {
+            partials[s as usize] = C_ZERO;
+        }
+        if cone.slots.is_empty() {
+            return values[tape.root as usize];
+        }
+        partials[tape.root as usize] = C_ONE;
+        for &slot in cone.slots.iter().rev() {
+            let i = slot as usize;
+            let p = partials[i];
+            if p == C_ZERO {
+                continue;
+            }
+            let op = tape.ops[i];
+            match op.kind {
+                TapeOpKind::And2 => {
+                    let va = values[op.a as usize];
+                    let vb = values[op.b as usize];
+                    if cone.member[op.a as usize] {
+                        partials[op.a as usize] += p * (C_ONE * vb);
+                    }
+                    if cone.member[op.b as usize] {
+                        partials[op.b as usize] += (p * va) * C_ONE;
+                    }
+                }
+                TapeOpKind::And => {
+                    let cs = &tape.edges[op.a as usize..op.b as usize];
+                    // Stash the suffix from the right; the forward sweep
+                    // then carries pq = p·(prefix product) so each member
+                    // contribution costs a single multiply.
+                    self.prefix.clear();
+                    self.prefix.resize(cs.len(), C_ONE);
+                    // The suffix accumulates over every child (the product
+                    // sequence must match the full sweep's); only the adds
+                    // into non-cone children are skipped — they can never
+                    // flow back into a cone slot.
+                    let mut suffix = C_ONE;
+                    for (k, &c) in cs.iter().enumerate().rev() {
+                        self.prefix[k] = suffix;
+                        suffix *= values[c as usize];
+                    }
+                    let mut pq = p;
+                    for (k, &c) in cs.iter().enumerate() {
+                        if cone.member[c as usize] {
+                            partials[c as usize] += pq * self.prefix[k];
+                        }
+                        pq *= values[c as usize];
+                    }
+                }
+                TapeOpKind::Or => {
+                    if cone.member[op.a as usize] {
+                        partials[op.a as usize] += p;
+                    }
+                    if cone.member[op.b as usize] {
+                        partials[op.b as usize] += p;
+                    }
+                }
+                _ => {}
+            }
+        }
+        values[tape.root as usize]
+    }
+
     /// The downward (partial-derivative) sweep over the current
     /// full-product `values` buffer. Returns the root value.
     fn downward(&mut self, tape: &AcTape) -> Complex {
@@ -1020,29 +1153,31 @@ impl TapeEvaluator {
             }
             match op.kind {
                 TapeOpKind::And2 => {
-                    // The reference prefix/suffix sweep unrolled for two
+                    // The reference suffix-stash/pq sweep unrolled for two
                     // children, keeping its exact multiplication sequence:
-                    // prefix = [1, 1·v₀], suffix starts 1.
+                    // suffix stash = [1·v₁, 1], pq = p then p·v₀.
                     let va = values[op.a as usize];
                     let vb = values[op.b as usize];
-                    partials[op.b as usize] += p * (C_ONE * va) * C_ONE;
-                    partials[op.a as usize] += p * C_ONE * (C_ONE * vb);
+                    partials[op.a as usize] += p * (C_ONE * vb);
+                    partials[op.b as usize] += (p * va) * C_ONE;
                 }
                 TapeOpKind::And => {
                     let cs = &tape.edges[op.a as usize..op.b as usize];
-                    // prefix[k] = Π_{j<k} v_j ; then sweep suffix from the
-                    // right (exact with zero children — no divisions).
+                    // Stash the suffix Π_{j>k} v_j from the right; the
+                    // forward sweep then carries pq = p·Π_{j<k} v_j so each
+                    // child's contribution pq·suffix[k] costs a single
+                    // multiply (exact with zero children — no divisions).
                     self.prefix.clear();
-                    self.prefix.reserve(cs.len());
-                    let mut acc = C_ONE;
-                    for &c in cs {
-                        self.prefix.push(acc);
-                        acc *= values[c as usize];
-                    }
+                    self.prefix.resize(cs.len(), C_ONE);
                     let mut suffix = C_ONE;
                     for (k, &c) in cs.iter().enumerate().rev() {
-                        partials[c as usize] += p * self.prefix[k] * suffix;
+                        self.prefix[k] = suffix;
                         suffix *= values[c as usize];
+                    }
+                    let mut pq = p;
+                    for (k, &c) in cs.iter().enumerate() {
+                        partials[c as usize] += pq * self.prefix[k];
+                        pq *= values[c as usize];
                     }
                 }
                 TapeOpKind::Or => {
@@ -1159,7 +1294,7 @@ impl TapeEvaluator {
             return self.evaluate_batch(tape, weights);
         }
         tape.check_weights(weights.num_slots());
-        self.delta_update_batch(tape, weights, changed_vars, k);
+        self.delta_update_batch(tape, weights, changed_vars, k, false);
         let root = tape.root as usize * k;
         &self.values[root..root + k]
     }
@@ -1167,13 +1302,16 @@ impl TapeEvaluator {
     /// The batched analogue of [`delta_update`](TapeEvaluator::delta_update):
     /// one ascending flag-scan sweep recomputing dirty slot *rows* (all `k`
     /// lanes) with a single decode each, propagating to parents when any
-    /// lane's bits changed.
+    /// lane's bits changed. `full_products` selects the differential
+    /// passes' no-short-circuit AND arithmetic, exactly as in the scalar
+    /// kernel.
     fn delta_update_batch(
         &mut self,
         tape: &AcTape,
         weights: &AcWeightsBatch,
         changed_vars: &[u32],
         k: usize,
+        full_products: bool,
     ) {
         let n = tape.ops.len();
         if self.queued.len() < n {
@@ -1219,7 +1357,7 @@ impl TapeEvaluator {
                         let brow = &values[op.b as usize * k..op.b as usize * k + k];
                         for (acc, (&x, &y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
                             let mut v = C_ONE * x;
-                            if v != C_ZERO {
+                            if full_products || v != C_ZERO {
                                 v *= y;
                             }
                             *acc = v;
@@ -1228,12 +1366,12 @@ impl TapeEvaluator {
                     TapeOpKind::And => {
                         out.fill(C_ONE);
                         for &c in &tape.edges[op.a as usize..op.b as usize] {
-                            if out.iter().all(|a| *a == C_ZERO) {
+                            if !full_products && out.iter().all(|a| *a == C_ZERO) {
                                 break;
                             }
                             let child = &values[c as usize * k..c as usize * k + k];
                             for (acc, &v) in out.iter_mut().zip(child) {
-                                if *acc != C_ZERO {
+                                if full_products || *acc != C_ZERO {
                                     *acc *= v;
                                 }
                             }
@@ -1272,15 +1410,25 @@ impl TapeEvaluator {
     /// [`wrt_lit_lane`](TapeEvaluator::wrt_lit_lane).
     pub fn differentials_batch(&mut self, tape: &AcTape, weights: &AcWeightsBatch) {
         let k = weights.lanes();
-        let n = tape.ops.len();
         self.partial_lanes = k;
         self.value_lanes = k;
         if k == 0 {
             return;
         }
         tape.check_weights(weights.num_slots());
+        self.upward_full_products_batch(tape, weights, k);
+        self.downward_batch(tape, k);
+    }
+
+    /// The lane-strided full-product upward half shared by the batch
+    /// differential passes; flags the buffer for batch differential delta
+    /// reuse.
+    fn upward_full_products_batch(&mut self, tape: &AcTape, weights: &AcWeightsBatch, k: usize) {
+        let n = tape.ops.len();
         self.ensure_values(n * k);
-        self.values_mode = ValuesMode::Invalid;
+        self.value_lanes = k;
+        self.values_mode = ValuesMode::BatchDiffUpward;
+        self.values_stamp = tape.stamp;
         let values = &mut self.values[..n * k];
         for (i, op) in tape.ops.iter().enumerate() {
             let row = i * k;
@@ -1314,9 +1462,17 @@ impl TapeEvaluator {
                 }
             }
         }
+    }
+
+    /// The full-tape batch downward sweep over the current lane-strided
+    /// full-product `values` buffer.
+    fn downward_batch(&mut self, tape: &AcTape, k: usize) {
+        let n = tape.ops.len();
+        let values = &self.values[..n * k];
         if self.partials.len() < n * k {
             self.partials.resize(n * k, C_ZERO);
         }
+        self.partial_lanes = k;
         let partials = &mut self.partials[..n * k];
         partials.fill(C_ZERO);
         let root_row = tape.root as usize * k;
@@ -1341,30 +1497,32 @@ impl TapeEvaluator {
                     } else {
                         &tape.edges[op.a as usize..op.b as usize]
                     };
+                    // `prefix` stashes the SUFFIX Π_{j>c} v_j from the
+                    // right; the forward sweep carries pq = p·Π_{j<c} v_j
+                    // in `acc`, exactly as the scalar kernel.
                     self.prefix.clear();
                     self.prefix.resize(cs.len() * k, C_ONE);
-                    self.acc.fill(C_ONE);
-                    for (ci, &c) in cs.iter().enumerate() {
-                        self.prefix[ci * k..ci * k + k].copy_from_slice(&self.acc);
-                        let child = &values[c as usize * k..c as usize * k + k];
-                        for (a, &v) in self.acc.iter_mut().zip(child) {
-                            *a *= v;
-                        }
-                    }
                     self.suffix.fill(C_ONE);
                     for (ci, &c) in cs.iter().enumerate().rev() {
+                        self.prefix[ci * k..ci * k + k].copy_from_slice(&self.suffix);
+                        let child = &values[c as usize * k..c as usize * k + k];
+                        for (s, &v) in self.suffix.iter_mut().zip(child) {
+                            *s *= v;
+                        }
+                    }
+                    self.acc[..k].copy_from_slice(&self.pcopy);
+                    for (ci, &c) in cs.iter().enumerate() {
                         let crow = c as usize * k;
                         for l in 0..k {
                             // Per-lane zero-partial skip keeps each lane's
                             // accumulation sequence identical to scalar.
                             if self.pcopy[l] != C_ZERO {
-                                partials[crow + l] +=
-                                    self.pcopy[l] * self.prefix[ci * k + l] * self.suffix[l];
+                                partials[crow + l] += self.acc[l] * self.prefix[ci * k + l];
                             }
                         }
                         let child = &values[crow..crow + k];
-                        for (s, &v) in self.suffix.iter_mut().zip(child) {
-                            *s *= v;
+                        for (a, &v) in self.acc.iter_mut().zip(child) {
+                            *a *= v;
                         }
                     }
                 }
@@ -1376,6 +1534,280 @@ impl TapeEvaluator {
                         if p != C_ZERO {
                             partials[arow + l] += p;
                             partials[brow + l] += p;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Batched [`differentials_cone`](TapeEvaluator::differentials_cone):
+    /// lane-strided full-product upward plus a cone-restricted batch
+    /// downward. Lane `l`'s partials at every cone slot are bit-for-bit
+    /// the scalar [`differentials_cone`](TapeEvaluator::differentials_cone)
+    /// of that lane's weights (hence bit-for-bit the full scalar
+    /// [`differentials`](TapeEvaluator::differentials) there). Read root
+    /// values through [`value_lane`](TapeEvaluator::value_lane) and
+    /// contractions through
+    /// [`contract_tangent_broadcast`](TapeEvaluator::contract_tangent_broadcast);
+    /// partials outside the cone are stale.
+    ///
+    /// This is the analytic-gradient throughput kernel: lanes are
+    /// *evidence assignments* (basis states) sharing one parameter
+    /// binding, so the per-slot sweep overhead — the reason a scalar
+    /// downward pass per basis state cannot beat the delta-batched
+    /// parameter-shift path — is paid once per `k` states.
+    pub fn differentials_cone_batch(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeightsBatch,
+        cone: &DiffCone,
+    ) {
+        let k = weights.lanes();
+        self.partial_lanes = k;
+        self.value_lanes = k;
+        if k == 0 {
+            return;
+        }
+        tape.check_weights(weights.num_slots());
+        self.upward_full_products_batch(tape, weights, k);
+        self.downward_cone_batch(tape, cone, k);
+    }
+
+    /// [`differentials_cone_batch`](TapeEvaluator::differentials_cone_batch)
+    /// when only the weights of `changed_vars` differ (in any lane) from
+    /// this evaluator's previous batch differential pass on the same tape:
+    /// the upward half updates just the dirty rows. Falls back to the full
+    /// pass when the cached buffer is unusable. Bit-for-bit equal, lane by
+    /// lane, to the full pass.
+    pub fn differentials_cone_batch_delta(
+        &mut self,
+        tape: &AcTape,
+        weights: &AcWeightsBatch,
+        changed_vars: &[u32],
+        cone: &DiffCone,
+    ) {
+        let k = weights.lanes();
+        if k == 0 {
+            self.partial_lanes = 0;
+            self.value_lanes = 0;
+            return;
+        }
+        if self.values_mode != ValuesMode::BatchDiffUpward
+            || self.values_stamp != tape.stamp
+            || self.value_lanes != k
+        {
+            return self.differentials_cone_batch(tape, weights, cone);
+        }
+        tape.check_weights(weights.num_slots());
+        self.partial_lanes = k;
+        self.delta_update_batch(tape, weights, changed_vars, k, true);
+        self.downward_cone_batch(tape, cone, k);
+    }
+
+    /// Hints the CPU to start pulling the `k`-lane row at
+    /// `buf[at..at + k]` — the batched downward sweeps are latency-bound
+    /// on scattered row fetches (a few hundred cycles of stall against a
+    /// couple hundred cycles of arithmetic per slot), so the hint is nearly
+    /// free and hides most of the miss. No-op off x86_64.
+    #[inline(always)]
+    fn prefetch_row(buf: &[Complex], at: usize, k: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Touch only the first two cache lines (4 complexes each); the
+            // in-row access pattern is sequential, so the hardware stream
+            // prefetcher covers the rest. Requesting every line of every
+            // row of a wide product node floods the load queue and evicts
+            // live data — measurably slower than under-prefetching.
+            let end = (at + k).min(buf.len());
+            let mut off = at;
+            let stop = (at + 8).min(end);
+            while off < stop {
+                // SAFETY: `off` is in bounds; prefetch reads nothing
+                // architecturally and has no side effects beyond the cache.
+                unsafe {
+                    core::arch::x86_64::_mm_prefetch(
+                        buf.as_ptr().add(off) as *const i8,
+                        core::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+                off += 4;
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = (buf, at, k);
+    }
+
+    /// The cone-restricted batch downward sweep: the batch analogue of
+    /// [`downward_cone`](TapeEvaluator::downward_cone). Per-lane
+    /// accumulation sequences stay identical to the scalar cone sweep
+    /// (zero-partial adds are bitwise no-ops, so the lane loops run
+    /// branchless).
+    fn downward_cone_batch(&mut self, tape: &AcTape, cone: &DiffCone, k: usize) {
+        debug_assert_eq!(cone.stamp, tape.stamp, "cone built for a different tape");
+        let n = tape.ops.len();
+        let values = &self.values[..n * k];
+        if self.partials.len() < n * k {
+            self.partials.resize(n * k, C_ZERO);
+        }
+        self.partial_lanes = k;
+        let partials = &mut self.partials[..n * k];
+        for &s in &cone.slots {
+            partials[s as usize * k..s as usize * k + k].fill(C_ZERO);
+        }
+        if cone.slots.is_empty() {
+            return;
+        }
+        let root_row = tape.root as usize * k;
+        partials[root_row..root_row + k].fill(C_ONE);
+        self.suffix.clear();
+        self.suffix.resize(k, C_ONE);
+        self.acc.clear();
+        self.acc.resize(k, C_ONE);
+        let slots = &cone.slots;
+        for idx in (0..slots.len()).rev() {
+            let i = slots[idx] as usize;
+            let row = i * k;
+            let op = tape.ops[i];
+            // The sweep is latency-bound on the scattered child rows
+            // (a few thousand slots, each touching 2+ rows far apart),
+            // so request the rows of a slot a few iterations ahead while
+            // this one computes. Pure hint: no effect on results.
+            if idx >= 8 {
+                let f = slots[idx - 8] as usize;
+                let fop = tape.ops[f];
+                match fop.kind {
+                    TapeOpKind::And2 | TapeOpKind::Or => {
+                        Self::prefetch_row(values, fop.a as usize * k, k);
+                        Self::prefetch_row(values, fop.b as usize * k, k);
+                        Self::prefetch_row(partials, fop.a as usize * k, k);
+                        Self::prefetch_row(partials, fop.b as usize * k, k);
+                        Self::prefetch_row(partials, f * k, k);
+                    }
+                    TapeOpKind::And => {
+                        for &c in &tape.edges[fop.a as usize..fop.b as usize] {
+                            Self::prefetch_row(values, c as usize * k, k);
+                            if cone.member[c as usize] {
+                                Self::prefetch_row(partials, c as usize * k, k);
+                            }
+                        }
+                        Self::prefetch_row(partials, f * k, k);
+                    }
+                    _ => {}
+                }
+            }
+            match op.kind {
+                TapeOpKind::And2 => {
+                    // Unrolled two-child form of the generic suffix-stash/pq
+                    // sweep below — the same multiplication sequence per
+                    // lane (child a sees pq = p and suffix C_ONE·vb, child b
+                    // sees pq = p·va and suffix C_ONE), so partials stay
+                    // bit-identical without the per-slot scratch-buffer
+                    // traffic. Children sit at smaller slots than their
+                    // parent, so splitting at the parent row yields
+                    // borrow-disjoint slices and the inner loops carry no
+                    // bounds checks.
+                    let arow = op.a as usize * k;
+                    let brow = op.b as usize * k;
+                    let a_in = cone.member[op.a as usize];
+                    let b_in = cone.member[op.b as usize];
+                    if !a_in && !b_in {
+                        continue;
+                    }
+                    // No zero-partial branch here: a zero `p` contributes
+                    // an exact-zero product, and accumulators never hold
+                    // -0.0 (they start at +0.0 and IEEE addition yields
+                    // +0.0 on cancellation), so the add is a bitwise
+                    // no-op — and the branchless loop vectorizes.
+                    let (head, tail) = partials.split_at_mut(row);
+                    let p_row = &tail[..k];
+                    if a_in {
+                        let vb = &values[brow..brow + k];
+                        let out = &mut head[arow..arow + k];
+                        for ((o, &p), &v) in out.iter_mut().zip(p_row).zip(vb) {
+                            *o += p * (C_ONE * v);
+                        }
+                    }
+                    if b_in {
+                        let va = &values[arow..arow + k];
+                        let out = &mut head[brow..brow + k];
+                        for ((o, &p), &v) in out.iter_mut().zip(p_row).zip(va) {
+                            *o += (p * v) * C_ONE;
+                        }
+                    }
+                }
+                TapeOpKind::And => {
+                    // Same multiplication sequence as the reference sweep,
+                    // restructured for memory behavior. A backward scan
+                    // stashes the running suffix at every child position
+                    // (the one scattered read per child row); a forward
+                    // scan then carries pq = p·(prefix product) in `acc`
+                    // and pushes `pq · suffix[ci]` — a single multiply per
+                    // member lane — re-reading the child rows while they
+                    // are still cache-hot. One arity×k stash instead of
+                    // two — the sweep is bandwidth-bound on these.
+                    // Contributions land in `head` (slots below `row`), so
+                    // `p_row` cannot change mid-slot, and the adds are
+                    // branchless like the And2 arm (zero-`p` adds are
+                    // bitwise no-ops).
+                    let (head, tail) = partials.split_at_mut(row);
+                    let p_row = &tail[..k];
+                    if p_row.iter().all(|&x| x == C_ZERO) {
+                        continue;
+                    }
+                    let cs: &[TapeId] = &tape.edges[op.a as usize..op.b as usize];
+                    // The suffix accumulates over every child (the product
+                    // sequence must match the full sweep's); only the adds
+                    // into non-cone children are skipped — they can never
+                    // flow back into a cone slot.
+                    self.prefix.clear();
+                    self.prefix.resize(cs.len() * k, C_ZERO);
+                    self.suffix.fill(C_ONE);
+                    for (ci, &c) in cs.iter().enumerate().rev() {
+                        self.prefix[ci * k..ci * k + k].copy_from_slice(&self.suffix);
+                        let child = &values[c as usize * k..c as usize * k + k];
+                        for (s, &v) in self.suffix.iter_mut().zip(child) {
+                            *s *= v;
+                        }
+                    }
+                    self.acc[..k].copy_from_slice(p_row);
+                    for (ci, &c) in cs.iter().enumerate() {
+                        let crow = c as usize * k;
+                        if cone.member[c as usize] {
+                            let out = &mut head[crow..crow + k];
+                            let suf = &self.prefix[ci * k..ci * k + k];
+                            for ((o, &pq), &s) in out.iter_mut().zip(self.acc.iter()).zip(suf) {
+                                *o += pq * s;
+                            }
+                        }
+                        let child = &values[crow..crow + k];
+                        for (a, &v) in self.acc.iter_mut().zip(child) {
+                            *a *= v;
+                        }
+                    }
+                }
+                TapeOpKind::Or => {
+                    let arow = op.a as usize * k;
+                    let brow = op.b as usize * k;
+                    let a_in = cone.member[op.a as usize];
+                    let b_in = cone.member[op.b as usize];
+                    if !a_in && !b_in {
+                        continue;
+                    }
+                    // Branchless for the same reason as the And2 arm: a
+                    // zero `p` add is a bitwise no-op on these
+                    // accumulators.
+                    let (head, tail) = partials.split_at_mut(row);
+                    let p_row = &tail[..k];
+                    if a_in {
+                        for (o, &p) in head[arow..arow + k].iter_mut().zip(p_row) {
+                            *o += p;
+                        }
+                    }
+                    if b_in {
+                        for (o, &p) in head[brow..brow + k].iter_mut().zip(p_row) {
+                            *o += p;
                         }
                     }
                 }
@@ -1396,6 +1828,78 @@ impl TapeEvaluator {
     pub fn wrt_lit_lane(&self, tape: &AcTape, lit: Lit, lane: usize) -> Option<Complex> {
         tape.lit_slot(lit)
             .map(|s| self.partials[s as usize * self.partial_lanes + lane])
+    }
+
+    /// Gradient contraction over the most recent **scalar** differentials
+    /// pass: chain-rules the per-literal partials against one symbol's
+    /// precomputed weight tangents,
+    /// `∂root/∂θ = Σ_lit ∂root/∂w(lit) · d(w(lit))/dθ`.
+    ///
+    /// This is the one-pass analytic gradient kernel: ONE upward+downward
+    /// [`differentials`](TapeEvaluator::differentials) pass serves every
+    /// parameter simultaneously — each symbol costs one call here (a short
+    /// dot product over its nonzero tangent literals), not a re-evaluation.
+    /// Zero allocations; terms accumulate in the plan's literal order, so
+    /// results are deterministic bit-for-bit.
+    #[inline]
+    pub fn contract_tangent(&self, plan: &TangentPlan) -> Complex {
+        debug_assert_eq!(self.partial_lanes, 1, "scalar read after batch pass");
+        let mut acc = C_ZERO;
+        for &(slot, t) in &plan.entries {
+            acc += self.partials[slot as usize] * t;
+        }
+        acc
+    }
+
+    /// The `k`-lane analogue of
+    /// [`contract_tangent`](TapeEvaluator::contract_tangent) over the most
+    /// recent [`differentials_batch`](TapeEvaluator::differentials_batch)
+    /// pass: writes one contracted value per lane into `out`. Lane `l` is
+    /// bit-for-bit the scalar contraction of that lane's tangents (same
+    /// nonzero-tangent skip, same literal-order accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the pass's lane count, or the
+    /// plan was built for a different lane count.
+    pub fn contract_tangent_lanes(&self, plan: &TangentPlanBatch, out: &mut [Complex]) {
+        let k = self.partial_lanes;
+        assert_eq!(plan.lanes, k, "plan lane count mismatch");
+        assert_eq!(out.len(), k, "output lane count mismatch");
+        out.fill(C_ZERO);
+        for (e, &slot) in plan.slots.iter().enumerate() {
+            let prow = &self.partials[slot as usize * k..slot as usize * k + k];
+            let trow = &plan.rows[e * k..e * k + k];
+            for ((o, &p), &t) in out.iter_mut().zip(prow).zip(trow) {
+                // Per-lane zero-tangent skip: a lane's add sequence is
+                // exactly its scalar plan's (which filters zeros out).
+                if t != C_ZERO {
+                    *o += p * t;
+                }
+            }
+        }
+    }
+
+    /// [`contract_tangent`](TapeEvaluator::contract_tangent) against the
+    /// most recent **batched** pass, broadcasting one scalar plan across
+    /// every lane — the basis-state-lane gradient loop, where lanes differ
+    /// in evidence but share the parameter binding (and therefore the
+    /// tangents). Lane `l` of `out` is bit-for-bit the scalar contraction
+    /// over that lane's partials (same plan-order accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the pass's lane count.
+    pub fn contract_tangent_broadcast(&self, plan: &TangentPlan, out: &mut [Complex]) {
+        let k = self.partial_lanes;
+        assert_eq!(out.len(), k, "output lane count mismatch");
+        out.fill(C_ZERO);
+        for &(slot, t) in &plan.entries {
+            let prow = &self.partials[slot as usize * k..slot as usize * k + k];
+            for (o, &p) in out.iter_mut().zip(prow) {
+                *o += p * t;
+            }
+        }
     }
 
     /// Magnitude pass for model sampling: fills the persistent magnitude
@@ -1569,6 +2073,174 @@ impl<'t> TapeDifferentials<'t> {
     /// The partial derivative of the root with respect to tape slot `slot`.
     pub fn wrt_slot(&self, slot: TapeId) -> Complex {
         self.partials[slot as usize]
+    }
+}
+
+/// The ancestor closure of a set of target tape slots: every slot from
+/// which some target is reachable, targets included. Partial derivatives
+/// flow strictly downward (a slot's partial is fed only by its parents),
+/// so a downward sweep restricted to this cone
+/// ([`TapeEvaluator::differentials_cone`]) produces partials at the
+/// targets bit-for-bit equal to the full sweep's — every parent of a cone
+/// member is itself a cone member, so no contribution is lost — while the
+/// rest of the tape is never cleared or visited.
+///
+/// The cone is structural: it depends only on the tape and the targets,
+/// not on weights or evidence. Gradient loops build it once per bind
+/// (targets = the union of every symbol's nonzero-tangent literal slots)
+/// and reuse it for every evidence assignment.
+#[derive(Debug, Clone)]
+pub struct DiffCone {
+    /// Cone member slots, ascending tape order.
+    slots: Vec<TapeId>,
+    /// Per-slot membership mask (`tape.num_ops()` long).
+    member: Vec<bool>,
+    /// Identity of the tape the cone was built for.
+    stamp: u64,
+}
+
+impl DiffCone {
+    /// Builds the ancestor closure of `targets` over `tape` in one
+    /// ascending sweep: a slot joins the cone when it is a target or any
+    /// of its children already has (children precede parents in tape
+    /// order). `O(ops + edges)`, once per bind.
+    pub fn new(tape: &AcTape, targets: impl IntoIterator<Item = TapeId>) -> Self {
+        let n = tape.ops.len();
+        let mut member = vec![false; n];
+        let mut any = false;
+        for t in targets {
+            member[t as usize] = true;
+            any = true;
+        }
+        let mut slots = Vec::new();
+        if any {
+            for (i, op) in tape.ops.iter().enumerate() {
+                if !member[i] {
+                    let child_hit = match op.kind {
+                        TapeOpKind::And2 | TapeOpKind::Or => {
+                            member[op.a as usize] || member[op.b as usize]
+                        }
+                        TapeOpKind::And => tape.edges[op.a as usize..op.b as usize]
+                            .iter()
+                            .any(|&c| member[c as usize]),
+                        _ => false,
+                    };
+                    if !child_hit {
+                        continue;
+                    }
+                    member[i] = true;
+                }
+                slots.push(i as TapeId);
+            }
+            debug_assert!(
+                member[tape.root as usize],
+                "live tape slots are always root-reachable"
+            );
+        }
+        Self {
+            slots,
+            member,
+            stamp: tape.stamp,
+        }
+    }
+
+    /// Number of cone slots (the restricted sweep's work per pass).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the target set was empty — every contraction over it is
+    /// identically zero and the restricted sweep is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// A precomputed gradient-contraction plan for one symbol: the tape slot of
+/// every literal whose weight tangent `d(w(lit))/dθ` is nonzero, paired with
+/// that tangent. Tangents arrive in the same interleaved [`AcWeights`] slot
+/// layout as the weights themselves; the plan resolves literals to tape
+/// slots once — through the tape's existing literal→slot table — so each
+/// per-assignment [`TapeEvaluator::contract_tangent`] call is a dense dot
+/// product with no lookups.
+#[derive(Debug, Clone, Default)]
+pub struct TangentPlan {
+    entries: Vec<(TapeId, Complex)>,
+}
+
+impl TangentPlan {
+    /// Builds a plan from a tangent vector laid out like [`AcWeights`].
+    /// Entries follow the tape's sorted literal order, which fixes the
+    /// floating-point accumulation order of every later contraction.
+    pub fn new(tape: &AcTape, tangents: &AcWeights) -> Self {
+        let entries = tape
+            .lit_slots()
+            .iter()
+            .filter_map(|&(lit, slot)| {
+                let t = tangents.get(lit);
+                (t != C_ZERO).then_some((slot, t))
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of literals with a nonzero tangent.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The tape slots carrying a nonzero tangent, in plan order — the
+    /// seed set for a [`DiffCone`] covering this plan's contraction.
+    pub fn slots(&self) -> impl Iterator<Item = TapeId> + '_ {
+        self.entries.iter().map(|&(slot, _)| slot)
+    }
+
+    /// True when no literal carries this symbol (the contraction is zero).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The `k`-lane analogue of [`TangentPlan`]: keeps every literal whose
+/// tangent is nonzero in *any* lane, with the full `k`-lane tangent row per
+/// kept slot. Consumed by [`TapeEvaluator::contract_tangent_lanes`], whose
+/// per-lane zero-skip restores bit-identity with the scalar plan.
+#[derive(Debug, Clone, Default)]
+pub struct TangentPlanBatch {
+    slots: Vec<TapeId>,
+    rows: Vec<Complex>,
+    lanes: usize,
+}
+
+impl TangentPlanBatch {
+    /// Builds a plan from a tangent batch laid out like [`AcWeightsBatch`].
+    pub fn new(tape: &AcTape, tangents: &AcWeightsBatch) -> Self {
+        let lanes = tangents.lanes();
+        let mut slots = Vec::new();
+        let mut rows = Vec::new();
+        for &(lit, slot) in tape.lit_slots() {
+            let row = tangents.row(lit);
+            if row.iter().any(|&t| t != C_ZERO) {
+                slots.push(slot);
+                rows.extend_from_slice(row);
+            }
+        }
+        Self { slots, rows, lanes }
+    }
+
+    /// Lane count the plan was built for.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of kept slots (literals nonzero in at least one lane).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no lane carries this symbol.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
     }
 }
 
@@ -2202,5 +2874,187 @@ mod tests {
             AcTape::from_bytes(&bytes).err(),
             Some(TapeDecodeError::Malformed("child after parent"))
         );
+    }
+
+    /// Sparse random tangent vector: most slots zero, a few nonzero.
+    fn random_tangents(num_vars: usize, rng: &mut StdRng) -> AcWeights {
+        let mut t = AcWeights::zeros(num_vars);
+        for v in 1..=num_vars as u32 {
+            if rng.gen::<f64>() < 0.6 {
+                t.set(
+                    v,
+                    Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+                    C_ZERO,
+                );
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn contract_tangent_matches_directional_derivative() {
+        // ∂root/∂θ contracted from one differentials pass must match the
+        // finite difference of `evaluate` along the tangent direction:
+        // the AC is multilinear in its weights, so the FD is tight.
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..20 {
+            let w = random_weights(3, &mut rng);
+            let t = random_tangents(3, &mut rng);
+            let plan = TangentPlan::new(&tape, &t);
+            eval.differentials(&tape, &w);
+            let analytic = eval.contract_tangent(&plan);
+            // Manual chain rule straight off the partials buffer.
+            let mut manual = C_ZERO;
+            for v in 1..=3u32 {
+                for lit in [v as Lit, -(v as Lit)] {
+                    if let Some(p) = eval.wrt_lit(&tape, lit) {
+                        manual += p * t.get(lit);
+                    }
+                }
+            }
+            assert!(analytic.approx_eq(manual, 1e-12));
+            // Central finite difference along the tangent direction.
+            let h = 1e-6;
+            let shift = |s: f64| {
+                let mut ws = AcWeights::uniform(3);
+                for v in 1..=3u32 {
+                    ws.set(
+                        v,
+                        w.get(v as Lit) + t.get(v as Lit).scale(s),
+                        w.get(-(v as Lit)) + t.get(-(v as Lit)).scale(s),
+                    );
+                }
+                let mut e = TapeEvaluator::new();
+                e.evaluate(&tape, &ws)
+            };
+            let fd = (shift(h) - shift(-h)).scale(1.0 / (2.0 * h));
+            assert!(
+                analytic.approx_eq(fd, 1e-7),
+                "analytic {analytic:?} vs fd {fd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn contract_tangent_lanes_bit_identical_to_scalar() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let mut rng = StdRng::seed_from_u64(23);
+        for lanes in [4usize, 8] {
+            let mut batch_w = AcWeightsBatch::uniform(3, lanes);
+            let mut batch_t = AcWeightsBatch::zeros(3, lanes);
+            let mut scalar_w = Vec::new();
+            let mut scalar_t = Vec::new();
+            for l in 0..lanes {
+                let w = random_weights(3, &mut rng);
+                let t = random_tangents(3, &mut rng);
+                for v in 1..=3u32 {
+                    batch_w.set_lane(v, l, w.get(v as Lit), w.get(-(v as Lit)));
+                    batch_t.set_lane(v, l, t.get(v as Lit), t.get(-(v as Lit)));
+                }
+                scalar_w.push(w);
+                scalar_t.push(t);
+            }
+            let plan = TangentPlanBatch::new(&tape, &batch_t);
+            let mut eval = TapeEvaluator::new();
+            eval.differentials_batch(&tape, &batch_w);
+            let mut out = vec![C_ZERO; lanes];
+            eval.contract_tangent_lanes(&plan, &mut out);
+            for l in 0..lanes {
+                let mut se = TapeEvaluator::new();
+                se.differentials(&tape, &scalar_w[l]);
+                let sp = TangentPlan::new(&tape, &scalar_t[l]);
+                assert!(
+                    bits_eq(out[l], se.contract_tangent(&sp)),
+                    "lane {l} of {lanes} diverges from scalar"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cone_restricted_differentials_are_bit_identical_to_full() {
+        // Random CNFs, random weight/tangent draws, single-variable delta
+        // steps: the cone-restricted sweeps must contract bit-for-bit like
+        // the full sweeps — through both the fresh-evaluator (full upward)
+        // path and the delta upward path.
+        for seed in 0..10u64 {
+            let f = random_cnf(6, 9, seed);
+            let compiled = compile(&f, &CompileOptions::default());
+            let groups: Vec<Vec<i32>> = (1..=6).map(|v| vec![v, -v]).collect();
+            let nnf = smooth(&compiled.nnf, &groups);
+            let tape = AcTape::lower(&nnf);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0);
+            let t = random_tangents(6, &mut rng);
+            let plan = TangentPlan::new(&tape, &t);
+            let cone = DiffCone::new(&tape, plan.slots());
+            assert!(cone.len() <= tape.num_ops());
+            assert_eq!(cone.is_empty(), plan.is_empty());
+            let mut full = TapeEvaluator::new();
+            let mut coned = TapeEvaluator::new();
+            let mut w = random_weights(6, &mut rng);
+            let a = full.differentials(&tape, &w);
+            let b = coned.differentials_cone(&tape, &w, &cone);
+            assert!(bits_eq(a, b), "seed {seed} root (full upward)");
+            assert!(
+                bits_eq(full.contract_tangent(&plan), coned.contract_tangent(&plan)),
+                "seed {seed} contraction (full upward)"
+            );
+            for step in 0..50 {
+                // Evidence-like 0/1 weights fire the zero-partial skips.
+                let v = 1 + rng.gen_range(0..6) as u32;
+                let (pos, neg) = if rng.gen::<f64>() < 0.5 {
+                    if rng.gen::<bool>() {
+                        (C_ONE, C_ZERO)
+                    } else {
+                        (C_ZERO, C_ONE)
+                    }
+                } else {
+                    (
+                        Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+                        Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5),
+                    )
+                };
+                w.set(v, pos, neg);
+                let a = full.differentials_delta(&tape, &w, &[v]);
+                let b = coned.differentials_cone_delta(&tape, &w, &[v], &cone);
+                assert!(bits_eq(a, b), "seed {seed} step {step} root");
+                assert!(
+                    bits_eq(full.contract_tangent(&plan), coned.contract_tangent(&plan)),
+                    "seed {seed} step {step} contraction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cone_sweeps_nothing_but_keeps_the_root_value() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let cone = DiffCone::new(&tape, std::iter::empty());
+        assert!(cone.is_empty());
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = random_weights(3, &mut rng);
+        let mut eval = TapeEvaluator::new();
+        let mut reference = TapeEvaluator::new();
+        assert!(bits_eq(
+            eval.differentials_cone(&tape, &w, &cone),
+            reference.differentials(&tape, &w)
+        ));
+    }
+
+    #[test]
+    fn empty_tangent_plan_contracts_to_zero() {
+        let nnf = test_nnf();
+        let tape = AcTape::lower(&nnf);
+        let plan = TangentPlan::new(&tape, &AcWeights::zeros(3));
+        assert!(plan.is_empty());
+        let mut eval = TapeEvaluator::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        eval.differentials(&tape, &random_weights(3, &mut rng));
+        assert!(bits_eq(eval.contract_tangent(&plan), C_ZERO));
     }
 }

@@ -1,18 +1,21 @@
 //! End-to-end tests of the engine's gradient queries and gradient-based
-//! variational loops: exact parameter-shift against finite-difference
-//! references on random pure and noisy circuits, bit-for-bit determinism
-//! across thread counts and batch widths, compile-once economics across
-//! whole optimizer runs, and the QAOA-ring / VQE-Ising optimizer
-//! comparison at equal evaluation budget.
+//! variational loops: one-pass analytic gradients cross-checked against
+//! the parameter-shift rule and finite-difference references on random
+//! pure and noisy circuits, bit-for-bit determinism across thread counts
+//! and batch widths, compile-once economics across whole optimizer runs,
+//! and the QAOA-ring / VQE-Ising optimizer comparison at equal
+//! evaluation budget.
 
 use proptest::prelude::*;
 use qkc::circuit::{Circuit, Param, ParamMap};
 use qkc::engine::{
-    BackendKind, Engine, EngineOptions, GradientOptimizer, GradientSpec, VariationalConfig,
-    VariationalGradientConfig,
+    ArtifactCache, Backend, BackendKind, Engine, EngineOptions, GradientMethod, GradientOptimizer,
+    GradientSpec, KcBackend, VariationalConfig, VariationalGradientConfig,
 };
+use qkc::kc::KcOptions;
 use qkc::optim::{Adam, NelderMead, Spsa};
 use qkc::workloads::{Graph, QaoaMaxCut, VqeIsing};
+use std::sync::Arc;
 
 /// A random parameterized instruction over two shared symbols, so symbols
 /// repeat across gates and the general (order > 1) shift rule is
@@ -99,14 +102,21 @@ fn kc_engine() -> Engine {
     Engine::with_options(EngineOptions::default().with_backend(BackendKind::KnowledgeCompilation))
 }
 
+/// A KC backend pinned to the parameter-shift rule — the cross-check
+/// reference for the primary analytic path.
+fn shift_backend() -> KcBackend {
+    KcBackend::new(Arc::new(ArtifactCache::new()), KcOptions::default()).with_force_shift(true)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Parameter-shift gradients equal central finite differences on
-    /// random pure circuits — including shared symbols (rule order > 1)
-    /// and controlled rotations (half-frequency rule).
+    /// Analytic gradients agree with the parameter-shift rule (to 1e-9)
+    /// and with central finite differences on random pure circuits —
+    /// including shared symbols (rule order > 1) and controlled rotations
+    /// (half-frequency rule) — in a single tape evaluation.
     #[test]
-    fn parameter_shift_matches_finite_differences_pure(
+    fn analytic_matches_parameter_shift_and_finite_differences_pure(
         instrs in proptest::collection::vec(arb_instr(3), 1..12),
         a in -2.0..2.0f64,
         b in -2.0..2.0f64,
@@ -117,13 +127,30 @@ proptest! {
         let engine = kc_engine();
         let wrt: Vec<String> = circuit.symbols().into_iter().collect();
         let r = engine.gradient(&circuit, &params, &obs, Some(&wrt)).unwrap();
-        prop_assert!(r.exact, "pure-gate symbols must use the shift rule");
+        prop_assert!(r.exact, "gate symbols are analytically exact");
         prop_assert_eq!(r.gradient.len(), wrt.len());
+        if !wrt.is_empty() {
+            prop_assert_eq!(r.method, GradientMethod::Analytic);
+            prop_assert_eq!(r.evaluations, 1, "one pass for every parameter");
+            // Cross-check against the parameter-shift rule: two exact
+            // methods for the same derivative agree to rounding error.
+            let s = shift_backend()
+                .expectation_gradient(&circuit, &params, &obs, &wrt)
+                .unwrap();
+            prop_assert_eq!(s.method, GradientMethod::ParameterShift);
+            prop_assert!((r.value - s.value).abs() < 1e-12);
+            for (i, (an, ps)) in r.gradient.iter().zip(&s.gradient).enumerate() {
+                prop_assert!(
+                    (an - ps).abs() < 1e-9,
+                    "symbol {} ({}): analytic {} vs shift {}", i, wrt[i], an, ps
+                );
+            }
+        }
         let fd = fd_reference(&engine, &circuit, &params, &obs, &wrt);
-        for (i, (ps, fd)) in r.gradient.iter().zip(&fd).enumerate() {
+        for (i, (an, fd)) in r.gradient.iter().zip(&fd).enumerate() {
             prop_assert!(
-                (ps - fd).abs() < 1e-4,
-                "symbol {} ({}): ps {} vs fd {}", i, wrt[i], ps, fd
+                (an - fd).abs() < 1e-4,
+                "symbol {} ({}): analytic {} vs fd {}", i, wrt[i], an, fd
             );
         }
         // The value lane agrees with a plain expectation query.
@@ -131,10 +158,10 @@ proptest! {
         prop_assert!((r.value - want).abs() < 1e-12);
     }
 
-    /// Same on random noisy circuits (exact noisy expectations within the
-    /// enumeration budget).
+    /// Same three-way agreement on random noisy circuits (fixed-probability
+    /// channels; exact noisy expectations within the enumeration budget).
     #[test]
-    fn parameter_shift_matches_finite_differences_noisy(
+    fn analytic_matches_parameter_shift_and_finite_differences_noisy(
         instrs in proptest::collection::vec(arb_instr(3), 1..8),
         a in -2.0..2.0f64,
         b in -2.0..2.0f64,
@@ -146,11 +173,24 @@ proptest! {
         let wrt: Vec<String> = circuit.symbols().into_iter().collect();
         let r = engine.gradient(&circuit, &params, &obs, Some(&wrt)).unwrap();
         prop_assert!(r.exact);
+        if !wrt.is_empty() {
+            prop_assert_eq!(r.method, GradientMethod::Analytic);
+            prop_assert_eq!(r.evaluations, 1);
+            let s = shift_backend()
+                .expectation_gradient(&circuit, &params, &obs, &wrt)
+                .unwrap();
+            for (i, (an, ps)) in r.gradient.iter().zip(&s.gradient).enumerate() {
+                prop_assert!(
+                    (an - ps).abs() < 1e-9,
+                    "symbol {} ({}): analytic {} vs shift {}", i, wrt[i], an, ps
+                );
+            }
+        }
         let fd = fd_reference(&engine, &circuit, &params, &obs, &wrt);
-        for (i, (ps, fd)) in r.gradient.iter().zip(&fd).enumerate() {
+        for (i, (an, fd)) in r.gradient.iter().zip(&fd).enumerate() {
             prop_assert!(
-                (ps - fd).abs() < 1e-4,
-                "symbol {} ({}): ps {} vs fd {}", i, wrt[i], ps, fd
+                (an - fd).abs() < 1e-4,
+                "symbol {} ({}): analytic {} vs fd {}", i, wrt[i], an, fd
             );
         }
     }
@@ -185,6 +225,8 @@ proptest! {
             prop_assert_eq!(base.len(), got.len());
             for (x, y) in base.iter().zip(&got) {
                 prop_assert_eq!(x.index, y.index);
+                prop_assert_eq!(x.method, GradientMethod::Analytic);
+                prop_assert_eq!(x.method, y.method);
                 prop_assert_eq!(x.value.to_bits(), y.value.to_bits(),
                     "threads={} batch={}", threads, batch);
                 for (gx, gy) in x.gradient.iter().zip(&y.gradient) {
@@ -195,8 +237,51 @@ proptest! {
     }
 }
 
-/// One compile for a whole Adam run: every gradient query (all shifted
-/// lanes) and every value evaluation re-binds the same cached artifact.
+/// A QAOA-shaped circuit with **one** gamma shared across every ring edge
+/// and one beta across every mixer — plus a controlled rotation on the
+/// same gamma — agrees between the analytic path and the high-order
+/// parameter-shift rule to 1e-9, in one tape evaluation instead of
+/// `2·occurrences + 1`.
+#[test]
+fn shared_symbol_across_all_edges_matches_shift_rule() {
+    let n = 5;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        c.zz(q, (q + 1) % n, Param::symbol("gamma"));
+    }
+    for q in 0..n {
+        c.rx(q, Param::symbol("beta"));
+    }
+    c.crz(0, 2, Param::symbol("gamma"));
+    let params = ParamMap::from_pairs([("gamma", 0.47), ("beta", 1.13)]);
+    let obs = |bits: usize| bits.count_ones() as f64;
+    let wrt = vec!["beta".to_string(), "gamma".to_string()];
+    let engine = kc_engine();
+    let r = engine.gradient(&c, &params, &obs, Some(&wrt)).unwrap();
+    assert_eq!(r.method, GradientMethod::Analytic);
+    assert!(r.exact);
+    assert_eq!(r.evaluations, 1, "one pass regardless of symbol sharing");
+    let s = shift_backend()
+        .expectation_gradient(&c, &params, &obs, &wrt)
+        .unwrap();
+    assert_eq!(s.method, GradientMethod::ParameterShift);
+    assert!(
+        s.evaluations > 2 * wrt.len() + 1,
+        "shared symbols inflate the shift-lane count ({})",
+        s.evaluations
+    );
+    assert!((r.value - s.value).abs() < 1e-12);
+    for (i, (an, ps)) in r.gradient.iter().zip(&s.gradient).enumerate() {
+        assert!((an - ps).abs() < 1e-9, "{}: analytic {an} vs shift {ps}", wrt[i]);
+    }
+}
+
+/// One compile for a whole Adam run on the analytic gradient path: every
+/// gradient query is a single tangent-carrying bind against the same
+/// cached artifact.
 #[test]
 fn adam_run_compiles_exactly_once() {
     let qaoa = QaoaMaxCut::new(Graph::cycle(6), 1);
@@ -233,10 +318,12 @@ fn finite_difference_fallback_matches_exact_path() {
     let obs = |bits: usize| bits as f64;
     let exact = kc_engine().gradient(&c, &params, &obs, None).unwrap();
     assert!(exact.exact);
+    assert_eq!(exact.method, GradientMethod::Analytic);
     let sv_engine =
         Engine::with_options(EngineOptions::default().with_backend(BackendKind::StateVector));
     let fd = sv_engine.gradient(&c, &params, &obs, None).unwrap();
     assert!(!fd.exact, "state-vector gradients are finite differences");
+    assert_eq!(fd.method, GradientMethod::FiniteDifference);
     assert_eq!(fd.evaluations, 5);
     for (a, b) in exact.gradient.iter().zip(&fd.gradient) {
         assert!((a - b).abs() < 1e-4, "{a} vs {b}");
@@ -260,6 +347,11 @@ fn noise_symbol_components_are_finite_difference() {
     let wrt = vec!["p".to_string(), "theta".to_string()];
     let r = engine.gradient(&c, &params, &obs, Some(&wrt)).unwrap();
     assert!(!r.exact, "a noise-symbol component demotes the whole flag");
+    assert_eq!(
+        r.method,
+        GradientMethod::ParameterShift,
+        "noise symbols route the query to the shift/FD fallback"
+    );
     // P(1) = (1-p)·sin²(θ/2) + p·cos²(θ/2): both components have closed
     // forms to check against.
     let s2 = (0.9f64 / 2.0).sin().powi(2);
