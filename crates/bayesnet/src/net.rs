@@ -188,7 +188,9 @@ impl BayesNet {
                         col,
                     } => {
                         let key = (*op_index, *matrix_index);
-                        if !matrix_cache.contains_key(&key) {
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            matrix_cache.entry(key)
+                        {
                             let entry = match &self.circuit.operations()[*op_index] {
                                 Operation::Gate { gate, .. } => {
                                     let m = gate.unitary(params)?;
@@ -212,7 +214,7 @@ impl BayesNet {
                                     "weights only reference gates and noise, got {other}"
                                 ),
                             };
-                            matrix_cache.insert(key, entry);
+                            slot.insert(entry);
                         }
                         let (m, tangents) = &matrix_cache[&key];
                         ws.push(m[(*row, *col)]);

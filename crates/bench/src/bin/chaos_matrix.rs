@@ -1,0 +1,179 @@
+//! The CI chaos driver: a fixed fault-seed matrix over engine sweeps.
+//!
+//! Runs the same contract the chaos test harness (`tests/chaos.rs`)
+//! asserts, but as a standalone binary with telemetry on, so CI can
+//! archive the injected-fault and recovery counters as a JSONL artifact:
+//!
+//! * every recoverable fault storm (spill write/read/rename failures,
+//!   torn spill bytes, first-attempt worker panics) must leave the sweep
+//!   output **byte-identical** to the fault-free run, at every thread
+//!   count and batch width in the matrix;
+//! * faults that defeat recovery (panic on every attempt) must surface as
+//!   typed per-point failures with every surviving point intact.
+//!
+//! Exit code is non-zero on any contract violation. The accumulated
+//! telemetry snapshot is appended to `CHAOS_telemetry.jsonl` (override
+//! with `QKC_CHAOS_JSONL`).
+
+use qkc_bench::ResultTable;
+use qkc_circuit::{Circuit, Param, ParamMap};
+use qkc_engine::{
+    BackendKind, CacheOptions, Engine, EngineError, EngineOptions, FaultPlan, SweepSpec,
+};
+use std::path::PathBuf;
+
+const FAULT_SEEDS: [u64; 3] = [1, 7, 42];
+const THREADS: [usize; 3] = [1, 2, 4];
+const BATCHES: [usize; 2] = [1, 16];
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qkc-chaos-matrix-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn chaos_circuit() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.rx(0, Param::symbol("t"))
+        .cnot(0, 1)
+        .zz(1, 2, Param::symbol("g"))
+        .cnot(2, 3)
+        .depolarize(1, 0.02);
+    c
+}
+
+fn chaos_params(n: usize) -> Vec<ParamMap> {
+    (0..n)
+        .map(|i| ParamMap::from_pairs([("t", 0.15 + 0.1 * i as f64), ("g", 0.4 - 0.05 * i as f64)]))
+        .collect()
+}
+
+fn observable(bits: usize) -> f64 {
+    bits.count_ones() as f64 - 0.5
+}
+
+fn engine(
+    threads: usize,
+    batch: usize,
+    configure: impl FnOnce(EngineOptions) -> EngineOptions,
+) -> Engine {
+    Engine::with_options(configure(
+        EngineOptions::default()
+            .with_backend(BackendKind::KnowledgeCompilation)
+            .with_threads(threads)
+            .with_batch(batch),
+    ))
+}
+
+fn main() {
+    // Injected panics are caught and retried by the executor; keep their
+    // (expected) backtraces out of the CI log while still printing any
+    // genuine panic in full.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("fault injection:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    qkc_engine::telemetry::set_enabled(true);
+    let obs = observable;
+    let spec = SweepSpec {
+        shots: 32,
+        observable: Some(&obs),
+        keep_samples: true,
+        seed: 0xC0FFEE,
+    };
+    let params = chaos_params(12);
+    let clean = engine(1, 1, |o| o)
+        .sweep(&chaos_circuit(), &params, &spec)
+        .expect("fault-free baseline");
+
+    let mut table = ResultTable::new(
+        "Chaos matrix (recoverable fault storms; outputs vs fault-free run)",
+        &["seed", "threads", "batch", "points", "identical"],
+    );
+    let mut cells = 0usize;
+    for seed in FAULT_SEEDS {
+        let plan = FaultPlan::seeded(seed)
+            .with_spill_write_rate(0.5)
+            .with_spill_read_rate(0.5)
+            .with_spill_rename_rate(0.3)
+            .with_spill_torn_rate(0.3)
+            .with_panic_at([3, 8]);
+        for threads in THREADS {
+            for batch in BATCHES {
+                let dir = scratch_dir("cell");
+                let got = engine(threads, batch, |o| {
+                    o.with_cache(
+                        CacheOptions::default()
+                            .with_max_resident_bytes(1)
+                            .with_spill_dir(&dir),
+                    )
+                    .with_fault_plan(plan.clone())
+                })
+                .sweep(&chaos_circuit(), &params, &spec)
+                .unwrap_or_else(|e| panic!("seed={seed} threads={threads} batch={batch}: {e}"));
+                assert_eq!(
+                    clean, got,
+                    "seed={seed} threads={threads} batch={batch}: recovery changed bytes"
+                );
+                table.row(vec![
+                    seed.to_string(),
+                    threads.to_string(),
+                    batch.to_string(),
+                    got.len().to_string(),
+                    "yes".to_string(),
+                ]);
+                cells += 1;
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    table.print();
+
+    // Defeated retries: typed per-point failures, intact survivors.
+    let plan = FaultPlan::seeded(3)
+        .with_panic_at([2, 9])
+        .with_panic_every_attempt(true);
+    for threads in THREADS {
+        let report = engine(threads, 16, |o| o.with_fault_plan(plan.clone()))
+            .sweep_report(&chaos_circuit(), &params, &spec)
+            .expect("contained failures are not sweep-global errors");
+        let failed: Vec<usize> = report.failures.iter().map(|f| f.index).collect();
+        assert_eq!(failed, vec![2, 9], "threads={threads}");
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| matches!(f.error, EngineError::WorkerPanicked { .. })));
+        for point in &report.points {
+            assert_eq!(
+                Some(point),
+                clean.iter().find(|p| p.index == point.index),
+                "threads={threads}: survivor perturbed"
+            );
+        }
+    }
+    println!(
+        "\n{cells} matrix cells byte-identical under fault storms; \
+         defeated-retry sweeps degraded to typed per-point failures at \
+         every thread count."
+    );
+
+    let path =
+        std::env::var("QKC_CHAOS_JSONL").unwrap_or_else(|_| "CHAOS_telemetry.jsonl".to_string());
+    match qkc_engine::telemetry::snapshot().append_jsonl(std::path::Path::new(&path)) {
+        Ok(()) => println!("appended chaos telemetry snapshot to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

@@ -615,7 +615,9 @@ fn gradient_section(scale: &Scale) -> Vec<GradRow> {
     let mut table = ResultTable::new(
         "Gradient throughput (multi-angle QAOA, analytic vs parameter-shift vs scalar FD)"
             .to_string(),
-        &["qubits", "params", "angrad/s", "psgrad/s", "fdgrad/s", "anx"],
+        &[
+            "qubits", "params", "angrad/s", "psgrad/s", "fdgrad/s", "anx",
+        ],
     );
     let mut rows = Vec::new();
     for &n in &sizes {
@@ -644,7 +646,11 @@ fn gradient_section(scale: &Scale) -> Vec<GradRow> {
         let shift_warm = shift_backend
             .expectation_gradient(&circuit, &params, &obs, &symbols)
             .expect("shift gradient");
-        assert_eq!(shift_warm.evaluations, 2 * p + 1, "unique symbols: 2p+1 lanes");
+        assert_eq!(
+            shift_warm.evaluations,
+            2 * p + 1,
+            "unique symbols: 2p+1 lanes"
+        );
         // Interleaved best-of-N, like the sweep section: host noise cannot
         // skew one side of the ratio.
         let mut an_secs = f64::INFINITY;

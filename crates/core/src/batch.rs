@@ -443,8 +443,7 @@ impl<'a> BoundKcBatchTangents<'a> {
                         let amp = b.globals[l] * eval.value_lane(tape, l);
                         row[x] += amp.norm_sqr();
                     }
-                    for ((dp, plan), dgs) in
-                        dprobs.iter_mut().zip(&self.plans).zip(&self.dglobals)
+                    for ((dp, plan), dgs) in dprobs.iter_mut().zip(&self.plans).zip(&self.dglobals)
                     {
                         eval.contract_tangent_lanes(plan, &mut contracted);
                         for (l, row) in dp.iter_mut().enumerate() {
@@ -462,12 +461,7 @@ impl<'a> BoundKcBatchTangents<'a> {
         });
         let energies = probs
             .iter()
-            .map(|p| {
-                p.iter()
-                    .enumerate()
-                    .map(|(x, &p)| p * observable(x))
-                    .sum()
-            })
+            .map(|p| p.iter().enumerate().map(|(x, &p)| p * observable(x)).sum())
             .collect();
         let grads = (0..k)
             .map(|l| {

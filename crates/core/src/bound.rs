@@ -576,8 +576,8 @@ impl<'a> BoundKcTangents<'a> {
                         }
                         true
                     };
-                    for oi in 0..n {
-                        let bit = (gc >> opos[oi]) & 1;
+                    for (oi, &pos) in opos.iter().enumerate().take(n) {
+                        let bit = (gc >> pos) & 1;
                         x |= bit << (n - 1 - oi);
                         if !apply(&mut written[l], oi, bit) {
                             dead[l] = true;
@@ -605,8 +605,7 @@ impl<'a> BoundKcTangents<'a> {
                     raws[l] = eval.value_lane(tape, l);
                     probs[xs[l]] += (b.global * raws[l]).norm_sqr();
                 }
-                for ((dp, plan), &dg) in dprobs.iter_mut().zip(&self.plans).zip(&self.dglobals)
-                {
+                for ((dp, plan), &dg) in dprobs.iter_mut().zip(&self.plans).zip(&self.dglobals) {
                     eval.contract_tangent_broadcast(plan, &mut contracted);
                     for l in 0..k {
                         if dead[l] {
@@ -626,12 +625,7 @@ impl<'a> BoundKcTangents<'a> {
             .sum();
         let grad = dprobs
             .iter()
-            .map(|dp| {
-                dp.iter()
-                    .enumerate()
-                    .map(|(x, &d)| d * observable(x))
-                    .sum()
-            })
+            .map(|dp| dp.iter().enumerate().map(|(x, &d)| d * observable(x)).sum())
             .collect();
         (energy, grad)
     }

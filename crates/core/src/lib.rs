@@ -42,7 +42,10 @@ pub use artifact::{ArtifactDecodeError, ARTIFACT_WIRE_VERSION};
 pub use batch::{BoundKcBatch, BoundKcBatchTangents};
 pub use bound::{BoundKc, BoundKcTangents, KcSampler};
 pub use diagnose::{Explanation, Sensitivity};
-pub use pipeline::{KcOptions, KcSimulator, PhaseSeconds, PipelineMetrics, QuerySpec, ValueState};
+pub use pipeline::{
+    CompileCancelled, CompileCheckpoint, CompileError, CompilePhase, KcOptions, KcSimulator,
+    PhaseSeconds, PipelineMetrics, QuerySpec, ValueState,
+};
 
 #[cfg(test)]
 mod tests {
@@ -312,11 +315,7 @@ mod tests {
     /// Exact expectation of a diagonal observable through the ordinary
     /// (non-tangent) bind — the oracle the analytic gradient is checked
     /// against by central finite differences.
-    fn expectation_oracle(
-        sim: &KcSimulator,
-        params: &ParamMap,
-        obs: &dyn Fn(usize) -> f64,
-    ) -> f64 {
+    fn expectation_oracle(sim: &KcSimulator, params: &ParamMap, obs: &dyn Fn(usize) -> f64) -> f64 {
         sim.bind(params)
             .unwrap()
             .output_probabilities()
@@ -383,7 +382,13 @@ mod tests {
     fn batched_tangent_bind_is_bit_identical_to_scalar() {
         let c = tangent_test_circuit();
         let sim = KcSimulator::compile(&c, &KcOptions::default());
-        let obs = |x: usize| if x.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        let obs = |x: usize| {
+            if x.count_ones().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            }
+        };
         let symbols: Vec<String> = ["a", "g", "b"].iter().map(|s| s.to_string()).collect();
         let points: Vec<ParamMap> = (0..5)
             .map(|i| {

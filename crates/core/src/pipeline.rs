@@ -194,6 +194,92 @@ impl PipelineMetrics {
     }
 }
 
+/// Compile phases, in pipeline order. A [`CompileCheckpoint`] fires at the
+/// boundary *after* each phase completes — the same boundaries
+/// [`PhaseSeconds`] times — so a caller can cancel a long compile
+/// cooperatively without the pipeline ever observing a torn intermediate
+/// state. (`var_order` and `ddnnf_search` run inside one compiler call, so
+/// they share the [`CompilePhase::DdnnfSearch`] boundary.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilePhase {
+    /// Circuit → Bayesian network.
+    BnBuild,
+    /// Bayesian network → CNF (WMC encoding).
+    CnfEncode,
+    /// Unit-resolution simplification.
+    Simplify,
+    /// Variable order + exhaustive DPLL search producing the d-DNNF.
+    DdnnfSearch,
+    /// Query build + internal-variable elision + smoothing.
+    Postprocess,
+    /// d-DNNF → flat execution tape.
+    TapeLower,
+}
+
+impl CompilePhase {
+    /// Stable lowercase name (used in telemetry paths and error text).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::BnBuild => "bn_build",
+            Self::CnfEncode => "cnf_encode",
+            Self::Simplify => "simplify",
+            Self::DdnnfSearch => "ddnnf_search",
+            Self::Postprocess => "postprocess",
+            Self::TapeLower => "tape_lower",
+        }
+    }
+}
+
+/// A compile aborted by its checkpoint. Carries the boundary it stopped at
+/// and the checkpoint's stated reason; the caller that installed the
+/// checkpoint maps this back to its own richer error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileCancelled {
+    /// The last phase that completed before cancellation.
+    pub phase: CompilePhase,
+    /// Why the checkpoint cancelled (e.g. `"compile timeout 0.5s"`).
+    pub reason: String,
+}
+
+impl std::fmt::Display for CompileCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compile cancelled after phase `{}`: {}",
+            self.phase.name(),
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for CompileCancelled {}
+
+/// Error from [`KcSimulator::try_compile_checked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The CNF encoding is unsatisfiable (malformed circuit).
+    Unsat(SimplifyError),
+    /// The installed checkpoint cancelled the compile between phases.
+    Cancelled(CompileCancelled),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unsat(e) => write!(f, "{e}"),
+            Self::Cancelled(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Cooperative-cancellation hook for [`KcSimulator::try_compile_checked`]:
+/// called at each phase boundary with the phase that just finished; return
+/// `Err(reason)` to abort the compile. Deliberately `Fn` + same-thread (no
+/// `Send`/`Sync` bound) — callers capture local deadline state directly.
+pub type CompileCheckpoint<'a> = &'a dyn Fn(CompilePhase) -> Result<(), String>;
+
 /// How one value of a query variable is realized in the compiled circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValueState {
@@ -303,16 +389,45 @@ impl KcSimulator {
     ///
     /// Returns an error if the CNF is unsatisfiable (malformed circuit).
     pub fn try_compile(circuit: &Circuit, options: &KcOptions) -> Result<Self, SimplifyError> {
+        Self::try_compile_checked(circuit, options, None).map_err(|e| match e {
+            CompileError::Unsat(s) => s,
+            // No checkpoint installed → nothing can cancel.
+            CompileError::Cancelled(c) => unreachable!("cancelled without a checkpoint: {c}"),
+        })
+    }
+
+    /// [`Self::try_compile`] with a cooperative-cancellation checkpoint
+    /// fired at every phase boundary. With `checkpoint = None` this is
+    /// exactly `try_compile` (the checkpoint costs nothing on that path).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Unsat`] if the CNF is unsatisfiable;
+    /// [`CompileError::Cancelled`] if the checkpoint aborted the compile.
+    pub fn try_compile_checked(
+        circuit: &Circuit,
+        options: &KcOptions,
+        checkpoint: Option<CompileCheckpoint<'_>>,
+    ) -> Result<Self, CompileError> {
+        let check = |phase: CompilePhase| -> Result<(), CompileError> {
+            match checkpoint {
+                Some(cb) => cb(phase)
+                    .map_err(|reason| CompileError::Cancelled(CompileCancelled { phase, reason })),
+                None => Ok(()),
+            }
+        };
         let start = Instant::now();
         let bn = BayesNet::from_circuit(circuit);
         let mut phases = PhaseSeconds {
             bn_build: start.elapsed().as_secs_f64(),
             ..Default::default()
         };
+        check(CompilePhase::BnBuild)?;
 
         let t = Instant::now();
         let encoding = encode(&bn);
         phases.cnf_encode = t.elapsed().as_secs_f64();
+        check(CompilePhase::CnfEncode)?;
         let mut metrics = PipelineMetrics {
             bn_nodes: bn.num_nodes(),
             cnf_vars: encoding.cnf.num_vars(),
@@ -322,7 +437,7 @@ impl KcSimulator {
 
         let t = Instant::now();
         let (work_cnf, fixed) = if options.simplify_cnf {
-            let s = simplify(&encoding.cnf)?;
+            let s = simplify(&encoding.cnf).map_err(CompileError::Unsat)?;
             (s.cnf, s.fixed)
         } else {
             (encoding.cnf.clone(), HashMap::new())
@@ -330,6 +445,7 @@ impl KcSimulator {
         phases.simplify = t.elapsed().as_secs_f64();
         metrics.cnf_clauses_simplified = work_cnf.num_clauses();
         metrics.fixed_vars = fixed.len();
+        check(CompilePhase::Simplify)?;
 
         let compiled = compile(
             &work_cnf,
@@ -343,6 +459,7 @@ impl KcSimulator {
         phases.ddnnf_search = compiled.stats.search_seconds;
         metrics.nnf_nodes_raw = compiled.nnf.num_nodes();
         metrics.compile_stats = compiled.stats;
+        check(CompilePhase::DdnnfSearch)?;
 
         let t = Instant::now();
         // Build the query specification before transforming the circuit.
@@ -379,12 +496,14 @@ impl KcSimulator {
             .collect();
         let nnf = smooth(&nnf, &groups);
         phases.postprocess = t.elapsed().as_secs_f64();
+        check(CompilePhase::Postprocess)?;
 
         // Lower once into the flat execution tape; every bind/query kernel
         // runs on it from here on.
         let t = Instant::now();
         let tape = AcTape::lower(&nnf);
         phases.tape_lower = t.elapsed().as_secs_f64();
+        check(CompilePhase::TapeLower)?;
 
         metrics.ac_nodes = nnf.num_nodes();
         metrics.ac_edges = nnf.num_edges();

@@ -88,6 +88,33 @@ pub enum EngineError {
         /// The backend that produced no samples.
         backend: BackendKind,
     },
+    /// A [`QueryBudget`](crate::QueryBudget) limit expired before the
+    /// query finished. Raised cooperatively — at a compile-phase boundary,
+    /// between sweep lanes, or while waiting on a cache resolution — so it
+    /// fires within one checkpoint interval and never tears shared state.
+    DeadlineExceeded {
+        /// Which limit fired: `"deadline"` or `"compile_timeout"`.
+        budget: &'static str,
+        /// The configured limit, in seconds.
+        limit_secs: f64,
+    },
+    /// [`EngineOptions`](crate::EngineOptions) that cannot be executed
+    /// (zero threads, zero batch width) — rejected at construction so they
+    /// never reach an executor.
+    InvalidOptions {
+        /// What is wrong with the options.
+        detail: String,
+    },
+    /// The configured `CacheOptions::spill_dir` cannot be created or
+    /// written. Raised eagerly at construction
+    /// ([`ArtifactCache::try_with_options`]) instead of surprising the
+    /// first spill.
+    SpillDirUnavailable {
+        /// The configured directory.
+        path: String,
+        /// The underlying I/O error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -105,6 +132,15 @@ impl fmt::Display for EngineError {
                     f,
                     "backend {backend} returned zero samples for a sampled expectation estimate"
                 )
+            }
+            EngineError::DeadlineExceeded { budget, limit_secs } => {
+                write!(f, "query budget `{budget}` of {limit_secs}s exceeded")
+            }
+            EngineError::InvalidOptions { detail } => {
+                write!(f, "invalid engine options: {detail}")
+            }
+            EngineError::SpillDirUnavailable { path, detail } => {
+                write!(f, "spill directory `{path}` is unavailable: {detail}")
             }
         }
     }
@@ -291,6 +327,10 @@ pub struct KcBackend {
     /// every sweep point, so the circuit scan runs once per structure.
     /// Shared across clones (the sweep executor clones the backend).
     scan_cache: Arc<Mutex<HashMap<u64, Arc<Vec<SymbolClass>>>>>,
+    /// The per-call query context (budget clock + fault plan), attached by
+    /// the engine facade for the duration of one entry-point call. `None`
+    /// — the default — costs one `Option` check per artifact acquisition.
+    ctx: Option<crate::budget::QueryCtx>,
 }
 
 impl KcBackend {
@@ -304,7 +344,24 @@ impl KcBackend {
             gibbs_thin: 3,
             force_shift: false,
             scan_cache: Arc::new(Mutex::new(HashMap::new())),
+            ctx: None,
         }
+    }
+
+    /// Attaches a per-call query context: artifact acquisitions then
+    /// honour its budget (cooperative compile cancellation, bounded cache
+    /// waits) and its fault plan reaches the cache's spill I/O.
+    pub(crate) fn with_ctx(mut self, ctx: crate::budget::QueryCtx) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    /// Every query's artifact acquisition: `get_or_compile` under the
+    /// attached per-call context, surfacing budget expiry as a typed
+    /// error.
+    fn acquire(&self, circuit: &Circuit) -> Result<Arc<qkc_core::KcSimulator>, EngineError> {
+        self.cache
+            .try_get_or_compile(circuit, &self.options, self.ctx.as_ref())
     }
 
     /// Sets the exact-enumeration budget (in `log2` joint noise branches).
@@ -401,7 +458,7 @@ impl Backend for KcBackend {
     }
 
     fn probabilities(&self, circuit: &Circuit, params: &ParamMap) -> Result<Vec<f64>, EngineError> {
-        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let artifact = self.acquire(circuit)?;
         let bound = artifact
             .bind(params)
             .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
@@ -426,7 +483,7 @@ impl Backend for KcBackend {
         // every lane — compounding the PR 3 delta win with the PR 2 lane
         // win. Each lane is bit-for-bit the scalar reconstruction, so
         // sweep results stay byte-identical to every earlier configuration.
-        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let artifact = self.acquire(circuit)?;
         if artifact.num_random_events() > 0 {
             // Mirror the scalar path's per-point error order (bind first,
             // then the enumeration budget): the budget depends only on the
@@ -464,7 +521,7 @@ impl Backend for KcBackend {
         // lane (see `probabilities_batch`); the per-lane expectation fold
         // is the same enumerate-and-sum as the scalar path, so values are
         // bit-for-bit the single-point expectations.
-        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let artifact = self.acquire(circuit)?;
         if artifact.num_random_events() > 0 {
             artifact
                 .bind(&params[0])
@@ -499,8 +556,8 @@ impl Backend for KcBackend {
         let scan_span = qkc_telemetry::span("gradient/scan");
         let classes = self.classes_for(circuit, wrt);
         drop(scan_span);
-        let analytic = !self.force_shift
-            && !classes.iter().any(|c| matches!(c, SymbolClass::Noise));
+        let analytic =
+            !self.force_shift && !classes.iter().any(|c| matches!(c, SymbolClass::Noise));
         if analytic {
             // Mirror the shift path's error order: unbound *wrt* symbols
             // first (shifted_bindings reports them before compiling), then
@@ -514,7 +571,7 @@ impl Backend for KcBackend {
                     UnboundParam::new(unbound.0.clone()),
                 )));
             }
-            let artifact = self.cache.get_or_compile(circuit, &self.options);
+            let artifact = self.acquire(circuit)?;
             if artifact.num_random_events() > 0 {
                 self.ensure_exact_budget(circuit)?;
             }
@@ -542,7 +599,7 @@ impl Backend for KcBackend {
         let (lanes, plans) = gradient::shifted_bindings(params, wrt, &rules)
             .map_err(|name| EngineError::Circuit(CircuitError::Unbound(UnboundParam::new(name))))?;
         drop(scan_span);
-        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let artifact = self.acquire(circuit)?;
         if artifact.num_random_events() > 0 {
             // Gradients need exact expectations; the budget error tells the
             // caller to choose a different backend (or SPSA) instead of
@@ -575,7 +632,7 @@ impl Backend for KcBackend {
         shots: usize,
         seed: u64,
     ) -> Result<Vec<usize>, EngineError> {
-        let artifact = self.cache.get_or_compile(circuit, &self.options);
+        let artifact = self.acquire(circuit)?;
         let bound = artifact
             .bind(params)
             .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;

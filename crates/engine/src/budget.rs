@@ -1,0 +1,151 @@
+//! Per-call wall-time budgets and the per-query context that threads them
+//! (plus the installed [`FaultPlan`]) through cache, compile, and sweep.
+//!
+//! Cancellation is *cooperative*: the engine checks the budget at natural
+//! boundaries — between compile phases (the `PhaseSeconds` boundaries),
+//! between sweep lanes, and while waiting on a cache resolve — so a
+//! deadline fires within one checkpoint interval and never tears a
+//! partially built artifact. Exceeding a budget is a typed
+//! [`EngineError::DeadlineExceeded`], not a panic or a hang.
+
+use crate::faults::FaultPlan;
+use crate::EngineError;
+use std::time::{Duration, Instant};
+
+/// Wall-time limits for one engine call. `Default` is unlimited.
+///
+/// * `deadline` bounds the whole query (compile + cache waits + sweep),
+///   measured from the moment the engine call enters.
+/// * `compile_timeout` bounds each single artifact compilation, measured
+///   from the start of that resolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Total wall-time limit for the engine call.
+    pub deadline: Option<Duration>,
+    /// Wall-time limit for one artifact compilation within the call.
+    pub compile_timeout: Option<Duration>,
+}
+
+impl QueryBudget {
+    /// No limits (same as `Default`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the whole-call deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-compile timeout.
+    pub fn with_compile_timeout(mut self, timeout: Duration) -> Self {
+        self.compile_timeout = Some(timeout);
+        self
+    }
+
+    /// True when no limit is set (the checkpoints short-circuit).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.compile_timeout.is_none()
+    }
+}
+
+/// Builds the typed deadline error and ticks its counter — every budget
+/// expiry funnels through here so `budget/deadline_exceeded` counts them
+/// all, whichever checkpoint noticed first.
+pub(crate) fn deadline_exceeded(budget: &'static str, limit: Duration) -> EngineError {
+    qkc_telemetry::count("budget/deadline_exceeded", 1);
+    EngineError::DeadlineExceeded {
+        budget,
+        limit_secs: limit.as_secs_f64(),
+    }
+}
+
+/// Per-call context: the budget's start-anchored clock plus the installed
+/// fault plan. Created once at each `Engine` entry point and passed by
+/// reference into the cache, the compile checkpoints, and the sweep
+/// workers (it is read-only and `Sync`).
+#[derive(Debug, Clone)]
+pub(crate) struct QueryCtx {
+    started: Instant,
+    budget: QueryBudget,
+    faults: Option<FaultPlan>,
+}
+
+impl QueryCtx {
+    pub(crate) fn new(budget: QueryBudget, faults: Option<FaultPlan>) -> Self {
+        Self {
+            started: Instant::now(),
+            budget,
+            faults,
+        }
+    }
+
+    pub(crate) fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    pub(crate) fn compile_timeout(&self) -> Option<Duration> {
+        self.budget.compile_timeout
+    }
+
+    /// Errors if the whole-call deadline has passed. Cheap enough for
+    /// per-lane checkpoints: one `Instant::now()` when a deadline is set,
+    /// one `Option` test when not.
+    pub(crate) fn check_deadline(&self) -> Result<(), EngineError> {
+        match self.budget.deadline {
+            Some(limit) if self.started.elapsed() > limit => {
+                Err(deadline_exceeded("deadline", limit))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Time left until the whole-call deadline: `None` when unlimited,
+    /// `Some(ZERO)` once exceeded. Feeds condvar `wait_timeout` so a
+    /// thread blocked on another's compile still honours its own budget.
+    pub(crate) fn remaining(&self) -> Option<Duration> {
+        self.budget
+            .deadline
+            .map(|limit| limit.saturating_sub(self.started.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_expires() {
+        let ctx = QueryCtx::new(QueryBudget::unlimited(), None);
+        assert!(ctx.check_deadline().is_ok());
+        assert_eq!(ctx.remaining(), None);
+        assert_eq!(ctx.compile_timeout(), None);
+    }
+
+    #[test]
+    fn zero_deadline_expires_with_typed_error() {
+        let budget = QueryBudget::unlimited().with_deadline(Duration::ZERO);
+        let ctx = QueryCtx::new(budget, None);
+        std::thread::sleep(Duration::from_millis(1));
+        match ctx.check_deadline() {
+            Err(EngineError::DeadlineExceeded { budget, limit_secs }) => {
+                assert_eq!(budget, "deadline");
+                assert_eq!(limit_secs, 0.0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(ctx.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let b = QueryBudget::unlimited()
+            .with_deadline(Duration::from_secs(5))
+            .with_compile_timeout(Duration::from_millis(100));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(b.compile_timeout, Some(Duration::from_millis(100)));
+        assert!(QueryBudget::default().is_unlimited());
+    }
+}

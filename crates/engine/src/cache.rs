@@ -61,14 +61,29 @@
 //! assert!(b.bind(&ParamMap::from_pairs([("t", 1.2)])).is_ok());
 //! ```
 
+use crate::budget::{self, QueryCtx};
+use crate::faults::{self, FaultPlan, FaultSite};
+use crate::EngineError;
 use qkc_circuit::Circuit;
-use qkc_core::{KcOptions, KcSimulator};
+use qkc_core::{CompileError, CompilePhase, KcOptions, KcSimulator};
 use qkc_telemetry::{count, record_size, record_span_secs};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Total attempts per spill-I/O operation (1 initial + retries).
+const SPILL_ATTEMPTS: u32 = 3;
+
+/// Deterministic exponential backoff before retry `n` (0-based):
+/// 500µs · 2ⁿ — long enough to let a transient I/O hiccup clear, short
+/// enough that an always-failing disk degrades within a few milliseconds.
+fn spill_backoff(retry: u32) -> Duration {
+    Duration::from_micros(500) * 2u32.saturating_pow(retry)
+}
 
 /// Residency and persistence bounds for an [`ArtifactCache`].
 #[derive(Debug, Clone, Default)]
@@ -93,6 +108,10 @@ pub struct CacheOptions {
     /// reuses artifacts across process restarts. `None` disables spill —
     /// eviction then discards, and the next request recompiles.
     pub spill_dir: Option<PathBuf>,
+    /// Deterministic fault-injection schedule for the cache's spill I/O
+    /// (see [`FaultPlan`]). `None` — the production default — makes every
+    /// hook a skipped `Option` check.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl CacheOptions {
@@ -105,6 +124,12 @@ impl CacheOptions {
     /// Sets the spill directory.
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Installs a fault-injection plan on the spill I/O paths.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -184,6 +209,14 @@ pub struct ArtifactCache {
     options: CacheOptions,
     state: Mutex<CacheState>,
     resolved: Condvar,
+    /// Sticky in-memory-only degradation: set once spill-write retries
+    /// exhaust, cleared by [`clear`](Self::clear). While set, spill writes
+    /// are skipped (queries keep succeeding; evicted entries recompile).
+    degraded: AtomicBool,
+    /// Spill-I/O attempts retried after a failure (monotonic).
+    spill_retries: AtomicU64,
+    /// Corrupt spill files renamed aside (monotonic).
+    quarantined: AtomicU64,
     /// Test-only key hook: collapse every key to a constant so collision
     /// handling can be exercised deterministically.
     #[cfg(test)]
@@ -196,7 +229,9 @@ impl ArtifactCache {
         Self::default()
     }
 
-    /// An empty cache with the given residency/persistence bounds.
+    /// An empty cache with the given residency/persistence bounds. The
+    /// spill dir (if any) is probed lazily, on first spill; use
+    /// [`Self::try_with_options`] to fail fast instead.
     pub fn with_options(options: CacheOptions) -> Self {
         Self {
             options,
@@ -204,9 +239,28 @@ impl ArtifactCache {
         }
     }
 
+    /// [`Self::with_options`] with the spill directory validated eagerly:
+    /// the directory is created if missing and probed for writability, so
+    /// a misconfigured path is a typed
+    /// [`EngineError::SpillDirUnavailable`] at construction instead of a
+    /// silent in-memory fallback on the first spill.
+    pub fn try_with_options(options: CacheOptions) -> Result<Self, EngineError> {
+        if let Some(dir) = &options.spill_dir {
+            validate_spill_dir(dir)?;
+        }
+        Ok(Self::with_options(options))
+    }
+
     /// The residency/persistence bounds this cache enforces.
     pub fn cache_options(&self) -> &CacheOptions {
         &self.options
+    }
+
+    /// Whether the cache has degraded to in-memory-only caching (spill
+    /// writes are skipped after their retries exhausted). Sticky until
+    /// [`clear`](Self::clear).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// A cache whose every key collides — the regression hook for the
@@ -244,6 +298,25 @@ impl ArtifactCache {
     /// by comparing the stored circuits, and the colliding structure is
     /// stored *alongside* the existing one — both cache normally.
     pub fn get_or_compile(&self, circuit: &Circuit, options: &KcOptions) -> Arc<KcSimulator> {
+        self.try_get_or_compile(circuit, options, None)
+            .expect("acquisition without a query budget cannot fail")
+    }
+
+    /// [`Self::get_or_compile`] under a per-query context: the caller's
+    /// [`QueryBudget`](crate::QueryBudget) is honoured cooperatively (at
+    /// compile-phase boundaries via the core checkpoint, and with a timed
+    /// condvar wait while blocked on another thread's resolution) and the
+    /// caller's [`FaultPlan`] reaches the spill I/O shim. With `ctx =
+    /// None` this is exactly `get_or_compile` and cannot fail.
+    pub(crate) fn try_get_or_compile(
+        &self,
+        circuit: &Circuit,
+        options: &KcOptions,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<Arc<KcSimulator>, EngineError> {
+        if let Some(ctx) = ctx {
+            ctx.check_deadline()?;
+        }
         let key = self.key(circuit, options);
         let mut st = self.state.lock().expect("cache poisoned");
         'restart: loop {
@@ -257,10 +330,27 @@ impl ArtifactCache {
                         count("cache/hit", 1);
                         Self::touch(&mut st, ix);
                         self.enforce_budget(&mut st);
-                        return artifact;
+                        return Ok(artifact);
                     }
                     EntryState::Resolving => {
-                        st = self.resolved.wait(st).expect("cache poisoned");
+                        // Block until the resolving thread publishes — but
+                        // never past this caller's own deadline.
+                        match ctx.and_then(QueryCtx::remaining) {
+                            None => st = self.resolved.wait(st).expect("cache poisoned"),
+                            Some(remaining) => {
+                                if remaining.is_zero() {
+                                    ctx.expect("remaining implies ctx").check_deadline()?;
+                                }
+                                let (guard, _) = self
+                                    .resolved
+                                    .wait_timeout(st, remaining)
+                                    .expect("cache poisoned");
+                                st = guard;
+                                if let Some(ctx) = ctx {
+                                    ctx.check_deadline()?;
+                                }
+                            }
+                        }
                         if st.generation != generation {
                             // The cache was cleared while we waited; the
                             // index may now name a different entry.
@@ -271,7 +361,7 @@ impl ArtifactCache {
                         st.entries[ix].state = EntryState::Resolving;
                         let spill_path = st.entries[ix].spill_path.clone();
                         drop(st);
-                        return self.resolve(circuit, options, ix, generation, spill_path);
+                        return self.resolve(circuit, options, ix, generation, spill_path, ctx);
                     }
                 }
             }
@@ -317,7 +407,8 @@ impl ArtifactCache {
 
     /// Compiles or rehydrates entry `ix` outside the state lock, then
     /// publishes the result. Runs with the entry marked `Resolving`; the
-    /// guard restores `Absent` and wakes waiters if this unwinds.
+    /// guard restores `Absent` and wakes waiters if this unwinds — or if
+    /// this returns a typed budget error, so no waiter is ever stranded.
     fn resolve(
         &self,
         circuit: &Circuit,
@@ -325,33 +416,48 @@ impl ArtifactCache {
         ix: usize,
         generation: u64,
         spill_path: Option<PathBuf>,
-    ) -> Arc<KcSimulator> {
+        ctx: Option<&QueryCtx>,
+    ) -> Result<Arc<KcSimulator>, EngineError> {
         let mut guard = ResolveGuard {
             cache: self,
             ix,
             generation,
             armed: true,
         };
+        // The caller's plan (per-query) wins over the installed one.
+        let plan = ctx
+            .and_then(QueryCtx::faults)
+            .or(self.options.fault_plan.as_ref());
 
         // Rehydrate from the spill tier when a decodable artifact is on
         // disk (written by this cache, an earlier eviction, or a previous
-        // process sharing the spill dir). Validation inside `from_bytes`
-        // rejects stale/corrupt/mismatched files, falling back to compile.
+        // process sharing the spill dir). Reads retry transient I/O errors
+        // with deterministic backoff; validation inside `from_bytes`
+        // rejects stale/corrupt/mismatched files, which are then renamed
+        // aside (quarantined) so they cost one recompile, not one per
+        // request.
         let mut rehydrated: Option<(Arc<KcSimulator>, f64, usize)> = None;
+        let mut quarantined_now = false;
         if let Some(path) = &spill_path {
             let started = Instant::now();
-            if let Ok(bytes) = std::fs::read(path) {
+            if let Some(bytes) = self.read_spill(path, plan) {
                 let read_secs = started.elapsed().as_secs_f64();
                 let decode_started = Instant::now();
-                if let Ok(sim) = KcSimulator::from_bytes(circuit, options, &bytes) {
-                    record_span_secs("cache/rehydrate/read", read_secs);
-                    record_span_secs(
-                        "cache/rehydrate/decode",
-                        decode_started.elapsed().as_secs_f64(),
-                    );
-                    record_size("cache/rehydrate/bytes", bytes.len() as u64);
-                    rehydrated =
-                        Some((Arc::new(sim), started.elapsed().as_secs_f64(), bytes.len()));
+                match KcSimulator::from_bytes(circuit, options, &bytes) {
+                    Ok(sim) => {
+                        record_span_secs("cache/rehydrate/read", read_secs);
+                        record_span_secs(
+                            "cache/rehydrate/decode",
+                            decode_started.elapsed().as_secs_f64(),
+                        );
+                        record_size("cache/rehydrate/bytes", bytes.len() as u64);
+                        rehydrated =
+                            Some((Arc::new(sim), started.elapsed().as_secs_f64(), bytes.len()));
+                    }
+                    Err(_) => {
+                        self.quarantine(path);
+                        quarantined_now = true;
+                    }
                 }
             }
         }
@@ -360,7 +466,12 @@ impl ArtifactCache {
             Some((artifact, secs, file_len)) => (artifact, secs, Some(file_len), true),
             None => {
                 let started = Instant::now();
-                let artifact = Arc::new(KcSimulator::compile(circuit, options));
+                let artifact = match self.compile_checked(circuit, options, ctx, plan) {
+                    Ok(artifact) => Arc::new(artifact),
+                    // Drop `guard` armed: it restores `Absent` and wakes
+                    // waiters, exactly as on a panicking compile.
+                    Err(e) => return Err(e),
+                };
                 let secs = started.elapsed().as_secs_f64();
                 record_span_secs("cache/compile", secs);
                 // Write-through spill: serialize now, outside every lock,
@@ -368,7 +479,7 @@ impl ArtifactCache {
                 let spill_started = Instant::now();
                 let spilled = spill_path
                     .as_ref()
-                    .and_then(|path| write_spill(path, &artifact, circuit, options));
+                    .and_then(|path| self.write_spill(path, &artifact, circuit, options, plan));
                 if let Some(file_len) = spilled {
                     record_span_secs("cache/spill/write", spill_started.elapsed().as_secs_f64());
                     record_size("cache/spill/bytes", file_len as u64);
@@ -399,7 +510,7 @@ impl ArtifactCache {
                 }
             }
             self.resolved.notify_all();
-            return artifact;
+            return Ok(artifact);
         }
         let spill_delta = {
             let entry = &mut st.entries[ix];
@@ -411,6 +522,9 @@ impl ArtifactCache {
                     let previous = entry.spilled_bytes.replace(file_len).unwrap_or(0);
                     file_len as isize - previous as isize
                 }
+                // The file was quarantined and no replacement landed: the
+                // entry no longer has a valid spill copy on disk.
+                None if quarantined_now => -(entry.spilled_bytes.take().unwrap_or(0) as isize),
                 None => 0,
             }
         };
@@ -427,7 +541,192 @@ impl ArtifactCache {
         self.enforce_budget(&mut st);
         drop(st);
         self.resolved.notify_all();
-        artifact
+        Ok(artifact)
+    }
+
+    /// Compiles `circuit` under the caller's budget and fault plan: the
+    /// core checkpoint fires at every `PhaseSeconds` boundary, injecting
+    /// the plan's artificial phase delay and cancelling on
+    /// `compile_timeout` (measured from this resolution's start) or the
+    /// whole-call deadline. Without either, this is plain `try_compile`.
+    fn compile_checked(
+        &self,
+        circuit: &Circuit,
+        options: &KcOptions,
+        ctx: Option<&QueryCtx>,
+        plan: Option<&FaultPlan>,
+    ) -> Result<KcSimulator, EngineError> {
+        let delay = plan.map_or(0.0, |p| p.compile_delay_secs);
+        let budgeted =
+            ctx.is_some_and(|c| c.compile_timeout().is_some() || c.remaining().is_some());
+        if !budgeted && delay == 0.0 {
+            return Ok(KcSimulator::try_compile(circuit, options)
+                .expect("valid circuits encode satisfiable CNFs"));
+        }
+        let compile_started = Instant::now();
+        // The checkpoint closure runs on this thread; the typed engine
+        // error rides out through this cell (core only sees the reason
+        // string).
+        let cancel: Cell<Option<EngineError>> = Cell::new(None);
+        let checkpoint = |_phase: CompilePhase| -> Result<(), String> {
+            if delay > 0.0 {
+                count(FaultSite::CompileDelay.telemetry_path(), 1);
+                std::thread::sleep(Duration::from_secs_f64(delay));
+            }
+            if let Some(limit) = ctx.and_then(QueryCtx::compile_timeout) {
+                if compile_started.elapsed() > limit {
+                    let err = budget::deadline_exceeded("compile_timeout", limit);
+                    let reason = err.to_string();
+                    cancel.set(Some(err));
+                    return Err(reason);
+                }
+            }
+            if let Some(ctx) = ctx {
+                if let Err(err) = ctx.check_deadline() {
+                    let reason = err.to_string();
+                    cancel.set(Some(err));
+                    return Err(reason);
+                }
+            }
+            Ok(())
+        };
+        match KcSimulator::try_compile_checked(circuit, options, Some(&checkpoint)) {
+            Ok(sim) => Ok(sim),
+            Err(CompileError::Unsat(e)) => {
+                panic!("valid circuits encode satisfiable CNFs: {e:?}")
+            }
+            Err(CompileError::Cancelled(_)) => Err(cancel
+                .take()
+                .expect("the checkpoint records its typed error before cancelling")),
+        }
+    }
+
+    /// The spill-read half of the injectable I/O shim: reads `path` with
+    /// up to [`SPILL_ATTEMPTS`] attempts and deterministic backoff,
+    /// consulting the fault plan before each real read. `NotFound` (the
+    /// common cold-cache case, and any quarantined file) returns
+    /// immediately without retrying.
+    fn read_spill(&self, path: &Path, plan: Option<&FaultPlan>) -> Option<Vec<u8>> {
+        let key = faults::path_key(path);
+        let op_started = Instant::now();
+        for attempt in 0..SPILL_ATTEMPTS {
+            if attempt > 0 {
+                self.spill_retries.fetch_add(1, Ordering::Relaxed);
+                count("cache/spill/retry", 1);
+                std::thread::sleep(spill_backoff(attempt - 1));
+            }
+            let injected = plan.is_some_and(|p| p.spill_read_fails(key, attempt));
+            if injected {
+                count(FaultSite::SpillRead.telemetry_path(), 1);
+                continue;
+            }
+            match std::fs::read(path) {
+                Ok(bytes) => {
+                    if attempt > 0 {
+                        record_span_secs(
+                            "cache/spill/retry_latency",
+                            op_started.elapsed().as_secs_f64(),
+                        );
+                    }
+                    return Some(bytes);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+                Err(_) => {}
+            }
+        }
+        record_span_secs(
+            "cache/spill/retry_latency",
+            op_started.elapsed().as_secs_f64(),
+        );
+        None
+    }
+
+    /// The spill-write half of the I/O shim: serializes `artifact` and
+    /// writes it through a same-directory temp file + rename, with up to
+    /// [`SPILL_ATTEMPTS`] attempts and deterministic backoff. Exhausting
+    /// the retries flips the cache into sticky in-memory-only degradation
+    /// — queries keep succeeding; this artifact (and future ones) simply
+    /// will not rehydrate from disk. Returns the file length on success.
+    fn write_spill(
+        &self,
+        path: &Path,
+        artifact: &KcSimulator,
+        circuit: &Circuit,
+        options: &KcOptions,
+        plan: Option<&FaultPlan>,
+    ) -> Option<usize> {
+        if self.degraded.load(Ordering::Relaxed) {
+            return None;
+        }
+        let key = faults::path_key(path);
+        let bytes = artifact.to_bytes(circuit, options);
+        let op_started = Instant::now();
+        for attempt in 0..SPILL_ATTEMPTS {
+            if attempt > 0 {
+                self.spill_retries.fetch_add(1, Ordering::Relaxed);
+                count("cache/spill/retry", 1);
+                std::thread::sleep(spill_backoff(attempt - 1));
+            }
+            if plan.is_some_and(|p| p.spill_write_fails(key, attempt)) {
+                count(FaultSite::SpillWrite.telemetry_path(), 1);
+                continue;
+            }
+            // A torn write "succeeds" from the writer's point of view but
+            // persists truncated bytes — the corruption the decode
+            // validation and quarantine path exist to absorb.
+            let payload = if plan.is_some_and(|p| p.spill_write_torn(key, attempt)) {
+                count(FaultSite::SpillTorn.telemetry_path(), 1);
+                &bytes[..bytes.len() / 2]
+            } else {
+                &bytes[..]
+            };
+            if let Some(dir) = path.parent() {
+                if std::fs::create_dir_all(dir).is_err() {
+                    continue;
+                }
+            }
+            let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+            if std::fs::write(&tmp, payload).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+                continue;
+            }
+            let rename_ok = if plan.is_some_and(|p| p.spill_rename_fails(key, attempt)) {
+                count(FaultSite::SpillRename.telemetry_path(), 1);
+                false
+            } else {
+                std::fs::rename(&tmp, path).is_ok()
+            };
+            if !rename_ok {
+                let _ = std::fs::remove_file(&tmp);
+                continue;
+            }
+            if attempt > 0 {
+                record_span_secs(
+                    "cache/spill/retry_latency",
+                    op_started.elapsed().as_secs_f64(),
+                );
+            }
+            return Some(payload.len());
+        }
+        record_span_secs(
+            "cache/spill/retry_latency",
+            op_started.elapsed().as_secs_f64(),
+        );
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            count("cache/spill/degraded", 1);
+        }
+        None
+    }
+
+    /// Renames a corrupt/stale spill file aside (`*.quarantined`) so it is
+    /// decoded — and fails — exactly once instead of on every request.
+    /// The quarantined copy is kept for post-mortem until
+    /// [`clear`](Self::clear) removes it.
+    fn quarantine(&self, path: &Path) {
+        if std::fs::rename(path, quarantine_path(path)).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            count("cache/spill/quarantined", 1);
+        }
     }
 
     /// Refreshes entry `ix`'s GreedyDual-Size priority at the current
@@ -555,6 +854,9 @@ impl ArtifactCache {
                 .count(),
             resident_bytes: st.resident_bytes,
             spilled_bytes: st.spilled_bytes,
+            spill_retries: self.spill_retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -569,8 +871,10 @@ impl ArtifactCache {
         self.len() == 0
     }
 
-    /// Drops every artifact and removes this cache's spill files
-    /// (hit/miss counters keep accumulating).
+    /// Drops every artifact, removes this cache's spill files (including
+    /// quarantined copies), and lifts in-memory-only degradation — the
+    /// epoch boundary at which a service gives a repaired disk another
+    /// chance. Hit/miss counters keep accumulating.
     pub fn clear(&self) {
         let spill_paths: Vec<PathBuf> = {
             let mut st = self.state.lock().expect("cache poisoned");
@@ -592,36 +896,32 @@ impl ArtifactCache {
         };
         // Wake waiters parked on pre-clear resolutions so they re-validate.
         self.resolved.notify_all();
+        self.degraded.store(false, Ordering::Relaxed);
         for path in spill_paths {
-            let _ = std::fs::remove_file(path);
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(quarantine_path(&path));
         }
     }
 }
 
-/// Serializes `artifact` and writes it to `path` (via a same-directory
-/// temp file + rename, so concurrent readers never see a half-written
-/// payload). Returns the file length, or `None` if any step failed —
-/// spill is strictly best-effort; a failed write only costs a future
-/// recompile.
-fn write_spill(
-    path: &std::path::Path,
-    artifact: &KcSimulator,
-    circuit: &Circuit,
-    options: &KcOptions,
-) -> Option<usize> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).ok()?;
-    }
-    let bytes = artifact.to_bytes(circuit, options);
-    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
-    std::fs::write(&tmp, &bytes).ok()?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Some(bytes.len()),
-        Err(_) => {
-            let _ = std::fs::remove_file(&tmp);
-            None
-        }
-    }
+/// Where [`ArtifactCache::quarantine`] renames a corrupt spill file.
+fn quarantine_path(path: &Path) -> PathBuf {
+    path.with_extension("quarantined")
+}
+
+/// Probes `dir` for use as a spill directory: creates it if missing, then
+/// writes and removes a probe file. Any failure is the typed construction
+/// error [`EngineError::SpillDirUnavailable`].
+fn validate_spill_dir(dir: &Path) -> Result<(), EngineError> {
+    let unavailable = |detail: &std::io::Error| EngineError::SpillDirUnavailable {
+        path: dir.display().to_string(),
+        detail: detail.to_string(),
+    };
+    std::fs::create_dir_all(dir).map_err(|e| unavailable(&e))?;
+    let probe = dir.join(format!(".qkc-spill-probe-{}", std::process::id()));
+    std::fs::write(&probe, b"probe").map_err(|e| unavailable(&e))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
 }
 
 /// Restores a `Resolving` entry to `Absent` and wakes waiters if the
@@ -887,7 +1187,9 @@ mod tests {
             elide_internal: false,
             ..Default::default()
         };
-        assert!(cache.resident_metrics(&parameterized(), &no_elide).is_none());
+        assert!(cache
+            .resident_metrics(&parameterized(), &no_elide)
+            .is_none());
         assert_eq!(cache.hits(), 0, "peeks never count as hits");
         assert_eq!(cache.misses(), 1);
         // An evicted entry reports None again.
@@ -1037,6 +1339,123 @@ mod tests {
         assert_eq!(s.spill_hits, 0);
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&corrupt_dir);
+    }
+
+    #[test]
+    fn spill_write_retries_recover_from_transient_failures() {
+        let dir = scratch_dir("retry-write");
+        // The first write attempt per path always fails; the retry lands.
+        let plan = FaultPlan::seeded(21).with_spill_write_fail_first(1);
+        let cache = ArtifactCache::with_options(
+            CacheOptions::default()
+                .with_spill_dir(&dir)
+                .with_fault_plan(plan),
+        );
+        cache.get_or_compile(&parameterized(), &KcOptions::default());
+        let s = cache.stats();
+        assert!(s.spilled_bytes > 0, "the retry persisted the artifact");
+        assert!(s.spill_retries >= 1, "stats record the retry");
+        assert!(!s.degraded);
+        // The persisted bytes are good: a fresh cache rehydrates them.
+        let reader = ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&dir));
+        reader.get_or_compile(&parameterized(), &KcOptions::default());
+        assert_eq!(reader.stats().spill_hits, 1);
+        assert_eq!(reader.stats().misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_read_retries_recover_from_transient_failures() {
+        let dir = scratch_dir("retry-read");
+        let writer = ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&dir));
+        writer.get_or_compile(&parameterized(), &KcOptions::default());
+        // The first read attempt per path always fails; the retry lands
+        // and rehydration still beats recompilation.
+        let plan = FaultPlan::seeded(23).with_spill_read_fail_first(1);
+        let reader = ArtifactCache::with_options(
+            CacheOptions::default()
+                .with_spill_dir(&dir)
+                .with_fault_plan(plan),
+        );
+        reader.get_or_compile(&parameterized(), &KcOptions::default());
+        let s = reader.stats();
+        assert_eq!(s.misses, 0, "rehydrated on retry, no recompile");
+        assert_eq!(s.spill_hits, 1);
+        assert!(s.spill_retries >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_spill_writes_degrade_to_in_memory_only() {
+        let dir = scratch_dir("degrade");
+        // Every write attempt fails: after the bounded retries the cache
+        // must degrade to in-memory-only caching — queries keep
+        // succeeding, the spill tier is simply gone.
+        let plan = FaultPlan::seeded(22).with_spill_write_rate(1.0);
+        let cache = ArtifactCache::with_options(
+            CacheOptions::default()
+                .with_spill_dir(&dir)
+                .with_fault_plan(plan),
+        );
+        let artifact = cache.get_or_compile(&parameterized(), &KcOptions::default());
+        let s = cache.stats();
+        assert!(s.degraded, "exhausted retries flip the degraded latch");
+        assert_eq!(s.spilled_bytes, 0);
+        assert!(s.spill_retries >= 1);
+        // Degraded is a caching mode, not an error: answers still come.
+        let p = qkc_circuit::ParamMap::from_pairs([("a", 0.3), ("b", 0.7)]);
+        artifact.bind(&p).unwrap();
+        let mut widened = parameterized();
+        widened.h(1);
+        cache.get_or_compile(&widened, &KcOptions::default());
+        assert_eq!(cache.stats().misses, 2);
+        // Later writes short-circuit instead of burning retries again.
+        let retries_so_far = cache.stats().spill_retries;
+        cache.get_or_compile(&parameterized(), &KcOptions::default());
+        assert_eq!(cache.stats().spill_retries, retries_so_far);
+        // `clear` resets the latch (an operator fixed the disk).
+        cache.clear();
+        assert!(!cache.is_degraded());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_files_are_quarantined_and_never_reread() {
+        let dir = scratch_dir("quarantine");
+        let writer = ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&dir));
+        writer.get_or_compile(&parameterized(), &KcOptions::default());
+        for f in std::fs::read_dir(&dir).unwrap() {
+            let path = f.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        // The corrupt file costs exactly one recompile and is renamed
+        // aside — it can never be decoded (and fail) a second time.
+        let reader = ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&dir));
+        reader.get_or_compile(&parameterized(), &KcOptions::default());
+        let s = reader.stats();
+        assert_eq!(s.misses, 1, "corrupt file → one recompile");
+        assert_eq!(s.spill_hits, 0);
+        assert_eq!(s.quarantined, 1);
+        let quarantined = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|f| {
+                f.as_ref().unwrap().path().extension() == Some(std::ffi::OsStr::new("quarantined"))
+            })
+            .count();
+        assert_eq!(quarantined, 1, "the bad bytes were renamed aside");
+        // The recompile wrote fresh good bytes through: a third cache
+        // rehydrates cleanly with nothing left to quarantine.
+        let third = ArtifactCache::with_options(CacheOptions::default().with_spill_dir(&dir));
+        third.get_or_compile(&parameterized(), &KcOptions::default());
+        assert_eq!(third.stats().spill_hits, 1);
+        assert_eq!(third.stats().quarantined, 0);
+        // `clear` sweeps quarantined files out with the live ones.
+        third.clear();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,10 +5,12 @@ use crate::backend::{
     Backend, BackendKind, DensityMatrixBackend, EngineError, KcBackend, StateVectorBackend,
     TensorNetworkBackend,
 };
+use crate::budget::{QueryBudget, QueryCtx};
 use crate::cache::{ArtifactCache, CacheOptions};
+use crate::faults::FaultPlan;
 use crate::gradient::{self, GradientPoint, GradientResult, GradientSpec};
 use crate::planner::{KcCalibration, Plan, PlanExplanation, PlanHint, Planner};
-use crate::sweep::{SweepExecutor, SweepPoint, SweepSpec};
+use crate::sweep::{SweepExecutor, SweepPoint, SweepReport, SweepSpec};
 use qkc_circuit::{Circuit, ParamMap};
 use qkc_core::KcOptions;
 use std::sync::Arc;
@@ -33,6 +35,15 @@ pub struct EngineOptions {
     /// bounding the cache never changes results — evicted artifacts
     /// rehydrate or recompile bit-identically.
     pub cache: CacheOptions,
+    /// Wall-time budget applied to every engine call: a whole-call
+    /// deadline and/or per-compile timeout, enforced cooperatively at
+    /// compile-phase boundaries, cache waits, and sweep-lane boundaries.
+    /// Defaults to unlimited.
+    pub budget: QueryBudget,
+    /// Deterministic fault-injection schedule, threaded into every query
+    /// this engine runs (spill I/O, compile boundaries, sweep points).
+    /// `None` — the default — makes every hook a no-op `Option` check.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineOptions {
@@ -47,6 +58,8 @@ impl Default for EngineOptions {
             batch: crate::sweep::DEFAULT_BATCH,
             hint: PlanHint::default(),
             cache: CacheOptions::default(),
+            budget: QueryBudget::default(),
+            faults: None,
         }
     }
 }
@@ -80,6 +93,39 @@ impl EngineOptions {
     pub fn with_cache(mut self, cache: CacheOptions) -> Self {
         self.cache = cache;
         self
+    }
+
+    /// Sets the per-call wall-time budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Validates the configuration: the builders keep these invariants by
+    /// construction, but the fields are public, so direct assignment is
+    /// re-checked before an engine is built around them.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidOptions`] naming the offending field.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.threads == 0 {
+            return Err(EngineError::InvalidOptions {
+                detail: "threads must be at least 1 (0 worker threads can run nothing)".into(),
+            });
+        }
+        if self.batch == 0 {
+            return Err(EngineError::InvalidOptions {
+                detail: "batch must be at least 1 (0-point lanes can evaluate nothing)".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -118,9 +164,44 @@ impl Engine {
     }
 
     /// An engine with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration or an unusable spill directory — the
+    /// same conditions [`Engine::try_with_options`] reports as typed
+    /// errors.
     pub fn with_options(options: EngineOptions) -> Self {
-        let cache = Arc::new(ArtifactCache::with_options(options.cache.clone()));
-        Self { options, cache }
+        Self::try_with_options(options).expect("engine options rejected")
+    }
+
+    /// An engine with explicit options, validated eagerly: bad
+    /// configuration values and an uncreatable/unwritable spill directory
+    /// are reported here, at construction, instead of surfacing later as
+    /// per-query spill failures deep inside a sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidOptions`] (see [`EngineOptions::validate`])
+    /// or [`EngineError::SpillDirUnavailable`] when the configured spill
+    /// directory cannot be created or written.
+    pub fn try_with_options(options: EngineOptions) -> Result<Self, EngineError> {
+        options.validate()?;
+        let cache = Arc::new(ArtifactCache::try_with_options(options.cache.clone())?);
+        Ok(Self { options, cache })
+    }
+
+    /// The per-call query context: the budget's clock starts now, and the
+    /// engine-wide fault plan rides along. `None` when there is nothing
+    /// to enforce or inject, which keeps every downstream hook on its
+    /// single-`Option`-check fast path.
+    fn query_ctx(&self) -> Option<QueryCtx> {
+        if self.options.budget.is_unlimited() && self.options.faults.is_none() {
+            return None;
+        }
+        Some(QueryCtx::new(
+            self.options.budget,
+            self.options.faults.clone(),
+        ))
     }
 
     /// The configuration.
@@ -184,11 +265,24 @@ impl Engine {
 
     /// Instantiates the backend a plan chose.
     pub fn backend(&self, kind: BackendKind) -> Box<dyn Backend> {
+        self.backend_with_ctx(kind, None)
+    }
+
+    /// Like [`Engine::backend`], but threads a per-call query context into
+    /// the backends that honour one (the KC backend enforces budgets and
+    /// fault plans through the artifact cache; the dense backends have no
+    /// compile step to budget).
+    fn backend_with_ctx(&self, kind: BackendKind, ctx: Option<&QueryCtx>) -> Box<dyn Backend> {
         match kind {
-            BackendKind::KnowledgeCompilation => Box::new(
-                KcBackend::new(Arc::clone(&self.cache), self.options.kc_options.clone())
-                    .with_max_exact_log2_branches(self.options.planner.max_exact_log2_branches),
-            ),
+            BackendKind::KnowledgeCompilation => {
+                let mut backend =
+                    KcBackend::new(Arc::clone(&self.cache), self.options.kc_options.clone())
+                        .with_max_exact_log2_branches(self.options.planner.max_exact_log2_branches);
+                if let Some(ctx) = ctx {
+                    backend = backend.with_ctx(ctx.clone());
+                }
+                Box::new(backend)
+            }
             BackendKind::StateVector => Box::new(StateVectorBackend::new(self.options.threads)),
             BackendKind::DensityMatrix => Box::new(DensityMatrixBackend::new()),
             BackendKind::TensorNetwork => Box::new(TensorNetworkBackend::new(self.options.threads)),
@@ -213,7 +307,8 @@ impl Engine {
         circuit: &Circuit,
         params: &ParamMap,
     ) -> Result<Vec<f64>, EngineError> {
-        let (_, backend) = self.backend_for(circuit);
+        let ctx = self.query_ctx();
+        let backend = self.backend_with_ctx(self.plan(circuit).backend, ctx.as_ref());
         backend.probabilities(circuit, params)
     }
 
@@ -230,7 +325,8 @@ impl Engine {
         shots: usize,
         seed: u64,
     ) -> Result<Vec<usize>, EngineError> {
-        let (_, backend) = self.backend_for(circuit);
+        let ctx = self.query_ctx();
+        let backend = self.backend_with_ctx(self.plan(circuit).backend, ctx.as_ref());
         backend.sample(circuit, params, shots, seed)
     }
 
@@ -280,7 +376,8 @@ impl Engine {
         wrt: Option<&[String]>,
     ) -> Result<GradientResult, EngineError> {
         let plan = self.plan_with_hint(circuit, PlanHint::ParameterSweep);
-        let backend = self.backend(plan.backend);
+        let ctx = self.query_ctx();
+        let backend = self.backend_with_ctx(plan.backend, ctx.as_ref());
         let owned;
         let wrt = match wrt {
             Some(w) => w,
@@ -311,7 +408,9 @@ impl Engine {
             return Ok(Vec::new());
         }
         let plan = self.plan_with_hint(circuit, PlanHint::ParameterSweep);
-        let backend = self.backend(plan.backend);
+        let ctx = self.query_ctx();
+        let backend = self.backend_with_ctx(plan.backend, ctx.as_ref());
+        let ctx = ctx.as_ref();
         let wrt = match &spec.wrt {
             Some(w) => w.clone(),
             None => gradient::default_wrt(circuit),
@@ -321,6 +420,12 @@ impl Engine {
                 .iter()
                 .enumerate()
                 .map(|(j, p)| {
+                    if let Some(c) = ctx {
+                        // Cooperative cancellation boundary, per point (a
+                        // gradient point is many bound evaluations — the
+                        // natural lane here).
+                        c.check_deadline()?;
+                    }
                     let r = backend.expectation_gradient(circuit, p, spec.observable, &wrt)?;
                     Ok(GradientPoint {
                         index: lo + j,
@@ -342,18 +447,41 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// The first point-level error.
+    /// The lowest-index point-level failure. Use [`Engine::sweep_report`]
+    /// to keep the points that did succeed.
     pub fn sweep(
         &self,
         circuit: &Circuit,
         params: &[ParamMap],
         spec: &SweepSpec<'_>,
     ) -> Result<Vec<SweepPoint>, EngineError> {
+        self.sweep_report(circuit, params, spec)
+            .and_then(SweepReport::into_result)
+    }
+
+    /// Runs a parameter sweep with graceful degradation: point-level
+    /// failures (including worker panics, which are caught and retried
+    /// once) are contained into typed [`SweepFailure`](crate::SweepFailure)
+    /// entries, and every other point's result is returned —
+    /// byte-identical to what a fault-free run would produce for it.
+    ///
+    /// # Errors
+    ///
+    /// Only sweep-global failures: an exceeded [`QueryBudget`] deadline or
+    /// a panic that escapes point-level containment.
+    pub fn sweep_report(
+        &self,
+        circuit: &Circuit,
+        params: &[ParamMap],
+        spec: &SweepSpec<'_>,
+    ) -> Result<SweepReport, EngineError> {
         let plan = self.plan_with_hint(circuit, PlanHint::ParameterSweep);
-        let backend = self.backend(plan.backend);
+        let ctx = self.query_ctx();
+        let backend = self.backend_with_ctx(plan.backend, ctx.as_ref());
         SweepExecutor::new(self.options.threads)
             .with_batch(self.options.batch)
-            .run(backend.as_ref(), circuit, params, spec)
+            .with_ctx(ctx)
+            .run_report(backend.as_ref(), circuit, params, spec)
     }
 }
 
@@ -406,7 +534,10 @@ mod tests {
             .sweep(&c, &params, &SweepSpec::expectation(&obs))
             .unwrap();
         let warm = engine.plan_with_hint(&c, hint);
-        assert_eq!(warm.backend, cold.backend, "calibration never flips the plan");
+        assert_eq!(
+            warm.backend, cold.backend,
+            "calibration never flips the plan"
+        );
         assert!(warm.reason.contains("calibrated"), "{}", warm.reason);
         let explain = engine.explain(&c);
         let kc = explain
@@ -420,6 +551,93 @@ mod tests {
             1,
             "planning peeks never compile or count"
         );
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_with_typed_errors() {
+        let zero_threads = EngineOptions {
+            threads: 0,
+            ..Default::default()
+        };
+        match Engine::try_with_options(zero_threads) {
+            Err(EngineError::InvalidOptions { detail }) => {
+                assert!(detail.contains("threads"), "{detail}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+        let zero_batch = EngineOptions {
+            batch: 0,
+            ..Default::default()
+        };
+        match Engine::try_with_options(zero_batch) {
+            Err(EngineError::InvalidOptions { detail }) => {
+                assert!(detail.contains("batch"), "{detail}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unusable_spill_dir_is_rejected_at_construction() {
+        // A regular *file* where the spill directory should be: the spill
+        // path can never work, and the engine must say so now — not as a
+        // degraded-mode surprise mid-sweep.
+        let file =
+            std::env::temp_dir().join(format!("qkc-engine-not-a-dir-{}", std::process::id()));
+        std::fs::write(&file, b"occupied").expect("write blocker file");
+        let options =
+            EngineOptions::default().with_cache(CacheOptions::default().with_spill_dir(&file));
+        let result = Engine::try_with_options(options);
+        std::fs::remove_file(&file).ok();
+        match result {
+            Err(EngineError::SpillDirUnavailable { path, .. }) => {
+                assert!(path.contains("qkc-engine-not-a-dir"), "{path}");
+            }
+            Ok(_) => panic!("a file-shadowed spill dir must be rejected"),
+            Err(other) => panic!("expected SpillDirUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_deadline_surfaces_as_a_typed_error() {
+        use std::time::Duration;
+        let engine = Engine::with_options(
+            EngineOptions::default()
+                .with_budget(QueryBudget::unlimited().with_deadline(Duration::ZERO)),
+        );
+        std::thread::sleep(Duration::from_millis(1));
+        let mut c = Circuit::new(2);
+        c.rx(0, qkc_circuit::Param::symbol("t")).cnot(0, 1);
+        let params = [ParamMap::from_pairs([("t", 0.3)])];
+        let obs = |bits: usize| bits as f64;
+        let result = engine.sweep(&c, &params, &SweepSpec::expectation(&obs));
+        assert!(
+            matches!(result, Err(EngineError::DeadlineExceeded { .. })),
+            "got {result:?}"
+        );
+    }
+
+    #[test]
+    fn engine_fault_plan_panics_are_retried_transparently() {
+        let mut c = Circuit::new(2);
+        c.rx(0, qkc_circuit::Param::symbol("t")).cnot(0, 1);
+        let params: Vec<ParamMap> = (0..4)
+            .map(|i| ParamMap::from_pairs([("t", 0.1 + 0.2 * i as f64)]))
+            .collect();
+        let obs = |bits: usize| bits as f64;
+        let clean = Engine::new()
+            .sweep(&c, &params, &SweepSpec::expectation(&obs))
+            .unwrap();
+        // First-attempt-only panics at two points: the executor's retry
+        // makes the whole sweep succeed, byte-identically.
+        let engine = Engine::with_options(
+            EngineOptions::default()
+                .with_fault_plan(crate::FaultPlan::seeded(9).with_panic_at([0, 2])),
+        );
+        let recovered = engine
+            .sweep(&c, &params, &SweepSpec::expectation(&obs))
+            .unwrap();
+        assert_eq!(clean, recovered);
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of faults the engine injects into its own
+//! *production* code paths: spill I/O errors and torn writes in the
+//! artifact cache, worker panics at chosen sweep points, artificial delay
+//! at compile-phase boundaries. Every decision is a pure function of the
+//! plan's seed and the injection site's stable identity (a path hash, a
+//! point index, a per-path attempt counter) — never of wall-clock time,
+//! thread interleaving, or global occurrence order — so a plan replays
+//! identically at any thread count and batch width. That is what lets the
+//! chaos harness (`tests/chaos.rs`) assert the hard contract: everything
+//! that succeeds under faults is byte-identical to the fault-free run.
+//!
+//! With no plan installed the hooks are a single `Option` check on cold
+//! paths (spill I/O, compile boundaries, per-point dispatch) and cost
+//! nothing measurable.
+
+use crate::mix_seed;
+use std::path::Path;
+
+/// Injection sites, each with a stable salt (so the same seed drives
+/// independent decisions per site) and a telemetry counter path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A spill-file write attempt fails outright.
+    SpillWrite,
+    /// A spill-file read attempt fails outright.
+    SpillRead,
+    /// The tmp→final rename of a spill write fails.
+    SpillRename,
+    /// A spill write "succeeds" but persists truncated bytes.
+    SpillTorn,
+    /// A sweep worker panics while evaluating a point.
+    WorkerPanic,
+    /// Artificial delay at a compile-phase boundary.
+    CompileDelay,
+}
+
+impl FaultSite {
+    fn salt(self) -> u64 {
+        match self {
+            Self::SpillWrite => 0x5741_5249_5445_0001,
+            Self::SpillRead => 0x5245_4144_0000_0002,
+            Self::SpillRename => 0x524E_414D_4500_0003,
+            Self::SpillTorn => 0x544F_524E_0000_0004,
+            Self::WorkerPanic => 0x5041_4E49_4300_0005,
+            Self::CompileDelay => 0x4445_4C41_5900_0006,
+        }
+    }
+
+    /// The `fault/injected/*` counter ticked when this site actually
+    /// injects.
+    pub fn telemetry_path(self) -> &'static str {
+        match self {
+            Self::SpillWrite => "fault/injected/spill_write",
+            Self::SpillRead => "fault/injected/spill_read",
+            Self::SpillRename => "fault/injected/spill_rename",
+            Self::SpillTorn => "fault/injected/spill_torn",
+            Self::WorkerPanic => "fault/injected/worker_panic",
+            Self::CompileDelay => "fault/injected/compile_delay",
+        }
+    }
+}
+
+/// A seeded, serializable schedule of injectable faults.
+///
+/// Two kinds of knob compose:
+///
+/// * **Rates** (`spill_*_rate`, in `[0, 1]`): each attempt at a site fails
+///   with this probability, decided by hashing `(seed, site, path key,
+///   attempt number)` — seeded chaos, deterministic under replay.
+/// * **Deterministic prefixes** (`spill_*_fail_first`): the first *N*
+///   attempts at a path always fail before the rate is even consulted —
+///   the precise control targeted tests use to script "fail once, then
+///   succeed on retry".
+///
+/// Worker panics are scheduled by exact sweep-point index
+/// ([`FaultPlan::with_panic_at`]); by default a point panics only on its
+/// first attempt (so the executor's one retry succeeds), or on every
+/// attempt with [`FaultPlan::with_panic_every_attempt`] (so the point
+/// becomes a typed failure in the sweep report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed for all probabilistic decisions.
+    pub seed: u64,
+    /// Per-attempt probability that a spill write fails.
+    pub spill_write_rate: f64,
+    /// Per-attempt probability that a spill read fails.
+    pub spill_read_rate: f64,
+    /// Per-attempt probability that a spill tmp→final rename fails.
+    pub spill_rename_rate: f64,
+    /// Per-attempt probability that a spill write persists torn
+    /// (truncated) bytes instead of failing.
+    pub spill_torn_rate: f64,
+    /// First N write attempts per path always fail.
+    pub spill_write_fail_first: u32,
+    /// First N read attempts per path always fail.
+    pub spill_read_fail_first: u32,
+    /// Sweep-point indices at which evaluation panics.
+    pub panic_points: Vec<u64>,
+    /// Panic on every attempt at a scheduled point (default: first
+    /// attempt only, so the executor's single retry recovers it).
+    pub panic_every_attempt: bool,
+    /// Artificial sleep injected at each compile-phase boundary.
+    pub compile_delay_secs: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never fires (all rates zero, no panic points).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            spill_write_rate: 0.0,
+            spill_read_rate: 0.0,
+            spill_rename_rate: 0.0,
+            spill_torn_rate: 0.0,
+            spill_write_fail_first: 0,
+            spill_read_fail_first: 0,
+            panic_points: Vec::new(),
+            panic_every_attempt: false,
+            compile_delay_secs: 0.0,
+        }
+    }
+
+    /// Sets the per-attempt spill-write failure rate.
+    pub fn with_spill_write_rate(mut self, rate: f64) -> Self {
+        self.spill_write_rate = rate;
+        self
+    }
+
+    /// Sets the per-attempt spill-read failure rate.
+    pub fn with_spill_read_rate(mut self, rate: f64) -> Self {
+        self.spill_read_rate = rate;
+        self
+    }
+
+    /// Sets the per-attempt spill-rename failure rate.
+    pub fn with_spill_rename_rate(mut self, rate: f64) -> Self {
+        self.spill_rename_rate = rate;
+        self
+    }
+
+    /// Sets the per-attempt torn-write rate.
+    pub fn with_spill_torn_rate(mut self, rate: f64) -> Self {
+        self.spill_torn_rate = rate;
+        self
+    }
+
+    /// Fails the first `n` write attempts at every path deterministically.
+    pub fn with_spill_write_fail_first(mut self, n: u32) -> Self {
+        self.spill_write_fail_first = n;
+        self
+    }
+
+    /// Fails the first `n` read attempts at every path deterministically.
+    pub fn with_spill_read_fail_first(mut self, n: u32) -> Self {
+        self.spill_read_fail_first = n;
+        self
+    }
+
+    /// Schedules worker panics at these sweep-point indices.
+    pub fn with_panic_at<I: IntoIterator<Item = u64>>(mut self, points: I) -> Self {
+        self.panic_points = points.into_iter().collect();
+        self.panic_points.sort_unstable();
+        self.panic_points.dedup();
+        self
+    }
+
+    /// Panics on every attempt at scheduled points (defeats the retry).
+    pub fn with_panic_every_attempt(mut self, every: bool) -> Self {
+        self.panic_every_attempt = every;
+        self
+    }
+
+    /// Injects this much sleep at each compile-phase boundary.
+    pub fn with_compile_delay_secs(mut self, secs: f64) -> Self {
+        self.compile_delay_secs = secs;
+        self
+    }
+
+    /// True when nothing in the plan can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.spill_write_rate == 0.0
+            && self.spill_read_rate == 0.0
+            && self.spill_rename_rate == 0.0
+            && self.spill_torn_rate == 0.0
+            && self.spill_write_fail_first == 0
+            && self.spill_read_fail_first == 0
+            && self.panic_points.is_empty()
+            && self.compile_delay_secs == 0.0
+    }
+
+    /// The seeded coin for one `(site, key, attempt)` triple, in `[0, 1)`.
+    fn coin(&self, site: FaultSite, key: u64, attempt: u32) -> f64 {
+        let h = mix_seed(self.seed ^ site.salt() ^ key, attempt as u64);
+        // 53 mantissa bits → exact double in [0, 1).
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Should the `attempt`-th write (0-based) to the path keyed `key`
+    /// fail?
+    pub fn spill_write_fails(&self, key: u64, attempt: u32) -> bool {
+        attempt < self.spill_write_fail_first
+            || self.coin(FaultSite::SpillWrite, key, attempt) < self.spill_write_rate
+    }
+
+    /// Should the `attempt`-th read (0-based) from the path keyed `key`
+    /// fail?
+    pub fn spill_read_fails(&self, key: u64, attempt: u32) -> bool {
+        attempt < self.spill_read_fail_first
+            || self.coin(FaultSite::SpillRead, key, attempt) < self.spill_read_rate
+    }
+
+    /// Should the `attempt`-th rename of the path keyed `key` fail?
+    pub fn spill_rename_fails(&self, key: u64, attempt: u32) -> bool {
+        self.coin(FaultSite::SpillRename, key, attempt) < self.spill_rename_rate
+    }
+
+    /// Should the `attempt`-th write to the path keyed `key` persist torn
+    /// bytes? (Consulted only after [`Self::spill_write_fails`] said no.)
+    pub fn spill_write_torn(&self, key: u64, attempt: u32) -> bool {
+        self.coin(FaultSite::SpillTorn, key, attempt) < self.spill_torn_rate
+    }
+
+    /// Should the `attempt`-th evaluation (0-based) of sweep point
+    /// `index` panic?
+    pub fn panics_at(&self, index: u64, attempt: u32) -> bool {
+        self.panic_points.binary_search(&index).is_ok()
+            && (attempt == 0 || self.panic_every_attempt)
+    }
+
+    /// Serializes the plan to a compact `key=value;…` spec that
+    /// [`Self::from_spec`] parses back exactly (floats round-trip through
+    /// Rust's shortest-repr `Display`).
+    pub fn to_spec(&self) -> String {
+        let points: Vec<String> = self.panic_points.iter().map(u64::to_string).collect();
+        format!(
+            "seed={};spill_write_rate={};spill_read_rate={};spill_rename_rate={};\
+             spill_torn_rate={};spill_write_fail_first={};spill_read_fail_first={};\
+             panic_points={};panic_every_attempt={};compile_delay_secs={}",
+            self.seed,
+            self.spill_write_rate,
+            self.spill_read_rate,
+            self.spill_rename_rate,
+            self.spill_torn_rate,
+            self.spill_write_fail_first,
+            self.spill_read_fail_first,
+            points.join(","),
+            self.panic_every_attempt,
+            self.compile_delay_secs,
+        )
+    }
+
+    /// Parses a spec produced by [`Self::to_spec`] (unknown keys are an
+    /// error; missing keys keep their [`Self::seeded`] defaults).
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::seeded(0);
+        for field in spec.split(';').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec field `{field}` is not key=value"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("fault spec `{key}={value}`: {e}");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|e| bad(&e))?,
+                "spill_write_rate" => plan.spill_write_rate = value.parse().map_err(|e| bad(&e))?,
+                "spill_read_rate" => plan.spill_read_rate = value.parse().map_err(|e| bad(&e))?,
+                "spill_rename_rate" => {
+                    plan.spill_rename_rate = value.parse().map_err(|e| bad(&e))?
+                }
+                "spill_torn_rate" => plan.spill_torn_rate = value.parse().map_err(|e| bad(&e))?,
+                "spill_write_fail_first" => {
+                    plan.spill_write_fail_first = value.parse().map_err(|e| bad(&e))?
+                }
+                "spill_read_fail_first" => {
+                    plan.spill_read_fail_first = value.parse().map_err(|e| bad(&e))?
+                }
+                "panic_points" => {
+                    plan.panic_points = value
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|v| !v.is_empty())
+                        .map(|v| v.parse().map_err(|e| bad(&e)))
+                        .collect::<Result<_, _>>()?;
+                    plan.panic_points.sort_unstable();
+                    plan.panic_points.dedup();
+                }
+                "panic_every_attempt" => {
+                    plan.panic_every_attempt = value.parse().map_err(|e| bad(&e))?
+                }
+                "compile_delay_secs" => {
+                    plan.compile_delay_secs = value.parse().map_err(|e| bad(&e))?
+                }
+                _ => return Err(format!("fault spec has unknown key `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Stable, process-independent key for a spill path (FNV-1a over the file
+/// name). `std`'s default hasher is randomly seeded per process, so it
+/// cannot key fault decisions that must replay across runs.
+pub fn path_key(path: &Path) -> u64 {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        let plan = FaultPlan::seeded(0xDEAD_BEEF)
+            .with_spill_write_rate(0.37)
+            .with_spill_read_rate(1.0)
+            .with_spill_rename_rate(0.125)
+            .with_spill_torn_rate(0.05)
+            .with_spill_write_fail_first(2)
+            .with_spill_read_fail_first(1)
+            .with_panic_at([9, 3, 3, 17])
+            .with_panic_every_attempt(true)
+            .with_compile_delay_secs(0.001);
+        let spec = plan.to_spec();
+        assert_eq!(FaultPlan::from_spec(&spec).unwrap(), plan);
+        // Panic points were sorted + deduped at construction.
+        assert_eq!(plan.panic_points, vec![3, 9, 17]);
+    }
+
+    #[test]
+    fn from_spec_rejects_unknown_keys_and_malformed_fields() {
+        assert!(FaultPlan::from_spec("bogus=1").is_err());
+        assert!(FaultPlan::from_spec("seed").is_err());
+        assert!(FaultPlan::from_spec("seed=xyz").is_err());
+        let empty = FaultPlan::from_spec("").unwrap();
+        assert!(empty.is_noop());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_site_independent() {
+        let plan = FaultPlan::seeded(42)
+            .with_spill_write_rate(0.5)
+            .with_spill_read_rate(0.5);
+        for key in 0..32u64 {
+            for attempt in 0..8u32 {
+                assert_eq!(
+                    plan.spill_write_fails(key, attempt),
+                    plan.spill_write_fails(key, attempt),
+                );
+            }
+        }
+        // The two sites use independent coins: with 32×8 samples the odds
+        // of identical outcomes under rate 0.5 are ~2^-256.
+        let writes: Vec<bool> = (0..256)
+            .map(|i| plan.spill_write_fails(i / 8, (i % 8) as u32))
+            .collect();
+        let reads: Vec<bool> = (0..256)
+            .map(|i| plan.spill_read_fails(i / 8, (i % 8) as u32))
+            .collect();
+        assert_ne!(writes, reads);
+    }
+
+    #[test]
+    fn rate_extremes_are_exact() {
+        let never = FaultPlan::seeded(7);
+        let always = FaultPlan::seeded(7)
+            .with_spill_write_rate(1.0)
+            .with_spill_read_rate(1.0)
+            .with_spill_rename_rate(1.0)
+            .with_spill_torn_rate(1.0);
+        for key in 0..64u64 {
+            for attempt in 0..4u32 {
+                assert!(!never.spill_write_fails(key, attempt));
+                assert!(!never.spill_read_fails(key, attempt));
+                assert!(!never.spill_rename_fails(key, attempt));
+                assert!(!never.spill_write_torn(key, attempt));
+                assert!(always.spill_write_fails(key, attempt));
+                assert!(always.spill_read_fails(key, attempt));
+                assert!(always.spill_rename_fails(key, attempt));
+                assert!(always.spill_write_torn(key, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn fail_first_overrides_rate_then_yields_to_it() {
+        let plan = FaultPlan::seeded(11).with_spill_write_fail_first(2);
+        for key in [0u64, 1, 0xFFFF] {
+            assert!(plan.spill_write_fails(key, 0));
+            assert!(plan.spill_write_fails(key, 1));
+            assert!(!plan.spill_write_fails(key, 2), "rate is 0 past prefix");
+        }
+    }
+
+    #[test]
+    fn panic_schedule_honours_attempts() {
+        let once = FaultPlan::seeded(1).with_panic_at([5]);
+        assert!(once.panics_at(5, 0));
+        assert!(!once.panics_at(5, 1));
+        assert!(!once.panics_at(4, 0));
+        let every = FaultPlan::seeded(1)
+            .with_panic_at([5])
+            .with_panic_every_attempt(true);
+        assert!(every.panics_at(5, 0));
+        assert!(every.panics_at(5, 1));
+    }
+
+    #[test]
+    fn path_key_is_stable_and_name_sensitive() {
+        let a = path_key(Path::new("/tmp/x/qkc-art-0000000000000001-0.qkcart"));
+        let b = path_key(Path::new("/other/dir/qkc-art-0000000000000001-0.qkcart"));
+        let c = path_key(Path::new("/tmp/x/qkc-art-0000000000000002-0.qkcart"));
+        assert_eq!(a, b, "keyed by file name, not directory");
+        assert_ne!(a, c);
+    }
+}

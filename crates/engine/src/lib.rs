@@ -52,8 +52,10 @@
 //! ```
 
 mod backend;
+mod budget;
 mod cache;
 mod facade;
+pub mod faults;
 mod gradient;
 mod planner;
 mod stats;
@@ -64,12 +66,14 @@ pub use backend::{
     Backend, BackendKind, Capabilities, DensityMatrixBackend, EngineError, KcBackend,
     StateVectorBackend, TensorNetworkBackend,
 };
+pub use budget::QueryBudget;
 pub use cache::{ArtifactCache, CacheOptions};
 pub use facade::{Engine, EngineOptions};
+pub use faults::{FaultPlan, FaultSite};
 pub use gradient::{GradientMethod, GradientPoint, GradientResult, GradientSpec, FD_STEP};
 pub use planner::{Candidate, KcCalibration, Plan, PlanExplanation, PlanHint, Planner};
 pub use stats::{CacheStats, CircuitStats};
-pub use sweep::{SweepExecutor, SweepPoint, SweepSpec, DEFAULT_BATCH};
+pub use sweep::{SweepExecutor, SweepFailure, SweepPoint, SweepReport, SweepSpec, DEFAULT_BATCH};
 pub use variational::{
     minimize_variational, minimize_variational_gradient, minimize_variational_terms,
     GradientOptimizer, VariationalConfig, VariationalGradientConfig, VariationalResult,

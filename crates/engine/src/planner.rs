@@ -548,7 +548,11 @@ mod tests {
                 .expect("kc candidate")
         };
         assert!((kc(&caled).est_log2_cost - 12.0).abs() < 1e-9, "log2(4096)");
-        assert!(kc(&caled).verdict.contains("measured"), "{}", kc(&caled).verdict);
+        assert!(
+            kc(&caled).verdict.contains("measured"),
+            "{}",
+            kc(&caled).verdict
+        );
         assert!(!kc(&uncal).verdict.contains("measured"));
         // The plan's justification cites the measured artifact — appended,
         // so every uncalibrated reason phrase survives.

@@ -39,6 +39,17 @@ pub struct CacheStats {
     pub resident_bytes: usize,
     /// Bytes of valid artifact spill files on disk.
     pub spilled_bytes: usize,
+    /// Spill-I/O attempts that were retried after a failure (reads and
+    /// writes; each retried attempt counts once).
+    pub spill_retries: u64,
+    /// Corrupt/stale spill files renamed aside (`*.quarantined`) so they
+    /// are never re-read: each costs one recompile, exactly once.
+    pub quarantined: u64,
+    /// Whether the cache has degraded to in-memory-only caching after
+    /// exhausting spill-write retries. Sticky until
+    /// [`clear`](crate::ArtifactCache::clear); queries keep succeeding,
+    /// evicted entries recompile instead of rehydrating.
+    pub degraded: bool,
 }
 
 /// Structural statistics of a circuit, cheap to compute (no compilation),

@@ -1,8 +1,11 @@
 //! The parallel parameter-sweep executor.
 
 use crate::backend::{Backend, EngineError};
+use crate::budget::QueryCtx;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::mix_seed;
 use qkc_circuit::{Circuit, ParamMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// What each sweep point should produce.
 ///
@@ -73,6 +76,46 @@ pub struct SweepPoint {
     pub samples: Vec<usize>,
 }
 
+/// One sweep point that could not be evaluated: its position in the input
+/// batch and the typed error that stopped it (after the executor's single
+/// retry, for panics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Position in the input parameter batch.
+    pub index: usize,
+    /// Why the point failed.
+    pub error: EngineError,
+}
+
+/// The full outcome of a sweep: every point that succeeded plus a typed
+/// failure for every point that did not. Successful points are
+/// byte-identical to what a fault-free run would have produced for them —
+/// containment never changes a value, it only removes points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepReport {
+    /// Successful points, in input order.
+    pub points: Vec<SweepPoint>,
+    /// Failed points, in input order.
+    pub failures: Vec<SweepFailure>,
+}
+
+impl SweepReport {
+    /// True when every point succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Collapses the report to the all-or-nothing [`SweepExecutor::run`]
+    /// contract: all points on success, otherwise the lowest-index
+    /// failure's error.
+    pub fn into_result(self) -> Result<Vec<SweepPoint>, EngineError> {
+        match self.failures.into_iter().next() {
+            None => Ok(self.points),
+            Some(first) => Err(first.error),
+        }
+    }
+}
+
 /// Fans a batch of parameter bindings out across worker threads, and
 /// within each worker through the backend's batched evaluation path.
 ///
@@ -94,6 +137,7 @@ pub struct SweepPoint {
 pub struct SweepExecutor {
     threads: usize,
     batch: usize,
+    ctx: Option<QueryCtx>,
 }
 
 /// The default batch width: wide enough to amortize per-node dispatch in
@@ -123,7 +167,16 @@ impl SweepExecutor {
         Self {
             threads: threads.max(1),
             batch: DEFAULT_BATCH,
+            ctx: None,
         }
+    }
+
+    /// Attaches a per-call query context (deadline clock + fault plan);
+    /// the executor checks the deadline at lane boundaries and consults
+    /// the plan's panic schedule per point.
+    pub(crate) fn with_ctx(mut self, ctx: Option<QueryCtx>) -> Self {
+        self.ctx = ctx;
+        self
     }
 
     /// Sets the batch width: how many sweep points each worker evaluates
@@ -149,8 +202,10 @@ impl SweepExecutor {
     ///
     /// # Errors
     ///
-    /// The first point-level error, if any point fails (all points run the
-    /// same circuit structure, so failures are typically uniform).
+    /// The lowest-index point-level failure, if any point fails (all
+    /// points run the same circuit structure, so failures are typically
+    /// uniform). Use [`SweepExecutor::run_report`] instead to keep the
+    /// points that did succeed.
     pub fn run(
         &self,
         backend: &dyn Backend,
@@ -158,19 +213,42 @@ impl SweepExecutor {
         params: &[ParamMap],
         spec: &SweepSpec<'_>,
     ) -> Result<Vec<SweepPoint>, EngineError> {
+        self.run_report(backend, circuit, params, spec)
+            .and_then(SweepReport::into_result)
+    }
+
+    /// Runs every binding in `params` against `backend`, containing
+    /// point-level failures instead of aborting: a point whose evaluation
+    /// panics is retried once on a fresh call, and a point that still
+    /// fails becomes a typed [`SweepFailure`] while every other point's
+    /// result is kept (byte-identical to a fault-free run).
+    ///
+    /// # Errors
+    ///
+    /// Only sweep-global failures: an exceeded
+    /// [`QueryBudget`](crate::QueryBudget) deadline (checked at lane
+    /// boundaries) or a panic that escapes point-level containment.
+    pub fn run_report(
+        &self,
+        backend: &dyn Backend,
+        circuit: &Circuit,
+        params: &[ParamMap],
+        spec: &SweepSpec<'_>,
+    ) -> Result<SweepReport, EngineError> {
         if params.is_empty() {
-            return Ok(Vec::new());
+            return Ok(SweepReport::default());
         }
         // No warm-up pass is needed before fanning out: concurrent first
         // touches of a compile-once backend serialize on the artifact
         // cache's per-key cell, so exactly one worker compiles and the rest
         // block until the artifact is shared.
         let batch = self.batch;
+        let ctx = self.ctx.as_ref();
         // Per-worker accounting exists only while telemetry is on; the
         // disabled path runs the exact uninstrumented closure.
         let run_start = qkc_telemetry::enabled().then(std::time::Instant::now);
         let busy_secs: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
-        let result = fan_out_chunks(self.threads, params, |lo, slice| {
+        let outcomes = fan_out_chunks(self.threads, params, |lo, slice| {
             if let Some(start) = run_start {
                 // Queue wait: spawn-to-start latency of this worker.
                 qkc_telemetry::record_span_secs(
@@ -178,13 +256,13 @@ impl SweepExecutor {
                     start.elapsed().as_secs_f64(),
                 );
                 let busy_start = std::time::Instant::now();
-                let r = run_slice(backend, circuit, lo, slice, spec, batch);
+                let r = run_slice(backend, circuit, lo, slice, spec, batch, ctx);
                 let busy = busy_start.elapsed().as_secs_f64();
                 qkc_telemetry::record_span_secs("sweep/worker/busy", busy);
                 busy_secs.lock().expect("busy log poisoned").push(busy);
                 r
             } else {
-                run_slice(backend, circuit, lo, slice, spec, batch)
+                run_slice(backend, circuit, lo, slice, spec, batch, ctx)
             }
         });
         if let Some(start) = run_start {
@@ -197,8 +275,22 @@ impl SweepExecutor {
                 qkc_telemetry::record_span_secs("sweep/worker/idle", (wall - busy).max(0.0));
             }
         }
-        result
+        let mut report = SweepReport::default();
+        for outcome in outcomes? {
+            match outcome {
+                PointOutcome::Done(point) => report.points.push(point),
+                PointOutcome::Failed(failure) => report.failures.push(failure),
+            }
+        }
+        Ok(report)
     }
+}
+
+/// One point's contained outcome inside a worker slice: the slice keeps
+/// going either way, and the report partitions these afterwards.
+enum PointOutcome {
+    Done(SweepPoint),
+    Failed(SweepFailure),
 }
 
 /// Fans `items` out across up to `threads` scoped workers in contiguous
@@ -267,9 +359,12 @@ fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> EngineError {
 
 /// Evaluates one worker's contiguous slice of the point space, in lanes of
 /// `batch` points. Each lane tries one batched exact-expectation call;
-/// when the backend cannot answer exactly (`Unsupported`), every point of
-/// the lane falls back to the scalar [`run_point`] path, which resolves
-/// sampling and error semantics per point.
+/// when the backend cannot answer exactly (`Unsupported`) — or the
+/// batched call panics or errors, so the blast radius must shrink to the
+/// actually-faulty point — every point of the lane falls back to the
+/// scalar [`run_point`] path, which resolves sampling and error semantics
+/// per point. Point-level failures are contained into [`PointOutcome`]s;
+/// only a deadline expiry (checked once per lane) aborts the slice.
 fn run_slice(
     backend: &dyn Backend,
     circuit: &Circuit,
@@ -277,49 +372,132 @@ fn run_slice(
     slice: &[ParamMap],
     spec: &SweepSpec<'_>,
     batch: usize,
-) -> Result<Vec<SweepPoint>, EngineError> {
+    ctx: Option<&QueryCtx>,
+) -> Result<Vec<PointOutcome>, EngineError> {
+    let plan = ctx.and_then(QueryCtx::faults).filter(|p| !p.is_noop());
     let mut out = Vec::with_capacity(slice.len());
     for (lane_index, lane) in slice.chunks(batch.max(1)).enumerate() {
+        if let Some(c) = ctx {
+            // Cooperative cancellation boundary: one clock read per lane.
+            c.check_deadline()?;
+        }
         // One relaxed load when telemetry is off; a lane-latency histogram
         // sample when on.
         let _lane_span = qkc_telemetry::span("sweep/worker/chunk");
         let base = lo + lane_index * batch.max(1);
+        let lane_has_panic_point =
+            plan.is_some_and(|p| (0..lane.len()).any(|j| p.panics_at((base + j) as u64, 0)));
         let batched: Option<Vec<f64>> = match spec.observable {
-            Some(obs) if lane.len() > 1 => match backend.expectation_batch(circuit, lane, obs) {
-                Ok(values) => Some(values),
-                // Exact batched evaluation is unsupported: the scalar path
-                // repeats the (cheap) discovery per point and applies the
-                // shots/sampling fallback rules there.
-                Err(EngineError::Unsupported { .. }) => None,
-                Err(e) => return Err(e),
-            },
+            // A lane containing a scheduled panic point skips the batched
+            // call entirely: its fault must fire inside the per-point
+            // containment, not tear the whole lane's evaluation.
+            Some(obs) if lane.len() > 1 && !lane_has_panic_point => {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    backend.expectation_batch(circuit, lane, obs)
+                })) {
+                    Ok(Ok(values)) => Some(values),
+                    // Exact batched evaluation is unsupported: the scalar
+                    // path repeats the (cheap) discovery per point and
+                    // applies the shots/sampling fallback rules there.
+                    Ok(Err(EngineError::Unsupported { .. })) => None,
+                    // The deadline expired inside the backend: that is a
+                    // sweep-global stop, not a per-point fault.
+                    Ok(Err(e @ EngineError::DeadlineExceeded { .. })) => return Err(e),
+                    // Any other batched error (or panic): retry the lane
+                    // point by point, so healthy points still succeed —
+                    // bit-identically, by the batched-kernel contract —
+                    // and only the faulty ones are reported failed.
+                    Ok(Err(_)) | Err(_) => None,
+                }
+            }
             _ => None,
         };
         for (j, p) in lane.iter().enumerate() {
             let index = base + j;
-            match &batched {
-                Some(values) => {
-                    let mut samples = Vec::new();
-                    if spec.keep_samples {
-                        samples = backend.sample(
-                            circuit,
-                            p,
-                            spec.shots,
-                            mix_seed(spec.seed, index as u64),
-                        )?;
-                    }
-                    out.push(SweepPoint {
-                        index,
-                        expectation: Some(values[j]),
-                        exact: true,
-                        samples,
-                    });
-                }
-                None => out.push(run_point(backend, circuit, index, p, spec)?),
-            }
+            let batched_value = batched.as_ref().map(|values| values[j]);
+            out.push(eval_point(
+                backend,
+                circuit,
+                index,
+                p,
+                spec,
+                batched_value,
+                plan,
+            )?);
         }
     }
     Ok(out)
+}
+
+/// Evaluates one sweep point with failure containment: a panic (injected
+/// via the [`FaultPlan`] panic schedule or genuine) is caught, the point
+/// is retried once on a fresh scalar evaluation, and a second failure
+/// becomes a typed [`SweepFailure`]. Typed backend errors fail the point
+/// immediately (retrying a deterministic error cannot help). Only a
+/// deadline expiry escapes as `Err` and stops the sweep.
+fn eval_point(
+    backend: &dyn Backend,
+    circuit: &Circuit,
+    index: usize,
+    params: &ParamMap,
+    spec: &SweepSpec<'_>,
+    batched_value: Option<f64>,
+    plan: Option<&FaultPlan>,
+) -> Result<PointOutcome, EngineError> {
+    for attempt in 0u32..=1 {
+        // The retry always re-derives the point through the scalar path —
+        // a fresh evaluation that owes nothing to the lane state the
+        // first attempt died in. Bit-identical either way: batched
+        // kernels and the scalar path agree to the last ulp by contract.
+        let from_lane = batched_value.filter(|_| attempt == 0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = plan {
+                if plan.panics_at(index as u64, attempt) {
+                    qkc_telemetry::count(FaultSite::WorkerPanic.telemetry_path(), 1);
+                    panic!(
+                        "fault injection: worker panic at sweep point {index} (attempt {attempt})"
+                    );
+                }
+            }
+            match from_lane {
+                Some(expectation) => {
+                    let samples = if spec.keep_samples {
+                        backend.sample(
+                            circuit,
+                            params,
+                            spec.shots,
+                            mix_seed(spec.seed, index as u64),
+                        )?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(SweepPoint {
+                        index,
+                        expectation: Some(expectation),
+                        exact: true,
+                        samples,
+                    })
+                }
+                None => run_point(backend, circuit, index, params, spec),
+            }
+        }));
+        match result {
+            Ok(Ok(point)) => return Ok(PointOutcome::Done(point)),
+            Ok(Err(e @ EngineError::DeadlineExceeded { .. })) => return Err(e),
+            Ok(Err(error)) => return Ok(PointOutcome::Failed(SweepFailure { index, error })),
+            Err(payload) => {
+                if attempt == 0 {
+                    qkc_telemetry::count("sweep/point_retry", 1);
+                    continue;
+                }
+                return Ok(PointOutcome::Failed(SweepFailure {
+                    index,
+                    error: worker_panic_error(payload),
+                }));
+            }
+        }
+    }
+    unreachable!("the attempt loop always returns")
 }
 
 /// Evaluates one sweep point: exact expectation when the backend can,
@@ -633,6 +811,106 @@ mod tests {
             .run(&backend, &rx_circuit(), &sweep_params(3), &spec)
             .expect("panic-free points succeed");
         assert_eq!(healthy.len(), 3);
+    }
+
+    #[test]
+    fn run_report_keeps_healthy_points_and_types_the_failures() {
+        // Per-point containment: the panicking point becomes a typed
+        // failure, every other point's result survives.
+        let backend = FaultyBackend {
+            panic_on: Some(0.2 + 0.1 * 3.0),
+            empty_samples: false,
+        };
+        let obs = |bits: usize| bits as f64;
+        let spec = SweepSpec {
+            shots: 16,
+            observable: Some(&obs),
+            keep_samples: false,
+            seed: 1,
+        };
+        for threads in [1usize, 4] {
+            let report = SweepExecutor::new(threads)
+                .with_batch(1)
+                .run_report(&backend, &rx_circuit(), &sweep_params(8), &spec)
+                .unwrap();
+            assert_eq!(report.failures.len(), 1, "threads={threads}");
+            assert_eq!(report.failures[0].index, 3);
+            assert!(matches!(
+                report.failures[0].error,
+                EngineError::WorkerPanicked { .. }
+            ));
+            let indices: Vec<usize> = report.points.iter().map(|p| p.index).collect();
+            assert_eq!(indices, vec![0, 1, 2, 4, 5, 6, 7]);
+            assert!(!report.is_complete());
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_recovered_by_the_single_retry() {
+        use crate::budget::QueryCtx;
+        use crate::faults::FaultPlan;
+        use crate::QueryBudget;
+
+        let cache = Arc::new(ArtifactCache::new());
+        let backend = KcBackend::new(cache, KcOptions::default());
+        let obs = |bits: usize| if bits == 0b11 { 1.0 } else { 0.0 };
+        let spec = SweepSpec::expectation(&obs);
+        let clean = SweepExecutor::new(2)
+            .run_report(&backend, &rx_circuit(), &sweep_params(6), &spec)
+            .unwrap();
+        assert!(clean.is_complete());
+
+        // Default schedule panics on the first attempt only: the retry
+        // recovers every point, byte-identically.
+        let plan = FaultPlan::seeded(3).with_panic_at([1, 4]);
+        let recovered = SweepExecutor::new(2)
+            .with_ctx(Some(QueryCtx::new(QueryBudget::unlimited(), Some(plan))))
+            .run_report(&backend, &rx_circuit(), &sweep_params(6), &spec)
+            .unwrap();
+        assert_eq!(clean, recovered, "retry must reproduce fault-free bytes");
+
+        // Panicking on every attempt defeats the retry: those two points
+        // become typed failures, the rest still match the clean run.
+        let plan = FaultPlan::seeded(3)
+            .with_panic_at([1, 4])
+            .with_panic_every_attempt(true);
+        let partial = SweepExecutor::new(2)
+            .with_ctx(Some(QueryCtx::new(QueryBudget::unlimited(), Some(plan))))
+            .run_report(&backend, &rx_circuit(), &sweep_params(6), &spec)
+            .unwrap();
+        let failed: Vec<usize> = partial.failures.iter().map(|f| f.index).collect();
+        assert_eq!(failed, vec![1, 4]);
+        for point in &partial.points {
+            assert_eq!(
+                Some(point),
+                clean.points.iter().find(|p| p.index == point.index),
+                "contained faults must not perturb surviving points"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_sweep_with_a_typed_error() {
+        use crate::budget::QueryCtx;
+        use crate::QueryBudget;
+        use std::time::Duration;
+
+        let cache = Arc::new(ArtifactCache::new());
+        let backend = KcBackend::new(cache, KcOptions::default());
+        let obs = |bits: usize| bits as f64;
+        let spec = SweepSpec::expectation(&obs);
+        let ctx = QueryCtx::new(QueryBudget::unlimited().with_deadline(Duration::ZERO), None);
+        std::thread::sleep(Duration::from_millis(1));
+        let result = SweepExecutor::new(2).with_ctx(Some(ctx)).run_report(
+            &backend,
+            &rx_circuit(),
+            &sweep_params(5),
+            &spec,
+        );
+        assert!(
+            matches!(result, Err(EngineError::DeadlineExceeded { .. })),
+            "got {result:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Chaos harness: seeded fault-injection matrices over real engine
+//! workloads.
+//!
+//! The hard contract under test, from the engine's determinism guarantee:
+//! **everything that succeeds under injected faults is byte-identical to
+//! the fault-free run** — recovery paths (spill retries, quarantined
+//! rehydration, per-point panic retries, degraded in-memory-only caching)
+//! may cost time, but they may never perturb a value. Faults that defeat
+//! recovery must surface as *typed* errors or typed per-point failures,
+//! never as panics escaping the public API, and never as hung waiters.
+
+use qkc::circuit::{Circuit, Param, ParamMap};
+use qkc::engine::{
+    BackendKind, CacheOptions, Engine, EngineError, EngineOptions, FaultPlan, GradientSpec,
+    QueryBudget, SweepSpec,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A unique scratch dir per call (std-only; no tempfile dependency).
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qkc-chaos-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A wide-shallow noisy sweep circuit the planner routes to the
+/// knowledge-compilation backend — the one with a compile step, a cache
+/// entry, and spill I/O to inject faults into.
+fn chaos_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.rx(0, Param::symbol("t"))
+        .cnot(0, 1)
+        .zz(1, 2, Param::symbol("g"))
+        .depolarize(1, 0.02);
+    c
+}
+
+fn chaos_params(n: usize) -> Vec<ParamMap> {
+    (0..n)
+        .map(|i| ParamMap::from_pairs([("t", 0.15 + 0.1 * i as f64), ("g", 0.4 - 0.05 * i as f64)]))
+        .collect()
+}
+
+fn observable(bits: usize) -> f64 {
+    bits.count_ones() as f64 - 0.5
+}
+
+fn engine_with(
+    threads: usize,
+    batch: usize,
+    extra: impl FnOnce(EngineOptions) -> EngineOptions,
+) -> Engine {
+    let options = EngineOptions::default()
+        .with_backend(BackendKind::KnowledgeCompilation)
+        .with_threads(threads)
+        .with_batch(batch);
+    Engine::with_options(extra(options))
+}
+
+/// The fault-free reference run every chaos result is compared against.
+fn baseline(spec: &SweepSpec<'_>) -> Vec<qkc::engine::SweepPoint> {
+    engine_with(1, 1, |o| o)
+        .sweep(&chaos_circuit(), &chaos_params(8), spec)
+        .expect("fault-free baseline")
+}
+
+#[test]
+fn recovered_faults_reproduce_fault_free_bytes_across_the_matrix() {
+    // Spill I/O failure storms (write, read, rename, torn bytes) plus
+    // first-attempt-only worker panics: every fault here is recoverable
+    // (retries, quarantine + recompile, point retry), so every sweep must
+    // fully succeed and match the clean run bit for bit — at every thread
+    // count and batch width in the CI matrix.
+    let obs = observable;
+    let spec = SweepSpec {
+        shots: 32,
+        observable: Some(&obs),
+        keep_samples: true,
+        seed: 0xC0FFEE,
+    };
+    let clean = baseline(&spec);
+    for fault_seed in [1u64, 7, 42] {
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_spill_write_rate(0.5)
+            .with_spill_read_rate(0.5)
+            .with_spill_rename_rate(0.3)
+            .with_spill_torn_rate(0.3)
+            .with_panic_at([2, 5]);
+        for threads in [1usize, 2, 4] {
+            for batch in [1usize, 16] {
+                let dir = scratch_dir("matrix");
+                let engine = engine_with(threads, batch, |o| {
+                    o.with_cache(
+                        CacheOptions::default()
+                            // A 1-byte budget keeps nothing resident, so
+                            // every re-touch exercises the faulty spill
+                            // read path (or a recompile after quarantine).
+                            .with_max_resident_bytes(1)
+                            .with_spill_dir(&dir),
+                    )
+                    .with_fault_plan(plan.clone())
+                });
+                let got = engine
+                    .sweep(&chaos_circuit(), &chaos_params(8), &spec)
+                    .unwrap_or_else(|e| {
+                        panic!("seed={fault_seed} threads={threads} batch={batch}: {e}")
+                    });
+                assert_eq!(
+                    clean, got,
+                    "seed={fault_seed} threads={threads} batch={batch}: \
+                     recovery changed bytes"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+#[test]
+fn defeated_retries_become_typed_per_point_failures() {
+    // Panic on *every* attempt at two points: the single retry cannot
+    // save them, so the report must carry exactly those two typed
+    // failures — and every surviving point must still match the clean
+    // run exactly.
+    let obs = observable;
+    let spec = SweepSpec {
+        shots: 16,
+        observable: Some(&obs),
+        keep_samples: true,
+        seed: 9,
+    };
+    let clean = baseline(&spec);
+    let plan = FaultPlan::seeded(3)
+        .with_panic_at([1, 6])
+        .with_panic_every_attempt(true);
+    for threads in [1usize, 2, 4] {
+        for batch in [1usize, 16] {
+            let engine = engine_with(threads, batch, |o| o.with_fault_plan(plan.clone()));
+            let report = engine
+                .sweep_report(&chaos_circuit(), &chaos_params(8), &spec)
+                .expect("contained failures are not sweep-global errors");
+            let failed: Vec<usize> = report.failures.iter().map(|f| f.index).collect();
+            assert_eq!(failed, vec![1, 6], "threads={threads} batch={batch}");
+            for failure in &report.failures {
+                assert!(
+                    matches!(failure.error, EngineError::WorkerPanicked { .. }),
+                    "typed failure, got {:?}",
+                    failure.error
+                );
+            }
+            assert_eq!(report.points.len(), 6);
+            for point in &report.points {
+                assert_eq!(
+                    Some(point),
+                    clean.iter().find(|p| p.index == point.index),
+                    "threads={threads} batch={batch}: survivor perturbed"
+                );
+            }
+            // The all-or-nothing entry point reports the lowest index.
+            let strict = engine.sweep(&chaos_circuit(), &chaos_params(8), &spec);
+            assert!(
+                matches!(strict, Err(EngineError::WorkerPanicked { .. })),
+                "got {strict:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn total_spill_write_failure_degrades_without_changing_answers() {
+    // Every spill write fails forever: the cache must degrade to
+    // in-memory-only mode (a mode, not an error) and answers must still
+    // match the clean run exactly.
+    let obs = observable;
+    let spec = SweepSpec {
+        shots: 0,
+        observable: Some(&obs),
+        keep_samples: false,
+        seed: 5,
+    };
+    let clean = baseline(&spec);
+    let dir = scratch_dir("degrade");
+    let engine = engine_with(2, 16, |o| {
+        o.with_cache(CacheOptions::default().with_spill_dir(&dir))
+            .with_fault_plan(FaultPlan::seeded(13).with_spill_write_rate(1.0))
+    });
+    let got = engine
+        .sweep(&chaos_circuit(), &chaos_params(8), &spec)
+        .expect("degradation must not fail queries");
+    assert_eq!(clean, got);
+    let stats = engine.cache().stats();
+    assert!(stats.degraded, "exhausted write retries flip the latch");
+    assert_eq!(stats.spilled_bytes, 0);
+    assert!(stats.spill_retries > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadlines_and_compile_timeouts_are_typed_errors_not_hangs() {
+    // An already-expired whole-call deadline: typed error from the first
+    // cooperative checkpoint.
+    let expired = engine_with(2, 16, |o| {
+        o.with_budget(QueryBudget::unlimited().with_deadline(Duration::ZERO))
+    });
+    std::thread::sleep(Duration::from_millis(1));
+    let obs = observable;
+    let spec = SweepSpec::expectation(&obs);
+    let result = expired.sweep(&chaos_circuit(), &chaos_params(4), &spec);
+    assert!(
+        matches!(result, Err(EngineError::DeadlineExceeded { .. })),
+        "got {result:?}"
+    );
+
+    // A compile timeout shorter than the injected per-phase delay: the
+    // compile-phase checkpoint cancels the compilation mid-pipeline.
+    let slow_compile = engine_with(2, 16, |o| {
+        o.with_budget(QueryBudget::unlimited().with_compile_timeout(Duration::from_millis(1)))
+            .with_fault_plan(FaultPlan::seeded(2).with_compile_delay_secs(0.005))
+    });
+    match slow_compile.sweep(&chaos_circuit(), &chaos_params(4), &spec) {
+        Err(EngineError::DeadlineExceeded { budget, .. }) => {
+            assert_eq!(budget, "compile_timeout");
+        }
+        other => panic!("expected compile_timeout expiry, got {other:?}"),
+    }
+    // The failed resolution left no artifact behind (the entry keeps its
+    // identity, but holds nothing).
+    let stats = slow_compile.cache().stats();
+    assert_eq!(stats.resident_entries, 0);
+    assert_eq!(stats.resident_bytes, 0);
+}
+
+#[test]
+fn failed_resolutions_strand_no_waiters() {
+    // Several threads race for the same (always-failing) compilation.
+    // The resolver's failure must restore the cache cell and wake every
+    // waiter — each caller then takes its own turn, fails its own typed
+    // way, and returns. A stranded waiter would hang this test forever.
+    let engine = std::sync::Arc::new(engine_with(4, 16, |o| {
+        o.with_budget(QueryBudget::unlimited().with_compile_timeout(Duration::from_millis(1)))
+            .with_fault_plan(FaultPlan::seeded(4).with_compile_delay_secs(0.005))
+    }));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let engine = std::sync::Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            engine.probabilities(&chaos_circuit(), &chaos_params(1)[0].clone())
+        }));
+    }
+    for h in handles {
+        let result = h.join().expect("no panic escapes the engine API");
+        assert!(
+            matches!(result, Err(EngineError::DeadlineExceeded { .. })),
+            "got {result:?}"
+        );
+    }
+    let stats = engine.cache().stats();
+    assert_eq!(stats.resident_entries, 0, "no half-built entries remain");
+    assert_eq!(stats.resident_bytes, 0);
+}
+
+#[test]
+fn gradient_sweeps_under_spill_faults_are_byte_identical() {
+    // The gradient path shares the artifact cache: spill I/O chaos under
+    // an eviction-heavy cache must not move a single derivative bit.
+    let obs = observable;
+    let spec = GradientSpec {
+        observable: &obs,
+        wrt: None,
+    };
+    let clean = engine_with(1, 1, |o| o)
+        .gradient_sweep(&chaos_circuit(), &chaos_params(6), &spec)
+        .expect("fault-free gradient baseline");
+    let dir = scratch_dir("gradient");
+    let plan = FaultPlan::seeded(17)
+        .with_spill_write_rate(0.5)
+        .with_spill_read_rate(0.5)
+        .with_spill_torn_rate(0.3);
+    for threads in [1usize, 4] {
+        let engine = engine_with(threads, 16, |o| {
+            o.with_cache(
+                CacheOptions::default()
+                    .with_max_resident_bytes(1)
+                    .with_spill_dir(&dir),
+            )
+            .with_fault_plan(plan.clone())
+        });
+        let got = engine
+            .gradient_sweep(&chaos_circuit(), &chaos_params(6), &spec)
+            .expect("recoverable faults must not fail gradients");
+        assert_eq!(clean, got, "threads={threads}: gradients perturbed");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,6 +3,7 @@
 //! answer.
 
 use qkc::circuit::{Circuit, CircuitError, Param, ParamMap, PermutationOp};
+use qkc::engine::{Engine, EngineError, GradientSpec, SweepSpec};
 use qkc::kc::KcSimulator;
 use qkc::statevector::StateVectorSimulator;
 use qkc::tensornet::TensorNetwork;
@@ -111,6 +112,73 @@ fn probability_queries_survive_extreme_noise() {
     let probs = sim.bind(&ParamMap::new()).unwrap().output_probabilities();
     assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
     assert!((probs[0] - 0.5).abs() < 1e-10);
+}
+
+#[test]
+#[should_panic(expected = "at least one qubit")]
+fn zero_qubit_circuits_are_rejected_at_construction() {
+    // A zero-qubit circuit has no output space to measure: the IR rejects
+    // it before any engine entry point can be asked to simulate one.
+    let _ = Circuit::new(0);
+}
+
+#[test]
+fn engine_gradient_handles_empty_and_unknown_wrt_without_panicking() {
+    let engine = Engine::new();
+    let mut c = Circuit::new(2);
+    c.rx(0, Param::symbol("t")).cnot(0, 1);
+    let params = ParamMap::from_pairs([("t", 0.3)]);
+    let obs = |bits: usize| bits as f64;
+
+    // Empty wrt: a legal degenerate query — the value still computes, the
+    // gradient is simply empty.
+    let empty = engine.gradient(&c, &params, &obs, Some(&[])).unwrap();
+    assert!(empty.gradient.is_empty());
+    assert!((empty.value - (0.3f64 / 2.0).sin().powi(2) * 3.0).abs() < 1e-9);
+
+    // A symbol the circuit never mentions: its component is exactly 0
+    // (the objective does not depend on it), not an error and not junk.
+    let unknown = engine
+        .gradient(&c, &params, &obs, Some(&["nope".to_string()]))
+        .unwrap();
+    assert_eq!(unknown.gradient, vec![0.0]);
+
+    // An unbound circuit symbol is a *typed* error at the engine level.
+    let err = engine
+        .gradient(&c, &ParamMap::new(), &obs, None)
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::Circuit(_)),
+        "expected a typed circuit error, got {err:?}"
+    );
+    assert!(err.to_string().contains("`t` has no bound value"), "{err}");
+}
+
+#[test]
+fn engine_sweeps_over_empty_point_lists_are_empty_not_errors() {
+    let engine = Engine::new();
+    let mut c = Circuit::new(2);
+    c.rx(0, Param::symbol("t")).cnot(0, 1);
+    let obs = |bits: usize| bits as f64;
+
+    let points = engine
+        .sweep(&c, &[], &SweepSpec::expectation(&obs))
+        .unwrap();
+    assert!(points.is_empty());
+
+    let report = engine
+        .sweep_report(&c, &[], &SweepSpec::expectation(&obs))
+        .unwrap();
+    assert!(report.points.is_empty() && report.failures.is_empty());
+    assert!(report.is_complete());
+
+    let gradients = engine
+        .gradient_sweep(&c, &[], &GradientSpec::new(&obs))
+        .unwrap();
+    assert!(gradients.is_empty());
+
+    // And nothing was compiled for nothing.
+    assert_eq!(engine.cache().misses(), 0);
 }
 
 #[test]

@@ -275,7 +275,11 @@ fn shared_symbol_across_all_edges_matches_shift_rule() {
     );
     assert!((r.value - s.value).abs() < 1e-12);
     for (i, (an, ps)) in r.gradient.iter().zip(&s.gradient).enumerate() {
-        assert!((an - ps).abs() < 1e-9, "{}: analytic {an} vs shift {ps}", wrt[i]);
+        assert!(
+            (an - ps).abs() < 1e-9,
+            "{}: analytic {an} vs shift {ps}",
+            wrt[i]
+        );
     }
 }
 

@@ -227,6 +227,118 @@ fn snapshots_stay_consistent_under_concurrent_recording() {
 }
 
 #[test]
+fn resilience_counters_and_retry_latency_are_recorded() {
+    use qkc::engine::{CacheOptions, EngineError, FaultPlan, QueryBudget};
+    use std::time::Duration;
+
+    let _guard = lock();
+    let _flag = FlagGuard::set(true);
+    telemetry::reset();
+
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("qkc-telemetry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    };
+    let kc_engine = |options: EngineOptions| {
+        Engine::with_options(options.with_backend(BackendKind::KnowledgeCompilation))
+    };
+    let obs = |bits: usize| bits as f64;
+    let circuit = noisy_sweep_circuit();
+    let params = sweep_params(6);
+    let spec = SweepSpec::expectation(&obs);
+
+    // Transient spill-write failure, an injected first-attempt worker
+    // panic, and a per-phase compile delay — all recovered, all counted.
+    let retry_dir = scratch("retry");
+    kc_engine(
+        EngineOptions::default()
+            .with_cache(CacheOptions::default().with_spill_dir(&retry_dir))
+            .with_fault_plan(
+                FaultPlan::seeded(31)
+                    .with_spill_write_fail_first(1)
+                    .with_panic_at([0])
+                    .with_compile_delay_secs(0.0005),
+            ),
+    )
+    .sweep(&circuit, &params, &spec)
+    .expect("every injected fault here is recoverable");
+
+    // Permanent spill-write failure: retries exhaust, the cache degrades.
+    let degrade_dir = scratch("degrade");
+    kc_engine(
+        EngineOptions::default()
+            .with_cache(CacheOptions::default().with_spill_dir(&degrade_dir))
+            .with_fault_plan(FaultPlan::seeded(32).with_spill_write_rate(1.0)),
+    )
+    .sweep(&circuit, &params, &spec)
+    .expect("degradation is a caching mode, not a query failure");
+
+    // A corrupt spill file: quarantined on first touch.
+    let quarantine_dir = scratch("quarantine");
+    kc_engine(
+        EngineOptions::default()
+            .with_cache(CacheOptions::default().with_spill_dir(&quarantine_dir)),
+    )
+    .sweep(&circuit, &params, &spec)
+    .expect("clean warm-up run");
+    for f in std::fs::read_dir(&quarantine_dir).expect("spill dir") {
+        let path = f.expect("entry").path();
+        let mut bytes = std::fs::read(&path).expect("spill bytes");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt spill file");
+    }
+    kc_engine(
+        EngineOptions::default()
+            .with_cache(CacheOptions::default().with_spill_dir(&quarantine_dir)),
+    )
+    .sweep(&circuit, &params, &spec)
+    .expect("quarantine costs one recompile, not the query");
+
+    // An already-expired deadline: the typed error ticks its counter.
+    std::thread::sleep(Duration::from_millis(1));
+    let expired = kc_engine(
+        EngineOptions::default()
+            .with_budget(QueryBudget::unlimited().with_deadline(Duration::ZERO)),
+    )
+    .sweep(&circuit, &params, &spec);
+    assert!(matches!(expired, Err(EngineError::DeadlineExceeded { .. })));
+
+    let snap = telemetry::snapshot();
+    for counter in [
+        "fault/injected/spill_write",
+        "fault/injected/worker_panic",
+        "fault/injected/compile_delay",
+        "cache/spill/retry",
+        "cache/spill/quarantined",
+        "sweep/point_retry",
+        "budget/deadline_exceeded",
+    ] {
+        assert!(
+            snap.counter(counter).unwrap_or(0) >= 1,
+            "{counter} was never ticked"
+        );
+    }
+    assert_eq!(
+        snap.counter("cache/spill/degraded"),
+        Some(1),
+        "degradation latches once, not per retry"
+    );
+    let retry_latency = snap
+        .spans
+        .iter()
+        .find(|s| s.path == "cache/spill/retry_latency")
+        .expect("retried spill I/O records its latency");
+    assert!(retry_latency.count >= 1);
+
+    for dir in [retry_dir, degrade_dir, quarantine_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    telemetry::reset();
+}
+
+#[test]
 fn planner_explain_agrees_with_plan_on_random_circuits() {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
