@@ -78,18 +78,18 @@ impl<'c> Builder<'c> {
                 Operation::Gate { gate, qubits } => match gate.layout() {
                     GateLayout::Single => self.add_single(op_index, gate, qubits[0]),
                     GateLayout::ControlledSingle { controls } => {
-                        self.add_controlled(op_index, gate, qubits, controls)
+                        self.add_controlled(op_index, gate, qubits, controls);
                     }
                     GateLayout::Diagonal => self.add_diagonal(op_index, gate, qubits),
                     GateLayout::Permutation => {
-                        self.add_permutation(op_index, &gate.permutation(), qubits)
+                        self.add_permutation(op_index, &gate.permutation(), qubits);
                     }
                 },
                 Operation::Permutation { perm, qubits } => {
-                    self.add_permutation(op_index, perm.table(), qubits)
+                    self.add_permutation(op_index, perm.table(), qubits);
                 }
                 Operation::Diagonal { diag, qubits } => {
-                    self.add_diagonal_op(op_index, diag, qubits)
+                    self.add_diagonal_op(op_index, diag, qubits);
                 }
                 Operation::Noise { channel, qubit } => self.add_noise(op_index, channel, *qubit),
                 Operation::Measure { qubit } => self.add_measure(op_index, *qubit),
@@ -506,7 +506,7 @@ mod tests {
         for (i, &want) in expect.iter().enumerate() {
             match h.cat[i] {
                 CatEntry::Weight(w) => {
-                    assert!(table.value(2, w).approx_eq(Complex::real(want), 1e-12))
+                    assert!(table.value(2, w).approx_eq(Complex::real(want), 1e-12));
                 }
                 other => panic!("H entry {i} should be a weight, got {other:?}"),
             }
@@ -523,7 +523,7 @@ mod tests {
         assert_eq!(rv.entry(0, 1), CatEntry::Zero);
         match rv.entry(1, 0) {
             CatEntry::Weight(w) => {
-                assert!(table.value(3, w).approx_eq(Complex::real(0.8), 1e-12))
+                assert!(table.value(3, w).approx_eq(Complex::real(0.8), 1e-12));
             }
             other => panic!("expected weight, got {other:?}"),
         }
@@ -531,7 +531,7 @@ mod tests {
             // Kraus gauge: +0.6 here, −0.6 in the paper's Ry decomposition;
             // the branch phase is unobservable.
             CatEntry::Weight(w) => {
-                assert!((table.value(3, w).norm() - 0.6).abs() < 1e-12)
+                assert!((table.value(3, w).norm() - 0.6).abs() < 1e-12);
             }
             other => panic!("expected weight, got {other:?}"),
         }

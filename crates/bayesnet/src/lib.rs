@@ -24,6 +24,8 @@
 //! assert!((amp.norm() - 0.8 / 2.0_f64.sqrt()).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod build;
 mod net;
 mod node;

@@ -62,7 +62,7 @@ fn bench_ac_evaluation(c: &mut Criterion) {
     let bound = sim.bind(&p).unwrap();
     let mut group = c.benchmark_group("ac_queries");
     group.bench_function("amplitude_upward", |b| {
-        b.iter(|| bound.amplitude(0b1010101010, &[]))
+        b.iter(|| bound.amplitude(0b1010101010, &[]));
     });
     group.bench_function("rebind_params", |b| {
         let mut k = 0u64;
@@ -70,13 +70,13 @@ fn bench_ac_evaluation(c: &mut Criterion) {
             k += 1;
             let params = q.params(&[0.001 * k as f64], &[0.3]);
             sim.bind(&params).unwrap()
-        })
+        });
     });
     // Raw upward / upward+downward passes on the compiled circuit.
     let weights = qkc_knowledge::AcWeights::uniform(sim.encoding().cnf.num_vars());
     group.bench_function("upward_pass", |b| b.iter(|| evaluate(sim.nnf(), &weights)));
     group.bench_function("upward_downward_pass", |b| {
-        b.iter(|| evaluate_with_differentials(sim.nnf(), &weights))
+        b.iter(|| evaluate_with_differentials(sim.nnf(), &weights));
     });
     group.finish();
 }
@@ -102,7 +102,7 @@ fn bench_tensornet(c: &mut Criterion) {
         let (q, p) = qaoa(n);
         let tn = TensorNetwork::from_circuit(&q.circuit(), &p).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| tn.amplitude(0))
+            b.iter(|| tn.amplitude(0));
         });
     }
     group.finish();

@@ -7,6 +7,8 @@
 //! appendix; set `QKC_SCALE=paper` (or pass explicit sizes) for the full
 //! sweeps.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// How large the benchmark sweeps should run.
@@ -78,7 +80,10 @@ impl ResultTable {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Self {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -96,7 +101,7 @@ impl ResultTable {
     /// Prints the aligned table followed by CSV lines.
     pub fn print(&self) {
         println!("\n== {} ==", self.title);
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
@@ -105,7 +110,7 @@ impl ResultTable {
         let line = |cells: &[String]| {
             let mut out = String::new();
             for (w, cell) in widths.iter().zip(cells) {
-                out.push_str(&format!("{cell:>w$}  ", w = w));
+                out.push_str(&format!("{cell:>w$}  "));
             }
             out
         };

@@ -276,9 +276,8 @@ impl Gate {
         let m2 = |a, b, cc, d| CMatrix::from_rows(2, 2, vec![a, b, cc, d]);
         // i·z, the workhorse of every cis derivative.
         let rot = |z: Complex| Complex::new(-z.im, z.re);
-        let p = match self {
-            Rx(p) | Ry(p) | Rz(p) | Phase(p) | CPhase(p) | Zz(p) | CRz(p) => p,
-            _ => return Ok(None),
+        let (Rx(p) | Ry(p) | Rz(p) | Phase(p) | CPhase(p) | Zz(p) | CRz(p)) = self else {
+            return Ok(None);
         };
         if p.symbol_name() != Some(symbol) {
             return Ok(None);

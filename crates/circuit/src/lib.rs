@@ -26,6 +26,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod circuit;
 mod decompose;
 mod gate;

@@ -24,6 +24,8 @@
 //! assert_eq!(simplified.fixed.get(&1), Some(&false));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod encode;
 mod formula;
 mod simplify;

@@ -8,6 +8,8 @@
 //! calibrated loop per benchmark and prints the mean wall-clock time —
 //! enough for the relative comparisons the bench binaries make.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 
@@ -154,6 +156,8 @@ fn fmt_time(s: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        // Bench groups are harness plumbing, not API surface.
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut c = $crate::Criterion::default();
             $( $target(&mut c); )+
@@ -180,7 +184,7 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(10);
         g.bench_with_input(super::BenchmarkId::new("sq", 3), &3u64, |b, &x| {
-            b.iter(|| x * x)
+            b.iter(|| x * x);
         });
         g.finish();
     }

@@ -6,6 +6,8 @@
 //! name. Only the scoped-thread subset the workspace uses is provided:
 //! `crossbeam::scope(|s| { s.spawn(|_| ...) })` with joinable handles.
 
+#![forbid(unsafe_code)]
+
 use std::any::Any;
 use std::thread;
 

@@ -8,6 +8,8 @@
 //! with the generated inputs Debug-printed, which is enough to reproduce
 //! (generation is deterministic per test name).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;

@@ -16,6 +16,8 @@
 //! uniformity, independence across `seed_from_u64` seeds — holds to far
 //! tighter tolerances than the tests demand.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 pub mod rngs;

@@ -107,7 +107,10 @@ impl KcSimulator {
         // The gradient loop only reads partials at the tangent-bearing
         // literal slots, so its downward sweeps can stay inside those
         // slots' ancestor cone — built once here, reused per assignment.
-        let cone = DiffCone::new(self.tape(), plans.iter().flat_map(|p| p.slots()));
+        let cone = DiffCone::new(
+            self.tape(),
+            plans.iter().flat_map(qkc_knowledge::TangentPlan::slots),
+        );
         Ok(BoundKcTangents {
             bound: BoundKc {
                 sim: self,

@@ -32,11 +32,14 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod artifact;
 mod batch;
 mod bound;
 mod diagnose;
 mod pipeline;
+mod verify;
 
 pub use artifact::{ArtifactDecodeError, ARTIFACT_WIRE_VERSION};
 pub use batch::{BoundKcBatch, BoundKcBatchTangents};
@@ -46,6 +49,8 @@ pub use pipeline::{
     CompileCancelled, CompileCheckpoint, CompileError, CompilePhase, KcOptions, KcSimulator,
     PhaseSeconds, PipelineMetrics, QuerySpec, ValueState,
 };
+pub use qkc_knowledge::{Finding, Severity, VerifyLevel, VerifyPass, VerifyReport};
+pub use verify::record_verify_telemetry;
 
 #[cfg(test)]
 mod tests {
@@ -350,7 +355,7 @@ mod tests {
         let obs = |x: usize| x.count_ones() as f64 - 1.0;
         let symbols: Vec<String> = ["a", "g", "b", "absent"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let params = ParamMap::from_pairs([("a", 0.7), ("g", -0.4), ("b", 1.3)]);
         let bound = sim.bind_with_tangents(&params, &symbols).unwrap();
@@ -389,7 +394,10 @@ mod tests {
                 -1.0
             }
         };
-        let symbols: Vec<String> = ["a", "g", "b"].iter().map(|s| s.to_string()).collect();
+        let symbols: Vec<String> = ["a", "g", "b"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let points: Vec<ParamMap> = (0..5)
             .map(|i| {
                 ParamMap::from_pairs([

@@ -505,6 +505,19 @@ impl KcSimulator {
         phases.tape_lower = t.elapsed().as_secs_f64();
         check(CompilePhase::TapeLower)?;
 
+        // Debug builds certify every fresh compile: the static verifier
+        // must find no error in an artifact this pipeline just produced.
+        #[cfg(debug_assertions)]
+        {
+            let report =
+                qkc_knowledge::verify_tape(&tape, &groups, qkc_knowledge::VerifyLevel::Full);
+            debug_assert!(
+                report.is_clean(),
+                "freshly compiled artifact failed static verification:\n{}",
+                report.render()
+            );
+        }
+
         metrics.ac_nodes = nnf.num_nodes();
         metrics.ac_edges = nnf.num_edges();
         metrics.ac_size_bytes = tape.size_bytes();

@@ -1,0 +1,239 @@
+//! Model-layer lints and the simulator-level verification surface.
+//!
+//! The tape-level passes live in [`qkc_knowledge::verify_tape`]; this
+//! module adds the checks that need the model layer — the Bayesian
+//! network a circuit encodes into and the query specification the
+//! artifact was smoothed over — and exposes one call,
+//! [`KcSimulator::verify`], that runs everything.
+//!
+//! # Model lints ([`VerifyPass::ModelLints`])
+//!
+//! * **Shape / index integrity** (parameter-free): every CAT is exactly
+//!   `rows × domain` for the node's parent radices, parents precede their
+//!   child, and every [`CatEntry::Weight`] index points inside the node's
+//!   weight table. Violations are errors — the encoder cannot be trusted
+//!   to have produced a faithful CNF from a malformed network.
+//! * **Row-stochasticity / unitarity within tolerance** (needs bound
+//!   parameters): for every non-selector node, fixing the non-noise
+//!   parent digits and summing `|amplitude|²` over the node's values and
+//!   the noise-selector digits must give 1 — for gate nodes this is
+//!   column-unitarity, for noise nodes trace preservation of the Kraus
+//!   decomposition (Σₖ Kₖ†Kₖ = I), for measurement and initial nodes the
+//!   indicator property. Drift beyond `1e-8` is a warning: the artifact
+//!   still evaluates, but the model it encodes is not norm-preserving.
+//!
+//! Noise-selector nodes themselves are skipped: their CAT is the all-one
+//! unit prior over Kraus branches (the branch "probability" lives in the
+//! child's amplitudes), so the row sum is the branch count by design.
+
+use crate::pipeline::KcSimulator;
+use qkc_bayesnet::{BayesNet, CatEntry, Node, NodeRole, WeightTable};
+use qkc_circuit::{ParamMap, UnboundParam};
+use qkc_cnf::Lit;
+use qkc_knowledge::{verify_tape, Finding, Severity, VerifyLevel, VerifyPass, VerifyReport};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Row-sum drift beyond this is reported (unitarity / trace preservation
+/// holds to ~1e-15 for exactly-representable gates; 1e-8 leaves room for
+/// parameterized rotations without hiding real drift).
+const ROW_SUM_TOL: f64 = 1e-8;
+
+/// Parameter-free structural lints over the network.
+fn shape_lints(bn: &BayesNet, report: &mut VerifyReport) {
+    for (id, node) in bn.nodes().iter().enumerate() {
+        let mut rows = 1usize;
+        let mut parents_ok = true;
+        for &p in &node.parents {
+            if p >= id {
+                report.push(Finding {
+                    pass: VerifyPass::ModelLints,
+                    severity: Severity::Error,
+                    slot: None,
+                    message: format!("node {} has a parent that does not precede it", node.label),
+                });
+                parents_ok = false;
+                break;
+            }
+            rows *= bn.node(p).domain;
+        }
+        if parents_ok && node.cat.len() != rows * node.domain {
+            report.push(Finding {
+                pass: VerifyPass::ModelLints,
+                severity: Severity::Error,
+                slot: None,
+                message: format!(
+                    "node {} CAT holds {} entries, expected {} ({} rows x {} values)",
+                    node.label,
+                    node.cat.len(),
+                    rows * node.domain,
+                    rows,
+                    node.domain
+                ),
+            });
+        }
+        if node.cat.iter().any(|e| match e {
+            CatEntry::Weight(w) => *w >= node.weights.len(),
+            CatEntry::Zero | CatEntry::One => false,
+        }) {
+            report.push(Finding {
+                pass: VerifyPass::ModelLints,
+                severity: Severity::Error,
+                slot: None,
+                message: format!(
+                    "node {} CAT references a weight slot out of range",
+                    node.label
+                ),
+            });
+        }
+    }
+}
+
+/// `|amplitude|²` of one CAT entry under evaluated weights.
+fn entry_norm_sqr(weights: &WeightTable, node_id: usize, entry: CatEntry) -> f64 {
+    match entry {
+        CatEntry::Zero => 0.0,
+        CatEntry::One => 1.0,
+        CatEntry::Weight(w) => weights.value(node_id, w).norm_sqr(),
+    }
+}
+
+/// The mixed-radix digits of a CAT row index (first parent most
+/// significant), restricted to parents whose role is *not* a noise
+/// selector — the grouping key for the row-stochasticity lint.
+fn non_noise_digits(bn: &BayesNet, node: &Node, row: usize) -> Vec<usize> {
+    let mut r = row;
+    let mut digits = vec![0usize; node.parents.len()];
+    for (d, &p) in digits.iter_mut().zip(node.parents.iter()).rev() {
+        let radix = bn.node(p).domain;
+        *d = r % radix;
+        r /= radix;
+    }
+    digits
+        .iter()
+        .zip(node.parents.iter())
+        .filter(|&(_, &p)| !matches!(bn.node(p).role, NodeRole::NoiseSelector { .. }))
+        .map(|(&d, _)| d)
+        .collect()
+}
+
+/// Row-stochasticity / unitarity lint under one parameter binding.
+fn stochasticity_lints(bn: &BayesNet, weights: &WeightTable, report: &mut VerifyReport) {
+    for (id, node) in bn.nodes().iter().enumerate() {
+        if matches!(node.role, NodeRole::NoiseSelector { .. }) {
+            continue;
+        }
+        // Σ |amp|² over the node's values and noise-selector parent
+        // digits, for each fixed assignment of the remaining parents.
+        let mut sums: HashMap<Vec<usize>, f64> = HashMap::new();
+        for row in 0..node.num_rows() {
+            let s: f64 = (0..node.domain)
+                .map(|v| entry_norm_sqr(weights, id, node.entry(row, v)))
+                .sum();
+            *sums.entry(non_noise_digits(bn, node, row)).or_insert(0.0) += s;
+        }
+        for (key, s) in sums {
+            if (s - 1.0).abs() > ROW_SUM_TOL {
+                report.push(Finding {
+                    pass: VerifyPass::ModelLints,
+                    severity: Severity::Warning,
+                    slot: None,
+                    message: format!(
+                        "node {} row group {key:?} sums |amplitude|^2 to {s:.12} (expected 1): \
+                         the encoded operation is not norm-preserving",
+                        node.label
+                    ),
+                });
+            }
+        }
+    }
+}
+
+impl KcSimulator {
+    /// The query variable groups this artifact was smoothed over — the
+    /// grouping [`verify_tape`]'s smoothness and determinism passes need.
+    /// Recomputed from the query specification exactly as the compile
+    /// pipeline built it.
+    pub fn smoothness_groups(&self) -> Vec<Vec<Lit>> {
+        self.query
+            .iter()
+            .filter_map(|spec| {
+                let lits: Vec<Lit> = spec.free_values().iter().map(|&(_, l)| l).collect();
+                if lits.is_empty() {
+                    None
+                } else {
+                    Some(lits)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the static verifier over this artifact: all tape passes at
+    /// the given level, plus the parameter-free model lints at
+    /// [`VerifyLevel::Full`]. Parameter-dependent lints (row
+    /// stochasticity) need a binding — see
+    /// [`KcSimulator::verify_with_params`].
+    pub fn verify(&self, level: VerifyLevel) -> VerifyReport {
+        let groups = self.smoothness_groups();
+        let mut report = verify_tape(&self.tape, &groups, level);
+        if level >= VerifyLevel::Full {
+            let t = Instant::now();
+            shape_lints(&self.bn, &mut report);
+            report.record_pass(VerifyPass::ModelLints, t.elapsed().as_secs_f64());
+        }
+        report
+    }
+
+    /// [`KcSimulator::verify`] plus the parameter-dependent model lints
+    /// evaluated under `params`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnboundParam`] if the binding leaves a circuit parameter free.
+    pub fn verify_with_params(
+        &self,
+        params: &ParamMap,
+        level: VerifyLevel,
+    ) -> Result<VerifyReport, UnboundParam> {
+        let mut report = self.verify(level);
+        if level >= VerifyLevel::Full {
+            let t = Instant::now();
+            let weights = self.bn.evaluate_weights(params)?;
+            stochasticity_lints(&self.bn, &weights, &mut report);
+            report.record_pass(VerifyPass::ModelLints, t.elapsed().as_secs_f64());
+        }
+        Ok(report)
+    }
+}
+
+/// Mirrors a verification run into the global telemetry registry:
+/// per-severity finding counters and per-pass latencies. The telemetry
+/// API takes static paths, so the mapping is a closed match over the
+/// passes this crate and `qkc_knowledge` emit.
+pub fn record_verify_telemetry(report: &VerifyReport) {
+    use qkc_telemetry::{count, record_span_secs};
+    count("verify/runs", 1);
+    for f in report.findings() {
+        count(
+            match f.severity {
+                Severity::Error => "verify/finding/error",
+                Severity::Warning => "verify/finding/warning",
+                Severity::Unverified => "verify/finding/unverified",
+            },
+            1,
+        );
+    }
+    for &(pass, secs) in report.pass_seconds() {
+        record_span_secs(
+            match pass {
+                VerifyPass::TapeWellFormed => "verify/pass/tape_well_formed",
+                VerifyPass::Decomposability => "verify/pass/decomposability",
+                VerifyPass::Determinism => "verify/pass/determinism",
+                VerifyPass::Smoothness => "verify/pass/smoothness",
+                VerifyPass::SlotLiveness => "verify/pass/slot_liveness",
+                VerifyPass::ModelLints => "verify/pass/model_lints",
+            },
+            secs,
+        );
+    }
+}

@@ -19,6 +19,8 @@
 //! assert!((rho.entry(0, 3).re - 0.4).abs() < 1e-12); // Equation 3
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod density;
 mod simulator;
 

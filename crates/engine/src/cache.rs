@@ -65,7 +65,9 @@ use crate::budget::{self, QueryCtx};
 use crate::faults::{self, FaultPlan, FaultSite};
 use crate::EngineError;
 use qkc_circuit::Circuit;
-use qkc_core::{CompileError, CompilePhase, KcOptions, KcSimulator};
+use qkc_core::{
+    record_verify_telemetry, CompileError, CompilePhase, KcOptions, KcSimulator, VerifyLevel,
+};
 use qkc_telemetry::{count, record_size, record_span_secs};
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -112,6 +114,16 @@ pub struct CacheOptions {
     /// (see [`FaultPlan`]). `None` — the production default — makes every
     /// hook a skipped `Option` check.
     pub fault_plan: Option<FaultPlan>,
+    /// Static-verification level applied to **rehydrated** artifacts —
+    /// the one artifact source that crosses a trust boundary (a spill
+    /// directory can be torn or hostile in ways the checksum alone does
+    /// not certify semantically). An artifact whose report is not
+    /// [`clean`](qkc_core::VerifyReport::is_clean) is quarantined and
+    /// recompiled over, exactly like a checksum failure. The default
+    /// ([`VerifyLevel::default`]) is full verification in debug builds
+    /// and none in release builds, keeping the release hot path
+    /// unchanged.
+    pub verify: VerifyLevel,
 }
 
 impl CacheOptions {
@@ -130,6 +142,12 @@ impl CacheOptions {
     /// Installs a fault-injection plan on the spill I/O paths.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the static-verification level for rehydrated artifacts.
+    pub fn with_verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
         self
     }
 }
@@ -445,14 +463,37 @@ impl ArtifactCache {
                 let decode_started = Instant::now();
                 match KcSimulator::from_bytes(circuit, options, &bytes) {
                     Ok(sim) => {
-                        record_span_secs("cache/rehydrate/read", read_secs);
-                        record_span_secs(
-                            "cache/rehydrate/decode",
-                            decode_started.elapsed().as_secs_f64(),
-                        );
-                        record_size("cache/rehydrate/bytes", bytes.len() as u64);
-                        rehydrated =
-                            Some((Arc::new(sim), started.elapsed().as_secs_f64(), bytes.len()));
+                        // Decode re-established the structural invariants;
+                        // when configured, certify the semantic ones too
+                        // before publishing. A rehydrated artifact that
+                        // fails static verification is quarantined and
+                        // recompiled over, exactly like a checksum failure.
+                        let certified = if self.options.verify > VerifyLevel::Off {
+                            let verify_started = Instant::now();
+                            let report = sim.verify(self.options.verify);
+                            record_span_secs(
+                                "cache/rehydrate/verify",
+                                verify_started.elapsed().as_secs_f64(),
+                            );
+                            record_verify_telemetry(&report);
+                            report.is_clean()
+                        } else {
+                            true
+                        };
+                        if certified {
+                            record_span_secs("cache/rehydrate/read", read_secs);
+                            record_span_secs(
+                                "cache/rehydrate/decode",
+                                decode_started.elapsed().as_secs_f64(),
+                            );
+                            record_size("cache/rehydrate/bytes", bytes.len() as u64);
+                            rehydrated =
+                                Some((Arc::new(sim), started.elapsed().as_secs_f64(), bytes.len()));
+                        } else {
+                            count("cache/rehydrate/verify_reject", 1);
+                            self.quarantine(path);
+                            quarantined_now = true;
+                        }
                     }
                     Err(_) => {
                         self.quarantine(path);

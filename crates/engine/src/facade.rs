@@ -11,8 +11,8 @@ use crate::faults::FaultPlan;
 use crate::gradient::{self, GradientPoint, GradientResult, GradientSpec};
 use crate::planner::{KcCalibration, Plan, PlanExplanation, PlanHint, Planner};
 use crate::sweep::{SweepExecutor, SweepPoint, SweepReport, SweepSpec};
-use qkc_circuit::{Circuit, ParamMap};
-use qkc_core::KcOptions;
+use qkc_circuit::{Circuit, CircuitError, ParamMap};
+use qkc_core::{record_verify_telemetry, KcOptions, VerifyLevel, VerifyReport};
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -52,7 +52,7 @@ impl Default for EngineOptions {
             planner: Planner::default(),
             kc_options: KcOptions::default(),
             threads: std::thread::available_parallelism()
-                .map(|n| n.get())
+                .map(std::num::NonZero::get)
                 .unwrap_or(1)
                 .min(16),
             batch: crate::sweep::DEFAULT_BATCH,
@@ -104,6 +104,13 @@ impl EngineOptions {
     /// Installs a deterministic fault-injection schedule.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the static-verification level the artifact cache applies to
+    /// rehydrated artifacts (see [`CacheOptions::verify`]).
+    pub fn with_verify(mut self, level: VerifyLevel) -> Self {
+        self.cache.verify = level;
         self
     }
 
@@ -261,6 +268,37 @@ impl Engine {
     /// snapshot stays empty.
     pub fn telemetry(&self) -> qkc_telemetry::Snapshot {
         qkc_telemetry::snapshot()
+    }
+
+    /// Runs the certifying static verifier over `circuit`'s compiled
+    /// artifact at [`VerifyLevel::Full`]: tape well-formedness, semantic
+    /// d-DNNF certification (decomposability, determinism witnesses,
+    /// smoothness over the query groups), slot liveness, and the
+    /// model-layer lints evaluated under `params` (CPT
+    /// row-stochasticity / unitarity within tolerance). The artifact is
+    /// resolved through the engine cache, so verification never compiles
+    /// a structure the cache already holds. Findings are mirrored into
+    /// telemetry (`verify/finding/*`, `verify/pass/*`).
+    ///
+    /// # Errors
+    ///
+    /// Compile-side failures (budget exhaustion, injected faults) or
+    /// [`EngineError::Circuit`] when `params` leaves a circuit parameter
+    /// unbound.
+    pub fn verify(
+        &self,
+        circuit: &Circuit,
+        params: &ParamMap,
+    ) -> Result<VerifyReport, EngineError> {
+        let ctx = self.query_ctx();
+        let sim = self
+            .cache
+            .try_get_or_compile(circuit, &self.options.kc_options, ctx.as_ref())?;
+        let report = sim
+            .verify_with_params(params, VerifyLevel::Full)
+            .map_err(|e| EngineError::Circuit(CircuitError::Unbound(e)))?;
+        record_verify_telemetry(&report);
+        Ok(report)
     }
 
     /// Instantiates the backend a plan chose.

@@ -265,14 +265,14 @@ impl FaultPlan {
                 "spill_write_rate" => plan.spill_write_rate = value.parse().map_err(|e| bad(&e))?,
                 "spill_read_rate" => plan.spill_read_rate = value.parse().map_err(|e| bad(&e))?,
                 "spill_rename_rate" => {
-                    plan.spill_rename_rate = value.parse().map_err(|e| bad(&e))?
+                    plan.spill_rename_rate = value.parse().map_err(|e| bad(&e))?;
                 }
                 "spill_torn_rate" => plan.spill_torn_rate = value.parse().map_err(|e| bad(&e))?,
                 "spill_write_fail_first" => {
-                    plan.spill_write_fail_first = value.parse().map_err(|e| bad(&e))?
+                    plan.spill_write_fail_first = value.parse().map_err(|e| bad(&e))?;
                 }
                 "spill_read_fail_first" => {
-                    plan.spill_read_fail_first = value.parse().map_err(|e| bad(&e))?
+                    plan.spill_read_fail_first = value.parse().map_err(|e| bad(&e))?;
                 }
                 "panic_points" => {
                     plan.panic_points = value
@@ -285,10 +285,10 @@ impl FaultPlan {
                     plan.panic_points.dedup();
                 }
                 "panic_every_attempt" => {
-                    plan.panic_every_attempt = value.parse().map_err(|e| bad(&e))?
+                    plan.panic_every_attempt = value.parse().map_err(|e| bad(&e))?;
                 }
                 "compile_delay_secs" => {
-                    plan.compile_delay_secs = value.parse().map_err(|e| bad(&e))?
+                    plan.compile_delay_secs = value.parse().map_err(|e| bad(&e))?;
                 }
                 _ => return Err(format!("fault spec has unknown key `{key}`")),
             }

@@ -452,7 +452,7 @@ mod tests {
             );
         let wrt: Vec<String> = ["a", "g", "h", "p", "zz"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let rules = symbol_rules(&c, &wrt);
         assert_eq!(rules[0], SymbolRule::Shift(shift_rule(1)));

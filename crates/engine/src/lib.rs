@@ -51,6 +51,8 @@
 //! assert_eq!(engine.cache().misses(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod backend;
 mod budget;
 mod cache;
@@ -72,6 +74,9 @@ pub use facade::{Engine, EngineOptions};
 pub use faults::{FaultPlan, FaultSite};
 pub use gradient::{GradientMethod, GradientPoint, GradientResult, GradientSpec, FD_STEP};
 pub use planner::{Candidate, KcCalibration, Plan, PlanExplanation, PlanHint, Planner};
+pub use qkc_core::{
+    record_verify_telemetry, Finding, Severity, VerifyLevel, VerifyPass, VerifyReport,
+};
 pub use stats::{CacheStats, CircuitStats};
 pub use sweep::{SweepExecutor, SweepFailure, SweepPoint, SweepReport, SweepSpec, DEFAULT_BATCH};
 pub use variational::{

@@ -155,7 +155,7 @@ impl Default for SweepExecutor {
 /// stay polite on shared hosts.
 fn available_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
         .min(16)
 }
@@ -351,7 +351,7 @@ where
 fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> EngineError {
     let detail = payload
         .downcast_ref::<&str>()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_else(|| "non-string panic payload".to_string());
     EngineError::WorkerPanicked { detail }

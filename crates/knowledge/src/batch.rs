@@ -471,7 +471,7 @@ mod tests {
                     let want = scalar.wrt_lit(lit);
                     match (got, want) {
                         (Some(g), Some(s)) => {
-                            assert!(bits_eq(g, s), "lit {lit} lane {lane}: {g} vs {s}")
+                            assert!(bits_eq(g, s), "lit {lit} lane {lane}: {g} vs {s}");
                         }
                         (None, None) => {}
                         other => panic!("lit {lit} lane {lane}: presence mismatch {other:?}"),

@@ -225,12 +225,9 @@ impl Dpll {
     /// assignment.
     fn solve(&mut self, clause_ids: &[u32]) -> NnfId {
         let mark = self.trail.len();
-        let implied = match self.bcp(clause_ids) {
-            Ok(lits) => lits,
-            Err(()) => {
-                self.undo_to(mark);
-                return self.builder.false_id();
-            }
+        let Ok(implied) = self.bcp(clause_ids) else {
+            self.undo_to(mark);
+            return self.builder.false_id();
         };
         let mut conjuncts: Vec<NnfId> = implied.iter().map(|&l| self.builder.lit(l)).collect();
 

@@ -708,8 +708,8 @@ mod tests {
             let mut tape_chain = GibbsSampler::new(&tape, base.clone(), parity_vars(), &options);
             let mut enum_chain = GibbsSampler::new_enum_walk(&nnf, base, parity_vars(), &options);
             assert_eq!(tape_chain.state(), enum_chain.state(), "seed {seed}");
-            let a = tape_chain.sample_with(200, 1, |s| s.to_vec());
-            let b = enum_chain.sample_with(200, 1, |s| s.to_vec());
+            let a = tape_chain.sample_with(200, 1, <[usize]>::to_vec);
+            let b = enum_chain.sample_with(200, 1, <[usize]>::to_vec);
             assert_eq!(a, b, "seed {seed}: chains diverged");
             assert_eq!(
                 tape_chain.acceptance_rate(),

@@ -48,6 +48,7 @@ mod nnf;
 mod order;
 mod tape;
 mod transform;
+mod verify;
 
 pub use batch::{
     evaluate_batch, evaluate_batch_into, evaluate_with_differentials_batch, AcWeightsBatch,
@@ -64,3 +65,7 @@ pub use tape::{
     WIRE_VERSION as TAPE_WIRE_VERSION,
 };
 pub use transform::{project_out, smooth};
+pub use verify::{
+    verify_tangent_plan, verify_tape, verify_tape_bytes, Finding, Severity, VerifyLevel,
+    VerifyPass, VerifyReport,
+};

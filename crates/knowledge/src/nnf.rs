@@ -364,7 +364,7 @@ mod tests {
             match n {
                 NnfNode::And(cs) => assert!(cs.iter().all(|&c| (c as usize) < i)),
                 NnfNode::Or(a, b) => {
-                    assert!((*a as usize) < i && (*b as usize) < i)
+                    assert!((*a as usize) < i && (*b as usize) < i);
                 }
                 _ => {}
             }

@@ -297,6 +297,16 @@ impl AcTape {
         &self.lit_slots
     }
 
+    /// The CSR child buffer general-AND instructions index into.
+    pub fn edges(&self) -> &[TapeId] {
+        &self.edges
+    }
+
+    /// The folded constant pool `Const` instructions index into.
+    pub fn consts(&self) -> &[Complex] {
+        &self.consts
+    }
+
     /// One past the largest weight slot any literal instruction reads: the
     /// minimum [`AcWeights::num_slots`] a weight vector must cover for the
     /// kernels to accept it.
@@ -505,60 +515,23 @@ impl AcTape {
             lit_slots.push((lit, slot));
         }
         // Structural validation: re-establish every lowering invariant the
-        // kernels index by without bounds checks they can't afford.
-        if root as usize >= n_ops {
-            return Err(TapeDecodeError::Malformed("root out of range"));
-        }
-        let mut lit_ops = 0usize;
-        for (i, op) in ops.iter().enumerate() {
-            match op.kind {
-                TapeOpKind::Const => {
-                    if op.a as usize >= consts.len() {
-                        return Err(TapeDecodeError::Malformed("constant index out of range"));
-                    }
-                }
-                TapeOpKind::Lit => {
-                    lit_ops += 1;
-                    if op.a >= weight_slots {
-                        return Err(TapeDecodeError::Malformed("weight slot out of range"));
-                    }
-                    let lit = op.b as i32;
-                    if lit == 0 || lit == i32::MIN {
-                        return Err(TapeDecodeError::Malformed("invalid literal"));
-                    }
-                    if AcWeights::slot_of(lit) != op.a {
-                        return Err(TapeDecodeError::Malformed("literal/slot mismatch"));
-                    }
-                }
-                TapeOpKind::And2 | TapeOpKind::Or => {
-                    if op.a as usize >= i || op.b as usize >= i {
-                        return Err(TapeDecodeError::Malformed("child after parent"));
-                    }
-                }
-                TapeOpKind::And => {
-                    let (lo, hi) = (op.a as usize, op.b as usize);
-                    if lo > hi || hi > edges.len() {
-                        return Err(TapeDecodeError::Malformed("edge range out of bounds"));
-                    }
-                    if edges[lo..hi].iter().any(|&c| c as usize >= i) {
-                        return Err(TapeDecodeError::Malformed("child after parent"));
-                    }
-                }
-            }
-        }
-        if lit_slots.len() != lit_ops {
-            return Err(TapeDecodeError::Malformed("literal table size mismatch"));
-        }
-        for (i, &(lit, slot)) in lit_slots.iter().enumerate() {
-            if i > 0 && lit_slots[i - 1].0 >= lit {
-                return Err(TapeDecodeError::Malformed("literal table unsorted"));
-            }
-            let op = ops
-                .get(slot as usize)
-                .ok_or(TapeDecodeError::Malformed("literal slot out of range"))?;
-            if op.kind != TapeOpKind::Lit || op.b as i32 != lit {
-                return Err(TapeDecodeError::Malformed("literal table points astray"));
-            }
+        // kernels index by without bounds checks they can't afford. The
+        // checks are the verifier's tape well-formedness pass
+        // (`crate::verify`), shared so decode hardening and static
+        // verification cannot drift; decode rejects on the first
+        // violation, in the pass's (historical) check order.
+        if let Some(v) = crate::verify::structural_violations(
+            &ops,
+            &edges,
+            &consts,
+            &lit_slots,
+            root,
+            weight_slots,
+        )
+        .into_iter()
+        .next()
+        {
+            return Err(TapeDecodeError::Malformed(v.what));
         }
         let (parent_offsets, parents) = build_parent_csr(&ops, &edges);
         Ok(Self {
@@ -1612,6 +1585,9 @@ impl TapeEvaluator {
     /// couple hundred cycles of arithmetic per slot), so the hint is nearly
     /// free and hides most of the miss. No-op off x86_64.
     #[inline(always)]
+    // Audited exception to the workspace `unsafe_code` deny: a pure
+    // cache hint, no architectural reads or writes.
+    #[allow(unsafe_code)]
     fn prefetch_row(buf: &[Complex], at: usize, k: usize) {
         #[cfg(target_arch = "x86_64")]
         {

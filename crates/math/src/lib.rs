@@ -17,6 +17,8 @@
 //! assert!((psi[0].norm_sqr() - 0.5).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod complex;
 mod matrix;
 mod sampling;

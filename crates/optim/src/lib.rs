@@ -46,6 +46,8 @@
 //! assert!((result.x[1] + 1.0).abs() < 1e-4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// A value-and-gradient objective sample: `(f(x), ∇f(x))`.
 pub type ValueAndGrad = (f64, Vec<f64>);
 

@@ -62,6 +62,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// An empty histogram: all buckets zero, sum zero.
     pub fn new() -> Self {
         Self {
             buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
@@ -91,6 +92,7 @@ impl Histogram {
         (out, count, self.sum.load(Ordering::Relaxed))
     }
 
+    /// Clears every bucket and the running sum.
     pub fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);

@@ -40,6 +40,8 @@
 //! qkc_telemetry::reset();
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod histogram;
 mod snapshot;
 
@@ -106,6 +108,7 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// An empty registry with no metrics recorded.
     pub fn new() -> Self {
         Self::default()
     }
@@ -312,7 +315,8 @@ mod tests {
     /// The global enable flag is process-wide; serialize tests that flip it.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock().unwrap_or_else(|e| e.into_inner())
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]

@@ -9,8 +9,11 @@ use std::path::Path;
 /// `low..=high`, `count` of them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bucket {
+    /// Smallest value this bucket admits.
     pub low: u64,
+    /// Largest value this bucket admits (inclusive).
     pub high: u64,
+    /// Observations that landed in `low..=high`.
     pub count: u64,
 }
 
@@ -22,7 +25,9 @@ pub struct Bucket {
 /// snapshot, even one taken mid-flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramStats {
+    /// The `/`-separated metric path this histogram was recorded under.
     pub path: String,
+    /// Total observations across all buckets.
     pub count: u64,
     /// Sum of raw observed values (wrapping on overflow).
     pub sum: u64,
@@ -31,6 +36,7 @@ pub struct HistogramStats {
 }
 
 impl HistogramStats {
+    /// Mean observed value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -60,7 +66,9 @@ impl HistogramStats {
 /// A monotone counter's value at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterStats {
+    /// The `/`-separated metric path this counter was recorded under.
     pub path: String,
+    /// The counter's value at snapshot time.
     pub value: u64,
 }
 
@@ -77,10 +85,12 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The span-latency histogram recorded under exactly `path`, if any.
     pub fn span(&self, path: &str) -> Option<&HistogramStats> {
         self.spans.iter().find(|s| s.path == path)
     }
 
+    /// The counter value recorded under exactly `path`, if any.
     pub fn counter(&self, path: &str) -> Option<u64> {
         self.counters
             .iter()
@@ -88,6 +98,7 @@ impl Snapshot {
             .map(|c| c.value)
     }
 
+    /// The size histogram recorded under exactly `path`, if any.
     pub fn size(&self, path: &str) -> Option<&HistogramStats> {
         self.sizes.iter().find(|s| s.path == path)
     }

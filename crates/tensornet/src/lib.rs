@@ -21,6 +21,8 @@
 //! assert!(tn.amplitude(0b01).norm_sqr() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod network;
 mod simulator;
 mod tensor;

@@ -23,6 +23,8 @@
 //! assert_eq!(params.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod arithmetic;
 mod graph;

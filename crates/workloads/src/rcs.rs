@@ -151,7 +151,7 @@ mod tests {
         let probs = StateVectorSimulator::new()
             .probabilities(&rcs.circuit(), &ParamMap::new())
             .unwrap();
-        let max = probs.iter().cloned().fold(0.0, f64::max);
+        let max = probs.iter().copied().fold(0.0, f64::max);
         assert!(max < 0.6, "no single outcome should dominate, got {max}");
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
     }

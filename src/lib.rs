@@ -29,6 +29,8 @@
 //! assert!((rho[(0, 3)].re - 0.4).abs() < 1e-9); // Equation 3
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use qkc_bayesnet as bayesnet;
 pub use qkc_circuit as circuit;
 pub use qkc_cnf as cnf;

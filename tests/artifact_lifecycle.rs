@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use qkc::circuit::{Circuit, Param, ParamMap};
 use qkc::engine::{BackendKind, CacheOptions, Engine, EngineOptions, SweepSpec};
 use qkc::kc::{ArtifactDecodeError, KcOptions, KcSimulator};
-use qkc::knowledge::AcTape;
+use qkc::knowledge::{AcTape, VerifyLevel};
 use std::path::PathBuf;
 
 /// A random parameterized circuit instruction; rotation angles reference
@@ -131,6 +131,17 @@ proptest! {
         assert_binds_identical(&sim, &back, &params(a, b));
         assert_binds_identical(&sim, &back, &params(b * 0.7, a + 0.3));
         prop_assert_eq!(back.to_bytes(&c, &options), bytes);
+
+        // The rehydrated artifact certifies: the static verifier finds
+        // no error-severity issue in what just crossed the wire.
+        let report = back
+            .verify_with_params(&params(a, b), VerifyLevel::Full)
+            .expect("params bind");
+        prop_assert!(
+            report.is_clean(),
+            "rehydrated artifact failed static verification:\n{}",
+            report.render()
+        );
     }
 
     /// Corrupted, truncated, and version-skewed payloads are rejected

@@ -23,7 +23,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// Serializes tests that touch the process-global telemetry flag/registry.
 fn lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Restores the prior enable state when a test body returns or panics.

@@ -1,0 +1,507 @@
+//! The certifying static verifier's teeth: every compiled artifact in
+//! the suite verifies clean at the default (full) level, and seeded
+//! single mutations of valid wire payloads — opcode flips, topology
+//! swaps, slot clobbers, poisoned constants, orphaned instructions — are
+//! each caught by the *named* analyzer pass.
+//!
+//! Mutations are performed at the wire level (flip bytes, re-stamp the
+//! FNV-1a trailer) so every seeded corruption travels the same path a
+//! torn or hostile spill file would.
+
+use proptest::prelude::*;
+use qkc::circuit::{Circuit, Param, ParamMap};
+use qkc::engine::{BackendKind, CacheOptions, Engine, EngineOptions};
+use qkc::kc::{KcOptions, KcSimulator};
+use qkc::knowledge::{
+    verify_tangent_plan, verify_tape, verify_tape_bytes, AcTape, AcWeights, NnfBuilder, Severity,
+    TangentPlan, TapeDecodeError, VerifyLevel, VerifyPass,
+};
+use std::path::PathBuf;
+
+/// Byte offset of the instruction section in the tape wire format
+/// (magic 4 + version 2 + reserved 2 + root 4 + weight_slots 4 + four
+/// u32 section counts).
+const OPS_START: usize = 32;
+/// Bytes per serialized instruction: opcode byte + two payload words.
+const OP_BYTES: usize = 9;
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn num_ops(bytes: &[u8]) -> usize {
+    read_u32(bytes, 16) as usize
+}
+
+/// `(kind, a, b)` of instruction `i`.
+fn op_at(bytes: &[u8], i: usize) -> (u8, u32, u32) {
+    let at = OPS_START + i * OP_BYTES;
+    (bytes[at], read_u32(bytes, at + 1), read_u32(bytes, at + 5))
+}
+
+fn write_op(bytes: &mut [u8], i: usize, kind: u8, a: u32, b: u32) {
+    let at = OPS_START + i * OP_BYTES;
+    bytes[at] = kind;
+    bytes[at + 1..at + 5].copy_from_slice(&a.to_le_bytes());
+    bytes[at + 5..at + 9].copy_from_slice(&b.to_le_bytes());
+}
+
+/// Recomputes the trailing FNV-1a checksum after a mutation, so decode
+/// sees a payload whose envelope is intact and only the *structure* (or
+/// semantics) is corrupt.
+fn restamp(bytes: &mut [u8]) {
+    let n = bytes.len() - 8;
+    let sum = qkc::knowledge::wire_checksum(&bytes[..n]);
+    bytes[n..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// A parameterized noisy test circuit with deterministic disjunctions
+/// (decision ORs), smoothing gadgets, and a noise random event.
+fn mutation_target() -> (Circuit, ParamMap) {
+    let mut c = Circuit::new(3);
+    c.h(0)
+        .rx(1, Param::symbol("a"))
+        .cnot(0, 1)
+        .t(2)
+        .cnot(1, 2)
+        .depolarize(0, 0.05);
+    (c, ParamMap::from_pairs([("a", 0.37)]))
+}
+
+fn compile(c: &Circuit) -> KcSimulator {
+    KcSimulator::compile(c, &KcOptions::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every compiled artifact — fresh and round-tripped through the
+    /// wire format — verifies with zero error-severity findings at the
+    /// full level, across random pure and noisy circuits.
+    #[test]
+    fn compiled_artifacts_verify_clean(
+        seed in proptest::collection::vec((0usize..6, 0usize..3), 1..10),
+        a in -2.0..2.0f64,
+        noisy in 0usize..2,
+    ) {
+        let mut c = Circuit::new(3);
+        for &(kind, q) in &seed {
+            match kind {
+                0 => c.h(q),
+                1 => c.t(q),
+                2 => c.rx(q, Param::symbol("a")),
+                3 => c.cnot(q, (q + 1) % 3),
+                4 => c.cz(q, (q + 1) % 3),
+                _ => c.rz(q, Param::symbol("a")),
+            };
+        }
+        if noisy == 1 {
+            c.phase_damp(0, 0.1);
+        }
+        let sim = compile(&c);
+        let report = sim
+            .verify_with_params(&ParamMap::from_pairs([("a", a)]), VerifyLevel::Full)
+            .expect("params bind");
+        prop_assert!(
+            report.is_clean(),
+            "fresh artifact failed verification:\n{}",
+            report.render()
+        );
+
+        // The wire round-trip preserves certification.
+        let bytes = sim.tape().to_bytes();
+        let groups = sim.smoothness_groups();
+        let round = verify_tape_bytes(&bytes, &groups, VerifyLevel::Full).expect("decodes");
+        prop_assert!(
+            round.is_clean(),
+            "round-tripped artifact failed verification:\n{}",
+            round.render()
+        );
+    }
+}
+
+/// Flipping a sum opcode into a product (Or → And2) breaks
+/// decomposability — the branches of a deterministic disjunction share
+/// their decision variable — and the decomposability pass names it.
+#[test]
+fn or_to_and2_flip_is_caught_by_decomposability() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let bytes = sim.tape().to_bytes();
+    let groups = sim.smoothness_groups();
+    let mut caught = 0usize;
+    for i in 0..num_ops(&bytes) {
+        let (kind, a, b) = op_at(&bytes, i);
+        if kind != 4 {
+            continue;
+        }
+        let mut mutated = bytes.clone();
+        write_op(&mut mutated, i, 2, a, b);
+        restamp(&mut mutated);
+        let report = verify_tape_bytes(&mutated, &groups, VerifyLevel::Full).expect("decodes");
+        if report
+            .findings()
+            .iter()
+            .any(|f| f.pass == VerifyPass::Decomposability && f.severity == Severity::Error)
+        {
+            caught += 1;
+        }
+    }
+    assert!(
+        caught > 0,
+        "no Or→And2 flip was caught by the decomposability pass"
+    );
+}
+
+/// Swapping branches between two sums breaks smoothness — each sum now
+/// mixes branches from different decision contexts, so its children
+/// cover different query groups — and the smoothness pass names it.
+/// The cross-swap keeps every instruction reachable and every checksum
+/// restampable: the scan insists on a mutant with *no* structural
+/// finding, exactly the corruption class checksums and well-formedness
+/// cannot see.
+#[test]
+fn sum_branch_swap_is_caught_by_smoothness() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let bytes = sim.tape().to_bytes();
+    let groups = sim.smoothness_groups();
+    assert!(!groups.is_empty(), "query groups exist for a noisy circuit");
+    let ors: Vec<usize> = (0..num_ops(&bytes))
+        .filter(|&i| op_at(&bytes, i).0 == 4)
+        .collect();
+    let mut sound = 0usize;
+    let mut caught = 0usize;
+    for (x, &i) in ors.iter().enumerate() {
+        for &k in &ors[x + 1..] {
+            let (_, ai, bi) = op_at(&bytes, i);
+            let (_, ak, bk) = op_at(&bytes, k);
+            // The incoming branch must stay topologically earlier, and
+            // neither sum may degenerate into `Or(x, x)`.
+            if bk as usize >= i || bk == ai || bi == ak {
+                continue;
+            }
+            let mut mutated = bytes.clone();
+            write_op(&mut mutated, i, 4, ai, bk);
+            write_op(&mut mutated, k, 4, ak, bi);
+            restamp(&mut mutated);
+            let report =
+                verify_tape_bytes(&mutated, &groups, VerifyLevel::Full).expect("reportable");
+            if report
+                .findings()
+                .iter()
+                .any(|f| f.pass == VerifyPass::TapeWellFormed)
+            {
+                continue;
+            }
+            sound += 1;
+            if report
+                .findings()
+                .iter()
+                .any(|f| f.pass == VerifyPass::Smoothness && f.severity == Severity::Error)
+            {
+                caught += 1;
+            }
+        }
+    }
+    assert!(sound > 0, "some branch swap is structurally invisible");
+    assert_eq!(
+        caught, sound,
+        "every structurally-sound branch swap is caught by the smoothness pass"
+    );
+}
+
+/// Breaking topological order (a parent whose child reference points at
+/// itself, as a reorder would produce) is rejected at decode and named
+/// by the well-formedness pass.
+#[test]
+fn topology_break_is_caught_by_well_formedness() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let bytes = sim.tape().to_bytes();
+    let i = (0..num_ops(&bytes))
+        .find(|&i| matches!(op_at(&bytes, i).0, 2 | 4))
+        .expect("an inner node exists");
+    let (kind, _, b) = op_at(&bytes, i);
+    let mut mutated = bytes.clone();
+    write_op(&mut mutated, i, kind, i as u32, b);
+    restamp(&mut mutated);
+    assert_eq!(
+        AcTape::from_bytes(&mutated).unwrap_err(),
+        TapeDecodeError::Malformed("child after parent")
+    );
+    let report = verify_tape_bytes(&mutated, &[], VerifyLevel::Full).expect("reportable");
+    assert!(report.findings().iter().any(|f| {
+        f.pass == VerifyPass::TapeWellFormed
+            && f.severity == Severity::Error
+            && f.message == "child after parent"
+    }));
+}
+
+/// Clobbering a literal instruction's weight slot is caught by the
+/// well-formedness pass (the precomputed slot must match the literal).
+#[test]
+fn weight_slot_clobber_is_caught_by_well_formedness() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let bytes = sim.tape().to_bytes();
+    let i = (0..num_ops(&bytes))
+        .find(|&i| op_at(&bytes, i).0 == 1)
+        .expect("a literal instruction exists");
+    let (_, a, b) = op_at(&bytes, i);
+    let mut mutated = bytes.clone();
+    // Point the literal at its sibling polarity's slot.
+    write_op(&mut mutated, i, 1, a ^ 1, b);
+    restamp(&mut mutated);
+    assert_eq!(
+        AcTape::from_bytes(&mutated).unwrap_err(),
+        TapeDecodeError::Malformed("literal/slot mismatch")
+    );
+}
+
+/// Clobbering the literal→slot table is caught by the well-formedness
+/// pass (every entry must point at its matching literal instruction).
+#[test]
+fn literal_table_clobber_is_caught_by_well_formedness() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let bytes = sim.tape().to_bytes();
+    let n_ops = num_ops(&bytes);
+    let n_edges = read_u32(&bytes, 20) as usize;
+    let n_consts = read_u32(&bytes, 24) as usize;
+    let n_lits = read_u32(&bytes, 28) as usize;
+    assert!(n_lits > 0);
+    let lits_start = OPS_START + n_ops * OP_BYTES + n_edges * 4 + n_consts * 16;
+    // Redirect the first entry's slot word at a non-literal instruction
+    // (the root is always a product or sum for these circuits).
+    let root = read_u32(&bytes, 8);
+    let mut mutated = bytes.clone();
+    mutated[lits_start + 4..lits_start + 8].copy_from_slice(&root.to_le_bytes());
+    restamp(&mut mutated);
+    assert_eq!(
+        AcTape::from_bytes(&mutated).unwrap_err(),
+        TapeDecodeError::Malformed("literal table points astray")
+    );
+}
+
+/// Clobbering the root word out of range is caught by the
+/// well-formedness pass.
+#[test]
+fn root_clobber_is_caught_by_well_formedness() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let mut mutated = sim.tape().to_bytes();
+    let n = num_ops(&mutated) as u32;
+    mutated[8..12].copy_from_slice(&n.to_le_bytes());
+    restamp(&mut mutated);
+    assert_eq!(
+        AcTape::from_bytes(&mutated).unwrap_err(),
+        TapeDecodeError::Malformed("root out of range")
+    );
+}
+
+/// A poisoned (non-finite) constant is caught by the well-formedness
+/// pass — NaN amplitudes would silently corrupt every query downstream.
+#[test]
+fn nan_constant_is_caught_by_well_formedness() {
+    // Craft a tape with a live constant: `or(lit(1), ⊤)` keeps the folded
+    // ⊤ as a constant instruction (sums never fold — the RNG-stream
+    // contract), then poison its IEEE bits on the wire.
+    let mut b = NnfBuilder::new();
+    let l = b.lit(1);
+    let t = b.true_id();
+    let root = b.or(l, t);
+    let nnf = b.extract(root);
+    let tape = AcTape::lower(&nnf);
+    let n_consts = read_u32(&tape.to_bytes(), 24) as usize;
+    assert!(n_consts > 0, "crafted tape carries a constant");
+    let mut mutated = tape.to_bytes();
+    let n_ops = num_ops(&mutated);
+    let n_edges = read_u32(&mutated, 20) as usize;
+    let consts_start = OPS_START + n_ops * OP_BYTES + n_edges * 4;
+    mutated[consts_start..consts_start + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+    restamp(&mut mutated);
+    assert_eq!(
+        AcTape::from_bytes(&mutated).unwrap_err(),
+        TapeDecodeError::Malformed("non-finite constant")
+    );
+}
+
+/// Redirecting a child edge so an instruction becomes unreachable is
+/// caught by the well-formedness pass (the pruning contract: lowering
+/// never emits dead instructions).
+#[test]
+fn orphaned_instruction_is_caught_by_well_formedness() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let bytes = sim.tape().to_bytes();
+    let mut caught = false;
+    for i in 0..num_ops(&bytes) {
+        let (kind, a, b) = op_at(&bytes, i);
+        if !matches!(kind, 2 | 4) || a == b {
+            continue;
+        }
+        // Flip one child edge to the other: if the dropped child had no
+        // other parent, it is now dead.
+        let mut mutated = bytes.clone();
+        write_op(&mut mutated, i, kind, a, a);
+        restamp(&mut mutated);
+        if matches!(
+            AcTape::from_bytes(&mutated),
+            Err(TapeDecodeError::Malformed("dead instruction"))
+        ) {
+            caught = true;
+            break;
+        }
+    }
+    assert!(caught, "no edge flip produced a detected orphan");
+}
+
+/// Tangent-plan references are validated against the tape they will be
+/// contracted over: a plan built for one tape carries slots a smaller
+/// tape cannot satisfy.
+#[test]
+fn tangent_plan_references_are_checked() {
+    let (c, _) = mutation_target();
+    let sim = compile(&c);
+    let tape = sim.tape();
+    let tangents = AcWeights::uniform(
+        tape.lit_slots()
+            .iter()
+            .map(|&(l, _)| l.unsigned_abs())
+            .max()
+            .unwrap() as usize,
+    );
+    let plan = TangentPlan::new(tape, &tangents);
+    assert!(plan.len() > 1, "every surviving literal carries a tangent");
+    assert!(
+        verify_tangent_plan(&plan, tape).is_empty(),
+        "a plan built for this tape verifies against it"
+    );
+
+    // A single-instruction tape cannot satisfy the plan's slots.
+    let mut b = NnfBuilder::new();
+    let root = b.lit(1);
+    let tiny = AcTape::lower(&b.extract(root));
+    let findings = verify_tangent_plan(&plan, &tiny);
+    assert!(!findings.is_empty());
+    assert!(findings
+        .iter()
+        .all(|f| f.pass == VerifyPass::SlotLiveness && f.severity == Severity::Error));
+}
+
+/// `Engine::verify` certifies a workload artifact end to end and
+/// reports unbound parameters as typed errors.
+#[test]
+fn engine_verify_certifies_and_types_unbound_params() {
+    let (c, params) = mutation_target();
+    let engine = Engine::new();
+    let report = engine.verify(&c, &params).expect("verifies");
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(
+        report
+            .pass_seconds()
+            .iter()
+            .any(|&(p, _)| p == VerifyPass::ModelLints),
+        "model lints ran under the binding"
+    );
+    assert!(
+        engine.verify(&c, &ParamMap::new()).is_err(),
+        "unbound param is typed"
+    );
+}
+
+/// Locates the embedded tape section (`QKTP`…) inside a serialized
+/// artifact and returns its byte range.
+fn embedded_tape_range(artifact: &[u8]) -> std::ops::Range<usize> {
+    let start = artifact
+        .windows(4)
+        .position(|w| w == b"QKTP")
+        .expect("artifact embeds a tape");
+    let n_ops = num_ops(&artifact[start..]);
+    let n_edges = read_u32(&artifact[start..], 20) as usize;
+    let n_consts = read_u32(&artifact[start..], 24) as usize;
+    let n_lits = read_u32(&artifact[start..], 28) as usize;
+    let len = OPS_START + n_ops * OP_BYTES + n_edges * 4 + n_consts * 16 + n_lits * 8 + 8;
+    start..start + len
+}
+
+/// A unique scratch dir per call (std-only; removed by the caller).
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qkc-verify-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The rehydration trust boundary: a spill file whose checksums are
+/// intact but whose *semantics* were corrupted (a sum flipped into a
+/// product) decodes fine, fails static verification, and is quarantined
+/// and recompiled over — with the recompiled answers correct.
+#[test]
+fn semantically_corrupt_spill_artifact_is_quarantined_by_verifier() {
+    let (c, params) = mutation_target();
+    let dir = scratch_dir("quarantine");
+    let kc = EngineOptions::default().with_backend(BackendKind::KnowledgeCompilation);
+    let first = Engine::with_options(
+        kc.clone()
+            .with_cache(CacheOptions::default().with_spill_dir(&dir)),
+    );
+    let want = first.probabilities(&c, &params).expect("probabilities");
+    drop(first);
+    let spill_file = std::fs::read_dir(&dir)
+        .expect("read spill dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.is_file())
+        .expect("a spill file was written");
+
+    // Corrupt the embedded tape: flip an Or whose mutation the verifier
+    // provably rejects, then re-stamp both nested checksums.
+    let mut artifact = std::fs::read(&spill_file).expect("read spill file");
+    let range = embedded_tape_range(&artifact);
+    let mut flipped = None;
+    for i in 0..num_ops(&artifact[range.clone()]) {
+        let (kind, a, b) = op_at(&artifact[range.clone()], i);
+        if kind != 4 {
+            continue;
+        }
+        let mut tape_bytes = artifact[range.clone()].to_vec();
+        write_op(&mut tape_bytes, i, 2, a, b);
+        restamp(&mut tape_bytes);
+        let tape = AcTape::from_bytes(&tape_bytes).expect("still decodes");
+        if !verify_tape(&tape, &[], VerifyLevel::Full).is_clean() {
+            flipped = Some(tape_bytes);
+            break;
+        }
+    }
+    let tape_bytes = flipped.expect("a rejectable Or flip exists");
+    artifact[range].copy_from_slice(&tape_bytes);
+    let n = artifact.len() - 8;
+    let sum = qkc::knowledge::wire_checksum(&artifact[..n]);
+    artifact[n..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&spill_file, &artifact).expect("write corrupted spill file");
+
+    // A fresh engine over the warm-but-poisoned dir, verification on:
+    // the artifact must be rejected and recompiled, not trusted.
+    let second = Engine::with_options(
+        kc.with_cache(
+            CacheOptions::default()
+                .with_spill_dir(&dir)
+                .with_verify(VerifyLevel::Full),
+        ),
+    );
+    let got = second.probabilities(&c, &params).expect("probabilities");
+    assert_eq!(got, want, "recompiled artifact answers correctly");
+    let stats = second.cache().stats();
+    assert_eq!(
+        stats.misses, 1,
+        "corrupt artifact must be recompiled, not rehydrated: {stats:?}"
+    );
+    assert_eq!(stats.spill_hits, 0, "{stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
