@@ -16,9 +16,24 @@
 
 use crate::pipeline::{KcSimulator, ValueState};
 use qkc_circuit::{ParamMap, UnboundParam};
-use qkc_knowledge::{AcWeightsBatch, TangentPlanBatch, TapeEvaluator};
+use qkc_knowledge::{AcWeightsBatch, TangentPlanBatch, TapeEvaluator, LANE_WIDTH};
 use qkc_math::{Complex, C_ONE, C_ZERO};
+use qkc_telemetry::count;
 use std::cell::RefCell;
+
+/// Records the lane occupancy of a batched bind: `kernel/batch/width`
+/// accumulates requested lanes, `kernel/batch/remainder_lanes` the dead
+/// lanes padding the last [`LaneBlock`](qkc_knowledge::LaneBlock) of every
+/// row. The snapshot tree turns the pair into a SIMD occupancy percentage,
+/// so ragged batch widths show up in `BENCH_telemetry.jsonl` instead of
+/// silently wasting `(W - k % W) % W` of each remainder block.
+pub(crate) fn note_batch_width(k: usize) {
+    count("kernel/batch/width", k as u64);
+    count(
+        "kernel/batch/remainder_lanes",
+        ((LANE_WIDTH - k % LANE_WIDTH) % LANE_WIDTH) as u64,
+    );
+}
 
 impl KcSimulator {
     /// Binds `k` parameter maps at once, producing a batched query handle.
@@ -35,6 +50,7 @@ impl KcSimulator {
             .map(|p| self.bayes_net().evaluate_weights(p))
             .collect::<Result<Vec<_>, _>>()?;
         let k = params.len();
+        note_batch_width(k);
         let mut weights = AcWeightsBatch::uniform(self.encoding().cnf.num_vars(), k);
         let mut globals = vec![C_ONE; k];
         for (var, node, slot) in self.encoding().vars.params() {
@@ -86,6 +102,7 @@ impl KcSimulator {
             .map(|p| self.bayes_net().evaluate_weights_with_tangents(p, symbols))
             .collect::<Result<Vec<_>, _>>()?;
         let k = params.len();
+        note_batch_width(k);
         let num_vars = self.encoding().cnf.num_vars();
         let mut weights = AcWeightsBatch::uniform(num_vars, k);
         let mut globals = vec![C_ONE; k];

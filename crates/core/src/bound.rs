@@ -519,6 +519,7 @@ impl<'a> BoundKcTangents<'a> {
         // 32 lanes balance per-slot sweep amortization against the L1
         // working set of the wide product nodes (arity×lanes rows).
         let k = dim.min(32);
+        crate::batch::note_batch_width(k);
         let query = b.sim.query();
         let tape = b.sim.tape();
         // Every lane starts from the pristine bound weights; evidence

@@ -140,10 +140,11 @@ pub struct SweepExecutor {
     ctx: Option<QueryCtx>,
 }
 
-/// The default batch width: wide enough to amortize per-node dispatch in
-/// the batched kernels (and one of the lane counts they monomorphize
-/// for), small enough to keep lane buffers cache-resident.
-pub const DEFAULT_BATCH: usize = 16;
+/// The default batch width: a whole number of lane blocks (so the
+/// lane-blocked batch kernels sweep no dead remainder lanes), wide enough
+/// to amortize per-node dispatch, small enough to keep the blocked weight
+/// and value planes cache-resident.
+pub const DEFAULT_BATCH: usize = 2 * qkc_knowledge::LANE_WIDTH;
 
 impl Default for SweepExecutor {
     fn default() -> Self {

@@ -6,60 +6,82 @@
 //! re-traverses the same AC. [`evaluate_batch`] exploits that across
 //! *bindings* the way qsim's fused kernels exploit it across gates — the
 //! node stream (the expensive, branchy part) is decoded once, and each node
-//! updates `k` complex lanes held contiguously in a structure-of-arrays
-//! buffer. Sweep throughput multiplies because per-node dispatch, bounds
-//! checks, and the per-call value-buffer allocation are all paid once per
-//! node instead of once per node per binding.
+//! updates `k` complex lanes held in lane-blocked split-plane layout
+//! ([`LaneBlock`]): per node, `⌈k/W⌉` blocks of `W` real lanes plus `W`
+//! imaginary lanes, so every per-node update is a straight-line loop the
+//! compiler vectorizes. Sweep throughput multiplies because per-node
+//! dispatch, bounds checks, and the per-call value-buffer allocation are
+//! all paid once per node instead of once per node per binding.
 //!
 //! Every lane is guaranteed **bit-for-bit identical** to the scalar
 //! [`evaluate`](crate::evaluate())/
 //! [`evaluate_with_differentials`](crate::evaluate_with_differentials())
 //! result for the same weights: the per-lane operation sequence (including
 //! the zero short-circuit at AND nodes and the zero-partial skip in the
-//! downward pass) mirrors the scalar kernel exactly. The engine's sweep
+//! downward pass, both expressed as per-lane selects — see
+//! [`crate::lanes`]) mirrors the scalar kernel exactly. The engine's sweep
 //! executor relies on this to keep results byte-identical across batch
-//! widths.
+//! widths. Ragged `k` occupies the trailing block's leading lanes; its
+//! dead lanes are zero-filled and carried along as a masked remainder.
 
+use crate::lanes::{blocks_for, LaneBlock, LANE_WIDTH};
 use crate::nnf::{Nnf, NnfNode};
 use qkc_cnf::Lit;
 use qkc_math::{Complex, C_ONE, C_ZERO};
 use std::collections::HashMap;
 
-/// Literal weights for `k` bindings in structure-of-arrays layout: for each
-/// CNF variable, `k` contiguous positive lanes and `k` contiguous negative
-/// lanes.
+/// Literal weights for `k` bindings in lane-blocked split-plane layout:
+/// for each weight slot (row), `⌈k/W⌉` [`LaneBlock`]s of `W` lanes.
 ///
 /// Lane `l` of the batch is exactly one scalar
 /// [`AcWeights`](crate::AcWeights) vector; evidence that is shared by every
 /// binding (query-variable indicators) is written once with
 /// [`AcWeightsBatch::set_all`], per-binding parameter values with
 /// [`AcWeightsBatch::set_lane`].
-/// Lane rows are stored interleaved by [`AcWeights::slot_of`] slot — the
-/// `k` lanes of `w(+v)` at row `2v`, of `w(-v)` at row `2v+1` — so the
-/// compiled tape's precomputed literal slots index a row directly.
+/// Rows are ordered by [`AcWeights::slot_of`](crate::AcWeights::slot_of)
+/// slot — the blocks of `w(+v)` at row `2v`, of `w(-v)` at row `2v+1` — so
+/// the compiled tape's precomputed literal slots index a row of blocks
+/// directly. Dead lanes of a ragged trailing block are zero and stay zero.
 #[derive(Debug, Clone)]
 pub struct AcWeightsBatch {
-    w: Vec<Complex>,
+    blocks: Vec<LaneBlock>,
     lanes: usize,
+    num_vars: usize,
 }
 
 impl AcWeightsBatch {
+    fn filled(num_vars: usize, lanes: usize, live: Complex) -> Self {
+        let nb = blocks_for(lanes);
+        let slots = if lanes == 0 { 0 } else { 2 * (num_vars + 1) };
+        let mut blocks = vec![LaneBlock::splat(live); slots * nb];
+        if !lanes.is_multiple_of(LANE_WIDTH) {
+            // Ragged batch: the trailing block of every row carries live
+            // lanes only in its head; dead lanes hold exact zeros.
+            let mut tail = LaneBlock::ZERO;
+            for w in 0..lanes % LANE_WIDTH {
+                tail.set(w, live);
+            }
+            for s in 0..slots {
+                blocks[s * nb + nb - 1] = tail;
+            }
+        }
+        Self {
+            blocks,
+            lanes,
+            num_vars: if lanes == 0 { 0 } else { num_vars },
+        }
+    }
+
     /// All-ones weights over `num_vars` variables and `lanes` bindings.
     pub fn uniform(num_vars: usize, lanes: usize) -> Self {
-        Self {
-            w: vec![C_ONE; 2 * (num_vars + 1) * lanes],
-            lanes,
-        }
+        Self::filled(num_vars, lanes, C_ONE)
     }
 
     /// All-zeros weights over `num_vars` variables and `lanes` bindings —
     /// the starting point for per-lane tangent vectors (see
     /// [`AcWeights::zeros`](crate::AcWeights::zeros)).
     pub fn zeros(num_vars: usize, lanes: usize) -> Self {
-        Self {
-            w: vec![C_ZERO; 2 * (num_vars + 1) * lanes],
-            lanes,
-        }
+        Self::filled(num_vars, lanes, C_ZERO)
     }
 
     /// Number of lanes (bindings) per variable.
@@ -67,25 +89,44 @@ impl AcWeightsBatch {
         self.lanes
     }
 
+    /// Number of [`LaneBlock`]s per weight row (`⌈lanes/W⌉`).
+    #[inline]
+    pub fn blocks_per_row(&self) -> usize {
+        blocks_for(self.lanes)
+    }
+
     /// Number of variables covered (0 for an empty, zero-lane batch).
     pub fn num_vars(&self) -> usize {
-        self.w
-            .len()
-            .checked_div(2 * self.lanes)
-            .map_or(0, |rows| rows - 1)
+        self.num_vars
     }
 
     /// Sets both polarities of variable `v` in lane `lane`.
     pub fn set_lane(&mut self, v: u32, lane: usize, pos: Complex, neg: Complex) {
-        self.w[2 * v as usize * self.lanes + lane] = pos;
-        self.w[(2 * v as usize + 1) * self.lanes + lane] = neg;
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        let nb = self.blocks_per_row();
+        let (blk, w) = (lane / LANE_WIDTH, lane % LANE_WIDTH);
+        self.blocks[2 * v as usize * nb + blk].set(w, pos);
+        self.blocks[(2 * v as usize + 1) * nb + blk].set(w, neg);
     }
 
-    /// Sets both polarities of variable `v` in every lane (shared evidence).
+    /// Sets both polarities of variable `v` in every live lane (shared
+    /// evidence). Dead remainder lanes stay zero.
     pub fn set_all(&mut self, v: u32, pos: Complex, neg: Complex) {
-        let row = 2 * v as usize * self.lanes;
-        self.w[row..row + self.lanes].fill(pos);
-        self.w[row + self.lanes..row + 2 * self.lanes].fill(neg);
+        let nb = self.blocks_per_row();
+        let full = self.lanes / LANE_WIDTH;
+        let rem = self.lanes % LANE_WIDTH;
+        for (value, row) in [(pos, 2 * v as usize), (neg, 2 * v as usize + 1)] {
+            let blocks = &mut self.blocks[row * nb..(row + 1) * nb];
+            for b in &mut blocks[..full] {
+                *b = LaneBlock::splat(value);
+            }
+            if rem != 0 {
+                let tail = &mut blocks[full];
+                for w in 0..rem {
+                    tail.set(w, value);
+                }
+            }
+        }
     }
 
     /// Copies every lane of variable `v` from `src` (row-level
@@ -96,34 +137,54 @@ impl AcWeightsBatch {
     /// Panics if `src` has a different lane count.
     pub fn copy_var_from(&mut self, src: &AcWeightsBatch, v: u32) {
         assert_eq!(self.lanes, src.lanes, "lane count mismatch");
-        let row = 2 * v as usize * self.lanes;
-        self.w[row..row + 2 * self.lanes].copy_from_slice(&src.w[row..row + 2 * self.lanes]);
+        let nb = self.blocks_per_row();
+        let row = 2 * v as usize * nb;
+        self.blocks[row..row + 2 * nb].copy_from_slice(&src.blocks[row..row + 2 * nb]);
     }
 
     /// The weight of literal `l` in lane `lane`.
     #[inline]
     pub fn get(&self, l: Lit, lane: usize) -> Complex {
-        self.row(l)[lane]
+        self.row_blocks(l)[lane / LANE_WIDTH].get(lane % LANE_WIDTH)
     }
 
-    /// The `k` lane weights of a literal, contiguous.
+    /// The blocks holding a literal's `k` lane weights.
     #[inline]
-    pub fn row(&self, l: Lit) -> &[Complex] {
-        self.row_by_slot(crate::AcWeights::slot_of(l))
+    pub fn row_blocks(&self, l: Lit) -> &[LaneBlock] {
+        self.row_blocks_by_slot(crate::AcWeights::slot_of(l))
     }
 
-    /// The `k` lane weights at a precomputed
+    /// The blocks at a precomputed
     /// [`slot_of`](crate::AcWeights::slot_of) slot.
     #[inline]
-    pub fn row_by_slot(&self, slot: u32) -> &[Complex] {
-        &self.w[slot as usize * self.lanes..(slot as usize + 1) * self.lanes]
+    pub fn row_blocks_by_slot(&self, slot: u32) -> &[LaneBlock] {
+        let nb = self.blocks_per_row();
+        &self.blocks[slot as usize * nb..(slot as usize + 1) * nb]
     }
 
-    /// Number of interleaved slots covered (`2 × (num_vars + 1)`).
+    /// Number of weight rows covered (`2 × (num_vars + 1)`; 0 when empty).
     #[inline]
     pub(crate) fn num_slots(&self) -> usize {
-        self.w.len().checked_div(self.lanes).unwrap_or(0)
+        if self.lanes == 0 {
+            0
+        } else {
+            2 * (self.num_vars + 1)
+        }
     }
+}
+
+/// Unpacks the live lanes of node `id`'s block row into `out`.
+#[inline]
+pub(crate) fn unpack_row(
+    values: &[LaneBlock],
+    id: usize,
+    nb: usize,
+    k: usize,
+    out: &mut Vec<Complex>,
+) {
+    out.clear();
+    let row = &values[id * nb..id * nb + nb];
+    out.extend((0..k).map(|l| row[l / LANE_WIDTH].get(l % LANE_WIDTH)));
 }
 
 /// Upward pass over `k` weight lanes in one traversal: returns the root
@@ -131,82 +192,78 @@ impl AcWeightsBatch {
 /// [`evaluate`](crate::evaluate()) of that lane's weights.
 pub fn evaluate_batch(nnf: &Nnf, weights: &AcWeightsBatch) -> Vec<Complex> {
     let mut values = Vec::new();
-    evaluate_batch_into(nnf, weights, &mut values).to_vec()
+    let mut out = Vec::new();
+    evaluate_batch_into(nnf, weights, &mut values, &mut out);
+    out
 }
 
-/// [`evaluate_batch`] with a caller-owned value buffer, so hot loops (one
-/// AC pass per basis state) amortize the buffer allocation across calls.
-/// Returns the `k` root values as a slice into `values`.
+/// [`evaluate_batch`] with caller-owned buffers, so hot loops (one AC pass
+/// per basis state) amortize the allocations across calls: `values` holds
+/// the node-major lane blocks, `out` receives the `k` root values, and the
+/// returned slice borrows `out`.
 pub fn evaluate_batch_into<'v>(
     nnf: &Nnf,
     weights: &AcWeightsBatch,
-    values: &'v mut Vec<Complex>,
+    values: &mut Vec<LaneBlock>,
+    out: &'v mut Vec<Complex>,
 ) -> &'v [Complex] {
     let k = weights.lanes();
+    out.clear();
     if k == 0 {
         return &[];
     }
+    let nb = weights.blocks_per_row();
     // Every node row is written by the pass (False rows are filled with
     // zeros explicitly), so a resize without re-zeroing is sound.
-    values.resize(nnf.num_nodes() * k, C_ZERO);
-    upward_pass(nnf, weights, values);
-    let root = nnf.root() as usize * k;
-    &values[root..root + k]
+    values.resize(nnf.num_nodes() * nb, LaneBlock::ZERO);
+    upward_pass(nnf, weights, values, nb);
+    unpack_row(values, nnf.root() as usize, nb, k, out);
+    out
 }
 
-/// The evaluation upward pass: fills `values` (node-major, `k` lanes per
-/// node). Dispatches to a monomorphized body for the common lane counts so
-/// the compiler can const-propagate `k` and fully unroll the per-lane
-/// loops. (The differentials pass runs its own upward sweep — it needs
-/// full AND products, without the zero short-circuit used here.)
-fn upward_pass(nnf: &Nnf, weights: &AcWeightsBatch, values: &mut [Complex]) {
-    match weights.lanes() {
-        4 => upward_pass_impl(nnf, weights, values, 4),
-        8 => upward_pass_impl(nnf, weights, values, 8),
-        16 => upward_pass_impl(nnf, weights, values, 16),
-        k => upward_pass_impl(nnf, weights, values, k),
-    }
-}
-
-#[inline(always)]
-fn upward_pass_impl(nnf: &Nnf, weights: &AcWeightsBatch, values: &mut [Complex], k: usize) {
+/// The evaluation upward pass: fills `values` (node-major, `nb` blocks per
+/// node). Each block update is a fixed-width split-plane loop, so there is
+/// one vectorized body for every lane count — ragged batches ride the
+/// masked remainder block instead of a hand-monomorphized `k`. (The
+/// differentials pass runs its own upward sweep — it needs full AND
+/// products, without the zero short-circuit used here.)
+fn upward_pass(nnf: &Nnf, weights: &AcWeightsBatch, values: &mut [LaneBlock], nb: usize) {
     for (i, node) in nnf.nodes().iter().enumerate() {
-        let row = i * k;
+        let row = i * nb;
         // Children precede parents, so splitting at `row` always puts every
-        // child lane in `head` and the current node's lanes at `tail[..k]`.
+        // child block in `head` and the current node's blocks at `tail[..nb]`.
         let (head, tail) = values.split_at_mut(row);
-        let out = &mut tail[..k];
+        let out = &mut tail[..nb];
         match node {
-            NnfNode::True => out.fill(C_ONE),
-            NnfNode::False => out.fill(C_ZERO),
-            NnfNode::Lit(l) => out.copy_from_slice(weights.row(*l)),
+            NnfNode::True => out.fill(LaneBlock::ONE),
+            NnfNode::False => out.fill(LaneBlock::ZERO),
+            NnfNode::Lit(l) => out.copy_from_slice(weights.row_blocks(*l)),
             NnfNode::And(cs) => {
-                out.fill(C_ONE);
+                out.fill(LaneBlock::ONE);
                 for &c in cs.iter() {
                     // Mirror the scalar kernel's early break, lifted to the
-                    // batch: a zero lane stops multiplying (keeping the
-                    // exact bits the scalar pass returns), and once every
-                    // lane is dead the remaining children are skipped
-                    // entirely. Zeros come almost exclusively from evidence
-                    // weights, which are shared across lanes, so lanes
-                    // usually die together and the whole-AND break fires
-                    // about as often as the scalar one.
-                    if out.iter().all(|a| *a == C_ZERO) {
+                    // batch: a zero lane stops multiplying (the select in
+                    // `mul_assign_sc` keeps the exact bits the scalar pass
+                    // returns), and once every lane is dead the remaining
+                    // children are skipped entirely. Zeros come almost
+                    // exclusively from evidence weights, which are shared
+                    // across lanes, so lanes usually die together and the
+                    // whole-AND break fires about as often as the scalar
+                    // one.
+                    if out.iter().all(LaneBlock::all_zero) {
                         break;
                     }
-                    let child = &head[c as usize * k..c as usize * k + k];
-                    for (acc, &v) in out.iter_mut().zip(child) {
-                        if *acc != C_ZERO {
-                            *acc *= v;
-                        }
+                    let child = &head[c as usize * nb..c as usize * nb + nb];
+                    for (acc, v) in out.iter_mut().zip(child) {
+                        acc.mul_assign_sc(v);
                     }
                 }
             }
             NnfNode::Or(a, b) => {
-                let a = &head[*a as usize * k..*a as usize * k + k];
-                let b = &head[*b as usize * k..*b as usize * k + k];
-                for (acc, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
-                    *acc = x + y;
+                let a = &head[*a as usize * nb..*a as usize * nb + nb];
+                let b = &head[*b as usize * nb..*b as usize * nb + nb];
+                for (acc, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                    acc.add_of(x, y);
                 }
             }
         }
@@ -218,8 +275,9 @@ fn upward_pass_impl(nnf: &Nnf, weights: &AcWeightsBatch, values: &mut [Complex],
 #[derive(Debug)]
 pub struct DifferentialsBatch {
     lanes: usize,
-    values: Vec<Complex>,
-    partials: Vec<Complex>,
+    nb: usize,
+    values: Vec<LaneBlock>,
+    partials: Vec<LaneBlock>,
     lit_nodes: HashMap<Lit, u32>,
     root: u32,
 }
@@ -232,22 +290,20 @@ impl DifferentialsBatch {
 
     /// The root value (amplitude) of lane `lane`.
     pub fn value(&self, lane: usize) -> Complex {
-        self.values[self.root as usize * self.lanes + lane]
+        self.values[self.root as usize * self.nb + lane / LANE_WIDTH].get(lane % LANE_WIDTH)
     }
 
     /// `∂f/∂w(lit)` in lane `lane` (see
     /// [`Differentials::wrt_lit`](crate::Differentials::wrt_lit)). Returns
     /// `None` if the literal does not appear in the circuit.
     pub fn wrt_lit(&self, lit: Lit, lane: usize) -> Option<Complex> {
-        self.lit_nodes
-            .get(&lit)
-            .map(|&id| self.partials[id as usize * self.lanes + lane])
+        self.lit_nodes.get(&lit).map(|&id| self.wrt_node(id, lane))
     }
 
     /// The partial derivative of the root with respect to node `id` in lane
     /// `lane`.
     pub fn wrt_node(&self, id: u32, lane: usize) -> Complex {
-        self.partials[id as usize * self.lanes + lane]
+        self.partials[id as usize * self.nb + lane / LANE_WIDTH].get(lane % LANE_WIDTH)
     }
 }
 
@@ -260,100 +316,99 @@ pub fn evaluate_with_differentials_batch(
     weights: &AcWeightsBatch,
 ) -> DifferentialsBatch {
     let k = weights.lanes();
+    let nb = weights.blocks_per_row();
     let n = nnf.num_nodes();
-    let mut values = vec![C_ZERO; n * k];
+    let mut values = vec![LaneBlock::ZERO; n * nb];
     let mut lit_nodes: HashMap<Lit, u32> = HashMap::new();
     // The downward pass needs full AND products, so run a dedicated upward
     // pass without the zero short-circuit (as the scalar kernel does).
     for (i, node) in nnf.nodes().iter().enumerate() {
-        let row = i * k;
+        let row = i * nb;
         let (head, tail) = values.split_at_mut(row);
-        let out = &mut tail[..k];
+        let out = &mut tail[..nb];
         match node {
-            NnfNode::True => out.fill(C_ONE),
+            NnfNode::True => out.fill(LaneBlock::ONE),
             NnfNode::False => {}
             NnfNode::Lit(l) => {
                 lit_nodes.insert(*l, i as u32);
-                out.copy_from_slice(weights.row(*l));
+                out.copy_from_slice(weights.row_blocks(*l));
             }
             NnfNode::And(cs) => {
-                out.fill(C_ONE);
+                out.fill(LaneBlock::ONE);
                 for &c in cs.iter() {
-                    let child = &head[c as usize * k..c as usize * k + k];
-                    for (acc, &v) in out.iter_mut().zip(child) {
-                        *acc *= v;
+                    let child = &head[c as usize * nb..c as usize * nb + nb];
+                    for (acc, v) in out.iter_mut().zip(child) {
+                        acc.mul_assign(v);
                     }
                 }
             }
             NnfNode::Or(a, b) => {
-                let arow = *a as usize * k;
-                let brow = *b as usize * k;
-                for (l, acc) in out.iter_mut().enumerate() {
-                    *acc = head[arow + l] + head[brow + l];
+                let arow = *a as usize * nb;
+                let brow = *b as usize * nb;
+                for (bi, acc) in out.iter_mut().enumerate() {
+                    let (x, y) = (head[arow + bi], head[brow + bi]);
+                    acc.add_of(&x, &y);
                 }
             }
         }
     }
-    let mut partials = vec![C_ZERO; n * k];
-    let root_row = nnf.root() as usize * k;
-    partials[root_row..root_row + k].fill(C_ONE);
+    let mut partials = vec![LaneBlock::ZERO; n * nb];
+    let root_row = nnf.root() as usize * nb;
+    partials[root_row..root_row + nb].fill(LaneBlock::ONE);
     // Per-AND scratch, reused across nodes: prefix products (child-major,
-    // k lanes each), suffix/accumulator lanes, and a copy of the node's
+    // nb blocks each), suffix/accumulator blocks, and a copy of the node's
     // partials (needed because `partials` is written below while the
     // node's own row must stay fixed).
-    let mut prefix: Vec<Complex> = Vec::new();
-    let mut suffix: Vec<Complex> = vec![C_ONE; k];
-    let mut acc: Vec<Complex> = vec![C_ONE; k];
-    let mut p: Vec<Complex> = Vec::new();
+    let mut prefix: Vec<LaneBlock> = Vec::new();
+    let mut suffix: Vec<LaneBlock> = vec![LaneBlock::ONE; nb];
+    let mut acc: Vec<LaneBlock> = vec![LaneBlock::ONE; nb];
+    let mut p: Vec<LaneBlock> = Vec::new();
     for (i, node) in nnf.nodes().iter().enumerate().rev() {
-        let row = i * k;
+        let row = i * nb;
         match node {
             NnfNode::And(cs) => {
-                let p_row = &partials[row..row + k];
-                if p_row.iter().all(|&x| x == C_ZERO) {
+                let p_row = &partials[row..row + nb];
+                if p_row.iter().all(LaneBlock::all_zero) {
                     continue;
                 }
                 p.clear();
                 p.extend_from_slice(p_row);
-                // prefix[c][l] here holds the SUFFIX Π_{j>c} v_j[l], stashed
+                // prefix[c] here holds the SUFFIX Π_{j>c} v_j, stashed
                 // from the right; the forward sweep then carries
                 // pq = p·Π_{j<c} v_j in `acc`, exactly as the scalar kernel.
                 prefix.clear();
-                prefix.resize(cs.len() * k, C_ONE);
-                suffix.fill(C_ONE);
+                prefix.resize(cs.len() * nb, LaneBlock::ONE);
+                suffix.fill(LaneBlock::ONE);
                 for (ci, &c) in cs.iter().enumerate().rev() {
-                    prefix[ci * k..ci * k + k].copy_from_slice(&suffix);
-                    let child = &values[c as usize * k..c as usize * k + k];
-                    for (s, &v) in suffix.iter_mut().zip(child) {
-                        *s *= v;
+                    prefix[ci * nb..ci * nb + nb].copy_from_slice(&suffix);
+                    let child = &values[c as usize * nb..c as usize * nb + nb];
+                    for (s, v) in suffix.iter_mut().zip(child) {
+                        s.mul_assign(v);
                     }
                 }
-                acc[..k].copy_from_slice(&p);
+                acc[..nb].copy_from_slice(&p);
                 for (ci, &c) in cs.iter().enumerate() {
-                    let crow = c as usize * k;
-                    for l in 0..k {
+                    let crow = c as usize * nb;
+                    for bi in 0..nb {
                         // Scalar kernel skips whole nodes whose partial is
-                        // zero; the per-lane analogue keeps each lane's
+                        // zero; the per-lane select keeps each lane's
                         // accumulation sequence (and so its bits) identical.
-                        if p[l] != C_ZERO {
-                            partials[crow + l] += acc[l] * prefix[ci * k + l];
-                        }
+                        let term_a = acc[bi];
+                        partials[crow + bi].add_mul_where(&p[bi], &term_a, &prefix[ci * nb + bi]);
                     }
-                    let child = &values[crow..crow + k];
-                    for (a, &v) in acc.iter_mut().zip(child) {
-                        *a *= v;
+                    let child = &values[crow..crow + nb];
+                    for (a, v) in acc.iter_mut().zip(child) {
+                        a.mul_assign(v);
                     }
                 }
             }
             NnfNode::Or(a, b) => {
-                let arow = *a as usize * k;
-                let brow = *b as usize * k;
-                for l in 0..k {
-                    let p = partials[row + l];
-                    if p != C_ZERO {
-                        partials[arow + l] += p;
-                        partials[brow + l] += p;
-                    }
+                let arow = *a as usize * nb;
+                let brow = *b as usize * nb;
+                for bi in 0..nb {
+                    let p = partials[row + bi];
+                    partials[arow + bi].add_where_nonzero(&p);
+                    partials[brow + bi].add_where_nonzero(&p);
                 }
             }
             _ => {}
@@ -361,6 +416,7 @@ pub fn evaluate_with_differentials_batch(
     }
     DifferentialsBatch {
         lanes: k,
+        nb,
         values,
         partials,
         lit_nodes,
@@ -419,7 +475,15 @@ mod tests {
     fn batch_matches_scalar_bit_for_bit() {
         let nnf = test_nnf();
         let mut rng = StdRng::seed_from_u64(11);
-        for k in [1usize, 3, 8] {
+        // Ragged widths straddle the block boundary: 1, W−1, W, W+1, 2W+3.
+        for k in [
+            1usize,
+            3,
+            LANE_WIDTH - 1,
+            LANE_WIDTH,
+            LANE_WIDTH + 1,
+            2 * LANE_WIDTH + 3,
+        ] {
             let lanes: Vec<AcWeights> = (0..k).map(|_| random_weights(3, &mut rng)).collect();
             let got = evaluate_batch(&nnf, &batch_of(&lanes));
             assert_eq!(got.len(), k);
@@ -427,7 +491,7 @@ mod tests {
                 let want = evaluate(&nnf, w);
                 assert!(
                     bits_eq(got[lane], want),
-                    "lane {lane}: {} vs {want}",
+                    "k {k} lane {lane}: {} vs {want}",
                     got[lane]
                 );
             }
@@ -456,25 +520,27 @@ mod tests {
     fn differentials_batch_matches_scalar_bit_for_bit() {
         let nnf = test_nnf();
         let mut rng = StdRng::seed_from_u64(23);
-        let lanes: Vec<AcWeights> = (0..5).map(|_| random_weights(3, &mut rng)).collect();
-        let batch = evaluate_with_differentials_batch(&nnf, &batch_of(&lanes));
-        assert_eq!(batch.lanes(), 5);
-        for (lane, w) in lanes.iter().enumerate() {
-            let scalar = evaluate_with_differentials(&nnf, w);
-            assert!(
-                bits_eq(batch.value(lane), scalar.value),
-                "value lane {lane}"
-            );
-            for v in 1..=3i32 {
-                for lit in [v, -v] {
-                    let got = batch.wrt_lit(lit, lane);
-                    let want = scalar.wrt_lit(lit);
-                    match (got, want) {
-                        (Some(g), Some(s)) => {
-                            assert!(bits_eq(g, s), "lit {lit} lane {lane}: {g} vs {s}");
+        for k in [1usize, 5, LANE_WIDTH, LANE_WIDTH + 1, 2 * LANE_WIDTH + 3] {
+            let lanes: Vec<AcWeights> = (0..k).map(|_| random_weights(3, &mut rng)).collect();
+            let batch = evaluate_with_differentials_batch(&nnf, &batch_of(&lanes));
+            assert_eq!(batch.lanes(), k);
+            for (lane, w) in lanes.iter().enumerate() {
+                let scalar = evaluate_with_differentials(&nnf, w);
+                assert!(
+                    bits_eq(batch.value(lane), scalar.value),
+                    "value k {k} lane {lane}"
+                );
+                for v in 1..=3i32 {
+                    for lit in [v, -v] {
+                        let got = batch.wrt_lit(lit, lane);
+                        let want = scalar.wrt_lit(lit);
+                        match (got, want) {
+                            (Some(g), Some(s)) => {
+                                assert!(bits_eq(g, s), "lit {lit} lane {lane}: {g} vs {s}");
+                            }
+                            (None, None) => {}
+                            other => panic!("lit {lit} lane {lane}: presence mismatch {other:?}"),
                         }
-                        (None, None) => {}
-                        other => panic!("lit {lit} lane {lane}: presence mismatch {other:?}"),
                     }
                 }
             }
@@ -519,6 +585,7 @@ mod tests {
         let mut b = AcWeightsBatch::uniform(2, 3);
         assert_eq!(b.lanes(), 3);
         assert_eq!(b.num_vars(), 2);
+        assert_eq!(b.blocks_per_row(), 1);
         b.set_lane(1, 1, Complex::imag(2.0), Complex::real(3.0));
         assert_eq!(b.get(1, 1), Complex::imag(2.0));
         assert_eq!(b.get(-1, 1), Complex::real(3.0));
@@ -528,6 +595,33 @@ mod tests {
             assert_eq!(b.get(2, lane), C_ZERO);
             assert_eq!(b.get(-2, lane), C_ONE);
         }
-        assert_eq!(b.row(2), &[C_ZERO; 3]);
+        // Dead remainder lanes stay exact zeros (masked remainder block).
+        let row = b.row_blocks(2);
+        assert_eq!(row.len(), 1);
+        for w in 3..LANE_WIDTH {
+            assert_eq!(row[0].get(w), C_ZERO);
+        }
+        let neg = b.row_blocks(-2)[0];
+        for w in 3..LANE_WIDTH {
+            assert_eq!(neg.get(w), C_ZERO);
+        }
+    }
+
+    #[test]
+    fn ragged_blocks_and_copy() {
+        // k = W+2 spans two blocks; copy_var_from restores both rows.
+        let k = LANE_WIDTH + 2;
+        let mut a = AcWeightsBatch::uniform(2, k);
+        let saved = a.clone();
+        a.set_all(1, C_ZERO, Complex::real(4.0));
+        for lane in 0..k {
+            assert_eq!(a.get(1, lane), C_ZERO);
+            assert_eq!(a.get(-1, lane), Complex::real(4.0));
+        }
+        a.copy_var_from(&saved, 1);
+        for lane in 0..k {
+            assert_eq!(a.get(1, lane), C_ONE);
+            assert_eq!(a.get(-1, lane), C_ONE);
+        }
     }
 }

@@ -11,8 +11,8 @@
 //! ([`evaluate_with_differentials`]), which drives the [`GibbsSampler`].
 //! Parameter sweeps amortize the traversal itself: [`evaluate_batch`] and
 //! [`evaluate_with_differentials_batch`] decode each node once and update
-//! `k` weight lanes ([`AcWeightsBatch`]) in contiguous loops, bit-for-bit
-//! equal to `k` scalar evaluations.
+//! `k` weight lanes ([`AcWeightsBatch`]) held in lane-blocked split-plane
+//! layout ([`lanes`]), bit-for-bit equal to `k` scalar evaluations.
 //!
 //! Production queries run on the flat execution form: [`AcTape`] lowers the
 //! enum arena once into a topologically-ordered instruction stream with CSR
@@ -44,6 +44,7 @@ mod batch;
 mod compiler;
 mod evaluate;
 mod gibbs;
+pub mod lanes;
 mod nnf;
 mod order;
 mod tape;
@@ -57,6 +58,7 @@ pub use batch::{
 pub use compiler::{compile, CompileOptions, CompileStats, Compiled};
 pub use evaluate::{evaluate, evaluate_with_differentials, AcWeights, Differentials};
 pub use gibbs::{GibbsOptions, GibbsSampler, QueryVar};
+pub use lanes::{LaneBlock, LANE_WIDTH};
 pub use nnf::{Nnf, NnfBuilder, NnfId, NnfNode};
 pub use order::{compute_ranks, compute_ranks_balanced, VarOrder, DEFAULT_SEPARATOR_BALANCE};
 pub use tape::{
@@ -66,6 +68,6 @@ pub use tape::{
 };
 pub use transform::{project_out, smooth};
 pub use verify::{
-    verify_tangent_plan, verify_tape, verify_tape_bytes, Finding, Severity, VerifyLevel,
-    VerifyPass, VerifyReport,
+    verify_tangent_plan, verify_tangent_plan_batch, verify_tape, verify_tape_bytes, Finding,
+    Severity, VerifyLevel, VerifyPass, VerifyReport,
 };

@@ -43,6 +43,7 @@
 //! removing one would shift the stream.
 
 use crate::evaluate::AcWeights;
+use crate::lanes::{blocks_for, LaneBlock, LANE_WIDTH};
 use crate::nnf::{Nnf, NnfNode};
 use crate::AcWeightsBatch;
 use qkc_cnf::Lit;
@@ -123,6 +124,12 @@ pub struct AcTape {
     /// One past the largest weight slot any `Lit` instruction reads: the
     /// minimum [`AcWeights::num_slots`] the kernels accept.
     weight_slots: u32,
+    /// Largest product-node arity on the tape (`And2` counts as 2; 0 when
+    /// the tape has no product nodes). Derived — computed by lowering and
+    /// re-derived at wire decode, never serialized — and used by the
+    /// batched downward sweeps to size their suffix-stash scratch once per
+    /// pass instead of once per node.
+    max_and_arity: u32,
     /// Process-unique identity of this lowering (shared by clones, which
     /// are bit-identical).
     stamp: u64,
@@ -250,6 +257,7 @@ impl AcTape {
         let (parent_offsets, parents) = build_parent_csr(&ops, &edges);
         Self {
             root: slot_of[nnf.root() as usize],
+            max_and_arity: max_and_arity(&ops),
             ops,
             edges,
             consts,
@@ -312,6 +320,13 @@ impl AcTape {
     /// kernels to accept it.
     pub fn required_weight_slots(&self) -> u32 {
         self.weight_slots
+    }
+
+    /// Largest product-node arity on the tape (`And2` counts as 2; 0 when
+    /// there are no product nodes). Derived at lowering and re-derived at
+    /// wire decode.
+    pub fn max_and_arity(&self) -> u32 {
+        self.max_and_arity
     }
 
     /// Number of tape slots in the ancestor cone of the given literals
@@ -535,6 +550,7 @@ impl AcTape {
         }
         let (parent_offsets, parents) = build_parent_csr(&ops, &edges);
         Ok(Self {
+            max_and_arity: max_and_arity(&ops),
             ops,
             edges,
             consts,
@@ -546,6 +562,20 @@ impl AcTape {
             root,
         })
     }
+}
+
+/// The largest product-node arity in an instruction stream (see
+/// [`AcTape::max_and_arity`]). Shared by lowering and wire decoding so the
+/// derived value can never drift between the two construction paths.
+fn max_and_arity(ops: &[TapeOp]) -> u32 {
+    ops.iter()
+        .map(|op| match op.kind {
+            TapeOpKind::And2 => 2,
+            TapeOpKind::And => op.b - op.a,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 /// Wire-format constants: magic, version, and the fixed header size
@@ -688,19 +718,29 @@ fn build_parent_csr(ops: &[TapeOp], edges: &[TapeId]) -> (Vec<u32>, Vec<TapeId>)
 /// chain, a sweep lane).
 #[derive(Debug, Default)]
 pub struct TapeEvaluator {
-    /// Per-slot values (node-major, `k` lanes per slot in batch mode).
-    /// Grow-only and never re-zeroed: every pass overwrites every slot it
-    /// reads.
+    /// Per-slot scalar values. Grow-only and never re-zeroed: every pass
+    /// overwrites every slot it reads.
     values: Vec<Complex>,
-    /// Per-slot partial derivatives of the root (zeroed per pass — the
-    /// downward sweep accumulates into it).
+    /// Per-slot scalar partial derivatives of the root (zeroed per pass —
+    /// the downward sweep accumulates into it).
     partials: Vec<Complex>,
-    /// Prefix products for the downward AND sweep (child-major).
+    /// Prefix products for the scalar downward AND sweep (child-major).
     prefix: Vec<Complex>,
-    /// Per-lane suffix / accumulator / partial-copy scratch (batch mode).
-    suffix: Vec<Complex>,
-    acc: Vec<Complex>,
-    pcopy: Vec<Complex>,
+    /// Per-slot lane-blocked values for the batch kernels (node-major,
+    /// `⌈k/W⌉` [`LaneBlock`]s per slot). Grow-only, like `values`.
+    bvalues: Vec<LaneBlock>,
+    /// Per-slot lane-blocked partials for the batch downward sweeps.
+    bpartials: Vec<LaneBlock>,
+    /// Blocked suffix-stash / suffix / accumulator / partial-copy scratch
+    /// for the batch downward sweeps. `bprefix` is sized once per pass
+    /// from the tape's [`AcTape::max_and_arity`].
+    bprefix: Vec<LaneBlock>,
+    bsuffix: Vec<LaneBlock>,
+    bacc: Vec<LaneBlock>,
+    bpcopy: Vec<LaneBlock>,
+    /// Unpacked live lanes of the batch root row — the persistent backing
+    /// of the `&[Complex]` slices the batch upward passes return.
+    root_out: Vec<Complex>,
     /// Per-slot magnitudes for model sampling. Grow-only, fully
     /// overwritten by each magnitude pass.
     mags: Vec<f64>,
@@ -1200,12 +1240,31 @@ impl TapeEvaluator {
         }
     }
 
+    /// Grows the blocked value buffer to at least `len` blocks without
+    /// re-zeroing live ones: the batch passes overwrite every row they
+    /// read.
+    #[inline]
+    fn ensure_bvalues(&mut self, len: usize) {
+        if self.bvalues.len() < len {
+            self.bvalues.resize(len, LaneBlock::ZERO);
+        }
+    }
+
+    /// Unpacks the live lanes of the root's block row into the persistent
+    /// `root_out` buffer and returns it.
+    fn unpack_root(&mut self, tape: &AcTape, nb: usize, k: usize) -> &[Complex] {
+        crate::batch::unpack_row(&self.bvalues, tape.root as usize, nb, k, &mut self.root_out);
+        &self.root_out
+    }
+
     /// Batched upward pass over `k` weight lanes: one tape scan updating
-    /// `k` contiguous complex lanes per slot. Returns the `k` root values;
-    /// lane `l` is bit-for-bit the scalar
-    /// [`evaluate`](TapeEvaluator::evaluate) of that lane's weights
-    /// (mirroring [`evaluate_batch`](crate::evaluate_batch()): per-lane
-    /// zero short-circuit, whole-AND break once every lane is dead).
+    /// `⌈k/W⌉` lane blocks per slot, each a fixed-width split-plane loop
+    /// the compiler vectorizes. Returns the `k` root values; lane `l` is
+    /// bit-for-bit the scalar [`evaluate`](TapeEvaluator::evaluate) of
+    /// that lane's weights (mirroring
+    /// [`evaluate_batch`](crate::evaluate_batch()): per-lane zero
+    /// short-circuit as a select, whole-AND break once every lane is
+    /// dead).
     pub fn evaluate_batch(&mut self, tape: &AcTape, weights: &AcWeightsBatch) -> &[Complex] {
         let k = weights.lanes();
         if k == 0 {
@@ -1213,18 +1272,13 @@ impl TapeEvaluator {
         }
         tape.check_weights(weights.num_slots());
         let n = tape.ops.len();
-        self.ensure_values(n * k);
+        let nb = weights.blocks_per_row();
+        self.ensure_bvalues(n * nb);
         self.value_lanes = k;
         self.values_mode = ValuesMode::BatchEvaluate;
         self.values_stamp = tape.stamp;
-        match k {
-            4 => batch_upward(tape, weights, &mut self.values[..n * 4], 4),
-            8 => batch_upward(tape, weights, &mut self.values[..n * 8], 8),
-            16 => batch_upward(tape, weights, &mut self.values[..n * 16], 16),
-            k => batch_upward(tape, weights, &mut self.values[..n * k], k),
-        }
-        let root = tape.root as usize * k;
-        &self.values[root..root + k]
+        batch_upward(tape, weights, &mut self.bvalues[..n * nb], nb);
+        self.unpack_root(tape, nb, k)
     }
 
     /// [`evaluate_batch`](TapeEvaluator::evaluate_batch) when only the
@@ -1267,9 +1321,9 @@ impl TapeEvaluator {
             return self.evaluate_batch(tape, weights);
         }
         tape.check_weights(weights.num_slots());
-        self.delta_update_batch(tape, weights, changed_vars, k, false);
-        let root = tape.root as usize * k;
-        &self.values[root..root + k]
+        let nb = weights.blocks_per_row();
+        self.delta_update_batch(tape, weights, changed_vars, nb, false);
+        self.unpack_root(tape, nb, k)
     }
 
     /// The batched analogue of [`delta_update`](TapeEvaluator::delta_update):
@@ -1283,7 +1337,7 @@ impl TapeEvaluator {
         tape: &AcTape,
         weights: &AcWeightsBatch,
         changed_vars: &[u32],
-        k: usize,
+        nb: usize,
         full_products: bool,
     ) {
         let n = tape.ops.len();
@@ -1303,11 +1357,13 @@ impl TapeEvaluator {
                 }
             }
         }
-        // Row scratch: the candidate new values of the slot being
-        // recomputed (all `k` lanes), compared bitwise against the cached
-        // row before overwriting.
-        self.acc.clear();
-        self.acc.resize(k, C_ZERO);
+        // Row scratch: the candidate new blocks of the slot being
+        // recomputed (all lanes), compared bitwise against the cached
+        // row before overwriting. Dead remainder lanes are deterministic
+        // functions of the zero-filled weights, so whole-block bitwise
+        // comparison stays sound for ragged batches.
+        self.bacc.clear();
+        self.bacc.resize(nb, LaneBlock::ZERO);
         while pending > 0 {
             if !self.queued[cursor] {
                 cursor += 1;
@@ -1316,55 +1372,59 @@ impl TapeEvaluator {
             self.queued[cursor] = false;
             pending -= 1;
             let op = tape.ops[cursor];
-            let row = cursor * k;
+            let row = cursor * nb;
             {
-                // Disjoint field borrows: children are read from `values`
-                // (all at slots < cursor), the candidate row lands in `acc`.
-                let values = &self.values;
-                let out = &mut self.acc[..k];
+                // Disjoint field borrows: children are read from `bvalues`
+                // (all at slots < cursor), the candidate row lands in `bacc`.
+                let values = &self.bvalues;
+                let out = &mut self.bacc[..nb];
                 match op.kind {
-                    TapeOpKind::Const => out.fill(tape.consts[op.a as usize]),
-                    TapeOpKind::Lit => out.copy_from_slice(weights.row_by_slot(op.a)),
+                    TapeOpKind::Const => out.fill(LaneBlock::splat(tape.consts[op.a as usize])),
+                    TapeOpKind::Lit => out.copy_from_slice(weights.row_blocks_by_slot(op.a)),
                     TapeOpKind::And2 => {
-                        let arow = &values[op.a as usize * k..op.a as usize * k + k];
-                        let brow = &values[op.b as usize * k..op.b as usize * k + k];
-                        for (acc, (&x, &y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
-                            let mut v = C_ONE * x;
-                            if full_products || v != C_ZERO {
-                                v *= y;
+                        let arow = &values[op.a as usize * nb..op.a as usize * nb + nb];
+                        let brow = &values[op.b as usize * nb..op.b as usize * nb + nb];
+                        for (acc, (x, y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
+                            *acc = LaneBlock::one_times(x);
+                            if full_products {
+                                acc.mul_assign(y);
+                            } else {
+                                acc.mul_assign_sc(y);
                             }
-                            *acc = v;
                         }
                     }
                     TapeOpKind::And => {
-                        out.fill(C_ONE);
+                        out.fill(LaneBlock::ONE);
                         for &c in &tape.edges[op.a as usize..op.b as usize] {
-                            if !full_products && out.iter().all(|a| *a == C_ZERO) {
+                            if !full_products && out.iter().all(LaneBlock::all_zero) {
                                 break;
                             }
-                            let child = &values[c as usize * k..c as usize * k + k];
-                            for (acc, &v) in out.iter_mut().zip(child) {
-                                if full_products || *acc != C_ZERO {
-                                    *acc *= v;
+                            let child = &values[c as usize * nb..c as usize * nb + nb];
+                            for (acc, v) in out.iter_mut().zip(child) {
+                                if full_products {
+                                    acc.mul_assign(v);
+                                } else {
+                                    acc.mul_assign_sc(v);
                                 }
                             }
                         }
                     }
                     TapeOpKind::Or => {
-                        let arow = op.a as usize * k;
-                        let brow = op.b as usize * k;
-                        for (l, acc) in out.iter_mut().enumerate() {
-                            *acc = values[arow + l] + values[brow + l];
+                        let arow = op.a as usize * nb;
+                        let brow = op.b as usize * nb;
+                        for (bi, acc) in out.iter_mut().enumerate() {
+                            acc.add_of(&values[arow + bi], &values[brow + bi]);
                         }
                     }
                 }
             }
-            let old = &self.values[row..row + k];
-            let any_changed = self.acc[..k].iter().zip(old).any(|(new, old)| {
-                new.re.to_bits() != old.re.to_bits() || new.im.to_bits() != old.im.to_bits()
-            });
+            let old = &self.bvalues[row..row + nb];
+            let any_changed = self.bacc[..nb]
+                .iter()
+                .zip(old)
+                .any(|(new, old)| new.bits_ne(old));
             if any_changed {
-                self.values[row..row + k].copy_from_slice(&self.acc[..k]);
+                self.bvalues[row..row + nb].copy_from_slice(&self.bacc[..nb]);
                 for &p in tape.parents_of(cursor as TapeId) {
                     if !self.queued[p as usize] {
                         self.queued[p as usize] = true;
@@ -1398,39 +1458,41 @@ impl TapeEvaluator {
     /// reuse.
     fn upward_full_products_batch(&mut self, tape: &AcTape, weights: &AcWeightsBatch, k: usize) {
         let n = tape.ops.len();
-        self.ensure_values(n * k);
+        let nb = weights.blocks_per_row();
+        self.ensure_bvalues(n * nb);
         self.value_lanes = k;
         self.values_mode = ValuesMode::BatchDiffUpward;
         self.values_stamp = tape.stamp;
-        let values = &mut self.values[..n * k];
+        let values = &mut self.bvalues[..n * nb];
         for (i, op) in tape.ops.iter().enumerate() {
-            let row = i * k;
+            let row = i * nb;
             let (head, tail) = values.split_at_mut(row);
-            let out = &mut tail[..k];
+            let out = &mut tail[..nb];
             match op.kind {
-                TapeOpKind::Const => out.fill(tape.consts[op.a as usize]),
-                TapeOpKind::Lit => out.copy_from_slice(weights.row_by_slot(op.a)),
+                TapeOpKind::Const => out.fill(LaneBlock::splat(tape.consts[op.a as usize])),
+                TapeOpKind::Lit => out.copy_from_slice(weights.row_blocks_by_slot(op.a)),
                 TapeOpKind::And2 => {
-                    let arow = &head[op.a as usize * k..op.a as usize * k + k];
-                    let brow = &head[op.b as usize * k..op.b as usize * k + k];
-                    for (acc, (&x, &y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
-                        *acc = C_ONE * x * y;
+                    let arow = &head[op.a as usize * nb..op.a as usize * nb + nb];
+                    let brow = &head[op.b as usize * nb..op.b as usize * nb + nb];
+                    for (acc, (x, y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
+                        *acc = LaneBlock::one_times(x);
+                        acc.mul_assign(y);
                     }
                 }
                 TapeOpKind::And => {
-                    out.fill(C_ONE);
+                    out.fill(LaneBlock::ONE);
                     for &c in &tape.edges[op.a as usize..op.b as usize] {
-                        let child = &head[c as usize * k..c as usize * k + k];
-                        for (a, &v) in out.iter_mut().zip(child) {
-                            *a *= v;
+                        let child = &head[c as usize * nb..c as usize * nb + nb];
+                        for (a, v) in out.iter_mut().zip(child) {
+                            a.mul_assign(v);
                         }
                     }
                 }
                 TapeOpKind::Or => {
-                    let arow = op.a as usize * k;
-                    let brow = op.b as usize * k;
-                    for (l, a) in out.iter_mut().enumerate() {
-                        *a = head[arow + l] + head[brow + l];
+                    let arow = op.a as usize * nb;
+                    let brow = op.b as usize * nb;
+                    for (bi, a) in out.iter_mut().enumerate() {
+                        a.add_of(&head[arow + bi], &head[brow + bi]);
                     }
                 }
             }
@@ -1441,73 +1503,87 @@ impl TapeEvaluator {
     /// full-product `values` buffer.
     fn downward_batch(&mut self, tape: &AcTape, k: usize) {
         let n = tape.ops.len();
-        let values = &self.values[..n * k];
-        if self.partials.len() < n * k {
-            self.partials.resize(n * k, C_ZERO);
+        let nb = blocks_for(k);
+        let values = &self.bvalues[..n * nb];
+        if self.bpartials.len() < n * nb {
+            self.bpartials.resize(n * nb, LaneBlock::ZERO);
         }
         self.partial_lanes = k;
-        let partials = &mut self.partials[..n * k];
-        partials.fill(C_ZERO);
-        let root_row = tape.root as usize * k;
-        partials[root_row..root_row + k].fill(C_ONE);
-        self.suffix.clear();
-        self.suffix.resize(k, C_ONE);
-        self.acc.clear();
-        self.acc.resize(k, C_ONE);
+        let partials = &mut self.bpartials[..n * nb];
+        partials.fill(LaneBlock::ZERO);
+        let root_row = tape.root as usize * nb;
+        // The root partial seed is MASKED: live lanes start at one, dead
+        // remainder lanes at zero — so dead-lane partials stay zero and
+        // the all-zero row skips fire exactly as with a full block.
+        masked_ones_row(&mut partials[root_row..root_row + nb], k);
+        self.bsuffix.clear();
+        self.bsuffix.resize(nb, LaneBlock::ONE);
+        self.bacc.clear();
+        self.bacc.resize(nb, LaneBlock::ONE);
+        // The stash is pre-sized once from the tape's maximum AND arity
+        // (grow-only); the backward scan overwrites every entry the
+        // forward scan reads, so no per-slot fill is needed.
+        let stash = tape.max_and_arity as usize * nb;
+        if self.bprefix.len() < stash {
+            self.bprefix.resize(stash, LaneBlock::ZERO);
+        }
         for (i, op) in tape.ops.iter().enumerate().rev() {
-            let row = i * k;
+            let row = i * nb;
             match op.kind {
                 TapeOpKind::And2 | TapeOpKind::And => {
-                    let p_row = &partials[row..row + k];
-                    if p_row.iter().all(|&x| x == C_ZERO) {
+                    let p_row = &partials[row..row + nb];
+                    if p_row.iter().all(LaneBlock::all_zero) {
                         continue;
                     }
-                    self.pcopy.clear();
-                    self.pcopy.extend_from_slice(p_row);
+                    self.bpcopy.clear();
+                    self.bpcopy.extend_from_slice(p_row);
                     let pair = [op.a, op.b];
                     let cs: &[TapeId] = if op.kind == TapeOpKind::And2 {
                         &pair
                     } else {
                         &tape.edges[op.a as usize..op.b as usize]
                     };
-                    // `prefix` stashes the SUFFIX Π_{j>c} v_j from the
+                    // `bprefix` stashes the SUFFIX Π_{j>c} v_j from the
                     // right; the forward sweep carries pq = p·Π_{j<c} v_j
-                    // in `acc`, exactly as the scalar kernel.
-                    self.prefix.clear();
-                    self.prefix.resize(cs.len() * k, C_ONE);
-                    self.suffix.fill(C_ONE);
+                    // in `bacc`, exactly as the scalar kernel.
+                    self.bsuffix.fill(LaneBlock::ONE);
                     for (ci, &c) in cs.iter().enumerate().rev() {
-                        self.prefix[ci * k..ci * k + k].copy_from_slice(&self.suffix);
-                        let child = &values[c as usize * k..c as usize * k + k];
-                        for (s, &v) in self.suffix.iter_mut().zip(child) {
-                            *s *= v;
+                        self.bprefix[ci * nb..ci * nb + nb].copy_from_slice(&self.bsuffix);
+                        let child = &values[c as usize * nb..c as usize * nb + nb];
+                        for (s, v) in self.bsuffix.iter_mut().zip(child) {
+                            s.mul_assign(v);
                         }
                     }
-                    self.acc[..k].copy_from_slice(&self.pcopy);
+                    self.bacc[..nb].copy_from_slice(&self.bpcopy);
                     for (ci, &c) in cs.iter().enumerate() {
-                        let crow = c as usize * k;
-                        for l in 0..k {
-                            // Per-lane zero-partial skip keeps each lane's
-                            // accumulation sequence identical to scalar.
-                            if self.pcopy[l] != C_ZERO {
-                                partials[crow + l] += self.acc[l] * self.prefix[ci * k + l];
-                            }
+                        let crow = c as usize * nb;
+                        for bi in 0..nb {
+                            // Per-lane zero-partial select keeps each
+                            // lane's accumulation sequence identical to
+                            // scalar.
+                            let pq = self.bacc[bi];
+                            partials[crow + bi].add_mul_where(
+                                &self.bpcopy[bi],
+                                &pq,
+                                &self.bprefix[ci * nb + bi],
+                            );
                         }
-                        let child = &values[crow..crow + k];
-                        for (a, &v) in self.acc.iter_mut().zip(child) {
-                            *a *= v;
+                        let child = &values[crow..crow + nb];
+                        for (a, v) in self.bacc.iter_mut().zip(child) {
+                            a.mul_assign(v);
                         }
                     }
                 }
                 TapeOpKind::Or => {
-                    let arow = op.a as usize * k;
-                    let brow = op.b as usize * k;
-                    for l in 0..k {
-                        let p = partials[row + l];
-                        if p != C_ZERO {
-                            partials[arow + l] += p;
-                            partials[brow + l] += p;
-                        }
+                    let arow = op.a as usize * nb;
+                    let brow = op.b as usize * nb;
+                    // Children precede parents, so both child rows sit in
+                    // `head` and the borrow split is disjoint.
+                    let (head, tail) = partials.split_at_mut(row);
+                    let p_row = &tail[..nb];
+                    for (bi, p) in p_row.iter().enumerate() {
+                        head[arow + bi].add_where_nonzero(p);
+                        head[brow + bi].add_where_nonzero(p);
                     }
                 }
                 _ => {}
@@ -1575,44 +1651,40 @@ impl TapeEvaluator {
         }
         tape.check_weights(weights.num_slots());
         self.partial_lanes = k;
-        self.delta_update_batch(tape, weights, changed_vars, k, true);
+        self.delta_update_batch(tape, weights, changed_vars, weights.blocks_per_row(), true);
         self.downward_cone_batch(tape, cone, k);
     }
 
-    /// Hints the CPU to start pulling the `k`-lane row at
-    /// `buf[at..at + k]` — the batched downward sweeps are latency-bound
-    /// on scattered row fetches (a few hundred cycles of stall against a
-    /// couple hundred cycles of arithmetic per slot), so the hint is nearly
-    /// free and hides most of the miss. No-op off x86_64.
+    /// Hints the CPU to start pulling the block row starting at `buf[at]`
+    /// — the batched downward sweeps are latency-bound on scattered row
+    /// fetches (a few hundred cycles of stall against a couple hundred
+    /// cycles of arithmetic per slot), so the hint is nearly free and
+    /// hides most of the miss. No-op off x86_64.
     #[inline(always)]
     // Audited exception to the workspace `unsafe_code` deny: a pure
     // cache hint, no architectural reads or writes.
     #[allow(unsafe_code)]
-    fn prefetch_row(buf: &[Complex], at: usize, k: usize) {
+    fn prefetch_row(buf: &[LaneBlock], at: usize) {
         #[cfg(target_arch = "x86_64")]
         {
-            // Touch only the first two cache lines (4 complexes each); the
-            // in-row access pattern is sequential, so the hardware stream
-            // prefetcher covers the rest. Requesting every line of every
-            // row of a wide product node floods the load queue and evicts
-            // live data — measurably slower than under-prefetching.
-            let end = (at + k).min(buf.len());
-            let mut off = at;
-            let stop = (at + 8).min(end);
-            while off < stop {
-                // SAFETY: `off` is in bounds; prefetch reads nothing
+            // Touch only the first block (128 bytes = two cache lines);
+            // the in-row access pattern is sequential, so the hardware
+            // stream prefetcher covers any further blocks. Requesting
+            // every line of every row of a wide product node floods the
+            // load queue and evicts live data — measurably slower than
+            // under-prefetching.
+            if at < buf.len() {
+                // SAFETY: `at` is in bounds; prefetch reads nothing
                 // architecturally and has no side effects beyond the cache.
                 unsafe {
-                    core::arch::x86_64::_mm_prefetch(
-                        buf.as_ptr().add(off) as *const i8,
-                        core::arch::x86_64::_MM_HINT_T0,
-                    );
+                    let p = buf.as_ptr().add(at) as *const i8;
+                    core::arch::x86_64::_mm_prefetch(p, core::arch::x86_64::_MM_HINT_T0);
+                    core::arch::x86_64::_mm_prefetch(p.add(64), core::arch::x86_64::_MM_HINT_T0);
                 }
-                off += 4;
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
-        let _ = (buf, at, k);
+        let _ = (buf, at);
     }
 
     /// The cone-restricted batch downward sweep: the batch analogue of
@@ -1623,28 +1695,36 @@ impl TapeEvaluator {
     fn downward_cone_batch(&mut self, tape: &AcTape, cone: &DiffCone, k: usize) {
         debug_assert_eq!(cone.stamp, tape.stamp, "cone built for a different tape");
         let n = tape.ops.len();
-        let values = &self.values[..n * k];
-        if self.partials.len() < n * k {
-            self.partials.resize(n * k, C_ZERO);
+        let nb = blocks_for(k);
+        let values = &self.bvalues[..n * nb];
+        if self.bpartials.len() < n * nb {
+            self.bpartials.resize(n * nb, LaneBlock::ZERO);
         }
         self.partial_lanes = k;
-        let partials = &mut self.partials[..n * k];
+        let partials = &mut self.bpartials[..n * nb];
         for &s in &cone.slots {
-            partials[s as usize * k..s as usize * k + k].fill(C_ZERO);
+            partials[s as usize * nb..s as usize * nb + nb].fill(LaneBlock::ZERO);
         }
         if cone.slots.is_empty() {
             return;
         }
-        let root_row = tape.root as usize * k;
-        partials[root_row..root_row + k].fill(C_ONE);
-        self.suffix.clear();
-        self.suffix.resize(k, C_ONE);
-        self.acc.clear();
-        self.acc.resize(k, C_ONE);
+        let root_row = tape.root as usize * nb;
+        // Masked seed (live lanes one, dead remainder lanes zero): dead
+        // partial lanes never turn nonzero through the multiplies below,
+        // so the all-zero row skips fire as they would for a full block.
+        masked_ones_row(&mut partials[root_row..root_row + nb], k);
+        self.bsuffix.clear();
+        self.bsuffix.resize(nb, LaneBlock::ONE);
+        self.bacc.clear();
+        self.bacc.resize(nb, LaneBlock::ONE);
+        let stash = tape.max_and_arity as usize * nb;
+        if self.bprefix.len() < stash {
+            self.bprefix.resize(stash, LaneBlock::ZERO);
+        }
         let slots = &cone.slots;
         for idx in (0..slots.len()).rev() {
             let i = slots[idx] as usize;
-            let row = i * k;
+            let row = i * nb;
             let op = tape.ops[i];
             // The sweep is latency-bound on the scattered child rows
             // (a few thousand slots, each touching 2+ rows far apart),
@@ -1655,20 +1735,20 @@ impl TapeEvaluator {
                 let fop = tape.ops[f];
                 match fop.kind {
                     TapeOpKind::And2 | TapeOpKind::Or => {
-                        Self::prefetch_row(values, fop.a as usize * k, k);
-                        Self::prefetch_row(values, fop.b as usize * k, k);
-                        Self::prefetch_row(partials, fop.a as usize * k, k);
-                        Self::prefetch_row(partials, fop.b as usize * k, k);
-                        Self::prefetch_row(partials, f * k, k);
+                        Self::prefetch_row(values, fop.a as usize * nb);
+                        Self::prefetch_row(values, fop.b as usize * nb);
+                        Self::prefetch_row(partials, fop.a as usize * nb);
+                        Self::prefetch_row(partials, fop.b as usize * nb);
+                        Self::prefetch_row(partials, f * nb);
                     }
                     TapeOpKind::And => {
                         for &c in &tape.edges[fop.a as usize..fop.b as usize] {
-                            Self::prefetch_row(values, c as usize * k, k);
+                            Self::prefetch_row(values, c as usize * nb);
                             if cone.member[c as usize] {
-                                Self::prefetch_row(partials, c as usize * k, k);
+                                Self::prefetch_row(partials, c as usize * nb);
                             }
                         }
-                        Self::prefetch_row(partials, f * k, k);
+                        Self::prefetch_row(partials, f * nb);
                     }
                     _ => {}
                 }
@@ -1684,32 +1764,30 @@ impl TapeEvaluator {
                     // parent, so splitting at the parent row yields
                     // borrow-disjoint slices and the inner loops carry no
                     // bounds checks.
-                    let arow = op.a as usize * k;
-                    let brow = op.b as usize * k;
+                    let arow = op.a as usize * nb;
+                    let brow = op.b as usize * nb;
                     let a_in = cone.member[op.a as usize];
                     let b_in = cone.member[op.b as usize];
                     if !a_in && !b_in {
                         continue;
                     }
-                    // No zero-partial branch here: a zero `p` contributes
+                    // No zero-partial select here: a zero `p` contributes
                     // an exact-zero product, and accumulators never hold
                     // -0.0 (they start at +0.0 and IEEE addition yields
                     // +0.0 on cancellation), so the add is a bitwise
-                    // no-op — and the branchless loop vectorizes.
+                    // no-op — and the unconditional block op vectorizes.
                     let (head, tail) = partials.split_at_mut(row);
-                    let p_row = &tail[..k];
+                    let p_row = &tail[..nb];
                     if a_in {
-                        let vb = &values[brow..brow + k];
-                        let out = &mut head[arow..arow + k];
-                        for ((o, &p), &v) in out.iter_mut().zip(p_row).zip(vb) {
-                            *o += p * (C_ONE * v);
+                        for bi in 0..nb {
+                            let ov = LaneBlock::one_times(&values[brow + bi]);
+                            head[arow + bi].add_mul(&p_row[bi], &ov);
                         }
                     }
                     if b_in {
-                        let va = &values[arow..arow + k];
-                        let out = &mut head[brow..brow + k];
-                        for ((o, &p), &v) in out.iter_mut().zip(p_row).zip(va) {
-                            *o += (p * v) * C_ONE;
+                        for bi in 0..nb {
+                            let pv = p_row[bi].mul(&values[arow + bi]);
+                            head[brow + bi].add_mul(&pv, &LaneBlock::ONE);
                         }
                     }
                 }
@@ -1718,18 +1796,18 @@ impl TapeEvaluator {
                     // restructured for memory behavior. A backward scan
                     // stashes the running suffix at every child position
                     // (the one scattered read per child row); a forward
-                    // scan then carries pq = p·(prefix product) in `acc`
+                    // scan then carries pq = p·(prefix product) in `bacc`
                     // and pushes `pq · suffix[ci]` — a single multiply per
                     // member lane — re-reading the child rows while they
-                    // are still cache-hot. One arity×k stash instead of
+                    // are still cache-hot. One arity×nb stash instead of
                     // two — the sweep is bandwidth-bound on these.
                     // Contributions land in `head` (slots below `row`), so
                     // `p_row` cannot change mid-slot, and the adds are
                     // branchless like the And2 arm (zero-`p` adds are
                     // bitwise no-ops).
                     let (head, tail) = partials.split_at_mut(row);
-                    let p_row = &tail[..k];
-                    if p_row.iter().all(|&x| x == C_ZERO) {
+                    let p_row = &tail[..nb];
+                    if p_row.iter().all(LaneBlock::all_zero) {
                         continue;
                     }
                     let cs: &[TapeId] = &tape.edges[op.a as usize..op.b as usize];
@@ -1737,35 +1815,33 @@ impl TapeEvaluator {
                     // sequence must match the full sweep's); only the adds
                     // into non-cone children are skipped — they can never
                     // flow back into a cone slot.
-                    self.prefix.clear();
-                    self.prefix.resize(cs.len() * k, C_ZERO);
-                    self.suffix.fill(C_ONE);
+                    self.bsuffix.fill(LaneBlock::ONE);
                     for (ci, &c) in cs.iter().enumerate().rev() {
-                        self.prefix[ci * k..ci * k + k].copy_from_slice(&self.suffix);
-                        let child = &values[c as usize * k..c as usize * k + k];
-                        for (s, &v) in self.suffix.iter_mut().zip(child) {
-                            *s *= v;
+                        self.bprefix[ci * nb..ci * nb + nb].copy_from_slice(&self.bsuffix);
+                        let child = &values[c as usize * nb..c as usize * nb + nb];
+                        for (s, v) in self.bsuffix.iter_mut().zip(child) {
+                            s.mul_assign(v);
                         }
                     }
-                    self.acc[..k].copy_from_slice(p_row);
+                    self.bacc[..nb].copy_from_slice(p_row);
                     for (ci, &c) in cs.iter().enumerate() {
-                        let crow = c as usize * k;
+                        let crow = c as usize * nb;
                         if cone.member[c as usize] {
-                            let out = &mut head[crow..crow + k];
-                            let suf = &self.prefix[ci * k..ci * k + k];
-                            for ((o, &pq), &s) in out.iter_mut().zip(self.acc.iter()).zip(suf) {
-                                *o += pq * s;
+                            let out = &mut head[crow..crow + nb];
+                            let suf = &self.bprefix[ci * nb..ci * nb + nb];
+                            for ((o, pq), s) in out.iter_mut().zip(self.bacc.iter()).zip(suf) {
+                                o.add_mul(pq, s);
                             }
                         }
-                        let child = &values[crow..crow + k];
-                        for (a, &v) in self.acc.iter_mut().zip(child) {
-                            *a *= v;
+                        let child = &values[crow..crow + nb];
+                        for (a, v) in self.bacc.iter_mut().zip(child) {
+                            a.mul_assign(v);
                         }
                     }
                 }
                 TapeOpKind::Or => {
-                    let arow = op.a as usize * k;
-                    let brow = op.b as usize * k;
+                    let arow = op.a as usize * nb;
+                    let brow = op.b as usize * nb;
                     let a_in = cone.member[op.a as usize];
                     let b_in = cone.member[op.b as usize];
                     if !a_in && !b_in {
@@ -1775,15 +1851,15 @@ impl TapeEvaluator {
                     // zero `p` add is a bitwise no-op on these
                     // accumulators.
                     let (head, tail) = partials.split_at_mut(row);
-                    let p_row = &tail[..k];
+                    let p_row = &tail[..nb];
                     if a_in {
-                        for (o, &p) in head[arow..arow + k].iter_mut().zip(p_row) {
-                            *o += p;
+                        for (o, p) in head[arow..arow + nb].iter_mut().zip(p_row) {
+                            o.add_assign(p);
                         }
                     }
                     if b_in {
-                        for (o, &p) in head[brow..brow + k].iter_mut().zip(p_row) {
-                            *o += p;
+                        for (o, p) in head[brow..brow + nb].iter_mut().zip(p_row) {
+                            o.add_assign(p);
                         }
                     }
                 }
@@ -1795,15 +1871,17 @@ impl TapeEvaluator {
     /// The root value of lane `lane` from the most recent batched pass.
     #[inline]
     pub fn value_lane(&self, tape: &AcTape, lane: usize) -> Complex {
-        self.values[tape.root as usize * self.value_lanes + lane]
+        let nb = blocks_for(self.value_lanes);
+        self.bvalues[tape.root as usize * nb + lane / LANE_WIDTH].get(lane % LANE_WIDTH)
     }
 
     /// `∂f/∂w(lit)` in lane `lane` from the most recent
     /// [`differentials_batch`](TapeEvaluator::differentials_batch) pass.
     #[inline]
     pub fn wrt_lit_lane(&self, tape: &AcTape, lit: Lit, lane: usize) -> Option<Complex> {
+        let nb = blocks_for(self.partial_lanes);
         tape.lit_slot(lit)
-            .map(|s| self.partials[s as usize * self.partial_lanes + lane])
+            .map(|s| self.bpartials[s as usize * nb + lane / LANE_WIDTH].get(lane % LANE_WIDTH))
     }
 
     /// Gradient contraction over the most recent **scalar** differentials
@@ -1838,21 +1916,24 @@ impl TapeEvaluator {
     ///
     /// Panics if `out.len()` differs from the pass's lane count, or the
     /// plan was built for a different lane count.
-    pub fn contract_tangent_lanes(&self, plan: &TangentPlanBatch, out: &mut [Complex]) {
+    pub fn contract_tangent_lanes(&mut self, plan: &TangentPlanBatch, out: &mut [Complex]) {
         let k = self.partial_lanes;
         assert_eq!(plan.lanes, k, "plan lane count mismatch");
         assert_eq!(out.len(), k, "output lane count mismatch");
-        out.fill(C_ZERO);
+        let nb = blocks_for(k);
+        self.bacc.clear();
+        self.bacc.resize(nb, LaneBlock::ZERO);
         for (e, &slot) in plan.slots.iter().enumerate() {
-            let prow = &self.partials[slot as usize * k..slot as usize * k + k];
-            let trow = &plan.rows[e * k..e * k + k];
-            for ((o, &p), &t) in out.iter_mut().zip(prow).zip(trow) {
-                // Per-lane zero-tangent skip: a lane's add sequence is
+            let prow = &self.bpartials[slot as usize * nb..slot as usize * nb + nb];
+            let trow = &plan.rows[e * nb..e * nb + nb];
+            for ((o, p), t) in self.bacc.iter_mut().zip(prow).zip(trow) {
+                // Per-lane zero-tangent select: a lane's add sequence is
                 // exactly its scalar plan's (which filters zeros out).
-                if t != C_ZERO {
-                    *o += p * t;
-                }
+                o.add_mul_where(t, p, t);
             }
+        }
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.bacc[l / LANE_WIDTH].get(l % LANE_WIDTH);
         }
     }
 
@@ -1866,15 +1947,21 @@ impl TapeEvaluator {
     /// # Panics
     ///
     /// Panics if `out.len()` differs from the pass's lane count.
-    pub fn contract_tangent_broadcast(&self, plan: &TangentPlan, out: &mut [Complex]) {
+    pub fn contract_tangent_broadcast(&mut self, plan: &TangentPlan, out: &mut [Complex]) {
         let k = self.partial_lanes;
         assert_eq!(out.len(), k, "output lane count mismatch");
-        out.fill(C_ZERO);
+        let nb = blocks_for(k);
+        self.bacc.clear();
+        self.bacc.resize(nb, LaneBlock::ZERO);
         for &(slot, t) in &plan.entries {
-            let prow = &self.partials[slot as usize * k..slot as usize * k + k];
-            for (o, &p) in out.iter_mut().zip(prow) {
-                *o += p * t;
+            let prow = &self.bpartials[slot as usize * nb..slot as usize * nb + nb];
+            let tb = LaneBlock::splat(t);
+            for (o, p) in self.bacc.iter_mut().zip(prow) {
+                o.add_mul(p, &tb);
             }
+        }
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.bacc[l / LANE_WIDTH].get(l % LANE_WIDTH);
         }
     }
 
@@ -1971,53 +2058,63 @@ impl TapeEvaluator {
     }
 }
 
-/// The batched upward value pass, monomorphized over the lane count so the
-/// compiler const-propagates `k` (mirrors the enum batch kernel's
-/// dispatch).
+/// Fills `out` with the masked all-ones row for `k` live lanes: full
+/// blocks all-one, the trailing ragged block one in live lanes and zero in
+/// dead remainder lanes.
+#[inline]
+fn masked_ones_row(out: &mut [LaneBlock], k: usize) {
+    out.fill(LaneBlock::ONE);
+    let rem = k % LANE_WIDTH;
+    if rem != 0 {
+        let last = out.last_mut().expect("k > 0 implies at least one block");
+        for w in rem..LANE_WIDTH {
+            last.set(w, C_ZERO);
+        }
+    }
+}
+
+/// The batched upward value pass over lane blocks: one fixed-width
+/// split-plane loop per block serves every lane count, ragged batches
+/// riding the masked remainder block (mirrors the enum batch kernel).
 #[inline(always)]
-fn batch_upward(tape: &AcTape, weights: &AcWeightsBatch, values: &mut [Complex], k: usize) {
+fn batch_upward(tape: &AcTape, weights: &AcWeightsBatch, values: &mut [LaneBlock], nb: usize) {
     for (i, op) in tape.ops.iter().enumerate() {
-        let row = i * k;
+        let row = i * nb;
         // Children precede parents, so every child row sits in `head`.
         let (head, tail) = values.split_at_mut(row);
-        let out = &mut tail[..k];
+        let out = &mut tail[..nb];
         match op.kind {
-            TapeOpKind::Const => out.fill(tape.consts[op.a as usize]),
-            TapeOpKind::Lit => out.copy_from_slice(weights.row_by_slot(op.a)),
+            TapeOpKind::Const => out.fill(LaneBlock::splat(tape.consts[op.a as usize])),
+            TapeOpKind::Lit => out.copy_from_slice(weights.row_blocks_by_slot(op.a)),
             TapeOpKind::And2 => {
-                // Per-lane unroll of the two-child product with the
-                // reference's short-circuit sequence.
-                let arow = &head[op.a as usize * k..op.a as usize * k + k];
-                let brow = &head[op.b as usize * k..op.b as usize * k + k];
-                for (acc, (&x, &y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
-                    let mut v = C_ONE * x;
-                    if v != C_ZERO {
-                        v *= y;
-                    }
-                    *acc = v;
+                // The two-child product with the reference's short-circuit
+                // sequence, as a select per lane.
+                let arow = &head[op.a as usize * nb..op.a as usize * nb + nb];
+                let brow = &head[op.b as usize * nb..op.b as usize * nb + nb];
+                for (acc, (x, y)) in out.iter_mut().zip(arow.iter().zip(brow)) {
+                    *acc = LaneBlock::one_times(x);
+                    acc.mul_assign_sc(y);
                 }
             }
             TapeOpKind::And => {
-                out.fill(C_ONE);
+                out.fill(LaneBlock::ONE);
                 for &c in &tape.edges[op.a as usize..op.b as usize] {
                     // Per-lane zero short-circuit + whole-AND break once
                     // every lane is dead, exactly as the enum batch kernel.
-                    if out.iter().all(|a| *a == C_ZERO) {
+                    if out.iter().all(LaneBlock::all_zero) {
                         break;
                     }
-                    let child = &head[c as usize * k..c as usize * k + k];
-                    for (acc, &v) in out.iter_mut().zip(child) {
-                        if *acc != C_ZERO {
-                            *acc *= v;
-                        }
+                    let child = &head[c as usize * nb..c as usize * nb + nb];
+                    for (acc, v) in out.iter_mut().zip(child) {
+                        acc.mul_assign_sc(v);
                     }
                 }
             }
             TapeOpKind::Or => {
-                let a = &head[op.a as usize * k..op.a as usize * k + k];
-                let b = &head[op.b as usize * k..op.b as usize * k + k];
-                for (acc, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
-                    *acc = x + y;
+                let a = &head[op.a as usize * nb..op.a as usize * nb + nb];
+                let b = &head[op.b as usize * nb..op.b as usize * nb + nb];
+                for (acc, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                    acc.add_of(x, y);
                 }
             }
         }
@@ -2178,13 +2275,14 @@ impl TangentPlan {
 }
 
 /// The `k`-lane analogue of [`TangentPlan`]: keeps every literal whose
-/// tangent is nonzero in *any* lane, with the full `k`-lane tangent row per
-/// kept slot. Consumed by [`TapeEvaluator::contract_tangent_lanes`], whose
-/// per-lane zero-skip restores bit-identity with the scalar plan.
+/// tangent is nonzero in *any* lane, with the full tangent block row per
+/// kept slot (lane-blocked split-plane layout, dead remainder lanes zero).
+/// Consumed by [`TapeEvaluator::contract_tangent_lanes`], whose per-lane
+/// zero-select restores bit-identity with the scalar plan.
 #[derive(Debug, Clone, Default)]
 pub struct TangentPlanBatch {
     slots: Vec<TapeId>,
-    rows: Vec<Complex>,
+    rows: Vec<LaneBlock>,
     lanes: usize,
 }
 
@@ -2195,8 +2293,10 @@ impl TangentPlanBatch {
         let mut slots = Vec::new();
         let mut rows = Vec::new();
         for &(lit, slot) in tape.lit_slots() {
-            let row = tangents.row(lit);
-            if row.iter().any(|&t| t != C_ZERO) {
+            let row = tangents.row_blocks(lit);
+            // Dead remainder lanes are zero in the container, so an
+            // any-nonzero block test is exactly an any-live-lane test.
+            if row.iter().any(|b| !b.all_zero()) {
                 slots.push(slot);
                 rows.extend_from_slice(row);
             }
@@ -2212,6 +2312,13 @@ impl TangentPlanBatch {
     /// Number of kept slots (literals nonzero in at least one lane).
     pub fn len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The tape slots carrying a nonzero tangent in some lane, in plan
+    /// order — the batch analogue of [`TangentPlan::slots`], consumed by
+    /// the verifier's tangent-plan liveness pass.
+    pub fn slots(&self) -> impl Iterator<Item = TapeId> + '_ {
+        self.slots.iter().copied()
     }
 
     /// True when no lane carries this symbol.
@@ -2357,7 +2464,17 @@ mod tests {
         let tape = AcTape::lower(&nnf);
         let mut eval = TapeEvaluator::new();
         let mut rng = StdRng::seed_from_u64(29);
-        for k in [1usize, 4, 16] {
+        // Ragged widths around the block boundary exercise the masked
+        // remainder block alongside the full-block fast path.
+        for k in [
+            1usize,
+            4,
+            LANE_WIDTH - 1,
+            LANE_WIDTH,
+            LANE_WIDTH + 1,
+            16,
+            2 * LANE_WIDTH + 3,
+        ] {
             let lane_weights: Vec<AcWeights> =
                 (0..k).map(|_| random_weights(3, &mut rng)).collect();
             let mut batch = AcWeightsBatch::uniform(3, k);
@@ -2514,7 +2631,15 @@ mod tests {
         let nnf = test_nnf();
         let tape = AcTape::lower(&nnf);
         let mut rng = StdRng::seed_from_u64(59);
-        for k in [1usize, 3, 4, 16] {
+        for k in [
+            1usize,
+            3,
+            4,
+            LANE_WIDTH - 1,
+            LANE_WIDTH + 1,
+            16,
+            2 * LANE_WIDTH + 3,
+        ] {
             let mut delta_eval = TapeEvaluator::new();
             let mut full_eval = TapeEvaluator::new();
             let mut scalar_eval = TapeEvaluator::new();
@@ -2919,7 +3044,7 @@ mod tests {
         let nnf = test_nnf();
         let tape = AcTape::lower(&nnf);
         let mut rng = StdRng::seed_from_u64(23);
-        for lanes in [4usize, 8] {
+        for lanes in [4usize, LANE_WIDTH, LANE_WIDTH + 1, 2 * LANE_WIDTH + 3] {
             let mut batch_w = AcWeightsBatch::uniform(3, lanes);
             let mut batch_t = AcWeightsBatch::zeros(3, lanes);
             let mut scalar_w = Vec::new();

@@ -197,6 +197,19 @@ impl Snapshot {
         }
         let mut out = String::from("telemetry snapshot\n");
         render(&root, "", 0, &mut out);
+        // Lane-occupancy footer: the batched kernels hold weights in
+        // lane-blocked planes, so a batch of `k` lanes pads its last block
+        // with `remainder_lanes` dead lanes that still burn SIMD work.
+        // `width / (width + remainder)` is the fraction of each blocked
+        // sweep that computed a live lane.
+        let width = self.counter("kernel/batch/width").unwrap_or(0);
+        let rem = self.counter("kernel/batch/remainder_lanes").unwrap_or(0);
+        if width > 0 {
+            let occupancy = 100.0 * width as f64 / (width + rem) as f64;
+            out.push_str(&format!(
+                "lane occupancy {occupancy:.1}% ({width} live lanes, {rem} dead remainder lanes)\n"
+            ));
+        }
         out
     }
 
@@ -370,5 +383,33 @@ mod tests {
         );
         assert!(tree.contains("hit"));
         assert!(tree.contains("rehydrate"));
+        assert!(
+            !tree.contains("lane occupancy"),
+            "no occupancy note without batch counters:\n{tree}"
+        );
+    }
+
+    #[test]
+    fn tree_render_notes_lane_occupancy_from_batch_counters() {
+        let snap = Snapshot {
+            spans: vec![],
+            counters: vec![
+                CounterStats {
+                    path: "kernel/batch/width".into(),
+                    value: 21,
+                },
+                CounterStats {
+                    path: "kernel/batch/remainder_lanes".into(),
+                    value: 3,
+                },
+            ],
+            sizes: vec![],
+        };
+        let tree = snap.render_tree();
+        // 21 live of 24 swept lanes = 87.5%.
+        assert!(
+            tree.contains("lane occupancy 87.5% (21 live lanes, 3 dead remainder lanes)"),
+            "occupancy footer missing or wrong:\n{tree}"
+        );
     }
 }

@@ -125,6 +125,13 @@ proptest! {
         let tape_back = AcTape::from_bytes(&tape_bytes).expect("tape decodes");
         prop_assert_eq!(tape_back.to_bytes(), tape_bytes.clone());
 
+        // Size accounting stays exact across the wire: derived fields
+        // (the batch kernels' scratch-sizing metadata is not serialized)
+        // are reconstructed at decode, so the resident footprint the
+        // GreedyDual-Size cache charges is identical on both sides.
+        prop_assert_eq!(tape_back.size_bytes(), sim.tape().size_bytes());
+        prop_assert_eq!(sim.metrics().ac_size_bytes, sim.tape().size_bytes());
+
         // Artifact level: the rehydrated simulator is indistinguishable.
         let bytes = sim.to_bytes(&c, &options);
         let back = KcSimulator::from_bytes(&c, &options, &bytes).expect("artifact decodes");

@@ -199,6 +199,17 @@ fn snapshots_stay_consistent_under_concurrent_recording() {
     // Structural invariants of the final snapshot.
     assert!(snap.counter("cache/miss").unwrap_or(0) >= 4);
     assert!(snap.counter("sweep/points").unwrap_or(0) >= 4 * 3 * 8);
+    // Batched binds record their lane occupancy: every sweep point rides
+    // a batch lane, so accumulated width covers the points, and the
+    // rendered tree carries the occupancy footer derived from it.
+    assert!(
+        snap.counter("kernel/batch/width").unwrap_or(0) >= snap.counter("sweep/points").unwrap(),
+        "batched binds must record kernel/batch/width"
+    );
+    assert!(
+        snap.render_tree().contains("lane occupancy"),
+        "occupancy note missing from the snapshot tree"
+    );
     for stats in snap.spans.iter().chain(&snap.sizes) {
         assert!(
             telemetry::path_is_well_formed(&stats.path),
